@@ -1,0 +1,41 @@
+// Command darshan-job-summary prints a PyDarshan-style overview of a trace:
+// per-module activity, busiest files, and the POSIX access-size histogram.
+//
+// Usage:
+//
+//	darshan-job-summary <trace.darshan|trace.txt>
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ioagent/internal/darshan"
+	"ioagent/internal/jobsummary"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: darshan-job-summary <trace>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "darshan-job-summary:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	log, err := darshan.Decode(f)
+	if err != nil {
+		if _, serr := f.Seek(0, 0); serr != nil {
+			fmt.Fprintln(os.Stderr, "darshan-job-summary:", serr)
+			os.Exit(1)
+		}
+		log, err = darshan.ParseText(f)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "darshan-job-summary:", err)
+		os.Exit(1)
+	}
+	fmt.Print(jobsummary.Build(log).Format())
+}

@@ -1,0 +1,57 @@
+// Command darshan-parser converts binary Darshan logs to the canonical text
+// format (mirroring the upstream tool of the same name), and back.
+//
+// Usage:
+//
+//	darshan-parser <log.darshan>            # binary -> text on stdout
+//	darshan-parser -encode <log.txt> <out>  # text -> binary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ioagent/internal/darshan"
+)
+
+func main() {
+	encode := flag.Bool("encode", false, "convert text format back to binary")
+	flag.Parse()
+	args := flag.Args()
+
+	if *encode {
+		if len(args) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: darshan-parser -encode <log.txt> <out.darshan>")
+			os.Exit(2)
+		}
+		in, err := os.Open(args[0])
+		check(err)
+		defer in.Close()
+		log, err := darshan.ParseText(in)
+		check(err)
+		out, err := os.Create(args[1])
+		check(err)
+		defer out.Close()
+		check(darshan.Encode(out, log))
+		return
+	}
+
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: darshan-parser <log.darshan>")
+		os.Exit(2)
+	}
+	in, err := os.Open(args[0])
+	check(err)
+	defer in.Close()
+	log, err := darshan.Decode(in)
+	check(err)
+	check(darshan.WriteText(os.Stdout, log))
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "darshan-parser:", err)
+		os.Exit(1)
+	}
+}

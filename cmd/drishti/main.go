@@ -1,0 +1,51 @@
+// Command drishti runs the heuristic baseline over a Darshan trace and
+// prints the fired triggers (the classic CLI view) or the report form.
+//
+// Usage:
+//
+//	drishti [-report] <trace.darshan|trace.txt>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ioagent/internal/darshan"
+	"ioagent/internal/drishti"
+)
+
+func main() {
+	report := flag.Bool("report", false, "print the structured report instead of the trigger list")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: drishti [-report] <trace>")
+		os.Exit(2)
+	}
+	log, err := loadTrace(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "drishti:", err)
+		os.Exit(1)
+	}
+	res := drishti.Analyze(log)
+	if *report {
+		fmt.Println(res.Format())
+		return
+	}
+	fmt.Print(res.Summary())
+}
+
+func loadTrace(path string) (*darshan.Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if log, err := darshan.Decode(f); err == nil {
+		return log, nil
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	return darshan.ParseText(f)
+}

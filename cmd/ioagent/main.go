@@ -1,0 +1,98 @@
+// Command ioagent diagnoses a Darshan trace with the full IOAgent pipeline
+// and optionally opens an interactive follow-up session (paper Fig. 5).
+//
+// Usage:
+//
+//	ioagent [-model NAME] [-interactive] [-show-fragments] <trace>
+//
+// The trace may be a binary log (as written by cmd/tracebench) or
+// darshan-parser text. With -interactive, questions are read from stdin
+// after the diagnosis prints.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ioagent/internal/darshan"
+	"ioagent/internal/ioagent"
+	"ioagent/internal/llm"
+)
+
+func main() {
+	model := flag.String("model", llm.GPT4o, "diagnosis model (see llm catalog)")
+	cheap := flag.String("cheap-model", llm.GPT4oMini, "self-reflection filter model")
+	interactive := flag.Bool("interactive", false, "ask follow-up questions after the diagnosis")
+	showFragments := flag.Bool("show-fragments", false, "print per-fragment pipeline intermediates")
+	noRAG := flag.Bool("no-rag", false, "disable retrieval (ablation)")
+	oneShot := flag.Bool("one-shot-merge", false, "replace the tree merge with a single merge call (ablation)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ioagent [flags] <trace.darshan|trace.txt>")
+		os.Exit(2)
+	}
+	log, err := loadTrace(flag.Arg(0))
+	check(err)
+
+	agent := ioagent.New(llm.NewSim(), ioagent.Options{
+		Model: *model, CheapModel: *cheap,
+		DisableRAG: *noRAG, UseOneShotMerge: *oneShot,
+	})
+	res, err := agent.Diagnose(log)
+	check(err)
+
+	if *showFragments {
+		for _, fr := range res.Fragments {
+			fmt.Printf("--- fragment %s (retrieved %d, kept %d) ---\n%s\n",
+				fr.Fragment.ID(), fr.Retrieved, fr.Kept, fr.Description)
+		}
+		fmt.Println("=== merged diagnosis ===")
+	}
+	fmt.Println(res.Text)
+
+	usage, cost, calls := agent.Stats()
+	fmt.Printf("[%d LLM calls, %d tokens, $%.4f]\n", calls, usage.Total(), cost)
+
+	if *interactive {
+		sess := agent.NewSession(res)
+		sc := bufio.NewScanner(os.Stdin)
+		fmt.Print("\nAsk a follow-up question (empty line to exit)\n> ")
+		for sc.Scan() {
+			q := strings.TrimSpace(sc.Text())
+			if q == "" {
+				break
+			}
+			answer, err := sess.Ask(q)
+			check(err)
+			fmt.Println(answer)
+			fmt.Print("> ")
+		}
+	}
+}
+
+// loadTrace reads a binary or text Darshan log.
+func loadTrace(path string) (*darshan.Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if log, err := darshan.Decode(f); err == nil {
+		return log, nil
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	return darshan.ParseText(f)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ioagent:", err)
+		os.Exit(1)
+	}
+}

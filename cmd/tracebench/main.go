@@ -1,0 +1,84 @@
+// Command tracebench materializes the TraceBench suite on disk (binary
+// Darshan logs plus a labels manifest) and verifies the Table III counts.
+//
+// Usage:
+//
+//	tracebench -out <dir>    # write the 40 traces + labels.tsv
+//	tracebench -verify       # print the Table III matrix and check totals
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ioagent/internal/darshan"
+	"ioagent/internal/issue"
+	"ioagent/internal/tracebench"
+)
+
+func main() {
+	out := flag.String("out", "", "directory to write traces into")
+	verify := flag.Bool("verify", false, "print and verify the Table III label matrix")
+	flag.Parse()
+
+	suite := tracebench.Suite()
+
+	if *verify || *out == "" {
+		printMatrix(suite)
+	}
+	if *out != "" {
+		if err := write(suite, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "tracebench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d traces to %s\n", len(suite), *out)
+	}
+}
+
+func printMatrix(suite []*tracebench.Trace) {
+	counts := tracebench.LabelCounts(suite)
+	fmt.Printf("%-36s %4s %6s %4s %6s\n", "Labeled Issue", "SB", "IO500", "RA", "Total")
+	total := 0
+	for _, l := range issue.All {
+		c := counts[l]
+		sb, io5, ra := c[tracebench.SimpleBench], c[tracebench.IO500], c[tracebench.RealApps]
+		fmt.Printf("%-36s %4d %6d %4d %6d\n", l, sb, io5, ra, sb+io5+ra)
+		total += sb + io5 + ra
+	}
+	fmt.Printf("%-36s %4d %6d %4d %6d\n", "TOTAL", 0, 0, 0, total)
+	if total != 182 {
+		fmt.Fprintf(os.Stderr, "tracebench: total issues %d != 182 (Table III)\n", total)
+		os.Exit(1)
+	}
+}
+
+func write(suite []*tracebench.Trace, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var manifest strings.Builder
+	manifest.WriteString("trace\tsource\tlabels\n")
+	for _, tr := range suite {
+		path := filepath.Join(dir, tr.Name+".darshan")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := darshan.Encode(f, tr.Log()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		var labels []string
+		for _, l := range tr.Labels.Sorted() {
+			labels = append(labels, string(l))
+		}
+		fmt.Fprintf(&manifest, "%s\t%s\t%s\n", tr.Name, tr.Source, strings.Join(labels, "; "))
+	}
+	return os.WriteFile(filepath.Join(dir, "labels.tsv"), []byte(manifest.String()), 0o644)
+}

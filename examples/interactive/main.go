@@ -1,0 +1,57 @@
+// The Fig. 5 scenario: an IO500-style trace performs 4 MiB reads and writes
+// against the default Lustre stripe settings (count 1, size 1 MiB). The
+// diagnosis flags the sub-optimal striping; the user then asks how to fix
+// it, and IOAgent answers with commands tailored to the diagnosis
+// (lfs setstripe -S 4M, raised stripe count) plus its references.
+//
+//	go run ./examples/interactive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ioagent/internal/ioagent"
+	"ioagent/internal/iosim"
+	"ioagent/internal/llm"
+)
+
+func main() {
+	sim := iosim.New(iosim.Config{Seed: 55, NProcs: 8, UsesMPI: true, Exe: "/bench/io500/ior"})
+	defaultStripe := &iosim.Layout{StripeSize: 1 << 20, StripeWidth: 1}
+	f := sim.OpenShared("/scratch/io500/ior-easy.dat", iosim.MPIIndep, false, defaultStripe)
+	for rank := 0; rank < 8; rank++ {
+		base := int64(rank) * (64 << 20)
+		for i := int64(0); i < 16; i++ {
+			f.WriteAt(rank, base+i*(4<<20), 4<<20)
+		}
+	}
+	for rank := 0; rank < 8; rank++ {
+		base := int64(rank) * (64 << 20)
+		for i := int64(0); i < 16; i++ {
+			f.ReadAt(rank, base+i*(4<<20), 4<<20)
+		}
+	}
+	f.Close()
+	trace := sim.Finalize()
+
+	agent := ioagent.New(llm.NewSim(), ioagent.Options{})
+	res, err := agent.Diagnose(trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Text)
+
+	session := agent.NewSession(res)
+	for _, q := range []string{
+		"How do I fix the stripe settings issue on the server side?",
+		"And what should I change in the application code about collective I/O?",
+	} {
+		fmt.Printf("\nUSER> %s\n\n", q)
+		answer, err := session.Ask(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(answer)
+	}
+}

@@ -1,0 +1,57 @@
+// Sweep the IO500 subset of TraceBench with IOAgent and print a
+// trace-by-issue matrix comparing the diagnosis against the expert labels —
+// the fleet-scan use case the paper positions Drishti for, done with
+// grounded LLM diagnoses instead.
+//
+//	go run ./examples/io500sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ioagent/internal/ioagent"
+	"ioagent/internal/issue"
+	"ioagent/internal/llm"
+	"ioagent/internal/tracebench"
+)
+
+func main() {
+	agent := ioagent.New(llm.NewSim(), ioagent.Options{})
+	traces := tracebench.BySource(tracebench.Suite(), tracebench.IO500)
+
+	// Short column keys per issue label.
+	keys := map[issue.Label]string{}
+	for i, l := range issue.All {
+		keys[l] = fmt.Sprintf("%c%d", 'A'+i%26, i)
+	}
+	fmt.Println("legend:")
+	for _, l := range issue.All {
+		fmt.Printf("  %-3s %s\n", keys[l], l)
+	}
+	fmt.Printf("\n%-36s  %-8s %s\n", "trace", "F1", "diagnosed (+extra / -missed)")
+
+	var sumF1 float64
+	for _, tr := range traces {
+		res, err := agent.Diagnose(tr.Log())
+		if err != nil {
+			log.Fatal(err)
+		}
+		got := res.Report.Labels()
+		_, _, f1 := issue.F1(tr.Labels, got)
+		sumF1 += f1
+		row := ""
+		for _, l := range issue.All {
+			switch {
+			case tr.Labels[l] && got[l]:
+				row += keys[l] + " "
+			case got[l]:
+				row += "+" + keys[l] + " "
+			case tr.Labels[l]:
+				row += "-" + keys[l] + " "
+			}
+		}
+		fmt.Printf("%-36s  %-8.2f %s\n", tr.Name, f1, row)
+	}
+	fmt.Printf("\nmean F1 over %d IO500 traces: %.3f\n", len(traces), sumF1/float64(len(traces)))
+}

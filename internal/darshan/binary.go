@@ -1,0 +1,310 @@
+package darshan
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary log codec. The upstream Darshan runtime writes a zlib-compressed
+// proprietary container; we reproduce the same role with a simple, versioned,
+// gzip-compressed little-endian format:
+//
+//	magic "DSHN" | u16 version | job header | u8 nmodules |
+//	  per module: u8 id | u32 nrecords |
+//	    per record: u64 record id | i32 rank | str name | str mountpt |
+//	      str fstype | counters (positional i64 per table) |
+//	      fcounters (positional f64 per table)
+//
+// Counters are stored positionally against the canonical tables in
+// counters.go, exactly as upstream stores fixed counter arrays.
+
+const binaryMagic = "DSHN"
+
+// binaryVersion is bumped whenever the on-disk layout changes.
+const binaryVersion uint16 = 2
+
+// Encode writes the log in binary form to w.
+func Encode(w io.Writer, l *Log) error {
+	gz := gzip.NewWriter(w)
+	bw := bufio.NewWriter(gz)
+	e := &encoder{w: bw}
+
+	e.raw([]byte(binaryMagic))
+	e.u16(binaryVersion)
+	e.str(l.Version)
+	e.encodeJob(&l.Job)
+
+	mods := l.ModuleList()
+	e.u8(uint8(len(mods)))
+	for _, m := range mods {
+		md := l.Modules[m]
+		md.SortRecords()
+		e.u8(uint8(m))
+		e.u32(uint32(len(md.Records)))
+		for _, r := range md.Records {
+			e.encodeRecord(m, r)
+		}
+	}
+	if e.err != nil {
+		return e.err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// Decode reads a binary log from r.
+func Decode(r io.Reader) (*Log, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("darshan: not a binary log: %w", err)
+	}
+	defer gz.Close()
+	d := &decoder{r: bufio.NewReader(gz)}
+
+	magic := d.raw(4)
+	if d.err == nil && !bytes.Equal(magic, []byte(binaryMagic)) {
+		return nil, fmt.Errorf("darshan: bad magic %q", magic)
+	}
+	ver := d.u16()
+	if d.err == nil && ver != binaryVersion {
+		return nil, fmt.Errorf("darshan: unsupported binary version %d", ver)
+	}
+
+	l := NewLog()
+	l.Version = d.str()
+	d.decodeJob(&l.Job)
+
+	nmods := int(d.u8())
+	for i := 0; i < nmods && d.err == nil; i++ {
+		m := ModuleID(d.u8())
+		if m >= numModules {
+			return nil, fmt.Errorf("darshan: bad module id %d", m)
+		}
+		nrec := int(d.u32())
+		md := l.Module(m)
+		for j := 0; j < nrec && d.err == nil; j++ {
+			r, err := d.decodeRecord(m)
+			if err != nil {
+				return nil, err
+			}
+			md.Records = append(md.Records, r)
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return l, nil
+}
+
+type encoder struct {
+	w   *bufio.Writer
+	err error
+	buf [8]byte
+}
+
+func (e *encoder) raw(b []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(b)
+}
+func (e *encoder) u8(v uint8) { e.raw([]byte{v}) }
+func (e *encoder) u16(v uint16) {
+	binary.LittleEndian.PutUint16(e.buf[:2], v)
+	e.raw(e.buf[:2])
+}
+func (e *encoder) u32(v uint32) {
+	binary.LittleEndian.PutUint32(e.buf[:4], v)
+	e.raw(e.buf[:4])
+}
+func (e *encoder) u64(v uint64) {
+	binary.LittleEndian.PutUint64(e.buf[:8], v)
+	e.raw(e.buf[:8])
+}
+func (e *encoder) i64(v int64)   { e.u64(uint64(v)) }
+func (e *encoder) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.raw([]byte(s))
+}
+
+func (e *encoder) encodeJob(j *Job) {
+	e.i64(int64(j.UID))
+	e.i64(j.JobID)
+	e.i64(j.StartTime)
+	e.i64(j.EndTime)
+	e.i64(int64(j.NProcs))
+	e.f64(j.RunTime)
+	e.str(j.Exe)
+	e.u32(uint32(len(j.Mounts)))
+	for _, m := range j.Mounts {
+		e.str(m.Point)
+		e.str(m.FSType)
+	}
+	// Metadata in sorted key order for deterministic bytes.
+	keys := sortedKeys(j.Metadata)
+	e.u32(uint32(len(keys)))
+	for _, k := range keys {
+		e.str(k)
+		e.str(j.Metadata[k])
+	}
+}
+
+func (e *encoder) encodeRecord(m ModuleID, r *FileRecord) {
+	e.u64(r.RecordID)
+	e.i64(int64(r.Rank))
+	e.str(r.Name)
+	e.str(r.MountPt)
+	e.str(r.FSType)
+	for _, name := range CounterNames(m) {
+		e.i64(r.Counters[name])
+	}
+	for _, name := range FCounterNames(m) {
+		e.f64(r.FCounters[name])
+	}
+}
+
+type decoder struct {
+	r   *bufio.Reader
+	err error
+	buf [8]byte
+}
+
+func (d *decoder) raw(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	b := make([]byte, n)
+	_, d.err = io.ReadFull(d.r, b)
+	return b
+}
+func (d *decoder) u8() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	var b [1]byte
+	_, d.err = io.ReadFull(d.r, b[:])
+	return b[0]
+}
+func (d *decoder) u16() uint16 {
+	if d.err != nil {
+		return 0
+	}
+	_, d.err = io.ReadFull(d.r, d.buf[:2])
+	return binary.LittleEndian.Uint16(d.buf[:2])
+}
+func (d *decoder) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	_, d.err = io.ReadFull(d.r, d.buf[:4])
+	return binary.LittleEndian.Uint32(d.buf[:4])
+}
+func (d *decoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	_, d.err = io.ReadFull(d.r, d.buf[:8])
+	return binary.LittleEndian.Uint64(d.buf[:8])
+}
+func (d *decoder) i64() int64   { return int64(d.u64()) }
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+// maxStrLen guards against corrupt length prefixes.
+const maxStrLen = 1 << 20
+
+func (d *decoder) str() string {
+	n := d.u32()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxStrLen {
+		d.err = fmt.Errorf("darshan: string length %d exceeds limit", n)
+		return ""
+	}
+	return string(d.raw(int(n)))
+}
+
+func (d *decoder) decodeJob(j *Job) {
+	j.UID = int(d.i64())
+	j.JobID = d.i64()
+	j.StartTime = d.i64()
+	j.EndTime = d.i64()
+	j.NProcs = int(d.i64())
+	j.RunTime = d.f64()
+	j.Exe = d.str()
+	nm := int(d.u32())
+	if d.err != nil {
+		return
+	}
+	if nm > maxStrLen {
+		d.err = fmt.Errorf("darshan: mount count %d exceeds limit", nm)
+		return
+	}
+	j.Mounts = make([]Mount, nm)
+	for i := range j.Mounts {
+		j.Mounts[i].Point = d.str()
+		j.Mounts[i].FSType = d.str()
+	}
+	nk := int(d.u32())
+	if d.err != nil {
+		return
+	}
+	if nk > maxStrLen {
+		d.err = fmt.Errorf("darshan: metadata count %d exceeds limit", nk)
+		return
+	}
+	if j.Metadata == nil {
+		j.Metadata = make(map[string]string, nk)
+	}
+	for i := 0; i < nk; i++ {
+		k := d.str()
+		v := d.str()
+		if d.err == nil {
+			j.Metadata[k] = v
+		}
+	}
+}
+
+func (d *decoder) decodeRecord(m ModuleID) (*FileRecord, error) {
+	r := &FileRecord{
+		Counters:  make(map[string]int64),
+		FCounters: make(map[string]float64),
+	}
+	r.RecordID = d.u64()
+	r.Rank = int(d.i64())
+	r.Name = d.str()
+	r.MountPt = d.str()
+	r.FSType = d.str()
+	for _, name := range CounterNames(m) {
+		if v := d.i64(); v != 0 {
+			r.Counters[name] = v
+		}
+	}
+	for _, name := range FCounterNames(m) {
+		if v := d.f64(); v != 0 {
+			r.FCounters[name] = v
+		}
+	}
+	return r, d.err
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -1,0 +1,246 @@
+package darshan
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// randomLog builds a structurally valid random log for round-trip tests.
+func randomLog(rng *rand.Rand) *Log {
+	l := NewLog()
+	l.Job = Job{
+		UID:       rng.Intn(65536),
+		JobID:     rng.Int63n(1 << 40),
+		StartTime: 1700000000 + rng.Int63n(1e6),
+		NProcs:    1 + rng.Intn(1024),
+		RunTime:   float64(rng.Intn(100000)) / 7.0,
+		Exe:       "/apps/bin/sim.x -in run.inp",
+		Metadata:  map[string]string{"lib_ver": "3.4.1", "h": "nid00042"},
+	}
+	l.Job.EndTime = l.Job.StartTime + int64(l.Job.RunTime) + 1
+	l.Job.Mounts = []Mount{{"/scratch", "lustre"}, {"/home", "nfs"}}
+
+	for _, m := range AllModules {
+		if rng.Intn(4) == 0 {
+			continue // leave some modules empty
+		}
+		md := l.Module(m)
+		nrec := 1 + rng.Intn(5)
+		for i := 0; i < nrec; i++ {
+			rank := SharedRank
+			if rng.Intn(2) == 0 {
+				rank = rng.Intn(l.Job.NProcs)
+			}
+			path := "/scratch/file" + string(rune('a'+i))
+			r := NewFileRecord(path, rank)
+			r.MountPt, r.FSType = "/scratch", "lustre"
+			names := CounterNames(m)
+			for j := 0; j < 8 && j < len(names); j++ {
+				r.Counters[names[rng.Intn(len(names))]] = rng.Int63n(1 << 32)
+			}
+			for _, fn := range FCounterNames(m) {
+				if rng.Intn(3) == 0 {
+					r.FCounters[fn] = float64(rng.Intn(1e6)) / 13.0
+				}
+			}
+			md.Records = append(md.Records, r)
+		}
+	}
+	return l
+}
+
+func logsEquivalent(t *testing.T, a, b *Log) {
+	t.Helper()
+	if a.Version != b.Version {
+		t.Errorf("version %q != %q", a.Version, b.Version)
+	}
+	// The text form writes run time with 4 decimals; compare with tolerance.
+	if math.Abs(a.Job.RunTime-b.Job.RunTime) > 1e-3 {
+		t.Errorf("run time %g != %g", a.Job.RunTime, b.Job.RunTime)
+	}
+	ja, jb := a.Job, b.Job
+	ja.RunTime, jb.RunTime = 0, 0
+	if !reflect.DeepEqual(ja, jb) {
+		t.Errorf("job mismatch:\n  a=%+v\n  b=%+v", ja, jb)
+	}
+	if len(a.ModuleList()) != len(b.ModuleList()) {
+		t.Fatalf("module lists differ: %v vs %v", a.ModuleList(), b.ModuleList())
+	}
+	for _, m := range a.ModuleList() {
+		ra, rb := a.Modules[m].Records, b.Modules[m].Records
+		if len(ra) != len(rb) {
+			t.Fatalf("module %s: %d vs %d records", m, len(ra), len(rb))
+		}
+		a.Modules[m].SortRecords()
+		b.Modules[m].SortRecords()
+		for i := range ra {
+			x, y := ra[i], rb[i]
+			if x.Name != y.Name || x.Rank != y.Rank || x.RecordID != y.RecordID {
+				t.Errorf("module %s record %d identity mismatch: %v vs %v", m, i, x, y)
+			}
+			for k, v := range x.Counters {
+				if v != 0 && y.Counters[k] != v {
+					t.Errorf("module %s %s[%s]: %d vs %d", m, x.Name, k, v, y.Counters[k])
+				}
+			}
+			for k, v := range x.FCounters {
+				if v != 0 && math.Abs(y.FCounters[k]-v) > 1e-4 {
+					t.Errorf("module %s %s[%s]: %g vs %g", m, x.Name, k, v, y.FCounters[k])
+				}
+			}
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		l := randomLog(rng)
+		var buf bytes.Buffer
+		if err := Encode(&buf, l); err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		logsEquivalent(t, l, got)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20; i++ {
+		l := randomLog(rng)
+		text, err := TextString(l)
+		if err != nil {
+			t.Fatalf("TextString: %v", err)
+		}
+		got, err := ParseText(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("ParseText: %v", err)
+		}
+		logsEquivalent(t, l, got)
+	}
+}
+
+func TestTextHeaderFields(t *testing.T) {
+	l := NewLog()
+	l.Job = Job{UID: 100, JobID: 42, StartTime: 10, EndTime: 732, NProcs: 8,
+		RunTime: 722, Exe: "/bin/amrex", Metadata: map[string]string{}}
+	l.Job.Mounts = []Mount{{"/scratch", "lustre"}}
+	text, err := TextString(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# darshan log version: 3.41",
+		"# exe: /bin/amrex",
+		"# nprocs: 8",
+		"# run time: 722.0000",
+		"# mount entry:\t/scratch\tlustre",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text missing %q", want)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("not a log"))); err == nil {
+		t.Error("Decode of garbage should fail")
+	}
+}
+
+func TestParseTextRejectsBadCounter(t *testing.T) {
+	bad := "POSIX\t0\t1\tNOT_A_COUNTER\t5\t/f\t/\text4\n"
+	if _, err := ParseText(strings.NewReader(bad)); err == nil {
+		t.Error("ParseText should reject unknown counters")
+	}
+}
+
+func TestParseTextRejectsShortLine(t *testing.T) {
+	bad := "POSIX\t0\t1\tPOSIX_OPENS\t5\n"
+	if _, err := ParseText(strings.NewReader(bad)); err == nil {
+		t.Error("ParseText should reject short lines")
+	}
+}
+
+func TestWriteTextRejectsSpacesInNames(t *testing.T) {
+	l := NewLog()
+	r := l.Module(ModulePOSIX).Record("/bad path", 0)
+	r.SetC("POSIX_OPENS", 1)
+	if _, err := TextString(l); err == nil {
+		t.Error("WriteText should reject file names with spaces")
+	}
+}
+
+func TestRecordHelpers(t *testing.T) {
+	r := NewFileRecord("/f", 3)
+	r.AddC("POSIX_OPENS", 2)
+	r.AddC("POSIX_OPENS", 3)
+	if r.C("POSIX_OPENS") != 5 {
+		t.Errorf("AddC: got %d, want 5", r.C("POSIX_OPENS"))
+	}
+	r.MaxC("POSIX_MAX_BYTE_READ", 10)
+	r.MaxC("POSIX_MAX_BYTE_READ", 4)
+	if r.C("POSIX_MAX_BYTE_READ") != 10 {
+		t.Errorf("MaxC: got %d, want 10", r.C("POSIX_MAX_BYTE_READ"))
+	}
+	r.AddF("POSIX_F_READ_TIME", 1.5)
+	r.MaxF("POSIX_F_MAX_READ_TIME", 0.25)
+	r.MaxF("POSIX_F_MAX_READ_TIME", 0.125)
+	if r.F("POSIX_F_MAX_READ_TIME") != 0.25 {
+		t.Errorf("MaxF: got %g, want 0.25", r.F("POSIX_F_MAX_READ_TIME"))
+	}
+}
+
+func TestLogValidate(t *testing.T) {
+	l := NewLog()
+	r := l.Module(ModulePOSIX).Record("/f", 0)
+	r.SetC("POSIX_OPENS", 1)
+	if err := l.Validate(); err != nil {
+		t.Errorf("valid log rejected: %v", err)
+	}
+	r.SetC("BOGUS", 1)
+	if err := l.Validate(); err == nil {
+		t.Error("Validate should reject unknown counter names")
+	}
+}
+
+func TestModuleHelpers(t *testing.T) {
+	l := NewLog()
+	md := l.Module(ModulePOSIX)
+	md.Record("/b", 1).SetC("POSIX_BYTES_READ", 10)
+	md.Record("/a", 0).SetC("POSIX_BYTES_READ", 5)
+	md.Record("/a", 0).SetC("POSIX_BYTES_WRITTEN", 7)
+
+	if got := md.SumC("POSIX_BYTES_READ"); got != 15 {
+		t.Errorf("SumC = %d, want 15", got)
+	}
+	files := md.Files()
+	if !reflect.DeepEqual(files, []string{"/a", "/b"}) {
+		t.Errorf("Files = %v", files)
+	}
+	if md.Find("/a", 0) == nil || md.Find("/a", 1) != nil {
+		t.Error("Find misbehaves")
+	}
+	read, written := l.TotalBytes()
+	if read != 15 || written != 7 {
+		t.Errorf("TotalBytes = (%d,%d), want (15,7)", read, written)
+	}
+}
+
+// Property: HashRecordID is deterministic and distinct paths rarely collide
+// (we only require determinism here).
+func TestHashRecordIDDeterministic(t *testing.T) {
+	f := func(s string) bool { return HashRecordID(s) == HashRecordID(s) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

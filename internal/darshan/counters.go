@@ -1,0 +1,242 @@
+package darshan
+
+// This file defines the canonical counter name tables for each module,
+// following the upstream Darshan 3.x counter sets. The tables drive the
+// binary codec (counters are stored positionally) and give downstream
+// tools a stable, validated vocabulary.
+
+// sizeBuckets are the histogram bucket suffixes shared by the POSIX and
+// MPI-IO access-size histograms, smallest first.
+var sizeBuckets = []string{
+	"0_100", "100_1K", "1K_10K", "10K_100K", "100K_1M",
+	"1M_4M", "4M_10M", "10M_100M", "100M_1G", "1G_PLUS",
+}
+
+// SizeBucketBounds returns the inclusive lower and exclusive upper byte
+// bounds of histogram bucket i (0..9). The last bucket has upper = -1
+// meaning unbounded.
+func SizeBucketBounds(i int) (lo, hi int64) {
+	bounds := []int64{0, 100, 1 << 10, 10 << 10, 100 << 10, 1 << 20, 4 << 20, 10 << 20, 100 << 20, 1 << 30, -1}
+	return bounds[i], bounds[i+1]
+}
+
+// SizeBucketIndex maps a transfer size in bytes to its histogram bucket.
+func SizeBucketIndex(n int64) int {
+	for i := 0; i < len(sizeBuckets)-1; i++ {
+		_, hi := SizeBucketBounds(i)
+		if n < hi {
+			return i
+		}
+	}
+	return len(sizeBuckets) - 1
+}
+
+// NumSizeBuckets is the number of access-size histogram buckets.
+const NumSizeBuckets = 10
+
+func histNames(prefix, op string) []string {
+	out := make([]string, 0, len(sizeBuckets))
+	for _, b := range sizeBuckets {
+		out = append(out, prefix+"_SIZE_"+op+"_"+b)
+	}
+	return out
+}
+
+func posixCounters() []string {
+	names := []string{
+		"POSIX_OPENS", "POSIX_FILENOS", "POSIX_DUPS",
+		"POSIX_READS", "POSIX_WRITES", "POSIX_SEEKS", "POSIX_STATS",
+		"POSIX_MMAPS", "POSIX_FSYNCS", "POSIX_FDSYNCS",
+		"POSIX_MODE",
+		"POSIX_BYTES_READ", "POSIX_BYTES_WRITTEN",
+		"POSIX_MAX_BYTE_READ", "POSIX_MAX_BYTE_WRITTEN",
+		"POSIX_CONSEC_READS", "POSIX_CONSEC_WRITES",
+		"POSIX_SEQ_READS", "POSIX_SEQ_WRITES",
+		"POSIX_RW_SWITCHES",
+		"POSIX_MEM_NOT_ALIGNED", "POSIX_MEM_ALIGNMENT",
+		"POSIX_FILE_NOT_ALIGNED", "POSIX_FILE_ALIGNMENT",
+	}
+	names = append(names, histNames("POSIX", "READ")...)
+	names = append(names, histNames("POSIX", "WRITE")...)
+	for i := 1; i <= 4; i++ {
+		names = append(names, sprintfName("POSIX_STRIDE%d_STRIDE", i), sprintfName("POSIX_STRIDE%d_COUNT", i))
+	}
+	for i := 1; i <= 4; i++ {
+		names = append(names, sprintfName("POSIX_ACCESS%d_ACCESS", i), sprintfName("POSIX_ACCESS%d_COUNT", i))
+	}
+	names = append(names,
+		"POSIX_FASTEST_RANK", "POSIX_FASTEST_RANK_BYTES",
+		"POSIX_SLOWEST_RANK", "POSIX_SLOWEST_RANK_BYTES",
+	)
+	return names
+}
+
+func posixFCounters() []string {
+	return []string{
+		"POSIX_F_OPEN_START_TIMESTAMP", "POSIX_F_READ_START_TIMESTAMP",
+		"POSIX_F_WRITE_START_TIMESTAMP", "POSIX_F_CLOSE_START_TIMESTAMP",
+		"POSIX_F_OPEN_END_TIMESTAMP", "POSIX_F_READ_END_TIMESTAMP",
+		"POSIX_F_WRITE_END_TIMESTAMP", "POSIX_F_CLOSE_END_TIMESTAMP",
+		"POSIX_F_READ_TIME", "POSIX_F_WRITE_TIME", "POSIX_F_META_TIME",
+		"POSIX_F_MAX_READ_TIME", "POSIX_F_MAX_WRITE_TIME",
+		"POSIX_F_FASTEST_RANK_TIME", "POSIX_F_SLOWEST_RANK_TIME",
+		"POSIX_F_VARIANCE_RANK_TIME", "POSIX_F_VARIANCE_RANK_BYTES",
+	}
+}
+
+func mpiioCounters() []string {
+	names := []string{
+		"MPIIO_INDEP_OPENS", "MPIIO_COLL_OPENS",
+		"MPIIO_INDEP_READS", "MPIIO_INDEP_WRITES",
+		"MPIIO_COLL_READS", "MPIIO_COLL_WRITES",
+		"MPIIO_SPLIT_READS", "MPIIO_SPLIT_WRITES",
+		"MPIIO_NB_READS", "MPIIO_NB_WRITES",
+		"MPIIO_SYNCS", "MPIIO_HINTS", "MPIIO_VIEWS", "MPIIO_MODE",
+		"MPIIO_BYTES_READ", "MPIIO_BYTES_WRITTEN",
+		"MPIIO_RW_SWITCHES",
+	}
+	names = append(names, histNames("MPIIO", "READ_AGG")...)
+	names = append(names, histNames("MPIIO", "WRITE_AGG")...)
+	for i := 1; i <= 4; i++ {
+		names = append(names, sprintfName("MPIIO_ACCESS%d_ACCESS", i), sprintfName("MPIIO_ACCESS%d_COUNT", i))
+	}
+	names = append(names,
+		"MPIIO_FASTEST_RANK", "MPIIO_FASTEST_RANK_BYTES",
+		"MPIIO_SLOWEST_RANK", "MPIIO_SLOWEST_RANK_BYTES",
+	)
+	return names
+}
+
+func mpiioFCounters() []string {
+	return []string{
+		"MPIIO_F_OPEN_START_TIMESTAMP", "MPIIO_F_READ_START_TIMESTAMP",
+		"MPIIO_F_WRITE_START_TIMESTAMP", "MPIIO_F_CLOSE_START_TIMESTAMP",
+		"MPIIO_F_OPEN_END_TIMESTAMP", "MPIIO_F_READ_END_TIMESTAMP",
+		"MPIIO_F_WRITE_END_TIMESTAMP", "MPIIO_F_CLOSE_END_TIMESTAMP",
+		"MPIIO_F_READ_TIME", "MPIIO_F_WRITE_TIME", "MPIIO_F_META_TIME",
+		"MPIIO_F_MAX_READ_TIME", "MPIIO_F_MAX_WRITE_TIME",
+		"MPIIO_F_FASTEST_RANK_TIME", "MPIIO_F_SLOWEST_RANK_TIME",
+		"MPIIO_F_VARIANCE_RANK_TIME", "MPIIO_F_VARIANCE_RANK_BYTES",
+	}
+}
+
+func stdioCounters() []string {
+	return []string{
+		"STDIO_OPENS", "STDIO_FDOPENS",
+		"STDIO_READS", "STDIO_WRITES", "STDIO_SEEKS", "STDIO_FLUSHES",
+		"STDIO_BYTES_READ", "STDIO_BYTES_WRITTEN",
+		"STDIO_MAX_BYTE_READ", "STDIO_MAX_BYTE_WRITTEN",
+		"STDIO_FASTEST_RANK", "STDIO_FASTEST_RANK_BYTES",
+		"STDIO_SLOWEST_RANK", "STDIO_SLOWEST_RANK_BYTES",
+	}
+}
+
+func stdioFCounters() []string {
+	return []string{
+		"STDIO_F_OPEN_START_TIMESTAMP", "STDIO_F_CLOSE_START_TIMESTAMP",
+		"STDIO_F_READ_START_TIMESTAMP", "STDIO_F_WRITE_START_TIMESTAMP",
+		"STDIO_F_OPEN_END_TIMESTAMP", "STDIO_F_CLOSE_END_TIMESTAMP",
+		"STDIO_F_READ_END_TIMESTAMP", "STDIO_F_WRITE_END_TIMESTAMP",
+		"STDIO_F_META_TIME", "STDIO_F_READ_TIME", "STDIO_F_WRITE_TIME",
+		"STDIO_F_FASTEST_RANK_TIME", "STDIO_F_SLOWEST_RANK_TIME",
+		"STDIO_F_VARIANCE_RANK_TIME", "STDIO_F_VARIANCE_RANK_BYTES",
+	}
+}
+
+// MaxLustreOSTs bounds the per-file OST list recorded by the LUSTRE module.
+// Upstream records one LUSTRE_OST_ID_<k> slot per stripe; we fix the table
+// size so counters remain positional.
+const MaxLustreOSTs = 32
+
+func lustreCounters() []string {
+	names := []string{
+		"LUSTRE_OSTS", "LUSTRE_MDTS",
+		"LUSTRE_STRIPE_OFFSET", "LUSTRE_STRIPE_SIZE", "LUSTRE_STRIPE_WIDTH",
+	}
+	for i := 0; i < MaxLustreOSTs; i++ {
+		names = append(names, sprintfName("LUSTRE_OST_ID_%d", i))
+	}
+	return names
+}
+
+func sprintfName(format string, i int) string {
+	// Tiny helper to keep the tables readable without importing fmt at
+	// package scope in a hot path; counter tables are built once.
+	b := make([]byte, 0, len(format)+4)
+	for j := 0; j < len(format); j++ {
+		if format[j] == '%' && j+1 < len(format) && format[j+1] == 'd' {
+			b = appendInt(b, i)
+			j++
+			continue
+		}
+		b = append(b, format[j])
+	}
+	return string(b)
+}
+
+func appendInt(b []byte, i int) []byte {
+	if i == 0 {
+		return append(b, '0')
+	}
+	var tmp [8]byte
+	n := 0
+	for i > 0 {
+		tmp[n] = byte('0' + i%10)
+		i /= 10
+		n++
+	}
+	for n > 0 {
+		n--
+		b = append(b, tmp[n])
+	}
+	return b
+}
+
+var (
+	counterTables = map[ModuleID][]string{
+		ModulePOSIX:  posixCounters(),
+		ModuleMPIIO:  mpiioCounters(),
+		ModuleSTDIO:  stdioCounters(),
+		ModuleLustre: lustreCounters(),
+	}
+	fcounterTables = map[ModuleID][]string{
+		ModulePOSIX:  posixFCounters(),
+		ModuleMPIIO:  mpiioFCounters(),
+		ModuleSTDIO:  stdioFCounters(),
+		ModuleLustre: nil, // LUSTRE module records no float counters.
+	}
+	counterIndex  = buildIndex(counterTables)
+	fcounterIndex = buildIndex(fcounterTables)
+)
+
+func buildIndex(tables map[ModuleID][]string) map[ModuleID]map[string]int {
+	idx := make(map[ModuleID]map[string]int, len(tables))
+	for m, names := range tables {
+		mi := make(map[string]int, len(names))
+		for i, n := range names {
+			mi[n] = i
+		}
+		idx[m] = mi
+	}
+	return idx
+}
+
+// CounterNames returns the canonical integer counter names for a module, in
+// positional (storage) order. The returned slice must not be modified.
+func CounterNames(m ModuleID) []string { return counterTables[m] }
+
+// FCounterNames returns the canonical float counter names for a module, in
+// positional order. The returned slice must not be modified.
+func FCounterNames(m ModuleID) []string { return fcounterTables[m] }
+
+// IsCounter reports whether name is a valid integer counter of module m.
+func IsCounter(m ModuleID, name string) bool {
+	_, ok := counterIndex[m][name]
+	return ok
+}
+
+// IsFCounter reports whether name is a valid float counter of module m.
+func IsFCounter(m ModuleID, name string) bool {
+	_, ok := fcounterIndex[m][name]
+	return ok
+}

@@ -1,0 +1,144 @@
+package darshan
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestModuleString(t *testing.T) {
+	cases := map[ModuleID]string{
+		ModulePOSIX:  "POSIX",
+		ModuleMPIIO:  "MPI-IO",
+		ModuleSTDIO:  "STDIO",
+		ModuleLustre: "LUSTRE",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("ModuleID(%d).String() = %q, want %q", m, got, want)
+		}
+		back, err := ParseModuleID(want)
+		if err != nil || back != m {
+			t.Errorf("ParseModuleID(%q) = %v, %v; want %v", want, back, err, m)
+		}
+	}
+	if _, err := ParseModuleID("HDF5"); err == nil {
+		t.Error("ParseModuleID(HDF5) should fail")
+	}
+}
+
+func TestCounterPrefix(t *testing.T) {
+	if ModuleMPIIO.CounterPrefix() != "MPIIO" {
+		t.Errorf("MPI-IO prefix = %q, want MPIIO", ModuleMPIIO.CounterPrefix())
+	}
+	for _, m := range AllModules {
+		prefix := m.CounterPrefix()
+		for _, n := range CounterNames(m) {
+			if !strings.HasPrefix(n, prefix+"_") {
+				t.Errorf("counter %q lacks prefix %q", n, prefix)
+			}
+		}
+		for _, n := range FCounterNames(m) {
+			if !strings.HasPrefix(n, prefix+"_F_") {
+				t.Errorf("fcounter %q lacks prefix %q_F_", n, prefix)
+			}
+		}
+	}
+}
+
+func TestCounterTablesDistinct(t *testing.T) {
+	for _, m := range AllModules {
+		seen := make(map[string]bool)
+		for _, n := range CounterNames(m) {
+			if seen[n] {
+				t.Errorf("module %s: duplicate counter %q", m, n)
+			}
+			seen[n] = true
+		}
+		for _, n := range FCounterNames(m) {
+			if seen[n] {
+				t.Errorf("module %s: fcounter %q collides", m, n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestCounterTableSizes(t *testing.T) {
+	// Sanity floor: the POSIX module must carry the full histogram,
+	// stride/access and variance counters the agent pipeline consumes.
+	if n := len(CounterNames(ModulePOSIX)); n < 60 {
+		t.Errorf("POSIX counter table has %d entries, want >= 60", n)
+	}
+	if n := len(CounterNames(ModuleMPIIO)); n < 40 {
+		t.Errorf("MPIIO counter table has %d entries, want >= 40", n)
+	}
+	if n := len(CounterNames(ModuleLustre)); n != 5+MaxLustreOSTs {
+		t.Errorf("LUSTRE counter table has %d entries, want %d", n, 5+MaxLustreOSTs)
+	}
+	if len(FCounterNames(ModuleLustre)) != 0 {
+		t.Error("LUSTRE module must have no float counters")
+	}
+}
+
+func TestIsCounter(t *testing.T) {
+	if !IsCounter(ModulePOSIX, "POSIX_OPENS") {
+		t.Error("POSIX_OPENS should be a POSIX counter")
+	}
+	if IsCounter(ModulePOSIX, "MPIIO_COLL_WRITES") {
+		t.Error("MPIIO_COLL_WRITES must not be a POSIX counter")
+	}
+	if !IsFCounter(ModuleSTDIO, "STDIO_F_META_TIME") {
+		t.Error("STDIO_F_META_TIME should be an STDIO fcounter")
+	}
+	if IsFCounter(ModuleSTDIO, "STDIO_OPENS") {
+		t.Error("STDIO_OPENS is an integer counter, not an fcounter")
+	}
+}
+
+func TestSizeBucketIndex(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want int
+	}{
+		{0, 0}, {99, 0}, {100, 1}, {1023, 1}, {1024, 2},
+		{10 << 10, 3}, {100 << 10, 4}, {1 << 20, 5}, {4 << 20, 6},
+		{10 << 20, 7}, {100 << 20, 8}, {1 << 30, 9}, {5 << 30, 9},
+	}
+	for _, c := range cases {
+		if got := SizeBucketIndex(c.n); got != c.want {
+			t.Errorf("SizeBucketIndex(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestSizeBucketBoundsContiguous(t *testing.T) {
+	for i := 0; i < NumSizeBuckets-1; i++ {
+		_, hi := SizeBucketBounds(i)
+		lo, _ := SizeBucketBounds(i + 1)
+		if hi != lo {
+			t.Errorf("bucket %d upper bound %d != bucket %d lower bound %d", i, hi, i+1, lo)
+		}
+	}
+	lo, hi := SizeBucketBounds(NumSizeBuckets - 1)
+	if lo != 1<<30 || hi != -1 {
+		t.Errorf("last bucket bounds = (%d,%d), want (1<<30,-1)", lo, hi)
+	}
+}
+
+// Property: every non-negative size lands in exactly the bucket whose bounds
+// contain it.
+func TestSizeBucketProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		n := int64(raw)
+		i := SizeBucketIndex(n)
+		lo, hi := SizeBucketBounds(i)
+		if n < lo {
+			return false
+		}
+		return hi == -1 || n < hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,18 @@
+// Package darshan models Darshan I/O characterization logs.
+//
+// Darshan is the de-facto standard I/O profiler on HPC systems. It records,
+// for every file an application touches, a fixed set of integer counters and
+// floating-point counters per instrumented interface ("module"): POSIX,
+// MPI-IO, STDIO, and the Lustre file-system module. This package provides:
+//
+//   - the data model (Log, Job, FileRecord) and the canonical counter name
+//     tables for each module, following the upstream Darshan 3.x definitions;
+//   - a compact binary log codec (Encode/Decode), standing in for the
+//     proprietary compressed format produced by the Darshan runtime;
+//   - a text writer and parser compatible in spirit with the output of the
+//     upstream darshan-parser tool, which is the format consumed by
+//     downstream analysis tools (and by LLM agents in this repository).
+//
+// The package is a pure data layer: it never interprets counters. Issue
+// detection lives in internal/drishti and internal/ioagent.
+package darshan

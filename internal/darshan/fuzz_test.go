@@ -1,0 +1,65 @@
+package darshan
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseText: the text parser must never panic and must round-trip
+// whatever it accepts.
+func FuzzParseText(f *testing.F) {
+	l := NewLog()
+	l.Job = Job{UID: 1, JobID: 2, StartTime: 3, EndTime: 4, NProcs: 8, RunTime: 1.5,
+		Exe: "/bin/x", Metadata: map[string]string{"mpi": "1"}}
+	l.Job.Mounts = []Mount{{"/scratch", "lustre"}}
+	r := l.Module(ModulePOSIX).Record("/scratch/f", 0)
+	r.SetC("POSIX_OPENS", 1)
+	r.SetF("POSIX_F_META_TIME", 0.25)
+	seed, _ := TextString(l)
+	f.Add(seed)
+	f.Add("# darshan log version: 3.41\n")
+	f.Add("POSIX\t0\t1\tPOSIX_OPENS\t1\t/f\t/\text4\n")
+	f.Add("garbage\nlines\n\n# run time: xx\n")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		log, err := ParseText(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		// Anything accepted must render and re-parse.
+		out, err := TextString(log)
+		if err != nil {
+			return // names with spaces are rejected at render time
+		}
+		if _, err := ParseText(strings.NewReader(out)); err != nil {
+			t.Fatalf("render/re-parse failed: %v\n%s", err, out)
+		}
+	})
+}
+
+// FuzzDecode: the binary decoder must never panic on arbitrary bytes.
+func FuzzDecode(f *testing.F) {
+	l := NewLog()
+	l.Job.NProcs = 2
+	l.Module(ModulePOSIX).Record("/f", 0).SetC("POSIX_OPENS", 1)
+	var buf bytes.Buffer
+	if err := Encode(&buf, l); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("DSHN garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		log, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := log.Validate(); err != nil {
+			// Corrupt-but-decodable inputs may carry unknown counters;
+			// Validate flagging them is correct behavior, not a crash.
+			return
+		}
+	})
+}

@@ -1,0 +1,62 @@
+package darshan
+
+import "fmt"
+
+// ModuleID identifies an instrumentation module within a Darshan log.
+type ModuleID uint8
+
+// The modules handled by this reproduction. Upstream Darshan defines more
+// (HDF5, PnetCDF, DXT, ...); the paper's pipeline consumes exactly these
+// four (Table I).
+const (
+	ModulePOSIX ModuleID = iota
+	ModuleMPIIO
+	ModuleSTDIO
+	ModuleLustre
+	numModules
+)
+
+// AllModules lists every module in canonical log order.
+var AllModules = []ModuleID{ModulePOSIX, ModuleMPIIO, ModuleSTDIO, ModuleLustre}
+
+// String returns the upstream module name as it appears in darshan-parser
+// output ("POSIX", "MPI-IO", "STDIO", "LUSTRE").
+func (m ModuleID) String() string {
+	switch m {
+	case ModulePOSIX:
+		return "POSIX"
+	case ModuleMPIIO:
+		return "MPI-IO"
+	case ModuleSTDIO:
+		return "STDIO"
+	case ModuleLustre:
+		return "LUSTRE"
+	default:
+		return fmt.Sprintf("MODULE(%d)", uint8(m))
+	}
+}
+
+// ParseModuleID converts a module name from darshan-parser text back to a
+// ModuleID.
+func ParseModuleID(s string) (ModuleID, error) {
+	switch s {
+	case "POSIX":
+		return ModulePOSIX, nil
+	case "MPI-IO", "MPIIO":
+		return ModuleMPIIO, nil
+	case "STDIO":
+		return ModuleSTDIO, nil
+	case "LUSTRE":
+		return ModuleLustre, nil
+	}
+	return 0, fmt.Errorf("darshan: unknown module %q", s)
+}
+
+// CounterPrefix returns the prefix used by the module's counter names
+// ("POSIX", "MPIIO", "STDIO", "LUSTRE"). Note MPI-IO's prefix has no dash.
+func (m ModuleID) CounterPrefix() string {
+	if m == ModuleMPIIO {
+		return "MPIIO"
+	}
+	return m.String()
+}

@@ -1,0 +1,201 @@
+package darshan
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text format compatible in structure with upstream darshan-parser output:
+// a commented header followed by one line per counter:
+//
+//	<module> <rank> <record id> <counter> <value> <file name> <mount pt> <fs type>
+//
+// File names containing spaces are not supported by the upstream format and
+// are rejected here as well.
+
+// WriteText renders the log in darshan-parser text form.
+func WriteText(w io.Writer, l *Log) error {
+	bw := bufio.NewWriter(w)
+
+	fmt.Fprintf(bw, "# darshan log version: %s\n", l.Version)
+	fmt.Fprintf(bw, "# exe: %s\n", l.Job.Exe)
+	fmt.Fprintf(bw, "# uid: %d\n", l.Job.UID)
+	fmt.Fprintf(bw, "# jobid: %d\n", l.Job.JobID)
+	fmt.Fprintf(bw, "# start_time: %d\n", l.Job.StartTime)
+	fmt.Fprintf(bw, "# end_time: %d\n", l.Job.EndTime)
+	fmt.Fprintf(bw, "# nprocs: %d\n", l.Job.NProcs)
+	fmt.Fprintf(bw, "# run time: %.4f\n", l.Job.RunTime)
+	for _, k := range sortedKeys(l.Job.Metadata) {
+		fmt.Fprintf(bw, "# metadata: %s = %s\n", k, l.Job.Metadata[k])
+	}
+	for _, m := range l.Job.Mounts {
+		fmt.Fprintf(bw, "# mount entry:\t%s\t%s\n", m.Point, m.FSType)
+	}
+
+	for _, m := range l.ModuleList() {
+		md := l.Modules[m]
+		md.SortRecords()
+		fmt.Fprintf(bw, "\n# %s module data\n", m)
+		fmt.Fprintf(bw, "#<module>\t<rank>\t<record id>\t<counter>\t<value>\t<file name>\t<mount pt>\t<fs type>\n")
+		for _, r := range md.Records {
+			if strings.ContainsAny(r.Name, " \t") {
+				return fmt.Errorf("darshan: file name %q contains whitespace", r.Name)
+			}
+			for _, name := range CounterNames(m) {
+				v, ok := r.Counters[name]
+				if !ok {
+					continue
+				}
+				fmt.Fprintf(bw, "%s\t%d\t%d\t%s\t%d\t%s\t%s\t%s\n",
+					m, r.Rank, r.RecordID, name, v, r.Name, r.MountPt, r.FSType)
+			}
+			for _, name := range FCounterNames(m) {
+				v, ok := r.FCounters[name]
+				if !ok {
+					continue
+				}
+				fmt.Fprintf(bw, "%s\t%d\t%d\t%s\t%s\t%s\t%s\t%s\n",
+					m, r.Rank, r.RecordID, name, formatFloat(v), r.Name, r.MountPt, r.FSType)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// TextString is a convenience wrapper around WriteText.
+func TextString(l *Log) (string, error) {
+	var sb strings.Builder
+	if err := WriteText(&sb, l); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'f', 6, 64)
+}
+
+// ParseText decodes darshan-parser text form back into a Log.
+func ParseText(r io.Reader) (*Log, error) {
+	l := NewLog()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseHeaderLine(l, line); err != nil {
+				return nil, fmt.Errorf("darshan: line %d: %w", lineno, err)
+			}
+			continue
+		}
+		if err := parseCounterLine(l, line); err != nil {
+			return nil, fmt.Errorf("darshan: line %d: %w", lineno, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func parseHeaderLine(l *Log, line string) error {
+	body := strings.TrimSpace(strings.TrimPrefix(line, "#"))
+	if body == "" || strings.HasPrefix(body, "<module>") {
+		return nil
+	}
+	key, val, found := strings.Cut(body, ":")
+	if !found {
+		return nil // free-form comment (e.g. "# POSIX module data")
+	}
+	val = strings.TrimSpace(val)
+	var err error
+	switch strings.TrimSpace(key) {
+	case "darshan log version":
+		l.Version = val
+	case "exe":
+		l.Job.Exe = val
+	case "uid":
+		l.Job.UID, err = strconv.Atoi(val)
+	case "jobid":
+		l.Job.JobID, err = strconv.ParseInt(val, 10, 64)
+	case "start_time":
+		l.Job.StartTime, err = strconv.ParseInt(val, 10, 64)
+	case "end_time":
+		l.Job.EndTime, err = strconv.ParseInt(val, 10, 64)
+	case "nprocs":
+		l.Job.NProcs, err = strconv.Atoi(val)
+	case "run time":
+		l.Job.RunTime, err = strconv.ParseFloat(val, 64)
+	case "metadata":
+		k, v, ok := strings.Cut(val, "=")
+		if !ok {
+			return fmt.Errorf("bad metadata entry %q", val)
+		}
+		l.Job.Metadata[strings.TrimSpace(k)] = strings.TrimSpace(v)
+	case "mount entry":
+		fields := strings.Fields(val)
+		if len(fields) != 2 {
+			return fmt.Errorf("bad mount entry %q", val)
+		}
+		l.Job.Mounts = append(l.Job.Mounts, Mount{Point: fields[0], FSType: fields[1]})
+	}
+	return err
+}
+
+func parseCounterLine(l *Log, line string) error {
+	fields := strings.Fields(line)
+	if len(fields) != 8 {
+		return fmt.Errorf("expected 8 fields, got %d in %q", len(fields), line)
+	}
+	m, err := ParseModuleID(fields[0])
+	if err != nil {
+		return err
+	}
+	rank, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return fmt.Errorf("bad rank %q", fields[1])
+	}
+	recID, err := strconv.ParseUint(fields[2], 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad record id %q", fields[2])
+	}
+	counter, valStr := fields[3], fields[4]
+	name, mountPt, fsType := fields[5], fields[6], fields[7]
+
+	md := l.Module(m)
+	r := md.Find(name, rank)
+	if r == nil {
+		r = NewFileRecord(name, rank)
+		r.RecordID = recID
+		r.MountPt = mountPt
+		r.FSType = fsType
+		md.Records = append(md.Records, r)
+	}
+
+	switch {
+	case IsCounter(m, counter):
+		v, err := strconv.ParseInt(valStr, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad integer value %q for %s", valStr, counter)
+		}
+		r.Counters[counter] = v
+	case IsFCounter(m, counter):
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return fmt.Errorf("bad float value %q for %s", valStr, counter)
+		}
+		r.FCounters[counter] = v
+	default:
+		return fmt.Errorf("unknown counter %q for module %s", counter, m)
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package drishti
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ioagent/internal/darshan"
+	"ioagent/internal/iosim"
+)
+
+// fired returns the set of trigger ids that fired on the log.
+func fired(log *darshan.Log) map[string]bool {
+	out := map[string]bool{}
+	for _, h := range Analyze(log).Hits {
+		out[h.TriggerID] = true
+	}
+	return out
+}
+
+func TestOperationMixInfoTriggers(t *testing.T) {
+	// Read-heavy job.
+	s := iosim.New(iosim.Config{Seed: 21, NProcs: 1})
+	f := s.Open("/scratch/r.dat", 0, iosim.POSIX, nil)
+	for i := int64(0); i < 64; i++ {
+		f.ReadAt(0, i*(1<<20), 1<<20)
+	}
+	got := fired(s.Finalize())
+	if !got["T01-read-heavy"] || !got["T03-read-volume"] {
+		t.Errorf("read-heavy triggers missing: %v", got)
+	}
+	if got["T02-write-heavy"] {
+		t.Error("write-heavy fired on a read-only job")
+	}
+}
+
+func TestSequentialInfoTriggers(t *testing.T) {
+	s := iosim.New(iosim.Config{Seed: 22, NProcs: 1})
+	f := s.Open("/scratch/s.dat", 0, iosim.POSIX, nil)
+	for i := int64(0); i < 64; i++ {
+		f.WriteAt(0, i*(2<<20), 2<<20)
+	}
+	got := fired(s.Finalize())
+	if !got["T17-seq-writes-ok"] {
+		t.Errorf("sequential-writes info trigger missing: %v", got)
+	}
+	if got["T15-random-writes"] {
+		t.Error("random-writes fired on a sequential job")
+	}
+}
+
+func TestRWSwitchTrigger(t *testing.T) {
+	s := iosim.New(iosim.Config{Seed: 23, NProcs: 1})
+	f := s.Open("/scratch/rw.dat", 0, iosim.POSIX, nil)
+	for i := int64(0); i < 32; i++ {
+		f.WriteAt(0, i*(2<<20), 1<<20)
+		f.ReadAt(0, i*(2<<20), 1<<20)
+	}
+	if got := fired(s.Finalize()); !got["T28-rw-switches"] {
+		t.Errorf("rw-switch trigger missing: %v", got)
+	}
+}
+
+func TestStdioVolumeTrigger(t *testing.T) {
+	s := iosim.New(iosim.Config{Seed: 24, NProcs: 1})
+	f := s.Open("/scratch/stdio.dat", 0, iosim.STDIO, nil)
+	for i := int64(0); i < 16; i++ {
+		f.WriteAt(0, i*(1<<20), 1<<20)
+	}
+	if got := fired(s.Finalize()); !got["T29-stdio-volume"] {
+		t.Errorf("stdio-volume trigger missing: %v", got)
+	}
+}
+
+func TestTinyJobTrigger(t *testing.T) {
+	s := iosim.New(iosim.Config{Seed: 25, NProcs: 1})
+	f := s.Open("/scratch/tiny.dat", 0, iosim.POSIX, nil)
+	f.WriteAt(0, 0, 4096)
+	if got := fired(s.Finalize()); !got["T30-tiny-job"] {
+		t.Errorf("tiny-job trigger missing: %v", got)
+	}
+}
+
+func TestStripeInfoTriggerAlwaysReportsLayout(t *testing.T) {
+	s := iosim.New(iosim.Config{Seed: 26, NProcs: 1})
+	lay := &iosim.Layout{StripeSize: 2 << 20, StripeWidth: 4}
+	f := s.Open("/scratch/lay.dat", 0, iosim.POSIX, lay)
+	f.WriteAt(0, 0, 1<<20)
+	res := Analyze(s.Finalize())
+	found := false
+	for _, h := range res.Hits {
+		if h.TriggerID == "T27-stripe-info" && strings.Contains(h.Message, "LUSTRE_STRIPE_WIDTH=4") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("stripe info trigger missing or wrong:\n%s", res.Summary())
+	}
+}
+
+func TestByteImbalanceTrigger(t *testing.T) {
+	s := iosim.New(iosim.Config{Seed: 27, NProcs: 4, UsesMPI: true})
+	f := s.OpenShared("/scratch/imb.dat", iosim.POSIX, false, nil)
+	// Rank 0 writes 8x the volume of the others.
+	for i := int64(0); i < 64; i++ {
+		f.WriteAt(0, i*(1<<20), 1<<20)
+	}
+	for rank := 1; rank < 4; rank++ {
+		for i := int64(0); i < 8; i++ {
+			f.WriteAt(rank, (64+int64(rank)*8+i)*(1<<20), 1<<20)
+		}
+	}
+	if got := fired(s.Finalize()); !got["T20-rank-byte-imbalance"] && !got["T19-rank-time-imbalance"] {
+		t.Errorf("imbalance triggers missing: %v", got)
+	}
+}
+
+func TestFsyncTrigger(t *testing.T) {
+	s := iosim.New(iosim.Config{Seed: 28, NProcs: 1})
+	f := s.Open("/scratch/sync.dat", 0, iosim.POSIX, nil)
+	for i := int64(0); i < 100; i++ {
+		f.WriteAt(0, i*8192, 8192)
+		f.Fsync(0)
+	}
+	if got := fired(s.Finalize()); !got["T13-fsyncs"] {
+		t.Errorf("fsync trigger missing: %v", got)
+	}
+}
+
+// TestAllTriggersReachable: across the TraceBench-style corpus plus the
+// focused workloads above, most of the 30 triggers must be exercisable —
+// dead triggers indicate drift between the table and the simulator.
+func TestMostTriggersReachable(t *testing.T) {
+	seen := map[string]bool{}
+	collect := func(log *darshan.Log) {
+		for id := range fired(log) {
+			seen[id] = true
+		}
+	}
+	// Focused micro-workloads.
+	builders := []func() *darshan.Log{
+		func() *darshan.Log { // small unaligned shared rw, no MPI
+			s := iosim.New(iosim.Config{Seed: 31, NProcs: 4})
+			f := s.OpenShared("/scratch/m1.dat", iosim.POSIX, false, nil)
+			for rank := 0; rank < 4; rank++ {
+				for i := int64(0); i < 128; i++ {
+					off := (i*4+int64(rank))*47008 + 13
+					f.WriteAt(rank, off, 47008)
+					f.ReadAt(rank, off, 47008)
+				}
+			}
+			return s.Finalize()
+		},
+		func() *darshan.Log { // metadata storm
+			s := iosim.New(iosim.Config{Seed: 32, NProcs: 2})
+			for rank := 0; rank < 2; rank++ {
+				for i := 0; i < 200; i++ {
+					f := s.Open(fmt.Sprintf("/scratch/meta/%d.%d", rank, i), rank, iosim.POSIX, nil)
+					f.Stat(rank)
+					f.Stat(rank)
+					f.Close(rank)
+				}
+			}
+			return s.Finalize()
+		},
+		func() *darshan.Log { // MPI-indep shared, random large
+			s := iosim.New(iosim.Config{Seed: 33, NProcs: 4, UsesMPI: true})
+			f := s.OpenShared("/scratch/m3.dat", iosim.MPIIndep, false, nil)
+			iosim.RandomReads(s, f, 32, 1<<20, 64<<20)
+			iosim.RandomWrites(s, f, 32, 1<<20, 64<<20)
+			return s.Finalize()
+		},
+	}
+	for _, build := range builders {
+		collect(build())
+	}
+	for seed := int64(41); seed < 49; seed++ {
+		log, _, _, _ := func() (*darshan.Log, int64, int64, *iosim.Sim) {
+			s := iosim.New(iosim.Config{Seed: seed, NProcs: 4, UsesMPI: seed%2 == 0})
+			f := s.OpenShared("/scratch/x.dat", iosim.POSIX, false, nil)
+			for rank := 0; rank < 4; rank++ {
+				for i := int64(0); i < 64; i++ {
+					f.WriteAt(rank, (int64(rank)*64+i)*65536, 65536)
+				}
+			}
+			return s.Finalize(), 0, 0, s
+		}()
+		collect(log)
+	}
+	if len(seen) < 14 {
+		t.Errorf("only %d of %d triggers reachable in the micro-corpus: %v", len(seen), NumTriggers, seen)
+	}
+}

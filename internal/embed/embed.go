@@ -1,0 +1,133 @@
+// Package embed provides deterministic text embeddings, standing in for the
+// OpenAI text-embedding-3-large model the paper uses (see DESIGN.md).
+//
+// The embedding is a hashed bag of unigrams and bigrams: each term is hashed
+// into a fixed-dimension vector with a signed weight, term frequencies are
+// dampened sub-linearly, and the result is L2-normalized. This preserves the
+// one property retrieval needs — texts about the same topic land near each
+// other under cosine similarity — while being fully reproducible offline.
+package embed
+
+import (
+	"hash/fnv"
+	"math"
+	"strings"
+	"unicode"
+)
+
+// Dim is the embedding dimensionality.
+const Dim = 384
+
+// Vector is a Dim-dimensional embedding.
+type Vector [Dim]float32
+
+// stopwords are excluded from the term stream; they carry no topical signal
+// and would otherwise dominate similarity between any two English texts.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
+	"be": true, "by": true, "for": true, "from": true, "has": true,
+	"have": true, "in": true, "is": true, "it": true, "its": true,
+	"of": true, "on": true, "or": true, "that": true, "the": true,
+	"this": true, "to": true, "was": true, "were": true, "with": true,
+	"which": true, "when": true, "where": true, "will": true, "can": true,
+	"such": true, "these": true, "those": true, "than": true, "then": true,
+	"into": true, "over": true, "per": true, "we": true, "our": true,
+}
+
+// Tokenize lower-cases text and splits it into alphanumeric terms, dropping
+// stopwords and bare numbers (numeric values are trace-specific and would
+// pollute topical similarity).
+func Tokenize(text string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() == 0 {
+			return
+		}
+		tok := b.String()
+		b.Reset()
+		if stopwords[tok] || isNumeric(tok) {
+			return
+		}
+		tokens = append(tokens, tok)
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+func isNumeric(s string) bool {
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// Embed computes the embedding of text. The zero vector is returned for
+// texts with no usable terms.
+func Embed(text string) Vector {
+	var v Vector
+	tokens := Tokenize(text)
+	counts := make(map[string]int, len(tokens)*2)
+	for i, t := range tokens {
+		counts[t]++
+		if i+1 < len(tokens) {
+			counts[t+"_"+tokens[i+1]]++
+		}
+	}
+	for term, n := range counts {
+		w := float32(1 + math.Log(float64(n)))
+		if strings.Contains(term, "_") {
+			w *= 0.6 // bigrams refine, unigrams dominate
+		}
+		idx, sign := hashTerm(term)
+		v[idx] += sign * w
+	}
+	return normalize(v)
+}
+
+func hashTerm(term string) (idx int, sign float32) {
+	h := fnv.New64a()
+	h.Write([]byte(term))
+	s := h.Sum64()
+	idx = int(s % Dim)
+	if (s>>32)&1 == 1 {
+		return idx, -1
+	}
+	return idx, 1
+}
+
+func normalize(v Vector) Vector {
+	var norm float64
+	for _, x := range v {
+		norm += float64(x) * float64(x)
+	}
+	if norm == 0 {
+		return v
+	}
+	inv := float32(1 / math.Sqrt(norm))
+	for i := range v {
+		v[i] *= inv
+	}
+	return v
+}
+
+// Cosine returns the cosine similarity of two embeddings in [-1, 1]. Both
+// inputs are expected to be normalized (as produced by Embed); zero vectors
+// yield 0.
+func Cosine(a, b Vector) float64 {
+	var dot float64
+	for i := range a {
+		dot += float64(a[i]) * float64(b[i])
+	}
+	return dot
+}

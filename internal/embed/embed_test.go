@@ -1,0 +1,93 @@
+package embed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	toks := Tokenize("The application wrote 49152 small I/O requests to /scratch!")
+	want := map[string]bool{"application": true, "wrote": true, "small": true,
+		"i": true, "o": true, "requests": true, "scratch": true}
+	for _, tok := range toks {
+		if !want[tok] {
+			t.Errorf("unexpected token %q", tok)
+		}
+	}
+	for _, tok := range toks {
+		if tok == "the" || tok == "to" || tok == "49152" {
+			t.Errorf("stopword/number %q not filtered", tok)
+		}
+	}
+}
+
+func TestEmbedNormalized(t *testing.T) {
+	v := Embed("collective I/O merges small requests into large transfers")
+	var norm float64
+	for _, x := range v {
+		norm += float64(x) * float64(x)
+	}
+	if math.Abs(norm-1) > 1e-4 {
+		t.Errorf("embedding norm^2 = %g, want 1", norm)
+	}
+}
+
+func TestEmbedEmpty(t *testing.T) {
+	v := Embed("")
+	if Cosine(v, v) != 0 {
+		t.Error("empty text should embed to the zero vector")
+	}
+}
+
+func TestSelfSimilarity(t *testing.T) {
+	text := "small write requests degrade bandwidth on parallel file systems"
+	if got := Cosine(Embed(text), Embed(text)); math.Abs(got-1) > 1e-4 {
+		t.Errorf("self cosine = %g, want 1", got)
+	}
+}
+
+func TestTopicalLocality(t *testing.T) {
+	frag := "85% of write requests transfer fewer than 1 MB, which classifies them as small writes; aggregating writes would improve bandwidth"
+	smallDoc := "small write requests amplify per-operation latency; applications should aggregate small writes into larger buffers before flushing to recover write bandwidth"
+	metaDoc := "file create open stat and unlink operations serialize at the metadata server; metadata-bound jobs should aggregate files into containers"
+
+	simSmall := Cosine(Embed(frag), Embed(smallDoc))
+	simMeta := Cosine(Embed(frag), Embed(metaDoc))
+	if simSmall <= simMeta {
+		t.Errorf("small-write fragment should be closer to small-write doc: %g vs %g", simSmall, simMeta)
+	}
+}
+
+func TestNaturalLanguageAlignsBetterThanJSON(t *testing.T) {
+	// The paper's Fig. 3 rationale: the NL rendition of a summary matches
+	// literature better than the raw JSON.
+	jsonFrag := `{"module":"POSIX","category":"io_size","small_write_fraction":0.85,"write_hist_0_100":0.85}`
+	nlFrag := "85% of write requests transfer fewer than 1 MB, which classifies them as small writes. The value of 0.85 in the 0 to 100 bin indicates that 85% of the write operations fall within the 0 bytes to 100 bytes range."
+	doc := "jobs whose write request sizes fall predominantly under 100 KB achieve less than 15 percent of attainable bandwidth; small write requests amplify per-operation latency; aggregate small writes into buffers before flushing"
+
+	simJSON := Cosine(Embed(jsonFrag), Embed(doc))
+	simNL := Cosine(Embed(nlFrag), Embed(doc))
+	if simNL <= simJSON {
+		t.Errorf("NL fragment should retrieve better than JSON: NL %g vs JSON %g", simNL, simJSON)
+	}
+}
+
+func TestCosineDeterministic(t *testing.T) {
+	f := func(a, b string) bool {
+		return Cosine(Embed(a), Embed(b)) == Cosine(Embed(a), Embed(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCosineBounded(t *testing.T) {
+	f := func(a, b string) bool {
+		c := Cosine(Embed(a), Embed(b))
+		return c >= -1.0001 && c <= 1.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,264 @@
+// Package eval is the Table IV harness: it runs every diagnosis tool over
+// TraceBench, submits the four outputs per trace to the LLM judge under the
+// three criteria, and aggregates normalized scores per source and overall
+// (Eqs. (1)-(2)).
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"ioagent/internal/darshan"
+	"ioagent/internal/drishti"
+	"ioagent/internal/ioagent"
+	"ioagent/internal/ion"
+	"ioagent/internal/judge"
+	"ioagent/internal/llm"
+	"ioagent/internal/tracebench"
+)
+
+// Tool is one diagnosis system under evaluation.
+type Tool interface {
+	Name() string
+	Diagnose(log *darshan.Log) (string, error)
+}
+
+// DrishtiTool adapts the heuristic baseline.
+type DrishtiTool struct{}
+
+// Name implements Tool.
+func (DrishtiTool) Name() string { return "Drishti" }
+
+// Diagnose implements Tool.
+func (DrishtiTool) Diagnose(log *darshan.Log) (string, error) {
+	return drishti.Analyze(log).Format(), nil
+}
+
+// IONTool adapts the one-shot LLM baseline.
+type IONTool struct{ D *ion.Diagnoser }
+
+// NewIONTool builds the ION baseline on gpt-4o (the paper's backbone).
+func NewIONTool(client llm.Client) IONTool {
+	return IONTool{D: ion.New(client, llm.GPT4o)}
+}
+
+// Name implements Tool.
+func (t IONTool) Name() string { return "ION" }
+
+// Diagnose implements Tool.
+func (t IONTool) Diagnose(log *darshan.Log) (string, error) { return t.D.Diagnose(log) }
+
+// IOAgentTool adapts the full pipeline with a configurable backbone model.
+type IOAgentTool struct {
+	Agent *ioagent.Agent
+	Label string
+}
+
+// NewIOAgentTool builds an IOAgent instance labeled after its model.
+func NewIOAgentTool(client llm.Client, model, cheap string) IOAgentTool {
+	short := strings.TrimSuffix(model, "-sim")
+	short = strings.TrimSuffix(short, "-instruct")
+	return IOAgentTool{
+		Agent: ioagent.New(client, ioagent.Options{Model: model, CheapModel: cheap}),
+		Label: "IOAgent-" + short,
+	}
+}
+
+// Name implements Tool.
+func (t IOAgentTool) Name() string { return t.Label }
+
+// Diagnose implements Tool.
+func (t IOAgentTool) Diagnose(log *darshan.Log) (string, error) {
+	res, err := t.Agent.Diagnose(log)
+	if err != nil {
+		return "", err
+	}
+	return res.Text, nil
+}
+
+// DefaultTools returns the paper's four evaluated systems.
+func DefaultTools(client llm.Client) []Tool {
+	return []Tool{
+		DrishtiTool{},
+		NewIONTool(client),
+		NewIOAgentTool(client, llm.GPT4o, llm.GPT4oMini),
+		NewIOAgentTool(client, llm.Llama31, llm.Llama3),
+	}
+}
+
+// Result is the full Table IV: normalized scores indexed by criterion
+// (plus "average"), tool name, and source (plus "Overall").
+type Result struct {
+	Tools   []string
+	Sources []string
+	// Scores[criterion][tool][source] in [0,1].
+	Scores map[string]map[string]map[string]float64
+}
+
+// Runner executes the evaluation.
+type Runner struct {
+	Client llm.Client
+	Judge  *judge.Judge
+	Tools  []Tool
+	// Parallelism caps concurrent traces (default 4).
+	Parallelism int
+}
+
+// NewRunner wires the paper's configuration.
+func NewRunner(client llm.Client) *Runner {
+	return &Runner{Client: client, Judge: judge.New(client), Tools: DefaultTools(client)}
+}
+
+// Run evaluates all tools over the traces and aggregates Table IV.
+func (r *Runner) Run(traces []*tracebench.Trace) (*Result, error) {
+	type traceScores struct {
+		source string
+		// score[criterion][tool] = 4 - meanRank
+		score map[string]map[string]float64
+		err   error
+	}
+	par := r.Parallelism
+	if par <= 0 {
+		par = 4
+	}
+	sem := make(chan struct{}, par)
+	results := make([]traceScores, len(traces))
+	var wg sync.WaitGroup
+	for i, tr := range traces {
+		wg.Add(1)
+		go func(i int, tr *tracebench.Trace) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = r.evalTrace(tr)
+		}(i, tr)
+	}
+	wg.Wait()
+
+	for _, ts := range results {
+		if ts.err != nil {
+			return nil, ts.err
+		}
+	}
+
+	out := &Result{Sources: append(append([]string{}, tracebench.Sources...), "Overall")}
+	for _, t := range r.Tools {
+		out.Tools = append(out.Tools, t.Name())
+	}
+	out.Scores = make(map[string]map[string]map[string]float64)
+
+	criteria := append(append([]string{}, judge.Criteria...), "average")
+	sums := map[string]map[string]map[string]float64{} // criterion/tool/source -> sum of scores
+	counts := map[string]int{}                         // source -> #traces
+	for _, c := range criteria {
+		sums[c] = map[string]map[string]float64{}
+		for _, t := range out.Tools {
+			sums[c][t] = map[string]float64{}
+		}
+	}
+	for _, ts := range results {
+		counts[ts.source]++
+		for _, c := range judge.Criteria {
+			for tool, s := range ts.score[c] {
+				sums[c][tool][ts.source] += s
+			}
+		}
+	}
+
+	for _, c := range judge.Criteria {
+		out.Scores[c] = map[string]map[string]float64{}
+		for _, tool := range out.Tools {
+			out.Scores[c][tool] = map[string]float64{}
+			var overallSum float64
+			var overallN int
+			for _, src := range tracebench.Sources {
+				n := counts[src]
+				out.Scores[c][tool][src] = judge.Normalize(sums[c][tool][src], n)
+				overallSum += sums[c][tool][src]
+				overallN += n
+			}
+			out.Scores[c][tool]["Overall"] = judge.Normalize(overallSum, overallN)
+		}
+	}
+	// Average across the three criteria.
+	out.Scores["average"] = map[string]map[string]float64{}
+	for _, tool := range out.Tools {
+		out.Scores["average"][tool] = map[string]float64{}
+		for _, src := range out.Sources {
+			var s float64
+			for _, c := range judge.Criteria {
+				s += out.Scores[c][tool][src]
+			}
+			out.Scores["average"][tool][src] = s / float64(len(judge.Criteria))
+		}
+	}
+	return out, nil
+}
+
+func (r *Runner) evalTrace(tr *tracebench.Trace) (ts struct {
+	source string
+	score  map[string]map[string]float64
+	err    error
+}) {
+	ts.source = tr.Source
+	ts.score = map[string]map[string]float64{}
+	log := tr.Log()
+
+	entries := make([]judge.Entry, len(r.Tools))
+	for i, tool := range r.Tools {
+		text, err := tool.Diagnose(log)
+		if err != nil {
+			ts.err = fmt.Errorf("%s on %s: %w", tool.Name(), tr.Name, err)
+			return ts
+		}
+		entries[i] = judge.Entry{Tool: tool.Name(), Text: text}
+	}
+	for _, c := range judge.Criteria {
+		ranks, err := r.Judge.MeanRanks(entries, c, tr.Labels)
+		if err != nil {
+			ts.err = fmt.Errorf("judging %s/%s: %w", tr.Name, c, err)
+			return ts
+		}
+		ts.score[c] = map[string]float64{}
+		for i, mr := range ranks {
+			ts.score[c][entries[i].Tool] = judge.Score(mr)
+		}
+	}
+	return ts
+}
+
+// Format renders the result in the layout of the paper's Table IV.
+func (res *Result) Format() string {
+	var b strings.Builder
+	criteria := append(append([]string{}, judge.Criteria...), "average")
+	b.WriteString("TABLE IV: Performance Results for Diagnosis Tools on TraceBench Subsets\n")
+	fmt.Fprintf(&b, "%-18s %-22s %13s %8s %18s %8s\n",
+		"Metric", "Diagnosis Tool", "Simple-Bench", "IO500", "Real-Applications", "Overall")
+	for _, c := range criteria {
+		label := strings.ToUpper(c[:1]) + c[1:]
+		for i, tool := range res.Tools {
+			metric := ""
+			if i == 0 {
+				metric = label
+			}
+			fmt.Fprintf(&b, "%-18s %-22s %13.3f %8.3f %18.3f %8.3f\n",
+				metric, tool,
+				res.Scores[c][tool][tracebench.SimpleBench],
+				res.Scores[c][tool][tracebench.IO500],
+				res.Scores[c][tool][tracebench.RealApps],
+				res.Scores[c][tool]["Overall"])
+		}
+	}
+	return b.String()
+}
+
+// Ordering returns tool names sorted by overall average, best first.
+func (res *Result) Ordering() []string {
+	tools := append([]string(nil), res.Tools...)
+	sort.Slice(tools, func(i, j int) bool {
+		return res.Scores["average"][tools[i]]["Overall"] > res.Scores["average"][tools[j]]["Overall"]
+	})
+	return tools
+}

@@ -1,0 +1,183 @@
+package ioagent
+
+import (
+	"fmt"
+	"sync"
+
+	"ioagent/internal/darshan"
+	"ioagent/internal/knowledge"
+	"ioagent/internal/llm"
+	"ioagent/internal/vectordb"
+)
+
+// Options tune the pipeline; zero values give the paper's configuration.
+type Options struct {
+	// Model is the main diagnosis model (default gpt-4o-sim).
+	Model string
+	// CheapModel runs the self-reflection filter (default gpt-4o-mini-sim).
+	CheapModel string
+	// TopK is the number of chunks retrieved per fragment (paper: 15).
+	TopK int
+	// DisableRAG skips retrieval entirely (ablation).
+	DisableRAG bool
+	// DisableReflection skips the self-reflection filter (ablation).
+	DisableReflection bool
+	// UseOneShotMerge replaces the tree merge with a single merge call
+	// (the Fig. 6 ablation baseline).
+	UseOneShotMerge bool
+	// Index overrides the knowledge index (default: the built-in corpus).
+	Index *vectordb.Index
+}
+
+func (o Options) withDefaults() Options {
+	if o.Model == "" {
+		o.Model = llm.GPT4o
+	}
+	if o.CheapModel == "" {
+		o.CheapModel = llm.GPT4oMini
+	}
+	if o.TopK <= 0 {
+		o.TopK = 15
+	}
+	return o
+}
+
+// Agent is the IOAgent pipeline bound to an LLM client and knowledge index.
+type Agent struct {
+	client     llm.Client
+	model      string
+	cheapModel string
+	index      *vectordb.Index
+	opts       Options
+
+	mu    sync.Mutex
+	usage llm.Usage
+	cost  float64
+	calls int
+}
+
+// New builds an agent. A nil index in opts selects the built-in 66-document
+// corpus index.
+func New(client llm.Client, opts Options) *Agent {
+	opts = opts.withDefaults()
+	ix := opts.Index
+	if ix == nil && !opts.DisableRAG {
+		ix = knowledge.BuildIndex()
+	}
+	return &Agent{
+		client:     client,
+		model:      opts.Model,
+		cheapModel: opts.CheapModel,
+		index:      ix,
+		opts:       opts,
+	}
+}
+
+// Model returns the main diagnosis model name.
+func (a *Agent) Model() string { return a.model }
+
+func (a *Agent) addCost(resp llm.Response) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.addCostLocked(resp)
+}
+
+// addCostLocked requires a.mu held.
+func (a *Agent) addCostLocked(resp llm.Response) {
+	a.usage.PromptTokens += resp.Usage.PromptTokens
+	a.usage.CompletionTokens += resp.Usage.CompletionTokens
+	a.cost += resp.CostUSD
+	a.calls++
+}
+
+// Stats reports accumulated usage across all calls made by the agent.
+func (a *Agent) Stats() (usage llm.Usage, costUSD float64, calls int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.usage, a.cost, a.calls
+}
+
+// FragmentResult records the intermediate artifacts of one fragment's
+// journey through the pipeline (useful for inspection and tests).
+type FragmentResult struct {
+	Fragment    *Fragment
+	Description string
+	Retrieved   int // sources retrieved from the index
+	Kept        int // sources surviving self-reflection
+	Diagnosis   string
+}
+
+// Result is a complete diagnosis.
+type Result struct {
+	// Text is the final merged diagnosis in the canonical report layout.
+	Text string
+	// Report is the parsed form of Text.
+	Report *llm.Report
+	// Fragments are the per-fragment intermediates in pipeline order.
+	Fragments []FragmentResult
+}
+
+// Diagnose runs the full pipeline on a Darshan log.
+func (a *Agent) Diagnose(log *darshan.Log) (*Result, error) {
+	frags := Summarize(log)
+	if len(frags) == 0 {
+		return nil, fmt.Errorf("ioagent: trace contains no module data")
+	}
+
+	// Per-fragment describe -> retrieve -> reflect -> diagnose. Fragments
+	// are independent, so they run in parallel like the paper's
+	// per-source filtering.
+	results := make([]FragmentResult, len(frags))
+	errs := make([]error, len(frags))
+	var wg sync.WaitGroup
+	for i, frag := range frags {
+		wg.Add(1)
+		go func(i int, frag *Fragment) {
+			defer wg.Done()
+			fr := FragmentResult{Fragment: frag}
+			nl, _, err := a.describeFragment(frag)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			fr.Description = nl
+			sources := a.retrieve(nl)
+			fr.Retrieved = len(sources)
+			sources = a.selfReflect(nl, sources)
+			fr.Kept = len(sources)
+			diag, err := a.diagnoseFragment(frag, nl, sources)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			fr.Diagnosis = diag
+			results[i] = fr
+		}(i, frag)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	summaries := make([]string, len(results))
+	for i, fr := range results {
+		summaries[i] = fr.Diagnosis
+	}
+	var merged string
+	var err error
+	if a.opts.UseOneShotMerge {
+		merged, err = a.OneShotMerge(summaries)
+	} else {
+		merged, err = a.TreeMerge(summaries)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Text:      merged,
+		Report:    llm.ParseReport(merged),
+		Fragments: results,
+	}, nil
+}

@@ -1,0 +1,29 @@
+// Package ioagent implements the paper's primary contribution: an LLM agent
+// that produces trustworthy, referenced diagnoses of HPC I/O performance
+// issues from Darshan traces.
+//
+// The pipeline follows Fig. 2 of the paper:
+//
+//  1. Module-based pre-processing (preprocess.go, summarize.go): the Darshan
+//     log is split into per-module CSV tables, and each module is reduced to
+//     categorized JSON summary fragments per Table I (I/O Size, I/O Request
+//     Count, File Metadata, Rank, Alignment, Order for POSIX; a subset for
+//     MPI-IO and STDIO; Mount, Stripe Setting, Server Usage for LUSTRE).
+//     Every fragment carries broader application context (runtime, process
+//     count, per-interface byte shares) so downstream diagnosis can reason
+//     across modules.
+//  2. Domain Knowledge Integration (rag.go): each fragment is transformed
+//     into natural language by an LLM (Fig. 3), embedded, and matched
+//     against a vector index of 66 HPC-I/O publications (top-15, cosine).
+//     A cheaper model then runs a parallel self-reflection pass that filters
+//     out irrelevant sources, and the main model produces a per-fragment
+//     diagnosis grounded in (and citing) the surviving sources.
+//  3. Tree-based Merge (merge.go): the per-fragment diagnoses are merged
+//     pairwise, level by level, in parallel — the regime every model
+//     handles reliably — rather than in one shot, which loses findings and
+//     references (Fig. 6).
+//
+// The resulting report supports continued interaction (chat.go): users ask
+// follow-up questions and receive answers grounded in the diagnosis and its
+// references (Fig. 5).
+package ioagent

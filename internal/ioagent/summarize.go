@@ -1,0 +1,474 @@
+package ioagent
+
+import (
+	"fmt"
+
+	"ioagent/internal/darshan"
+	"ioagent/internal/llm"
+)
+
+// Summary category identifiers (Table I columns).
+const (
+	CatIOSize        = "io_size"
+	CatRequestCount  = "request_count"
+	CatFileMetadata  = "file_metadata"
+	CatRank          = "rank"
+	CatAlignment     = "alignment"
+	CatOrder         = "order"
+	CatMount         = "mount"
+	CatStripeSetting = "stripe_setting"
+	CatServerUsage   = "server_usage"
+)
+
+// CategoryCoverage is the Table I matrix: which summary categories each
+// module extracts.
+var CategoryCoverage = map[darshan.ModuleID][]string{
+	darshan.ModulePOSIX:  {CatIOSize, CatRequestCount, CatFileMetadata, CatRank, CatAlignment, CatOrder},
+	darshan.ModuleMPIIO:  {CatIOSize, CatRequestCount, CatFileMetadata, CatRank, CatAlignment},
+	darshan.ModuleSTDIO:  {CatIOSize, CatRequestCount, CatFileMetadata},
+	darshan.ModuleLustre: {CatMount, CatStripeSetting, CatServerUsage},
+}
+
+// Summarize runs the per-module summary extraction functions over the log
+// and returns every fragment the trace supports, in deterministic order.
+// Each fragment carries the broader application context (runtime, process
+// count, interface byte shares, shared-file and collective-op totals) the
+// paper includes so cross-module reasoning survives fragmentation.
+func Summarize(log *darshan.Log) []*Fragment {
+	ctx := jobContext(log)
+	var frags []*Fragment
+	for _, m := range log.ModuleList() {
+		for _, cat := range CategoryCoverage[m] {
+			frag := extract(log, m, cat)
+			if frag == nil {
+				continue
+			}
+			for k, v := range ctx {
+				if _, exists := frag.Data[k]; !exists {
+					frag.Data[k] = v
+				}
+			}
+			frags = append(frags, frag)
+		}
+	}
+	return frags
+}
+
+// jobContext computes the application-wide context included in every
+// fragment.
+func jobContext(log *darshan.Log) map[string]float64 {
+	ctx := map[string]float64{
+		llm.KeyNProcs:  float64(log.Job.NProcs),
+		llm.KeyRuntime: log.Job.RunTime,
+	}
+	if log.Job.Metadata["mpi"] == "1" || log.HasModule(darshan.ModuleMPIIO) {
+		ctx[llm.KeyUsesMPI] = 1
+	}
+
+	var posixB, stdioB, mpiioB float64
+	if md, ok := log.Modules[darshan.ModulePOSIX]; ok {
+		pr := float64(md.SumC("POSIX_BYTES_READ"))
+		pw := float64(md.SumC("POSIX_BYTES_WRITTEN"))
+		posixB = pr + pw
+		ctx[llm.KeyPosixRB] = pr
+		ctx[llm.KeyPosixWB] = pw
+	}
+	if md, ok := log.Modules[darshan.ModuleSTDIO]; ok {
+		stdioB = float64(md.SumC("STDIO_BYTES_READ") + md.SumC("STDIO_BYTES_WRITTEN"))
+	}
+	if md, ok := log.Modules[darshan.ModuleMPIIO]; ok {
+		mpiioB = float64(md.SumC("MPIIO_BYTES_READ") + md.SumC("MPIIO_BYTES_WRITTEN"))
+		ctx[llm.KeyCollWrites] = float64(md.SumC("MPIIO_COLL_WRITES"))
+		ctx[llm.KeyCollReads] = float64(md.SumC("MPIIO_COLL_READS"))
+		ctx[llm.KeyIndepWrites] = float64(md.SumC("MPIIO_INDEP_WRITES"))
+		ctx[llm.KeyIndepReads] = float64(md.SumC("MPIIO_INDEP_READS"))
+	}
+	total := posixB + stdioB
+	if total > 0 {
+		ctx[llm.KeyPosixShr] = posixB / total
+		ctx[llm.KeyStdioShr] = stdioB / total
+		if mpiioB > 0 {
+			ctx[llm.KeyMpiioShr] = mpiioB / total
+		}
+	}
+
+	read, written := log.TotalBytes()
+	ctx[llm.KeyBytesRead] = float64(read)
+	ctx[llm.KeyBytesWrit] = float64(written)
+	ctx[llm.KeySharedFiles] = sharedDataFiles(log)
+	return ctx
+}
+
+func sharedDataFiles(log *darshan.Log) float64 {
+	md, ok := log.Modules[darshan.ModulePOSIX]
+	if !ok {
+		return 0
+	}
+	var n float64
+	for _, r := range md.Records {
+		if r.Rank == darshan.SharedRank &&
+			r.C("POSIX_BYTES_READ")+r.C("POSIX_BYTES_WRITTEN") > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// extract dispatches to the per-module, per-category extraction function.
+func extract(log *darshan.Log, m darshan.ModuleID, cat string) *Fragment {
+	frag := &Fragment{Module: m, Category: cat, Data: map[string]float64{}, Strs: map[string]string{}}
+	md := log.Modules[m]
+	switch m {
+	case darshan.ModulePOSIX:
+		posixExtract(log, md, cat, frag)
+	case darshan.ModuleMPIIO:
+		mpiioExtract(log, md, cat, frag)
+	case darshan.ModuleSTDIO:
+		stdioExtract(md, cat, frag)
+	case darshan.ModuleLustre:
+		lustreExtract(log, md, cat, frag)
+	}
+	return frag
+}
+
+var histSuffixes = []string{
+	"0_100", "100_1K", "1K_10K", "10K_100K", "100K_1M",
+	"1M_4M", "4M_10M", "10M_100M", "100M_1G", "1G_PLUS",
+}
+
+// smallSuffixes are the buckets under 1 MiB.
+var smallSuffixes = map[string]bool{
+	"0_100": true, "100_1K": true, "1K_10K": true, "10K_100K": true, "100K_1M": true,
+}
+
+func histFractions(md *darshan.ModuleData, prefix, op string, frag *Fragment, histKey string) (smallFrac float64, total float64) {
+	for _, s := range histSuffixes {
+		total += float64(md.SumC(prefix + "_SIZE_" + op + "_" + s))
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	for _, s := range histSuffixes {
+		n := float64(md.SumC(prefix + "_SIZE_" + op + "_" + s))
+		if n == 0 {
+			continue
+		}
+		frac := n / total
+		frag.Data[fmt.Sprintf("%s_%s", histKey, s)] = frac
+		if smallSuffixes[s] {
+			smallFrac += frac
+		}
+	}
+	return smallFrac, total
+}
+
+func posixExtract(log *darshan.Log, md *darshan.ModuleData, cat string, frag *Fragment) {
+	switch cat {
+	case CatIOSize:
+		reads := float64(md.SumC("POSIX_READS"))
+		writes := float64(md.SumC("POSIX_WRITES"))
+		frag.Data[llm.KeyReads] = reads
+		frag.Data[llm.KeyWrites] = writes
+		if sf, total := histFractions(md, "POSIX", "READ", frag, "read_hist"); total > 0 {
+			frag.Data[llm.KeySmallReadFrac] = sf
+		}
+		if sf, total := histFractions(md, "POSIX", "WRITE", frag, "write_hist"); total > 0 {
+			frag.Data[llm.KeySmallWriteFrac] = sf
+		}
+		if sz := dominantAccess(md, "POSIX"); sz > 0 {
+			frag.Data[llm.KeyAccessSize] = sz
+		}
+	case CatRequestCount:
+		frag.Data[llm.KeyReads] = float64(md.SumC("POSIX_READS"))
+		frag.Data[llm.KeyWrites] = float64(md.SumC("POSIX_WRITES"))
+		frag.Data["seek_ops"] = float64(md.SumC("POSIX_SEEKS"))
+		frag.Data["rw_switches"] = float64(md.SumC("POSIX_RW_SWITCHES"))
+		frag.Data["distinct_files"] = float64(len(md.Files()))
+	case CatFileMetadata:
+		opens := float64(md.SumC("POSIX_OPENS"))
+		stats := float64(md.SumC("POSIX_STATS"))
+		fsyncs := float64(md.SumC("POSIX_FSYNCS"))
+		frag.Data["open_ops"] = opens
+		frag.Data["stat_ops"] = stats
+		frag.Data["fsync_ops"] = fsyncs
+		n := float64(log.Job.NProcs)
+		if n < 1 {
+			n = 1
+		}
+		frag.Data[llm.KeyMetaOpsPerProc] = (opens + stats) / n
+		meta := md.SumF("POSIX_F_META_TIME")
+		data := md.SumF("POSIX_F_READ_TIME") + md.SumF("POSIX_F_WRITE_TIME")
+		if meta+data > 0 {
+			frag.Data[llm.KeyMetaTimeFrac] = meta / (meta + data)
+		}
+	case CatRank:
+		// Per-rank balance, over the dominant shared file.
+		var slow, fast, totalT float64
+		var slowB, fastB float64
+		for _, r := range md.Records {
+			totalT += r.F("POSIX_F_READ_TIME") + r.F("POSIX_F_WRITE_TIME")
+			if r.Rank != darshan.SharedRank {
+				continue
+			}
+			if st := r.F("POSIX_F_SLOWEST_RANK_TIME"); st > slow {
+				slow = st
+				fast = r.F("POSIX_F_FASTEST_RANK_TIME")
+				slowB = float64(r.C("POSIX_SLOWEST_RANK_BYTES"))
+				fastB = float64(r.C("POSIX_FASTEST_RANK_BYTES"))
+			}
+		}
+		n := float64(log.Job.NProcs)
+		if n > 1 && slow > 0 && totalT > 0 {
+			frag.Data[llm.KeyRankSlowRatio] = slow / (totalT / n)
+			_ = fast
+			if fastB > 0 {
+				frag.Data[llm.KeyRankByteRatio] = slowB / fastB
+			}
+		}
+	case CatAlignment:
+		mis, reads, writes := misalignment(md)
+		if reads > 0 {
+			frag.Data[llm.KeyUnalignedRead] = mis.read / reads
+		}
+		if writes > 0 {
+			frag.Data[llm.KeyUnalignedWrite] = mis.write / writes
+		}
+		if len(md.Records) > 0 {
+			frag.Data["file_alignment"] = float64(md.Records[0].C("POSIX_FILE_ALIGNMENT"))
+		}
+	case CatOrder:
+		reads := float64(md.SumC("POSIX_READS"))
+		writes := float64(md.SumC("POSIX_WRITES"))
+		if reads > 0 {
+			frag.Data[llm.KeySeqReadFrac] = float64(md.SumC("POSIX_SEQ_READS")) / reads
+			frag.Data["consec_read_fraction"] = float64(md.SumC("POSIX_CONSEC_READS")) / reads
+		}
+		if writes > 0 {
+			frag.Data[llm.KeySeqWriteFrac] = float64(md.SumC("POSIX_SEQ_WRITES")) / writes
+			frag.Data["consec_write_fraction"] = float64(md.SumC("POSIX_CONSEC_WRITES")) / writes
+		}
+		if stride := dominantStride(md); stride > 0 {
+			frag.Data["dominant_stride"] = stride
+		}
+		// Re-read detection lives here: it is an access-order property.
+		if rr := rereadFactor(md); rr > 0 {
+			frag.Data[llm.KeyRereadFactor] = rr
+		}
+	}
+}
+
+type misCount struct{ read, write float64 }
+
+func misalignment(md *darshan.ModuleData) (mis misCount, reads, writes float64) {
+	for _, r := range md.Records {
+		na := float64(r.C("POSIX_FILE_NOT_ALIGNED"))
+		rd := float64(r.C("POSIX_READS"))
+		wr := float64(r.C("POSIX_WRITES"))
+		reads += rd
+		writes += wr
+		if rd+wr == 0 {
+			continue
+		}
+		mis.read += na * rd / (rd + wr)
+		mis.write += na * wr / (rd + wr)
+	}
+	return mis, reads, writes
+}
+
+func dominantAccess(md *darshan.ModuleData, prefix string) float64 {
+	var bestSize, bestCount int64
+	for _, r := range md.Records {
+		sz := r.C(prefix + "_ACCESS1_ACCESS")
+		ct := r.C(prefix + "_ACCESS1_COUNT")
+		if ct > bestCount {
+			bestCount, bestSize = ct, sz
+		}
+	}
+	return float64(bestSize)
+}
+
+func dominantStride(md *darshan.ModuleData) float64 {
+	var bestStride, bestCount int64
+	for _, r := range md.Records {
+		st := r.C("POSIX_STRIDE1_STRIDE")
+		ct := r.C("POSIX_STRIDE1_COUNT")
+		if ct > bestCount {
+			bestCount, bestStride = ct, st
+		}
+	}
+	return float64(bestStride)
+}
+
+func rereadFactor(md *darshan.ModuleData) float64 {
+	var best float64
+	for _, r := range md.Records {
+		br := float64(r.C("POSIX_BYTES_READ"))
+		extent := float64(r.C("POSIX_MAX_BYTE_READ") + 1)
+		if br > 0 && extent > 1 {
+			if f := br / extent; f > best {
+				best = f
+			}
+		}
+	}
+	return best
+}
+
+func mpiioExtract(log *darshan.Log, md *darshan.ModuleData, cat string, frag *Fragment) {
+	switch cat {
+	case CatIOSize:
+		frag.Data["mpiio_bytes_read"] = float64(md.SumC("MPIIO_BYTES_READ"))
+		frag.Data["mpiio_bytes_written"] = float64(md.SumC("MPIIO_BYTES_WRITTEN"))
+		// The MPI-IO layer's request sizes feed the same small-request
+		// vocabulary the POSIX fragment uses: small MPI-IO requests are
+		// small writes/reads regardless of layer.
+		if sf, total := histFractions(md, "MPIIO", "READ_AGG", frag, "mpiio_read_hist"); total > 0 {
+			frag.Data[llm.KeySmallReadFrac] = sf
+		}
+		if sf, total := histFractions(md, "MPIIO", "WRITE_AGG", frag, "mpiio_write_hist"); total > 0 {
+			frag.Data[llm.KeySmallWriteFrac] = sf
+		}
+	case CatRequestCount:
+		frag.Data[llm.KeyCollReads] = float64(md.SumC("MPIIO_COLL_READS"))
+		frag.Data[llm.KeyCollWrites] = float64(md.SumC("MPIIO_COLL_WRITES"))
+		frag.Data[llm.KeyIndepReads] = float64(md.SumC("MPIIO_INDEP_READS"))
+		frag.Data[llm.KeyIndepWrites] = float64(md.SumC("MPIIO_INDEP_WRITES"))
+		frag.Data["coll_opens"] = float64(md.SumC("MPIIO_COLL_OPENS"))
+		frag.Data["indep_opens"] = float64(md.SumC("MPIIO_INDEP_OPENS"))
+	case CatFileMetadata:
+		meta := md.SumF("MPIIO_F_META_TIME")
+		data := md.SumF("MPIIO_F_READ_TIME") + md.SumF("MPIIO_F_WRITE_TIME")
+		if meta+data > 0 {
+			frag.Data["mpiio_meta_time_fraction"] = meta / (meta + data)
+		}
+		frag.Data["mpiio_files"] = float64(len(md.Files()))
+	case CatRank:
+		var slowB, fastB float64
+		for _, r := range md.Records {
+			if r.Rank != darshan.SharedRank {
+				continue
+			}
+			if b := float64(r.C("MPIIO_SLOWEST_RANK_BYTES")); b > slowB {
+				slowB = b
+				fastB = float64(r.C("MPIIO_FASTEST_RANK_BYTES"))
+			}
+		}
+		if fastB > 0 {
+			frag.Data[llm.KeyRankByteRatio] = slowB / fastB
+		}
+	case CatAlignment:
+		// MPI-IO records no alignment counters; report the alignment of
+		// the underlying POSIX accesses for MPI-IO-visited files.
+		pmd, ok := log.Modules[darshan.ModulePOSIX]
+		if !ok {
+			return
+		}
+		mpiFiles := make(map[string]bool)
+		for _, r := range md.Records {
+			mpiFiles[r.Name] = true
+		}
+		sub := &darshan.ModuleData{Module: darshan.ModulePOSIX}
+		for _, r := range pmd.Records {
+			if mpiFiles[r.Name] {
+				sub.Records = append(sub.Records, r)
+			}
+		}
+		mis, reads, writes := misalignment(sub)
+		if reads > 0 {
+			frag.Data[llm.KeyUnalignedRead] = mis.read / reads
+		}
+		if writes > 0 {
+			frag.Data[llm.KeyUnalignedWrite] = mis.write / writes
+		}
+	}
+}
+
+func stdioExtract(md *darshan.ModuleData, cat string, frag *Fragment) {
+	switch cat {
+	case CatIOSize:
+		frag.Data[llm.KeyStdioReadByt] = float64(md.SumC("STDIO_BYTES_READ"))
+		frag.Data[llm.KeyStdioWriteByt] = float64(md.SumC("STDIO_BYTES_WRITTEN"))
+	case CatRequestCount:
+		frag.Data["stdio_read_ops"] = float64(md.SumC("STDIO_READS"))
+		frag.Data["stdio_write_ops"] = float64(md.SumC("STDIO_WRITES"))
+		frag.Data["stdio_flushes"] = float64(md.SumC("STDIO_FLUSHES"))
+	case CatFileMetadata:
+		frag.Data["stdio_opens"] = float64(md.SumC("STDIO_OPENS"))
+		frag.Data["stdio_files"] = float64(len(md.Files()))
+	}
+}
+
+func lustreExtract(log *darshan.Log, md *darshan.ModuleData, cat string, frag *Fragment) {
+	pmd := log.Modules[darshan.ModulePOSIX]
+	switch cat {
+	case CatMount:
+		frag.Data["lustre_files"] = float64(len(md.Files()))
+		for _, m := range log.Job.Mounts {
+			if m.FSType == "lustre" {
+				frag.Strs["mount_point"] = m.Point
+				frag.Strs["fs_type"] = m.FSType
+				break
+			}
+		}
+	case CatStripeSetting:
+		var width, size, osts float64
+		var largeNarrow, largest float64
+		for _, r := range md.Records {
+			w := float64(r.C("LUSTRE_STRIPE_WIDTH"))
+			s := float64(r.C("LUSTRE_STRIPE_SIZE"))
+			if width == 0 {
+				width, size = w, s
+			}
+			osts = float64(r.C("LUSTRE_OSTS"))
+			extent := fileExtent(pmd, r.Name)
+			if extent > largest {
+				largest = extent
+			}
+			if w <= 1 && s > 0 && extent > 4*s {
+				largeNarrow++
+			}
+		}
+		frag.Data[llm.KeyStripeWidth] = width
+		frag.Data[llm.KeyStripeSize] = size
+		frag.Data[llm.KeyNumOSTs] = osts
+		frag.Data[llm.KeyWideFiles] = largeNarrow
+		frag.Data[llm.KeyLargestFile] = largest
+		if pmd != nil {
+			if sz := dominantAccess(pmd, "POSIX"); sz > 0 {
+				frag.Data[llm.KeyAccessSize] = sz
+			}
+		}
+	case CatServerUsage:
+		used := make(map[int64]bool)
+		var osts float64
+		for _, r := range md.Records {
+			osts = float64(r.C("LUSTRE_OSTS"))
+			w := int(r.C("LUSTRE_STRIPE_WIDTH"))
+			for i := 0; i < w && i < darshan.MaxLustreOSTs; i++ {
+				used[r.C(fmt.Sprintf("LUSTRE_OST_ID_%d", i))] = true
+			}
+		}
+		frag.Data[llm.KeyNumOSTs] = osts
+		if osts > 0 {
+			frag.Data[llm.KeyOSTCoverage] = float64(len(used)) / osts
+		}
+	}
+}
+
+func fileExtent(pmd *darshan.ModuleData, name string) float64 {
+	if pmd == nil {
+		return 0
+	}
+	var extent float64
+	for _, r := range pmd.Records {
+		if r.Name != name {
+			continue
+		}
+		if e := float64(r.C("POSIX_MAX_BYTE_WRITTEN") + 1); e > extent {
+			extent = e
+		}
+		if e := float64(r.C("POSIX_MAX_BYTE_READ") + 1); e > extent {
+			extent = e
+		}
+	}
+	return extent
+}

@@ -1,0 +1,123 @@
+package ioagent
+
+import (
+	"testing"
+
+	"ioagent/internal/darshan"
+	"ioagent/internal/iosim"
+	"ioagent/internal/llm"
+)
+
+// TestSummarizeStdioOnly: a trace touching only the STDIO and LUSTRE
+// modules yields exactly those modules' fragments (3 + 3).
+func TestSummarizeStdioOnly(t *testing.T) {
+	s := iosim.New(iosim.Config{Seed: 2, NProcs: 2, UsesMPI: true})
+	f := s.Open("/scratch/log.txt", 0, iosim.STDIO, nil)
+	for i := int64(0); i < 40; i++ {
+		f.WriteAt(0, i*1024, 1024)
+	}
+	f.Close(0)
+	frags := Summarize(s.Finalize())
+	if len(frags) != 6 {
+		t.Fatalf("got %d fragments, want 6 (STDIO 3 + LUSTRE 3)", len(frags))
+	}
+	for _, fr := range frags {
+		if fr.Module != darshan.ModuleSTDIO && fr.Module != darshan.ModuleLustre {
+			t.Errorf("unexpected module fragment %s", fr.ID())
+		}
+	}
+}
+
+// TestSummarizePosixOnlySingleProcess: no MPI-IO fragments, no uses_mpi
+// context, and a sensible fragment count (POSIX 6 + LUSTRE 3).
+func TestSummarizePosixOnlySingleProcess(t *testing.T) {
+	s := iosim.New(iosim.Config{Seed: 3, NProcs: 1, UsesMPI: false})
+	f := s.Open("/scratch/solo.dat", 0, iosim.POSIX, nil)
+	for i := int64(0); i < 32; i++ {
+		f.WriteAt(0, i*65536, 65536)
+	}
+	f.Close(0)
+	frags := Summarize(s.Finalize())
+	if len(frags) != 9 {
+		t.Fatalf("got %d fragments, want 9", len(frags))
+	}
+	for _, fr := range frags {
+		if _, ok := fr.Data[llm.KeyUsesMPI]; ok {
+			t.Errorf("non-MPI job fragment carries uses_mpi: %s", fr.ID())
+		}
+	}
+}
+
+// TestFragmentContextConsistency: every fragment of the same log carries
+// identical job-context values.
+func TestFragmentContextConsistency(t *testing.T) {
+	frags := Summarize(problemLog())
+	base := frags[0]
+	for _, key := range []string{llm.KeyNProcs, llm.KeyBytesWrit, llm.KeySharedFiles, llm.KeyPosixWB} {
+		want, ok := base.Data[key]
+		if !ok {
+			t.Fatalf("context key %s missing from first fragment", key)
+		}
+		for _, fr := range frags[1:] {
+			if got := fr.Data[key]; got != want {
+				t.Errorf("fragment %s: %s = %g, want %g", fr.ID(), key, got, want)
+			}
+		}
+	}
+}
+
+// TestOneShotMergeOption: the ablation configuration produces a diagnosis
+// (possibly lossy) without error.
+func TestOneShotMergeOption(t *testing.T) {
+	agent := New(llm.NewSim(), Options{UseOneShotMerge: true})
+	res, err := agent.Diagnose(problemLog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Report.Findings) == 0 {
+		t.Error("one-shot merge lost every finding")
+	}
+	// The tree merge on the same trace should retain at least as many.
+	treeAgent := New(llm.NewSim(), Options{})
+	treeRes, err := treeAgent.Diagnose(problemLog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(treeRes.Report.Findings) < len(res.Report.Findings) {
+		t.Errorf("tree merge (%d findings) retained fewer than one-shot (%d)",
+			len(treeRes.Report.Findings), len(res.Report.Findings))
+	}
+}
+
+// TestDescriptionMentionsValues: the Fig. 3 transform must verbalize the
+// histogram content of the io_size fragment.
+func TestDescriptionMentionsValues(t *testing.T) {
+	agent := New(llm.NewSim(), Options{})
+	res, err := agent.Diagnose(problemLog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fr := range res.Fragments {
+		if fr.Fragment.ID() != "POSIX/io_size" {
+			continue
+		}
+		if !containsAny(fr.Description, "bin indicates", "classifies them as small") {
+			t.Errorf("io_size description lacks verbalized values:\n%s", fr.Description)
+		}
+		return
+	}
+	t.Fatal("POSIX/io_size fragment missing")
+}
+
+func containsAny(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if len(sub) > 0 && len(s) >= len(sub) {
+			for i := 0; i+len(sub) <= len(s); i++ {
+				if s[i:i+len(sub)] == sub {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,70 @@
+// Package ion reimplements the ION baseline (Egersdoerfer et al.,
+// HotStorage 2024): a proof-of-concept that queries a large language model
+// directly with an engineered prompt wrapped around the full parsed Darshan
+// trace. ION inherits the raw model's limitations — the whole trace must
+// fit the context window (it usually does not, triggering lost-in-the-
+// middle truncation), no external knowledge grounds the answer, and
+// popular misconceptions surface unchecked. The paper uses ION as the
+// "naive LLM" baseline IOAgent is measured against.
+package ion
+
+import (
+	"fmt"
+	"sync"
+
+	"ioagent/internal/darshan"
+	"ioagent/internal/llm"
+)
+
+// Diagnoser queries one model with a single engineered prompt per trace.
+type Diagnoser struct {
+	client llm.Client
+	model  string
+
+	mu    sync.Mutex
+	usage llm.Usage
+	cost  float64
+}
+
+// New builds an ION diagnoser (default model gpt-4o-sim, as the paper's
+// evaluation configures it).
+func New(client llm.Client, model string) *Diagnoser {
+	if model == "" {
+		model = llm.GPT4o
+	}
+	return &Diagnoser{client: client, model: model}
+}
+
+// promptHeader is the engineered instruction block (condensed from ION's
+// published prompt).
+const promptHeader = `You are an expert in high-performance computing I/O performance analysis.
+Below is the full content of a Darshan trace log in darshan-parser text format.
+Analyze the trace and identify any I/O performance issues the application exhibits.
+For every issue, justify it with concrete values from the trace and recommend a fix.
+
+`
+
+// Diagnose runs the one-shot analysis.
+func (d *Diagnoser) Diagnose(log *darshan.Log) (string, error) {
+	text, err := darshan.TextString(log)
+	if err != nil {
+		return "", fmt.Errorf("ion: render trace: %w", err)
+	}
+	resp, err := d.client.Complete(llm.Prompt(d.model, promptHeader+text))
+	if err != nil {
+		return "", fmt.Errorf("ion: %w", err)
+	}
+	d.mu.Lock()
+	d.usage.PromptTokens += resp.Usage.PromptTokens
+	d.usage.CompletionTokens += resp.Usage.CompletionTokens
+	d.cost += resp.CostUSD
+	d.mu.Unlock()
+	return resp.Content, nil
+}
+
+// Stats reports accumulated usage.
+func (d *Diagnoser) Stats() (llm.Usage, float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.usage, d.cost
+}

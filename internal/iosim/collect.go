@@ -1,0 +1,257 @@
+package iosim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"ioagent/internal/darshan"
+)
+
+// Finalize performs the shared-file reduction (as darshan-core does at
+// MPI_Finalize), derives the common-access-size and stride counters, fills
+// the job header, and returns the completed log. The simulator must not be
+// used afterwards.
+func (s *Sim) Finalize() *darshan.Log {
+	if s.finalized {
+		panic("iosim: Finalize called twice")
+	}
+	s.finalized = true
+
+	log := darshan.NewLog()
+	log.Job = darshan.Job{
+		UID:       s.cfg.UID,
+		JobID:     s.cfg.JobID,
+		StartTime: s.cfg.StartTime,
+		NProcs:    s.cfg.NProcs,
+		Exe:       s.cfg.Exe,
+		Metadata:  map[string]string{"lib_ver": "3.4.4"},
+	}
+	if s.cfg.UsesMPI {
+		log.Job.Metadata["mpi"] = "1"
+	}
+	var maxClock float64
+	for _, c := range s.clock {
+		if c > maxClock {
+			maxClock = c
+		}
+	}
+	log.Job.RunTime = maxClock + 0.5 // startup/teardown slack
+	log.Job.EndTime = log.Job.StartTime + int64(math.Ceil(log.Job.RunTime))
+
+	log.Job.Mounts = append(log.Job.Mounts, darshan.Mount{Point: s.cfg.FS.MountPoint, FSType: "lustre"})
+	log.Job.Mounts = append(log.Job.Mounts, s.cfg.ExtraMounts...)
+
+	// Group record states by (module, path).
+	type group struct {
+		mod   darshan.ModuleID
+		path  string
+		ranks []*recState
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for k, st := range s.recs {
+		gk := fmt.Sprintf("%d|%s", k.mod, k.path)
+		g, ok := groups[gk]
+		if !ok {
+			g = &group{mod: k.mod, path: k.path}
+			groups[gk] = g
+			order = append(order, gk)
+		}
+		g.ranks = append(g.ranks, st)
+		_ = st
+	}
+	sort.Strings(order)
+
+	for _, gk := range order {
+		g := groups[gk]
+		sort.Slice(g.ranks, func(i, j int) bool { return g.ranks[i].rec.Rank < g.ranks[j].rec.Rank })
+		var rec *darshan.FileRecord
+		if len(g.ranks) == 1 {
+			st := g.ranks[0]
+			finishAccessCounters(g.mod, st.rec, st.accesses, st.strides)
+			rec = st.rec
+		} else {
+			rec = reduceShared(g.mod, g.ranks)
+		}
+		log.Module(g.mod).Records = append(log.Module(g.mod).Records, rec)
+	}
+	for _, m := range log.ModuleList() {
+		log.Modules[m].SortRecords()
+	}
+	return log
+}
+
+// reduceShared merges per-rank partial records of one file into a single
+// shared record with rank == SharedRank, mirroring Darshan's shared-file
+// reduction: additive counters sum, MAX counters take the maximum, START
+// timestamps take the minimum, END timestamps the maximum, and the
+// fastest/slowest-rank and variance statistics are computed across ranks.
+func reduceShared(mod darshan.ModuleID, ranks []*recState) *darshan.FileRecord {
+	base := ranks[0].rec
+	out := darshan.NewFileRecord(base.Name, darshan.SharedRank)
+	out.RecordID = base.RecordID
+	out.MountPt = base.MountPt
+	out.FSType = base.FSType
+
+	accesses := make(map[int64]int64)
+	strides := make(map[int64]int64)
+
+	for _, st := range ranks {
+		for name, v := range st.rec.Counters {
+			switch reduceKind(name) {
+			case kindSum:
+				out.AddC(name, v)
+			case kindMax:
+				out.MaxC(name, v)
+			case kindFirst:
+				if _, ok := out.Counters[name]; !ok {
+					out.SetC(name, v)
+				}
+			}
+		}
+		for name, v := range st.rec.FCounters {
+			switch reduceKindF(name) {
+			case kindSum:
+				out.AddF(name, v)
+			case kindMax:
+				out.MaxF(name, v)
+			case kindMin:
+				if cur, ok := out.FCounters[name]; !ok || v < cur {
+					out.SetF(name, v)
+				}
+			}
+		}
+		for sz, n := range st.accesses {
+			accesses[sz] += n
+		}
+		for sd, n := range st.strides {
+			strides[sd] += n
+		}
+	}
+
+	// Fastest / slowest rank by per-rank I/O time, with byte volumes.
+	prefix := mod.CounterPrefix()
+	if mod != darshan.ModuleLustre {
+		fastest, slowest := ranks[0], ranks[0]
+		var times, bytes []float64
+		for _, st := range ranks {
+			if st.ioTime < fastest.ioTime {
+				fastest = st
+			}
+			if st.ioTime > slowest.ioTime {
+				slowest = st
+			}
+			times = append(times, st.ioTime)
+			bytes = append(bytes, float64(recBytes(prefix, st.rec)))
+		}
+		out.SetC(prefix+"_FASTEST_RANK", int64(fastest.rec.Rank))
+		out.SetC(prefix+"_FASTEST_RANK_BYTES", recBytes(prefix, fastest.rec))
+		out.SetC(prefix+"_SLOWEST_RANK", int64(slowest.rec.Rank))
+		out.SetC(prefix+"_SLOWEST_RANK_BYTES", recBytes(prefix, slowest.rec))
+		out.SetF(prefix+"_F_FASTEST_RANK_TIME", fastest.ioTime)
+		out.SetF(prefix+"_F_SLOWEST_RANK_TIME", slowest.ioTime)
+		out.SetF(prefix+"_F_VARIANCE_RANK_TIME", variance(times))
+		out.SetF(prefix+"_F_VARIANCE_RANK_BYTES", variance(bytes))
+	}
+
+	finishAccessCounters(mod, out, accesses, strides)
+	return out
+}
+
+func recBytes(prefix string, rec *darshan.FileRecord) int64 {
+	return rec.C(prefix+"_BYTES_READ") + rec.C(prefix+"_BYTES_WRITTEN")
+}
+
+func variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var v float64
+	for _, x := range xs {
+		v += (x - mean) * (x - mean)
+	}
+	return v / float64(len(xs))
+}
+
+type reduceOp int
+
+const (
+	kindSum reduceOp = iota
+	kindMax
+	kindMin
+	kindFirst
+)
+
+func reduceKind(name string) reduceOp {
+	switch {
+	case strings.Contains(name, "_MAX_BYTE_"):
+		return kindMax
+	case strings.HasSuffix(name, "_MODE"),
+		strings.HasSuffix(name, "_MEM_ALIGNMENT"),
+		strings.HasSuffix(name, "_FILE_ALIGNMENT"),
+		strings.HasPrefix(name, "LUSTRE_"):
+		return kindFirst
+	default:
+		return kindSum
+	}
+}
+
+func reduceKindF(name string) reduceOp {
+	switch {
+	case strings.HasSuffix(name, "_START_TIMESTAMP"):
+		return kindMin
+	case strings.HasSuffix(name, "_END_TIMESTAMP"),
+		strings.Contains(name, "_F_MAX_"):
+		return kindMax
+	default:
+		return kindSum
+	}
+}
+
+// finishAccessCounters derives the top-4 common access sizes and strides.
+func finishAccessCounters(mod darshan.ModuleID, rec *darshan.FileRecord, accesses, strides map[int64]int64) {
+	prefix := mod.CounterPrefix()
+	if mod == darshan.ModuleLustre || mod == darshan.ModuleSTDIO {
+		return // these modules record no ACCESS/STRIDE counters
+	}
+	fill := func(kind string, m map[int64]int64) {
+		top := topK(m, 4)
+		for i, e := range top {
+			rec.SetC(fmt.Sprintf("%s_%s%d_%s", prefix, kind, i+1, kind), e.val)
+			rec.SetC(fmt.Sprintf("%s_%s%d_COUNT", prefix, kind, i+1), e.count)
+		}
+	}
+	fill("ACCESS", accesses)
+	if mod == darshan.ModulePOSIX {
+		fill("STRIDE", strides)
+	}
+}
+
+type kv struct {
+	val   int64
+	count int64
+}
+
+func topK(m map[int64]int64, k int) []kv {
+	out := make([]kv, 0, len(m))
+	for v, c := range m {
+		out = append(out, kv{v, c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].count != out[j].count {
+			return out[i].count > out[j].count
+		}
+		return out[i].val < out[j].val
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

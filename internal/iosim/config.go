@@ -1,0 +1,141 @@
+package iosim
+
+import "ioagent/internal/darshan"
+
+// Iface selects the I/O interface used for an open file.
+type Iface int
+
+const (
+	// POSIX issues plain read/write/lseek calls.
+	POSIX Iface = iota
+	// STDIO issues fread/fwrite through the C buffered-I/O layer.
+	STDIO
+	// MPIIndep issues MPI_File_read/write (independent).
+	MPIIndep
+	// MPIColl issues MPI_File_read_all/write_all (collective, two-phase).
+	MPIColl
+)
+
+// String names the interface for error messages and reports.
+func (i Iface) String() string {
+	switch i {
+	case POSIX:
+		return "POSIX"
+	case STDIO:
+		return "STDIO"
+	case MPIIndep:
+		return "MPI-IO (independent)"
+	case MPIColl:
+		return "MPI-IO (collective)"
+	}
+	return "unknown"
+}
+
+// LustreConfig describes the simulated parallel file system.
+type LustreConfig struct {
+	MountPoint         string // e.g. "/scratch"
+	NumOSTs            int    // object storage targets available
+	NumMDTs            int    // metadata targets
+	DefaultStripeSize  int64  // bytes; upstream default is 1 MiB
+	DefaultStripeWidth int    // OSTs per file; upstream default is 1
+	// PerOSTBandwidth is the sustained per-OST data rate in bytes/second
+	// used by the time model.
+	PerOSTBandwidth float64
+}
+
+// DefaultLustre mirrors a typical production scratch system with
+// conservative default striping (the configuration behind the paper's
+// AMReX case study: stripe width 1, stripe size 1 MiB).
+func DefaultLustre() LustreConfig {
+	return LustreConfig{
+		MountPoint:         "/scratch",
+		NumOSTs:            16,
+		NumMDTs:            1,
+		DefaultStripeSize:  1 << 20,
+		DefaultStripeWidth: 1,
+		PerOSTBandwidth:    500e6, // 500 MB/s per OST
+	}
+}
+
+// Layout is the per-file Lustre striping layout.
+type Layout struct {
+	StripeSize   int64
+	StripeWidth  int
+	StripeOffset int // first OST index; -1 lets the simulator choose
+}
+
+// Config parameterizes a simulated job.
+type Config struct {
+	Seed      int64
+	Exe       string
+	JobID     int64
+	UID       int
+	StartTime int64 // unix seconds; zero selects a fixed epoch
+	NProcs    int
+	// UsesMPI distinguishes true MPI jobs from multi-process jobs that
+	// launch without MPI (the Multi-Process Without MPI issue label).
+	UsesMPI bool
+	FS      LustreConfig
+	// ExtraMounts adds non-Lustre mounts (e.g. /home nfs) to the header.
+	ExtraMounts []darshan.Mount
+	// MetaLatency is the cost of one metadata operation in seconds.
+	MetaLatency float64
+	// OpLatency is the fixed per-data-operation latency in seconds; it is
+	// what makes many small transfers slow.
+	OpLatency float64
+	// RankSkew optionally multiplies operation costs per rank to model
+	// stragglers; len must be NProcs when non-nil.
+	RankSkew []float64
+	// EnableDXT additionally records per-operation extended-tracing events
+	// (offset, length, start/end) retrievable via Sim.DXT. Mirrors
+	// enabling Darshan eXtended Tracing on a real system; off by default,
+	// as in production, because of its overhead.
+	EnableDXT bool
+}
+
+// withDefaults fills zero fields with production-plausible values.
+func (c Config) withDefaults() Config {
+	if c.Exe == "" {
+		c.Exe = "/apps/bin/app.x"
+	}
+	if c.JobID == 0 {
+		c.JobID = 4242
+	}
+	if c.UID == 0 {
+		c.UID = 1001
+	}
+	if c.StartTime == 0 {
+		c.StartTime = 1735689600 // fixed epoch for reproducibility
+	}
+	if c.NProcs == 0 {
+		c.NProcs = 1
+	}
+	if c.FS.MountPoint == "" {
+		c.FS = DefaultLustre()
+	}
+	if c.FS.NumOSTs <= 0 {
+		c.FS.NumOSTs = 16
+	}
+	if c.FS.NumMDTs <= 0 {
+		c.FS.NumMDTs = 1
+	}
+	if c.FS.DefaultStripeSize <= 0 {
+		c.FS.DefaultStripeSize = 1 << 20
+	}
+	if c.FS.DefaultStripeWidth <= 0 {
+		c.FS.DefaultStripeWidth = 1
+	}
+	if c.FS.PerOSTBandwidth <= 0 {
+		c.FS.PerOSTBandwidth = 500e6
+	}
+	if c.MetaLatency <= 0 {
+		c.MetaLatency = 300e-6
+	}
+	if c.OpLatency <= 0 {
+		c.OpLatency = 50e-6
+	}
+	return c
+}
+
+// MemAlignment is the memory alignment Darshan records (bytes).
+const MemAlignment = 4096

@@ -1,0 +1,23 @@
+// Package iosim simulates the I/O activity of parallel HPC applications and
+// produces Darshan logs, standing in for real instrumented runs on
+// production machines (the paper collected traces at NERSC; see DESIGN.md
+// for the substitution rationale).
+//
+// A Sim models an MPI job (N processes) running against a simulated Lustre
+// file system (configurable OST count, per-file stripe size/width). Callers
+// script file operations through four interfaces — POSIX, STDIO, and MPI-IO
+// independent/collective — and the simulator folds every operation into the
+// exact counter set the Darshan runtime would record: operation counts, byte
+// volumes, access-size histograms, sequential/consecutive classification,
+// alignment violations, common access sizes and strides, per-rank timing
+// with fastest/slowest/variance statistics, and Lustre striping records.
+//
+// The time model is intentionally simple but honest about the effects the
+// diagnosis labels care about: data transfers cost bytes/bandwidth where the
+// effective bandwidth scales with the stripe width actually covered by the
+// transfer, per-operation latency penalizes small and random I/O, metadata
+// operations cost a fixed latency, and per-rank skew produces load
+// imbalance. MPI-IO collective operations model two-phase I/O: aggregator
+// ranks issue large, stripe-aligned POSIX transfers on behalf of the
+// communicator.
+package iosim

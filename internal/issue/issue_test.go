@@ -1,0 +1,79 @@
+package issue
+
+import "testing"
+
+func TestAllHaveDescriptionsAndRecommendations(t *testing.T) {
+	if len(All) != 16 {
+		t.Fatalf("label set has %d entries, want 16 (Table II/III)", len(All))
+	}
+	for _, l := range All {
+		if Descriptions[l] == "" {
+			t.Errorf("label %q has no description", l)
+		}
+		if Recommendations[l] == "" {
+			t.Errorf("label %q has no recommendation", l)
+		}
+		if len(Topics[l]) < 2 {
+			t.Errorf("label %q has too few topics", l)
+		}
+	}
+}
+
+func TestParseCanonical(t *testing.T) {
+	for _, l := range All {
+		got, ok := Parse(string(l))
+		if !ok || got != l {
+			t.Errorf("Parse(%q) = %q, %v", l, got, ok)
+		}
+	}
+}
+
+func TestParseVariants(t *testing.T) {
+	cases := map[string]Label{
+		"misaligned read requests":       MisalignedReads,
+		"Misaligned Write requests":      MisalignedWrites,
+		"small write i/o requests":       SmallWrites,
+		"SMALL READ I/O REQUESTS":        SmallReads,
+		"Multi-Process W/O MPI":          MultiProcessNoMPI,
+		"no collective i/o on write":     NoCollectiveWrite,
+		"Random Access Patterns on Read": RandomReads,
+	}
+	for in, want := range cases {
+		got, ok := Parse(in)
+		if !ok || got != want {
+			t.Errorf("Parse(%q) = %q, %v; want %q", in, got, ok, want)
+		}
+	}
+	if _, ok := Parse("Totally Made Up Issue"); ok {
+		t.Error("Parse should reject unknown issues")
+	}
+}
+
+func TestSetSorted(t *testing.T) {
+	s := NewSet(SmallWrites, HighMetadataLoad, ServerImbalance)
+	got := s.Sorted()
+	want := []Label{HighMetadataLoad, SmallWrites, ServerImbalance}
+	if len(got) != len(want) {
+		t.Fatalf("Sorted() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Sorted()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestF1(t *testing.T) {
+	truth := NewSet(SmallWrites, MisalignedWrites)
+	pred := NewSet(SmallWrites, RandomReads)
+	p, r, f1 := F1(truth, pred)
+	if p != 0.5 || r != 0.5 || f1 != 0.5 {
+		t.Errorf("F1 = (%g,%g,%g), want (0.5,0.5,0.5)", p, r, f1)
+	}
+	if _, _, f1 := F1(NewSet(), NewSet()); f1 != 1 {
+		t.Errorf("empty/empty F1 = %g, want 1", f1)
+	}
+	if _, _, f1 := F1(truth, NewSet()); f1 != 0 {
+		t.Errorf("empty prediction F1 = %g, want 0", f1)
+	}
+}

@@ -1,0 +1,198 @@
+// Package jobsummary renders human-readable summaries of Darshan logs, in
+// the spirit of PyDarshan's job-summary reports (Luettgau et al., SC-W'23),
+// which the paper cites as the established way scientists inspect traces
+// before LLM assistance. The summary is also what a human expert would scan
+// first, making it a useful side-by-side artifact next to IOAgent's
+// diagnosis.
+package jobsummary
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"ioagent/internal/darshan"
+)
+
+// Summary holds the derived overview of one log.
+type Summary struct {
+	Exe       string
+	NProcs    int
+	RunTime   float64
+	Start     time.Time
+	Modules   []ModuleSummary
+	TopFiles  []FileVolume
+	Transfers Histogram
+}
+
+// ModuleSummary aggregates one module.
+type ModuleSummary struct {
+	Module       darshan.ModuleID
+	Files        int
+	Reads        int64
+	Writes       int64
+	BytesRead    int64
+	BytesWritten int64
+	MetaTime     float64
+	ReadTime     float64
+	WriteTime    float64
+}
+
+// FileVolume is one file's total traffic.
+type FileVolume struct {
+	Name  string
+	Bytes int64
+}
+
+// Histogram is the job-wide POSIX access-size distribution.
+type Histogram struct {
+	Buckets []string
+	Reads   []int64
+	Writes  []int64
+}
+
+// Build derives the summary from a log.
+func Build(log *darshan.Log) *Summary {
+	s := &Summary{
+		Exe:     log.Job.Exe,
+		NProcs:  log.Job.NProcs,
+		RunTime: log.Job.RunTime,
+		Start:   time.Unix(log.Job.StartTime, 0).UTC(),
+	}
+	volumes := map[string]int64{}
+	for _, m := range log.ModuleList() {
+		md := log.Modules[m]
+		prefix := m.CounterPrefix()
+		ms := ModuleSummary{Module: m, Files: len(md.Files())}
+		switch m {
+		case darshan.ModuleLustre:
+			// Striping-only module: no data counters.
+		case darshan.ModuleMPIIO:
+			ms.Reads = md.SumC("MPIIO_INDEP_READS") + md.SumC("MPIIO_COLL_READS")
+			ms.Writes = md.SumC("MPIIO_INDEP_WRITES") + md.SumC("MPIIO_COLL_WRITES")
+			ms.BytesRead = md.SumC("MPIIO_BYTES_READ")
+			ms.BytesWritten = md.SumC("MPIIO_BYTES_WRITTEN")
+			ms.MetaTime = md.SumF("MPIIO_F_META_TIME")
+			ms.ReadTime = md.SumF("MPIIO_F_READ_TIME")
+			ms.WriteTime = md.SumF("MPIIO_F_WRITE_TIME")
+		default:
+			ms.Reads = md.SumC(prefix + "_READS")
+			ms.Writes = md.SumC(prefix + "_WRITES")
+			ms.BytesRead = md.SumC(prefix + "_BYTES_READ")
+			ms.BytesWritten = md.SumC(prefix + "_BYTES_WRITTEN")
+			ms.MetaTime = md.SumF(prefix + "_F_META_TIME")
+			ms.ReadTime = md.SumF(prefix + "_F_READ_TIME")
+			ms.WriteTime = md.SumF(prefix + "_F_WRITE_TIME")
+			for _, r := range md.Records {
+				volumes[r.Name] += r.C(prefix+"_BYTES_READ") + r.C(prefix+"_BYTES_WRITTEN")
+			}
+		}
+		s.Modules = append(s.Modules, ms)
+	}
+
+	for name, b := range volumes {
+		if b > 0 {
+			s.TopFiles = append(s.TopFiles, FileVolume{name, b})
+		}
+	}
+	sort.Slice(s.TopFiles, func(i, j int) bool {
+		if s.TopFiles[i].Bytes != s.TopFiles[j].Bytes {
+			return s.TopFiles[i].Bytes > s.TopFiles[j].Bytes
+		}
+		return s.TopFiles[i].Name < s.TopFiles[j].Name
+	})
+	if len(s.TopFiles) > 10 {
+		s.TopFiles = s.TopFiles[:10]
+	}
+
+	if md, ok := log.Modules[darshan.ModulePOSIX]; ok {
+		buckets := []string{"0_100", "100_1K", "1K_10K", "10K_100K", "100K_1M",
+			"1M_4M", "4M_10M", "10M_100M", "100M_1G", "1G_PLUS"}
+		s.Transfers.Buckets = buckets
+		for _, b := range buckets {
+			s.Transfers.Reads = append(s.Transfers.Reads, md.SumC("POSIX_SIZE_READ_"+b))
+			s.Transfers.Writes = append(s.Transfers.Writes, md.SumC("POSIX_SIZE_WRITE_"+b))
+		}
+	}
+	return s
+}
+
+// humanBytes renders a byte count with a binary unit.
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// Format renders the summary as a fixed-width text report.
+func (s *Summary) Format() string {
+	var b strings.Builder
+	b.WriteString("=== Darshan Job Summary ===\n")
+	fmt.Fprintf(&b, "executable : %s\n", s.Exe)
+	fmt.Fprintf(&b, "processes  : %d\n", s.NProcs)
+	fmt.Fprintf(&b, "runtime    : %.2f s (started %s)\n\n", s.RunTime, s.Start.Format(time.RFC3339))
+
+	b.WriteString("per-module activity:\n")
+	fmt.Fprintf(&b, "  %-8s %6s %10s %10s %12s %12s %9s %9s %9s\n",
+		"module", "files", "reads", "writes", "read vol", "write vol", "meta(s)", "read(s)", "write(s)")
+	for _, m := range s.Modules {
+		if m.Module == darshan.ModuleLustre {
+			fmt.Fprintf(&b, "  %-8s %6d %10s %10s %12s %12s %9s %9s %9s\n",
+				m.Module, m.Files, "-", "-", "-", "-", "-", "-", "-")
+			continue
+		}
+		fmt.Fprintf(&b, "  %-8s %6d %10d %10d %12s %12s %9.3f %9.3f %9.3f\n",
+			m.Module, m.Files, m.Reads, m.Writes,
+			humanBytes(m.BytesRead), humanBytes(m.BytesWritten),
+			m.MetaTime, m.ReadTime, m.WriteTime)
+	}
+
+	if len(s.TopFiles) > 0 {
+		b.WriteString("\nbusiest files:\n")
+		for i, f := range s.TopFiles {
+			fmt.Fprintf(&b, "  %2d. %-48s %12s\n", i+1, f.Name, humanBytes(f.Bytes))
+		}
+	}
+
+	if len(s.Transfers.Buckets) > 0 {
+		b.WriteString("\nPOSIX access sizes (ops per bucket):\n")
+		fmt.Fprintf(&b, "  %-10s %10s %10s\n", "bucket", "reads", "writes")
+		for i, bucket := range s.Transfers.Buckets {
+			r, w := s.Transfers.Reads[i], s.Transfers.Writes[i]
+			if r == 0 && w == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  %-10s %10d %10d  %s\n", bucket, r, w, bar(r+w, maxBucket(s.Transfers)))
+		}
+	}
+	return b.String()
+}
+
+func maxBucket(h Histogram) int64 {
+	var m int64
+	for i := range h.Buckets {
+		if t := h.Reads[i] + h.Writes[i]; t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+func bar(v, max int64) string {
+	if max <= 0 {
+		return ""
+	}
+	n := int(v * 24 / max)
+	if n == 0 && v > 0 {
+		n = 1
+	}
+	return strings.Repeat("#", n)
+}

@@ -1,0 +1,174 @@
+package judge
+
+import (
+	"math"
+	"testing"
+
+	"ioagent/internal/issue"
+	"ioagent/internal/llm"
+)
+
+func mkEntry(tool string, labels []issue.Label, refs bool) Entry {
+	rep := &llm.Report{Preamble: "Analysis."}
+	for _, l := range labels {
+		f := llm.Finding{Label: l,
+			Evidence:       "the trace shows strong concrete evidence of this behavior with 42 operations affected overall today",
+			Recommendation: issue.Recommendations[l]}
+		if refs {
+			f.Refs = []string{"carns2011darshan"}
+		}
+		rep.Findings = append(rep.Findings, f)
+	}
+	return Entry{Tool: tool, Text: rep.Format()}
+}
+
+func TestMeanRanksOrdering(t *testing.T) {
+	truth := issue.NewSet(issue.SmallWrites, issue.SharedFileAccess, issue.NoCollectiveWrite)
+	entries := []Entry{
+		mkEntry("perfect", []issue.Label{issue.SmallWrites, issue.SharedFileAccess, issue.NoCollectiveWrite}, true),
+		mkEntry("partial", []issue.Label{issue.SmallWrites}, false),
+		mkEntry("wrong", []issue.Label{issue.HighMetadataLoad, issue.RandomReads}, false),
+		mkEntry("empty", nil, false),
+	}
+	j := New(llm.NewSim())
+	j.Permutations = 8
+	ranks, err := j.MeanRanks(entries, Accuracy, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ranks[0] < ranks[1] && ranks[1] < ranks[3]) {
+		t.Errorf("accuracy ranking out of order: %v", ranks)
+	}
+	if ranks[0] > 2.0 {
+		t.Errorf("perfect diagnosis should rank near 1, got %.2f", ranks[0])
+	}
+}
+
+func TestScoreMath(t *testing.T) {
+	if Score(1) != 3 || Score(4) != 0 {
+		t.Error("Score(rank) must be 4 - rank")
+	}
+	if got := Normalize(30, 10); got != 1 {
+		t.Errorf("Normalize(30,10) = %g, want 1 (all rank-1)", got)
+	}
+	if got := Normalize(0, 10); got != 0 {
+		t.Errorf("Normalize(0,10) = %g", got)
+	}
+	if Normalize(5, 0) != 0 {
+		t.Error("Normalize with zero samples must be 0")
+	}
+}
+
+func TestRanksAreCompletePermutation(t *testing.T) {
+	truth := issue.NewSet(issue.SmallWrites)
+	entries := []Entry{
+		mkEntry("a", []issue.Label{issue.SmallWrites}, false),
+		mkEntry("b", nil, false),
+		mkEntry("c", []issue.Label{issue.RandomReads}, false),
+		mkEntry("d", []issue.Label{issue.SmallWrites, issue.RandomReads}, false),
+	}
+	j := New(llm.NewSim())
+	j.Permutations = 1
+	ranks, err := j.MeanRanks(entries, Accuracy, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, r := range ranks {
+		sum += r
+	}
+	if sum != 1+2+3+4 {
+		t.Errorf("single-permutation ranks must be a permutation of 1..4, got %v", ranks)
+	}
+}
+
+// TestAugmentationsCancelBias reproduces the Fig. 4 rationale: with two
+// equally-good candidates, the un-augmented judge systematically favors a
+// position/name, while the fully augmented judge is close to fair.
+func TestAugmentationsCancelBias(t *testing.T) {
+	labels := []issue.Label{issue.SmallWrites, issue.SharedFileAccess}
+	truth := issue.NewSet(labels...)
+	// Identical quality, different (recognizable) names.
+	mk := func(tool string) Entry { return mkEntry(tool, labels, true) }
+
+	meanGap := func(aug Augmentations, flip bool) float64 {
+		j := New(llm.NewSim())
+		j.Augment = aug
+		j.Permutations = 4
+		var gap float64
+		n := 24
+		for i := 0; i < n; i++ {
+			// Vary the content slightly so judge noise redraws.
+			a := mk("Drishti")
+			b := mk("IOAgent")
+			pad := ""
+			for k := 0; k < i; k++ {
+				pad += " detail"
+			}
+			a.Text += "\nNotes:\n- run " + pad + "\n"
+			b.Text += "\nNotes:\n- run " + pad + "\n"
+			entries := []Entry{a, b}
+			if flip {
+				entries = []Entry{b, a}
+			}
+			ranks, err := j.MeanRanks(entries, Accuracy, truth)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first := 0
+			if flip {
+				first = 1
+			}
+			gap += ranks[1-first] - ranks[first] // second-listed minus first-listed
+		}
+		return gap / float64(n)
+	}
+
+	biased := meanGap(None(), false)
+	augmented := meanGap(All(), false)
+	if math.Abs(biased) <= math.Abs(augmented) {
+		t.Errorf("augmentations should reduce positional/name bias: |%.3f| (none) vs |%.3f| (all)", biased, augmented)
+	}
+	if math.Abs(augmented) > 0.5 {
+		t.Errorf("augmented judge still strongly biased: gap %.3f", augmented)
+	}
+}
+
+func TestBuildPromptStructure(t *testing.T) {
+	j := New(llm.NewSim())
+	entries := []Entry{
+		{Tool: "Drishti", Text: "text-a"},
+		{Tool: "ION", Text: "text-b"},
+	}
+	prompt, names := j.buildPrompt(entries, Accuracy, issue.NewSet(issue.SmallWrites), []int{1, 0}, []int{0, 1})
+	if names[0] != "Tool-1" || names[1] != "Tool-2" {
+		t.Errorf("anonymization failed: %v", names)
+	}
+	for _, want := range []string{"TASK: rank", "CRITERION: accuracy", "GROUND TRUTH ISSUES:", "- Small Write I/O Requests", "FORMAT ORDER:", "=== CANDIDATE Tool-1 ===", "text-b"} {
+		if !contains(prompt, want) {
+			t.Errorf("prompt missing %q", want)
+		}
+	}
+	// Content order [1,0]: ION's text comes first.
+	if idxOf(prompt, "text-b") > idxOf(prompt, "text-a") {
+		t.Error("content rotation not applied")
+	}
+}
+
+func contains(s, sub string) bool { return idxOf(s, sub) >= 0 }
+
+func idxOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestEmptyEntries(t *testing.T) {
+	j := New(llm.NewSim())
+	if _, err := j.MeanRanks(nil, Accuracy, nil); err == nil {
+		t.Error("expected error for no entries")
+	}
+}

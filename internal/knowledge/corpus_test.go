@@ -1,0 +1,92 @@
+package knowledge
+
+import (
+	"strings"
+	"testing"
+
+	"ioagent/internal/issue"
+)
+
+// TestCorpusSize pins the corpus to the paper's 66 surveyed works.
+func TestCorpusSize(t *testing.T) {
+	if got := len(Corpus()); got != 66 {
+		t.Errorf("corpus has %d documents, want 66", got)
+	}
+}
+
+func TestCorpusWellFormed(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, d := range Corpus() {
+		if d.Key == "" || d.Title == "" || d.Venue == "" {
+			t.Errorf("document %+v missing key/title/venue", d)
+		}
+		if seen[d.Key] {
+			t.Errorf("duplicate citation key %q", d.Key)
+		}
+		seen[d.Key] = true
+		if len(strings.Fields(d.Text)) < 20 {
+			t.Errorf("document %q body too short to chunk meaningfully", d.Key)
+		}
+		if d.Year < 1990 || d.Year > 2025 {
+			t.Errorf("document %q has implausible year %d", d.Key, d.Year)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	d, ok := Lookup("lockwood2018stripe")
+	if !ok || d.Year != 2018 {
+		t.Fatalf("Lookup(lockwood2018stripe) = %+v, %v", d, ok)
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup of unknown key should fail")
+	}
+}
+
+// TestTopicCoverage checks every issue label has at least one document whose
+// text matches two of its topic keywords — otherwise the RAG layer could
+// never ground a diagnosis of that label.
+func TestTopicCoverage(t *testing.T) {
+	for _, label := range issue.All {
+		topics := issue.Topics[label]
+		found := false
+		for _, d := range Corpus() {
+			text := strings.ToLower(d.Text)
+			n := 0
+			for _, kw := range topics {
+				if strings.Contains(text, kw) {
+					n++
+				}
+			}
+			if n >= 2 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no corpus document grounds label %q (topics %v)", label, topics)
+		}
+	}
+}
+
+func TestBuildIndexRetrieval(t *testing.T) {
+	ix := BuildIndex()
+	if ix.Len() < 66 {
+		t.Fatalf("index has %d chunks, want >= 66", ix.Len())
+	}
+	hits := ix.Search("85% of write requests transfer fewer than 1 MB small writes aggregate buffers", 5)
+	if len(hits) != 5 {
+		t.Fatalf("got %d hits", len(hits))
+	}
+	// At least one of the top hits must be a small-write document.
+	found := false
+	for _, h := range hits {
+		if strings.Contains(h.Chunk.DocKey, "small") || strings.Contains(strings.ToLower(h.Chunk.Text), "small write") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("small-write query did not retrieve small-write literature: %v",
+			[]string{hits[0].Chunk.DocKey, hits[1].Chunk.DocKey, hits[2].Chunk.DocKey})
+	}
+}

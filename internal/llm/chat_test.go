@@ -1,0 +1,118 @@
+package llm
+
+import (
+	"strings"
+	"testing"
+
+	"ioagent/internal/issue"
+)
+
+func chatPrompt(rep *Report, question string) string {
+	return "TASK: chat\nPRIOR DIAGNOSIS:\n" + rep.Format() + "\nQUESTION: " + question + "\n"
+}
+
+func singleFinding(l issue.Label, evidence string) *Report {
+	return &Report{Findings: []Finding{{
+		Label: l, Evidence: evidence,
+		Recommendation: issue.Recommendations[l],
+		Refs:           []string{"carns2011darshan"},
+	}}}
+}
+
+// TestChatAnswersPerLabel checks every issue label yields a concrete,
+// on-topic remediation answer.
+func TestChatAnswersPerLabel(t *testing.T) {
+	wantSnippet := map[issue.Label]string{
+		issue.HighMetadataLoad:  "container format",
+		issue.MisalignedReads:   "lfs setstripe -S",
+		issue.MisalignedWrites:  "lfs setstripe -S",
+		issue.RandomReads:       "Sort the offsets",
+		issue.RandomWrites:      "Sort the offsets",
+		issue.SharedFileAccess:  "collective",
+		issue.SmallReads:        "data sieving",
+		issue.SmallWrites:       "Aggregate writes",
+		issue.RepetitiveReads:   "Cache",
+		issue.ServerImbalance:   "lfs setstripe -c",
+		issue.RankImbalance:     "Rebalance",
+		issue.MultiProcessNoMPI: "MPI",
+		issue.NoCollectiveRead:  "MPI_File_read_at_all",
+		issue.NoCollectiveWrite: "MPI_File_write_at_all",
+		issue.LowLevelLibRead:   "fread",
+		issue.LowLevelLibWrite:  "fread",
+	}
+	for _, l := range issue.All {
+		rep := singleFinding(l, "strong evidence of "+string(l))
+		resp := complete(t, GPT4o, chatPrompt(rep, "How do I fix the "+string(l)+" problem?"))
+		if !strings.Contains(resp.Content, string(l)) {
+			t.Errorf("%s: answer does not name the finding:\n%s", l, resp.Content)
+		}
+		if !strings.Contains(resp.Content, wantSnippet[l]) {
+			t.Errorf("%s: answer missing %q:\n%s", l, wantSnippet[l], resp.Content)
+		}
+		if !strings.Contains(resp.Content, "carns2011darshan") {
+			t.Errorf("%s: answer does not cite the finding's references", l)
+		}
+	}
+}
+
+func TestChatNoFindings(t *testing.T) {
+	rep := &Report{Preamble: "All clean."}
+	resp := complete(t, GPT4o, chatPrompt(rep, "What should I fix?"))
+	if !strings.Contains(resp.Content, "did not identify any") {
+		t.Errorf("empty diagnosis should yield a no-action answer:\n%s", resp.Content)
+	}
+}
+
+func TestChatPicksRelevantFinding(t *testing.T) {
+	rep := &Report{Findings: []Finding{
+		{Label: issue.SmallWrites, Evidence: "small writes"},
+		{Label: issue.HighMetadataLoad, Evidence: "metadata storms from stat calls"},
+	}}
+	resp := complete(t, GPT4o, chatPrompt(rep, "Why is my metadata and stat load so high?"))
+	if !strings.Contains(resp.Content, "High Metadata Load") {
+		t.Errorf("question about metadata should select the metadata finding:\n%s", resp.Content)
+	}
+}
+
+func TestExtractSizeMB(t *testing.T) {
+	cases := []struct {
+		text string
+		want int
+	}{
+		{"the dominant access size is 4 MiB per request", 4},
+		{"the dominant access size is 16 MiB per request while 2 MiB elsewhere", 16},
+		{"transfers of 2.0 MiB observed", 2},
+		{"a 2048 KiB transfer", 2},
+		{"no sizes here", 4},                              // default
+		{"512 MiB are written without collective I/O", 4}, // too big to be a transfer size
+	}
+	for _, c := range cases {
+		if got := extractSizeMB(c.text); got != c.want {
+			t.Errorf("extractSizeMB(%q) = %d, want %d", c.text, got, c.want)
+		}
+	}
+}
+
+func TestExtractOSTs(t *testing.T) {
+	if got := extractOSTs("while 16 OSTs are available"); got != 8 {
+		t.Errorf("extractOSTs capped = %d, want 8", got)
+	}
+	if got := extractOSTs("while 4 OSTs are available"); got != 4 {
+		t.Errorf("extractOSTs = %d, want 4", got)
+	}
+	if got := extractOSTs("no mention"); got != 8 {
+		t.Errorf("extractOSTs default = %d, want 8", got)
+	}
+}
+
+func TestVerbosityAffectsChat(t *testing.T) {
+	rep := singleFinding(issue.SmallWrites, "small writes dominate")
+	frontier := complete(t, GPT4o, chatPrompt(rep, "How do I fix small writes?"))
+	open := complete(t, Llama31, chatPrompt(rep, "How do I fix small writes?"))
+	if !strings.Contains(frontier.Content, "re-run the application with Darshan") {
+		t.Error("verbose model should append the verification coda")
+	}
+	if strings.Contains(open.Content, "re-run the application with Darshan") {
+		t.Error("terse model should omit the verification coda")
+	}
+}

@@ -1,0 +1,216 @@
+package llm
+
+import (
+	"testing"
+
+	"ioagent/internal/issue"
+)
+
+const sampleTrace = `# darshan log version: 3.41
+# exe: /bin/app.x
+# nprocs: 8
+# run time: 722.0000
+# metadata: mpi = 1
+# mount entry:	/scratch	lustre
+
+POSIX	-1	111	POSIX_OPENS	16	/scratch/out.dat	/scratch	lustre
+POSIX	-1	111	POSIX_WRITES	1000	/scratch/out.dat	/scratch	lustre
+POSIX	-1	111	POSIX_BYTES_WRITTEN	65536000	/scratch/out.dat	/scratch	lustre
+POSIX	-1	111	POSIX_MAX_BYTE_WRITTEN	65535999	/scratch/out.dat	/scratch	lustre
+POSIX	-1	111	POSIX_SEQ_WRITES	990	/scratch/out.dat	/scratch	lustre
+POSIX	-1	111	POSIX_SIZE_WRITE_10K_100K	1000	/scratch/out.dat	/scratch	lustre
+POSIX	0	222	POSIX_READS	10	/scratch/cfg	/scratch	lustre
+MPI-IO	-1	111	MPIIO_INDEP_WRITES	1000	/scratch/out.dat	/scratch	lustre
+LUSTRE	-1	111	LUSTRE_STRIPE_WIDTH	1	/scratch/out.dat	/scratch	lustre
+LUSTRE	-1	111	LUSTRE_STRIPE_SIZE	1048576	/scratch/out.dat	/scratch	lustre
+LUSTRE	-1	111	LUSTRE_OSTS	16	/scratch/out.dat	/scratch	lustre
+`
+
+func TestExtractFactsTrace(t *testing.T) {
+	f := ExtractFacts(sampleTrace)
+	if f.NProcs != 8 || f.RunTime != 722 || !f.UsesMPI {
+		t.Errorf("header facts wrong: %+v", f)
+	}
+	if f.C("POSIX_WRITES") != 1000 {
+		t.Errorf("POSIX_WRITES = %g", f.C("POSIX_WRITES"))
+	}
+	if !f.SharedFiles["/scratch/out.dat"] {
+		t.Error("shared file not detected from rank -1")
+	}
+	if f.SharedFiles["/scratch/cfg"] {
+		t.Error("rank-0 file wrongly marked shared")
+	}
+	if f.Files["/scratch/out.dat"]["LUSTRE_STRIPE_WIDTH"] != 1 {
+		t.Error("per-file lustre counters missing")
+	}
+	if pos := f.Pos["POSIX_OPENS"]; pos <= 0 || pos >= 1 {
+		t.Errorf("position for POSIX_OPENS = %g", pos)
+	}
+}
+
+func TestExtractFactsJSON(t *testing.T) {
+	prompt := `TASK: diagnose
+{"module": "POSIX", "category": "io_size", "nprocs": 16, "runtime_s": 100.5,
+ "small_write_fraction": 0.85, "write_ops": 49152, "uses_mpi": 1}`
+	f := ExtractFacts(prompt)
+	if f.NProcs != 16 || f.RunTime != 100.5 || !f.UsesMPI {
+		t.Errorf("JSON job context not extracted: %+v", f)
+	}
+	if v, ok := f.D(KeySmallWriteFrac); !ok || v != 0.85 {
+		t.Errorf("small_write_fraction = %g, %v", v, ok)
+	}
+	if f.DerivedStr["module"] != "POSIX" {
+		t.Errorf("module = %q", f.DerivedStr["module"])
+	}
+}
+
+func TestExtractSourcesAndCandidates(t *testing.T) {
+	prompt := `TASK: rank
+CRITERION: accuracy
+GROUND TRUTH ISSUES:
+- Small Write I/O Requests
+- Shared File Access
+
+FORMAT ORDER: 1, 0
+=== CANDIDATE Tool-1 ===
+ISSUE: Small Write I/O Requests
+=== CANDIDATE Tool-2 ===
+ISSUE: High Metadata Load
+=== END CANDIDATES ===
+[SOURCE yang2019smallwrite] small writes hurt bandwidth
+`
+	f := ExtractFacts(prompt)
+	if len(f.Candidates) != 2 || f.Candidates[0].Name != "Tool-1" {
+		t.Fatalf("candidates = %+v", f.Candidates)
+	}
+	if len(f.Truth) != 2 {
+		t.Errorf("truth = %v", f.Truth)
+	}
+	if f.Criterion != "accuracy" {
+		t.Errorf("criterion = %q", f.Criterion)
+	}
+	if len(f.Sources) != 1 || f.Sources[0].Key != "yang2019smallwrite" {
+		t.Errorf("sources = %+v", f.Sources)
+	}
+}
+
+func TestViewFallbackDerivation(t *testing.T) {
+	f := ExtractFacts(sampleTrace)
+	v := NewView(f)
+	if frac, ok := v.SmallWriteFraction(); !ok || frac != 1.0 {
+		t.Errorf("SmallWriteFraction = %g, %v; want 1.0 from histogram", frac, ok)
+	}
+	if seq, ok := v.SeqWriteFraction(); !ok || seq != 0.99 {
+		t.Errorf("SeqWriteFraction = %g, %v", seq, ok)
+	}
+	if shared, ok := v.SharedDataFiles(); !ok || shared != 1 {
+		t.Errorf("SharedDataFiles = %g, %v", shared, ok)
+	}
+}
+
+func TestViewPrefersDerived(t *testing.T) {
+	prompt := `{"small_write_fraction": 0.42, "write_ops": 100}`
+	v := NewView(ExtractFacts(prompt))
+	if frac, ok := v.SmallWriteFraction(); !ok || frac != 0.42 {
+		t.Errorf("derived small fraction = %g, %v", frac, ok)
+	}
+}
+
+func TestRunRulesOnTrace(t *testing.T) {
+	f := ExtractFacts(sampleTrace)
+	hits := runRules(NewView(f))
+	got := make(map[issue.Label]bool)
+	for _, h := range hits {
+		got[h.label] = true
+	}
+	for _, want := range []issue.Label{issue.SmallWrites, issue.SharedFileAccess, issue.NoCollectiveWrite, issue.ServerImbalance} {
+		if !got[want] {
+			t.Errorf("rule for %q did not fire; fired: %v", want, keysOf(got))
+		}
+	}
+	if got[issue.RandomWrites] {
+		t.Error("sequential trace should not flag random writes")
+	}
+	if got[issue.MultiProcessNoMPI] {
+		t.Error("MPI job should not flag multi-process-without-MPI")
+	}
+}
+
+func keysOf(m map[issue.Label]bool) []issue.Label {
+	var out []issue.Label
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestRuleMultiProcessNoMPI(t *testing.T) {
+	prompt := `# nprocs: 4
+POSIX	0	1	POSIX_WRITES	100	/scratch/a	/scratch	lustre
+POSIX	0	1	POSIX_BYTES_WRITTEN	1000000	/scratch/a	/scratch	lustre
+`
+	hits := runRules(NewView(ExtractFacts(prompt)))
+	found := false
+	for _, h := range hits {
+		if h.label == issue.MultiProcessNoMPI {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("multi-process job without MPI not flagged")
+	}
+}
+
+func TestMatchSources(t *testing.T) {
+	sources := []Source{
+		{Key: "s1", Text: "small write requests hurt transfer size efficiency"},
+		{Key: "s2", Text: "quantum chromodynamics on lattices"},
+	}
+	keys := matchSources(issue.SmallWrites, sources)
+	if len(keys) != 1 || keys[0] != "s1" {
+		t.Errorf("matchSources = %v", keys)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := &Report{
+		Preamble: "Analysis of /bin/app.x.",
+		Findings: []Finding{
+			{Label: issue.SmallWrites, Evidence: "85% of writes under 1 MiB", Recommendation: "Aggregate writes.", Refs: []string{"yang2019smallwrite"}},
+			{Label: issue.ServerImbalance, Evidence: "stripe count 1", Recommendation: "Raise stripe count."},
+		},
+		Notes: []string{"The application wrote 64 MiB."},
+	}
+	back := ParseReport(r.Format())
+	if back.Preamble != r.Preamble {
+		t.Errorf("preamble %q != %q", back.Preamble, r.Preamble)
+	}
+	if len(back.Findings) != 2 {
+		t.Fatalf("findings = %d", len(back.Findings))
+	}
+	if back.Findings[0].Label != issue.SmallWrites || back.Findings[0].Refs[0] != "yang2019smallwrite" {
+		t.Errorf("finding 0 = %+v", back.Findings[0])
+	}
+	if len(back.Notes) != 1 {
+		t.Errorf("notes = %v", back.Notes)
+	}
+}
+
+func TestMergeReportsDedupes(t *testing.T) {
+	a := &Report{Findings: []Finding{{Label: issue.SmallWrites, Evidence: "e1", Refs: []string{"r1"}}}}
+	b := &Report{Findings: []Finding{
+		{Label: issue.SmallWrites, Evidence: "e2", Refs: []string{"r2"}},
+		{Label: issue.RandomReads, Evidence: "e3"},
+	}}
+	m := MergeReports([]*Report{a, b})
+	if len(m.Findings) != 2 {
+		t.Fatalf("merged findings = %d, want 2", len(m.Findings))
+	}
+	f0 := m.Findings[0]
+	if f0.Label != issue.SmallWrites || len(f0.Refs) != 2 {
+		t.Errorf("merged finding = %+v", f0)
+	}
+	if f0.Evidence != "e1 e2" {
+		t.Errorf("merged evidence = %q", f0.Evidence)
+	}
+}

@@ -1,0 +1,56 @@
+package llm
+
+import "testing"
+
+// FuzzParseReport: report parsing must never panic, and formatting the
+// parse must be parseable again (idempotence after one normalization).
+func FuzzParseReport(f *testing.F) {
+	f.Add("I/O Performance Diagnosis\nISSUE: Small Write I/O Requests\nEvidence: x\n")
+	f.Add("ISSUE: Unknown Thing\nReferences: a, b\nNotes:\n- note\n")
+	f.Add("")
+	f.Add("Evidence: orphan\nRecommendation: orphan\n")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		rep := ParseReport(text)
+		once := rep.Format()
+		rep2 := ParseReport(once)
+		twice := rep2.Format()
+		if once != twice {
+			t.Fatalf("Format not stable after one normalization:\n%q\nvs\n%q", once, twice)
+		}
+	})
+}
+
+// FuzzExtractFacts: fact extraction must never panic on arbitrary prompts.
+func FuzzExtractFacts(f *testing.F) {
+	f.Add(sampleTrace)
+	f.Add("TASK: rank\n=== CANDIDATE x ===\nbody\n")
+	f.Add(`{"a": 1, "b": "s"}`)
+	f.Add("# nprocs: notanumber\nPOSIX\tx\ty\tz\n")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		facts := ExtractFacts(text)
+		v := NewView(facts)
+		runRules(v) // must not panic either
+	})
+}
+
+// FuzzComplete: the full simulated model must never fail on arbitrary
+// prompts for a known model.
+func FuzzComplete(f *testing.F) {
+	f.Add("diagnose this")
+	f.Add("TASK: merge\n--- SUMMARY 1 ---\nISSUE: Small Write I/O Requests\n")
+	f.Add("TASK: rank\nCRITERION: utility\n")
+	f.Add("TASK: chat\nQUESTION: why?\n")
+
+	sim := NewSim()
+	f.Fuzz(func(t *testing.T, prompt string) {
+		resp, err := sim.Complete(Prompt(GPT4o, prompt))
+		if err != nil {
+			t.Fatalf("Complete errored on fuzz input: %v", err)
+		}
+		if resp.Usage.PromptTokens < 0 || resp.Usage.CompletionTokens < 0 {
+			t.Fatal("negative token usage")
+		}
+	})
+}

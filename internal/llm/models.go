@@ -1,0 +1,107 @@
+package llm
+
+import "sort"
+
+// ModelSpec describes one simulated model's behavioral envelope. Context
+// windows are scaled down ~16x from the vendors' published figures, matching
+// the scale factor between this repository's simulated traces and the
+// multi-million-line production traces the paper works with; what matters
+// is the *ratio* of trace size to window, which the scaling preserves.
+type ModelSpec struct {
+	Name string
+	// ContextWindow is the prompt budget in tokens.
+	ContextWindow int
+	// Capability in (0,1] is the base probability of correctly applying a
+	// diagnostic rule whose supporting evidence is in context.
+	Capability float64
+	// AttentionDecay in [0,1) is the maximum attention loss for facts in
+	// the middle of the context (lost-in-the-middle strength).
+	AttentionDecay float64
+	// MisconceptionRate is the probability of emitting a popular-but-wrong
+	// claim on an ungrounded topic.
+	MisconceptionRate float64
+	// MergeCapacity is the number of diagnosis summaries the model can
+	// merge in one shot without degradation; pairwise merging (2) is
+	// within every model's capacity by design.
+	MergeCapacity int
+	// Verbosity in (0,1] scales how much secondary detail the model adds
+	// to diagnosis output (frontier models elaborate more).
+	Verbosity float64
+	// CostInPerMTok / CostOutPerMTok are USD per million tokens.
+	CostInPerMTok  float64
+	CostOutPerMTok float64
+}
+
+// Model names available in the catalog. The -sim suffix marks them as
+// simulated stand-ins for the corresponding real models.
+const (
+	GPT4o     = "gpt-4o-sim"
+	GPT4oMini = "gpt-4o-mini-sim"
+	GPT4      = "gpt-4-sim"
+	Llama31   = "llama-3.1-70b-instruct-sim"
+	Llama3    = "llama-3-70b-instruct-sim"
+	O1Preview = "o1-preview-sim"
+)
+
+var catalog = map[string]ModelSpec{
+	GPT4o: {
+		Name: GPT4o, ContextWindow: 8192,
+		Capability: 0.93, AttentionDecay: 0.45, MisconceptionRate: 0.35,
+		MergeCapacity: 4, Verbosity: 1.0,
+		CostInPerMTok: 2.5, CostOutPerMTok: 10,
+	},
+	GPT4oMini: {
+		Name: GPT4oMini, ContextWindow: 8192,
+		Capability: 0.78, AttentionDecay: 0.55, MisconceptionRate: 0.45,
+		MergeCapacity: 2, Verbosity: 0.6,
+		CostInPerMTok: 0.15, CostOutPerMTok: 0.6,
+	},
+	GPT4: {
+		Name: GPT4, ContextWindow: 2048,
+		Capability: 0.55, AttentionDecay: 0.60, MisconceptionRate: 0.45,
+		MergeCapacity: 2, Verbosity: 0.5,
+		CostInPerMTok: 30, CostOutPerMTok: 60,
+	},
+	Llama31: {
+		Name: Llama31, ContextWindow: 4096,
+		Capability: 0.74, AttentionDecay: 0.55, MisconceptionRate: 0.45,
+		MergeCapacity: 2, Verbosity: 0.55,
+		CostInPerMTok: 0, CostOutPerMTok: 0, // self-hosted
+	},
+	Llama3: {
+		Name: Llama3, ContextWindow: 2048,
+		Capability: 0.62, AttentionDecay: 0.65, MisconceptionRate: 0.55,
+		MergeCapacity: 1, Verbosity: 0.5,
+		CostInPerMTok: 0, CostOutPerMTok: 0,
+	},
+	O1Preview: {
+		// Strong reasoner with a context window too small for whole
+		// traces (Section III notes it cannot fit the AMReX trace).
+		Name: O1Preview, ContextWindow: 2048,
+		Capability: 0.95, AttentionDecay: 0.35, MisconceptionRate: 0.25,
+		MergeCapacity: 4, Verbosity: 0.9,
+		CostInPerMTok: 15, CostOutPerMTok: 60,
+	},
+}
+
+// LookupModel returns the spec for name.
+func LookupModel(name string) (ModelSpec, bool) {
+	s, ok := catalog[name]
+	return s, ok
+}
+
+// Models lists the catalog names in sorted order.
+func Models() []string {
+	out := make([]string, 0, len(catalog))
+	for n := range catalog {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// cost computes the USD cost of one call.
+func (s ModelSpec) cost(u Usage) float64 {
+	return float64(u.PromptTokens)*s.CostInPerMTok/1e6 +
+		float64(u.CompletionTokens)*s.CostOutPerMTok/1e6
+}

@@ -1,0 +1,153 @@
+package llm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ioagent/internal/issue"
+)
+
+// randomReport builds a structurally valid report from fuzz input.
+func randomReport(rng *rand.Rand) *Report {
+	words := []string{"the", "application", "writes", "small", "requests",
+		"across", "ranks", "with", "42", "operations", "and", "97%", "ratio"}
+	sentence := func(n int) string {
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = words[rng.Intn(len(words))]
+		}
+		return strings.Join(parts, " ")
+	}
+	rep := &Report{Preamble: sentence(4+rng.Intn(6)) + "."}
+	n := rng.Intn(6)
+	for i := 0; i < n; i++ {
+		f := Finding{
+			Label:    issue.All[rng.Intn(len(issue.All))],
+			Evidence: sentence(3 + rng.Intn(12)),
+		}
+		if rng.Intn(2) == 0 {
+			f.Recommendation = sentence(4+rng.Intn(8)) + "."
+		}
+		for j := 0; j < rng.Intn(3); j++ {
+			f.Refs = append(f.Refs, "ref"+string(rune('a'+j)))
+		}
+		rep.Findings = append(rep.Findings, f)
+	}
+	for i := 0; i < rng.Intn(3); i++ {
+		rep.Notes = append(rep.Notes, sentence(5+rng.Intn(6))+".")
+	}
+	return rep
+}
+
+// Property: Format followed by ParseReport preserves labels, evidence,
+// recommendations, references, and notes.
+func TestReportRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rep := randomReport(rng)
+		back := ParseReport(rep.Format())
+		if len(back.Findings) != len(rep.Findings) || len(back.Notes) != len(rep.Notes) {
+			return false
+		}
+		for i := range rep.Findings {
+			a, b := rep.Findings[i], back.Findings[i]
+			if a.Label != b.Label || a.Evidence != b.Evidence || a.Recommendation != b.Recommendation {
+				return false
+			}
+			if len(a.Refs) != len(b.Refs) {
+				return false
+			}
+			for j := range a.Refs {
+				if a.Refs[j] != b.Refs[j] {
+					return false
+				}
+			}
+		}
+		for i := range rep.Notes {
+			if rep.Notes[i] != back.Notes[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MergeReports is idempotent on a single report and never loses
+// labels when merging a report with itself.
+func TestMergeIdempotentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rep := randomReport(rng)
+		merged := MergeReports([]*Report{rep, rep})
+		want := rep.Labels()
+		got := merged.Labels()
+		if len(want) != len(got) {
+			return false
+		}
+		for l := range want {
+			if !got[l] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ClaimedLabels of a formatted report equals the report's label
+// set restricted to the canonical vocabulary.
+func TestClaimedLabelsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rep := randomReport(rng)
+		claimed := ClaimedLabels(rep.Format())
+		for l := range rep.Labels() {
+			if !claimed[l] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAttentionFillThreshold: prompts under 20% of the window suffer no
+// attention loss regardless of model.
+func TestAttentionFillThreshold(t *testing.T) {
+	spec, _ := LookupModel(Llama3) // strongest decay
+	sim := NewSim()
+	short := "# nprocs: 4\nPOSIX\t0\t1\tPOSIX_WRITES\t100\t/scratch/a\t/scratch\tlustre\n"
+	f := ExtractFacts(short)
+	rng := rand.New(rand.NewSource(1))
+	sim.applyAttention(f, spec, CountTokens(short), rng)
+	if f.C("POSIX_WRITES") != 100 {
+		t.Error("short prompt must not lose facts to attention decay")
+	}
+}
+
+// TestTruncateMiddleProperty: output token count never exceeds the budget
+// by more than one line's worth, and head/tail lines survive.
+func TestTruncateMiddleProperty(t *testing.T) {
+	f := func(nLines uint8, budget uint16) bool {
+		n := int(nLines)%200 + 10
+		max := int(budget)%2000 + 50
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteString("line with several tokens inside it\n")
+		}
+		out, _ := TruncateMiddle(b.String(), max)
+		return CountTokens(out) <= max+16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,198 @@
+package llm
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"ioagent/internal/issue"
+)
+
+// chat implements the post-diagnosis interaction (paper Section VI-E /
+// Fig. 5): the prompt carries the prior diagnosis as context plus a user
+// QUESTION, and the model answers with explanations, tailored parameters,
+// and concrete commands grounded in the diagnosis and its references.
+func (s *SimLLM) chat(prompt string, f *FactSet, spec ModelSpec) string {
+	rep := ParseReport(prompt)
+	question := f.Question
+	if question == "" {
+		question = "How can I address the issues you found?"
+	}
+	target := matchFindingToQuestion(rep, question)
+	if target == nil {
+		if len(rep.Findings) == 0 {
+			return "I did not identify any I/O performance issues in the prior diagnosis, so no corrective action is needed. If the application still feels slow, collect a new trace covering the slow phase and run the diagnosis again."
+		}
+		target = &rep.Findings[0]
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "You are asking about the %q finding.\n\n", target.Label)
+	if target.Evidence != "" {
+		fmt.Fprintf(&b, "What the trace shows: %s.\n\n", strings.TrimSuffix(target.Evidence, "."))
+	}
+	b.WriteString("How to fix it:\n")
+	for i, step := range remediationSteps(target, rep) {
+		fmt.Fprintf(&b, "%d. %s\n", i+1, step)
+	}
+	if len(target.Refs) > 0 {
+		fmt.Fprintf(&b, "\nThese recommendations follow %s.\n", strings.Join(target.Refs, ", "))
+	}
+	if spec.Verbosity >= 0.8 {
+		b.WriteString("\nAfter applying the change, re-run the application with Darshan enabled and compare the new trace: the flagged counters should improve while total data volume stays the same.\n")
+	}
+	return b.String()
+}
+
+// matchFindingToQuestion picks the finding whose topic best overlaps the
+// question's vocabulary.
+func matchFindingToQuestion(rep *Report, question string) *Finding {
+	q := strings.ToLower(question)
+	best, bestScore := -1, 0
+	for i, f := range rep.Findings {
+		score := 0
+		for _, t := range issue.Topics[f.Label] {
+			if strings.Contains(q, t) {
+				score += 2
+			}
+		}
+		for _, w := range strings.Fields(strings.ToLower(string(f.Label))) {
+			if len(w) > 3 && strings.Contains(q, w) {
+				score++
+			}
+		}
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return &rep.Findings[best]
+}
+
+var (
+	accessMibRe = regexp.MustCompile(`dominant access size is (\d+(?:\.\d+)?)\s*MiB`)
+	mibRe       = regexp.MustCompile(`(\d+(?:\.\d+)?)\s*MiB`)
+	kibRe       = regexp.MustCompile(`(\d+(?:\.\d+)?)\s*KiB`)
+	ostsRe      = regexp.MustCompile(`(\d+)\s*OSTs`)
+)
+
+// remediationSteps synthesizes concrete, parameterized actions for the
+// finding, pulling transfer sizes and OST counts out of the evidence text
+// the way an assistant grounds its advice in the diagnosis.
+func remediationSteps(f *Finding, rep *Report) []string {
+	evidence := f.Evidence + " " + rep.Preamble + " " + strings.Join(rep.Notes, " ")
+	stripeMB := extractSizeMB(evidence)
+	osts := extractOSTs(evidence)
+
+	switch f.Label {
+	case issue.ServerImbalance:
+		return []string{
+			fmt.Sprintf("Raise the stripe count so large files span multiple storage targets: lfs setstripe -c %d <output-dir> (apply to the directory before creating files).", osts),
+			fmt.Sprintf("Match the stripe size to your dominant transfer size: lfs setstripe -S %dM <output-dir>.", stripeMB),
+			"Verify the new layout with lfs getstripe <file> after the next run.",
+		}
+	case issue.MisalignedWrites, issue.MisalignedReads:
+		return []string{
+			fmt.Sprintf("Set the stripe size equal to your transfer size so requests start on stripe boundaries: lfs setstripe -S %dM <output-dir>.", stripeMB),
+			"Or pad per-rank regions so every rank's offset is a multiple of the stripe size.",
+		}
+	case issue.NoCollectiveWrite:
+		return []string{
+			"Switch shared-file writes to the collective call: replace MPI_File_write_at with MPI_File_write_at_all.",
+			"If the application uses a high-level library, enable its collective mode (e.g. HDF5 H5Pset_dxpl_mpio with H5FD_MPIO_COLLECTIVE).",
+			"Force collective buffering through hints when code changes are impossible: set romio_cb_write=enable in the MPI info object.",
+		}
+	case issue.NoCollectiveRead:
+		return []string{
+			"Switch shared-file reads to the collective call: replace MPI_File_read_at with MPI_File_read_at_all.",
+			"Enable collective buffering for reads with the romio_cb_read=enable hint.",
+		}
+	case issue.SmallWrites:
+		return []string{
+			fmt.Sprintf("Aggregate writes in memory and flush in %d MiB blocks instead of writing each record individually.", stripeMB),
+			"If the data is produced across ranks, use MPI-IO collective writes so the library aggregates for you.",
+		}
+	case issue.SmallReads:
+		return []string{
+			fmt.Sprintf("Read in %d MiB blocks and serve the application from that buffer instead of issuing each small read to the file system.", stripeMB),
+			"Enable data sieving (romio_ds_read=enable) so the MPI-IO layer batches the small holes for you.",
+		}
+	case issue.HighMetadataLoad:
+		return []string{
+			"Aggregate the many small files into a container format (one HDF5 file with internal datasets) to eliminate per-file open/close costs.",
+			"Cache stat results instead of re-stating files inside loops.",
+		}
+	case issue.RandomWrites, issue.RandomReads:
+		return []string{
+			"Sort the offsets and issue accesses in increasing order, or stage data in memory and perform one sequential pass.",
+			"Collective MPI-IO also linearizes the access stream across ranks automatically.",
+		}
+	case issue.MultiProcessNoMPI:
+		return []string{
+			"Launch the processes under MPI and route file access through MPI-IO so the I/O layer can coordinate them.",
+			"As a stopgap, assign each process a disjoint stripe-aligned region to avoid lock conflicts.",
+		}
+	case issue.RankImbalance:
+		return []string{
+			"Rebalance the data decomposition so every rank writes a comparable volume.",
+			"Or funnel I/O through collective operations with evenly spread aggregators (cb_nodes hint).",
+		}
+	case issue.LowLevelLibRead, issue.LowLevelLibWrite:
+		return []string{
+			"Move bulk transfers from fread/fwrite to POSIX read/write or MPI-IO; keep STDIO only for small configuration and log files.",
+		}
+	case issue.RepetitiveReads:
+		return []string{
+			"Cache the re-read data in memory after the first pass, or stage it into a burst buffer / node-local SSD.",
+		}
+	case issue.SharedFileAccess:
+		return []string{
+			"Keep the shared file but add collective I/O so ranks coordinate, or split into a few subfiles if collective I/O is unavailable.",
+		}
+	}
+	if rec := issue.Recommendations[f.Label]; rec != "" {
+		return []string{rec}
+	}
+	return []string{"Collect a more detailed trace (e.g. Darshan DXT) to pin down the root cause."}
+}
+
+// extractSizeMB finds a transfer/access size mentioned in MiB or KiB in the
+// evidence and rounds it to whole MiB (minimum 1, default 4).
+func extractSizeMB(text string) int {
+	if m := accessMibRe.FindStringSubmatch(text); m != nil {
+		if v := atofSafe(m[1]); v >= 1 && v <= 64 {
+			return int(v + 0.5)
+		}
+	}
+	if m := mibRe.FindStringSubmatch(text); m != nil {
+		if v := atofSafe(m[1]); v >= 1 && v <= 64 {
+			return int(v + 0.5)
+		}
+	}
+	if m := kibRe.FindStringSubmatch(text); m != nil {
+		if v := atofSafe(m[1]); v >= 1024 {
+			return int(v/1024 + 0.5)
+		}
+	}
+	return 4
+}
+
+func extractOSTs(text string) int {
+	if m := ostsRe.FindStringSubmatch(text); m != nil {
+		if v := atofSafe(m[1]); v >= 2 {
+			if v > 8 {
+				return 8
+			}
+			return int(v)
+		}
+	}
+	return 8
+}
+
+func atofSafe(s string) float64 {
+	var v float64
+	fmt.Sscanf(s, "%f", &v)
+	return v
+}

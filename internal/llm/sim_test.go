@@ -1,0 +1,327 @@
+package llm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ioagent/internal/issue"
+)
+
+func complete(t *testing.T, model, prompt string) Response {
+	t.Helper()
+	resp, err := NewSim().Complete(Prompt(model, prompt))
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	return resp
+}
+
+func TestUnknownModel(t *testing.T) {
+	_, err := NewSim().Complete(Prompt("gpt-99", "hi"))
+	if err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+}
+
+func TestDeterministicResponses(t *testing.T) {
+	a := complete(t, GPT4o, sampleTrace)
+	b := complete(t, GPT4o, sampleTrace)
+	if a.Content != b.Content {
+		t.Error("identical requests must return identical content")
+	}
+}
+
+func TestDiagnoseFindsIssuesOnShortTrace(t *testing.T) {
+	resp := complete(t, GPT4o, sampleTrace)
+	labels := ClaimedLabels(resp.Content)
+	if !labels[issue.SmallWrites] {
+		t.Errorf("gpt-4o on a short trace should find small writes; got %v", labels.Sorted())
+	}
+	if !labels[issue.SharedFileAccess] {
+		t.Errorf("shared file access missing; got %v", labels.Sorted())
+	}
+	if resp.Truncated {
+		t.Error("short trace must not be truncated")
+	}
+	if resp.Usage.PromptTokens == 0 || resp.Usage.CompletionTokens == 0 {
+		t.Error("usage not accounted")
+	}
+	if resp.CostUSD <= 0 {
+		t.Error("gpt-4o calls must cost money")
+	}
+}
+
+// buildLongTrace creates a trace whose POSIX section is long filler and
+// whose MPI-IO/LUSTRE evidence sits in the middle, so that context
+// truncation plus attention decay degrade cross-module diagnoses.
+func buildLongTrace(filler int) string {
+	var b strings.Builder
+	b.WriteString("# darshan log version: 3.41\n# exe: /bin/amrex.x\n# nprocs: 8\n# run time: 722.0000\n# metadata: mpi = 1\n")
+	for i := 0; i < filler; i++ {
+		fmt.Fprintf(&b, "POSIX\t-1\t%d\tPOSIX_SIZE_WRITE_100K_1M\t%d\t/scratch/plt%04d\t/scratch\tlustre\n", 1000+i, 10+i%3, i)
+	}
+	// The decisive cross-module facts live in the middle section.
+	b.WriteString("POSIX\t-1\t111\tPOSIX_WRITES\t49152\t/scratch/chk.dat\t/scratch\tlustre\n")
+	b.WriteString("POSIX\t-1\t111\tPOSIX_BYTES_WRITTEN\t51539607552\t/scratch/chk.dat\t/scratch\tlustre\n")
+	b.WriteString("POSIX\t-1\t111\tPOSIX_MAX_BYTE_WRITTEN\t51539607551\t/scratch/chk.dat\t/scratch\tlustre\n")
+	b.WriteString("MPI-IO\t-1\t111\tMPIIO_INDEP_WRITES\t49152\t/scratch/chk.dat\t/scratch\tlustre\n")
+	b.WriteString("LUSTRE\t-1\t111\tLUSTRE_STRIPE_WIDTH\t1\t/scratch/chk.dat\t/scratch\tlustre\n")
+	b.WriteString("LUSTRE\t-1\t111\tLUSTRE_STRIPE_SIZE\t1048576\t/scratch/chk.dat\t/scratch\tlustre\n")
+	b.WriteString("LUSTRE\t-1\t111\tLUSTRE_OSTS\t16\t/scratch/chk.dat\t/scratch\tlustre\n")
+	for i := 0; i < filler; i++ {
+		fmt.Fprintf(&b, "STDIO\t0\t%d\tSTDIO_READS\t1\t/scratch/cfg%04d\t/scratch\tlustre\n", 5000+i, i)
+	}
+	return b.String()
+}
+
+func TestLongContextTruncationDegradesDiagnosis(t *testing.T) {
+	long := buildLongTrace(2000) // far beyond the 8192-token window
+	resp := complete(t, GPT4o, long)
+	if !resp.Truncated {
+		t.Fatal("long trace should be truncated")
+	}
+	if ClaimedLabels(resp.Content)[issue.NoCollectiveWrite] {
+		t.Error("truncation dropped the MPI-IO middle section; the no-collective issue should be missed (lost-in-the-middle)")
+	}
+}
+
+func TestShortContextKeepsCrossModuleIssue(t *testing.T) {
+	short := buildLongTrace(5)
+	resp := complete(t, GPT4o, short)
+	if resp.Truncated {
+		t.Fatal("short trace should fit")
+	}
+	if !ClaimedLabels(resp.Content)[issue.NoCollectiveWrite] {
+		t.Errorf("short trace should surface the no-collective issue; got %v", ClaimedLabels(resp.Content).Sorted())
+	}
+}
+
+func TestStripeMisconceptionWithoutGrounding(t *testing.T) {
+	// Default striping (1 x 1MiB) on a big file: the correct diagnosis is
+	// Server Load Imbalance; ungrounded models often claim the opposite.
+	trace := buildLongTrace(5)
+	sawMisconception, sawCorrect := false, false
+	for seed := int64(0); seed < 12; seed++ {
+		sim := &SimLLM{ExtraSeed: seed}
+		resp, err := sim.Complete(Prompt(GPT4o, trace))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(resp.Content, "optimal for minimizing the number of I/O requests") {
+			sawMisconception = true
+		}
+		if ClaimedLabels(resp.Content)[issue.ServerImbalance] {
+			sawCorrect = true
+		}
+	}
+	if !sawMisconception {
+		t.Error("ungrounded model never emitted the stripe misconception across 12 seeds")
+	}
+	if !sawCorrect {
+		t.Error("model never produced the correct striping diagnosis across 12 seeds")
+	}
+}
+
+func TestGroundingSuppressesMisconception(t *testing.T) {
+	trace := buildLongTrace(5) +
+		"[SOURCE lockwood2018stripe] a stripe count of one confines traffic to a single object storage target; raise the stripe count with lfs setstripe for large files; stripe width imbalance hurts OST server utilization\n"
+	for seed := int64(0); seed < 12; seed++ {
+		sim := &SimLLM{ExtraSeed: seed}
+		resp, err := sim.Complete(Prompt(GPT4o, trace))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(resp.Content, "optimal for minimizing the number of I/O requests") {
+			t.Fatalf("seed %d: grounded prompt still emitted the stripe misconception", seed)
+		}
+	}
+}
+
+func TestGroundedFindingsCiteSources(t *testing.T) {
+	prompt := `TASK: diagnose
+{"module": "POSIX", "category": "io_size", "nprocs": 8, "uses_mpi": 1,
+ "small_write_fraction": 0.9, "write_ops": 50000}
+[SOURCE yang2019smallwrite] small write requests under 1 MB amplify latency; aggregate small writes into larger transfer size buffers
+`
+	resp := complete(t, GPT4o, prompt)
+	rep := ParseReport(resp.Content)
+	for _, f := range rep.Findings {
+		if f.Label == issue.SmallWrites {
+			if len(f.Refs) == 0 || f.Refs[0] != "yang2019smallwrite" {
+				t.Errorf("grounded finding missing citation: %+v", f)
+			}
+			return
+		}
+	}
+	t.Fatalf("small-write finding missing: %s", rep.Summary())
+}
+
+func TestDescribeTask(t *testing.T) {
+	prompt := `TASK: describe
+{"module": "POSIX", "category": "io_size", "nprocs": 8, "runtime_s": 722,
+ "read_hist_0_100": 1.0, "small_read_fraction": 1.0, "bytes_read": 1048576}`
+	resp := complete(t, GPT4o, prompt)
+	if !strings.Contains(resp.Content, "100% of the read operations fall within the 0 bytes to 100 bytes range") {
+		t.Errorf("histogram sentence missing:\n%s", resp.Content)
+	}
+	if !strings.Contains(resp.Content, "8 processes") {
+		t.Errorf("job context missing:\n%s", resp.Content)
+	}
+}
+
+func TestFilterTask(t *testing.T) {
+	relevant := `TASK: filter
+FRAGMENT:
+85% of write requests transfer fewer than 1 MB, which classifies them as small writes; aggregating writes would recover bandwidth.
+END FRAGMENT
+[SOURCE yang2019smallwrite] small write requests amplify per-operation latency; aggregate small writes into buffers of at least 1 MB before flushing to recover write bandwidth
+`
+	resp := complete(t, GPT4o, relevant)
+	if !strings.HasPrefix(resp.Content, "YES") {
+		t.Errorf("relevant source rejected: %s", resp.Content)
+	}
+
+	irrelevant := `TASK: filter
+FRAGMENT:
+85% of write requests transfer fewer than 1 MB, which classifies them as small writes.
+END FRAGMENT
+[SOURCE xyz] coordinating applications' compute phases via network topology aware job placement reduces communication congestion on dragonfly interconnects
+`
+	resp = complete(t, GPT4o, irrelevant)
+	if !strings.HasPrefix(resp.Content, "NO") {
+		t.Errorf("irrelevant source accepted: %s", resp.Content)
+	}
+}
+
+func mkSummary(label issue.Label, ref string) string {
+	r := &Report{Findings: []Finding{{
+		Label: label, Evidence: "evidence for " + string(label),
+		Recommendation: issue.Recommendations[label], Refs: []string{ref},
+	}}}
+	return r.Format()
+}
+
+func mergePrompt(summaries ...string) string {
+	var b strings.Builder
+	b.WriteString("TASK: merge\n")
+	for i, s := range summaries {
+		fmt.Fprintf(&b, "--- SUMMARY %d ---\n%s\n", i+1, s)
+	}
+	b.WriteString("--- END SUMMARIES ---\n")
+	return b.String()
+}
+
+func TestPairwiseMergeLossless(t *testing.T) {
+	prompt := mergePrompt(
+		mkSummary(issue.SmallWrites, "yang2019smallwrite"),
+		mkSummary(issue.RandomReads, "shan2008characterizing"),
+	)
+	resp := complete(t, Llama3, prompt) // weakest model, pairwise regime
+	rep := ParseReport(resp.Content)
+	if len(rep.Findings) != 2 {
+		t.Fatalf("pairwise merge lost findings: %s", rep.Summary())
+	}
+	if len(rep.AllRefs()) != 2 {
+		t.Errorf("pairwise merge lost references: %v", rep.AllRefs())
+	}
+}
+
+func TestOneShotMergeLosesContent(t *testing.T) {
+	labels := []issue.Label{
+		issue.SmallWrites, issue.RandomWrites, issue.HighMetadataLoad, issue.MisalignedWrites,
+		issue.SharedFileAccess, issue.NoCollectiveWrite, issue.ServerImbalance, issue.SmallReads,
+	}
+	var summaries []string
+	for _, l := range labels {
+		summaries = append(summaries, mkSummary(l, "ref-"+string(l[0:4])))
+	}
+	resp := complete(t, Llama3, mergePrompt(summaries...))
+	rep := ParseReport(resp.Content)
+	if len(rep.Findings) >= len(labels) {
+		t.Errorf("one-shot 8-way merge on a weak model should lose findings; kept %d/%d",
+			len(rep.Findings), len(labels))
+	}
+}
+
+func TestChatTask(t *testing.T) {
+	diagnosis := (&Report{
+		Preamble: "Analysis of ior.",
+		Findings: []Finding{{
+			Label:          issue.ServerImbalance,
+			Evidence:       "the dominant access size is 4.0 MiB while files use a stripe count of 1 and a 1.0 MiB stripe size; 16 OSTs are available",
+			Recommendation: issue.Recommendations[issue.ServerImbalance],
+			Refs:           []string{"lockwood2018stripe"},
+		}},
+	}).Format()
+	prompt := "TASK: chat\nPRIOR DIAGNOSIS:\n" + diagnosis + "\nQUESTION: How do I fix the stripe settings issue?\n"
+	resp := complete(t, GPT4o, prompt)
+	if !strings.Contains(resp.Content, "lfs setstripe -S 4M") {
+		t.Errorf("chat answer should tailor the stripe size to the 4 MiB accesses:\n%s", resp.Content)
+	}
+	if !strings.Contains(resp.Content, "lfs setstripe -c 8") {
+		t.Errorf("chat answer should raise the stripe count:\n%s", resp.Content)
+	}
+	if !strings.Contains(resp.Content, "lockwood2018stripe") {
+		t.Errorf("chat answer should cite the diagnosis references:\n%s", resp.Content)
+	}
+}
+
+func TestRankTask(t *testing.T) {
+	good := (&Report{Findings: []Finding{
+		{Label: issue.SmallWrites, Evidence: "85% of 49152 writes under 1 MiB", Recommendation: "Aggregate.", Refs: []string{"x"}},
+		{Label: issue.SharedFileAccess, Evidence: "1 file shared by 8 ranks", Recommendation: "Use collectives."},
+	}}).Format()
+	bad := (&Report{Findings: []Finding{
+		{Label: issue.HighMetadataLoad, Evidence: "metadata heavy"},
+	}}).Format()
+
+	prompt := `TASK: rank
+CRITERION: accuracy
+GROUND TRUTH ISSUES:
+- Small Write I/O Requests
+- Shared File Access
+
+FORMAT ORDER: 0, 1
+=== CANDIDATE Tool-1 ===
+` + bad + `
+=== CANDIDATE Tool-2 ===
+` + good + `
+=== END CANDIDATES ===
+`
+	resp := complete(t, GPT4o, prompt)
+	lines := strings.Split(resp.Content, "\n")
+	var rank1 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "RANK 1:") {
+			rank1 = strings.TrimSpace(strings.TrimPrefix(l, "RANK 1:"))
+		}
+	}
+	if rank1 != "Tool-2" {
+		t.Errorf("accurate candidate should rank first despite positional bias; got %q\n%s", rank1, resp.Content)
+	}
+	if !strings.Contains(resp.Content, "EXPLANATION:") {
+		t.Error("ranking must include an explanation")
+	}
+}
+
+func TestMaxTokensCapsOutput(t *testing.T) {
+	req := Prompt(GPT4o, sampleTrace)
+	req.MaxTokens = 10
+	resp, err := NewSim().Complete(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Usage.CompletionTokens > 12 {
+		t.Errorf("completion has %d tokens despite MaxTokens=10", resp.Usage.CompletionTokens)
+	}
+}
+
+func TestVerbosityDiffersAcrossTiers(t *testing.T) {
+	frontier := complete(t, GPT4o, sampleTrace)
+	open := complete(t, Llama31, sampleTrace)
+	if CountTokens(frontier.Content) <= CountTokens(open.Content) {
+		t.Errorf("frontier model should elaborate more: %d vs %d tokens",
+			CountTokens(frontier.Content), CountTokens(open.Content))
+	}
+}

@@ -1,0 +1,106 @@
+package llm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountTokens(t *testing.T) {
+	if got := CountTokens(""); got != 0 {
+		t.Errorf("CountTokens(\"\") = %d", got)
+	}
+	if got := CountTokens("one two three four"); got != 5 { // 4 words + 4/3
+		t.Errorf("CountTokens(4 words) = %d, want 5", got)
+	}
+}
+
+func TestCountTokensMonotone(t *testing.T) {
+	f := func(a, b string) bool {
+		return CountTokens(a+" "+b) >= CountTokens(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTruncateMiddleNoop(t *testing.T) {
+	text := "short prompt"
+	out, cut := TruncateMiddle(text, 100)
+	if cut || out != text {
+		t.Errorf("short text must pass through unchanged")
+	}
+}
+
+func TestTruncateMiddleKeepsHeadAndTail(t *testing.T) {
+	var lines []string
+	for i := 0; i < 400; i++ {
+		lines = append(lines, strings.Repeat("tok ", 10))
+	}
+	lines[0] = "HEAD_MARKER"
+	lines[200] = "MIDDLE_MARKER"
+	lines[399] = "TAIL_MARKER"
+	text := strings.Join(lines, "\n")
+
+	out, cut := TruncateMiddle(text, 1000)
+	if !cut {
+		t.Fatal("expected truncation")
+	}
+	if !strings.Contains(out, "HEAD_MARKER") {
+		t.Error("head lost")
+	}
+	if !strings.Contains(out, "TAIL_MARKER") {
+		t.Error("tail lost")
+	}
+	if strings.Contains(out, "MIDDLE_MARKER") {
+		t.Error("middle should be dropped (lost-in-the-middle)")
+	}
+	if !strings.Contains(out, truncMarker) {
+		t.Error("truncation marker missing")
+	}
+	if CountTokens(out) > 1100 {
+		t.Errorf("truncated text still has %d tokens", CountTokens(out))
+	}
+}
+
+func TestModelsCatalog(t *testing.T) {
+	for _, name := range Models() {
+		spec, ok := LookupModel(name)
+		if !ok {
+			t.Fatalf("catalog inconsistency for %q", name)
+		}
+		if spec.ContextWindow <= 0 || spec.Capability <= 0 || spec.Capability > 1 {
+			t.Errorf("model %q has invalid spec %+v", name, spec)
+		}
+		if spec.MergeCapacity < 1 {
+			t.Errorf("model %q merge capacity %d", name, spec.MergeCapacity)
+		}
+	}
+	if _, ok := LookupModel("gpt-99"); ok {
+		t.Error("unknown model should not resolve")
+	}
+	// The frontier model must out-rank the open models on capability, and
+	// o1's window must be too small for whole traces (Section III).
+	g4o, _ := LookupModel(GPT4o)
+	l31, _ := LookupModel(Llama31)
+	l3, _ := LookupModel(Llama3)
+	o1, _ := LookupModel(O1Preview)
+	if !(g4o.Capability > l31.Capability && l31.Capability > l3.Capability) {
+		t.Error("capability ordering gpt-4o > llama-3.1 > llama-3 violated")
+	}
+	if o1.ContextWindow >= g4o.ContextWindow {
+		t.Error("o1-preview window must be smaller than gpt-4o's")
+	}
+}
+
+func TestCostAccounting(t *testing.T) {
+	spec, _ := LookupModel(GPT4o)
+	u := Usage{PromptTokens: 1_000_000, CompletionTokens: 1_000_000}
+	if got := spec.cost(u); got != spec.CostInPerMTok+spec.CostOutPerMTok {
+		t.Errorf("cost = %g", got)
+	}
+	llama, _ := LookupModel(Llama31)
+	if llama.cost(u) != 0 {
+		t.Error("self-hosted llama should cost 0")
+	}
+}

@@ -1,0 +1,210 @@
+package tracebench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ioagent/internal/darshan"
+	"ioagent/internal/iosim"
+	"ioagent/internal/issue"
+)
+
+// io500 builds the 21 IO500-configuration traces. Each configuration tunes
+// the benchmark's workloads (ior-easy, ior-hard, mdtest, randomized ior) to
+// induce specific sub-optimal patterns; many traces exhibit several
+// overlapping issues (paper Section V-2).
+func io500() []*Trace {
+	var out []*Trace
+
+	// Group A (6): ior-hard without MPI — shared file, small unaligned
+	// interleaved transfers, default narrow striping, plain POSIX
+	// processes launched without MPI.
+	hardNoMPI := issue.NewSet(issue.SharedFileAccess, issue.SmallReads, issue.SmallWrites,
+		issue.MisalignedReads, issue.MisalignedWrites, issue.ServerImbalance, issue.MultiProcessNoMPI)
+	for i, xfer := range []int64{47008, 4096, 64000, 8000, 100000, 23504} {
+		seed := int64(200 + i)
+		nprocs := 8
+		iters := hardIters(nprocs, xfer)
+		x := xfer
+		out = append(out, &Trace{
+			Name:   fmt.Sprintf("io500-%02d-ior-hard-nompi-%db", i+1, x),
+			Source: IO500,
+			Description: fmt.Sprintf("ior-hard: %d-byte interleaved shared-file transfers, POSIX, no MPI, stripe 1x1MiB",
+				x),
+			Labels: hardNoMPI,
+			gen: func() *darshan.Log {
+				return genIORHard(seed, nprocs, x, iters, false)
+			},
+		})
+	}
+
+	// Group B (4): ior-hard through independent MPI-IO — same pattern but
+	// the job is MPI and issues independent (non-collective) operations.
+	hardMPI := issue.NewSet(issue.SharedFileAccess, issue.SmallReads, issue.SmallWrites,
+		issue.MisalignedReads, issue.MisalignedWrites, issue.ServerImbalance,
+		issue.NoCollectiveRead, issue.NoCollectiveWrite)
+	for i, xfer := range []int64{47008, 8192, 32000, 120000} {
+		seed := int64(210 + i)
+		x := xfer
+		out = append(out, &Trace{
+			Name:   fmt.Sprintf("io500-%02d-ior-hard-indep-%db", 7+i, x),
+			Source: IO500,
+			Description: fmt.Sprintf("ior-hard: %d-byte interleaved shared-file transfers via independent MPI-IO, stripe 1x1MiB",
+				x),
+			Labels: hardMPI,
+			gen: func() *darshan.Log {
+				return genIORHard(seed, 8, x, hardIters(8, x), true)
+			},
+		})
+	}
+
+	// Group C (5): randomized ior without MPI — file-per-process, large
+	// aligned transfers at random offsets, narrow striping.
+	randomSet := issue.NewSet(issue.RandomReads, issue.RandomWrites, issue.ServerImbalance, issue.MultiProcessNoMPI)
+	for i := 0; i < 5; i++ {
+		seed := int64(220 + i)
+		idx := i
+		out = append(out, &Trace{
+			Name:        fmt.Sprintf("io500-%02d-ior-random-%d", 11+i, idx),
+			Source:      IO500,
+			Description: "randomized ior: 1 MiB transfers at random aligned offsets, file per process, no MPI, stripe 1x1MiB",
+			Labels:      randomSet,
+			gen: func() *darshan.Log {
+				return genIORRandom(seed, 8, 1<<20, 64, 64<<20)
+			},
+		})
+	}
+
+	// Group D (2): mdtest — pure metadata storms from non-MPI processes.
+	mdSet := issue.NewSet(issue.HighMetadataLoad, issue.MultiProcessNoMPI)
+	for i, files := range []int{120, 200} {
+		seed := int64(230 + i)
+		n := files
+		out = append(out, &Trace{
+			Name:        fmt.Sprintf("io500-%02d-mdtest-%df", 16+i, n),
+			Source:      IO500,
+			Description: fmt.Sprintf("mdtest: %d file creates/stats per process, no MPI", n),
+			Labels:      mdSet,
+			gen: func() *darshan.Log {
+				return genMdtest(seed, 8, n)
+			},
+		})
+	}
+
+	// Group E (4): ior-easy through independent MPI-IO on a shared file —
+	// large aligned transfers and wide striping, but still no collectives.
+	easySet := issue.NewSet(issue.SharedFileAccess, issue.NoCollectiveRead, issue.NoCollectiveWrite)
+	for i, xfer := range []int64{8 << 20, 4 << 20, 16 << 20, 2 << 20} {
+		seed := int64(240 + i)
+		x := xfer
+		out = append(out, &Trace{
+			Name:   fmt.Sprintf("io500-%02d-ior-easy-indep-%dmb", 18+i, x>>20),
+			Source: IO500,
+			Description: fmt.Sprintf("ior-easy: %d MiB shared-file transfers via independent MPI-IO, stripe 8x1MiB",
+				x>>20),
+			Labels: easySet,
+			gen: func() *darshan.Log {
+				return genIOREasyShared(seed, 8, x, 8)
+			},
+		})
+	}
+
+	return out
+}
+
+// hardIters picks an iteration count so every ior-hard configuration moves
+// enough data for its labels: the shared file's extent must exceed four
+// stripe units (Server Load Imbalance) and each direction must exceed the
+// collective-relevance volume floor.
+func hardIters(nprocs int, xfer int64) int64 {
+	const targetBytes = 9 << 20
+	iters := targetBytes / (int64(nprocs) * xfer)
+	if iters < 96 {
+		iters = 96
+	}
+	return iters
+}
+
+// genIORHard models ior-hard: every rank writes then reads xfer-byte
+// records interleaved with all other ranks into one shared file.
+func genIORHard(seed int64, nprocs int, xfer, iters int64, mpi bool) *darshan.Log {
+	s := iosim.New(iosim.Config{Seed: seed, NProcs: nprocs, UsesMPI: mpi, Exe: "/bench/io500/ior"})
+	lay := &iosim.Layout{StripeSize: 1 << 20, StripeWidth: 1}
+	iface := iosim.POSIX
+	if mpi {
+		iface = iosim.MPIIndep
+	}
+	f := s.OpenShared("/scratch/io500/ior-hard.dat", iface, false, lay)
+	for rank := 0; rank < nprocs; rank++ {
+		for k := int64(0); k < iters; k++ {
+			off := (k*int64(nprocs) + int64(rank)) * xfer
+			f.WriteAt(rank, off, xfer)
+		}
+	}
+	for rank := 0; rank < nprocs; rank++ {
+		for k := int64(0); k < iters; k++ {
+			off := (k*int64(nprocs) + int64(rank)) * xfer
+			f.ReadAt(rank, off, xfer)
+		}
+	}
+	f.Close()
+	return s.Finalize()
+}
+
+// genIORRandom models a randomized ior run: file-per-process, size-aligned
+// random offsets, both phases.
+func genIORRandom(seed int64, nprocs int, xfer int64, ops int, extent int64) *darshan.Log {
+	s := iosim.New(iosim.Config{Seed: seed, NProcs: nprocs, UsesMPI: false, Exe: "/bench/io500/ior"})
+	rng := rand.New(rand.NewSource(seed * 7))
+	lay := &iosim.Layout{StripeSize: 1 << 20, StripeWidth: 1}
+	slots := extent / xfer
+	for rank := 0; rank < nprocs; rank++ {
+		f := s.Open(fmt.Sprintf("/scratch/io500/ior-rand.%d.dat", rank), rank, iosim.POSIX, lay)
+		for k := 0; k < ops; k++ {
+			f.WriteAt(rank, xfer*rng.Int63n(slots), xfer)
+		}
+		for k := 0; k < ops; k++ {
+			f.ReadAt(rank, xfer*rng.Int63n(slots), xfer)
+		}
+		f.Close(rank)
+	}
+	return s.Finalize()
+}
+
+// genMdtest models mdtest: per-process file create/stat/close storms with
+// no data movement.
+func genMdtest(seed int64, nprocs, filesPerProc int) *darshan.Log {
+	s := iosim.New(iosim.Config{Seed: seed, NProcs: nprocs, UsesMPI: false, Exe: "/bench/io500/mdtest"})
+	for rank := 0; rank < nprocs; rank++ {
+		for i := 0; i < filesPerProc; i++ {
+			f := s.Open(fmt.Sprintf("/scratch/io500/md/%d/f.%d", rank, i), rank, iosim.POSIX, nil)
+			f.Stat(rank)
+			f.Stat(rank)
+			f.Close(rank)
+		}
+	}
+	return s.Finalize()
+}
+
+// genIOREasyShared models ior-easy onto one shared file via independent
+// MPI-IO: block-partitioned large aligned transfers, wide striping.
+func genIOREasyShared(seed int64, nprocs int, xfer int64, width int) *darshan.Log {
+	s := iosim.New(iosim.Config{Seed: seed, NProcs: nprocs, UsesMPI: true, Exe: "/bench/io500/ior"})
+	lay := &iosim.Layout{StripeSize: 1 << 20, StripeWidth: width}
+	f := s.OpenShared("/scratch/io500/ior-easy.dat", iosim.MPIIndep, false, lay)
+	perRank := 4 * xfer
+	for rank := 0; rank < nprocs; rank++ {
+		base := int64(rank) * perRank
+		for off := int64(0); off < perRank; off += xfer {
+			f.WriteAt(rank, base+off, xfer)
+		}
+	}
+	for rank := 0; rank < nprocs; rank++ {
+		base := int64(rank) * perRank
+		for off := int64(0); off < perRank; off += xfer {
+			f.ReadAt(rank, base+off, xfer)
+		}
+	}
+	f.Close()
+	return s.Finalize()
+}

@@ -1,0 +1,222 @@
+package tracebench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ioagent/internal/darshan"
+	"ioagent/internal/iosim"
+	"ioagent/internal/issue"
+)
+
+// realApps builds the 9 Real-Application traces: application-shaped runs
+// collected "on production systems", including original/fixed pairs for the
+// E2E and OpenPMD pipelines (paper Section V-3).
+func realApps() []*Trace {
+	home := []darshan.Mount{{Point: "/home", FSType: "nfs"}}
+	return []*Trace{
+		{
+			Name: "ra1-e2e-orig", Source: RealApps,
+			Description: "E2E earth-science pipeline, original: small unaligned shared-file record writes",
+			Labels: issue.NewSet(issue.SharedFileAccess, issue.SmallWrites, issue.MisalignedWrites,
+				issue.NoCollectiveWrite, issue.SmallReads),
+			gen: func() *darshan.Log {
+				s := iosim.New(iosim.Config{Seed: 301, NProcs: 8, UsesMPI: true, Exe: "/apps/e2e/pipeline.x", ExtraMounts: home})
+				lay := &iosim.Layout{StripeSize: 1 << 20, StripeWidth: 8}
+				out := s.OpenShared("/scratch/e2e/records.dat", iosim.POSIX, false, lay)
+				for rank := 0; rank < 8; rank++ {
+					for k := int64(0); k < 256; k++ {
+						out.WriteAt(rank, (k*8+int64(rank))*32768+3, 32000)
+					}
+				}
+				out.Close()
+				for rank := 0; rank < 8; rank++ {
+					in := s.Open(fmt.Sprintf("/home/e2e/input.%d.csv", rank), rank, iosim.POSIX, nil)
+					for k := int64(0); k < 128; k++ {
+						in.ReadAt(rank, k*4096, 4096)
+					}
+					in.Close(rank)
+				}
+				return s.Finalize()
+			},
+		},
+		{
+			Name: "ra2-e2e-fixed", Source: RealApps,
+			Description: "E2E pipeline after the fix: collective buffered writes (residual base misalignment)",
+			Labels:      issue.NewSet(issue.SharedFileAccess, issue.MisalignedWrites),
+			gen: func() *darshan.Log {
+				s := iosim.New(iosim.Config{Seed: 302, NProcs: 8, UsesMPI: true, Exe: "/apps/e2e/pipeline.x", ExtraMounts: home})
+				lay := &iosim.Layout{StripeSize: 1 << 20, StripeWidth: 8}
+				out := s.OpenShared("/scratch/e2e/records.dat", iosim.MPIColl, true, lay)
+				// A 37-byte header shifts every collective round off the
+				// stripe boundary: the residual issue the re-collected
+				// trace still shows.
+				for k := int64(0); k < 8; k++ {
+					out.CollectiveWrite(37+k*(8<<20), 1<<20)
+				}
+				out.Close()
+				return s.Finalize()
+			},
+		},
+		{
+			Name: "ra3-openpmd-orig", Source: RealApps,
+			Description: "OpenPMD particle dumps, original: interleaved small unaligned shared-file I/O",
+			Labels: issue.NewSet(issue.SharedFileAccess, issue.SmallWrites, issue.SmallReads,
+				issue.MisalignedWrites, issue.MisalignedReads, issue.NoCollectiveWrite, issue.NoCollectiveRead),
+			gen: func() *darshan.Log {
+				s := iosim.New(iosim.Config{Seed: 303, NProcs: 8, UsesMPI: true, Exe: "/apps/openpmd/dump.x"})
+				lay := &iosim.Layout{StripeSize: 1 << 20, StripeWidth: 8}
+				f := s.OpenShared("/scratch/openpmd/particles.h5", iosim.MPIIndep, false, lay)
+				for rank := 0; rank < 8; rank++ {
+					for k := int64(0); k < 128; k++ {
+						f.WriteAt(rank, (k*8+int64(rank))*64000, 64000)
+					}
+				}
+				for rank := 0; rank < 8; rank++ {
+					for k := int64(0); k < 128; k++ {
+						f.ReadAt(rank, (k*8+int64(rank))*64000, 64000)
+					}
+				}
+				f.Close()
+				return s.Finalize()
+			},
+		},
+		{
+			Name: "ra4-openpmd-fixed", Source: RealApps,
+			Description: "OpenPMD after the fix: stripe-aligned collective chunks",
+			Labels:      issue.NewSet(issue.SharedFileAccess),
+			gen: func() *darshan.Log {
+				s := iosim.New(iosim.Config{Seed: 304, NProcs: 8, UsesMPI: true, Exe: "/apps/openpmd/dump.x"})
+				lay := &iosim.Layout{StripeSize: 4 << 20, StripeWidth: 8}
+				f := s.OpenShared("/scratch/openpmd/particles.h5", iosim.MPIColl, true, lay)
+				for k := int64(0); k < 8; k++ {
+					f.CollectiveWrite(k*(32<<20), 4<<20)
+				}
+				for k := int64(0); k < 4; k++ {
+					f.CollectiveRead(k*(32<<20), 4<<20)
+				}
+				f.Close()
+				return s.Finalize()
+			},
+		},
+		{
+			Name: "ra5-dl-ingest", Source: RealApps,
+			Description: "deep-learning training ingest: shard enumeration storms plus small random reads",
+			Labels: issue.NewSet(issue.HighMetadataLoad, issue.SmallReads, issue.RandomReads,
+				issue.NoCollectiveRead, issue.SmallWrites),
+			gen: func() *darshan.Log {
+				s := iosim.New(iosim.Config{Seed: 305, NProcs: 8, UsesMPI: true, Exe: "/apps/dl/train.x", ExtraMounts: home})
+				rng := rand.New(rand.NewSource(305))
+				for rank := 0; rank < 8; rank++ {
+					for i := 0; i < 40; i++ {
+						f := s.Open(fmt.Sprintf("/home/dataset/shard.%d.%d.rec", rank, i), rank, iosim.POSIX, nil)
+						for j := 0; j < 5; j++ {
+							f.Stat(rank)
+						}
+						for j := 0; j < 32; j++ {
+							f.ReadAt(rank, 4096*rng.Int63n(128), 4096)
+						}
+						f.Close(rank)
+					}
+					w := s.Open(fmt.Sprintf("/home/out/summary.%d.dat", rank), rank, iosim.POSIX, nil)
+					for k := int64(0); k < 128; k++ {
+						w.WriteAt(rank, k*4096, 4096)
+					}
+					w.Close(rank)
+				}
+				return s.Finalize()
+			},
+		},
+		{
+			Name: "ra6-montage", Source: RealApps,
+			Description: "astronomy mosaic assembler (single process): small unaligned tile I/O on default striping",
+			Labels: issue.NewSet(issue.SmallReads, issue.SmallWrites, issue.MisalignedReads,
+				issue.MisalignedWrites, issue.ServerImbalance),
+			gen: func() *darshan.Log {
+				s := iosim.New(iosim.Config{Seed: 306, NProcs: 1, UsesMPI: false, Exe: "/apps/montage/mosaic.x"})
+				lay := &iosim.Layout{StripeSize: 1 << 20, StripeWidth: 1}
+				in := s.Open("/scratch/montage/tiles.fits", 0, iosim.POSIX, lay)
+				out := s.Open("/scratch/montage/mosaic.fits", 0, iosim.POSIX, lay)
+				for k := int64(0); k < 512; k++ {
+					in.ReadAt(0, k*32768+9, 32000)
+					out.WriteAt(0, k*49152+9, 48000)
+				}
+				in.Close(0)
+				out.Close(0)
+				return s.Finalize()
+			},
+		},
+		{
+			Name: "ra7-qmc-post", Source: RealApps,
+			Description: "quantum Monte Carlo post-processor (single process): random unaligned walker updates",
+			Labels: issue.NewSet(issue.RandomReads, issue.RandomWrites, issue.MisalignedReads,
+				issue.MisalignedWrites, issue.SmallWrites),
+			gen: func() *darshan.Log {
+				s := iosim.New(iosim.Config{Seed: 307, NProcs: 1, UsesMPI: false, Exe: "/apps/qmc/post.x"})
+				rng := rand.New(rand.NewSource(307))
+				lay := &iosim.Layout{StripeSize: 1 << 20, StripeWidth: 8}
+				f := s.Open("/scratch/qmc/walkers.dat", 0, iosim.POSIX, lay)
+				for k := 0; k < 96; k++ {
+					f.ReadAt(0, (2<<20)*rng.Int63n(64)+13, 2<<20)
+					f.WriteAt(0, (2<<20)*rng.Int63n(64)+13, 2<<20)
+				}
+				f.Close(0)
+				obs := s.Open("/scratch/qmc/observables.log", 0, iosim.POSIX, lay)
+				for k := int64(0); k < 300; k++ {
+					obs.WriteAt(0, rng.Int63n(2<<20)/8*8+5, 4000)
+				}
+				obs.Close(0)
+				return s.Finalize()
+			},
+		},
+		{
+			Name: "ra8-nyx-restart", Source: RealApps,
+			Description: "cosmology restart: large aligned per-rank reads with one straggling rank",
+			Labels:      issue.NewSet(issue.RankImbalance, issue.NoCollectiveRead),
+			gen: func() *darshan.Log {
+				skew := []float64{1, 1, 1, 1, 1, 5, 1, 1}
+				s := iosim.New(iosim.Config{Seed: 308, NProcs: 8, UsesMPI: true, Exe: "/apps/nyx/nyx.x", RankSkew: skew})
+				lay := &iosim.Layout{StripeSize: 4 << 20, StripeWidth: 4}
+				for rank := 0; rank < 8; rank++ {
+					f := s.Open(fmt.Sprintf("/scratch/nyx/chk.%d.bin", rank), rank, iosim.POSIX, lay)
+					for k := int64(0); k < 32; k++ {
+						f.ReadAt(rank, k*(4<<20), 4<<20)
+					}
+					f.Close(rank)
+				}
+				return s.Finalize()
+			},
+		},
+		{
+			Name: "ra9-climate-hist", Source: RealApps,
+			Description: "climate history writer: metadata churn, small unaligned reads on narrow stripes, random small log writes",
+			Labels: issue.NewSet(issue.HighMetadataLoad, issue.SmallReads, issue.MisalignedReads,
+				issue.ServerImbalance, issue.NoCollectiveRead, issue.SmallWrites, issue.RandomWrites,
+				issue.MisalignedWrites),
+			gen: func() *darshan.Log {
+				s := iosim.New(iosim.Config{Seed: 309, NProcs: 8, UsesMPI: true, Exe: "/apps/climate/hist.x"})
+				rng := rand.New(rand.NewSource(309))
+				lay := &iosim.Layout{StripeSize: 1 << 20, StripeWidth: 1}
+				for rank := 0; rank < 8; rank++ {
+					for i := 0; i < 80; i++ {
+						f := s.Open(fmt.Sprintf("/scratch/hist/cat.%d.%d", rank, i), rank, iosim.POSIX, nil)
+						f.Stat(rank)
+						f.Stat(rank)
+						f.Close(rank)
+					}
+					in := s.Open(fmt.Sprintf("/scratch/hist/in.%d.nc", rank), rank, iosim.POSIX, lay)
+					for k := int64(0); k < 4096; k++ {
+						in.ReadAt(rank, k*4096+1024, 4000)
+					}
+					in.Close(rank)
+					log := s.Open(fmt.Sprintf("/scratch/hist/log.%d.dat", rank), rank, iosim.POSIX, lay)
+					for k := 0; k < 200; k++ {
+						log.WriteAt(rank, rng.Int63n(4<<20)/8*8+5, 4000)
+					}
+					log.Close(rank)
+				}
+				return s.Finalize()
+			},
+		},
+	}
+}

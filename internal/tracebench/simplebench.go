@@ -1,0 +1,191 @@
+package tracebench
+
+import (
+	"fmt"
+
+	"ioagent/internal/darshan"
+	"ioagent/internal/iosim"
+	"ioagent/internal/issue"
+)
+
+// simpleBench builds the 10 Simple-Bench traces: rudimentary C-style
+// programs each targeting specific issue categories. Traces are small with
+// low aggregate volume and uniform behavior — the easiest set to diagnose.
+func simpleBench() []*Trace {
+	return []*Trace{
+		{
+			Name: "sb01-small-writes", Source: SimpleBench,
+			Description: "file-per-process 64 KiB writes on 64 KiB stripes",
+			Labels:      issue.NewSet(issue.SmallWrites, issue.ServerImbalance, issue.NoCollectiveWrite),
+			gen: func() *darshan.Log {
+				s := iosim.New(iosim.Config{Seed: 101, NProcs: 4, UsesMPI: true, Exe: "/bench/sb/small_write.x"})
+				lay := &iosim.Layout{StripeSize: 64 << 10, StripeWidth: 1}
+				iosim.FilePerProcessWrite(s, "/scratch/sb01/out.%d.dat", iosim.POSIX, lay, 16<<20, 64<<10)
+				return s.Finalize()
+			},
+		},
+		{
+			Name: "sb02-small-reads", Source: SimpleBench,
+			Description: "file-per-process 64 KiB reads on 64 KiB stripes",
+			Labels:      issue.NewSet(issue.SmallReads, issue.ServerImbalance, issue.NoCollectiveRead),
+			gen: func() *darshan.Log {
+				s := iosim.New(iosim.Config{Seed: 102, NProcs: 4, UsesMPI: true, Exe: "/bench/sb/small_read.x"})
+				lay := &iosim.Layout{StripeSize: 64 << 10, StripeWidth: 1}
+				iosim.FilePerProcessRead(s, "/scratch/sb02/in.%d.dat", iosim.POSIX, lay, 16<<20, 64<<10)
+				return s.Finalize()
+			},
+		},
+		{
+			Name: "sb03-misaligned-writes", Source: SimpleBench,
+			Description: "1 MiB writes at offsets shifted off the stripe boundary",
+			Labels:      issue.NewSet(issue.MisalignedWrites, issue.ServerImbalance, issue.NoCollectiveWrite),
+			gen: func() *darshan.Log {
+				s := iosim.New(iosim.Config{Seed: 103, NProcs: 4, UsesMPI: true, Exe: "/bench/sb/misaligned_write.x"})
+				lay := &iosim.Layout{StripeSize: 1 << 20, StripeWidth: 1}
+				for rank := 0; rank < 4; rank++ {
+					f := s.Open(fmt.Sprintf("/scratch/sb03/out.%d.dat", rank), rank, iosim.POSIX, lay)
+					for k := int64(0); k < 32; k++ {
+						f.WriteAt(rank, k*(1<<20)+17, 1<<20)
+					}
+					f.Close(rank)
+				}
+				return s.Finalize()
+			},
+		},
+		{
+			Name: "sb04-misaligned-reads", Source: SimpleBench,
+			Description: "1 MiB reads at offsets shifted off the stripe boundary",
+			Labels:      issue.NewSet(issue.MisalignedReads, issue.ServerImbalance, issue.NoCollectiveRead),
+			gen: func() *darshan.Log {
+				s := iosim.New(iosim.Config{Seed: 104, NProcs: 4, UsesMPI: true, Exe: "/bench/sb/misaligned_read.x"})
+				lay := &iosim.Layout{StripeSize: 1 << 20, StripeWidth: 1}
+				for rank := 0; rank < 4; rank++ {
+					f := s.Open(fmt.Sprintf("/scratch/sb04/in.%d.dat", rank), rank, iosim.POSIX, lay)
+					for k := int64(0); k < 32; k++ {
+						f.ReadAt(rank, k*(1<<20)+17, 1<<20)
+					}
+					f.Close(rank)
+				}
+				return s.Finalize()
+			},
+		},
+		{
+			Name: "sb05-metadata-storm", Source: SimpleBench,
+			Description: "open/stat churn over many small files plus uncoordinated reads",
+			Labels:      issue.NewSet(issue.HighMetadataLoad, issue.NoCollectiveRead),
+			gen: func() *darshan.Log {
+				s := iosim.New(iosim.Config{Seed: 105, NProcs: 4, UsesMPI: true, Exe: "/bench/sb/meta_storm.x"})
+				for rank := 0; rank < 4; rank++ {
+					for i := 0; i < 75; i++ {
+						f := s.Open(fmt.Sprintf("/scratch/sb05/part.%d.%d", rank, i), rank, iosim.POSIX, nil)
+						f.Stat(rank)
+						f.Stat(rank)
+						f.Stat(rank)
+						f.ReadAt(rank, 0, 1<<20)
+						f.Close(rank)
+					}
+				}
+				return s.Finalize()
+			},
+		},
+		{
+			Name: "sb06-repetitive-read", Source: SimpleBench,
+			Description: "re-reads the same 8 MiB input four times, then writes results",
+			Labels:      issue.NewSet(issue.RepetitiveReads, issue.ServerImbalance, issue.NoCollectiveRead, issue.NoCollectiveWrite),
+			gen: func() *darshan.Log {
+				s := iosim.New(iosim.Config{Seed: 106, NProcs: 4, UsesMPI: true, Exe: "/bench/sb/reread.x"})
+				lay := &iosim.Layout{StripeSize: 1 << 20, StripeWidth: 1}
+				for rank := 0; rank < 4; rank++ {
+					in := s.Open(fmt.Sprintf("/scratch/sb06/in.%d.dat", rank), rank, iosim.POSIX, lay)
+					for pass := 0; pass < 4; pass++ {
+						for k := int64(0); k < 8; k++ {
+							in.ReadAt(rank, k*(1<<20), 1<<20)
+						}
+					}
+					in.Close(rank)
+					out := s.Open(fmt.Sprintf("/scratch/sb06/out.%d.dat", rank), rank, iosim.POSIX, lay)
+					for k := int64(0); k < 4; k++ {
+						out.WriteAt(rank, k*(4<<20), 4<<20)
+					}
+					out.Close(rank)
+				}
+				return s.Finalize()
+			},
+		},
+		{
+			Name: "sb07-rank-imbalance", Source: SimpleBench,
+			Description: "shared-file I/O with one straggling rank",
+			Labels: issue.NewSet(issue.RankImbalance, issue.SharedFileAccess, issue.ServerImbalance,
+				issue.NoCollectiveRead, issue.NoCollectiveWrite),
+			gen: func() *darshan.Log {
+				s := iosim.New(iosim.Config{Seed: 107, NProcs: 4, UsesMPI: true, Exe: "/bench/sb/straggler.x",
+					RankSkew: []float64{1, 1, 1, 6}})
+				lay := &iosim.Layout{StripeSize: 1 << 20, StripeWidth: 1}
+				f := s.OpenShared("/scratch/sb07/shared.dat", iosim.POSIX, false, lay)
+				for rank := 0; rank < 4; rank++ {
+					base := int64(rank) * (16 << 20)
+					for k := int64(0); k < 4; k++ {
+						f.WriteAt(rank, base+k*(4<<20), 4<<20)
+					}
+				}
+				for rank := 0; rank < 4; rank++ {
+					base := int64(rank) * (16 << 20)
+					for k := int64(0); k < 4; k++ {
+						f.ReadAt(rank, base+k*(4<<20), 4<<20)
+					}
+				}
+				f.Close()
+				return s.Finalize()
+			},
+		},
+		{
+			Name: "sb08-stdio-writes", Source: SimpleBench,
+			Description: "bulk output through buffered fwrite",
+			Labels:      issue.NewSet(issue.LowLevelLibWrite),
+			gen: func() *darshan.Log {
+				s := iosim.New(iosim.Config{Seed: 108, NProcs: 4, UsesMPI: true, Exe: "/bench/sb/stdio_write.x"})
+				f := s.Open("/scratch/sb08/log.dat", 0, iosim.STDIO, nil)
+				for k := int64(0); k < 32; k++ {
+					f.WriteAt(0, k*(1<<20), 1<<20)
+				}
+				f.Close(0)
+				return s.Finalize()
+			},
+		},
+		{
+			Name: "sb09-stdio-reads", Source: SimpleBench,
+			Description: "bulk input through buffered fread",
+			Labels:      issue.NewSet(issue.LowLevelLibRead),
+			gen: func() *darshan.Log {
+				s := iosim.New(iosim.Config{Seed: 109, NProcs: 4, UsesMPI: true, Exe: "/bench/sb/stdio_read.x"})
+				f := s.Open("/scratch/sb09/in.dat", 0, iosim.STDIO, nil)
+				for k := int64(0); k < 32; k++ {
+					f.ReadAt(0, k*(1<<20), 1<<20)
+				}
+				f.Close(0)
+				return s.Finalize()
+			},
+		},
+		{
+			Name: "sb10-small-unaligned-rw", Source: SimpleBench,
+			Description: "small unaligned reads and writes combined",
+			Labels: issue.NewSet(issue.SmallReads, issue.SmallWrites, issue.MisalignedReads,
+				issue.MisalignedWrites, issue.ServerImbalance, issue.NoCollectiveRead, issue.NoCollectiveWrite),
+			gen: func() *darshan.Log {
+				s := iosim.New(iosim.Config{Seed: 110, NProcs: 4, UsesMPI: true, Exe: "/bench/sb/combined.x"})
+				lay := &iosim.Layout{StripeSize: 1 << 20, StripeWidth: 1}
+				for rank := 0; rank < 4; rank++ {
+					in := s.Open(fmt.Sprintf("/scratch/sb10/in.%d.dat", rank), rank, iosim.POSIX, lay)
+					out := s.Open(fmt.Sprintf("/scratch/sb10/out.%d.dat", rank), rank, iosim.POSIX, lay)
+					for k := int64(0); k < 512; k++ {
+						in.ReadAt(rank, k*16384+7, 16000)
+						out.WriteAt(rank, k*16384+7, 16000)
+					}
+					in.Close(rank)
+					out.Close(rank)
+				}
+				return s.Finalize()
+			},
+		},
+	}
+}

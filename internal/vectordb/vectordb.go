@@ -1,0 +1,155 @@
+// Package vectordb implements the vector index the paper builds with
+// LlamaIndex: documents are split into fixed-size token chunks with overlap,
+// each chunk is embedded, and queries retrieve the top-k chunks by cosine
+// similarity. The paper's hyperparameters are the defaults here: chunk size
+// 512 tokens, overlap 20, cosine distance.
+package vectordb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"ioagent/internal/embed"
+)
+
+// Document is a source text registered with the index.
+type Document struct {
+	// Key is the citation key (e.g. "bez2022drishti").
+	Key string
+	// Title is the human-readable source title.
+	Title string
+	// Text is the full document body.
+	Text string
+}
+
+// Chunk is one indexed slice of a document.
+type Chunk struct {
+	DocKey   string `json:"doc_key"`
+	DocTitle string `json:"doc_title"`
+	Seq      int    `json:"seq"` // chunk ordinal within the document
+	Text     string `json:"text"`
+}
+
+// Hit is one retrieval result.
+type Hit struct {
+	Chunk Chunk
+	Score float64 // cosine similarity to the query
+}
+
+// Options configure chunking.
+type Options struct {
+	ChunkSize int // tokens per chunk (default 512)
+	Overlap   int // tokens shared between adjacent chunks (default 20)
+}
+
+func (o Options) withDefaults() Options {
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = 512
+	}
+	if o.Overlap < 0 {
+		o.Overlap = 0
+	}
+	if o.Overlap >= o.ChunkSize {
+		o.Overlap = o.ChunkSize / 4
+	}
+	return o
+}
+
+// Index is an in-memory vector index with exact (brute-force) cosine search.
+type Index struct {
+	opts    Options
+	chunks  []Chunk
+	vectors []embed.Vector
+}
+
+// New creates an empty index.
+func New(opts Options) *Index {
+	return &Index{opts: opts.withDefaults()}
+}
+
+// Len returns the number of indexed chunks.
+func (ix *Index) Len() int { return len(ix.chunks) }
+
+// Add chunks and indexes a document.
+func (ix *Index) Add(doc Document) {
+	words := strings.Fields(doc.Text)
+	step := ix.opts.ChunkSize - ix.opts.Overlap
+	seq := 0
+	for start := 0; start < len(words); start += step {
+		end := start + ix.opts.ChunkSize
+		if end > len(words) {
+			end = len(words)
+		}
+		text := strings.Join(words[start:end], " ")
+		ix.chunks = append(ix.chunks, Chunk{
+			DocKey: doc.Key, DocTitle: doc.Title, Seq: seq, Text: text,
+		})
+		ix.vectors = append(ix.vectors, embed.Embed(text))
+		seq++
+		if end == len(words) {
+			break
+		}
+	}
+}
+
+// Search returns the k chunks most similar to the query text, best first.
+// Ties break deterministically by (doc key, seq).
+func (ix *Index) Search(query string, k int) []Hit {
+	if k <= 0 || len(ix.chunks) == 0 {
+		return nil
+	}
+	qv := embed.Embed(query)
+	hits := make([]Hit, len(ix.chunks))
+	for i := range ix.chunks {
+		hits[i] = Hit{Chunk: ix.chunks[i], Score: embed.Cosine(qv, ix.vectors[i])}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		if hits[i].Chunk.DocKey != hits[j].Chunk.DocKey {
+			return hits[i].Chunk.DocKey < hits[j].Chunk.DocKey
+		}
+		return hits[i].Chunk.Seq < hits[j].Chunk.Seq
+	})
+	if k > len(hits) {
+		k = len(hits)
+	}
+	return hits[:k]
+}
+
+// persisted is the on-disk representation. Vectors are recomputed on load:
+// embeddings are deterministic, so storing them would only bloat the file.
+type persisted struct {
+	ChunkSize int     `json:"chunk_size"`
+	Overlap   int     `json:"overlap"`
+	Chunks    []Chunk `json:"chunks"`
+}
+
+// Save writes the index to w as JSON.
+func (ix *Index) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(persisted{
+		ChunkSize: ix.opts.ChunkSize,
+		Overlap:   ix.opts.Overlap,
+		Chunks:    ix.chunks,
+	})
+}
+
+// Load reads an index previously written by Save.
+func Load(r io.Reader) (*Index, error) {
+	var p persisted
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("vectordb: %w", err)
+	}
+	ix := New(Options{ChunkSize: p.ChunkSize, Overlap: p.Overlap})
+	ix.chunks = p.Chunks
+	ix.vectors = make([]embed.Vector, len(p.Chunks))
+	for i, c := range p.Chunks {
+		ix.vectors[i] = embed.Embed(c.Text)
+	}
+	return ix, nil
+}

@@ -1,0 +1,90 @@
+package vectordb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func docText(words ...string) string {
+	return strings.Join(words, " ")
+}
+
+func TestChunking(t *testing.T) {
+	// 1000 identical words, chunk 100, overlap 20 => step 80.
+	text := strings.TrimSpace(strings.Repeat("word ", 1000))
+	ix := New(Options{ChunkSize: 100, Overlap: 20})
+	ix.Add(Document{Key: "d", Title: "D", Text: text})
+	// ceil((1000-100)/80)+1 = 12.25 -> starts at 0,80,...,960 => 13 chunks
+	if ix.Len() != 13 {
+		t.Errorf("chunk count = %d, want 13", ix.Len())
+	}
+}
+
+func TestSearchRelevance(t *testing.T) {
+	ix := New(Options{})
+	ix.Add(Document{Key: "small", Title: "Small Writes", Text: "small write requests degrade bandwidth; aggregate writes into larger buffers to recover write performance"})
+	ix.Add(Document{Key: "meta", Title: "Metadata", Text: "metadata server load from open stat close storms dominates runtime for many-file workloads"})
+	ix.Add(Document{Key: "stripe", Title: "Striping", Text: "stripe count one confines traffic to a single object storage target causing server hotspots"})
+
+	hits := ix.Search("the application issues many small write requests under 100 KB", 2)
+	if len(hits) != 2 {
+		t.Fatalf("got %d hits, want 2", len(hits))
+	}
+	if hits[0].Chunk.DocKey != "small" {
+		t.Errorf("top hit = %q, want small", hits[0].Chunk.DocKey)
+	}
+	if hits[0].Score < hits[1].Score {
+		t.Error("hits not sorted by score")
+	}
+}
+
+func TestSearchKBounds(t *testing.T) {
+	ix := New(Options{})
+	ix.Add(Document{Key: "a", Text: docText("alpha", "beta")})
+	if got := ix.Search("alpha", 10); len(got) == 0 || len(got) > ix.Len() {
+		t.Errorf("Search k>len returned %d hits", len(got))
+	}
+	if got := ix.Search("alpha", 0); got != nil {
+		t.Error("Search k=0 should return nil")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ix := New(Options{ChunkSize: 64, Overlap: 8})
+	ix.Add(Document{Key: "a", Title: "A", Text: docText("collective", "io", "merges", "requests")})
+	ix.Add(Document{Key: "b", Title: "B", Text: docText("metadata", "storms", "serialize")})
+
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if back.Len() != ix.Len() {
+		t.Fatalf("len %d != %d after round trip", back.Len(), ix.Len())
+	}
+	a := ix.Search("collective io", 1)
+	b := back.Search("collective io", 1)
+	if a[0].Chunk.DocKey != b[0].Chunk.DocKey || a[0].Score != b[0].Score {
+		t.Error("search results differ after round trip")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Error("Load should fail on garbage")
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	ix := New(Options{})
+	ix.Add(Document{Key: "b", Text: "identical text body"})
+	ix.Add(Document{Key: "a", Text: "identical text body"})
+	hits := ix.Search("identical text body", 2)
+	if hits[0].Chunk.DocKey != "a" {
+		t.Errorf("tie should break by key: got %q first", hits[0].Chunk.DocKey)
+	}
+}

@@ -1,13 +1,16 @@
-// Command ioagent diagnoses a Darshan trace with the full IOAgent pipeline
+// Command ioagent diagnoses Darshan traces with the full IOAgent pipeline
 // and optionally opens an interactive follow-up session (paper Fig. 5).
 //
 // Usage:
 //
 //	ioagent [-model NAME] [-interactive] [-show-fragments] <trace>
+//	ioagent -fleet N [-model NAME] <trace> [trace ...]
 //
-// The trace may be a binary log (as written by cmd/tracebench) or
+// Traces may be binary logs (as written by cmd/tracebench) or
 // darshan-parser text. With -interactive, questions are read from stdin
-// after the diagnosis prints.
+// after the diagnosis prints. With -fleet N, all traces are diagnosed
+// through an N-worker fleet pool (internal/fleet) and each report prints
+// with its job header, followed by the pool metrics.
 package main
 
 import (
@@ -16,8 +19,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"ioagent/internal/darshan"
+	"ioagent/internal/fleet"
 	"ioagent/internal/ioagent"
 	"ioagent/internal/llm"
 )
@@ -29,7 +34,25 @@ func main() {
 	showFragments := flag.Bool("show-fragments", false, "print per-fragment pipeline intermediates")
 	noRAG := flag.Bool("no-rag", false, "disable retrieval (ablation)")
 	oneShot := flag.Bool("one-shot-merge", false, "replace the tree merge with a single merge call (ablation)")
+	fleetN := flag.Int("fleet", 0, "batch mode: diagnose all traces with N concurrent workers")
 	flag.Parse()
+
+	opts := ioagent.Options{
+		Model: *model, CheapModel: *cheap,
+		DisableRAG: *noRAG, UseOneShotMerge: *oneShot,
+	}
+
+	if *fleetN > 0 {
+		if flag.NArg() < 1 {
+			fmt.Fprintln(os.Stderr, "usage: ioagent -fleet N [flags] <trace> [trace ...]")
+			os.Exit(2)
+		}
+		if *interactive || *showFragments {
+			fmt.Fprintln(os.Stderr, "ioagent: -interactive and -show-fragments are ignored in -fleet batch mode")
+		}
+		runFleet(*fleetN, opts, flag.Args())
+		return
+	}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ioagent [flags] <trace.darshan|trace.txt>")
@@ -38,10 +61,7 @@ func main() {
 	log, err := loadTrace(flag.Arg(0))
 	check(err)
 
-	agent := ioagent.New(llm.NewSim(), ioagent.Options{
-		Model: *model, CheapModel: *cheap,
-		DisableRAG: *noRAG, UseOneShotMerge: *oneShot,
-	})
+	agent := ioagent.New(llm.NewSim(), opts)
 	res, err := agent.Diagnose(log)
 	check(err)
 
@@ -71,6 +91,50 @@ func main() {
 			fmt.Println(answer)
 			fmt.Print("> ")
 		}
+	}
+}
+
+// runFleet batch-diagnoses every path through an N-worker pool and prints
+// each report followed by the pool's health metrics.
+func runFleet(workers int, opts ioagent.Options, paths []string) {
+	pool := fleet.New(llm.NewSim(), fleet.Config{Workers: workers, Agent: opts})
+	defer pool.Close()
+
+	jobs := make([]*fleet.Job, len(paths))
+	for i, path := range paths {
+		log, err := loadTrace(path)
+		check(err)
+		jobs[i], err = pool.Submit(log)
+		check(err)
+	}
+	pool.Wait()
+
+	failed := 0
+	for i, j := range jobs {
+		info := j.Info()
+		fmt.Printf("=== %s (%s, %s", paths[i], info.ID, info.Status)
+		if info.CacheHit {
+			fmt.Print(", cache hit")
+		}
+		fmt.Println(") ===")
+		res, err := j.Wait()
+		if err != nil {
+			failed++
+			fmt.Printf("error: %v\n", err)
+			continue
+		}
+		fmt.Println(res.Text)
+	}
+
+	m := pool.Metrics()
+	usage, cost, calls := pool.Agent().Stats()
+	fmt.Printf("[fleet: %d jobs on %d workers, %.0f%% cache hits, p50 %s, p95 %s; %d LLM calls, %d tokens, $%.4f]\n",
+		m.Submitted, m.Workers, 100*m.HitRate,
+		m.LatencyP50.Round(time.Millisecond), m.LatencyP95.Round(time.Millisecond),
+		calls, usage.Total(), cost)
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "ioagent: %d of %d jobs failed\n", failed, len(jobs))
+		os.Exit(1)
 	}
 }
 

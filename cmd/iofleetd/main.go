@@ -1,0 +1,175 @@
+// Command iofleetd serves the fleet batch-diagnosis pipeline over HTTP: a
+// long-lived daemon that accepts Darshan logs, shards them across a pool of
+// concurrent IOAgent workers, caches diagnoses by trace content, and exposes
+// operational metrics.
+//
+// Usage:
+//
+//	iofleetd [-addr :8080] [-workers 4] [-cache-size 1024] [-cache-ttl 1h]
+//	         [-retries 3] [-model NAME] [-cheap-model NAME] [-api-latency 0]
+//
+// Endpoints:
+//
+//	POST /v1/jobs               submit a trace (binary or darshan-parser
+//	                            text body); responds 202 with the job record
+//	GET  /v1/jobs               list all jobs
+//	GET  /v1/jobs/{id}          poll one job's status
+//	GET  /v1/jobs/{id}/diagnosis fetch the finished report as text
+//	GET  /metrics               pool health snapshot (JSON)
+//	GET  /healthz               liveness probe
+//
+// -api-latency adds a simulated network round trip to every model call,
+// which is how a deployment against a remote LLM API behaves; it makes the
+// worker-scaling effect visible on a local demo.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ioagent/internal/darshan"
+	"ioagent/internal/fleet"
+	"ioagent/internal/ioagent"
+	"ioagent/internal/llm"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 4, "concurrent diagnosis workers")
+	queueDepth := flag.Int("queue", 0, "max queued jobs before submits block (0 = 8*workers)")
+	cacheSize := flag.Int("cache-size", 1024, "result cache entries (negative disables)")
+	cacheTTL := flag.Duration("cache-ttl", time.Hour, "result cache entry lifetime")
+	retries := flag.Int("retries", 3, "max diagnosis attempts per job")
+	model := flag.String("model", llm.GPT4o, "diagnosis model")
+	cheap := flag.String("cheap-model", llm.GPT4oMini, "self-reflection filter model")
+	apiLatency := flag.Duration("api-latency", 0, "simulated model API round-trip latency")
+	flag.Parse()
+
+	pool := fleet.New(llm.WithLatency(llm.NewSim(), *apiLatency), fleet.Config{
+		Workers:     *workers,
+		QueueDepth:  *queueDepth,
+		CacheSize:   *cacheSize,
+		CacheTTL:    *cacheTTL,
+		MaxAttempts: *retries,
+		Agent:       ioagent.Options{Model: *model, CheapModel: *cheap},
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		trace, err := decodeTrace(r)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		job, err := pool.Submit(trace)
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job.Info())
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		jobs := pool.Jobs()
+		infos := make([]fleet.JobInfo, len(jobs))
+		for i, j := range jobs {
+			infos[i] = j.Info()
+		}
+		writeJSON(w, http.StatusOK, infos)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := pool.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, job.Info())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/diagnosis", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := pool.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		select {
+		case <-job.Done():
+		default:
+			httpError(w, http.StatusConflict, fmt.Errorf("job %s is %s", job.ID(), job.Status()))
+			return
+		}
+		res, err := job.Wait()
+		if err != nil {
+			httpError(w, http.StatusBadGateway, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, res.Text)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, pool.Metrics())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	drained := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("iofleetd: draining pool and shutting down")
+		if err := srv.Shutdown(context.Background()); err != nil {
+			log.Printf("iofleetd: shutdown: %v", err)
+		}
+		close(drained)
+	}()
+	log.Printf("iofleetd: listening on %s (%d workers, model %s)", *addr, *workers, *model)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	<-drained // let in-flight responses finish before tearing the pool down
+	pool.Close()
+}
+
+// decodeTrace reads the request body as a binary Darshan log, falling back
+// to darshan-parser text.
+func decodeTrace(r *http.Request) (*darshan.Log, error) {
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(http.MaxBytesReader(nil, r.Body, 64<<20)); err != nil {
+		return nil, fmt.Errorf("read body: %w", err)
+	}
+	trace, err := darshan.Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		trace, err = darshan.ParseText(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return nil, fmt.Errorf("body is neither a binary Darshan log nor parser text: %w", err)
+		}
+	}
+	// An empty or header-only body parses as a log with no modules; reject
+	// it here with a 400 rather than queueing a job doomed to fail.
+	if len(trace.Modules) == 0 {
+		return nil, fmt.Errorf("trace contains no module data")
+	}
+	return trace, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,3 @@
+module ioagent
+
+go 1.24

@@ -125,9 +125,25 @@ func normalize(v Vector) Vector {
 // inputs are expected to be normalized (as produced by Embed); zero vectors
 // yield 0.
 func Cosine(a, b Vector) float64 {
+	return Dot(a, b)
+}
+
+// Dot returns the inner product of two embeddings. For vectors produced by
+// Embed (unit length or zero) this equals their cosine similarity; callers
+// holding vectors of unknown provenance should divide by Norm themselves.
+func Dot(a, b Vector) float64 {
 	var dot float64
 	for i := range a {
 		dot += float64(a[i]) * float64(b[i])
 	}
 	return dot
+}
+
+// Norm returns the Euclidean length of v.
+func Norm(v Vector) float64 {
+	var n float64
+	for _, x := range v {
+		n += float64(x) * float64(x)
+	}
+	return math.Sqrt(n)
 }

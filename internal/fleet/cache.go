@@ -1,0 +1,103 @@
+package fleet
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"ioagent/internal/ioagent"
+)
+
+// cache is a content-addressed diagnosis cache: trace digest -> completed
+// result, with LRU eviction at a fixed capacity and per-entry TTL expiry.
+// Cached *ioagent.Result values are shared across jobs and must be treated
+// as immutable by every reader.
+type cache struct {
+	mu       sync.Mutex
+	capacity int
+	ttl      time.Duration // <= 0 means entries never expire
+	now      func() time.Time
+
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key    string
+	result *ioagent.Result
+	added  time.Time
+}
+
+// newCache builds a cache holding up to capacity entries; capacity <= 0
+// disables caching entirely (every Get misses, every Put is dropped).
+func newCache(capacity int, ttl time.Duration, now func() time.Time) *cache {
+	if now == nil {
+		now = time.Now
+	}
+	return &cache{
+		capacity: capacity,
+		ttl:      ttl,
+		now:      now,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached result for digest, refreshing its recency.
+// Expired entries are removed and reported as misses.
+func (c *cache) Get(digest string) (*ioagent.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[digest]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if c.ttl > 0 && c.now().Sub(e.added) >= c.ttl {
+		c.removeLocked(el)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return e.result, true
+}
+
+// Put stores the result for digest, evicting the least recently used entry
+// when the cache is full. Re-putting an existing digest refreshes both the
+// value and the TTL clock.
+func (c *cache) Put(digest string, res *ioagent.Result) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[digest]; ok {
+		e := el.Value.(*cacheEntry)
+		e.result = res
+		e.added = c.now()
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.capacity {
+		c.removeLocked(c.order.Back())
+	}
+	el := c.order.PushFront(&cacheEntry{key: digest, result: res, added: c.now()})
+	c.entries[digest] = el
+}
+
+// Len returns the number of resident entries (expired-but-unswept entries
+// included; they are swept lazily on Get).
+func (c *cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// removeLocked deletes one element. Caller holds c.mu.
+func (c *cache) removeLocked(el *list.Element) {
+	if el == nil {
+		return
+	}
+	e := el.Value.(*cacheEntry)
+	delete(c.entries, e.key)
+	c.order.Remove(el)
+}

@@ -1,0 +1,30 @@
+// Package fleet turns the single-shot IOAgent pipeline into a
+// high-throughput batch-diagnosis service — the serving layer the paper's
+// production framing ("a tool center operators can point at every job's
+// Darshan log") needs but the reference implementation stops short of.
+//
+// A Pool shards a stream of Darshan traces across a bounded set of
+// concurrent workers that share one race-free ioagent.Agent and one
+// knowledge index. Diagnosis time is dominated by LLM round trips, not
+// local compute, so N workers overlapping their waits yield near-linear
+// throughput scaling (see BenchmarkFleet_Throughput at the repo root).
+//
+// Three layers keep repeated work free and transient failures invisible:
+//
+//   - a content-addressed result cache: jobs are keyed by a SHA-256 digest
+//     of the binary trace plus the pipeline options, held in an LRU with a
+//     TTL, so resubmitting an already-diagnosed trace completes instantly;
+//   - in-flight coalescing: a submission whose digest matches a job still
+//     running attaches to it and shares its result instead of duplicating
+//     the pipeline;
+//   - per-job retry with exponential backoff around transient llm.Client
+//     errors (rate limits, overloads — anything wrapped in
+//     llm.TransientError), while permanent errors fail fast.
+//
+// Pool health is observable through Metrics: lifecycle counters, cache hit
+// rate, retries, and p50/p95 submit-to-completion latency.
+//
+// The pool is exposed two ways: cmd/iofleetd serves it over HTTP (submit a
+// log, poll status, fetch the diagnosis, scrape /metrics), and cmd/ioagent
+// batch-diagnoses many traces at once with its -fleet flag.
+package fleet

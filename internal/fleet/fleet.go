@@ -1,0 +1,529 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ioagent/internal/darshan"
+	"ioagent/internal/ioagent"
+	"ioagent/internal/llm"
+)
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("fleet: pool is closed")
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// Config tunes a Pool. The zero value gives a production-plausible setup:
+// 4 workers, a 1024-entry cache with a 1-hour TTL, and 3 attempts per job
+// with exponential backoff starting at 50ms.
+type Config struct {
+	// Workers is the number of concurrent diagnosis workers (default 4).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting for a worker; a full
+	// queue applies backpressure by blocking Submit (default 8*Workers).
+	QueueDepth int
+	// CacheSize is the LRU capacity of the result cache in entries
+	// (default 1024; negative disables caching).
+	CacheSize int
+	// CacheTTL is how long a cached diagnosis stays valid (default 1h;
+	// negative means entries never expire).
+	CacheTTL time.Duration
+	// MaxAttempts is the total number of diagnosis attempts per job,
+	// retrying only transient llm.Client errors (default 3).
+	MaxAttempts int
+	// MaxJobHistory bounds the job registry: once it is exceeded, the
+	// oldest completed jobs are pruned and forgotten by Job/Jobs lookups,
+	// keeping a long-lived daemon's memory flat (default 4096; negative
+	// retains every job forever).
+	MaxJobHistory int
+	// RetryDelay is the backoff before the first retry; it doubles on
+	// each subsequent attempt (default 50ms).
+	RetryDelay time.Duration
+	// Agent configures the diagnosis pipeline shared by all workers.
+	Agent ioagent.Options
+
+	// Test hooks: clock for cache TTL, sleeper for retry backoff.
+	now   func() time.Time
+	sleep func(time.Duration)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8 * c.Workers
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.CacheTTL == 0 {
+		c.CacheTTL = time.Hour
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.MaxJobHistory == 0 {
+		c.MaxJobHistory = 4096
+	}
+	if c.RetryDelay <= 0 {
+		c.RetryDelay = 50 * time.Millisecond
+	}
+	c.Agent = c.Agent.WithDefaults()
+	if c.now == nil {
+		c.now = time.Now
+	}
+	if c.sleep == nil {
+		c.sleep = time.Sleep
+	}
+	return c
+}
+
+// Digest content-addresses a diagnosis: the hash covers the full binary
+// trace plus every scalar option that changes the pipeline's output, so
+// within one corpus equal digests are interchangeable diagnoses and the
+// cache can serve one for the other. The knowledge index itself is NOT
+// hashed — a pool has exactly one, so its per-pool cache is consistent;
+// sharing digests across pools (or processes) is only sound when they
+// retrieve from the same corpus.
+func Digest(opts ioagent.Options, log *darshan.Log) (string, error) {
+	opts = opts.WithDefaults()
+	h := sha256.New()
+	fmt.Fprintf(h, "model=%s cheap=%s topk=%d norag=%t noreflect=%t oneshot=%t\n",
+		opts.Model, opts.CheapModel, opts.TopK,
+		opts.DisableRAG, opts.DisableReflection, opts.UseOneShotMerge)
+	// Encode canonicalizes record order by sorting in place, so hash a
+	// shallow clone whose record slices are private: Digest must neither
+	// mutate nor race on the caller's log.
+	clone := &darshan.Log{
+		Version: log.Version,
+		Job:     log.Job,
+		Modules: make(map[darshan.ModuleID]*darshan.ModuleData, len(log.Modules)),
+	}
+	for m, md := range log.Modules {
+		clone.Modules[m] = &darshan.ModuleData{
+			Module:  md.Module,
+			Records: append([]*darshan.FileRecord(nil), md.Records...),
+		}
+	}
+	if err := darshan.Encode(h, clone); err != nil {
+		return "", fmt.Errorf("fleet: digest: %w", err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// JobInfo is an externally-visible job snapshot (served as JSON by
+// iofleetd).
+type JobInfo struct {
+	ID       string `json:"id"`
+	Digest   string `json:"digest"`
+	Status   Status `json:"status"`
+	CacheHit bool   `json:"cache_hit"`
+	Attempts int    `json:"attempts"`
+	Error    string `json:"error,omitempty"`
+
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitzero"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+}
+
+// Job tracks one submitted trace through the pipeline.
+type Job struct {
+	id     string
+	digest string
+	done   chan struct{}
+
+	mu        sync.Mutex
+	log       *darshan.Log // released once the job completes
+	status    Status
+	cacheHit  bool
+	attempts  int
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	result    *ioagent.Result
+	err       error
+}
+
+// ID returns the pool-unique job identifier.
+func (j *Job) ID() string { return j.id }
+
+// Digest returns the job's content address.
+func (j *Job) Digest() string { return j.digest }
+
+// Status returns the current lifecycle state.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Done returns a channel closed when the job completes or fails.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job completes and returns its diagnosis. The
+// returned Result is shared with the cache and other coalesced jobs and
+// must not be modified.
+func (j *Job) Wait() (*ioagent.Result, error) {
+	<-j.done
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// Info returns a snapshot of the job's externally-visible state.
+func (j *Job) Info() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := JobInfo{
+		ID:          j.id,
+		Digest:      j.digest,
+		Status:      j.status,
+		CacheHit:    j.cacheHit,
+		Attempts:    j.attempts,
+		SubmittedAt: j.submitted,
+		StartedAt:   j.started,
+		FinishedAt:  j.finished,
+	}
+	if j.err != nil {
+		info.Error = j.err.Error()
+	}
+	return info
+}
+
+// complete transitions the job to its terminal state. Called exactly once.
+func (j *Job) complete(res *ioagent.Result, err error, at time.Time) {
+	j.mu.Lock()
+	j.result = res
+	j.err = err
+	j.finished = at
+	j.log = nil
+	if err != nil {
+		j.status = StatusFailed
+	} else {
+		j.status = StatusDone
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// Pool is a bounded worker pool that shards a stream of Darshan traces
+// across concurrent diagnosis agents, deduplicating work through a
+// content-addressed result cache. All methods are safe for concurrent use.
+type Pool struct {
+	cfg   Config
+	agent *ioagent.Agent
+	cache *cache
+	queue chan *Job
+	m     metrics
+
+	workerWG sync.WaitGroup // running workers
+	jobWG    sync.WaitGroup // outstanding jobs
+
+	mu       sync.Mutex
+	closed   bool
+	nextID   int
+	jobs     map[string]*Job
+	order    []*Job                    // submission order, for Jobs()
+	inflight map[string]*inflightEntry // digest -> primary + coalesced followers
+
+	// qmu fences queue sends against Close: a Submit that passed the
+	// closed check holds the read side until its send lands, and Close
+	// takes the write side before closing the channel, so a send can
+	// never hit a closed queue. Acquired while holding mu; released
+	// after.
+	qmu sync.RWMutex
+}
+
+type inflightEntry struct {
+	primary   *Job
+	followers []*Job
+}
+
+// New starts a pool. The client is shared by every worker and must be safe
+// for concurrent use (SimLLM and the wrappers in internal/llm are). The
+// knowledge index is built once and shared across all workers, so per-job
+// setup cost is zero.
+func New(client llm.Client, cfg Config) *Pool {
+	cfg = cfg.withDefaults()
+	p := &Pool{
+		cfg:      cfg,
+		agent:    ioagent.New(client, cfg.Agent),
+		cache:    newCache(cfg.CacheSize, cfg.CacheTTL, cfg.now),
+		queue:    make(chan *Job, cfg.QueueDepth),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*inflightEntry),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		p.workerWG.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Agent returns the shared diagnosis agent (e.g. for pool-wide cost stats
+// or post-diagnosis chat sessions).
+func (p *Pool) Agent() *ioagent.Agent { return p.agent }
+
+// Submit enqueues a trace for diagnosis and returns immediately unless the
+// queue is full, in which case it blocks for backpressure. Three outcomes
+// are possible without any new pipeline work: a cache hit completes the
+// job instantly; a digest equal to an in-flight job coalesces onto it; and
+// only otherwise does the job occupy a worker.
+func (p *Pool) Submit(log *darshan.Log) (*Job, error) {
+	digest, err := Digest(p.cfg.Agent, log)
+	if err != nil {
+		return nil, err
+	}
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	p.nextID++
+	j := &Job{
+		id:        fmt.Sprintf("job-%06d", p.nextID),
+		digest:    digest,
+		done:      make(chan struct{}),
+		log:       log,
+		status:    StatusQueued,
+		submitted: p.cfg.now(),
+	}
+	p.jobs[j.id] = j
+	p.order = append(p.order, j)
+	p.pruneHistoryLocked()
+	p.jobWG.Add(1)
+	p.m.mu.Lock()
+	p.m.submitted++
+	p.m.mu.Unlock()
+
+	// Fast path 1: already diagnosed and cached.
+	if res, ok := p.cache.Get(digest); ok {
+		j.cacheHit = true
+		p.m.mu.Lock()
+		p.m.hits++
+		p.m.done++
+		p.m.mu.Unlock()
+		now := p.cfg.now()
+		p.mu.Unlock()
+		p.m.recordLatency(0)
+		j.complete(res, nil, now)
+		p.jobWG.Done()
+		return j, nil
+	}
+
+	// Fast path 2: identical trace already in flight — ride along,
+	// mirroring the primary's progress so pollers see an honest state.
+	if entry, ok := p.inflight[digest]; ok {
+		entry.primary.mu.Lock()
+		primaryStatus, primaryStarted := entry.primary.status, entry.primary.started
+		entry.primary.mu.Unlock()
+		j.cacheHit = true
+		if primaryStatus == StatusRunning {
+			j.status = StatusRunning
+			j.started = primaryStarted
+		}
+		entry.followers = append(entry.followers, j)
+		p.m.mu.Lock()
+		p.m.coalesced++
+		p.m.mu.Unlock()
+		p.mu.Unlock()
+		return j, nil
+	}
+
+	// Slow path: this job owns the digest and runs the pipeline.
+	p.inflight[digest] = &inflightEntry{primary: j}
+	p.m.mu.Lock()
+	p.m.misses++
+	p.m.queued++
+	p.m.mu.Unlock()
+	p.qmu.RLock() // before mu is released, so Close cannot slip between
+	p.mu.Unlock()
+
+	p.queue <- j // blocks when the queue is full (backpressure)
+	p.qmu.RUnlock()
+	return j, nil
+}
+
+// Job returns a previously submitted job by ID.
+func (p *Pool) Job(id string) (*Job, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.jobs[id]
+	return j, ok
+}
+
+// pruneHistoryLocked evicts the oldest completed jobs once the registry
+// exceeds MaxJobHistory, so a long-lived pool's memory stays flat.
+// Incomplete jobs are never pruned. Caller holds p.mu.
+func (p *Pool) pruneHistoryLocked() {
+	if p.cfg.MaxJobHistory < 0 {
+		return
+	}
+	for len(p.order) > p.cfg.MaxJobHistory {
+		pruned := false
+		for i, j := range p.order {
+			select {
+			case <-j.done:
+			default:
+				continue
+			}
+			delete(p.jobs, j.id)
+			p.order = append(p.order[:i], p.order[i+1:]...)
+			pruned = true
+			break
+		}
+		if !pruned {
+			return // everything left is still queued or running
+		}
+	}
+}
+
+// Jobs returns every job the pool has accepted and not yet pruned, in
+// submission order.
+func (p *Pool) Jobs() []*Job {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]*Job(nil), p.order...)
+}
+
+// Metrics returns a point-in-time health snapshot.
+func (p *Pool) Metrics() Snapshot {
+	return p.m.snapshot(p.cfg.Workers, p.cache.Len())
+}
+
+// Wait blocks until every job submitted so far has completed. Submissions
+// racing with Wait are not guaranteed to be covered.
+func (p *Pool) Wait() { p.jobWG.Wait() }
+
+// Close stops accepting submissions, drains the queue, and waits for all
+// in-flight work to finish. It is safe to call more than once.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.workerWG.Wait()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.qmu.Lock() // wait for in-flight Submit sends to land
+	close(p.queue)
+	p.qmu.Unlock()
+	p.workerWG.Wait()
+}
+
+// worker drains the queue, running one job at a time through the shared
+// agent with retry-on-transient-error semantics.
+func (p *Pool) worker() {
+	defer p.workerWG.Done()
+	for j := range p.queue {
+		p.runJob(j)
+	}
+}
+
+func (p *Pool) runJob(j *Job) {
+	start := p.cfg.now()
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.started = start
+	log := j.log
+	submitted := j.submitted
+	j.mu.Unlock()
+	// Followers that attached while the primary was still queued move to
+	// running with it.
+	p.mu.Lock()
+	if entry := p.inflight[j.digest]; entry != nil {
+		for _, f := range entry.followers {
+			f.mu.Lock()
+			f.status = StatusRunning
+			f.started = start
+			f.mu.Unlock()
+		}
+	}
+	p.mu.Unlock()
+	p.m.mu.Lock()
+	p.m.queued--
+	p.m.running++
+	p.m.mu.Unlock()
+
+	var res *ioagent.Result
+	var err error
+	delay := p.cfg.RetryDelay
+	for attempt := 1; attempt <= p.cfg.MaxAttempts; attempt++ {
+		j.mu.Lock()
+		j.attempts = attempt
+		j.mu.Unlock()
+		if attempt > 1 {
+			p.m.mu.Lock()
+			p.m.retries++
+			p.m.mu.Unlock()
+			p.cfg.sleep(delay)
+			delay *= 2
+		}
+		res, err = p.agent.Diagnose(log)
+		if err == nil || !llm.IsTransient(err) {
+			break
+		}
+	}
+
+	if err == nil {
+		// Publish to the cache BEFORE releasing the in-flight entry:
+		// between the two, a duplicate Submit either hits the cache or
+		// coalesces — it can never slip through and redo the work.
+		p.cache.Put(j.digest, res)
+	}
+
+	p.mu.Lock()
+	var followers []*Job
+	if entry := p.inflight[j.digest]; entry != nil {
+		followers = entry.followers
+	}
+	delete(p.inflight, j.digest)
+	p.mu.Unlock()
+
+	finished := p.cfg.now()
+	p.m.mu.Lock()
+	p.m.running--
+	if err != nil {
+		p.m.failed += int64(1 + len(followers))
+	} else {
+		p.m.done += int64(1 + len(followers))
+	}
+	p.m.mu.Unlock()
+	if err == nil {
+		p.m.recordLatency(finished.Sub(submitted))
+	}
+
+	j.complete(res, err, finished)
+	p.jobWG.Done()
+	for _, f := range followers {
+		f.mu.Lock()
+		fsub := f.submitted
+		if err != nil {
+			// The ride-along did not pay off; don't let a failed job
+			// report itself as a cache success.
+			f.cacheHit = false
+		}
+		f.mu.Unlock()
+		if err == nil {
+			p.m.recordLatency(finished.Sub(fsub))
+		}
+		f.complete(res, err, finished)
+		p.jobWG.Done()
+	}
+}

@@ -1,0 +1,124 @@
+package fleet
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencySampleCap bounds the reservoir of completed-job latencies kept for
+// percentile estimation; beyond it the buffer behaves as a ring holding the
+// most recent completions.
+const latencySampleCap = 4096
+
+// Snapshot is a point-in-time view of pool health, shaped for direct JSON
+// serving from iofleetd's /metrics endpoint.
+type Snapshot struct {
+	Workers int `json:"workers"`
+
+	// Job lifecycle counters. Done includes cache hits and coalesced
+	// jobs. Submitted = Queued + Running + Done + Failed once the pool is
+	// idle; while a duplicate submission rides on an in-flight primary it
+	// is counted in Submitted and Coalesced but in no lifecycle bucket,
+	// so the identity can transiently undercount by the number of
+	// in-flight coalesced jobs.
+	Submitted int64 `json:"jobs_submitted"`
+	Queued    int64 `json:"jobs_queued"`
+	Running   int64 `json:"jobs_running"`
+	Done      int64 `json:"jobs_done"`
+	Failed    int64 `json:"jobs_failed"`
+
+	// Cache effectiveness. CacheHits are submissions answered instantly
+	// from the result cache; Coalesced are submissions attached to an
+	// identical in-flight job at submit time (they wait, but cost zero
+	// LLM calls, and are counted whether or not that job ultimately
+	// succeeds); CacheMisses ran the full pipeline. HitRate is
+	// (CacheHits + Coalesced) / Submitted.
+	CacheHits   int64   `json:"cache_hits"`
+	Coalesced   int64   `json:"coalesced"`
+	CacheMisses int64   `json:"cache_misses"`
+	HitRate     float64 `json:"cache_hit_rate"`
+	CacheLen    int     `json:"cache_entries"`
+
+	// Retries counts extra diagnosis attempts beyond each job's first.
+	Retries int64 `json:"retries"`
+
+	// Submit-to-completion latency percentiles over the most recent
+	// completions (cache hits count at ~0; failed jobs are excluded).
+	LatencyP50 time.Duration `json:"latency_p50_ns"`
+	LatencyP95 time.Duration `json:"latency_p95_ns"`
+}
+
+// metrics is the pool's internal mutable counterpart of Snapshot.
+type metrics struct {
+	mu        sync.Mutex
+	submitted int64
+	queued    int64
+	running   int64
+	done      int64
+	failed    int64
+	hits      int64
+	coalesced int64
+	misses    int64
+	retries   int64
+
+	latencies []time.Duration
+	latIdx    int
+}
+
+func (m *metrics) recordLatency(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.latencies) < latencySampleCap {
+		m.latencies = append(m.latencies, d)
+		return
+	}
+	m.latencies[m.latIdx] = d
+	m.latIdx = (m.latIdx + 1) % latencySampleCap
+}
+
+// percentile returns the p-quantile (0..1) of sorted by the nearest-rank
+// method (ceil(p*n)), which never hides the tail sample at small n.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func (m *metrics) snapshot(workers, cacheLen int) Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Workers:     workers,
+		Submitted:   m.submitted,
+		Queued:      m.queued,
+		Running:     m.running,
+		Done:        m.done,
+		Failed:      m.failed,
+		CacheHits:   m.hits,
+		Coalesced:   m.coalesced,
+		CacheMisses: m.misses,
+		Retries:     m.retries,
+		CacheLen:    cacheLen,
+	}
+	if s.Submitted > 0 {
+		s.HitRate = float64(s.CacheHits+s.Coalesced) / float64(s.Submitted)
+	}
+	if n := len(m.latencies); n > 0 {
+		sorted := make([]time.Duration, n)
+		copy(sorted, m.latencies)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		s.LatencyP50 = percentile(sorted, 0.50)
+		s.LatencyP95 = percentile(sorted, 0.95)
+	}
+	return s
+}

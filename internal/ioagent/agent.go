@@ -29,7 +29,11 @@ type Options struct {
 	Index *vectordb.Index
 }
 
-func (o Options) withDefaults() Options {
+// WithDefaults returns a copy of o with every unset field replaced by the
+// paper's default. Exposed so callers that key work on a configuration —
+// the fleet result cache content-addresses (options, trace) pairs — see
+// the same canonical form the agent will actually run with.
+func (o Options) WithDefaults() Options {
 	if o.Model == "" {
 		o.Model = llm.GPT4o
 	}
@@ -43,6 +47,9 @@ func (o Options) withDefaults() Options {
 }
 
 // Agent is the IOAgent pipeline bound to an LLM client and knowledge index.
+// An Agent is safe for concurrent use: Diagnose may be called from many
+// goroutines at once provided the llm.Client is itself concurrency-safe
+// (see the package documentation).
 type Agent struct {
 	client     llm.Client
 	model      string
@@ -59,7 +66,7 @@ type Agent struct {
 // New builds an agent. A nil index in opts selects the built-in 66-document
 // corpus index.
 func New(client llm.Client, opts Options) *Agent {
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	ix := opts.Index
 	if ix == nil && !opts.DisableRAG {
 		ix = knowledge.BuildIndex()
@@ -143,7 +150,11 @@ func (a *Agent) Diagnose(log *darshan.Log) (*Result, error) {
 			fr.Description = nl
 			sources := a.retrieve(nl)
 			fr.Retrieved = len(sources)
-			sources = a.selfReflect(nl, sources)
+			sources, err = a.selfReflect(nl, sources)
+			if err != nil {
+				errs[i] = err
+				return
+			}
 			fr.Kept = len(sources)
 			diag, err := a.diagnoseFragment(frag, nl, sources)
 			if err != nil {

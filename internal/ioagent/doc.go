@@ -26,4 +26,18 @@
 // The resulting report supports continued interaction (chat.go): users ask
 // follow-up questions and receive answers grounded in the diagnosis and its
 // references (Fig. 5).
+//
+// # Concurrency
+//
+// A single Agent may run many Diagnose calls at once — the fleet worker
+// pool (internal/fleet) reuses one Agent across every worker. All mutable
+// agent state (the usage/cost accumulators) is mutex-guarded, the knowledge
+// index is safe for concurrent search, and each Diagnose works on its own
+// fragment slices, so concurrent diagnoses never share unsynchronized
+// state. The one requirement the agent inherits from its constructor is
+// that the llm.Client must itself be safe for concurrent use (SimLLM and
+// the wrappers in internal/llm are). Sessions are the exception: a Session
+// accumulates conversation history without locking and must be confined to
+// one goroutine, though separate Sessions of the same Agent are
+// independent.
 package ioagent

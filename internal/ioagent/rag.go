@@ -52,10 +52,13 @@ func (a *Agent) retrieve(nl string) []retrieved {
 
 // selfReflect filters the retrieved sources with the cheaper model, in
 // parallel (paper Section IV-B3): each source is judged for relevance to
-// the fragment and irrelevant ones are dropped.
-func (a *Agent) selfReflect(nl string, sources []retrieved) []retrieved {
+// the fragment and irrelevant ones are dropped. A failed filter call fails
+// the whole pass — swallowing it would silently drop a source and let a
+// transient backend error degrade the diagnosis (which the fleet layer
+// would then cache), instead of surfacing as retryable.
+func (a *Agent) selfReflect(nl string, sources []retrieved) ([]retrieved, error) {
 	if a.opts.DisableReflection || len(sources) == 0 {
-		return sources
+		return sources, nil
 	}
 	keep := make([]bool, len(sources))
 	var wg sync.WaitGroup
@@ -85,13 +88,16 @@ func (a *Agent) selfReflect(nl string, sources []retrieved) []retrieved {
 		}(i)
 	}
 	wg.Wait()
+	if firstErr != nil {
+		return nil, fmt.Errorf("filter: %w", firstErr)
+	}
 	var out []retrieved
 	for i, k := range keep {
 		if k {
 			out = append(out, sources[i])
 		}
 	}
-	return out
+	return out, nil
 }
 
 // diagnoseFragment produces the grounded per-fragment diagnosis.

@@ -1,0 +1,88 @@
+package llm
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// TransientError marks a completion failure as retryable: the request was
+// well-formed and a later identical attempt may succeed (rate limits,
+// timeouts, overloaded backends). Permanent failures — an unknown model, a
+// malformed request — are returned bare, so callers can distinguish the two
+// with IsTransient and avoid burning retries on errors that cannot heal.
+type TransientError struct {
+	Err error
+}
+
+func (e *TransientError) Error() string { return "llm: transient: " + e.Err.Error() }
+
+// Unwrap exposes the underlying cause to errors.Is / errors.As.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// Transient wraps err as a TransientError. A nil err returns nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &TransientError{Err: err}
+}
+
+// IsTransient reports whether err (or anything it wraps) is a
+// TransientError and therefore worth retrying.
+func IsTransient(err error) bool {
+	var te *TransientError
+	return errors.As(err, &te)
+}
+
+// flaky injects periodic transient failures into an inner client.
+type flaky struct {
+	inner  Client
+	period uint64
+	calls  atomic.Uint64
+}
+
+// Flaky wraps c so that one call in every `period` fails with a
+// TransientError (the first of each window fails, so a single retry always
+// recovers). It models the rate-limit and overload errors a production LLM
+// backend emits under fleet traffic; period <= 1 returns c unchanged.
+// The wrapper is safe for concurrent use if c is.
+func Flaky(c Client, period int) Client {
+	if period <= 1 {
+		return c
+	}
+	return &flaky{inner: c, period: uint64(period)}
+}
+
+func (f *flaky) Complete(req Request) (Response, error) {
+	n := f.calls.Add(1)
+	if n%f.period == 1 {
+		return Response{}, Transient(fmt.Errorf("simulated backend overload (call %d)", n))
+	}
+	return f.inner.Complete(req)
+}
+
+// slow adds a fixed round-trip latency to every call of an inner client.
+type slow struct {
+	inner Client
+	rtt   time.Duration
+}
+
+// WithLatency wraps c so every Complete call takes at least rtt, modeling
+// the network round trip to a remote model API. SimLLM answers in
+// microseconds, which hides the property fleet scheduling exists to
+// exploit: real diagnosis time is dominated by API latency, so concurrent
+// jobs overlap their waits. A non-positive rtt returns c unchanged.
+// The wrapper is safe for concurrent use if c is.
+func WithLatency(c Client, rtt time.Duration) Client {
+	if rtt <= 0 {
+		return c
+	}
+	return &slow{inner: c, rtt: rtt}
+}
+
+func (s *slow) Complete(req Request) (Response, error) {
+	time.Sleep(s.rtt)
+	return s.inner.Complete(req)
+}

@@ -1,0 +1,82 @@
+package llm
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestTransientClassification(t *testing.T) {
+	base := errors.New("boom")
+	if !IsTransient(Transient(base)) {
+		t.Error("Transient(err) should be transient")
+	}
+	if IsTransient(base) {
+		t.Error("bare error should not be transient")
+	}
+	if IsTransient(nil) {
+		t.Error("nil should not be transient")
+	}
+	if Transient(nil) != nil {
+		t.Error("Transient(nil) should be nil")
+	}
+	// Wrapping preserves the cause for errors.Is.
+	wrapped := Transient(ErrUnknownModel)
+	if !errors.Is(wrapped, ErrUnknownModel) {
+		t.Error("transient wrapper should unwrap to the cause")
+	}
+}
+
+func TestFlakyFailsFirstOfEachWindow(t *testing.T) {
+	c := Flaky(NewSim(), 3)
+	var fails int
+	for i := 0; i < 9; i++ {
+		_, err := c.Complete(Prompt(GPT4o, "TASK: describe\nhello"))
+		if err != nil {
+			if !IsTransient(err) {
+				t.Fatalf("flaky error should be transient, got %v", err)
+			}
+			fails++
+		}
+	}
+	if fails != 3 {
+		t.Errorf("9 calls at period 3: %d failures, want 3", fails)
+	}
+	// Period <= 1 disables injection entirely.
+	if _, err := Flaky(NewSim(), 1).Complete(Prompt(GPT4o, "x")); err != nil {
+		t.Errorf("Flaky(c, 1) should never fail: %v", err)
+	}
+}
+
+func TestFlakyPermanentErrorsPassThrough(t *testing.T) {
+	c := Flaky(NewSim(), 1000)
+	c.Complete(Prompt(GPT4o, "x")) // call 1 absorbs the injected failure
+	_, err := c.Complete(Prompt("no-such-model", "x"))
+	if err == nil {
+		t.Fatal("unknown model should error")
+	}
+	if IsTransient(err) {
+		t.Error("unknown-model error must not be transient")
+	}
+}
+
+func TestWithLatency(t *testing.T) {
+	rtt := 20 * time.Millisecond
+	c := WithLatency(NewSim(), rtt)
+	start := time.Now()
+	if _, err := c.Complete(Prompt(GPT4o, "x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := time.Since(start); got < rtt {
+		t.Errorf("call returned in %v, want >= %v", got, rtt)
+	}
+	// Responses are unchanged by the wrapper.
+	a, _ := NewSim().Complete(Prompt(GPT4o, "TASK: describe\nhello"))
+	b, _ := c.Complete(Prompt(GPT4o, "TASK: describe\nhello"))
+	if a.Content != b.Content {
+		t.Error("latency wrapper must not alter responses")
+	}
+	if WithLatency(NewSim(), 0) == nil {
+		t.Error("WithLatency(c, 0) should return a usable client")
+	}
+}

@@ -3,14 +3,21 @@
 // each chunk is embedded, and queries retrieve the top-k chunks by cosine
 // similarity. The paper's hyperparameters are the defaults here: chunk size
 // 512 tokens, overlap 20, cosine distance.
+//
+// The index is safe for concurrent use: Add and Load take a write lock,
+// Search takes a read lock, so a fleet of diagnosis workers can share one
+// index and query it in parallel. Chunk norms are computed once at indexing
+// time, so a query costs one embedding plus one dot product per chunk, and
+// top-k selection uses a bounded heap rather than sorting the full corpus.
 package vectordb
 
 import (
+	"container/heap"
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
 	"strings"
+	"sync"
 
 	"ioagent/internal/embed"
 )
@@ -39,17 +46,28 @@ type Hit struct {
 	Score float64 // cosine similarity to the query
 }
 
+// NoOverlap requests zero-token overlap between adjacent chunks. The zero
+// value of Options.Overlap means "unset" and selects the paper's default of
+// 20, so an explicit no-overlap configuration needs a distinct sentinel.
+const NoOverlap = -1
+
 // Options configure chunking.
 type Options struct {
 	ChunkSize int // tokens per chunk (default 512)
-	Overlap   int // tokens shared between adjacent chunks (default 20)
+	// Overlap is the number of tokens shared between adjacent chunks.
+	// 0 means unset and selects the default of 20; pass NoOverlap for an
+	// explicit overlap of zero.
+	Overlap int
 }
 
 func (o Options) withDefaults() Options {
 	if o.ChunkSize <= 0 {
 		o.ChunkSize = 512
 	}
-	if o.Overlap < 0 {
+	switch {
+	case o.Overlap == 0:
+		o.Overlap = 20
+	case o.Overlap < 0: // NoOverlap (or any negative): explicitly none
 		o.Overlap = 0
 	}
 	if o.Overlap >= o.ChunkSize {
@@ -60,9 +78,13 @@ func (o Options) withDefaults() Options {
 
 // Index is an in-memory vector index with exact (brute-force) cosine search.
 type Index struct {
+	mu      sync.RWMutex
 	opts    Options
 	chunks  []Chunk
 	vectors []embed.Vector
+	// invNorms[i] is 1/|vectors[i]| (0 for zero vectors), precomputed at
+	// indexing time so concurrent searches never redo per-chunk work.
+	invNorms []float64
 }
 
 // New creates an empty index.
@@ -71,10 +93,16 @@ func New(opts Options) *Index {
 }
 
 // Len returns the number of indexed chunks.
-func (ix *Index) Len() int { return len(ix.chunks) }
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.chunks)
+}
 
 // Add chunks and indexes a document.
 func (ix *Index) Add(doc Document) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	words := strings.Fields(doc.Text)
 	step := ix.opts.ChunkSize - ix.opts.Overlap
 	seq := 0
@@ -84,10 +112,9 @@ func (ix *Index) Add(doc Document) {
 			end = len(words)
 		}
 		text := strings.Join(words[start:end], " ")
-		ix.chunks = append(ix.chunks, Chunk{
+		ix.appendChunk(Chunk{
 			DocKey: doc.Key, DocTitle: doc.Title, Seq: seq, Text: text,
 		})
-		ix.vectors = append(ix.vectors, embed.Embed(text))
 		seq++
 		if end == len(words) {
 			break
@@ -95,30 +122,91 @@ func (ix *Index) Add(doc Document) {
 	}
 }
 
+// appendChunk embeds and stores one chunk. Caller holds ix.mu.
+func (ix *Index) appendChunk(c Chunk) {
+	v := embed.Embed(c.Text)
+	inv := 0.0
+	if n := embed.Norm(v); n > 0 {
+		inv = 1 / n
+	}
+	ix.chunks = append(ix.chunks, c)
+	ix.vectors = append(ix.vectors, v)
+	ix.invNorms = append(ix.invNorms, inv)
+}
+
+// hitHeap is a min-heap of the best k hits seen so far, ordered worst
+// first so the weakest candidate is evicted in O(log k). The ordering is
+// the exact inverse of the final result order, including tie-breaks, which
+// keeps selection deterministic.
+type hitHeap []Hit
+
+func (h hitHeap) Len() int      { return len(h) }
+func (h hitHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h hitHeap) Less(i, j int) bool {
+	return hitLess(h[j], h[i]) // j ranks better than i => i is worse => i first
+}
+func (h *hitHeap) Push(x any) { *h = append(*h, x.(Hit)) }
+func (h *hitHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// hitLess reports whether a ranks strictly better than b: higher score
+// first, ties broken deterministically by (doc key, seq).
+func hitLess(a, b Hit) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	if a.Chunk.DocKey != b.Chunk.DocKey {
+		return a.Chunk.DocKey < b.Chunk.DocKey
+	}
+	return a.Chunk.Seq < b.Chunk.Seq
+}
+
 // Search returns the k chunks most similar to the query text, best first.
-// Ties break deterministically by (doc key, seq).
+// Ties break deterministically by (doc key, seq). Safe to call from many
+// goroutines at once.
 func (ix *Index) Search(query string, k int) []Hit {
-	if k <= 0 || len(ix.chunks) == 0 {
+	if k <= 0 {
 		return nil
 	}
 	qv := embed.Embed(query)
-	hits := make([]Hit, len(ix.chunks))
+	qinv := 0.0
+	if n := embed.Norm(qv); n > 0 {
+		qinv = 1 / n
+	}
+
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if len(ix.chunks) == 0 {
+		return nil
+	}
+	if k > len(ix.chunks) {
+		k = len(ix.chunks)
+	}
+	h := make(hitHeap, 0, k+1)
 	for i := range ix.chunks {
-		hits[i] = Hit{Chunk: ix.chunks[i], Score: embed.Cosine(qv, ix.vectors[i])}
-	}
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
+		hit := Hit{
+			Chunk: ix.chunks[i],
+			Score: embed.Dot(qv, ix.vectors[i]) * qinv * ix.invNorms[i],
 		}
-		if hits[i].Chunk.DocKey != hits[j].Chunk.DocKey {
-			return hits[i].Chunk.DocKey < hits[j].Chunk.DocKey
+		if len(h) < k {
+			heap.Push(&h, hit)
+			continue
 		}
-		return hits[i].Chunk.Seq < hits[j].Chunk.Seq
-	})
-	if k > len(hits) {
-		k = len(hits)
+		if hitLess(hit, h[0]) {
+			h[0] = hit
+			heap.Fix(&h, 0)
+		}
 	}
-	return hits[:k]
+	out := make([]Hit, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(Hit)
+	}
+	return out
 }
 
 // persisted is the on-disk representation. Vectors are recomputed on load:
@@ -131,6 +219,8 @@ type persisted struct {
 
 // Save writes the index to w as JSON.
 func (ix *Index) Save(w io.Writer) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	enc := json.NewEncoder(w)
 	return enc.Encode(persisted{
 		ChunkSize: ix.opts.ChunkSize,
@@ -145,11 +235,17 @@ func Load(r io.Reader) (*Index, error) {
 	if err := json.NewDecoder(r).Decode(&p); err != nil {
 		return nil, fmt.Errorf("vectordb: %w", err)
 	}
-	ix := New(Options{ChunkSize: p.ChunkSize, Overlap: p.Overlap})
-	ix.chunks = p.Chunks
-	ix.vectors = make([]embed.Vector, len(p.Chunks))
-	for i, c := range p.Chunks {
-		ix.vectors[i] = embed.Embed(c.Text)
+	overlap := p.Overlap
+	if overlap == 0 {
+		// The file records the resolved overlap, where 0 really means 0;
+		// keep it from being re-defaulted to 20.
+		overlap = NoOverlap
 	}
+	ix := New(Options{ChunkSize: p.ChunkSize, Overlap: overlap})
+	ix.mu.Lock()
+	for _, c := range p.Chunks {
+		ix.appendChunk(c)
+	}
+	ix.mu.Unlock()
 	return ix, nil
 }

@@ -3,6 +3,7 @@ package vectordb
 import (
 	"bytes"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -76,6 +77,100 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 func TestLoadRejectsGarbage(t *testing.T) {
 	if _, err := Load(strings.NewReader("not json")); err == nil {
 		t.Error("Load should fail on garbage")
+	}
+}
+
+func TestDefaultOverlapIs20(t *testing.T) {
+	// 1000 words, chunk 100: with the documented default overlap of 20 the
+	// step is 80, giving 13 chunks (identical to the explicit-20 case).
+	text := strings.TrimSpace(strings.Repeat("word ", 1000))
+	ix := New(Options{ChunkSize: 100})
+	ix.Add(Document{Key: "d", Title: "D", Text: text})
+	if ix.Len() != 13 {
+		t.Errorf("unset overlap: chunk count = %d, want 13 (default overlap 20)", ix.Len())
+	}
+}
+
+func TestNoOverlapSentinel(t *testing.T) {
+	// Explicit zero overlap: step 100, so 1000 words / 100 = 10 chunks.
+	text := strings.TrimSpace(strings.Repeat("word ", 1000))
+	ix := New(Options{ChunkSize: 100, Overlap: NoOverlap})
+	ix.Add(Document{Key: "d", Title: "D", Text: text})
+	if ix.Len() != 10 {
+		t.Errorf("NoOverlap: chunk count = %d, want 10", ix.Len())
+	}
+}
+
+func TestSaveLoadPreservesNoOverlap(t *testing.T) {
+	text := strings.TrimSpace(strings.Repeat("word ", 1000))
+	ix := New(Options{ChunkSize: 100, Overlap: NoOverlap})
+	ix.Add(Document{Key: "d", Title: "D", Text: text})
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Documents added after the round trip must chunk with overlap 0, not
+	// get silently re-defaulted to 20.
+	back.Add(Document{Key: "e", Title: "E", Text: text})
+	if back.Len() != 20 {
+		t.Errorf("post-load chunk count = %d, want 20 (10 + 10 with overlap 0)", back.Len())
+	}
+}
+
+func TestConcurrentSearch(t *testing.T) {
+	ix := New(Options{})
+	ix.Add(Document{Key: "small", Text: "small write requests degrade bandwidth aggregate writes into larger buffers"})
+	ix.Add(Document{Key: "meta", Text: "metadata server load from open stat close storms dominates runtime"})
+	ix.Add(Document{Key: "stripe", Text: "stripe count one confines traffic to a single object storage target"})
+
+	want := ix.Search("small write requests", 2)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				got := ix.Search("small write requests", 2)
+				if len(got) != len(want) || got[0].Chunk.DocKey != want[0].Chunk.DocKey {
+					t.Error("concurrent search result diverged")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestTopKHeapMatchesFullRanking(t *testing.T) {
+	// The bounded-heap selection must produce exactly the first k entries
+	// of the fully sorted ranking, for every k.
+	ix := New(Options{})
+	topics := []string{
+		"small write requests degrade bandwidth",
+		"metadata storms serialize many file workloads",
+		"stripe count one causes hotspots",
+		"collective buffering aggregates requests",
+		"read ahead hides latency for sequential reads",
+		"alignment with stripe boundaries avoids extra server round trips",
+	}
+	for i, txt := range topics {
+		ix.Add(Document{Key: string(rune('a' + i)), Text: txt})
+	}
+	full := ix.Search("write requests and stripe alignment", ix.Len())
+	for k := 1; k <= ix.Len(); k++ {
+		got := ix.Search("write requests and stripe alignment", k)
+		if len(got) != k {
+			t.Fatalf("k=%d: got %d hits", k, len(got))
+		}
+		for i := range got {
+			if got[i].Chunk.DocKey != full[i].Chunk.DocKey || got[i].Score != full[i].Score {
+				t.Fatalf("k=%d: rank %d = %q, want %q", k, i, got[i].Chunk.DocKey, full[i].Chunk.DocKey)
+			}
+		}
 	}
 }
 

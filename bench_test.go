@@ -5,7 +5,7 @@
 //
 // Each benchmark reports the paper-relevant quantities as custom metrics
 // (normalized scores, F1, retention fractions) in addition to timing, so a
-// single -bench run reproduces the numbers EXPERIMENTS.md records. The
+// single -bench run reproduces the paper's headline numbers. The
 // shape — who wins, by roughly what factor, where crossovers fall — is the
 // reproduction target; absolute timings reflect the simulated substrate.
 package bench
@@ -18,6 +18,7 @@ import (
 	"ioagent/internal/darshan"
 	"ioagent/internal/eval"
 	"ioagent/internal/fleet"
+	"ioagent/internal/fleet/store"
 	"ioagent/internal/ioagent"
 	"ioagent/internal/iosim"
 	"ioagent/internal/issue"
@@ -612,6 +613,110 @@ func BenchmarkFleet_Retry(b *testing.B) {
 				pool.Close()
 			}
 			b.ReportMetric(float64(retries), "retries")
+		})
+	}
+}
+
+// BenchmarkFleet_Persistence measures the durability layer that backs
+// iofleetd's -state-dir: the cost of a checkpoint (cache snapshot + journal
+// compaction), of a cold recovery (journal scan + snapshot restore into a
+// fresh pool), and of the write-ahead journal append on the submit path
+// under each fsync policy.
+func BenchmarkFleet_Persistence(b *testing.B) {
+	const entries = 32
+	traces := fleetTraces(entries)
+	ix := knowledge.BuildIndex()
+	warmPool := func(st *store.Store) *fleet.Pool {
+		cfg := fleet.Config{Workers: 8, Agent: ioagent.Options{Index: ix}}
+		if st != nil {
+			cfg.OnJobEvent = st.OnJobEvent
+			cfg.OnCacheInsert = st.CacheChanged
+			cfg.OnCacheEvict = st.CacheChanged
+		}
+		pool := fleet.New(llm.NewSim(), cfg)
+		for _, tr := range traces {
+			if _, err := pool.Submit(tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+		pool.Wait()
+		return pool
+	}
+
+	b.Run("checkpoint", func(b *testing.B) {
+		st, err := store.Open(b.TempDir(), store.Options{Logf: b.Logf})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		pool := warmPool(st)
+		defer pool.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := st.FinalCheckpoint(pool); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(entries, "cache_entries")
+	})
+
+	b.Run("recover", func(b *testing.B) {
+		dir := b.TempDir()
+		st, err := store.Open(dir, store.Options{Logf: b.Logf})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pool := warmPool(st)
+		if err := st.FinalCheckpoint(pool); err != nil {
+			b.Fatal(err)
+		}
+		pool.Close()
+		st.Close()
+		var restored int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st, err := store.Open(dir, store.Options{Logf: b.Logf})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pool := fleet.New(llm.NewSim(), fleet.Config{Workers: 8, Agent: ioagent.Options{Index: ix}})
+			restored, _, err = st.Replay(pool)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			pool.Close()
+			st.Close()
+			b.StartTimer()
+		}
+		if restored != entries {
+			b.Fatalf("restored %d entries, want %d", restored, entries)
+		}
+		b.ReportMetric(float64(restored), "entries_restored")
+	})
+
+	for _, mode := range []store.FsyncMode{store.FsyncAlways, store.FsyncOff} {
+		mode := mode
+		b.Run("journal-append-fsync-"+string(mode), func(b *testing.B) {
+			st, err := store.Open(b.TempDir(), store.Options{Fsync: mode, Logf: b.Logf})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			tr := traces[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := fmt.Sprintf("job-%06d", i)
+				st.OnJobEvent(fleet.Event{
+					Kind: fleet.EventSubmitted,
+					Job:  fleet.JobInfo{ID: id, Digest: "bench", Status: fleet.StatusQueued, SubmittedAt: time.Now()},
+					Log:  tr,
+				})
+				st.OnJobEvent(fleet.Event{
+					Kind: fleet.EventDone,
+					Job:  fleet.JobInfo{ID: id, Digest: "bench", Status: fleet.StatusDone},
+				})
+			}
 		})
 	}
 }

@@ -1,17 +1,21 @@
 // Command iofleetd serves the fleet batch-diagnosis pipeline over HTTP: a
 // long-lived daemon that accepts Darshan logs, shards them across a pool of
 // concurrent IOAgent workers, caches diagnoses by trace content, and exposes
-// operational metrics.
+// operational metrics. With -state-dir set, the cache and the job queue are
+// durable: a restarted daemon replays unfinished jobs from a write-ahead
+// journal and serves previously diagnosed traces from a disk snapshot.
 //
 // Usage:
 //
 //	iofleetd [-addr :8080] [-workers 4] [-cache-size 1024] [-cache-ttl 1h]
 //	         [-retries 3] [-model NAME] [-cheap-model NAME] [-api-latency 0]
+//	         [-state-dir DIR] [-snapshot-interval 30s] [-fsync always|batch|off]
 //
 // Endpoints:
 //
 //	POST /v1/jobs               submit a trace (binary or darshan-parser
-//	                            text body); responds 202 with the job record
+//	                            text body); responds 202 with the job record,
+//	                            or 503 once the daemon is draining
 //	GET  /v1/jobs               list all jobs
 //	GET  /v1/jobs/{id}          poll one job's status
 //	GET  /v1/jobs/{id}/diagnosis fetch the finished report as text
@@ -30,14 +34,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"ioagent/internal/darshan"
 	"ioagent/internal/fleet"
+	"ioagent/internal/fleet/store"
 	"ioagent/internal/ioagent"
 	"ioagent/internal/llm"
 )
@@ -52,19 +59,135 @@ func main() {
 	model := flag.String("model", llm.GPT4o, "diagnosis model")
 	cheap := flag.String("cheap-model", llm.GPT4oMini, "self-reflection filter model")
 	apiLatency := flag.Duration("api-latency", 0, "simulated model API round-trip latency")
+	stateDir := flag.String("state-dir", "", "directory for the job journal and cache snapshot (empty = in-memory only)")
+	snapInterval := flag.Duration("snapshot-interval", 30*time.Second, "cache snapshot + journal compaction cadence (with -state-dir)")
+	fsync := flag.String("fsync", "always", "journal durability: always (fsync per record), batch (fsync at checkpoints), off")
 	flag.Parse()
 
-	pool := fleet.New(llm.WithLatency(llm.NewSim(), *apiLatency), fleet.Config{
+	cfg := fleet.Config{
 		Workers:     *workers,
 		QueueDepth:  *queueDepth,
 		CacheSize:   *cacheSize,
 		CacheTTL:    *cacheTTL,
 		MaxAttempts: *retries,
 		Agent:       ioagent.Options{Model: *model, CheapModel: *cheap},
-	})
+	}
 
+	var st *store.Store
+	if *stateDir != "" {
+		mode := store.FsyncMode(*fsync)
+		switch mode {
+		case store.FsyncAlways, store.FsyncBatch, store.FsyncOff:
+		default:
+			log.Fatalf("iofleetd: -fsync must be always, batch, or off (got %q)", *fsync)
+		}
+		var err error
+		st, err = store.Open(*stateDir, store.Options{Fsync: mode})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.OnJobEvent = st.OnJobEvent
+		cfg.OnCacheInsert = st.CacheChanged
+		cfg.OnCacheEvict = st.CacheChanged
+	}
+
+	pool := fleet.New(llm.WithLatency(llm.NewSim(), *apiLatency), cfg)
+
+	if st != nil {
+		restored, resubmitted, err := st.Replay(pool)
+		if err != nil {
+			log.Fatalf("iofleetd: replay: %v", err)
+		}
+		log.Printf("iofleetd: recovered state from %s: %d cached diagnoses restored, %d unfinished jobs resubmitted",
+			st.Dir(), restored, resubmitted)
+	}
+
+	// draining flips when SIGTERM/SIGINT arrives: new submissions are
+	// refused (and the refusal journaled) instead of being accepted into a
+	// pool that is about to stop.
+	var draining atomic.Bool
+	mux := newMux(pool, st, &draining)
+	// Listen explicitly (rather than ListenAndServe) so ":0" resolves to a
+	// real port in the startup log — the e2e recovery test depends on it.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: mux}
+
+	// Periodic checkpoints: snapshot the cache when it changed, compact
+	// the journal. Stopped on drain; the final checkpoint below covers the
+	// tail.
+	stopCheckpoints := make(chan struct{})
+	if st != nil {
+		go func() {
+			tick := time.NewTicker(*snapInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if err := st.Checkpoint(pool); err != nil {
+						log.Printf("iofleetd: checkpoint: %v", err)
+					}
+				case <-stopCheckpoints:
+					return
+				}
+			}
+		}()
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		draining.Store(true)
+		log.Print("iofleetd: draining pool and shutting down")
+		if err := srv.Shutdown(context.Background()); err != nil {
+			log.Printf("iofleetd: shutdown: %v", err)
+		}
+		close(drained)
+	}()
+	log.Printf("iofleetd: listening on %s (%d workers, model %s)", ln.Addr(), *workers, *model)
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	<-drained // let in-flight responses finish before tearing the pool down
+	pool.Close()
+	if st != nil {
+		close(stopCheckpoints)
+		// The pool has drained: every journaled job is covered, so this
+		// snapshots the final cache and compacts the journal to (at most)
+		// jobs that failed permanently mid-drain — normally to empty.
+		if err := st.FinalCheckpoint(pool); err != nil {
+			log.Printf("iofleetd: final checkpoint: %v", err)
+		}
+		if err := st.Close(); err != nil {
+			log.Printf("iofleetd: close store: %v", err)
+		}
+		log.Printf("iofleetd: state persisted to %s", st.Dir())
+	}
+}
+
+// newMux builds the daemon's HTTP surface. st may be nil (no -state-dir);
+// draining gates POST /v1/jobs: once set, new submissions are refused with
+// 503 and the refusal is journaled, so work a client believes accepted is
+// never silently dropped by the exiting process.
+func newMux(pool *fleet.Pool, st *store.Store, draining *atomic.Bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		reject := func(err error) {
+			if st != nil {
+				if jerr := st.Reject(err.Error() + " (from " + r.RemoteAddr + ")"); jerr != nil {
+					log.Printf("iofleetd: journal reject: %v", jerr)
+				}
+			}
+			httpError(w, http.StatusServiceUnavailable, err)
+		}
+		if draining.Load() {
+			reject(fmt.Errorf("daemon is draining; resubmit to the replacement instance"))
+			return
+		}
 		trace, err := decodeTrace(r)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
@@ -72,7 +195,7 @@ func main() {
 		}
 		job, err := pool.Submit(trace)
 		if err != nil {
-			httpError(w, http.StatusServiceUnavailable, err)
+			reject(err)
 			return
 		}
 		writeJSON(w, http.StatusAccepted, job.Info())
@@ -119,25 +242,7 @@ func main() {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-
-	srv := &http.Server{Addr: *addr, Handler: mux}
-	drained := make(chan struct{})
-	go func() {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
-		log.Print("iofleetd: draining pool and shutting down")
-		if err := srv.Shutdown(context.Background()); err != nil {
-			log.Printf("iofleetd: shutdown: %v", err)
-		}
-		close(drained)
-	}()
-	log.Printf("iofleetd: listening on %s (%d workers, model %s)", *addr, *workers, *model)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		log.Fatal(err)
-	}
-	<-drained // let in-flight responses finish before tearing the pool down
-	pool.Close()
+	return mux
 }
 
 // decodeTrace reads the request body as a binary Darshan log, falling back

@@ -1,9 +1,11 @@
 // Fleet: batch-diagnose a stream of simulated traces through the
 // concurrent worker pool, against a deliberately slow and flaky model
-// backend, and watch the three serving-layer mechanisms earn their keep:
-// worker concurrency overlaps API latency, retries absorb transient
-// backend errors, and the content-addressed cache makes the second
-// submission of every trace free.
+// backend, and watch the serving-layer mechanisms earn their keep: worker
+// concurrency overlaps API latency, retries absorb transient backend
+// errors, and the content-addressed cache makes the second submission of
+// every trace free. A final act checkpoints the pool to disk and replays
+// it into a brand-new pool — the iofleetd -state-dir restart path — so the
+// third batch is free too, across a simulated process death.
 //
 //	go run ./examples/fleet
 package main
@@ -11,10 +13,12 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"ioagent/internal/darshan"
 	"ioagent/internal/fleet"
+	"ioagent/internal/fleet/store"
 	"ioagent/internal/iosim"
 	"ioagent/internal/llm"
 )
@@ -41,7 +45,24 @@ func main() {
 	// failure window across the batch; the retry budget absorbs them.
 	backend := llm.Flaky(llm.WithLatency(llm.NewSim(), 2*time.Millisecond), 1000)
 
-	pool := fleet.New(backend, fleet.Config{Workers: 8, MaxAttempts: 6})
+	// Persist fleet state the way iofleetd -state-dir does: every
+	// accepted job is write-ahead journaled, and checkpoints snapshot the
+	// result cache.
+	stateDir, err := os.MkdirTemp("", "fleet-state-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(stateDir)
+	st, err := store.Open(stateDir, store.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool := fleet.New(backend, fleet.Config{
+		Workers: 8, MaxAttempts: 6,
+		OnJobEvent:    st.OnJobEvent,
+		OnCacheInsert: st.CacheChanged,
+		OnCacheEvict:  st.CacheChanged,
+	})
 	defer pool.Close()
 
 	const traces = 16
@@ -74,4 +95,47 @@ func main() {
 
 	usage, cost, calls := pool.Agent().Stats()
 	fmt.Printf("cost: %d LLM calls, %d tokens, $%.4f (second batch added $0)\n", calls, usage.Total(), cost)
+
+	// Act three: checkpoint, "crash", and recover into a fresh pool — the
+	// restart path a production redeploy takes. The snapshot carries every
+	// diagnosis across the process boundary, so the third batch is served
+	// entirely from disk-restored cache at zero model cost.
+	if err := st.FinalCheckpoint(pool); err != nil {
+		log.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	st2, err := store.Open(stateDir, store.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st2.Close()
+	pool2 := fleet.New(backend, fleet.Config{
+		Workers: 8, MaxAttempts: 6,
+		OnJobEvent:    st2.OnJobEvent,
+		OnCacheInsert: st2.CacheChanged,
+		OnCacheEvict:  st2.CacheChanged,
+	})
+	defer pool2.Close()
+	restored, resubmitted, err := st2.Replay(pool2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start = time.Now()
+	for i := 0; i < traces; i++ {
+		if _, err := pool2.Submit(makeTrace(int64(i + 1))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	pool2.Wait()
+	thirdBatch := time.Since(start)
+
+	m2 := pool2.Metrics()
+	_, cost2, calls2 := pool2.Agent().Stats()
+	fmt.Printf("\nrestart: %d diagnoses restored from %s, %d unfinished jobs replayed\n", restored, stateDir, resubmitted)
+	fmt.Printf("third batch (new process, disk-warm cache): %v, %d/%d cache hits, %d LLM calls, $%.4f\n",
+		thirdBatch.Round(time.Millisecond), m2.CacheHits, m2.Submitted, calls2, cost2)
 }

@@ -118,6 +118,26 @@ func NewLog() *Log {
 // Version is the log format version written by this package.
 const Version = "3.41"
 
+// ShallowClone returns a copy of the log whose module map and record
+// slices are private while the *FileRecord values themselves are shared.
+// Encode canonicalizes record order by sorting in place, so any caller
+// that must not mutate (or race with readers of) a shared log — the fleet
+// digest, the persistence journal — encodes a shallow clone instead.
+func (l *Log) ShallowClone() *Log {
+	clone := &Log{
+		Version: l.Version,
+		Job:     l.Job,
+		Modules: make(map[ModuleID]*ModuleData, len(l.Modules)),
+	}
+	for m, md := range l.Modules {
+		clone.Modules[m] = &ModuleData{
+			Module:  md.Module,
+			Records: append([]*FileRecord(nil), md.Records...),
+		}
+	}
+	return clone
+}
+
 // Module returns the module data for m, creating it on first use.
 func (l *Log) Module(m ModuleID) *ModuleData {
 	md, ok := l.Modules[m]

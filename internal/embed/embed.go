@@ -1,5 +1,5 @@
 // Package embed provides deterministic text embeddings, standing in for the
-// OpenAI text-embedding-3-large model the paper uses (see DESIGN.md).
+// OpenAI text-embedding-3-large model the paper uses.
 //
 // The embedding is a hashed bag of unigrams and bigrams: each term is hashed
 // into a fixed-dimension vector with a signed weight, term frequencies are

@@ -1,0 +1,19 @@
+// Package eval is the Table IV harness: it runs every diagnosis tool over
+// TraceBench, submits the four outputs per trace to the LLM judge under the
+// three criteria, and aggregates normalized scores per source and overall
+// (Eqs. (1)-(2)).
+//
+// The Tool interface is the pluggable surface: DrishtiTool adapts the
+// heuristic baseline, IONTool the one-shot LLM baseline, and IOAgentTool
+// the full pipeline at a chosen model tier; DefaultTools returns the
+// paper's four-way lineup. A Runner fans the suite out across a bounded
+// number of concurrent trace evaluations — every tool, criterion, and
+// judge permutation for one trace stays on one goroutine, so per-tool
+// cost accounting remains race-free.
+//
+// Scores are normalized per Eq. (1) (each trace's four ranks map to
+// [0,1]) and averaged per source and overall per Eq. (2); Result.Format
+// renders the familiar Table IV grid. cmd/ioeval is the CLI entry point,
+// and BenchmarkTableIV_FullEvaluation (repo root) regenerates the table
+// as a benchmark.
+package eval

@@ -1,7 +1,3 @@
-// Package eval is the Table IV harness: it runs every diagnosis tool over
-// TraceBench, submits the four outputs per trace to the LLM judge under the
-// three criteria, and aggregates normalized scores per source and overall
-// (Eqs. (1)-(2)).
 package eval
 
 import (

@@ -12,11 +12,21 @@ import (
 // result, with LRU eviction at a fixed capacity and per-entry TTL expiry.
 // Cached *ioagent.Result values are shared across jobs and must be treated
 // as immutable by every reader.
+//
+// onInsert/onEvict observe membership changes (for the persistence layer's
+// dirty tracking). They are invoked after the cache's own lock is released
+// (so they may call back into the cache), but the Pool invokes Get with
+// pool-internal locks held, so callbacks must not call into the Pool — see
+// Config.OnCacheInsert. Insert/evict notifications for concurrent
+// operations may arrive out of order; observers must treat them as
+// "membership changed" signals, not as a replayable log.
 type cache struct {
 	mu       sync.Mutex
 	capacity int
 	ttl      time.Duration // <= 0 means entries never expire
 	now      func() time.Time
+	onInsert func(digest string)
+	onEvict  func(digest string)
 
 	order   *list.List // front = most recently used
 	entries map[string]*list.Element
@@ -43,21 +53,38 @@ func newCache(capacity int, ttl time.Duration, now func() time.Time) *cache {
 	}
 }
 
+// notify delivers membership callbacks. Called WITHOUT c.mu held.
+func (c *cache) notify(inserted, evicted []string) {
+	if c.onEvict != nil {
+		for _, d := range evicted {
+			c.onEvict(d)
+		}
+	}
+	if c.onInsert != nil {
+		for _, d := range inserted {
+			c.onInsert(d)
+		}
+	}
+}
+
 // Get returns the cached result for digest, refreshing its recency.
 // Expired entries are removed and reported as misses.
 func (c *cache) Get(digest string) (*ioagent.Result, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	el, ok := c.entries[digest]
 	if !ok {
+		c.mu.Unlock()
 		return nil, false
 	}
 	e := el.Value.(*cacheEntry)
 	if c.ttl > 0 && c.now().Sub(e.added) >= c.ttl {
 		c.removeLocked(el)
+		c.mu.Unlock()
+		c.notify(nil, []string{digest})
 		return nil, false
 	}
 	c.order.MoveToFront(el)
+	c.mu.Unlock()
 	return e.result, true
 }
 
@@ -65,23 +92,56 @@ func (c *cache) Get(digest string) (*ioagent.Result, bool) {
 // when the cache is full. Re-putting an existing digest refreshes both the
 // value and the TTL clock.
 func (c *cache) Put(digest string, res *ioagent.Result) {
+	c.putAt(digest, res, c.now())
+}
+
+// putAt is Put with an explicit insertion time, used when restoring a
+// persisted snapshot so restored entries keep their original TTL clock.
+// Entries already expired at insertion time are dropped.
+func (c *cache) putAt(digest string, res *ioagent.Result, added time.Time) {
 	if c.capacity <= 0 {
 		return
 	}
+	if c.ttl > 0 && c.now().Sub(added) >= c.ttl {
+		return
+	}
+	var evicted []string
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.entries[digest]; ok {
 		e := el.Value.(*cacheEntry)
 		e.result = res
-		e.added = c.now()
+		e.added = added
 		c.order.MoveToFront(el)
+		c.mu.Unlock()
+		c.notify([]string{digest}, nil)
 		return
 	}
 	for c.order.Len() >= c.capacity {
-		c.removeLocked(c.order.Back())
+		back := c.order.Back()
+		evicted = append(evicted, back.Value.(*cacheEntry).key)
+		c.removeLocked(back)
 	}
-	el := c.order.PushFront(&cacheEntry{key: digest, result: res, added: c.now()})
+	el := c.order.PushFront(&cacheEntry{key: digest, result: res, added: added})
 	c.entries[digest] = el
+	c.mu.Unlock()
+	c.notify([]string{digest}, evicted)
+}
+
+// export snapshots the resident entries, most recently used first, skipping
+// entries already past their TTL.
+func (c *cache) export() []CacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	out := make([]CacheEntry, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		if c.ttl > 0 && now.Sub(e.added) >= c.ttl {
+			continue
+		}
+		out = append(out, CacheEntry{Digest: e.key, Result: e.result, Added: e.added})
+	}
+	return out
 }
 
 // Len returns the number of resident entries (expired-but-unswept entries

@@ -24,7 +24,19 @@
 // Pool health is observable through Metrics: lifecycle counters, cache hit
 // rate, retries, and p50/p95 submit-to-completion latency.
 //
+// # Persistence hooks
+//
+// The pool itself is in-memory, but it exposes the hook surface the
+// durability layer (internal/fleet/store) builds on: Config.OnJobEvent
+// observes job lifecycle transitions with a write-ahead guarantee (the
+// submitted event fires before any worker can see the job),
+// Config.OnCacheInsert/OnCacheEvict track result-cache membership, and
+// CacheExport/CacheRestore move cache contents across process boundaries
+// with their TTL clocks intact. The pool never knows whether it is
+// persistent; iofleetd wires the hooks when -state-dir is set.
+//
 // The pool is exposed two ways: cmd/iofleetd serves it over HTTP (submit a
-// log, poll status, fetch the diagnosis, scrape /metrics), and cmd/ioagent
+// log, poll status, fetch the diagnosis, scrape /metrics; with -state-dir,
+// queued jobs and the cache survive restarts), and cmd/ioagent
 // batch-diagnoses many traces at once with its -fleet flag.
 package fleet

@@ -16,6 +16,32 @@ import (
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("fleet: pool is closed")
 
+// EventKind names a job lifecycle transition observed through
+// Config.OnJobEvent.
+type EventKind string
+
+const (
+	// EventSubmitted fires exactly once per accepted submission, at submit
+	// time. The embedded JobInfo reflects the submit outcome: a cache hit
+	// is already StatusDone, a coalesced duplicate has CacheHit set, and a
+	// job bound for a worker is StatusQueued with CacheHit unset.
+	EventSubmitted EventKind = "submitted"
+	// EventDone / EventFailed fire exactly once for every job that was not
+	// already terminal at submit time, after the pipeline (or the primary
+	// it coalesced onto) finishes.
+	EventDone   EventKind = "done"
+	EventFailed EventKind = "failed"
+)
+
+// Event is one job lifecycle notification.
+type Event struct {
+	Kind EventKind
+	Job  JobInfo
+	// Log is the submitted trace; non-nil only for EventSubmitted. The
+	// pool still owns it — observers must not mutate it.
+	Log *darshan.Log
+}
+
 // Status is a job's lifecycle state.
 type Status string
 
@@ -54,6 +80,23 @@ type Config struct {
 	RetryDelay time.Duration
 	// Agent configures the diagnosis pipeline shared by all workers.
 	Agent ioagent.Options
+
+	// OnJobEvent, if set, observes job lifecycle transitions (see
+	// EventKind for the exact contract). It is called synchronously from
+	// Submit and from worker goroutines — for any one job, EventSubmitted
+	// strictly precedes its terminal event — so a slow hook (e.g. an
+	// fsync-per-append journal) backpressures the pool. The hook must not
+	// call back into the Pool.
+	OnJobEvent func(Event)
+	// OnCacheInsert / OnCacheEvict, if set, observe result-cache
+	// membership changes (insertions, LRU evictions, TTL expiries). They
+	// exist for persistence-layer dirty tracking: treat them as
+	// "membership changed" signals, not as an ordered replayable log.
+	// Like OnJobEvent they must not call back into the Pool: a TTL
+	// expiry can fire OnCacheEvict from inside Submit's cache lookup,
+	// where pool-internal locks are held.
+	OnCacheInsert func(digest string)
+	OnCacheEvict  func(digest string)
 
 	// Test hooks: clock for cache TTL, sleeper for retry backoff.
 	now   func() time.Time
@@ -108,18 +151,7 @@ func Digest(opts ioagent.Options, log *darshan.Log) (string, error) {
 	// Encode canonicalizes record order by sorting in place, so hash a
 	// shallow clone whose record slices are private: Digest must neither
 	// mutate nor race on the caller's log.
-	clone := &darshan.Log{
-		Version: log.Version,
-		Job:     log.Job,
-		Modules: make(map[darshan.ModuleID]*darshan.ModuleData, len(log.Modules)),
-	}
-	for m, md := range log.Modules {
-		clone.Modules[m] = &darshan.ModuleData{
-			Module:  md.Module,
-			Records: append([]*darshan.FileRecord(nil), md.Records...),
-		}
-	}
-	if err := darshan.Encode(h, clone); err != nil {
+	if err := darshan.Encode(h, log.ShallowClone()); err != nil {
 		return "", fmt.Errorf("fleet: digest: %w", err)
 	}
 	return hex.EncodeToString(h.Sum(nil)), nil
@@ -267,6 +299,8 @@ func New(client llm.Client, cfg Config) *Pool {
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*inflightEntry),
 	}
+	p.cache.onInsert = cfg.OnCacheInsert
+	p.cache.onEvict = cfg.OnCacheEvict
 	for i := 0; i < cfg.Workers; i++ {
 		p.workerWG.Add(1)
 		go p.worker()
@@ -277,6 +311,13 @@ func New(client llm.Client, cfg Config) *Pool {
 // Agent returns the shared diagnosis agent (e.g. for pool-wide cost stats
 // or post-diagnosis chat sessions).
 func (p *Pool) Agent() *ioagent.Agent { return p.agent }
+
+// emit delivers one lifecycle event. Called WITHOUT p.mu held.
+func (p *Pool) emit(kind EventKind, j *Job, log *darshan.Log) {
+	if p.cfg.OnJobEvent != nil {
+		p.cfg.OnJobEvent(Event{Kind: kind, Job: j.Info(), Log: log})
+	}
+}
 
 // Submit enqueues a trace for diagnosis and returns immediately unless the
 // queue is full, in which case it blocks for backpressure. Three outcomes
@@ -323,6 +364,7 @@ func (p *Pool) Submit(log *darshan.Log) (*Job, error) {
 		p.m.recordLatency(0)
 		j.complete(res, nil, now)
 		p.jobWG.Done()
+		p.emit(EventSubmitted, j, log)
 		return j, nil
 	}
 
@@ -341,6 +383,12 @@ func (p *Pool) Submit(log *darshan.Log) (*Job, error) {
 		p.m.mu.Lock()
 		p.m.coalesced++
 		p.m.mu.Unlock()
+		// Emit before releasing p.mu: the primary's worker snapshots
+		// followers under p.mu, so holding it here guarantees this
+		// follower's submitted event precedes its terminal event. The
+		// hook must not call back into the Pool (see Config.OnJobEvent),
+		// so no re-entrancy deadlock is possible.
+		p.emit(EventSubmitted, j, log)
 		p.mu.Unlock()
 		return j, nil
 	}
@@ -354,6 +402,10 @@ func (p *Pool) Submit(log *darshan.Log) (*Job, error) {
 	p.qmu.RLock() // before mu is released, so Close cannot slip between
 	p.mu.Unlock()
 
+	// Emit before the queue send: a worker cannot see the job until the
+	// send lands, so a write-ahead journal hooked here has durably
+	// recorded the submission before any worker can complete it.
+	p.emit(EventSubmitted, j, log)
 	p.queue <- j // blocks when the queue is full (backpressure)
 	p.qmu.RUnlock()
 	return j, nil
@@ -404,6 +456,38 @@ func (p *Pool) Jobs() []*Job {
 // Metrics returns a point-in-time health snapshot.
 func (p *Pool) Metrics() Snapshot {
 	return p.m.snapshot(p.cfg.Workers, p.cache.Len())
+}
+
+// CacheEntry is one exported result-cache entry. The Result is the live
+// cached object shared with jobs and must be treated as immutable.
+type CacheEntry struct {
+	Digest string
+	Result *ioagent.Result
+	Added  time.Time // when the entry was cached (drives TTL expiry)
+}
+
+// CacheExport snapshots the result cache, most recently used first,
+// skipping entries already past their TTL. It is the read side of the
+// persistence layer: internal/fleet/store serializes the returned entries
+// to disk.
+func (p *Pool) CacheExport() []CacheEntry {
+	return p.cache.export()
+}
+
+// CacheRestore seeds the result cache from a persisted snapshot. Entries
+// keep their original Added times, so a restored entry expires exactly when
+// it would have in the previous process; entries already expired (or in
+// excess of the cache capacity) are dropped. Pass entries most recently
+// used first — CacheExport order — so LRU eviction order survives the
+// round trip.
+func (p *Pool) CacheRestore(entries []CacheEntry) {
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		if e.Digest == "" || e.Result == nil {
+			continue
+		}
+		p.cache.putAt(e.Digest, e.Result, e.Added)
+	}
 }
 
 // Wait blocks until every job submitted so far has completed. Submissions
@@ -509,8 +593,13 @@ func (p *Pool) runJob(j *Job) {
 		p.m.recordLatency(finished.Sub(submitted))
 	}
 
+	kind := EventDone
+	if err != nil {
+		kind = EventFailed
+	}
 	j.complete(res, err, finished)
 	p.jobWG.Done()
+	p.emit(kind, j, nil)
 	for _, f := range followers {
 		f.mu.Lock()
 		fsub := f.submitted
@@ -525,5 +614,6 @@ func (p *Pool) runJob(j *Job) {
 		}
 		f.complete(res, err, finished)
 		p.jobWG.Done()
+		p.emit(kind, f, nil)
 	}
 }

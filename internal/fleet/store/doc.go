@@ -1,0 +1,38 @@
+// Package store makes fleet state durable: a restarted iofleetd resumes
+// the jobs it had accepted and keeps serving every diagnosis it had already
+// computed. Without it, the pool in internal/fleet is purely in-memory — a
+// redeploy or crash forfeits the queue and the content-addressed result
+// cache, which is also the blocker for the ROADMAP's multi-node fleet (a
+// router can only rebalance digests whose results survive a node bounce).
+//
+// Two artifacts live in the state directory:
+//
+//   - snapshot.json — the result cache, serialized in the same
+//     JSON-and-atomic-rename style as vectordb.Save/Load: each entry is
+//     (digest, canonical report text, insertion time). Parsed reports are
+//     reconstructed on load and TTL clocks resume where they left off.
+//     Snapshots are written at a configurable cadence and once more when
+//     the pool drains.
+//   - journal.wal — a write-ahead job journal of newline-delimited JSON
+//     records. Every submission bound for a worker is appended (with its
+//     full encoded trace) before any worker can see it; terminal records
+//     cover it when it finishes. On boot, uncovered submissions are
+//     replayed into the pool. The journal is compacted at each checkpoint
+//     down to the still-pending records, and a torn or corrupt tail — the
+//     expected wreckage of a crash mid-append — is detected, logged, and
+//     truncated rather than aborting recovery.
+//
+// The Store never touches pool internals: it observes the pool through the
+// fleet.Config hooks (OnJobEvent, OnCacheInsert, OnCacheEvict) and reads
+// the cache through Pool.CacheExport, so the pool stays oblivious to
+// whether it is persistent. Crash semantics by failure mode:
+//
+//   - SIGTERM (clean drain): queued jobs finish, a final checkpoint runs —
+//     nothing is lost and the journal is left holding nothing.
+//   - SIGKILL / panic: queued and running jobs replay on the next boot
+//     (at-least-once; the content-addressed cache deduplicates re-run
+//     work), and the cache is served from the last snapshot.
+//   - Power loss: as SIGKILL under FsyncAlways; under FsyncBatch or
+//     FsyncOff, records still in the page cache may be lost or torn, and
+//     the torn tail is repaired on recovery.
+package store

@@ -1,0 +1,194 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"ioagent/internal/darshan"
+)
+
+// journalName is the write-ahead journal file inside the state directory.
+const journalName = "journal.wal"
+
+// Journal record operations. A "submit" opens a job; "done", "fail", and
+// "replayed" cover it (the job no longer needs replay); "reject" records a
+// refused submission for the audit trail and never needs covering.
+const (
+	opSubmit   = "submit"
+	opDone     = "done"
+	opFail     = "fail"
+	opReplayed = "replayed"
+	opReject   = "reject"
+)
+
+// record is one journal line. Submit records carry the full encoded trace
+// so a restarted daemon can reconstruct and resubmit the job; covering
+// records carry only the ID.
+type record struct {
+	Op     string    `json:"op"`
+	ID     string    `json:"id,omitempty"`
+	Digest string    `json:"digest,omitempty"`
+	At     time.Time `json:"at,omitzero"`
+	Error  string    `json:"error,omitempty"`
+	Reason string    `json:"reason,omitempty"`
+	// Trace is the darshan.Encode serialization of the submitted log
+	// (base64 in the JSON encoding).
+	Trace []byte `json:"trace,omitempty"`
+}
+
+// PendingJob is a journaled submission with no covering record: the job was
+// accepted by a previous process but never finished, so it must be replayed.
+type PendingJob struct {
+	ID          string // the ID in the PREVIOUS process; replay assigns a new one
+	Digest      string
+	SubmittedAt time.Time
+	Log         *darshan.Log
+}
+
+// scanJournal reads the journal at path and returns the uncovered submit
+// records in append order, together with their raw lines (kept for
+// compaction). A torn or corrupt tail — the expected state after a crash
+// mid-append — is tolerated: scanning stops at the first line that is not
+// valid JSON, and valid is the byte offset where that tail begins, so the
+// caller can truncate it before appending. A structurally valid submit
+// record whose embedded trace fails to decode is skipped with a warning
+// instead of aborting the scan.
+func scanJournal(path string) (pending []PendingJob, raw map[string][]byte, valid int64, warnings []string, err error) {
+	raw = make(map[string][]byte)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, raw, 0, nil, nil
+	}
+	if err != nil {
+		return nil, nil, 0, nil, fmt.Errorf("store: read journal: %w", err)
+	}
+
+	byID := make(map[string]int) // pending index by previous-process ID
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			// Torn final line (no newline): crash mid-append. Tolerate.
+			warnings = append(warnings, fmt.Sprintf("journal: dropping torn tail (%d bytes)", len(data)-off))
+			break
+		}
+		line := data[off : off+nl]
+		var rec record
+		if uerr := json.Unmarshal(line, &rec); uerr != nil {
+			warnings = append(warnings, fmt.Sprintf("journal: dropping corrupt tail at offset %d: %v", off, uerr))
+			break
+		}
+		switch rec.Op {
+		case opSubmit:
+			if rec.ID == "" || len(rec.Trace) == 0 {
+				warnings = append(warnings, fmt.Sprintf("journal: skipping malformed submit at offset %d", off))
+				break
+			}
+			log, derr := darshan.Decode(bytes.NewReader(rec.Trace))
+			if derr != nil {
+				warnings = append(warnings, fmt.Sprintf("journal: skipping submit %s with undecodable trace: %v", rec.ID, derr))
+				break
+			}
+			if i, dup := byID[rec.ID]; dup {
+				pending[i] = PendingJob{ID: rec.ID, Digest: rec.Digest, SubmittedAt: rec.At, Log: log}
+				raw[rec.ID] = append([]byte(nil), line...)
+				break
+			}
+			byID[rec.ID] = len(pending)
+			pending = append(pending, PendingJob{ID: rec.ID, Digest: rec.Digest, SubmittedAt: rec.At, Log: log})
+			raw[rec.ID] = append([]byte(nil), line...)
+		case opDone, opFail, opReplayed:
+			if i, ok := byID[rec.ID]; ok {
+				pending[i].ID = "" // tombstone; filtered below
+				delete(byID, rec.ID)
+				delete(raw, rec.ID)
+			}
+		case opReject:
+			// Audit-only; nothing to replay.
+		default:
+			warnings = append(warnings, fmt.Sprintf("journal: ignoring unknown op %q at offset %d", rec.Op, off))
+		}
+		off += nl + 1
+		valid = int64(off)
+	}
+
+	// Compact out the tombstoned (covered) submits.
+	kept := pending[:0]
+	for _, p := range pending {
+		if p.ID != "" {
+			kept = append(kept, p)
+		}
+	}
+	return kept, raw, valid, warnings, nil
+}
+
+// appendLocked marshals rec and appends it to the journal, maintaining the
+// pending-submit bookkeeping used by compaction. Caller holds s.mu.
+func (s *Store) appendLocked(rec record) error {
+	if s.journal == nil {
+		return ErrClosed
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: marshal journal record: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := s.journal.Write(line); err != nil {
+		return fmt.Errorf("store: append journal: %w", err)
+	}
+	if s.opts.Fsync == FsyncAlways {
+		if err := s.journal.Sync(); err != nil {
+			return fmt.Errorf("store: fsync journal: %w", err)
+		}
+	}
+	s.appended++
+	switch rec.Op {
+	case opSubmit:
+		if _, dup := s.pendingRaw[rec.ID]; !dup {
+			s.pendingOrder = append(s.pendingOrder, rec.ID)
+		}
+		s.pendingRaw[rec.ID] = line
+	case opDone, opFail, opReplayed:
+		delete(s.pendingRaw, rec.ID)
+	}
+	return nil
+}
+
+// compactLocked rewrites the journal to contain only the still-pending
+// submit records — everything else is covered by completions and (for
+// results) by the snapshot — then reopens it for appending. The rewrite is
+// atomic: a crash mid-compaction leaves the previous journal intact.
+// Caller holds s.mu.
+func (s *Store) compactLocked() error {
+	if s.journal == nil {
+		return ErrClosed
+	}
+	var buf bytes.Buffer
+	order := s.pendingOrder[:0]
+	for _, id := range s.pendingOrder {
+		line, ok := s.pendingRaw[id]
+		if !ok {
+			continue // covered since it was journaled
+		}
+		order = append(order, id)
+		buf.Write(line)
+	}
+	s.pendingOrder = order
+
+	path := s.path(journalName)
+	if err := atomicWrite(path, buf.Bytes(), s.opts.Fsync != FsyncOff); err != nil {
+		return fmt.Errorf("store: compact journal: %w", err)
+	}
+	// The old descriptor now points at the unlinked pre-compaction file;
+	// swap it for the fresh journal before any further appends.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopen journal: %w", err)
+	}
+	s.journal.Close()
+	s.journal = f
+	s.appended = 0
+	return nil
+}

@@ -1,0 +1,107 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// snapshotName is the result-cache snapshot file inside the state
+// directory.
+const snapshotName = "snapshot.json"
+
+// snapshotVersion guards the on-disk format. A reader finding a version it
+// does not understand ignores the snapshot (the cache is an optimization;
+// the journal alone preserves correctness).
+const snapshotVersion = 1
+
+// SnapshotEntry is one persisted result-cache entry. Only the canonical
+// report text is stored: the parsed Report is reconstructed on load with
+// llm.ParseReport, and per-fragment pipeline intermediates are not
+// persisted (they exist for introspection of a live run, not for serving).
+type SnapshotEntry struct {
+	Digest string    `json:"digest"`
+	Text   string    `json:"text"`
+	Added  time.Time `json:"added"`
+}
+
+// snapshotFile is the on-disk snapshot document.
+type snapshotFile struct {
+	Version int             `json:"version"`
+	SavedAt time.Time       `json:"saved_at"`
+	Entries []SnapshotEntry `json:"entries"`
+}
+
+// readSnapshot loads the snapshot at path. A missing file yields an empty
+// entry list; a corrupt or version-incompatible file is ignored with a
+// warning rather than failing recovery, because losing the cache costs
+// recomputation, not correctness.
+func readSnapshot(path string) (entries []SnapshotEntry, warnings []string, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil, nil
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: read snapshot: %w", err)
+	}
+	var f snapshotFile
+	if uerr := json.Unmarshal(data, &f); uerr != nil {
+		return nil, []string{fmt.Sprintf("snapshot: ignoring corrupt file: %v", uerr)}, nil
+	}
+	if f.Version != snapshotVersion {
+		return nil, []string{fmt.Sprintf("snapshot: ignoring unsupported version %d", f.Version)}, nil
+	}
+	return f.Entries, nil, nil
+}
+
+// writeSnapshot atomically replaces the snapshot at path.
+func writeSnapshot(path string, entries []SnapshotEntry, sync bool) error {
+	doc := snapshotFile{Version: snapshotVersion, SavedAt: time.Now(), Entries: entries}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		return fmt.Errorf("store: marshal snapshot: %w", err)
+	}
+	if err := atomicWrite(path, data, sync); err != nil {
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// atomicWrite writes data to path via a same-directory temp file and
+// rename, so readers only ever observe the old or the new content — never
+// a torn write. When sync is set, the file is fsynced before the rename and
+// the directory after it, making the replacement durable across power loss.
+func atomicWrite(path string, data []byte, sync bool) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if sync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	if sync {
+		if d, err := os.Open(dir); err == nil {
+			d.Sync()
+			d.Close()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,351 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"ioagent/internal/darshan"
+	"ioagent/internal/fleet"
+	"ioagent/internal/ioagent"
+	"ioagent/internal/llm"
+)
+
+// ErrClosed is returned by Store operations after Close.
+var ErrClosed = errors.New("store: closed")
+
+// FsyncMode selects how aggressively the store flushes to stable storage.
+type FsyncMode string
+
+const (
+	// FsyncAlways fsyncs the journal after every append and snapshots
+	// through fsync+rename. Nothing acknowledged is lost even on power
+	// failure; each submission pays one fsync of latency.
+	FsyncAlways FsyncMode = "always"
+	// FsyncBatch lets journal appends ride the OS page cache (they still
+	// survive a process kill, which only loses the page cache on power
+	// loss) and fsyncs at checkpoints and on Close.
+	FsyncBatch FsyncMode = "batch"
+	// FsyncOff never fsyncs. State still survives SIGKILL on a healthy
+	// machine; a power failure may lose or tear recent records (the
+	// journal scanner tolerates the torn tail).
+	FsyncOff FsyncMode = "off"
+)
+
+// Options tune a Store. The zero value selects FsyncAlways.
+type Options struct {
+	Fsync FsyncMode
+	// Logf receives recovery warnings and hook-path write errors (hooks
+	// cannot return errors to the pool). Defaults to log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Fsync == "" {
+		o.Fsync = FsyncAlways
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+	return o
+}
+
+// Recovery is what a previous process left behind: the persisted result
+// cache and the journaled jobs it accepted but never finished.
+type Recovery struct {
+	// Cache holds the last snapshot's entries, most recently used first.
+	Cache []SnapshotEntry
+	// Pending holds journaled-but-unfinished submissions in accept order.
+	Pending []PendingJob
+	// Warnings records non-fatal recovery repairs (torn journal tail
+	// truncated, corrupt snapshot ignored, ...).
+	Warnings []string
+}
+
+// Store persists fleet state in a directory: a write-ahead job journal
+// (journal.wal) and a result-cache snapshot (snapshot.json). It is the
+// durability layer behind iofleetd's -state-dir flag.
+//
+// A Store attaches to a fleet.Pool through three Config hooks — OnJobEvent
+// (journaling), OnCacheInsert and OnCacheEvict (snapshot dirty tracking) —
+// and never reaches into pool internals; everything it persists arrives
+// through the hook surface or the pool's CacheExport. All methods are safe
+// for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	journal   *os.File
+	recovered Recovery
+	// pendingRaw holds the raw journal line of every uncovered submit,
+	// keyed by job ID; pendingOrder preserves append order. Together they
+	// let compaction rewrite the journal without rereading it.
+	pendingRaw   map[string][]byte
+	pendingOrder []string
+	appended     int  // records appended since the last compaction
+	dirty        bool // cache changed since the last snapshot
+}
+
+// Open attaches to (creating if needed) the state directory and performs
+// recovery: the snapshot is loaded, the journal is scanned, and a torn or
+// corrupt journal tail is truncated away. The recovered state is available
+// through Recovered until Replay consumes it.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create state dir: %w", err)
+	}
+	s := &Store{dir: dir, opts: opts, pendingRaw: make(map[string][]byte)}
+
+	cache, warns, err := readSnapshot(s.path(snapshotName))
+	if err != nil {
+		return nil, err
+	}
+	s.recovered.Cache = cache
+	s.recovered.Warnings = append(s.recovered.Warnings, warns...)
+
+	jpath := s.path(journalName)
+	pending, raw, valid, warns, err := scanJournal(jpath)
+	if err != nil {
+		return nil, err
+	}
+	s.recovered.Pending = pending
+	s.recovered.Warnings = append(s.recovered.Warnings, warns...)
+	if info, err := os.Stat(jpath); err == nil && info.Size() > valid {
+		if err := os.Truncate(jpath, valid); err != nil {
+			return nil, fmt.Errorf("store: truncate journal tail: %w", err)
+		}
+	}
+	for _, p := range pending {
+		s.pendingOrder = append(s.pendingOrder, p.ID)
+	}
+	s.pendingRaw = raw
+
+	f, err := os.OpenFile(jpath, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open journal: %w", err)
+	}
+	s.journal = f
+	for _, w := range s.recovered.Warnings {
+		opts.Logf("store: %s", w)
+	}
+	return s, nil
+}
+
+// Dir returns the state directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(name string) string { return filepath.Join(s.dir, name) }
+
+// Recovered returns what Open found on disk. Replay consumes the same
+// state; calling both is fine (Recovered is read-only).
+func (s *Store) Recovered() Recovery {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovered
+}
+
+// Replay pushes the recovered state into a freshly built pool: snapshot
+// entries are restored into the result cache (keeping their original TTL
+// clocks), and every pending job is resubmitted. The pool must already be
+// wired to this store's hooks, so each resubmission write-ahead-journals
+// itself under its new job ID before the old record is marked replayed —
+// a crash during Replay re-replays the not-yet-covered remainder on the
+// next boot (at-least-once, deduplicated by the content-addressed cache).
+// Resubmission blocks when the pool queue is full, exactly like Submit.
+func (s *Store) Replay(p *fleet.Pool) (restored, resubmitted int, err error) {
+	rec := s.Recovered()
+
+	entries := make([]fleet.CacheEntry, 0, len(rec.Cache))
+	for _, e := range rec.Cache {
+		if e.Digest == "" || e.Text == "" {
+			continue
+		}
+		entries = append(entries, fleet.CacheEntry{
+			Digest: e.Digest,
+			Result: &ioagent.Result{Text: e.Text, Report: llm.ParseReport(e.Text)},
+			Added:  e.Added,
+		})
+	}
+	p.CacheRestore(entries)
+	restored = len(entries)
+
+	for _, job := range rec.Pending {
+		if _, serr := p.Submit(job.Log); serr != nil {
+			return restored, resubmitted, fmt.Errorf("store: replay %s: %w", job.ID, serr)
+		}
+		resubmitted++
+		s.mu.Lock()
+		aerr := s.appendLocked(record{Op: opReplayed, ID: job.ID, Digest: job.Digest, At: time.Now()})
+		s.mu.Unlock()
+		if aerr != nil {
+			return restored, resubmitted, aerr
+		}
+	}
+	return restored, resubmitted, nil
+}
+
+// OnJobEvent is the fleet.Config.OnJobEvent hook: it write-ahead-journals
+// every submission that will occupy a worker, and covers it when the job
+// reaches a terminal state. Cache hits and coalesced duplicates are not
+// journaled — on replay they are re-answered by the cache or re-coalesced
+// onto the one journaled primary for their digest.
+func (s *Store) OnJobEvent(ev fleet.Event) {
+	switch ev.Kind {
+	case fleet.EventSubmitted:
+		if ev.Job.CacheHit || ev.Job.Status != fleet.StatusQueued || ev.Log == nil {
+			return
+		}
+		// Encode sorts records in place; the pool owns ev.Log and other
+		// submissions may be digesting it concurrently, so serialize a
+		// shallow clone.
+		var buf bytes.Buffer
+		if err := darshan.Encode(&buf, ev.Log.ShallowClone()); err != nil {
+			s.opts.Logf("store: encode trace for %s: %v (job will not survive a restart)", ev.Job.ID, err)
+			return
+		}
+		s.append(record{
+			Op: opSubmit, ID: ev.Job.ID, Digest: ev.Job.Digest,
+			At: ev.Job.SubmittedAt, Trace: buf.Bytes(),
+		})
+	case fleet.EventDone:
+		s.cover(record{Op: opDone, ID: ev.Job.ID, Digest: ev.Job.Digest, At: ev.Job.FinishedAt})
+	case fleet.EventFailed:
+		s.cover(record{Op: opFail, ID: ev.Job.ID, Digest: ev.Job.Digest, At: ev.Job.FinishedAt, Error: ev.Job.Error})
+	}
+}
+
+// CacheChanged is both the fleet.Config.OnCacheInsert and OnCacheEvict
+// hook: any membership change marks the snapshot dirty so the next
+// Checkpoint rewrites it.
+func (s *Store) CacheChanged(string) {
+	s.mu.Lock()
+	s.dirty = true
+	s.mu.Unlock()
+}
+
+// Reject journals a refused submission (e.g. a 503 during drain) for the
+// audit trail. Rejected work is the client's to retry; it is never
+// replayed.
+func (s *Store) Reject(reason string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendLocked(record{Op: opReject, Reason: reason, At: time.Now()})
+}
+
+// append journals one record, reporting hook-path failures through Logf
+// (the pool's hook signature cannot carry an error).
+func (s *Store) append(rec record) {
+	s.mu.Lock()
+	err := s.appendLocked(rec)
+	s.mu.Unlock()
+	if err != nil {
+		s.opts.Logf("store: journal %s %s: %v", rec.Op, rec.ID, err)
+	}
+}
+
+// cover appends a terminal record, but only for jobs this store journaled:
+// completions of cache-hit, coalesced, or pre-recovery jobs are no-ops.
+func (s *Store) cover(rec record) {
+	s.mu.Lock()
+	if _, ok := s.pendingRaw[rec.ID]; !ok {
+		s.mu.Unlock()
+		return
+	}
+	err := s.appendLocked(rec)
+	s.mu.Unlock()
+	if err != nil {
+		s.opts.Logf("store: journal %s %s: %v", rec.Op, rec.ID, err)
+	}
+}
+
+// PendingCount returns the number of journaled jobs not yet covered by a
+// terminal record.
+func (s *Store) PendingCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pendingRaw)
+}
+
+// Checkpoint persists a consistent cut of pool state: the result cache is
+// snapshotted (if it changed since the last checkpoint, or force is set)
+// and the journal is compacted down to the still-pending submissions.
+// Ordering matters: the snapshot lands before compaction, so every journal
+// record dropped by compaction is covered by either a terminal record
+// already written or the snapshot just renamed into place. iofleetd calls
+// this periodically (-snapshot-interval) and once more after the pool
+// drains on shutdown.
+func (s *Store) Checkpoint(p *fleet.Pool) error {
+	return s.checkpoint(p, false)
+}
+
+// FinalCheckpoint is Checkpoint with the dirty-check skipped, for the
+// drain path: the snapshot is written even if no change was observed.
+func (s *Store) FinalCheckpoint(p *fleet.Pool) error {
+	return s.checkpoint(p, true)
+}
+
+func (s *Store) checkpoint(p *fleet.Pool, force bool) error {
+	s.mu.Lock()
+	dirty, appended := s.dirty, s.appended
+	s.mu.Unlock()
+	if !force && !dirty && appended == 0 {
+		return nil
+	}
+
+	if force || dirty {
+		// Clear the flag before exporting: a change landing mid-export is
+		// either captured by this snapshot or re-marks dirty for the next
+		// one; clearing afterwards could silently swallow it.
+		s.mu.Lock()
+		s.dirty = false
+		s.mu.Unlock()
+		exported := p.CacheExport()
+		entries := make([]SnapshotEntry, 0, len(exported))
+		for _, e := range exported {
+			if e.Result == nil {
+				continue
+			}
+			entries = append(entries, SnapshotEntry{Digest: e.Digest, Text: e.Result.Text, Added: e.Added})
+		}
+		if err := writeSnapshot(s.path(snapshotName), entries, s.opts.Fsync != FsyncOff); err != nil {
+			s.mu.Lock()
+			s.dirty = true
+			s.mu.Unlock()
+			return err
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.appended == 0 {
+		return nil
+	}
+	return s.compactLocked()
+}
+
+// Close flushes and closes the journal. The Store must not be used
+// afterwards; iofleetd checkpoints first, so a clean shutdown leaves a
+// fresh snapshot and a journal holding only never-finished jobs.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return nil
+	}
+	var err error
+	if s.opts.Fsync != FsyncOff {
+		err = s.journal.Sync()
+	}
+	if cerr := s.journal.Close(); err == nil {
+		err = cerr
+	}
+	s.journal = nil
+	return err
+}

@@ -1,0 +1,337 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ioagent/internal/darshan"
+	"ioagent/internal/fleet"
+	"ioagent/internal/ioagent"
+	"ioagent/internal/iosim"
+	"ioagent/internal/knowledge"
+	"ioagent/internal/llm"
+)
+
+// sharedIndex is built once: corpus embedding dominates pool construction
+// and is identical across tests.
+var sharedIndex = knowledge.BuildIndex()
+
+func testConfig(workers int, st *Store) fleet.Config {
+	cfg := fleet.Config{
+		Workers:    workers,
+		RetryDelay: time.Millisecond,
+		Agent:      ioagent.Options{Index: sharedIndex},
+	}
+	if st != nil {
+		cfg.OnJobEvent = st.OnJobEvent
+		cfg.OnCacheInsert = st.CacheChanged
+		cfg.OnCacheEvict = st.CacheChanged
+	}
+	return cfg
+}
+
+// testTrace generates a small deterministic trace; distinct seeds give
+// distinct digests.
+func testTrace(seed int) *darshan.Log {
+	sim := iosim.New(iosim.Config{
+		Seed: int64(seed)*11 + 3, NProcs: 4, UsesMPI: true,
+		Exe: fmt.Sprintf("/apps/store/test%02d.ex", seed),
+	})
+	f := sim.OpenShared(fmt.Sprintf("/scratch/store-%03d.dat", seed), iosim.POSIX, false, nil)
+	for rank := 0; rank < 4; rank++ {
+		for i := int64(0); i < 8; i++ {
+			f.WriteAt(rank, (int64(rank)*8+i)*4096, 4096)
+		}
+	}
+	f.Close()
+	return sim.Finalize()
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	if opts.Logf == nil {
+		opts.Logf = t.Logf
+	}
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// submitEvent fabricates the pool event for a queued job carrying trace.
+func submitEvent(id, digest string, trace *darshan.Log) fleet.Event {
+	return fleet.Event{
+		Kind: fleet.EventSubmitted,
+		Job: fleet.JobInfo{
+			ID: id, Digest: digest, Status: fleet.StatusQueued,
+			SubmittedAt: time.Now(),
+		},
+		Log: trace,
+	}
+}
+
+func doneEvent(id, digest string) fleet.Event {
+	return fleet.Event{
+		Kind: fleet.EventDone,
+		Job:  fleet.JobInfo{ID: id, Digest: digest, Status: fleet.StatusDone},
+	}
+}
+
+func TestJournalWriteAheadReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	s.OnJobEvent(submitEvent("job-000001", "d1", testTrace(1)))
+	s.OnJobEvent(submitEvent("job-000002", "d2", testTrace(2)))
+	s.OnJobEvent(submitEvent("job-000003", "d3", testTrace(3)))
+	s.OnJobEvent(doneEvent("job-000002", "d2"))
+	s.OnJobEvent(fleet.Event{
+		Kind: fleet.EventFailed,
+		Job:  fleet.JobInfo{ID: "job-000003", Digest: "d3", Status: fleet.StatusFailed, Error: "boom"},
+	})
+	if got := s.PendingCount(); got != 1 {
+		t.Fatalf("pending = %d, want 1", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	rec := s2.Recovered()
+	if len(rec.Pending) != 1 || rec.Pending[0].ID != "job-000001" || rec.Pending[0].Digest != "d1" {
+		t.Fatalf("recovered pending = %+v, want only job-000001", rec.Pending)
+	}
+	if rec.Pending[0].Log == nil || len(rec.Pending[0].Log.Modules) == 0 {
+		t.Fatal("recovered pending job must carry a decodable trace")
+	}
+	// The recovered trace digests identically to the original submission.
+	orig, err := fleet.Digest(ioagent.Options{}, testTrace(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fleet.Digest(ioagent.Options{}, rec.Pending[0].Log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != orig {
+		t.Error("journal round trip changed the trace digest")
+	}
+}
+
+func TestJournalDoesNotMutateSubmittedLog(t *testing.T) {
+	// darshan.Encode sorts records in place; the journal must serialize a
+	// clone, because the pool still owns the log and concurrent
+	// submissions may be digesting it.
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	defer s.Close()
+	trace := testTrace(1)
+	order := func() []string {
+		var out []string
+		for _, m := range trace.ModuleList() {
+			for _, r := range trace.Modules[m].Records {
+				out = append(out, fmt.Sprintf("%s/%d", r.Name, r.Rank))
+			}
+		}
+		return out
+	}
+	before := order()
+	s.OnJobEvent(submitEvent("job-000001", "d1", trace))
+	after := order()
+	for i := range before {
+		if after[i] != before[i] {
+			t.Fatalf("record order changed at %d: %s != %s", i, after[i], before[i])
+		}
+	}
+}
+
+func TestJournalIgnoresUnjournaledCompletions(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	defer s.Close()
+	// Cache hits and coalesced duplicates complete without ever being
+	// journaled; their terminal events must not append records.
+	s.OnJobEvent(fleet.Event{
+		Kind: fleet.EventSubmitted,
+		Job:  fleet.JobInfo{ID: "job-000009", Digest: "d9", Status: fleet.StatusDone, CacheHit: true},
+		Log:  testTrace(9),
+	})
+	s.OnJobEvent(doneEvent("job-000009", "d9"))
+	data, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil && !os.IsNotExist(err) {
+		t.Fatal(err)
+	}
+	if len(data) != 0 {
+		t.Errorf("journal should be empty, holds %q", data)
+	}
+}
+
+func TestJournalToleratesTornTail(t *testing.T) {
+	for _, tail := range []struct {
+		name string
+		junk []byte
+	}{
+		{"torn-no-newline", []byte(`{"op":"submit","id":"job-9`)},
+		{"corrupt-line", append([]byte("\x00\x01\x02 not json at all"), '\n')},
+		{"binary-garbage", []byte{0xde, 0xad, 0xbe, 0xef, '\n', 0x00}},
+	} {
+		t.Run(tail.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := mustOpen(t, dir, Options{})
+			s.OnJobEvent(submitEvent("job-000001", "d1", testTrace(1)))
+			s.OnJobEvent(submitEvent("job-000002", "d2", testTrace(2)))
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(dir, journalName)
+			intact, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, append(intact, tail.junk...), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			s2 := mustOpen(t, dir, Options{})
+			rec := s2.Recovered()
+			if len(rec.Pending) != 2 {
+				t.Fatalf("pending after tail damage = %d, want 2", len(rec.Pending))
+			}
+			if len(rec.Warnings) == 0 {
+				t.Error("tail repair should be reported as a warning")
+			}
+			// The tail was truncated away, so new appends produce a clean
+			// journal again.
+			s2.OnJobEvent(submitEvent("job-000003", "d3", testTrace(3)))
+			if err := s2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			s3 := mustOpen(t, dir, Options{})
+			defer s3.Close()
+			if got := len(s3.Recovered().Pending); got != 3 {
+				t.Errorf("pending after repair+append = %d, want 3", got)
+			}
+			if w := s3.Recovered().Warnings; len(w) != 0 {
+				t.Errorf("repaired journal should scan cleanly, got warnings %v", w)
+			}
+		})
+	}
+}
+
+func TestJournalCompactionEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := 1; i <= 4; i++ {
+		s.OnJobEvent(submitEvent(fmt.Sprintf("job-%06d", i), fmt.Sprintf("d%d", i), testTrace(i)))
+	}
+	s.OnJobEvent(doneEvent("job-000002", "d2"))
+	s.OnJobEvent(doneEvent("job-000004", "d4"))
+
+	// What replay would see before compaction.
+	before, _, _, _, err := scanJournal(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Compact (via the checkpoint path; the cache is clean so only the
+	// journal is rewritten) and compare.
+	pool := fleet.New(llm.NewSim(), testConfig(1, nil))
+	defer pool.Close()
+	if err := s.Checkpoint(pool); err != nil {
+		t.Fatal(err)
+	}
+	after, _, _, warns, err := scanJournal(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warns) != 0 {
+		t.Errorf("compacted journal has warnings: %v", warns)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("compaction changed pending set: %d != %d", len(after), len(before))
+	}
+	for i := range after {
+		if after[i].ID != before[i].ID || after[i].Digest != before[i].Digest {
+			t.Errorf("pending[%d] = %s/%s after compaction, want %s/%s",
+				i, after[i].ID, after[i].Digest, before[i].ID, before[i].Digest)
+		}
+	}
+	// The rewritten journal holds exactly the two pending records.
+	data, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Count(data, []byte{'\n'}); lines != 2 {
+		t.Errorf("compacted journal has %d records, want 2", lines)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectIsJournaledButNeverReplayed(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if err := s.Reject("daemon is draining"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"op":"reject"`) || !strings.Contains(string(data), "draining") {
+		t.Errorf("journal should record the refusal, got %q", data)
+	}
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if got := len(s2.Recovered().Pending); got != 0 {
+		t.Errorf("rejects must not replay, pending = %d", got)
+	}
+}
+
+func TestSnapshotCorruptFileIgnored(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, snapshotName), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, dir, Options{})
+	defer s.Close()
+	rec := s.Recovered()
+	if len(rec.Cache) != 0 {
+		t.Errorf("corrupt snapshot should yield no cache entries, got %d", len(rec.Cache))
+	}
+	if len(rec.Warnings) == 0 {
+		t.Error("corrupt snapshot should be reported as a warning")
+	}
+}
+
+func TestSnapshotAtomicWriteLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeSnapshot(filepath.Join(dir, snapshotName), []SnapshotEntry{
+		{Digest: "d1", Text: "I/O Performance Diagnosis\nok", Added: time.Now()},
+	}, true); err != nil {
+		t.Fatal(err)
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range names {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file %s left behind", e.Name())
+		}
+	}
+	entries, warns, err := readSnapshot(filepath.Join(dir, snapshotName))
+	if err != nil || len(warns) != 0 || len(entries) != 1 || entries[0].Digest != "d1" {
+		t.Errorf("round trip = (%v, %v, %v)", entries, warns, err)
+	}
+}

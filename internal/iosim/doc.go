@@ -1,7 +1,7 @@
 // Package iosim simulates the I/O activity of parallel HPC applications and
-// produces Darshan logs, standing in for real instrumented runs on
-// production machines (the paper collected traces at NERSC; see DESIGN.md
-// for the substitution rationale).
+// produces Darshan logs, standing in for the real instrumented runs the
+// paper collected at NERSC — the repository is offline and deterministic,
+// so simulated workloads with known planted issues replace machine access.
 //
 // A Sim models an MPI job (N processes) running against a simulated Lustre
 // file system (configurable OST count, per-file stripe size/width). Callers

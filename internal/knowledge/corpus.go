@@ -1,11 +1,3 @@
-// Package knowledge holds the domain-knowledge corpus behind IOAgent's
-// Retrieval-Augmented Generation layer. The paper surveyed five years of
-// "HPC I/O performance" literature in the ACM DL and IEEE Xplore and kept 66
-// key works; this package carries a synthetic corpus of the same size and
-// topical composition (striping, collective I/O, request sizes, alignment,
-// metadata, load balance, caching, libraries), each entry written as the
-// abstract-plus-findings digest a retrieval chunk of the real paper would
-// contain. Citation keys are stable and are what diagnosis reports cite.
 package knowledge
 
 import "ioagent/internal/vectordb"

@@ -1,0 +1,18 @@
+// Package knowledge holds the domain-knowledge corpus behind IOAgent's
+// Retrieval-Augmented Generation layer. The paper surveyed five years of
+// "HPC I/O performance" literature in the ACM DL and IEEE Xplore and kept 66
+// key works; this package carries a synthetic corpus of the same size and
+// topical composition (striping, collective I/O, request sizes, alignment,
+// metadata, load balance, caching, libraries), each entry written as the
+// abstract-plus-findings digest a retrieval chunk of the real paper would
+// contain. Citation keys are stable and are what diagnosis reports cite.
+//
+// BuildIndex embeds the corpus into a vectordb.Index with the paper's
+// chunking settings (512-token chunks, overlap 20, cosine similarity).
+// Building the index is the expensive step — 66 documents are chunked and
+// embedded — so long-lived components construct it once and share it: the
+// fleet pool builds a single index for all of its workers, and tests share
+// one package-level index. Lookup resolves a citation key back to its
+// source document, which is how chat sessions ground follow-up answers in
+// the references a diagnosis cited.
+package knowledge

@@ -1,0 +1,30 @@
+package knowledge_test
+
+import (
+	"fmt"
+
+	"ioagent/internal/knowledge"
+)
+
+// The corpus mirrors the paper's 66-publication survey.
+func ExampleCorpus() {
+	fmt.Println(len(knowledge.Corpus()))
+	// Output: 66
+}
+
+// Lookup resolves the citation keys that diagnosis reports emit back to
+// their source documents — how chat grounds follow-up answers.
+func ExampleLookup() {
+	doc, ok := knowledge.Lookup("carns2011darshan")
+	fmt.Println(ok, doc.Year, doc.Venue)
+	// Output: true 2011 TOS
+}
+
+// BuildIndex embeds the whole corpus once; share the result (the fleet
+// pool hands one index to every worker).
+func ExampleBuildIndex() {
+	ix := knowledge.BuildIndex()
+	hits := ix.Search("small writes dominate the trace", 3)
+	fmt.Println(ix.Len() >= 66, len(hits))
+	// Output: true 3
+}

@@ -1,0 +1,53 @@
+package llm_test
+
+import (
+	"errors"
+	"fmt"
+
+	"ioagent/internal/issue"
+	"ioagent/internal/llm"
+)
+
+// A Report round-trips through its canonical text layout: Format renders
+// it, ParseReport recovers the structure. The fleet snapshot codec relies
+// on this to persist only text and rebuild parsed reports on recovery.
+func ExampleParseReport() {
+	rep := &llm.Report{
+		Findings: []llm.Finding{{
+			Label:          issue.SmallWrites,
+			Evidence:       "87% of write requests are smaller than 64 KiB",
+			Recommendation: issue.Recommendations[issue.SmallWrites],
+			Refs:           []string{"yang2019smallwrite"},
+		}},
+	}
+	parsed := llm.ParseReport(rep.Format())
+	fmt.Println(len(parsed.Findings))
+	fmt.Println(parsed.Findings[0].Label == issue.SmallWrites)
+	fmt.Println(parsed.AllRefs())
+	// Output:
+	// 1
+	// true
+	// [yang2019smallwrite]
+}
+
+// Transient marks an error as retryable; the fleet pool retries only these.
+func ExampleIsTransient() {
+	overload := llm.Transient(errors.New("429: rate limited"))
+	badRequest := errors.New("400: malformed prompt")
+	fmt.Println(llm.IsTransient(overload), llm.IsTransient(badRequest))
+	// Output: true false
+}
+
+// SimLLM is deterministic: identical requests yield identical responses,
+// which is what makes diagnoses content-addressable in the fleet cache.
+func ExampleSimLLM() {
+	client := llm.NewSim()
+	a, err := client.Complete(llm.Prompt(llm.GPT4o, "TASK: describe\n{\"category\":\"io_size\"}\n"))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	b, _ := client.Complete(llm.Prompt(llm.GPT4o, "TASK: describe\n{\"category\":\"io_size\"}\n"))
+	fmt.Println(a.Content == b.Content, len(a.Content) > 0)
+	// Output: true true
+}

@@ -1,0 +1,24 @@
+// Package vectordb implements the vector index the paper builds with
+// LlamaIndex: documents are split into fixed-size token chunks with overlap,
+// each chunk is embedded, and queries retrieve the top-k chunks by cosine
+// similarity. The paper's hyperparameters are the defaults here: chunk size
+// 512 tokens, overlap 20, cosine distance.
+//
+// The index is safe for concurrent use: Add and Load take a write lock,
+// Search takes a read lock, so a fleet of diagnosis workers can share one
+// index and query it in parallel. Chunk norms are computed once at indexing
+// time, so a query costs one embedding plus one dot product per chunk, and
+// top-k selection uses a bounded heap rather than sorting the full corpus.
+//
+// # Persistence
+//
+// Save/Load serialize the index as JSON with an important asymmetry: only
+// chunks are stored, never vectors — embeddings are deterministic, so they
+// are recomputed on Load rather than bloating the file. This
+// JSON-plus-recompute pattern is the model for the fleet result-cache
+// snapshot in internal/fleet/store, which likewise persists canonical text
+// and rebuilds derived structures on recovery. Note that Save writes plain
+// JSON to the supplied writer; callers that need crash-safe replacement of
+// an existing file should write to a temp file and rename, as
+// internal/fleet/store does.
+package vectordb

@@ -1,0 +1,49 @@
+package vectordb_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"ioagent/internal/vectordb"
+)
+
+// Indexing two documents and querying retrieves the topically closest one.
+func ExampleIndex_Search() {
+	ix := vectordb.New(vectordb.Options{ChunkSize: 32, Overlap: vectordb.NoOverlap})
+	ix.Add(vectordb.Document{
+		Key:   "smallio",
+		Title: "Small Write Aggregation",
+		Text:  "small writes below the stripe size collapse lustre throughput; aggregate them into larger sequential requests",
+	})
+	ix.Add(vectordb.Document{
+		Key:   "metadata",
+		Title: "Metadata Scaling",
+		Text:  "metadata operations overload the mds when every rank opens its own file; use fewer opens and stats",
+	})
+	hits := ix.Search("many tiny write requests hurt performance", 1)
+	fmt.Println(hits[0].Chunk.DocKey)
+	// Output: smallio
+}
+
+// Save persists chunks only; vectors are deterministic and recomputed on
+// Load, so the file stays small and the loaded index answers identically.
+func ExampleLoad() {
+	ix := vectordb.New(vectordb.Options{})
+	ix.Add(vectordb.Document{Key: "doc", Title: "Doc", Text: "collective buffering aligns aggregator writes to stripe boundaries"})
+
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		fmt.Println(err)
+		return
+	}
+	loaded, err := vectordb.Load(&buf)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(loaded.Len() == ix.Len())
+	fmt.Println(loaded.Search("stripe aligned writes", 1)[0].Chunk.DocKey)
+	// Output:
+	// true
+	// doc
+}

@@ -1,14 +1,3 @@
-// Package vectordb implements the vector index the paper builds with
-// LlamaIndex: documents are split into fixed-size token chunks with overlap,
-// each chunk is embedded, and queries retrieve the top-k chunks by cosine
-// similarity. The paper's hyperparameters are the defaults here: chunk size
-// 512 tokens, overlap 20, cosine distance.
-//
-// The index is safe for concurrent use: Add and Load take a write lock,
-// Search takes a read lock, so a fleet of diagnosis workers can share one
-// index and query it in parallel. Chunk norms are computed once at indexing
-// time, so a query costs one embedding plus one dot product per chunk, and
-// top-k selection uses a bounded heap rather than sorting the full corpus.
 package vectordb
 
 import (

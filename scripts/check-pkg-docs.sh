@@ -1,0 +1,34 @@
+#!/bin/sh
+# check-pkg-docs.sh — docs gate for CI.
+#
+# Every package under internal/ must carry package documentation (a
+# "// Package <name> ..." comment on some non-test file), and every command
+# under cmd/ must carry a "// Command <name> ..." comment. Run from the
+# repository root; exits non-zero listing the offenders.
+set -u
+fail=0
+
+for dir in $(find internal -type d); do
+    ls "$dir"/*.go >/dev/null 2>&1 || continue
+    files=$(ls "$dir"/*.go | grep -v '_test\.go$')
+    [ -n "$files" ] || continue
+    if ! grep -l '^// Package ' $files >/dev/null 2>&1; then
+        echo "missing package documentation: $dir"
+        fail=1
+    fi
+done
+
+for dir in $(find cmd -type d); do
+    ls "$dir"/*.go >/dev/null 2>&1 || continue
+    files=$(ls "$dir"/*.go | grep -v '_test\.go$')
+    [ -n "$files" ] || continue
+    if ! grep -l '^// Command ' $files >/dev/null 2>&1; then
+        echo "missing command documentation: $dir"
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "docs gate failed: add a doc.go (or top-of-file package comment) to the packages above" >&2
+fi
+exit "$fail"

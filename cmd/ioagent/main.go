@@ -5,16 +5,22 @@
 //
 //	ioagent [-model NAME] [-interactive] [-show-fragments] <trace>
 //	ioagent -fleet N [-model NAME] <trace> [trace ...]
+//	ioagent -server URL [-lane interactive|batch] <trace> [trace ...]
 //
 // Traces may be binary logs (as written by cmd/tracebench) or
 // darshan-parser text. With -interactive, questions are read from stdin
 // after the diagnosis prints. With -fleet N, all traces are diagnosed
-// through an N-worker fleet pool (internal/fleet) and each report prints
-// with its job header, followed by the pool metrics.
+// through an N-worker in-process fleet pool (internal/fleet) and each
+// report prints with its job header, followed by the pool metrics. With
+// -server URL, the same batch flow instead drives a remote iofleetd
+// daemon through the versioned API client (internal/fleet/client): traces
+// are submitted on the chosen priority lane, polled to completion, and
+// the daemon's metrics print at the end.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +29,8 @@ import (
 
 	"ioagent/internal/darshan"
 	"ioagent/internal/fleet"
+	"ioagent/internal/fleet/api"
+	"ioagent/internal/fleet/client"
 	"ioagent/internal/ioagent"
 	"ioagent/internal/llm"
 )
@@ -35,11 +43,34 @@ func main() {
 	noRAG := flag.Bool("no-rag", false, "disable retrieval (ablation)")
 	oneShot := flag.Bool("one-shot-merge", false, "replace the tree merge with a single merge call (ablation)")
 	fleetN := flag.Int("fleet", 0, "batch mode: diagnose all traces with N concurrent workers")
+	server := flag.String("server", "", "remote mode: diagnose through the iofleetd daemon at this base URL")
+	lane := flag.String("lane", "", "priority lane for -server submissions: interactive (default) or batch")
 	flag.Parse()
 
 	opts := ioagent.Options{
 		Model: *model, CheapModel: *cheap,
 		DisableRAG: *noRAG, UseOneShotMerge: *oneShot,
+	}
+
+	if *server != "" {
+		if flag.NArg() < 1 {
+			fmt.Fprintln(os.Stderr, "usage: ioagent -server URL [-lane interactive|batch] <trace> [trace ...]")
+			os.Exit(2)
+		}
+		// Pipeline configuration lives daemon-side in -server mode; warn
+		// about every explicitly-set flag this path will not honor, so a
+		// requested model or ablation is never silently ignored.
+		ignored := map[string]bool{
+			"model": true, "cheap-model": true, "no-rag": true, "one-shot-merge": true,
+			"interactive": true, "show-fragments": true, "fleet": true,
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if ignored[f.Name] {
+				fmt.Fprintf(os.Stderr, "ioagent: -%s is ignored in -server mode (the daemon owns the pipeline configuration)\n", f.Name)
+			}
+		})
+		runServer(*server, api.Lane(*lane), flag.Args())
+		return
 	}
 
 	if *fleetN > 0 {
@@ -104,7 +135,9 @@ func runFleet(workers int, opts ioagent.Options, paths []string) {
 	for i, path := range paths {
 		log, err := loadTrace(path)
 		check(err)
-		jobs[i], err = pool.Submit(log)
+		// A multi-trace sweep is bulk work: the batch lane keeps it from
+		// crowding out interactive submitters sharing a pool.
+		jobs[i], err = pool.SubmitWith(log, fleet.SubmitOpts{Lane: fleet.LaneBatch})
 		check(err)
 	}
 	pool.Wait()
@@ -134,6 +167,62 @@ func runFleet(workers int, opts ioagent.Options, paths []string) {
 		calls, usage.Total(), cost)
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "ioagent: %d of %d jobs failed\n", failed, len(jobs))
+		os.Exit(1)
+	}
+}
+
+// runServer batch-diagnoses every path through a remote iofleetd daemon
+// via the versioned API client: raw trace bytes are submitted on the
+// requested lane (the daemon sniffs binary vs parser text exactly like
+// the local loader), polled to completion, and printed in order.
+func runServer(baseURL string, lane api.Lane, paths []string) {
+	ctx := context.Background()
+	c := client.New(baseURL)
+
+	ids := make([]string, len(paths))
+	raws := make([][]byte, len(paths))
+	for i, path := range paths {
+		raw, err := os.ReadFile(path)
+		check(err)
+		info, err := c.Submit(ctx, api.SubmitRequest{Lane: lane, Trace: raw})
+		check(err)
+		ids[i] = info.ID
+		raws[i] = raw
+	}
+
+	failed := 0
+	for i, id := range ids {
+		diag, err := c.WaitDiagnosis(ctx, id)
+		if api.ErrorCode(err) == api.CodeJobNotFound {
+			// The job finished and was pruned from the daemon's bounded
+			// history while we polled earlier submissions. Its diagnosis
+			// still lives in the digest-addressed cache, so an idempotent
+			// resubmit of the same bytes recovers it as an instant hit.
+			var info api.JobInfo
+			if info, err = c.Submit(ctx, api.SubmitRequest{Lane: lane, Trace: raws[i]}); err == nil {
+				id = info.ID
+				diag, err = c.WaitDiagnosis(ctx, id)
+			}
+		}
+		if err != nil {
+			failed++
+			fmt.Printf("=== %s (%s, failed) ===\nerror: %v\n", paths[i], id, err)
+			continue
+		}
+		header := fmt.Sprintf("%s, done, %s lane", id, diag.Lane)
+		if diag.CacheHit {
+			header += ", cache hit"
+		}
+		fmt.Printf("=== %s (%s) ===\n%s\n", paths[i], header, diag.Text)
+	}
+
+	if m, err := c.Metrics(ctx); err == nil {
+		fmt.Printf("[server: %d jobs submitted, %.0f%% cache hits, p50 %s, p95 %s]\n",
+			m.Submitted, 100*m.HitRate,
+			m.LatencyP50.Round(time.Millisecond), m.LatencyP95.Round(time.Millisecond))
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "ioagent: %d of %d jobs failed\n", failed, len(ids))
 		os.Exit(1)
 	}
 }

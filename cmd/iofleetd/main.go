@@ -1,25 +1,35 @@
 // Command iofleetd serves the fleet batch-diagnosis pipeline over HTTP: a
 // long-lived daemon that accepts Darshan logs, shards them across a pool of
 // concurrent IOAgent workers, caches diagnoses by trace content, and exposes
-// operational metrics. With -state-dir set, the cache and the job queue are
-// durable: a restarted daemon replays unfinished jobs from a write-ahead
-// journal and serves previously diagnosed traces from a disk snapshot.
+// operational metrics. The wire contract — request/response shapes, error
+// codes, priority lanes, version negotiation — is the versioned API in
+// internal/fleet/api; internal/fleet/client is the matching Go SDK. With
+// -state-dir set, the cache and the job queue are durable: a restarted
+// daemon replays unfinished jobs (on their original priority lane) from a
+// write-ahead journal and serves previously diagnosed traces from a disk
+// snapshot.
 //
 // Usage:
 //
 //	iofleetd [-addr :8080] [-workers 4] [-cache-size 1024] [-cache-ttl 1h]
 //	         [-retries 3] [-model NAME] [-cheap-model NAME] [-api-latency 0]
+//	         [-max-body 67108864] [-batch-share 4]
 //	         [-state-dir DIR] [-snapshot-interval 30s] [-fsync always|batch|off]
 //
-// Endpoints:
+// Endpoints (all speak api.Version 1.x, advertised and negotiated via the
+// X-Fleet-Api-Version header; errors are api.Error JSON envelopes):
 //
-//	POST /v1/jobs               submit a trace (binary or darshan-parser
-//	                            text body); responds 202 with the job record,
-//	                            or 503 once the daemon is draining
+//	POST /v1/jobs[?lane=interactive|batch]  submit a trace (binary or
+//	                            darshan-parser text body); responds 202 with
+//	                            the job record. lane defaults to interactive;
+//	                            batch traffic yields to interactive but keeps
+//	                            1/-batch-share of worker slots
 //	GET  /v1/jobs               list all jobs
 //	GET  /v1/jobs/{id}          poll one job's status
-//	GET  /v1/jobs/{id}/diagnosis fetch the finished report as text
-//	GET  /metrics               pool health snapshot (JSON)
+//	GET  /v1/jobs/{id}/diagnosis finished report (JSON document; raw text
+//	                            with "Accept: text/plain")
+//	GET  /metrics               pool health (JSON; Prometheus text exposition
+//	                            with "Accept: text/plain")
 //	GET  /healthz               liveness probe
 //
 // -api-latency adds a simulated network round trip to every model call,
@@ -28,11 +38,8 @@
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"flag"
-	"fmt"
 	"log"
 	"net"
 	"net/http"
@@ -42,7 +49,6 @@ import (
 	"syscall"
 	"time"
 
-	"ioagent/internal/darshan"
 	"ioagent/internal/fleet"
 	"ioagent/internal/fleet/store"
 	"ioagent/internal/ioagent"
@@ -52,13 +58,15 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 4, "concurrent diagnosis workers")
-	queueDepth := flag.Int("queue", 0, "max queued jobs before submits block (0 = 8*workers)")
+	queueDepth := flag.Int("queue", 0, "max queued jobs per lane before submits block (0 = 8*workers)")
 	cacheSize := flag.Int("cache-size", 1024, "result cache entries (negative disables)")
 	cacheTTL := flag.Duration("cache-ttl", time.Hour, "result cache entry lifetime")
 	retries := flag.Int("retries", 3, "max diagnosis attempts per job")
 	model := flag.String("model", llm.GPT4o, "diagnosis model")
 	cheap := flag.String("cheap-model", llm.GPT4oMini, "self-reflection filter model")
 	apiLatency := flag.Duration("api-latency", 0, "simulated model API round-trip latency")
+	maxBody := flag.Int64("max-body", 64<<20, "max trace upload size in bytes (exceeding it returns trace_too_large)")
+	batchShare := flag.Int("batch-share", 0, "1 in N worker slots goes to the batch lane under interactive load (0 = default 4, negative = strict interactive priority)")
 	stateDir := flag.String("state-dir", "", "directory for the job journal and cache snapshot (empty = in-memory only)")
 	snapInterval := flag.Duration("snapshot-interval", 30*time.Second, "cache snapshot + journal compaction cadence (with -state-dir)")
 	fsync := flag.String("fsync", "always", "journal durability: always (fsync per record), batch (fsync at checkpoints), off")
@@ -70,7 +78,15 @@ func main() {
 		CacheSize:   *cacheSize,
 		CacheTTL:    *cacheTTL,
 		MaxAttempts: *retries,
+		BatchShare:  *batchShare,
 		Agent:       ioagent.Options{Model: *model, CheapModel: *cheap},
+	}
+	// Permanent job failures surface on the wire only as the stable
+	// diagnosis_failed code; the real error chain lands here, server-side.
+	cfg.OnJobEvent = func(ev fleet.Event) {
+		if ev.Kind == fleet.EventFailed {
+			log.Printf("iofleetd: job %s (%s lane) failed: %s", ev.Job.ID, ev.Job.Lane, ev.Job.Error)
+		}
 	}
 
 	var st *store.Store
@@ -86,7 +102,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		cfg.OnJobEvent = st.OnJobEvent
+		logFailed := cfg.OnJobEvent
+		cfg.OnJobEvent = func(ev fleet.Event) {
+			logFailed(ev)
+			st.OnJobEvent(ev)
+		}
 		cfg.OnCacheInsert = st.CacheChanged
 		cfg.OnCacheEvict = st.CacheChanged
 	}
@@ -106,7 +126,7 @@ func main() {
 	// refused (and the refusal journaled) instead of being accepted into a
 	// pool that is about to stop.
 	var draining atomic.Bool
-	mux := newMux(pool, st, &draining)
+	mux := newMux(pool, st, &draining, *maxBody)
 	// Listen explicitly (rather than ListenAndServe) so ":0" resolves to a
 	// real port in the startup log — the e2e recovery test depends on it.
 	ln, err := net.Listen("tcp", *addr)
@@ -167,114 +187,4 @@ func main() {
 		}
 		log.Printf("iofleetd: state persisted to %s", st.Dir())
 	}
-}
-
-// newMux builds the daemon's HTTP surface. st may be nil (no -state-dir);
-// draining gates POST /v1/jobs: once set, new submissions are refused with
-// 503 and the refusal is journaled, so work a client believes accepted is
-// never silently dropped by the exiting process.
-func newMux(pool *fleet.Pool, st *store.Store, draining *atomic.Bool) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		reject := func(err error) {
-			if st != nil {
-				if jerr := st.Reject(err.Error() + " (from " + r.RemoteAddr + ")"); jerr != nil {
-					log.Printf("iofleetd: journal reject: %v", jerr)
-				}
-			}
-			httpError(w, http.StatusServiceUnavailable, err)
-		}
-		if draining.Load() {
-			reject(fmt.Errorf("daemon is draining; resubmit to the replacement instance"))
-			return
-		}
-		trace, err := decodeTrace(r)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		job, err := pool.Submit(trace)
-		if err != nil {
-			reject(err)
-			return
-		}
-		writeJSON(w, http.StatusAccepted, job.Info())
-	})
-	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		jobs := pool.Jobs()
-		infos := make([]fleet.JobInfo, len(jobs))
-		for i, j := range jobs {
-			infos[i] = j.Info()
-		}
-		writeJSON(w, http.StatusOK, infos)
-	})
-	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		job, ok := pool.Job(r.PathValue("id"))
-		if !ok {
-			httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
-			return
-		}
-		writeJSON(w, http.StatusOK, job.Info())
-	})
-	mux.HandleFunc("GET /v1/jobs/{id}/diagnosis", func(w http.ResponseWriter, r *http.Request) {
-		job, ok := pool.Job(r.PathValue("id"))
-		if !ok {
-			httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
-			return
-		}
-		select {
-		case <-job.Done():
-		default:
-			httpError(w, http.StatusConflict, fmt.Errorf("job %s is %s", job.ID(), job.Status()))
-			return
-		}
-		res, err := job.Wait()
-		if err != nil {
-			httpError(w, http.StatusBadGateway, err)
-			return
-		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, res.Text)
-	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, pool.Metrics())
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	return mux
-}
-
-// decodeTrace reads the request body as a binary Darshan log, falling back
-// to darshan-parser text.
-func decodeTrace(r *http.Request) (*darshan.Log, error) {
-	var buf bytes.Buffer
-	if _, err := buf.ReadFrom(http.MaxBytesReader(nil, r.Body, 64<<20)); err != nil {
-		return nil, fmt.Errorf("read body: %w", err)
-	}
-	trace, err := darshan.Decode(bytes.NewReader(buf.Bytes()))
-	if err != nil {
-		trace, err = darshan.ParseText(bytes.NewReader(buf.Bytes()))
-		if err != nil {
-			return nil, fmt.Errorf("body is neither a binary Darshan log nor parser text: %w", err)
-		}
-	}
-	// An empty or header-only body parses as a log with no modules; reject
-	// it here with a 400 rather than queueing a job doomed to fail.
-	if len(trace.Modules) == 0 {
-		return nil, fmt.Errorf("trace contains no module data")
-	}
-	return trace, nil
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
-}
-
-func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

@@ -20,6 +20,7 @@ import (
 
 	"ioagent/internal/darshan"
 	"ioagent/internal/fleet"
+	"ioagent/internal/fleet/api"
 	"ioagent/internal/fleet/store"
 	"ioagent/internal/ioagent"
 	"ioagent/internal/iosim"
@@ -127,7 +128,7 @@ func (d *daemon) waitLog(t *testing.T, re *regexp.Regexp, timeout time.Duration)
 	return nil
 }
 
-func (d *daemon) submit(t *testing.T, trace []byte) fleet.JobInfo {
+func (d *daemon) submit(t *testing.T, trace []byte) api.JobInfo {
 	t.Helper()
 	resp, err := http.Post(d.base+"/v1/jobs", "application/octet-stream", bytes.NewReader(trace))
 	if err != nil {
@@ -138,7 +139,7 @@ func (d *daemon) submit(t *testing.T, trace []byte) fleet.JobInfo {
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit: %s: %s", resp.Status, body)
 	}
-	var info fleet.JobInfo
+	var info api.JobInfo
 	if err := json.Unmarshal(body, &info); err != nil {
 		t.Fatal(err)
 	}
@@ -147,16 +148,16 @@ func (d *daemon) submit(t *testing.T, trace []byte) fleet.JobInfo {
 
 // waitJobDone polls the job listing until the given digest reaches a
 // terminal state.
-func (d *daemon) waitJobDone(t *testing.T, digest string, timeout time.Duration) fleet.JobInfo {
+func (d *daemon) waitJobDone(t *testing.T, digest string, timeout time.Duration) api.JobInfo {
 	t.Helper()
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
 		resp, err := http.Get(d.base + "/v1/jobs")
 		if err == nil {
-			var infos []fleet.JobInfo
+			var infos []api.JobInfo
 			if json.NewDecoder(resp.Body).Decode(&infos) == nil {
 				for _, info := range infos {
-					if info.Digest == digest && (info.Status == fleet.StatusDone || info.Status == fleet.StatusFailed) {
+					if info.Digest == digest && info.Status.Terminal() {
 						resp.Body.Close()
 						return info
 					}
@@ -167,12 +168,19 @@ func (d *daemon) waitJobDone(t *testing.T, digest string, timeout time.Duration)
 		time.Sleep(50 * time.Millisecond)
 	}
 	t.Fatalf("digest %.12s never finished; logs:\n%s", digest, strings.Join(d.snapshotLogs(), "\n"))
-	return fleet.JobInfo{}
+	return api.JobInfo{}
 }
 
+// diagnosis fetches the raw report text ("Accept: text/plain" selects the
+// plain rendering over the default api.Diagnosis JSON document).
 func (d *daemon) diagnosis(t *testing.T, id string) string {
 	t.Helper()
-	resp, err := http.Get(d.base + "/v1/jobs/" + id + "/diagnosis")
+	req, err := http.NewRequest(http.MethodGet, d.base+"/v1/jobs/"+id+"/diagnosis", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +232,7 @@ func TestDaemonKillRestartRecovery(t *testing.T) {
 	d1 := startDaemon(t, bin, "-state-dir", stateDir, "-workers", "1", "-snapshot-interval", "100ms")
 	infoA := d1.submit(t, rawA)
 	done := d1.waitJobDone(t, digestA, 60*time.Second)
-	if done.Status != fleet.StatusDone {
+	if done.Status != api.StatusDone {
 		t.Fatalf("trace A finished as %s (%s)", done.Status, done.Error)
 	}
 	wantText := d1.diagnosis(t, infoA.ID)
@@ -247,11 +255,11 @@ func TestDaemonKillRestartRecovery(t *testing.T) {
 		t.Fatalf("recovery = %s restored / %s resubmitted, want 1 / 1", m[1], m[2])
 	}
 	replayed := d3.waitJobDone(t, digestB, 60*time.Second)
-	if replayed.Status != fleet.StatusDone {
+	if replayed.Status != api.StatusDone {
 		t.Fatalf("replayed trace B finished as %s (%s)", replayed.Status, replayed.Error)
 	}
 	hit := d3.submit(t, rawA)
-	if !hit.CacheHit || hit.Status != fleet.StatusDone {
+	if !hit.CacheHit || hit.Status != api.StatusDone {
 		t.Fatalf("trace A after restart = %+v, want an instant cache hit", hit)
 	}
 	if got := d3.diagnosis(t, hit.ID); got != wantText {
@@ -295,7 +303,7 @@ func TestMuxDrainRejectsAndJournals(t *testing.T) {
 	})
 	defer pool.Close()
 	var draining atomic.Bool
-	srv := httptest.NewServer(newMux(pool, st, &draining))
+	srv := httptest.NewServer(newMux(pool, st, &draining, 64<<20))
 	defer srv.Close()
 
 	raw := encodeTraceBytes(t, e2eTrace(3))

@@ -1,0 +1,363 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"ioagent/internal/darshan"
+	"ioagent/internal/fleet"
+	"ioagent/internal/fleet/api"
+	"ioagent/internal/fleet/store"
+	"ioagent/internal/ioagent"
+)
+
+// newMux builds the daemon's HTTP surface on the versioned wire contract
+// in internal/fleet/api: every response shape and error code comes from
+// that package, and the whole surface — including unmatched paths — sits
+// behind the version-negotiation middleware. st may be nil (no
+// -state-dir); draining gates POST /v1/jobs: once set, new submissions
+// are refused with api.CodeDraining and the refusal is journaled, so work
+// a client believes accepted is never silently dropped by the exiting
+// process. maxBody bounds trace upload size (-max-body).
+func newMux(pool *fleet.Pool, st *store.Store, draining *atomic.Bool, maxBody int64) http.Handler {
+	mux := http.NewServeMux()
+	handle := mux.HandleFunc
+
+	handle("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		reject := func(e *api.Error) {
+			if st != nil {
+				if jerr := st.Reject(e.Message + " (from " + r.RemoteAddr + ")"); jerr != nil {
+					log.Printf("iofleetd: journal reject: %v", jerr)
+				}
+			}
+			writeError(w, e)
+		}
+		if draining.Load() {
+			reject(api.Errorf(api.CodeDraining, "daemon is draining; resubmit to the replacement instance"))
+			return
+		}
+		lane, apiErr := parseLane(r)
+		if apiErr != nil {
+			writeError(w, apiErr)
+			return
+		}
+		trace, apiErr := decodeTrace(w, r, maxBody)
+		if apiErr != nil {
+			writeError(w, apiErr)
+			return
+		}
+		job, err := pool.SubmitWith(trace, fleet.SubmitOpts{Lane: fleet.Lane(lane)})
+		switch {
+		case errors.Is(err, fleet.ErrClosed):
+			reject(api.Errorf(api.CodeDraining, "daemon is shutting down; resubmit to the replacement instance"))
+			return
+		case err != nil:
+			internalError(w, "submit", err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, toAPIJob(job.Info()))
+	})
+	handle("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		jobs := pool.Jobs()
+		infos := make([]api.JobInfo, len(jobs))
+		for i, j := range jobs {
+			infos[i] = toAPIJob(j.Info())
+		}
+		writeJSON(w, http.StatusOK, infos)
+	})
+	handle("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := pool.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, api.Errorf(api.CodeJobNotFound, "unknown job %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, toAPIJob(job.Info()))
+	})
+	handle("GET /v1/jobs/{id}/diagnosis", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := pool.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, api.Errorf(api.CodeJobNotFound, "unknown job %q", r.PathValue("id")))
+			return
+		}
+		select {
+		case <-job.Done():
+		default:
+			writeError(w, api.Errorf(api.CodeJobNotDone, "job %s is %s; poll it and retry", job.ID(), job.Status()))
+			return
+		}
+		res, err := job.Wait()
+		if err != nil {
+			// The pipeline's error chain is server-side detail; the wire
+			// carries only the stable code.
+			log.Printf("iofleetd: diagnosis %s: %v", job.ID(), err)
+			writeError(w, api.Errorf(api.CodeDiagnosisFailed, "job %s failed permanently", job.ID()))
+			return
+		}
+		if wantsText(r) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, res.Text)
+			return
+		}
+		info := job.Info()
+		writeJSON(w, http.StatusOK, api.Diagnosis{
+			JobID:    info.ID,
+			Digest:   info.Digest,
+			Lane:     api.Lane(info.Lane),
+			CacheHit: info.CacheHit,
+			Text:     res.Text,
+		})
+	})
+	handle("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		m := toAPIMetrics(pool.Metrics(), pool.Agent().StatsByModel())
+		if wantsText(r) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			writePrometheus(w, m)
+			return
+		}
+		writeJSON(w, http.StatusOK, m)
+	})
+	handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	// Catch-all: unmatched paths get the api.Error envelope instead of
+	// the mux's plain-text 404, so "every non-2xx response is an
+	// envelope" holds across the whole surface. (Method mismatches on
+	// registered patterns still get the mux's bare 405; the middleware
+	// below stamps the version header on those too.)
+	handle("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, api.Errorf(api.CodeNotFound, "unknown endpoint %s", r.URL.Path))
+	})
+	return withAPIVersion(mux.ServeHTTP)
+}
+
+// withAPIVersion advertises the server's protocol version on every
+// response and refuses requests from an incompatible protocol major.
+func withAPIVersion(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(api.VersionHeader, api.Current.String())
+		if hdr := r.Header.Get(api.VersionHeader); hdr != "" {
+			v, err := api.ParseVersion(hdr)
+			if err != nil {
+				writeError(w, api.Errorf(api.CodeBadRequest, "malformed %s header %q", api.VersionHeader, hdr))
+				return
+			}
+			if !v.CompatibleWith(api.Current) {
+				writeError(w, api.Errorf(api.CodeUnsupportedVersion,
+					"client speaks api %s, this server speaks %s", v, api.Current))
+				return
+			}
+		}
+		h(w, r)
+	}
+}
+
+// parseLane reads the "lane" query parameter (default interactive).
+func parseLane(r *http.Request) (api.Lane, *api.Error) {
+	lane := api.Lane(r.URL.Query().Get("lane")).WithDefault()
+	if !lane.Valid() {
+		return "", api.Errorf(api.CodeBadRequest, "unknown lane %q (want %s or %s)",
+			r.URL.Query().Get("lane"), api.LaneInteractive, api.LaneBatch)
+	}
+	return lane, nil
+}
+
+// wantsText reports whether the client asked for a plain-text rendering
+// (Accept: text/plain) instead of the default JSON document. A
+// `text/plain;q=0` range explicitly excludes it per RFC 9110 and keeps
+// the JSON default.
+func wantsText(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mediaRange, params, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if strings.TrimSpace(mediaRange) != "text/plain" {
+			continue
+		}
+		for _, p := range strings.Split(params, ";") {
+			if k, v, ok := strings.Cut(strings.TrimSpace(p), "="); ok &&
+				strings.TrimSpace(k) == "q" && strings.TrimSpace(v) == "0" {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// decodeTrace reads the request body as a binary Darshan log, falling
+// back to darshan-parser text. Bodies over maxBody are refused with
+// api.CodeTraceTooLarge naming the configured limit.
+func decodeTrace(w http.ResponseWriter, r *http.Request, maxBody int64) (*darshan.Log, *api.Error) {
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, maxBody)); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, api.Errorf(api.CodeTraceTooLarge,
+				"trace body exceeds the %d-byte limit (server -max-body)", maxBody)
+		}
+		log.Printf("iofleetd: read submit body from %s: %v", r.RemoteAddr, err)
+		return nil, api.Errorf(api.CodeBadRequest, "read body: request aborted")
+	}
+	trace, err := darshan.Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		var terr error
+		trace, terr = darshan.ParseText(bytes.NewReader(buf.Bytes()))
+		if terr != nil {
+			// Both decoders' detail stays server-side, where the operator
+			// debugging a client's bad_trace loop can see it.
+			log.Printf("iofleetd: undecodable trace from %s: binary: %v; text: %v", r.RemoteAddr, err, terr)
+			return nil, api.Errorf(api.CodeBadTrace, "body is neither a binary Darshan log nor darshan-parser text")
+		}
+	}
+	// An empty or header-only body parses as a log with no modules; reject
+	// it here rather than queueing a job doomed to fail.
+	if len(trace.Modules) == 0 {
+		return nil, api.Errorf(api.CodeBadTrace, "trace contains no module data")
+	}
+	return trace, nil
+}
+
+// toAPIJob maps the pool's job snapshot onto the wire shape. The pool's
+// free-text error (pipeline internals) never crosses the wire: failed
+// jobs carry the stable diagnosis_failed code instead, and the detail is
+// logged where the job fails.
+func toAPIJob(info fleet.JobInfo) api.JobInfo {
+	out := api.JobInfo{
+		ID:          info.ID,
+		Digest:      info.Digest,
+		Status:      api.Status(info.Status),
+		Lane:        api.Lane(info.Lane),
+		CacheHit:    info.CacheHit,
+		Attempts:    info.Attempts,
+		SubmittedAt: info.SubmittedAt,
+		StartedAt:   info.StartedAt,
+		FinishedAt:  info.FinishedAt,
+	}
+	if info.Status == fleet.StatusFailed {
+		out.Error = string(api.CodeDiagnosisFailed)
+	}
+	return out
+}
+
+// toAPIMetrics maps the pool snapshot plus per-model agent stats onto the
+// wire metrics document.
+func toAPIMetrics(s fleet.Snapshot, byModel map[string]ioagent.ModelStats) api.Metrics {
+	m := api.Metrics{
+		Workers:           s.Workers,
+		Submitted:         s.Submitted,
+		Queued:            s.Queued,
+		QueuedInteractive: s.QueuedInteractive,
+		QueuedBatch:       s.QueuedBatch,
+		Running:           s.Running,
+		Done:              s.Done,
+		Failed:            s.Failed,
+		CacheHits:         s.CacheHits,
+		Coalesced:         s.Coalesced,
+		CacheMisses:       s.CacheMisses,
+		HitRate:           s.HitRate,
+		CacheLen:          s.CacheLen,
+		Retries:           s.Retries,
+		LatencyP50:        s.LatencyP50,
+		LatencyP95:        s.LatencyP95,
+	}
+	if len(byModel) > 0 {
+		m.Models = make(map[string]api.ModelMetrics, len(byModel))
+		for model, st := range byModel {
+			m.Models[model] = api.ModelMetrics{
+				Calls:            st.Calls,
+				PromptTokens:     st.Usage.PromptTokens,
+				CompletionTokens: st.Usage.CompletionTokens,
+				CostUSD:          st.CostUSD,
+			}
+		}
+	}
+	return m
+}
+
+// writePrometheus renders the metrics document in Prometheus text
+// exposition format (version 0.0.4), served from GET /metrics under
+// "Accept: text/plain" content negotiation.
+func writePrometheus(w io.Writer, m api.Metrics) {
+	metric := func(name, typ, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+	f64 := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+	metric("fleet_workers", "gauge", "Number of concurrent diagnosis workers.")
+	fmt.Fprintf(w, "fleet_workers %d\n", m.Workers)
+	metric("fleet_jobs_submitted_total", "counter", "Jobs accepted since daemon start.")
+	fmt.Fprintf(w, "fleet_jobs_submitted_total %d\n", m.Submitted)
+	metric("fleet_jobs_queued", "gauge", "Jobs waiting for a worker, by priority lane.")
+	fmt.Fprintf(w, "fleet_jobs_queued{lane=%q} %d\n", api.LaneInteractive, m.QueuedInteractive)
+	fmt.Fprintf(w, "fleet_jobs_queued{lane=%q} %d\n", api.LaneBatch, m.QueuedBatch)
+	metric("fleet_jobs_running", "gauge", "Jobs currently occupying a worker.")
+	fmt.Fprintf(w, "fleet_jobs_running %d\n", m.Running)
+	metric("fleet_jobs_done_total", "counter", "Jobs finished successfully (cache hits included).")
+	fmt.Fprintf(w, "fleet_jobs_done_total %d\n", m.Done)
+	metric("fleet_jobs_failed_total", "counter", "Jobs failed permanently.")
+	fmt.Fprintf(w, "fleet_jobs_failed_total %d\n", m.Failed)
+	metric("fleet_cache_hits_total", "counter", "Submissions answered instantly from the result cache.")
+	fmt.Fprintf(w, "fleet_cache_hits_total %d\n", m.CacheHits)
+	metric("fleet_cache_coalesced_total", "counter", "Submissions coalesced onto an identical in-flight job.")
+	fmt.Fprintf(w, "fleet_cache_coalesced_total %d\n", m.Coalesced)
+	metric("fleet_cache_misses_total", "counter", "Submissions that ran the full pipeline.")
+	fmt.Fprintf(w, "fleet_cache_misses_total %d\n", m.CacheMisses)
+	metric("fleet_cache_entries", "gauge", "Resident result-cache entries.")
+	fmt.Fprintf(w, "fleet_cache_entries %d\n", m.CacheLen)
+	metric("fleet_retries_total", "counter", "Extra diagnosis attempts beyond each job's first.")
+	fmt.Fprintf(w, "fleet_retries_total %d\n", m.Retries)
+	// Two plain gauges rather than one series with a `quantile` label:
+	// that label is reserved for TYPE summary, and these are point-in-time
+	// estimates over a sliding sample, not a true summary.
+	metric("fleet_latency_p50_seconds", "gauge", "Median submit-to-completion latency over recent successful jobs.")
+	fmt.Fprintf(w, "fleet_latency_p50_seconds %s\n", f64(m.LatencyP50.Seconds()))
+	metric("fleet_latency_p95_seconds", "gauge", "95th-percentile submit-to-completion latency over recent successful jobs.")
+	fmt.Fprintf(w, "fleet_latency_p95_seconds %s\n", f64(m.LatencyP95.Seconds()))
+
+	models := make([]string, 0, len(m.Models))
+	for model := range m.Models {
+		models = append(models, model)
+	}
+	sort.Strings(models)
+	metric("fleet_model_calls_total", "counter", "LLM calls per model.")
+	for _, model := range models {
+		fmt.Fprintf(w, "fleet_model_calls_total{model=%q} %d\n", model, m.Models[model].Calls)
+	}
+	metric("fleet_model_tokens_total", "counter", "Tokens consumed per model and kind.")
+	for _, model := range models {
+		fmt.Fprintf(w, "fleet_model_tokens_total{model=%q,kind=\"prompt\"} %d\n", model, m.Models[model].PromptTokens)
+		fmt.Fprintf(w, "fleet_model_tokens_total{model=%q,kind=\"completion\"} %d\n", model, m.Models[model].CompletionTokens)
+	}
+	metric("fleet_model_cost_usd_total", "counter", "Simulated API spend per model in US dollars.")
+	for _, model := range models {
+		fmt.Fprintf(w, "fleet_model_cost_usd_total{model=%q} %s\n", model, f64(m.Models[model].CostUSD))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError serves the wire error envelope on its canonical HTTP status.
+func writeError(w http.ResponseWriter, e *api.Error) {
+	writeJSON(w, e.Code.HTTPStatus(), e)
+}
+
+// internalError logs the real failure server-side and serves an opaque
+// api.CodeInternal envelope: internal error chains (which can embed
+// filesystem paths and addresses) never reach the wire.
+func internalError(w http.ResponseWriter, op string, err error) {
+	log.Printf("iofleetd: %s: %v", op, err)
+	writeError(w, api.Errorf(api.CodeInternal, "internal error; see server log"))
+}

@@ -1,0 +1,327 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ioagent/internal/fleet"
+	"ioagent/internal/fleet/api"
+	"ioagent/internal/fleet/client"
+	"ioagent/internal/ioagent"
+	"ioagent/internal/knowledge"
+	"ioagent/internal/llm"
+)
+
+// testMux boots the HTTP surface over a small real pool.
+func testMux(t *testing.T, maxBody int64) (*fleet.Pool, *httptest.Server) {
+	t.Helper()
+	pool := fleet.New(llm.NewSim(), fleet.Config{
+		Workers: 2,
+		Agent:   ioagent.Options{Index: knowledge.BuildIndex()},
+	})
+	t.Cleanup(pool.Close)
+	var draining atomic.Bool
+	srv := httptest.NewServer(newMux(pool, nil, &draining, maxBody))
+	t.Cleanup(srv.Close)
+	return pool, srv
+}
+
+// apiError decodes the error envelope from a non-2xx response.
+func apiError(t *testing.T, resp *http.Response) api.Error {
+	t.Helper()
+	defer resp.Body.Close()
+	var e api.Error
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("error body is not an api.Error envelope: %v", err)
+	}
+	return e
+}
+
+func TestMuxErrorTaxonomy(t *testing.T) {
+	_, srv := testMux(t, 64<<20)
+
+	// Unknown job: job_not_found on 404.
+	resp, err := http.Get(srv.URL + "/v1/jobs/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := apiError(t, resp); resp.StatusCode != http.StatusNotFound || e.Code != api.CodeJobNotFound {
+		t.Errorf("unknown job = %s / %q, want 404 job_not_found", resp.Status, e.Code)
+	}
+
+	// Garbage body: bad_trace on 400, with no decoder internals leaked.
+	resp, err = http.Post(srv.URL+"/v1/jobs", "application/octet-stream", strings.NewReader("not a trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := apiError(t, resp)
+	if resp.StatusCode != http.StatusBadRequest || e.Code != api.CodeBadTrace {
+		t.Errorf("garbage trace = %s / %q, want 400 bad_trace", resp.Status, e.Code)
+	}
+	if strings.Contains(e.Message, "%!") || strings.Contains(e.Message, ".go:") {
+		t.Errorf("error message leaks internals: %q", e.Message)
+	}
+
+	// Unknown lane: bad_request on 400.
+	resp, err = http.Post(srv.URL+"/v1/jobs?lane=bulk", "application/octet-stream", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := apiError(t, resp); resp.StatusCode != http.StatusBadRequest || e.Code != api.CodeBadRequest {
+		t.Errorf("unknown lane = %s / %q, want 400 bad_request", resp.Status, e.Code)
+	}
+
+	// Unmatched path: still an enveloped error, still version-stamped —
+	// the mux's built-in plain-text 404 never reaches the wire.
+	resp, err = http.Get(srv.URL + "/v2/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get(api.VersionHeader); got != api.Current.String() {
+		t.Errorf("404 version header = %q, want %q", got, api.Current)
+	}
+	if e := apiError(t, resp); resp.StatusCode != http.StatusNotFound || e.Code != api.CodeNotFound {
+		t.Errorf("unknown endpoint = %s / %q, want 404 not_found", resp.Status, e.Code)
+	}
+}
+
+func TestMuxMaxBodyReturnsTraceTooLarge(t *testing.T) {
+	_, srv := testMux(t, 512)
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/octet-stream",
+		bytes.NewReader(make([]byte, 4096)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := apiError(t, resp)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge || e.Code != api.CodeTraceTooLarge {
+		t.Fatalf("oversized body = %s / %q, want 413 trace_too_large", resp.Status, e.Code)
+	}
+	if !strings.Contains(e.Message, "512") {
+		t.Errorf("message should name the configured limit, got %q", e.Message)
+	}
+}
+
+func TestMuxVersionNegotiation(t *testing.T) {
+	_, srv := testMux(t, 64<<20)
+
+	// Every response advertises the server's version.
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(api.VersionHeader); got != api.Current.String() {
+		t.Errorf("advertised version = %q, want %q", got, api.Current)
+	}
+
+	// A compatible minor skew is accepted.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/jobs", nil)
+	req.Header.Set(api.VersionHeader, "1.9")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("minor skew = %s, want 200", resp.Status)
+	}
+
+	// An incompatible major is refused with the stable code.
+	req, _ = http.NewRequest(http.MethodGet, srv.URL+"/v1/jobs", nil)
+	req.Header.Set(api.VersionHeader, "2.0")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := apiError(t, resp); e.Code != api.CodeUnsupportedVersion {
+		t.Errorf("major skew code = %q, want unsupported_version", e.Code)
+	}
+
+	// A malformed header is a bad request, not a crash or a silent pass.
+	req, _ = http.NewRequest(http.MethodGet, srv.URL+"/v1/jobs", nil)
+	req.Header.Set(api.VersionHeader, "latest")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := apiError(t, resp); e.Code != api.CodeBadRequest {
+		t.Errorf("malformed version code = %q, want bad_request", e.Code)
+	}
+}
+
+// TestMuxClientRoundTrip drives the real mux through the SDK: submit on
+// the batch lane, wait the diagnosis, and read both metrics renderings.
+func TestMuxClientRoundTrip(t *testing.T) {
+	_, srv := testMux(t, 64<<20)
+	c := client.New(srv.URL, client.WithPollInterval(10*time.Millisecond))
+	ctx := context.Background()
+
+	raw := encodeTraceBytes(t, e2eTrace(11))
+	info, err := c.Submit(ctx, api.SubmitRequest{Lane: api.LaneBatch, Trace: raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Lane != api.LaneBatch {
+		t.Errorf("accepted lane = %q, want batch", info.Lane)
+	}
+	diag, err := c.WaitDiagnosis(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag.Text == "" || diag.JobID != info.ID || diag.Lane != api.LaneBatch {
+		t.Errorf("diagnosis = %+v, want text and matching job/lane", diag)
+	}
+
+	// A duplicate submission is answered by the digest, not re-run.
+	dup, err := c.Submit(ctx, api.SubmitRequest{Lane: api.LaneInteractive, Trace: raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup.CacheHit {
+		t.Errorf("duplicate submit = %+v, want a cache hit (idempotent resubmit)", dup)
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Submitted < 2 || len(m.Models) == 0 {
+		t.Errorf("metrics = %+v, want submissions and per-model counters", m)
+	}
+	for model, ms := range m.Models {
+		if ms.Calls <= 0 || ms.PromptTokens <= 0 {
+			t.Errorf("model %s counters = %+v, want nonzero calls and tokens", model, ms)
+		}
+	}
+}
+
+func TestMuxPrometheusExposition(t *testing.T) {
+	pool, srv := testMux(t, 64<<20)
+	job, err := pool.SubmitWith(e2eTrace(12), fleet.SubmitOpts{Lane: fleet.LaneBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q, want text/plain exposition", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE fleet_jobs_submitted_total counter",
+		"fleet_jobs_submitted_total 1",
+		`fleet_jobs_queued{lane="interactive"}`,
+		`fleet_jobs_queued{lane="batch"}`,
+		"fleet_jobs_done_total 1",
+		`fleet_model_tokens_total{model="` + llm.GPT4o + `",kind="prompt"}`,
+		`fleet_model_cost_usd_total{model="` + llm.GPT4o + `"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Without the Accept header the JSON snapshot stays the default.
+	resp2, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var m api.Metrics
+	if err := json.NewDecoder(resp2.Body).Decode(&m); err != nil {
+		t.Fatalf("default /metrics is not JSON: %v", err)
+	}
+	if m.Done != 1 {
+		t.Errorf("JSON metrics done = %d, want 1", m.Done)
+	}
+
+	// An explicitly excluded text/plain (q=0, RFC 9110) keeps JSON too.
+	req3, _ := http.NewRequest(http.MethodGet, srv.URL+"/metrics", nil)
+	req3.Header.Set("Accept", "application/json, text/plain;q=0")
+	resp3, err := http.DefaultClient.Do(req3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if err := json.NewDecoder(resp3.Body).Decode(&m); err != nil {
+		t.Errorf("text/plain;q=0 must keep the JSON default: %v", err)
+	}
+}
+
+// TestMuxDoesNotLeakFailureDetail pins the satellite requirement: a job
+// that failed with an internal error chain surfaces on the wire only as
+// the stable diagnosis_failed code.
+func TestMuxDoesNotLeakFailureDetail(t *testing.T) {
+	pool := fleet.New(&alwaysFail{}, fleet.Config{
+		Workers: 1, MaxAttempts: 1,
+		Agent: ioagent.Options{Index: knowledge.BuildIndex()},
+	})
+	t.Cleanup(pool.Close)
+	var draining atomic.Bool
+	srv := httptest.NewServer(newMux(pool, nil, &draining, 64<<20))
+	t.Cleanup(srv.Close)
+
+	job, err := pool.Submit(e2eTrace(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Wait()
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + job.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info api.JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if info.Status != api.StatusFailed || info.Error != string(api.CodeDiagnosisFailed) {
+		t.Errorf("failed job on the wire = %+v, want the bare diagnosis_failed code", info)
+	}
+	if strings.Contains(info.Error, "/secret/") {
+		t.Errorf("wire error leaks internal detail: %q", info.Error)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + job.ID() + "/diagnosis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := apiError(t, resp)
+	if resp.StatusCode != http.StatusBadGateway || e.Code != api.CodeDiagnosisFailed {
+		t.Errorf("failed diagnosis = %s / %q, want 502 diagnosis_failed", resp.Status, e.Code)
+	}
+	if strings.Contains(e.Message, "/secret/") {
+		t.Errorf("diagnosis error leaks internal detail: %q", e.Message)
+	}
+}
+
+// alwaysFail emits a permanent error that embeds the kind of path detail
+// the old surface used to echo to clients.
+type alwaysFail struct{}
+
+func (alwaysFail) Complete(llm.Request) (llm.Response, error) {
+	return llm.Response{}, &pathError{}
+}
+
+type pathError struct{}
+
+func (*pathError) Error() string { return "open /secret/state/journal.wal: permission denied" }

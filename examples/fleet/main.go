@@ -138,4 +138,40 @@ func main() {
 	fmt.Printf("\nrestart: %d diagnoses restored from %s, %d unfinished jobs replayed\n", restored, stateDir, resubmitted)
 	fmt.Printf("third batch (new process, disk-warm cache): %v, %d/%d cache hits, %d LLM calls, $%.4f\n",
 		thirdBatch.Round(time.Millisecond), m2.CacheHits, m2.Submitted, calls2, cost2)
+
+	// Act four: priority lanes. A single worker faces a saturating batch
+	// backlog when one latency-sensitive interactive trace arrives late.
+	// The weighted two-lane dequeue hands the interactive job the next
+	// free worker slot instead of the back of the FIFO line — the
+	// iofleetd contract behind POST /v1/jobs?lane=interactive.
+	lanePool := fleet.New(backend, fleet.Config{Workers: 1, QueueDepth: 8, MaxAttempts: 6})
+	defer lanePool.Close()
+	var batchJobs []*fleet.Job
+	for i := 0; i < 8; i++ {
+		j, err := lanePool.SubmitWith(makeTrace(int64(200+i)), fleet.SubmitOpts{Lane: fleet.LaneBatch})
+		if err != nil {
+			log.Fatal(err)
+		}
+		batchJobs = append(batchJobs, j)
+	}
+	start = time.Now()
+	ji, err := lanePool.SubmitWith(makeTrace(300), fleet.SubmitOpts{Lane: fleet.LaneInteractive})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := ji.Wait(); err != nil {
+		log.Fatal(err)
+	}
+	interactiveWait := time.Since(start)
+	pendingBatch := 0
+	for _, j := range batchJobs {
+		select {
+		case <-j.Done():
+		default:
+			pendingBatch++
+		}
+	}
+	lanePool.Wait()
+	fmt.Printf("\npriority lanes: interactive job served in %v while %d/8 batch jobs still waited behind it\n",
+		interactiveWait.Round(time.Millisecond), pendingBatch)
 }

@@ -1,0 +1,201 @@
+// Package api is the versioned wire contract of the iofleetd HTTP service:
+// every request and response shape, the priority-lane vocabulary, the
+// machine-readable error taxonomy, and the protocol version negotiated
+// between client and server.
+//
+// The package is deliberately dependency-free (standard library only) so
+// that consumers — internal/fleet/client, external tooling, a future
+// multi-node router — can speak the protocol without linking the pool,
+// the diagnosis pipeline, or the knowledge corpus.
+//
+// # Compatibility invariants
+//
+// The contract is versioned major.minor (see Version). Within one major
+// version:
+//
+//   - field names, JSON tags, and error code strings are append-only:
+//     they are never renamed or repurposed, only added;
+//   - servers ignore request fields they do not understand, and clients
+//     ignore response fields they do not understand;
+//   - a minor-version bump adds fields or codes; a major-version bump is
+//     reserved for breaking changes and is rejected by both sides
+//     (ErrVersionSkew semantics, code CodeUnsupportedVersion).
+//
+// Both parties advertise their version in the VersionHeader of every
+// message. The server tolerates requests without the header (curl-style
+// ad-hoc use) but stamps every response; the client therefore refuses a
+// response without it — that peer is not a versioned fleet daemon. A
+// present header with a different major is refused by both sides.
+package api
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// VersionHeader carries the protocol version on every request and
+// response.
+const VersionHeader = "X-Fleet-Api-Version"
+
+// Current is the protocol version this tree speaks.
+var Current = Version{Major: 1, Minor: 0}
+
+// Version is a major.minor protocol version. Majors are incompatible;
+// minors are additive within a major.
+type Version struct {
+	Major int `json:"major"`
+	Minor int `json:"minor"`
+}
+
+// String renders the canonical "major.minor" header form.
+func (v Version) String() string { return fmt.Sprintf("%d.%d", v.Major, v.Minor) }
+
+// ParseVersion parses the "major.minor" header form.
+func ParseVersion(s string) (Version, error) {
+	major, minor, ok := strings.Cut(strings.TrimSpace(s), ".")
+	if !ok {
+		return Version{}, fmt.Errorf("api: malformed version %q (want MAJOR.MINOR)", s)
+	}
+	ma, err := strconv.Atoi(major)
+	if err != nil || ma < 0 {
+		return Version{}, fmt.Errorf("api: malformed version %q: bad major", s)
+	}
+	mi, err := strconv.Atoi(minor)
+	if err != nil || mi < 0 {
+		return Version{}, fmt.Errorf("api: malformed version %q: bad minor", s)
+	}
+	return Version{Major: ma, Minor: mi}, nil
+}
+
+// CompatibleWith reports whether the two versions can interoperate: same
+// major, any minor.
+func (v Version) CompatibleWith(o Version) bool { return v.Major == o.Major }
+
+// Lane is a submission priority class. The pool dequeues with a weighted
+// preference for LaneInteractive so a saturating batch workload cannot
+// starve latency-sensitive submissions; LaneBatch still receives a
+// guaranteed share of worker slots under an interactive flood.
+type Lane string
+
+const (
+	// LaneInteractive is the low-latency lane for a human (or a service
+	// in a request path) waiting on the answer. It is the default when no
+	// lane is given.
+	LaneInteractive Lane = "interactive"
+	// LaneBatch is the bulk lane for backfills, sweeps, and other
+	// throughput-bound workloads that tolerate queueing delay.
+	LaneBatch Lane = "batch"
+)
+
+// Valid reports whether l names a known lane (the empty lane is not
+// valid; normalize first with WithDefault).
+func (l Lane) Valid() bool { return l == LaneInteractive || l == LaneBatch }
+
+// WithDefault maps the empty lane to LaneInteractive, the wire default.
+func (l Lane) WithDefault() Lane {
+	if l == "" {
+		return LaneInteractive
+	}
+	return l
+}
+
+// Status is a job's lifecycle state on the wire.
+type Status string
+
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool { return s == StatusDone || s == StatusFailed }
+
+// SubmitRequest is one trace submission. The trace bytes travel as the
+// POST /v1/jobs body (binary Darshan log or darshan-parser text — the
+// server sniffs); the lane travels as the "lane" query parameter. The
+// struct exists so programmatic callers have one typed value to build and
+// so future fields (tenant, deadline, callbacks) have a home.
+type SubmitRequest struct {
+	// Lane selects the priority class; empty means LaneInteractive.
+	Lane Lane `json:"lane,omitempty"`
+	// Trace is the encoded trace body. Submissions are idempotent by
+	// content: the server addresses work by trace digest, so resubmitting
+	// identical bytes coalesces onto the in-flight job or answers from
+	// the result cache instead of re-running the pipeline.
+	Trace []byte `json:"-"`
+}
+
+// JobInfo is the wire snapshot of one submitted job, returned by
+// POST /v1/jobs (202), GET /v1/jobs (list) and GET /v1/jobs/{id}.
+type JobInfo struct {
+	ID       string `json:"id"`
+	Digest   string `json:"digest"`
+	Status   Status `json:"status"`
+	Lane     Lane   `json:"lane"`
+	CacheHit bool   `json:"cache_hit"`
+	Attempts int    `json:"attempts"`
+	// Error carries the failure's stable code for terminal failed jobs
+	// (empty otherwise). Free-text failure detail stays in server logs.
+	Error string `json:"error,omitempty"`
+
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitzero"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+}
+
+// Diagnosis is the finished report for one job, returned by
+// GET /v1/jobs/{id}/diagnosis. (With "Accept: text/plain" the same
+// endpoint serves Text raw, for curl and shell pipelines.)
+type Diagnosis struct {
+	JobID    string `json:"job_id"`
+	Digest   string `json:"digest"`
+	Lane     Lane   `json:"lane"`
+	CacheHit bool   `json:"cache_hit"`
+	// Text is the canonical merged diagnosis report.
+	Text string `json:"text"`
+}
+
+// ModelMetrics is the accumulated usage of one LLM model across the
+// daemon's lifetime.
+type ModelMetrics struct {
+	Calls            int     `json:"calls"`
+	PromptTokens     int     `json:"prompt_tokens"`
+	CompletionTokens int     `json:"completion_tokens"`
+	CostUSD          float64 `json:"cost_usd"`
+}
+
+// Metrics is the pool health snapshot served by GET /metrics (JSON form;
+// with "Accept: text/plain" the same counters are served in Prometheus
+// text exposition format). Field meanings mirror the pool's snapshot:
+// Done includes cache hits and coalesced jobs, HitRate is
+// (CacheHits+Coalesced)/Submitted, and latencies cover recent successful
+// completions (cache hits at ~0).
+type Metrics struct {
+	Workers int `json:"workers"`
+
+	Submitted         int64 `json:"jobs_submitted"`
+	Queued            int64 `json:"jobs_queued"`
+	QueuedInteractive int64 `json:"jobs_queued_interactive"`
+	QueuedBatch       int64 `json:"jobs_queued_batch"`
+	Running           int64 `json:"jobs_running"`
+	Done              int64 `json:"jobs_done"`
+	Failed            int64 `json:"jobs_failed"`
+
+	CacheHits   int64   `json:"cache_hits"`
+	Coalesced   int64   `json:"coalesced"`
+	CacheMisses int64   `json:"cache_misses"`
+	HitRate     float64 `json:"cache_hit_rate"`
+	CacheLen    int     `json:"cache_entries"`
+
+	Retries int64 `json:"retries"`
+
+	LatencyP50 time.Duration `json:"latency_p50_ns"`
+	LatencyP95 time.Duration `json:"latency_p95_ns"`
+
+	// Models breaks token and cost counters down per LLM model.
+	Models map[string]ModelMetrics `json:"models,omitempty"`
+}

@@ -1,0 +1,109 @@
+package api
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Code is a stable, machine-readable error identifier. Codes are part of
+// the versioned contract: within a major version they are append-only and
+// never change meaning, so clients may switch on them.
+type Code string
+
+const (
+	// CodeBadRequest: the request itself is malformed (unknown lane,
+	// unparseable version header, ...).
+	CodeBadRequest Code = "bad_request"
+	// CodeBadTrace: the body is neither a binary Darshan log nor
+	// darshan-parser text, or parses to a trace with no module data.
+	CodeBadTrace Code = "bad_trace"
+	// CodeTraceTooLarge: the body exceeds the server's configured limit
+	// (iofleetd -max-body). The message names the limit.
+	CodeTraceTooLarge Code = "trace_too_large"
+	// CodeUnsupportedVersion: the peer speaks an incompatible protocol
+	// major (see Version).
+	CodeUnsupportedVersion Code = "unsupported_version"
+	// CodeJobNotFound: no job with the requested ID exists (it may have
+	// been pruned from the bounded history).
+	CodeJobNotFound Code = "job_not_found"
+	// CodeNotFound: the request named an endpoint the server does not
+	// serve (unknown path).
+	CodeNotFound Code = "not_found"
+	// CodeJobNotDone: the diagnosis was requested before the job reached
+	// a terminal state; poll the job and retry.
+	CodeJobNotDone Code = "job_not_done"
+	// CodeDraining: the daemon is shutting down and refuses new work;
+	// resubmit to a replacement instance (retryable).
+	CodeDraining Code = "draining"
+	// CodeDiagnosisFailed: the job ran and failed permanently; the
+	// pipeline exhausted its retry budget or hit a non-transient error.
+	CodeDiagnosisFailed Code = "diagnosis_failed"
+	// CodeInternal: an unexpected server-side failure. Detail lives in
+	// the server log, never on the wire (retryable).
+	CodeInternal Code = "internal"
+)
+
+// HTTPStatus maps the code to its canonical HTTP status.
+func (c Code) HTTPStatus() int {
+	switch c {
+	case CodeBadRequest, CodeBadTrace, CodeUnsupportedVersion:
+		return http.StatusBadRequest
+	case CodeTraceTooLarge:
+		return http.StatusRequestEntityTooLarge
+	case CodeJobNotFound, CodeNotFound:
+		return http.StatusNotFound
+	case CodeJobNotDone:
+		return http.StatusConflict
+	case CodeDraining:
+		return http.StatusServiceUnavailable
+	case CodeDiagnosisFailed:
+		return http.StatusBadGateway
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Retryable reports whether an identical request may succeed later
+// against this or another instance, so SDK retry loops can key off the
+// taxonomy instead of raw HTTP statuses.
+func (c Code) Retryable() bool {
+	switch c {
+	case CodeDraining, CodeInternal:
+		return true
+	default:
+		return false
+	}
+}
+
+// Error is the wire error envelope: every non-2xx response from the
+// daemon is this JSON document. Message is a stable, human-readable
+// summary that never embeds server internals (paths, addresses, wrapped
+// Go error chains) — those stay in the server log.
+type Error struct {
+	Code    Code   `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Message == "" {
+		return string(e.Code)
+	}
+	return string(e.Code) + ": " + e.Message
+}
+
+// Errorf builds an *Error with a formatted message.
+func Errorf(code Code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// ErrorCode extracts the taxonomy code from an error returned by this
+// package or the client SDK; non-API errors map to the empty code.
+func ErrorCode(err error) Code {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Code
+	}
+	return ""
+}

@@ -1,0 +1,301 @@
+// Package client is the Go SDK for the iofleetd wire API
+// (internal/fleet/api): a thin, dependency-light HTTP client with
+// connection reuse, context-aware retry with exponential backoff on
+// transient failures, and a polling helper that waits a submission
+// through to its finished diagnosis.
+//
+// Submissions are idempotent by construction: the daemon content-addresses
+// work by trace digest, so a retried POST of the same bytes lands on the
+// in-flight job (coalescing) or the result cache instead of re-running
+// the pipeline. That is what makes the SDK's automatic resubmit on
+// transient errors safe.
+//
+// Version skew is checked on every response: a server advertising an
+// incompatible protocol major (api.VersionHeader) yields an *api.Error
+// with api.CodeUnsupportedVersion, never a misparsed payload.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"ioagent/internal/fleet/api"
+)
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (the default
+// shares one transport across all calls, so connections are reused).
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.httpc = h } }
+
+// WithRetry tunes the retry budget: maxAttempts total tries per call
+// (minimum 1) with exponential backoff starting at baseDelay. The default
+// is 4 attempts from 100ms.
+func WithRetry(maxAttempts int, baseDelay time.Duration) Option {
+	return func(c *Client) {
+		if maxAttempts >= 1 {
+			c.maxAttempts = maxAttempts
+		}
+		if baseDelay > 0 {
+			c.baseDelay = baseDelay
+		}
+	}
+}
+
+// WithPollInterval tunes how often WaitDiagnosis polls (default 100ms).
+func WithPollInterval(d time.Duration) Option {
+	return func(c *Client) {
+		if d > 0 {
+			c.poll = d
+		}
+	}
+}
+
+// Client talks to one iofleetd instance. It is safe for concurrent use.
+type Client struct {
+	base        string
+	httpc       *http.Client
+	maxAttempts int
+	baseDelay   time.Duration
+	maxDelay    time.Duration
+	poll        time.Duration
+
+	// sleep is swapped out by tests to make backoff instantaneous.
+	sleep func(context.Context, time.Duration) error
+}
+
+// New builds a client for the daemon at baseURL (e.g. "http://host:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:        strings.TrimRight(baseURL, "/"),
+		httpc:       &http.Client{Timeout: 5 * time.Minute},
+		maxAttempts: 4,
+		baseDelay:   100 * time.Millisecond,
+		maxDelay:    5 * time.Second,
+		poll:        100 * time.Millisecond,
+		sleep:       sleepCtx,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Submit sends one trace for diagnosis and returns the accepted job
+// record (which is already terminal for cache hits). Transient failures —
+// network errors, 5xx, api.CodeDraining — are retried with backoff; the
+// resubmit is safe because the daemon deduplicates by trace digest.
+func (c *Client) Submit(ctx context.Context, req api.SubmitRequest) (api.JobInfo, error) {
+	lane := req.Lane.WithDefault()
+	if !lane.Valid() {
+		return api.JobInfo{}, api.Errorf(api.CodeBadRequest, "unknown lane %q", req.Lane)
+	}
+	var info api.JobInfo
+	path := "/v1/jobs?lane=" + url.QueryEscape(string(lane))
+	err := c.do(ctx, http.MethodPost, path, req.Trace, &info)
+	return info, err
+}
+
+// Job fetches one job's current snapshot.
+func (c *Client) Job(ctx context.Context, id string) (api.JobInfo, error) {
+	var info api.JobInfo
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &info)
+	return info, err
+}
+
+// Jobs lists every job the daemon still remembers, in submission order.
+func (c *Client) Jobs(ctx context.Context) ([]api.JobInfo, error) {
+	var infos []api.JobInfo
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &infos)
+	return infos, err
+}
+
+// Diagnosis fetches the finished report for a terminal, successful job.
+// A still-running job yields api.CodeJobNotDone (not retried — poll the
+// job instead, or use WaitDiagnosis).
+func (c *Client) Diagnosis(ctx context.Context, id string) (api.Diagnosis, error) {
+	var d api.Diagnosis
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/diagnosis", nil, &d)
+	return d, err
+}
+
+// Metrics fetches the pool health snapshot.
+func (c *Client) Metrics(ctx context.Context) (api.Metrics, error) {
+	var m api.Metrics
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &m)
+	return m, err
+}
+
+// WaitDiagnosis polls job id until it reaches a terminal state and
+// returns its diagnosis. A failed job yields an *api.Error with
+// api.CodeDiagnosisFailed. Polling cadence is WithPollInterval; the
+// context bounds the total wait.
+func (c *Client) WaitDiagnosis(ctx context.Context, id string) (api.Diagnosis, error) {
+	for {
+		info, err := c.Job(ctx, id)
+		if err != nil {
+			return api.Diagnosis{}, err
+		}
+		switch {
+		case info.Status == api.StatusFailed:
+			return api.Diagnosis{}, api.Errorf(api.CodeDiagnosisFailed,
+				"job %s failed after %d attempts", id, info.Attempts)
+		case info.Status.Terminal():
+			return c.Diagnosis(ctx, id)
+		}
+		if err := c.sleep(ctx, c.poll); err != nil {
+			return api.Diagnosis{}, err
+		}
+	}
+}
+
+// SubmitAndWait is Submit followed by WaitDiagnosis on the accepted job.
+func (c *Client) SubmitAndWait(ctx context.Context, req api.SubmitRequest) (api.Diagnosis, error) {
+	info, err := c.Submit(ctx, req)
+	if err != nil {
+		return api.Diagnosis{}, err
+	}
+	return c.WaitDiagnosis(ctx, info.ID)
+}
+
+// do runs one logical call with retry: build request, send, decode. body
+// may be nil; out may be nil for calls with no interesting response.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	delay := c.baseDelay
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		err := c.once(ctx, method, path, body, out)
+		if err == nil || !retryable(err) || attempt >= c.maxAttempts {
+			return err
+		}
+		lastErr = err
+		if serr := c.sleep(ctx, delay); serr != nil {
+			return fmt.Errorf("%w (last attempt: %w)", serr, lastErr)
+		}
+		if delay *= 2; delay > c.maxDelay {
+			delay = c.maxDelay
+		}
+	}
+}
+
+// once performs a single HTTP round trip, enforcing version compatibility
+// and mapping error bodies onto *api.Error.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	req.Header.Set(api.VersionHeader, api.Current.String())
+	req.Header.Set("Accept", "application/json")
+	if body != nil {
+		req.Header.Set("Content-Type", "application/octet-stream")
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return &transportError{err}
+	}
+	defer resp.Body.Close()
+
+	// Version skew check before trusting any payload: an incompatible
+	// major means the shapes below may not mean what we think they mean.
+	if adv := resp.Header.Get(api.VersionHeader); adv != "" {
+		v, perr := api.ParseVersion(adv)
+		if perr != nil {
+			return api.Errorf(api.CodeUnsupportedVersion, "server sent malformed version %q", adv)
+		}
+		if !v.CompatibleWith(api.Current) {
+			return api.Errorf(api.CodeUnsupportedVersion,
+				"server speaks api %s, this client speaks %s", v, api.Current)
+		}
+	}
+
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return &transportError{err}
+	}
+	if resp.StatusCode >= 400 {
+		var apiErr api.Error
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Code != "" {
+			return &apiErr
+		}
+		// No structured body (proxy error page, panic, ...): keep the
+		// status so retryable() can classify 5xx as transient. This
+		// branch also covers header-less errors: a proxy in front of a
+		// healthy daemon never stamps the version header, so an error
+		// without one must stay retryable rather than be refused as skew.
+		return &httpError{status: resp.StatusCode, body: string(data)}
+	}
+	// A versioned server stamps every successful response, so a 2xx
+	// without the header means a pre-versioning daemon (or not a fleet
+	// daemon at all) — refuse it rather than misparse its payload.
+	if resp.Header.Get(api.VersionHeader) == "" {
+		return api.Errorf(api.CodeUnsupportedVersion,
+			"server sent no %s header; it does not speak the versioned fleet api", api.VersionHeader)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("client: decode %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// transportError wraps a failure to complete the HTTP round trip at all
+// (dial refused, reset, timeout). Always retryable.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return "client: " + e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
+
+// httpError is a non-2xx response without a structured api.Error body.
+type httpError struct {
+	status int
+	body   string
+}
+
+func (e *httpError) Error() string {
+	return fmt.Sprintf("client: http %d: %.200s", e.status, e.body)
+}
+
+// retryable classifies one attempt's failure: transport errors, bare
+// 5xx/429 statuses, and API codes the taxonomy marks retryable.
+func retryable(err error) bool {
+	var te *transportError
+	if errors.As(err, &te) {
+		return true
+	}
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.status >= 500 || he.status == http.StatusTooManyRequests
+	}
+	var ae *api.Error
+	if errors.As(err, &ae) {
+		return ae.Code.Retryable()
+	}
+	return false
+}

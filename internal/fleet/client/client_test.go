@@ -1,0 +1,234 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ioagent/internal/fleet/api"
+)
+
+// instantSleep makes backoff free while recording the schedule.
+func instantSleep(c *Client) *[]time.Duration {
+	var slept []time.Duration
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		slept = append(slept, d)
+		return nil
+	}
+	return &slept
+}
+
+// newAPIServer wraps a handler with the version header the client checks.
+func newAPIServer(t *testing.T, h http.HandlerFunc) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(api.VersionHeader, api.Current.String())
+		h(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func writeErr(w http.ResponseWriter, e *api.Error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.Code.HTTPStatus())
+	json.NewEncoder(w).Encode(e)
+}
+
+// TestClientRetriesFlakyServer injects llm.Flaky-style periodic 503s: the
+// first two attempts hit a draining instance, the third succeeds, and the
+// backoff schedule doubles between attempts.
+func TestClientRetriesFlakyServer(t *testing.T) {
+	var calls atomic.Int64
+	srv := newAPIServer(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			writeErr(w, api.Errorf(api.CodeDraining, "daemon is draining"))
+			return
+		}
+		json.NewEncoder(w).Encode(api.JobInfo{ID: "job-000001", Status: api.StatusQueued, Lane: api.LaneBatch})
+	})
+
+	c := New(srv.URL, WithRetry(4, 10*time.Millisecond))
+	slept := instantSleep(c)
+	info, err := c.Submit(context.Background(), api.SubmitRequest{Lane: api.LaneBatch, Trace: []byte("x")})
+	if err != nil {
+		t.Fatalf("submit through flaky server: %v", err)
+	}
+	if info.ID != "job-000001" || calls.Load() != 3 {
+		t.Errorf("info=%+v after %d calls, want success on call 3", info, calls.Load())
+	}
+	if len(*slept) != 2 || (*slept)[1] != 2*(*slept)[0] {
+		t.Errorf("backoff schedule = %v, want two doubling delays", *slept)
+	}
+}
+
+func TestClientRetriesBare5xxAndTransportErrors(t *testing.T) {
+	// The failing response deliberately carries NO version header and no
+	// api.Error body — exactly what a proxy or LB in front of a bouncing
+	// daemon serves — and must be retried, not refused as version skew.
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, "proxy exploded", http.StatusBadGateway)
+			return
+		}
+		w.Header().Set(api.VersionHeader, api.Current.String())
+		json.NewEncoder(w).Encode(api.Metrics{Workers: 4})
+	}))
+	t.Cleanup(srv.Close)
+	c := New(srv.URL, WithRetry(3, time.Millisecond))
+	instantSleep(c)
+	m, err := c.Metrics(context.Background())
+	if err != nil || m.Workers != 4 {
+		t.Fatalf("metrics after bare 502 = %+v, %v", m, err)
+	}
+
+	// A connection that refuses outright is transport-level and retryable;
+	// with the budget exhausted the transport error surfaces.
+	dead := New("http://127.0.0.1:1", WithRetry(2, time.Millisecond))
+	instantSleep(dead)
+	if _, err := dead.Metrics(context.Background()); err == nil {
+		t.Fatal("dead endpoint must fail after retries")
+	}
+}
+
+func TestClientDoesNotRetryPermanentCodes(t *testing.T) {
+	var calls atomic.Int64
+	srv := newAPIServer(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeErr(w, api.Errorf(api.CodeJobNotFound, "unknown job"))
+	})
+	c := New(srv.URL, WithRetry(5, time.Millisecond))
+	instantSleep(c)
+	_, err := c.Job(context.Background(), "job-999999")
+	if api.ErrorCode(err) != api.CodeJobNotFound {
+		t.Fatalf("err = %v, want job_not_found", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("permanent code retried %d times, want a single attempt", calls.Load())
+	}
+}
+
+// TestClientRejectsVersionSkew is the version-skew acceptance test: a
+// server speaking an unknown protocol major is refused before any payload
+// is interpreted, and the refusal is not retried.
+func TestClientRejectsVersionSkew(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set(api.VersionHeader, "2.0")
+		json.NewEncoder(w).Encode(api.JobInfo{ID: "job-000001"})
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithRetry(3, time.Millisecond))
+	instantSleep(c)
+	_, err := c.Job(context.Background(), "job-000001")
+	if api.ErrorCode(err) != api.CodeUnsupportedVersion {
+		t.Fatalf("err = %v, want unsupported_version", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("version skew retried %d times, want 1", calls.Load())
+	}
+}
+
+// TestClientRefusesUnversionedServer: a peer that never stamps the
+// version header (a pre-versioning daemon, or some unrelated HTTP
+// service) is refused before its payload is interpreted.
+func TestClientRefusesUnversionedServer(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("I/O Performance Diagnosis\n")) // not even JSON
+	}))
+	defer srv.Close()
+	c := New(srv.URL, WithRetry(1, time.Millisecond))
+	_, err := c.Job(context.Background(), "job-000001")
+	if api.ErrorCode(err) != api.CodeUnsupportedVersion {
+		t.Fatalf("err = %v, want unsupported_version for a header-less server", err)
+	}
+}
+
+func TestClientSendsVersionAndLane(t *testing.T) {
+	var gotVersion, gotLane atomic.Value
+	srv := newAPIServer(t, func(w http.ResponseWriter, r *http.Request) {
+		gotVersion.Store(r.Header.Get(api.VersionHeader))
+		gotLane.Store(r.URL.Query().Get("lane"))
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(api.JobInfo{ID: "job-000001"})
+	})
+	c := New(srv.URL)
+	if _, err := c.Submit(context.Background(), api.SubmitRequest{Trace: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if gotVersion.Load() != api.Current.String() {
+		t.Errorf("request version header = %q, want %q", gotVersion.Load(), api.Current)
+	}
+	if gotLane.Load() != string(api.LaneInteractive) {
+		t.Errorf("default lane on the wire = %q, want interactive", gotLane.Load())
+	}
+	if _, err := c.Submit(context.Background(), api.SubmitRequest{Lane: "bulk", Trace: []byte("x")}); api.ErrorCode(err) != api.CodeBadRequest {
+		t.Errorf("unknown lane err = %v, want bad_request before any wire traffic", err)
+	}
+}
+
+func TestWaitDiagnosisPollsToCompletion(t *testing.T) {
+	var polls atomic.Int64
+	srv := newAPIServer(t, func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/jobs/job-000001":
+			status := api.StatusRunning
+			if polls.Add(1) >= 3 {
+				status = api.StatusDone
+			}
+			json.NewEncoder(w).Encode(api.JobInfo{ID: "job-000001", Status: status})
+		case "/v1/jobs/job-000001/diagnosis":
+			json.NewEncoder(w).Encode(api.Diagnosis{JobID: "job-000001", Text: "all small writes"})
+		default:
+			writeErr(w, api.Errorf(api.CodeJobNotFound, "unknown job"))
+		}
+	})
+	c := New(srv.URL, WithPollInterval(time.Millisecond))
+	instantSleep(c)
+	d, err := c.WaitDiagnosis(context.Background(), "job-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Text != "all small writes" || polls.Load() < 3 {
+		t.Errorf("diagnosis = %+v after %d polls", d, polls.Load())
+	}
+}
+
+func TestWaitDiagnosisSurfacesJobFailure(t *testing.T) {
+	srv := newAPIServer(t, func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(api.JobInfo{ID: "job-000001", Status: api.StatusFailed, Attempts: 3})
+	})
+	c := New(srv.URL, WithPollInterval(time.Millisecond))
+	_, err := c.WaitDiagnosis(context.Background(), "job-000001")
+	if api.ErrorCode(err) != api.CodeDiagnosisFailed {
+		t.Fatalf("err = %v, want diagnosis_failed", err)
+	}
+}
+
+func TestClientHonorsContextDuringBackoff(t *testing.T) {
+	srv := newAPIServer(t, func(w http.ResponseWriter, r *http.Request) {
+		writeErr(w, api.Errorf(api.CodeDraining, "draining forever"))
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(srv.URL, WithRetry(10, time.Hour)) // would retry for hours
+	cancel()
+	start := time.Now()
+	_, err := c.Jobs(ctx)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context cancellation", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("cancelled backoff must return promptly")
+	}
+}

@@ -21,8 +21,21 @@
 //     errors (rate limits, overloads — anything wrapped in
 //     llm.TransientError), while permanent errors fail fast.
 //
-// Pool health is observable through Metrics: lifecycle counters, cache hit
-// rate, retries, and p50/p95 submit-to-completion latency.
+// Pool health is observable through Metrics: lifecycle counters (broken
+// down per priority lane), cache hit rate, retries, and p50/p95
+// submit-to-completion latency.
+//
+// # Priority lanes
+//
+// Submissions carry a priority class (SubmitWith + SubmitOpts): the
+// interactive lane for latency-sensitive callers and the batch lane for
+// bulk sweeps. Each lane has its own bounded queue, so a saturated batch
+// lane backpressures batch submitters without blocking interactive ones,
+// and workers dequeue with a weighted preference — interactive first,
+// except one in every Config.BatchShare picks goes to batch when both
+// lanes are waiting. Neither class can starve the other: a batch flood
+// cannot delay an interactive job past the work already running, and an
+// interactive flood still cedes batch its configured share of slots.
 //
 // # Persistence hooks
 //
@@ -35,8 +48,11 @@
 // with their TTL clocks intact. The pool never knows whether it is
 // persistent; iofleetd wires the hooks when -state-dir is set.
 //
-// The pool is exposed two ways: cmd/iofleetd serves it over HTTP (submit a
-// log, poll status, fetch the diagnosis, scrape /metrics; with -state-dir,
-// queued jobs and the cache survive restarts), and cmd/ioagent
-// batch-diagnoses many traces at once with its -fleet flag.
+// The pool is exposed three ways: cmd/iofleetd serves it over HTTP on the
+// versioned wire contract in internal/fleet/api (submit a log on a lane,
+// poll status, fetch the diagnosis, scrape /metrics; with -state-dir,
+// queued jobs and the cache survive restarts with their lanes intact),
+// internal/fleet/client is the Go SDK for that daemon, and cmd/ioagent
+// batch-diagnoses many traces at once with its -fleet flag (or remotely
+// with -server).
 package fleet

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ioagent/internal/darshan"
@@ -52,6 +53,43 @@ const (
 	StatusFailed  Status = "failed"
 )
 
+// Lane is a submission priority class. The pool keeps one bounded queue
+// per lane and dequeues with a weighted preference for LaneInteractive,
+// so a saturating batch workload cannot starve interactive submissions —
+// while batch still holds a guaranteed share of worker slots (see
+// Config.BatchShare). The string values match the wire vocabulary in
+// internal/fleet/api.
+type Lane string
+
+const (
+	// LaneInteractive is the low-latency lane; it is the default for
+	// Submit and for a zero SubmitOpts.
+	LaneInteractive Lane = "interactive"
+	// LaneBatch is the bulk, throughput-bound lane.
+	LaneBatch Lane = "batch"
+)
+
+// Lanes lists every lane in dequeue-preference order.
+var Lanes = []Lane{LaneInteractive, LaneBatch}
+
+// withDefault maps the empty lane to LaneInteractive.
+func (l Lane) withDefault() Lane {
+	if l == "" {
+		return LaneInteractive
+	}
+	return l
+}
+
+// Valid reports whether l names a known lane.
+func (l Lane) Valid() bool { return l == LaneInteractive || l == LaneBatch }
+
+// SubmitOpts carries per-submission options for SubmitWith. The zero
+// value matches Submit: interactive lane.
+type SubmitOpts struct {
+	// Lane selects the priority class; empty means LaneInteractive.
+	Lane Lane
+}
+
 // Config tunes a Pool. The zero value gives a production-plausible setup:
 // 4 workers, a 1024-entry cache with a 1-hour TTL, and 3 attempts per job
 // with exponential backoff starting at 50ms.
@@ -78,6 +116,15 @@ type Config struct {
 	// RetryDelay is the backoff before the first retry; it doubles on
 	// each subsequent attempt (default 50ms).
 	RetryDelay time.Duration
+	// BatchShare sets the batch lane's guaranteed slice of worker
+	// dequeues: when both lanes have waiting jobs, one in every
+	// BatchShare dequeues prefers batch and the rest prefer interactive
+	// (default 4, i.e. batch keeps >=25% of slots under an interactive
+	// flood). Negative gives strict interactive priority: batch runs
+	// only while the interactive lane is empty. The minimum meaningful
+	// share is 2 — a value of 1 would prefer batch on every dequeue and
+	// invert the anti-starvation guarantee, so it is clamped to 2.
+	BatchShare int
 	// Agent configures the diagnosis pipeline shared by all workers.
 	Agent ioagent.Options
 
@@ -125,6 +172,12 @@ func (c Config) withDefaults() Config {
 	if c.RetryDelay <= 0 {
 		c.RetryDelay = 50 * time.Millisecond
 	}
+	if c.BatchShare == 0 {
+		c.BatchShare = 4
+	}
+	if c.BatchShare == 1 {
+		c.BatchShare = 2
+	}
 	c.Agent = c.Agent.WithDefaults()
 	if c.now == nil {
 		c.now = time.Now
@@ -163,6 +216,7 @@ type JobInfo struct {
 	ID       string `json:"id"`
 	Digest   string `json:"digest"`
 	Status   Status `json:"status"`
+	Lane     Lane   `json:"lane"`
 	CacheHit bool   `json:"cache_hit"`
 	Attempts int    `json:"attempts"`
 	Error    string `json:"error,omitempty"`
@@ -176,6 +230,7 @@ type JobInfo struct {
 type Job struct {
 	id     string
 	digest string
+	lane   Lane
 	done   chan struct{}
 
 	mu        sync.Mutex
@@ -195,6 +250,9 @@ func (j *Job) ID() string { return j.id }
 
 // Digest returns the job's content address.
 func (j *Job) Digest() string { return j.digest }
+
+// Lane returns the priority lane the job was submitted on.
+func (j *Job) Lane() Lane { return j.lane }
 
 // Status returns the current lifecycle state.
 func (j *Job) Status() Status {
@@ -224,6 +282,7 @@ func (j *Job) Info() JobInfo {
 		ID:          j.id,
 		Digest:      j.digest,
 		Status:      j.status,
+		Lane:        j.lane,
 		CacheHit:    j.cacheHit,
 		Attempts:    j.attempts,
 		SubmittedAt: j.submitted,
@@ -259,8 +318,15 @@ type Pool struct {
 	cfg   Config
 	agent *ioagent.Agent
 	cache *cache
-	queue chan *Job
-	m     metrics
+	// queues holds one bounded channel per lane; workers drain both with
+	// a weighted preference for the interactive lane (see dequeue). Each
+	// lane has its own QueueDepth, so a batch flood backpressures batch
+	// submitters without blocking interactive ones.
+	queues map[Lane]chan *Job
+	// dequeues counts worker picks pool-wide; every BatchShare-th pick
+	// prefers the batch lane, which is what guarantees batch its share.
+	dequeues atomic.Int64
+	m        metrics
 
 	workerWG sync.WaitGroup // running workers
 	jobWG    sync.WaitGroup // outstanding jobs
@@ -292,13 +358,17 @@ type inflightEntry struct {
 func New(client llm.Client, cfg Config) *Pool {
 	cfg = cfg.withDefaults()
 	p := &Pool{
-		cfg:      cfg,
-		agent:    ioagent.New(client, cfg.Agent),
-		cache:    newCache(cfg.CacheSize, cfg.CacheTTL, cfg.now),
-		queue:    make(chan *Job, cfg.QueueDepth),
+		cfg:   cfg,
+		agent: ioagent.New(client, cfg.Agent),
+		cache: newCache(cfg.CacheSize, cfg.CacheTTL, cfg.now),
+		queues: map[Lane]chan *Job{
+			LaneInteractive: make(chan *Job, cfg.QueueDepth),
+			LaneBatch:       make(chan *Job, cfg.QueueDepth),
+		},
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*inflightEntry),
 	}
+	p.m.queuedByLane = make(map[Lane]int64, len(Lanes))
 	p.cache.onInsert = cfg.OnCacheInsert
 	p.cache.onEvict = cfg.OnCacheEvict
 	for i := 0; i < cfg.Workers; i++ {
@@ -319,12 +389,24 @@ func (p *Pool) emit(kind EventKind, j *Job, log *darshan.Log) {
 	}
 }
 
-// Submit enqueues a trace for diagnosis and returns immediately unless the
-// queue is full, in which case it blocks for backpressure. Three outcomes
-// are possible without any new pipeline work: a cache hit completes the
-// job instantly; a digest equal to an in-flight job coalesces onto it; and
-// only otherwise does the job occupy a worker.
+// Submit enqueues a trace for diagnosis on the interactive lane; see
+// SubmitWith for the full contract.
 func (p *Pool) Submit(log *darshan.Log) (*Job, error) {
+	return p.SubmitWith(log, SubmitOpts{})
+}
+
+// SubmitWith enqueues a trace for diagnosis on the requested lane and
+// returns immediately unless that lane's queue is full, in which case it
+// blocks for backpressure (each lane has its own QueueDepth, so a batch
+// flood never blocks interactive submitters). Three outcomes are possible
+// without any new pipeline work: a cache hit completes the job instantly;
+// a digest equal to an in-flight job coalesces onto it; and only
+// otherwise does the job occupy a worker.
+func (p *Pool) SubmitWith(log *darshan.Log, opts SubmitOpts) (*Job, error) {
+	lane := opts.Lane.withDefault()
+	if !lane.Valid() {
+		return nil, fmt.Errorf("fleet: unknown lane %q", opts.Lane)
+	}
 	digest, err := Digest(p.cfg.Agent, log)
 	if err != nil {
 		return nil, err
@@ -339,6 +421,7 @@ func (p *Pool) Submit(log *darshan.Log) (*Job, error) {
 	j := &Job{
 		id:        fmt.Sprintf("job-%06d", p.nextID),
 		digest:    digest,
+		lane:      lane,
 		done:      make(chan struct{}),
 		log:       log,
 		status:    StatusQueued,
@@ -397,7 +480,7 @@ func (p *Pool) Submit(log *darshan.Log) (*Job, error) {
 	p.inflight[digest] = &inflightEntry{primary: j}
 	p.m.mu.Lock()
 	p.m.misses++
-	p.m.queued++
+	p.m.queuedByLane[lane]++
 	p.m.mu.Unlock()
 	p.qmu.RLock() // before mu is released, so Close cannot slip between
 	p.mu.Unlock()
@@ -406,7 +489,7 @@ func (p *Pool) Submit(log *darshan.Log) (*Job, error) {
 	// send lands, so a write-ahead journal hooked here has durably
 	// recorded the submission before any worker can complete it.
 	p.emit(EventSubmitted, j, log)
-	p.queue <- j // blocks when the queue is full (backpressure)
+	p.queues[lane] <- j // blocks when the lane is full (backpressure)
 	p.qmu.RUnlock()
 	return j, nil
 }
@@ -506,17 +589,73 @@ func (p *Pool) Close() {
 	p.closed = true
 	p.mu.Unlock()
 	p.qmu.Lock() // wait for in-flight Submit sends to land
-	close(p.queue)
+	for _, q := range p.queues {
+		close(q)
+	}
 	p.qmu.Unlock()
 	p.workerWG.Wait()
 }
 
-// worker drains the queue, running one job at a time through the shared
-// agent with retry-on-transient-error semantics.
+// worker drains both lane queues, running one job at a time through the
+// shared agent with retry-on-transient-error semantics. A lane is retired
+// from the worker's view once it is closed and empty; the worker exits
+// when both lanes are.
 func (p *Pool) worker() {
 	defer p.workerWG.Done()
-	for j := range p.queue {
-		p.runJob(j)
+	iq, bq := p.queues[LaneInteractive], p.queues[LaneBatch]
+	for iq != nil || bq != nil {
+		if j, ok := p.dequeue(&iq, &bq); ok {
+			p.runJob(j)
+		}
+	}
+}
+
+// dequeue picks the next job with a weighted lane preference: interactive
+// wins, except every BatchShare-th pick (pool-wide) prefers batch so an
+// interactive flood cannot starve it, and batch always runs while the
+// interactive lane is idle. A closed-and-drained lane is nilled out in
+// the caller's view; ok=false means "no job this round, re-check the
+// loop condition".
+func (p *Pool) dequeue(iq, bq *chan *Job) (*Job, bool) {
+	pref, alt := iq, bq
+	if p.cfg.BatchShare > 0 && p.dequeues.Add(1)%int64(p.cfg.BatchShare) == 0 {
+		pref, alt = bq, iq
+	}
+	// Preferred lane, without blocking. A nil lane falls through to
+	// default (receive from a nil channel never fires inside select).
+	select {
+	case j, ok := <-*pref:
+		if !ok {
+			*pref = nil
+			return nil, false
+		}
+		return j, true
+	default:
+	}
+	// Other lane, still without blocking.
+	select {
+	case j, ok := <-*alt:
+		if !ok {
+			*alt = nil
+			return nil, false
+		}
+		return j, true
+	default:
+	}
+	// Both lanes empty: block until either delivers or closes.
+	select {
+	case j, ok := <-*iq:
+		if !ok {
+			*iq = nil
+			return nil, false
+		}
+		return j, true
+	case j, ok := <-*bq:
+		if !ok {
+			*bq = nil
+			return nil, false
+		}
+		return j, true
 	}
 }
 
@@ -541,7 +680,7 @@ func (p *Pool) runJob(j *Job) {
 	}
 	p.mu.Unlock()
 	p.m.mu.Lock()
-	p.m.queued--
+	p.m.queuedByLane[j.lane]--
 	p.m.running++
 	p.m.mu.Unlock()
 

@@ -25,9 +25,13 @@ type Snapshot struct {
 	// in-flight coalesced jobs.
 	Submitted int64 `json:"jobs_submitted"`
 	Queued    int64 `json:"jobs_queued"`
-	Running   int64 `json:"jobs_running"`
-	Done      int64 `json:"jobs_done"`
-	Failed    int64 `json:"jobs_failed"`
+	// QueuedInteractive / QueuedBatch break Queued down per priority
+	// lane (jobs waiting for a worker; running jobs are in neither).
+	QueuedInteractive int64 `json:"jobs_queued_interactive"`
+	QueuedBatch       int64 `json:"jobs_queued_batch"`
+	Running           int64 `json:"jobs_running"`
+	Done              int64 `json:"jobs_done"`
+	Failed            int64 `json:"jobs_failed"`
 
 	// Cache effectiveness. CacheHits are submissions answered instantly
 	// from the result cache; Coalesced are submissions attached to an
@@ -54,14 +58,16 @@ type Snapshot struct {
 type metrics struct {
 	mu        sync.Mutex
 	submitted int64
-	queued    int64
-	running   int64
-	done      int64
-	failed    int64
-	hits      int64
-	coalesced int64
-	misses    int64
-	retries   int64
+	// queuedByLane is the only queued-job state; the snapshot's total is
+	// derived from it, so the counters cannot drift apart.
+	queuedByLane map[Lane]int64
+	running      int64
+	done         int64
+	failed       int64
+	hits         int64
+	coalesced    int64
+	misses       int64
+	retries      int64
 
 	latencies []time.Duration
 	latIdx    int
@@ -98,18 +104,20 @@ func (m *metrics) snapshot(workers, cacheLen int) Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Snapshot{
-		Workers:     workers,
-		Submitted:   m.submitted,
-		Queued:      m.queued,
-		Running:     m.running,
-		Done:        m.done,
-		Failed:      m.failed,
-		CacheHits:   m.hits,
-		Coalesced:   m.coalesced,
-		CacheMisses: m.misses,
-		Retries:     m.retries,
-		CacheLen:    cacheLen,
+		Workers:           workers,
+		Submitted:         m.submitted,
+		QueuedInteractive: m.queuedByLane[LaneInteractive],
+		QueuedBatch:       m.queuedByLane[LaneBatch],
+		Running:           m.running,
+		Done:              m.done,
+		Failed:            m.failed,
+		CacheHits:         m.hits,
+		Coalesced:         m.coalesced,
+		CacheMisses:       m.misses,
+		Retries:           m.retries,
+		CacheLen:          cacheLen,
 	}
+	s.Queued = s.QueuedInteractive + s.QueuedBatch
 	if s.Submitted > 0 {
 		s.HitRate = float64(s.CacheHits+s.Coalesced) / float64(s.Submitted)
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ioagent/internal/darshan"
+	"ioagent/internal/fleet"
 )
 
 // journalName is the write-ahead journal file inside the state directory.
@@ -31,6 +32,9 @@ type record struct {
 	Op     string    `json:"op"`
 	ID     string    `json:"id,omitempty"`
 	Digest string    `json:"digest,omitempty"`
+	// Lane is the submission's priority lane; absent in journals written
+	// before lanes existed, which replay as the default lane.
+	Lane   string    `json:"lane,omitempty"`
 	At     time.Time `json:"at,omitzero"`
 	Error  string    `json:"error,omitempty"`
 	Reason string    `json:"reason,omitempty"`
@@ -44,6 +48,7 @@ type record struct {
 type PendingJob struct {
 	ID          string // the ID in the PREVIOUS process; replay assigns a new one
 	Digest      string
+	Lane        fleet.Lane // empty in pre-lane journals (replays as default)
 	SubmittedAt time.Time
 	Log         *darshan.Log
 }
@@ -91,13 +96,14 @@ func scanJournal(path string) (pending []PendingJob, raw map[string][]byte, vali
 				warnings = append(warnings, fmt.Sprintf("journal: skipping submit %s with undecodable trace: %v", rec.ID, derr))
 				break
 			}
+			p := PendingJob{ID: rec.ID, Digest: rec.Digest, Lane: fleet.Lane(rec.Lane), SubmittedAt: rec.At, Log: log}
 			if i, dup := byID[rec.ID]; dup {
-				pending[i] = PendingJob{ID: rec.ID, Digest: rec.Digest, SubmittedAt: rec.At, Log: log}
+				pending[i] = p
 				raw[rec.ID] = append([]byte(nil), line...)
 				break
 			}
 			byID[rec.ID] = len(pending)
-			pending = append(pending, PendingJob{ID: rec.ID, Digest: rec.Digest, SubmittedAt: rec.At, Log: log})
+			pending = append(pending, p)
 			raw[rec.ID] = append([]byte(nil), line...)
 		case opDone, opFail, opReplayed:
 			if i, ok := byID[rec.ID]; ok {

@@ -177,7 +177,18 @@ func (s *Store) Replay(p *fleet.Pool) (restored, resubmitted int, err error) {
 	restored = len(entries)
 
 	for _, job := range rec.Pending {
-		if _, serr := p.Submit(job.Log); serr != nil {
+		// The lane survives the restart: an interactive job keeps its
+		// priority, a batch job keeps yielding it. Pre-lane journal
+		// records have no lane and replay on the default; so does a lane
+		// this build doesn't know (e.g. written by a newer minor version,
+		// whose contract allows added lanes) — a single odd record must
+		// degrade, not brick the boot.
+		lane := job.Lane
+		if lane != "" && !lane.Valid() {
+			s.opts.Logf("store: replay %s: unknown lane %q, using the default", job.ID, lane)
+			lane = ""
+		}
+		if _, serr := p.SubmitWith(job.Log, fleet.SubmitOpts{Lane: lane}); serr != nil {
 			return restored, resubmitted, fmt.Errorf("store: replay %s: %w", job.ID, serr)
 		}
 		resubmitted++
@@ -212,7 +223,7 @@ func (s *Store) OnJobEvent(ev fleet.Event) {
 		}
 		s.append(record{
 			Op: opSubmit, ID: ev.Job.ID, Digest: ev.Job.Digest,
-			At: ev.Job.SubmittedAt, Trace: buf.Bytes(),
+			Lane: string(ev.Job.Lane), At: ev.Job.SubmittedAt, Trace: buf.Bytes(),
 		})
 	case fleet.EventDone:
 		s.cover(record{Op: opDone, ID: ev.Job.ID, Digest: ev.Job.Digest, At: ev.Job.FinishedAt})

@@ -335,3 +335,109 @@ func TestSnapshotAtomicWriteLeavesNoTemp(t *testing.T) {
 		t.Errorf("round trip = (%v, %v, %v)", entries, warns, err)
 	}
 }
+
+// TestJournalPersistsLaneAcrossRestart pins the priority-lane durability
+// contract: a batch-lane submission journaled by one process replays onto
+// the batch lane in the next, and pre-lane journal records (no lane
+// field) replay on the default lane instead of failing.
+func TestJournalPersistsLaneAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	ev := submitEvent("job-000001", "d1", testTrace(1))
+	ev.Job.Lane = fleet.LaneBatch
+	s.OnJobEvent(ev)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	rec := s2.Recovered()
+	if len(rec.Pending) != 1 || rec.Pending[0].Lane != fleet.LaneBatch {
+		t.Fatalf("recovered pending = %+v, want the batch lane preserved", rec.Pending)
+	}
+
+	pool := fleet.New(llm.NewSim(), testConfig(1, s2))
+	defer pool.Close()
+	if _, _, err := s2.Replay(pool); err != nil {
+		t.Fatal(err)
+	}
+	pool.Wait()
+	jobs := pool.Jobs()
+	if len(jobs) != 1 || jobs[0].Lane() != fleet.LaneBatch {
+		t.Fatalf("replayed job lane = %v, want batch", jobs)
+	}
+}
+
+// TestJournalPreLaneRecordReplaysOnDefault feeds a journal line written
+// before lanes existed (no "lane" key) through recovery.
+func TestJournalPreLaneRecordReplaysOnDefault(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	s.OnJobEvent(submitEvent("job-000001", "d1", testTrace(1)))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The event above carried no lane, exactly like an old journal.
+	data, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte(`"lane"`)) {
+		t.Fatalf("laneless submit should journal without a lane key: %s", data)
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	pool := fleet.New(llm.NewSim(), testConfig(1, s2))
+	defer pool.Close()
+	if _, _, err := s2.Replay(pool); err != nil {
+		t.Fatal(err)
+	}
+	pool.Wait()
+	jobs := pool.Jobs()
+	if len(jobs) != 1 || jobs[0].Lane() != fleet.LaneInteractive {
+		t.Fatalf("pre-lane replay lane = %v, want the interactive default", jobs)
+	}
+}
+
+// TestReplayUnknownLaneFallsBackToDefault: a journal record carrying a
+// lane this build doesn't know (newer minor version, corrupt field) must
+// replay on the default lane with a warning — never abort recovery and
+// crash-loop the daemon.
+func TestReplayUnknownLaneFallsBackToDefault(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	ev := submitEvent("job-000001", "d1", testTrace(1))
+	ev.Job.Lane = "express" // not a lane this build knows
+	s.OnJobEvent(ev)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var warned []string
+	s2 := mustOpen(t, dir, Options{Logf: func(format string, args ...any) {
+		warned = append(warned, fmt.Sprintf(format, args...))
+		t.Logf(format, args...)
+	}})
+	defer s2.Close()
+	pool := fleet.New(llm.NewSim(), testConfig(1, s2))
+	defer pool.Close()
+	if _, resubmitted, err := s2.Replay(pool); err != nil || resubmitted != 1 {
+		t.Fatalf("replay = %d resubmitted, %v; unknown lane must not abort recovery", resubmitted, err)
+	}
+	pool.Wait()
+	jobs := pool.Jobs()
+	if len(jobs) != 1 || jobs[0].Lane() != fleet.LaneInteractive {
+		t.Fatalf("unknown-lane replay = %v, want the interactive default", jobs)
+	}
+	found := false
+	for _, w := range warned {
+		if strings.Contains(w, "unknown lane") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("fallback must be warned about, got %v", warned)
+	}
+}

@@ -57,10 +57,19 @@ type Agent struct {
 	index      *vectordb.Index
 	opts       Options
 
-	mu    sync.Mutex
-	usage llm.Usage
-	cost  float64
-	calls int
+	mu      sync.Mutex
+	usage   llm.Usage
+	cost    float64
+	calls   int
+	byModel map[string]ModelStats
+}
+
+// ModelStats is the accumulated usage of one model across an agent's
+// calls, as reported by StatsByModel.
+type ModelStats struct {
+	Usage   llm.Usage
+	CostUSD float64
+	Calls   int
 }
 
 // New builds an agent. A nil index in opts selects the built-in 66-document
@@ -95,6 +104,15 @@ func (a *Agent) addCostLocked(resp llm.Response) {
 	a.usage.CompletionTokens += resp.Usage.CompletionTokens
 	a.cost += resp.CostUSD
 	a.calls++
+	if a.byModel == nil {
+		a.byModel = make(map[string]ModelStats)
+	}
+	ms := a.byModel[resp.Model]
+	ms.Usage.PromptTokens += resp.Usage.PromptTokens
+	ms.Usage.CompletionTokens += resp.Usage.CompletionTokens
+	ms.CostUSD += resp.CostUSD
+	ms.Calls++
+	a.byModel[resp.Model] = ms
 }
 
 // Stats reports accumulated usage across all calls made by the agent.
@@ -102,6 +120,19 @@ func (a *Agent) Stats() (usage llm.Usage, costUSD float64, calls int) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.usage, a.cost, a.calls
+}
+
+// StatsByModel breaks Stats down per model (the diagnosis model and the
+// cheap self-reflection model accumulate separately). The returned map is
+// a copy and safe to retain.
+func (a *Agent) StatsByModel() map[string]ModelStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]ModelStats, len(a.byModel))
+	for model, ms := range a.byModel {
+		out[model] = ms
+	}
+	return out
 }
 
 // FragmentResult records the intermediate artifacts of one fragment's

@@ -269,3 +269,43 @@ func TestDisableRAGRemovesReferences(t *testing.T) {
 		t.Errorf("RAG disabled but report cites %v", res.Report.AllRefs())
 	}
 }
+
+func TestStatsByModelSplitsUsage(t *testing.T) {
+	agent := New(llm.NewSim(), Options{})
+	if _, err := agent.Diagnose(problemLog()); err != nil {
+		t.Fatal(err)
+	}
+	byModel := agent.StatsByModel()
+	// The pipeline uses two models: the diagnosis model and the cheap
+	// self-reflection filter. Both must accumulate separately.
+	for _, model := range []string{llm.GPT4o, llm.GPT4oMini} {
+		ms, ok := byModel[model]
+		if !ok {
+			t.Fatalf("StatsByModel missing %s (have %v)", model, byModel)
+		}
+		if ms.Calls == 0 || ms.Usage.Total() == 0 {
+			t.Errorf("%s stats = %+v, want nonzero calls and tokens", model, ms)
+		}
+	}
+	// Per-model rows must sum to the aggregate Stats.
+	usage, cost, calls := agent.Stats()
+	var sumTokens, sumCalls int
+	var sumCost float64
+	for _, ms := range byModel {
+		sumTokens += ms.Usage.Total()
+		sumCalls += ms.Calls
+		sumCost += ms.CostUSD
+	}
+	if sumTokens != usage.Total() || sumCalls != calls {
+		t.Errorf("per-model sums (%d tokens, %d calls) != aggregate (%d, %d)",
+			sumTokens, sumCalls, usage.Total(), calls)
+	}
+	if diff := sumCost - cost; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("per-model cost sum %g != aggregate %g", sumCost, cost)
+	}
+	// The returned map is a copy: mutating it must not corrupt the agent.
+	byModel[llm.GPT4o] = ModelStats{}
+	if again := agent.StatsByModel(); again[llm.GPT4o].Calls == 0 {
+		t.Error("StatsByModel must return a defensive copy")
+	}
+}

@@ -1,0 +1,60 @@
+#!/bin/sh
+# e2e-smoke.sh — CI smoke test for the versioned wire API.
+#
+# Builds both binaries under the race detector, boots iofleetd on an
+# ephemeral port, and round-trips one TraceBench trace through
+# `ioagent -server` (the internal/fleet/client SDK) on each priority
+# lane. Run from the repository root; exits non-zero on any failure.
+set -eu
+
+workdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "== building binaries (-race)"
+go build -race -o "$workdir/iofleetd" ./cmd/iofleetd
+go build -race -o "$workdir/ioagent" ./cmd/ioagent
+go build -o "$workdir/tracebench" ./cmd/tracebench
+
+echo "== materializing traces"
+"$workdir/tracebench" -out "$workdir/traces" >/dev/null
+
+echo "== booting iofleetd on an ephemeral port"
+"$workdir/iofleetd" -addr 127.0.0.1:0 -workers 2 2>"$workdir/daemon.log" &
+daemon_pid=$!
+
+addr=""
+i=0
+while [ "$i" -lt 100 ]; do
+    addr=$(sed -n 's/.*listening on \(127\.0\.0\.1:[0-9]*\).*/\1/p' "$workdir/daemon.log" | head -1)
+    [ -n "$addr" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || { echo "daemon exited early:"; cat "$workdir/daemon.log"; exit 1; }
+    i=$((i + 1))
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "daemon never reported its address:"; cat "$workdir/daemon.log"; exit 1; }
+echo "   daemon at $addr"
+
+trace=$(ls "$workdir"/traces/*.darshan | head -1)
+echo "== round-tripping $(basename "$trace") through ioagent -server"
+"$workdir/ioagent" -server "http://$addr" -lane interactive "$trace" >"$workdir/interactive.out"
+grep -q "I/O" "$workdir/interactive.out" || { echo "interactive diagnosis looks empty:"; cat "$workdir/interactive.out"; exit 1; }
+
+# The same trace on the batch lane must be answered from the result
+# cache — the digest-addressed store is shared across lanes.
+"$workdir/ioagent" -server "http://$addr" -lane batch "$trace" >"$workdir/batch.out"
+grep -q "cache hit" "$workdir/batch.out" || { echo "batch resubmit was not a cache hit:"; cat "$workdir/batch.out"; exit 1; }
+
+echo "== checking Prometheus exposition"
+curl -sf -H 'Accept: text/plain' "http://$addr/metrics" | grep -q '^fleet_jobs_done_total' \
+    || { echo "/metrics text exposition missing fleet_jobs_done_total"; exit 1; }
+
+echo "== clean shutdown"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || true
+daemon_pid=""
+echo "e2e smoke OK"

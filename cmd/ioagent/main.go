@@ -5,7 +5,7 @@
 //
 //	ioagent [-model NAME] [-interactive] [-show-fragments] <trace>
 //	ioagent -fleet N [-model NAME] <trace> [trace ...]
-//	ioagent -server URL [-lane interactive|batch] <trace> [trace ...]
+//	ioagent -server URL[,URL...] [-lane interactive|batch] [-tenant NAME] <trace> [trace ...]
 //
 // Traces may be binary logs (as written by cmd/tracebench) or
 // darshan-parser text. With -interactive, questions are read from stdin
@@ -14,8 +14,13 @@
 // report prints with its job header, followed by the pool metrics. With
 // -server URL, the same batch flow instead drives a remote iofleetd
 // daemon through the versioned API client (internal/fleet/client): traces
-// are submitted on the chosen priority lane, polled to completion, and
-// the daemon's metrics print at the end.
+// are submitted on the chosen priority lane (and tenant, for per-tenant
+// accounting), polled to completion, and the daemon's metrics print at
+// the end. A comma-separated -server list engages the SDK's cluster mode:
+// submissions are routed client-side by consistent hash across the named
+// iofleetd nodes — no router hop — with automatic failover to ring
+// successors. (Pointing -server at a single iofleet-router URL reaches
+// the same fleet through the server-side route.)
 package main
 
 import (
@@ -43,8 +48,9 @@ func main() {
 	noRAG := flag.Bool("no-rag", false, "disable retrieval (ablation)")
 	oneShot := flag.Bool("one-shot-merge", false, "replace the tree merge with a single merge call (ablation)")
 	fleetN := flag.Int("fleet", 0, "batch mode: diagnose all traces with N concurrent workers")
-	server := flag.String("server", "", "remote mode: diagnose through the iofleetd daemon at this base URL")
+	server := flag.String("server", "", "remote mode: diagnose through the iofleetd daemon (or iofleet-router) at this base URL; a comma-separated list routes client-side across the fleet")
 	lane := flag.String("lane", "", "priority lane for -server submissions: interactive (default) or batch")
+	tenant := flag.String("tenant", "", "tenant identifier for -server submissions (per-tenant accounting)")
 	flag.Parse()
 
 	opts := ioagent.Options{
@@ -69,7 +75,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "ioagent: -%s is ignored in -server mode (the daemon owns the pipeline configuration)\n", f.Name)
 			}
 		})
-		runServer(*server, api.Lane(*lane), flag.Args())
+		runServer(*server, api.Lane(*lane), *tenant, flag.Args())
 		return
 	}
 
@@ -171,20 +177,39 @@ func runFleet(workers int, opts ioagent.Options, paths []string) {
 	}
 }
 
+// fleetAPI is the slice of the SDK surface runServer drives; both the
+// single-endpoint Client and the multi-node Cluster satisfy it.
+type fleetAPI interface {
+	Submit(ctx context.Context, req api.SubmitRequest) (api.JobInfo, error)
+	WaitDiagnosis(ctx context.Context, id string) (api.Diagnosis, error)
+	Metrics(ctx context.Context) (api.Metrics, error)
+	Close()
+}
+
 // runServer batch-diagnoses every path through a remote iofleetd daemon
+// (or, with a comma-separated URL list, client-side across a whole fleet)
 // via the versioned API client: raw trace bytes are submitted on the
-// requested lane (the daemon sniffs binary vs parser text exactly like
-// the local loader), polled to completion, and printed in order.
-func runServer(baseURL string, lane api.Lane, paths []string) {
+// requested lane and tenant (the daemon sniffs binary vs parser text
+// exactly like the local loader), polled to completion, and printed in
+// order.
+func runServer(baseURL string, lane api.Lane, tenant string, paths []string) {
 	ctx := context.Background()
-	c := client.New(baseURL)
+	var c fleetAPI
+	if members := strings.Split(baseURL, ","); len(members) > 1 {
+		cluster, err := client.NewCluster(members)
+		check(err)
+		c = cluster
+	} else {
+		c = client.New(baseURL)
+	}
+	defer c.Close()
 
 	ids := make([]string, len(paths))
 	raws := make([][]byte, len(paths))
 	for i, path := range paths {
 		raw, err := os.ReadFile(path)
 		check(err)
-		info, err := c.Submit(ctx, api.SubmitRequest{Lane: lane, Trace: raw})
+		info, err := c.Submit(ctx, api.SubmitRequest{Lane: lane, Tenant: tenant, Trace: raw})
 		check(err)
 		ids[i] = info.ID
 		raws[i] = raw
@@ -195,11 +220,13 @@ func runServer(baseURL string, lane api.Lane, paths []string) {
 		diag, err := c.WaitDiagnosis(ctx, id)
 		if api.ErrorCode(err) == api.CodeJobNotFound {
 			// The job finished and was pruned from the daemon's bounded
-			// history while we polled earlier submissions. Its diagnosis
-			// still lives in the digest-addressed cache, so an idempotent
-			// resubmit of the same bytes recovers it as an instant hit.
+			// history while we polled earlier submissions — or, in a
+			// cluster, the node that held it died. Its diagnosis still
+			// lives in the digest-addressed cache (or is recomputed by the
+			// ring successor), so an idempotent resubmit of the same bytes
+			// recovers it.
 			var info api.JobInfo
-			if info, err = c.Submit(ctx, api.SubmitRequest{Lane: lane, Trace: raws[i]}); err == nil {
+			if info, err = c.Submit(ctx, api.SubmitRequest{Lane: lane, Tenant: tenant, Trace: raws[i]}); err == nil {
 				id = info.ID
 				diag, err = c.WaitDiagnosis(ctx, id)
 			}

@@ -9,11 +9,19 @@
 // write-ahead journal and serves previously diagnosed traces from a disk
 // snapshot.
 //
+// In a multi-node fleet each daemon runs with -node-id: job IDs gain the
+// node prefix ("n1-job-000042"), every response carries X-Fleet-Node, and
+// the metrics document advertises the id — which is how iofleet-router
+// (and the SDK's cluster mode) route job lookups back to the node that
+// accepted them. The HTTP surface itself lives in internal/fleet/server,
+// shared with the router.
+//
 // Usage:
 //
 //	iofleetd [-addr :8080] [-workers 4] [-cache-size 1024] [-cache-ttl 1h]
 //	         [-retries 3] [-model NAME] [-cheap-model NAME] [-api-latency 0]
-//	         [-max-body 67108864] [-batch-share 4]
+//	         [-max-body 67108864] [-batch-share 4] [-node-id NAME]
+//	         [-breaker 8] [-breaker-cooldown 5s]
 //	         [-state-dir DIR] [-snapshot-interval 30s] [-fsync always|batch|off]
 //
 // Endpoints (all speak api.Version 1.x, advertised and negotiated via the
@@ -45,18 +53,25 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"regexp"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"ioagent/internal/fleet"
+	"ioagent/internal/fleet/server"
 	"ioagent/internal/fleet/store"
 	"ioagent/internal/ioagent"
 	"ioagent/internal/llm"
 )
 
+// nodeIDPattern keeps -node-id values header- and URL-safe, and free of
+// surprises in job-ID prefix parsing.
+var nodeIDPattern = regexp.MustCompile(`^[A-Za-z0-9._-]*$`)
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	nodeID := flag.String("node-id", "", "this daemon's fleet identity: prefixes job IDs and stamps X-Fleet-Node (required per node in a multi-node fleet; empty for a single daemon)")
 	workers := flag.Int("workers", 4, "concurrent diagnosis workers")
 	queueDepth := flag.Int("queue", 0, "max queued jobs per lane before submits block (0 = 8*workers)")
 	cacheSize := flag.Int("cache-size", 1024, "result cache entries (negative disables)")
@@ -67,19 +82,27 @@ func main() {
 	apiLatency := flag.Duration("api-latency", 0, "simulated model API round-trip latency")
 	maxBody := flag.Int64("max-body", 64<<20, "max trace upload size in bytes (exceeding it returns trace_too_large)")
 	batchShare := flag.Int("batch-share", 0, "1 in N worker slots goes to the batch lane under interactive load (0 = default 4, negative = strict interactive priority)")
+	breaker := flag.Int("breaker", 8, "circuit breaker: consecutive transient LLM failures before new work fails fast (0 disables)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker waits before a half-open probe")
 	stateDir := flag.String("state-dir", "", "directory for the job journal and cache snapshot (empty = in-memory only)")
 	snapInterval := flag.Duration("snapshot-interval", 30*time.Second, "cache snapshot + journal compaction cadence (with -state-dir)")
 	fsync := flag.String("fsync", "always", "journal durability: always (fsync per record), batch (fsync at checkpoints), off")
 	flag.Parse()
 
+	if !nodeIDPattern.MatchString(*nodeID) {
+		log.Fatalf("iofleetd: -node-id %q: only letters, digits, '.', '_', '-' are allowed", *nodeID)
+	}
 	cfg := fleet.Config{
-		Workers:     *workers,
-		QueueDepth:  *queueDepth,
-		CacheSize:   *cacheSize,
-		CacheTTL:    *cacheTTL,
-		MaxAttempts: *retries,
-		BatchShare:  *batchShare,
-		Agent:       ioagent.Options{Model: *model, CheapModel: *cheap},
+		NodeID:           *nodeID,
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		CacheSize:        *cacheSize,
+		CacheTTL:         *cacheTTL,
+		MaxAttempts:      *retries,
+		BatchShare:       *batchShare,
+		BreakerThreshold: *breaker,
+		BreakerCooldown:  *breakerCooldown,
+		Agent:            ioagent.Options{Model: *model, CheapModel: *cheap},
 	}
 	// Permanent job failures surface on the wire only as the stable
 	// diagnosis_failed code; the real error chain lands here, server-side.
@@ -126,7 +149,10 @@ func main() {
 	// refused (and the refusal journaled) instead of being accepted into a
 	// pool that is about to stop.
 	var draining atomic.Bool
-	mux := newMux(pool, st, &draining, *maxBody)
+	mux := server.NewMux(server.Config{
+		Pool: pool, Store: st, Draining: &draining,
+		MaxBody: *maxBody, NodeID: *nodeID,
+	})
 	// Listen explicitly (rather than ListenAndServe) so ":0" resolves to a
 	// real port in the startup log — the e2e recovery test depends on it.
 	ln, err := net.Listen("tcp", *addr)
@@ -168,7 +194,11 @@ func main() {
 		}
 		close(drained)
 	}()
-	log.Printf("iofleetd: listening on %s (%d workers, model %s)", ln.Addr(), *workers, *model)
+	nodeNote := ""
+	if *nodeID != "" {
+		nodeNote = " as node " + *nodeID
+	}
+	log.Printf("iofleetd: listening on %s%s (%d workers, model %s)", ln.Addr(), nodeNote, *workers, *model)
 	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}

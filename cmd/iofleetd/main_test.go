@@ -7,25 +7,20 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"net/http/httptest"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"testing"
 	"time"
 
 	"ioagent/internal/darshan"
 	"ioagent/internal/fleet"
 	"ioagent/internal/fleet/api"
-	"ioagent/internal/fleet/store"
 	"ioagent/internal/ioagent"
 	"ioagent/internal/iosim"
-	"ioagent/internal/knowledge"
-	"ioagent/internal/llm"
 )
 
 // e2eTrace builds a deterministic small-write trace; distinct seeds give
@@ -285,68 +280,4 @@ func waitSnapshotEntries(t *testing.T, stateDir string, n int, timeout time.Dura
 		time.Sleep(25 * time.Millisecond)
 	}
 	t.Fatalf("snapshot at %s never reached %d entries", path, n)
-}
-
-// TestMuxDrainRejectsAndJournals pins the drain behavior deterministically:
-// once draining flips, POST /v1/jobs answers 503 and the refusal lands in
-// the journal, while read endpoints keep serving.
-func TestMuxDrainRejectsAndJournals(t *testing.T) {
-	dir := t.TempDir()
-	st, err := store.Open(dir, store.Options{Logf: t.Logf})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer st.Close()
-	pool := fleet.New(llm.NewSim(), fleet.Config{
-		Workers: 1,
-		Agent:   ioagent.Options{Index: knowledge.BuildIndex()},
-	})
-	defer pool.Close()
-	var draining atomic.Bool
-	srv := httptest.NewServer(newMux(pool, st, &draining, 64<<20))
-	defer srv.Close()
-
-	raw := encodeTraceBytes(t, e2eTrace(3))
-
-	// Healthy: accepted.
-	resp, err := http.Post(srv.URL+"/v1/jobs", "application/octet-stream", bytes.NewReader(raw))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("pre-drain submit = %s, want 202", resp.Status)
-	}
-
-	// Draining: refused with 503 and journaled.
-	draining.Store(true)
-	resp, err = http.Post(srv.URL+"/v1/jobs", "application/octet-stream", bytes.NewReader(raw))
-	if err != nil {
-		t.Fatal(err)
-	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("drain submit = %s, want 503", resp.Status)
-	}
-	if !strings.Contains(string(body), "draining") {
-		t.Errorf("drain error body = %s, want a draining explanation", body)
-	}
-	journal, err := os.ReadFile(filepath.Join(dir, "journal.wal"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(string(journal), `"op":"reject"`) || !strings.Contains(string(journal), "draining") {
-		t.Errorf("journal should record the refusal, got %q", journal)
-	}
-
-	// Reads still work mid-drain.
-	resp, err = http.Get(srv.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Errorf("metrics during drain = %s, want 200", resp.Status)
-	}
 }

@@ -3,21 +3,32 @@
 // backend, and watch the serving-layer mechanisms earn their keep: worker
 // concurrency overlaps API latency, retries absorb transient backend
 // errors, and the content-addressed cache makes the second submission of
-// every trace free. A final act checkpoints the pool to disk and replays
+// every trace free. Act three checkpoints the pool to disk and replays
 // it into a brand-new pool — the iofleetd -state-dir restart path — so the
-// third batch is free too, across a simulated process death.
+// third batch is free too, across a simulated process death. Act four
+// shows priority lanes; act five boots a miniature two-node cluster
+// behind iofleet-router's dispatch layer, shards a batch by consistent
+// hash, then kills a node and watches the ring successor absorb its work.
 //
 //	go run ./examples/fleet
 package main
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"log"
+	"net/http/httptest"
 	"os"
+	"strings"
 	"time"
 
 	"ioagent/internal/darshan"
 	"ioagent/internal/fleet"
+	"ioagent/internal/fleet/api"
+	"ioagent/internal/fleet/client"
+	"ioagent/internal/fleet/router"
+	"ioagent/internal/fleet/server"
 	"ioagent/internal/fleet/store"
 	"ioagent/internal/iosim"
 	"ioagent/internal/llm"
@@ -174,4 +185,78 @@ func main() {
 	lanePool.Wait()
 	fmt.Printf("\npriority lanes: interactive job served in %v while %d/8 batch jobs still waited behind it\n",
 		interactiveWait.Round(time.Millisecond), pendingBatch)
+
+	// Act five: a two-node cluster. Each node is a real daemon surface
+	// (internal/fleet/server) over its own pool; the router shards
+	// submissions across them by consistent hash on the trace bytes and
+	// fails over to the ring successor when a node dies — exactly what
+	// `iofleetd -node-id` x N behind `iofleet-router` does on real ports.
+	ctx := context.Background()
+	type clusterNode struct {
+		id   string
+		pool *fleet.Pool
+		srv  *httptest.Server
+	}
+	var nodes []*clusterNode
+	for _, id := range []string{"nodeA", "nodeB"} {
+		p := fleet.New(backend, fleet.Config{Workers: 4, MaxAttempts: 6, NodeID: id})
+		s := httptest.NewServer(server.NewMux(server.Config{Pool: p, NodeID: id}))
+		nodes = append(nodes, &clusterNode{id: id, pool: p, srv: s})
+		defer p.Close()
+		defer s.Close()
+	}
+	rt, err := router.New(router.Config{
+		Members:       []string{nodes[0].srv.URL, nodes[1].srv.URL},
+		ClientOptions: []client.Option{client.WithRetry(1, 10*time.Millisecond)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	c := client.New(front.URL, client.WithPollInterval(10*time.Millisecond))
+	defer c.Close()
+
+	perNode := map[string]int{}
+	var lastRaw []byte
+	for i := 0; i < 8; i++ {
+		var buf bytes.Buffer
+		if err := darshan.Encode(&buf, makeTrace(int64(400+i))); err != nil {
+			log.Fatal(err)
+		}
+		raw := buf.Bytes()
+		info, err := c.Submit(ctx, api.SubmitRequest{Lane: api.LaneBatch, Tenant: "demo", Trace: raw})
+		if err != nil {
+			log.Fatal(err)
+		}
+		node, _, _ := strings.Cut(info.ID, "-job-")
+		perNode[node]++
+		lastRaw = raw
+		if _, err := c.WaitDiagnosis(ctx, info.ID); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("\ncluster: 8 traces sharded by digest -> nodeA:%d nodeB:%d (tenant \"demo\" accounted on both)\n",
+		perNode["nodeA"], perNode["nodeB"])
+
+	// Kill whichever node owns the last trace and resubmit it: the router
+	// walks the ring to the survivor, which re-runs the work — safe
+	// because submissions are idempotent by digest.
+	ownerURL := rt.Route(lastRaw)[0]
+	for _, n := range nodes {
+		if n.srv.URL == ownerURL {
+			fmt.Printf("cluster: killing %s (owner of the last trace)...\n", n.id)
+			n.srv.Close()
+		}
+	}
+	info, err := c.Submit(ctx, api.SubmitRequest{Trace: lastRaw})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.WaitDiagnosis(ctx, info.ID); err != nil {
+		log.Fatal(err)
+	}
+	survivor, _, _ := strings.Cut(info.ID, "-job-")
+	fmt.Printf("cluster: resubmission failed over to %s and completed (job %s)\n", survivor, info.ID)
 }

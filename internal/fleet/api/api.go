@@ -4,8 +4,8 @@
 // between client and server.
 //
 // The package is deliberately dependency-free (standard library only) so
-// that consumers — internal/fleet/client, external tooling, a future
-// multi-node router — can speak the protocol without linking the pool,
+// that consumers — internal/fleet/client, external tooling, the
+// iofleet-router front — can speak the protocol without linking the pool,
 // the diagnosis pipeline, or the knowledge corpus.
 //
 // # Compatibility invariants
@@ -39,8 +39,27 @@ import (
 // response.
 const VersionHeader = "X-Fleet-Api-Version"
 
-// Current is the protocol version this tree speaks.
-var Current = Version{Major: 1, Minor: 0}
+// NodeHeader names the fleet member (daemon -node-id, or a router's -id)
+// that produced a response. Single daemons without a node id omit it.
+// Clients never need it to parse a payload; it exists for operators
+// tracing which node answered, and for the cluster SDK's health view.
+const NodeHeader = "X-Fleet-Node"
+
+// ForwardedHeader marks a request that already traversed an iofleet-router
+// (the value is the router's id). Routers forward only to daemons, never
+// to other routers: a router receiving a request that carries this header
+// refuses it with CodeLoopDetected, which is what keeps a misconfigured
+// member list (a router listing itself, or a cycle of routers) from
+// ricocheting a submission forever.
+const ForwardedHeader = "X-Fleet-Forwarded-By"
+
+// Current is the protocol version this tree speaks. Minor 1 added the
+// cluster vocabulary: node identity (NodeHeader, Metrics.Node), the
+// forwarded-hop header, SubmitRequest.Tenant, per-tenant and per-node
+// metrics fields, the cluster-health payload, and the loop_detected /
+// node_down / breaker_open error codes — all additive, per the
+// compatibility invariants above.
+var Current = Version{Major: 1, Minor: 1}
 
 // Version is a major.minor protocol version. Majors are incompatible;
 // minors are additive within a major.
@@ -114,14 +133,26 @@ const (
 // Terminal reports whether the status is final.
 func (s Status) Terminal() bool { return s == StatusDone || s == StatusFailed }
 
+// MaxTenantLen bounds the Tenant identifier; longer values are refused
+// with CodeBadRequest so an attacker cannot inflate per-tenant metric
+// labels without bound.
+const MaxTenantLen = 128
+
 // SubmitRequest is one trace submission. The trace bytes travel as the
 // POST /v1/jobs body (binary Darshan log or darshan-parser text — the
-// server sniffs); the lane travels as the "lane" query parameter. The
-// struct exists so programmatic callers have one typed value to build and
-// so future fields (tenant, deadline, callbacks) have a home.
+// server sniffs); the lane and tenant travel as the "lane" and "tenant"
+// query parameters. The struct exists so programmatic callers have one
+// typed value to build and so future fields (deadline, callbacks) have a
+// home.
 type SubmitRequest struct {
 	// Lane selects the priority class; empty means LaneInteractive.
 	Lane Lane `json:"lane,omitempty"`
+	// Tenant names the submitting tenant for accounting (per-tenant job
+	// counts in Metrics; the groundwork for per-tenant fairness). Empty is
+	// valid — anonymous submissions are counted under no tenant. The
+	// tenant never contributes to the trace digest: identical bytes from
+	// two tenants share one cached diagnosis.
+	Tenant string `json:"tenant,omitempty"`
 	// Trace is the encoded trace body. Submissions are idempotent by
 	// content: the server addresses work by trace digest, so resubmitting
 	// identical bytes coalesces onto the in-flight job or answers from
@@ -132,10 +163,13 @@ type SubmitRequest struct {
 // JobInfo is the wire snapshot of one submitted job, returned by
 // POST /v1/jobs (202), GET /v1/jobs (list) and GET /v1/jobs/{id}.
 type JobInfo struct {
-	ID       string `json:"id"`
-	Digest   string `json:"digest"`
-	Status   Status `json:"status"`
-	Lane     Lane   `json:"lane"`
+	ID     string `json:"id"`
+	Digest string `json:"digest"`
+	Status Status `json:"status"`
+	Lane   Lane   `json:"lane"`
+	// Tenant echoes the submission's tenant identifier (empty when none
+	// was given). Added in 1.1.
+	Tenant   string `json:"tenant,omitempty"`
 	CacheHit bool   `json:"cache_hit"`
 	Attempts int    `json:"attempts"`
 	// Error carries the failure's stable code for terminal failed jobs
@@ -175,6 +209,11 @@ type ModelMetrics struct {
 // (CacheHits+Coalesced)/Submitted, and latencies cover recent successful
 // completions (cache hits at ~0).
 type Metrics struct {
+	// Node is the answering daemon's -node-id (empty for an unnamed
+	// single daemon, and on a router's cluster-wide aggregate). Added
+	// in 1.1.
+	Node string `json:"node,omitempty"`
+
 	Workers int `json:"workers"`
 
 	Submitted         int64 `json:"jobs_submitted"`
@@ -191,11 +230,60 @@ type Metrics struct {
 	HitRate     float64 `json:"cache_hit_rate"`
 	CacheLen    int     `json:"cache_entries"`
 
+	// OwnedDigests counts the distinct trace digests this node currently
+	// holds: resident cache entries plus in-flight jobs. On a router's
+	// aggregate it sums across reachable nodes, which is the cluster's
+	// sharding footprint. Added in 1.1.
+	OwnedDigests int64 `json:"owned_digests"`
+
 	Retries int64 `json:"retries"`
+
+	// BreakerOpen / BreakerTrips report the pool's transient-failure
+	// circuit breaker: whether new work is currently failing fast instead
+	// of hammering a down LLM backend, and how many times the breaker has
+	// tripped since start. Added in 1.1.
+	BreakerOpen  bool  `json:"breaker_open"`
+	BreakerTrips int64 `json:"breaker_trips"`
 
 	LatencyP50 time.Duration `json:"latency_p50_ns"`
 	LatencyP95 time.Duration `json:"latency_p95_ns"`
 
 	// Models breaks token and cost counters down per LLM model.
 	Models map[string]ModelMetrics `json:"models,omitempty"`
+
+	// Tenants maps tenant identifier to jobs submitted under it (the
+	// TenantOverflow key aggregates the long tail once the per-node
+	// tenant-label cap is reached). Added in 1.1.
+	Tenants map[string]int64 `json:"tenant_jobs,omitempty"`
+}
+
+// TenantOverflow is the Tenants key that aggregates submissions from
+// tenants beyond the node's distinct-label cap, keeping metric cardinality
+// bounded under adversarial tenant churn.
+const TenantOverflow = "_other"
+
+// NodeHealth is one member's row in the cluster-health payload.
+type NodeHealth struct {
+	// Node is the member's advertised -node-id ("" if unknown or unset).
+	Node string `json:"node,omitempty"`
+	// URL is the member's base URL as configured on the router.
+	URL string `json:"url"`
+	// Healthy reports whether the member answered its last probe.
+	Healthy bool `json:"healthy"`
+	// Error carries the probe failure class for unhealthy members. Like
+	// every wire message it is a stable summary, never a raw Go error
+	// chain.
+	Error string `json:"error,omitempty"`
+	// OwnedDigests is the member's Metrics.OwnedDigests at probe time
+	// (zero when unhealthy).
+	OwnedDigests int64 `json:"owned_digests"`
+}
+
+// ClusterHealth is the payload of the router's GET /v1/cluster: one row
+// per configured member, probed at request time. Added in 1.1.
+type ClusterHealth struct {
+	// Router is the answering router's id.
+	Router string `json:"router,omitempty"`
+	// Nodes lists every configured member in ring-member order.
+	Nodes []NodeHealth `json:"nodes"`
 }

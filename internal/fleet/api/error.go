@@ -42,6 +42,21 @@ const (
 	// CodeInternal: an unexpected server-side failure. Detail lives in
 	// the server log, never on the wire (retryable).
 	CodeInternal Code = "internal"
+	// CodeNodeDown: every fleet node that could serve the request is
+	// unreachable (router/cluster mode). The submission was not accepted
+	// anywhere; retry later (retryable). Added in 1.1.
+	CodeNodeDown Code = "node_down"
+	// CodeBreakerOpen: this node's LLM-backend circuit breaker is open,
+	// so accepted work would only fail fast; the submission is refused
+	// instead. Retryable — a router or cluster client fails over to the
+	// ring successor, and the same node recovers once a half-open probe
+	// succeeds. Added in 1.1.
+	CodeBreakerOpen Code = "breaker_open"
+	// CodeLoopDetected: the request already traversed a fleet router
+	// (ForwardedHeader present) and arrived at a router again — the
+	// member list is misconfigured. Never retryable: the loop will not
+	// fix itself. Added in 1.1.
+	CodeLoopDetected Code = "loop_detected"
 )
 
 // HTTPStatus maps the code to its canonical HTTP status.
@@ -55,10 +70,12 @@ func (c Code) HTTPStatus() int {
 		return http.StatusNotFound
 	case CodeJobNotDone:
 		return http.StatusConflict
-	case CodeDraining:
+	case CodeDraining, CodeNodeDown, CodeBreakerOpen:
 		return http.StatusServiceUnavailable
 	case CodeDiagnosisFailed:
 		return http.StatusBadGateway
+	case CodeLoopDetected:
+		return http.StatusLoopDetected
 	default:
 		return http.StatusInternalServerError
 	}
@@ -69,7 +86,7 @@ func (c Code) HTTPStatus() int {
 // taxonomy instead of raw HTTP statuses.
 func (c Code) Retryable() bool {
 	switch c {
-	case CodeDraining, CodeInternal:
+	case CodeDraining, CodeInternal, CodeNodeDown, CodeBreakerOpen:
 		return true
 	default:
 		return false

@@ -1,0 +1,127 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a minimal circuit breaker over the LLM backend, fed by every
+// diagnosis attempt's outcome. Its whole job is to stop retry storms: when
+// the backend is down, every job burns MaxAttempts transient failures plus
+// their backoff sleeps, and a saturated pool turns into a battering ram.
+// After threshold consecutive transient failures the breaker opens and
+// attempts fail fast (ErrBreakerOpen) for a cooldown; then one half-open
+// probe attempt is let through — success (or any non-transient response,
+// which proves the backend is reachable) closes the breaker, another
+// transient failure reopens it for a fresh cooldown.
+//
+// The failure counter is pool-wide, not per job: three jobs each failing
+// twice is the same evidence of a down backend as one job failing six
+// times. All methods are safe for concurrent use.
+type breaker struct {
+	threshold int           // consecutive transient failures to trip; <= 0 disables
+	cooldown  time.Duration // open -> half-open delay
+	now       func() time.Time
+
+	mu          sync.Mutex
+	consecutive int
+	open        bool
+	halfOpen    bool // cooldown elapsed; exactly one probe may run
+	probing     bool // the half-open probe is in flight
+	openedAt    time.Time
+	trips       int64
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allow reports whether an attempt may hit the backend now. While open it
+// returns false until the cooldown elapses, after which it admits exactly
+// one probe at a time.
+func (b *breaker) allow() bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if !b.halfOpen {
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.halfOpen = true
+	}
+	if b.probing {
+		return false // one probe at a time; the rest keep failing fast
+	}
+	b.probing = true
+	return true
+}
+
+// record feeds one attempt's outcome back. transient marks failures that
+// indicate an unreachable or overloaded backend; successes and permanent
+// errors both prove the backend answered, so both close the breaker.
+func (b *breaker) record(transient bool) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !transient {
+		b.consecutive = 0
+		b.open = false
+		b.halfOpen = false
+		b.probing = false
+		return
+	}
+	b.consecutive++
+	if b.open && b.halfOpen {
+		// The probe failed: reopen for a fresh cooldown.
+		b.trip()
+		return
+	}
+	if !b.open && b.consecutive >= b.threshold {
+		b.trip()
+	}
+}
+
+// trip (re)opens the breaker. Caller holds b.mu.
+func (b *breaker) trip() {
+	b.open = true
+	b.halfOpen = false
+	b.probing = false
+	b.openedAt = b.now()
+	b.trips++
+}
+
+// stats returns the breaker's externally visible state: whether attempts
+// are currently failing fast, and the lifetime trip count.
+func (b *breaker) stats() (open bool, trips int64) {
+	if b.threshold <= 0 {
+		return false, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// An elapsed cooldown reads as "probing", not "closed": work is still
+	// being refused beyond the single probe.
+	return b.open, b.trips
+}
+
+// refusing reports whether NEW work should be refused outright: the
+// breaker is open and still inside its cooldown. Once the cooldown
+// elapses this returns false even though the breaker has not closed —
+// new work must be admitted again, because in a daemon whose serving
+// layer refuses submissions while refusing() is true, an arriving job is
+// the only thing that can run the half-open probe. allow() still gates
+// the individual attempts of whatever is admitted.
+func (b *breaker) refusing() bool {
+	if b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open && !b.halfOpen && b.now().Sub(b.openedAt) < b.cooldown
+}

@@ -60,6 +60,25 @@ func WithPollInterval(d time.Duration) Option {
 	}
 }
 
+// WithForwardedBy stamps every request with api.ForwardedHeader carrying
+// id. iofleet-router sets it so a misconfigured member list (a router
+// listing itself, or another router) is detected as a loop instead of
+// ricocheting submissions forever. Plain SDK users never need it.
+func WithForwardedBy(id string) Option { return func(c *Client) { c.forwardedBy = id } }
+
+// WithRingReplicas sets the virtual-node count of the consistent-hash
+// ring in Cluster mode (default ring.DefaultReplicas). Every party that
+// must agree on digest ownership — all routers and all cluster-mode
+// clients of one fleet — has to use the same value. It has no effect on
+// a single-node Client.
+func WithRingReplicas(n int) Option {
+	return func(c *Client) {
+		if n > 0 {
+			c.ringReplicas = n
+		}
+	}
+}
+
 // Client talks to one iofleetd instance. It is safe for concurrent use.
 type Client struct {
 	base        string
@@ -68,9 +87,22 @@ type Client struct {
 	baseDelay   time.Duration
 	maxDelay    time.Duration
 	poll        time.Duration
+	forwardedBy string
+	// ringReplicas is only read by Cluster, which builds its ring from
+	// the options applied to its member clients.
+	ringReplicas int
 
 	// sleep is swapped out by tests to make backoff instantaneous.
 	sleep func(context.Context, time.Duration) error
+}
+
+// Close releases the idle keep-alive connections held by the underlying
+// transport. Tests and short-lived tools that create many clients (or
+// whose daemon restarts, stranding pooled conns to the old process)
+// should defer it; the Client stays usable afterwards — the next call
+// simply dials fresh.
+func (c *Client) Close() {
+	c.httpc.CloseIdleConnections()
 }
 
 // New builds a client for the daemon at baseURL (e.g. "http://host:8080").
@@ -110,8 +142,14 @@ func (c *Client) Submit(ctx context.Context, req api.SubmitRequest) (api.JobInfo
 	if !lane.Valid() {
 		return api.JobInfo{}, api.Errorf(api.CodeBadRequest, "unknown lane %q", req.Lane)
 	}
+	if len(req.Tenant) > api.MaxTenantLen {
+		return api.JobInfo{}, api.Errorf(api.CodeBadRequest, "tenant exceeds %d bytes", api.MaxTenantLen)
+	}
 	var info api.JobInfo
 	path := "/v1/jobs?lane=" + url.QueryEscape(string(lane))
+	if req.Tenant != "" {
+		path += "&tenant=" + url.QueryEscape(req.Tenant)
+	}
 	err := c.do(ctx, http.MethodPost, path, req.Trace, &info)
 	return info, err
 }
@@ -211,6 +249,9 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	}
 	req.Header.Set(api.VersionHeader, api.Current.String())
 	req.Header.Set("Accept", "application/json")
+	if c.forwardedBy != "" {
+		req.Header.Set(api.ForwardedHeader, c.forwardedBy)
+	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/octet-stream")
 	}

@@ -1,0 +1,433 @@
+package client
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strings"
+	"sync"
+
+	"ioagent/internal/fleet/api"
+	"ioagent/internal/fleet/ring"
+)
+
+// RouteKey maps raw submitted trace bytes onto the cluster routing key: a
+// hex SHA-256 of the bytes as they travel on the wire. Ownership is a
+// pure function of this key and the member list, so every router and
+// every cluster-mode client agrees on which node owns a submission
+// without any coordination.
+//
+// Note the key covers the wire encoding, not the decoded trace: the
+// binary and darshan-parser-text renderings of one trace are different
+// byte strings and may land on different nodes. Each rendering still
+// routes consistently, and the node-local digest cache (which hashes the
+// decoded trace) deduplicates within its shard.
+func RouteKey(trace []byte) string {
+	sum := sha256.Sum256(trace)
+	return hex.EncodeToString(sum[:])
+}
+
+// Cluster is the SDK's multi-node mode: it takes the fleet member list
+// and routes every call client-side over the same consistent-hash ring
+// iofleet-router uses, so heavy SDK users skip the router hop entirely.
+//
+// Submissions go to the owner of the trace's RouteKey and walk the ring
+// successors when the owner is down — safe because the daemons
+// deduplicate by content digest, so a resubmission at the next node
+// either re-runs the work there or coalesces with a previous attempt.
+// Job lookups route by the node prefix that -node-id daemons put in
+// every job ID. Metrics aggregates across reachable members. All methods
+// are safe for concurrent use.
+type Cluster struct {
+	members []string // config order, for listings and health
+	ring    *ring.Ring
+	clients map[string]*Client
+
+	mu sync.Mutex
+	// nodeToMember maps learned daemon -node-id values to member URLs
+	// (learned from each member's Metrics.Node on first need).
+	nodeToMember map[string]string
+	unresolved   map[string]bool // members whose node id is still unknown
+}
+
+// NewCluster builds a cluster-mode client over the given member base
+// URLs. Options apply to every per-member client (retry budget, poll
+// interval, HTTP client) plus the cluster itself (WithRingReplicas).
+func NewCluster(members []string, opts ...Option) (*Cluster, error) {
+	if len(members) == 0 {
+		return nil, api.Errorf(api.CodeBadRequest, "cluster needs at least one member")
+	}
+	cl := &Cluster{
+		clients:      make(map[string]*Client, len(members)),
+		nodeToMember: make(map[string]string),
+		unresolved:   make(map[string]bool),
+	}
+	for _, m := range members {
+		// Trim whitespace as well as the trailing slash: member lists come
+		// from comma-separated flags, and "a, b" must route identically to
+		// "a,b" everywhere or rings disagree and the cache fragments.
+		base := strings.TrimRight(strings.TrimSpace(m), "/")
+		if base == "" {
+			return nil, api.Errorf(api.CodeBadRequest, "cluster member URL must not be empty")
+		}
+		if _, dup := cl.clients[base]; dup {
+			continue
+		}
+		cl.members = append(cl.members, base)
+		cl.clients[base] = New(base, opts...)
+		cl.unresolved[base] = true
+	}
+	cl.ring = ring.New(cl.clients[cl.members[0]].ringReplicas)
+	cl.ring.Add(cl.members...)
+	return cl, nil
+}
+
+// Members returns the member base URLs in configuration order.
+func (cl *Cluster) Members() []string { return append([]string(nil), cl.members...) }
+
+// Close releases every member client's idle connections.
+func (cl *Cluster) Close() {
+	for _, c := range cl.clients {
+		c.Close()
+	}
+}
+
+// Route returns the members that would be tried for these trace bytes, in
+// order: the ring owner first, then its failover successors.
+func (cl *Cluster) Route(trace []byte) []string {
+	return cl.ring.Successors(RouteKey(trace), len(cl.members))
+}
+
+// failover reports whether an error from one member justifies trying the
+// next ring successor rather than surfacing to the caller. It is exactly
+// the per-call retry classification: transport failures, bare 5xx, and
+// retryable taxonomy codes; a 4xx (bad trace, version skew, ...) will be
+// 4xx everywhere.
+func failover(err error) bool { return retryable(err) }
+
+// Submit sends one trace to the owner of its route key, walking ring
+// successors while members are down or draining. The returned JobInfo's
+// ID carries the accepting node's prefix, which later routes Job and
+// Diagnosis calls back to it.
+func (cl *Cluster) Submit(ctx context.Context, req api.SubmitRequest) (api.JobInfo, error) {
+	for _, member := range cl.Route(req.Trace) {
+		info, err := cl.clients[member].Submit(ctx, req)
+		if err == nil {
+			cl.learn(info.ID, member)
+			return info, nil
+		}
+		if !failover(err) || ctx.Err() != nil {
+			return api.JobInfo{}, err
+		}
+	}
+	return api.JobInfo{}, api.Errorf(api.CodeNodeDown,
+		"no fleet node accepted the submission (%d tried; all down or draining)", len(cl.members))
+}
+
+// nodeFromJobID extracts the node prefix a -node-id daemon bakes into its
+// job IDs ("n1-job-000042" -> "n1"); IDs from unnamed daemons yield "".
+func nodeFromJobID(id string) string {
+	if i := strings.LastIndex(id, "-job-"); i > 0 {
+		return id[:i]
+	}
+	return ""
+}
+
+// learn records which member produced a job ID, so later lookups for that
+// node skip the resolution probe.
+func (cl *Cluster) learn(jobID, member string) {
+	node := nodeFromJobID(jobID)
+	if node == "" {
+		return
+	}
+	cl.mu.Lock()
+	cl.nodeToMember[node] = member
+	delete(cl.unresolved, member)
+	cl.mu.Unlock()
+}
+
+// memberForNode resolves a job-ID node prefix to a member URL, probing
+// unresolved members' metrics for their advertised node id on demand.
+func (cl *Cluster) memberForNode(ctx context.Context, node string) (string, bool) {
+	cl.mu.Lock()
+	member, ok := cl.nodeToMember[node]
+	var probe []string
+	if !ok {
+		for m := range cl.unresolved {
+			probe = append(probe, m)
+		}
+	}
+	cl.mu.Unlock()
+	if ok {
+		return member, true
+	}
+	sort.Strings(probe) // deterministic probe order
+	for _, m := range probe {
+		metrics, err := cl.clients[m].Metrics(ctx)
+		if err != nil {
+			continue // down member: stays unresolved, retried next time
+		}
+		cl.mu.Lock()
+		delete(cl.unresolved, m)
+		if metrics.Node != "" {
+			cl.nodeToMember[metrics.Node] = m
+		}
+		cl.mu.Unlock()
+		if metrics.Node == node {
+			return m, true
+		}
+	}
+	return "", false
+}
+
+// lookup routes a job-scoped call to the member that owns the job ID, or
+// fans out across members for IDs without a node prefix. An unreachable
+// owning member maps to api.CodeJobNotFound: the job's state is gone with
+// the node (or will replay under a fresh ID when it comes back), and
+// "not found" is the code that tells callers to use the recovery path —
+// resubmit the same bytes, which is idempotent by digest.
+func (cl *Cluster) lookup(ctx context.Context, id string, call func(*Client) error) error {
+	if node := nodeFromJobID(id); node != "" {
+		member, ok := cl.memberForNode(ctx, node)
+		if !ok {
+			return api.Errorf(api.CodeJobNotFound,
+				"job %s belongs to node %q, which is not a reachable cluster member; resubmit the trace (idempotent)", id, node)
+		}
+		err := call(cl.clients[member])
+		if err != nil && failover(err) && ctx.Err() == nil {
+			return api.Errorf(api.CodeJobNotFound,
+				"job %s is on node %q, which is unreachable; resubmit the trace (idempotent)", id, node)
+		}
+		return err
+	}
+	// Prefix-less ID (unnamed daemon): ask everyone.
+	var lastErr error = api.Errorf(api.CodeJobNotFound, "unknown job %q on every cluster member", id)
+	for _, member := range cl.members {
+		err := call(cl.clients[member])
+		if err == nil {
+			return nil
+		}
+		if api.ErrorCode(err) == api.CodeJobNotFound || failover(err) {
+			lastErr = err
+			continue
+		}
+		return err
+	}
+	if failover(lastErr) {
+		return api.Errorf(api.CodeJobNotFound,
+			"job %s not found on any reachable member; resubmit the trace (idempotent)", id)
+	}
+	return lastErr
+}
+
+// Job fetches one job's snapshot from the node that owns its ID.
+func (cl *Cluster) Job(ctx context.Context, id string) (api.JobInfo, error) {
+	var info api.JobInfo
+	err := cl.lookup(ctx, id, func(c *Client) error {
+		var cerr error
+		info, cerr = c.Job(ctx, id)
+		return cerr
+	})
+	return info, err
+}
+
+// Diagnosis fetches the finished report from the node that owns the job.
+func (cl *Cluster) Diagnosis(ctx context.Context, id string) (api.Diagnosis, error) {
+	var d api.Diagnosis
+	err := cl.lookup(ctx, id, func(c *Client) error {
+		var cerr error
+		d, cerr = c.Diagnosis(ctx, id)
+		return cerr
+	})
+	return d, err
+}
+
+// fanOut calls fn once per member concurrently and returns the results
+// in member order. Fan-out matters operationally: the monitoring
+// endpoints (Metrics, Jobs, Health) are polled hardest exactly when the
+// cluster is degraded, and probing a dead member costs its full
+// per-call retry budget — sequentially, each dead node would add that
+// latency to every aggregate call.
+func fanOut[T any](cl *Cluster, fn func(member string, c *Client) (T, error)) ([]T, []error) {
+	results := make([]T, len(cl.members))
+	errs := make([]error, len(cl.members))
+	var wg sync.WaitGroup
+	for i, member := range cl.members {
+		wg.Add(1)
+		go func(i int, member string) {
+			defer wg.Done()
+			results[i], errs[i] = fn(member, cl.clients[member])
+		}(i, member)
+	}
+	wg.Wait()
+	return results, errs
+}
+
+// Jobs merges the job listings of every reachable member, in member then
+// submission order. Unreachable members are skipped: a listing is a
+// monitoring view, and a partial one beats none.
+func (cl *Cluster) Jobs(ctx context.Context) ([]api.JobInfo, error) {
+	lists, errs := fanOut(cl, func(_ string, c *Client) ([]api.JobInfo, error) {
+		return c.Jobs(ctx)
+	})
+	var out []api.JobInfo
+	reachable := 0
+	var lastErr error
+	for i, infos := range lists {
+		if errs[i] != nil {
+			lastErr = errs[i]
+			continue
+		}
+		reachable++
+		out = append(out, infos...)
+	}
+	if reachable == 0 {
+		if lastErr != nil && !failover(lastErr) {
+			return nil, lastErr
+		}
+		return nil, api.Errorf(api.CodeNodeDown, "no fleet node reachable (%d tried)", len(cl.members))
+	}
+	return out, nil
+}
+
+// WaitDiagnosis polls the owning node until the job is terminal and
+// returns its diagnosis, mirroring Client.WaitDiagnosis.
+func (cl *Cluster) WaitDiagnosis(ctx context.Context, id string) (api.Diagnosis, error) {
+	proto := cl.clients[cl.members[0]] // poll cadence comes from the shared options
+	for {
+		info, err := cl.Job(ctx, id)
+		if err != nil {
+			return api.Diagnosis{}, err
+		}
+		switch {
+		case info.Status == api.StatusFailed:
+			return api.Diagnosis{}, api.Errorf(api.CodeDiagnosisFailed,
+				"job %s failed after %d attempts", id, info.Attempts)
+		case info.Status.Terminal():
+			return cl.Diagnosis(ctx, id)
+		}
+		if err := proto.sleep(ctx, proto.poll); err != nil {
+			return api.Diagnosis{}, err
+		}
+	}
+}
+
+// SubmitAndWait is Submit followed by WaitDiagnosis on the accepted job.
+func (cl *Cluster) SubmitAndWait(ctx context.Context, req api.SubmitRequest) (api.Diagnosis, error) {
+	info, err := cl.Submit(ctx, req)
+	if err != nil {
+		return api.Diagnosis{}, err
+	}
+	return cl.WaitDiagnosis(ctx, info.ID)
+}
+
+// Metrics aggregates every reachable member's snapshot into one
+// cluster-wide document: counters, cache sizes, and per-model/per-tenant
+// maps sum; the latency percentiles take the worst (highest) node so the
+// aggregate never understates tail latency; BreakerOpen is true if any
+// node's breaker is open. Node is empty on the aggregate.
+func (cl *Cluster) Metrics(ctx context.Context) (api.Metrics, error) {
+	all, errs := fanOut(cl, func(_ string, c *Client) (api.Metrics, error) {
+		return c.Metrics(ctx)
+	})
+	var snaps []api.Metrics
+	var lastErr error
+	for i, m := range all {
+		if errs[i] != nil {
+			lastErr = errs[i]
+			continue
+		}
+		snaps = append(snaps, m)
+	}
+	if len(snaps) == 0 {
+		if lastErr != nil && !failover(lastErr) {
+			return api.Metrics{}, lastErr
+		}
+		return api.Metrics{}, api.Errorf(api.CodeNodeDown, "no fleet node reachable (%d tried)", len(cl.members))
+	}
+	return AggregateMetrics(snaps), nil
+}
+
+// AggregateMetrics folds per-node metrics documents into the cluster
+// view. Exported for iofleet-router, which serves the same aggregation
+// over its own /metrics endpoint.
+func AggregateMetrics(snaps []api.Metrics) api.Metrics {
+	var agg api.Metrics
+	for _, m := range snaps {
+		agg.Workers += m.Workers
+		agg.Submitted += m.Submitted
+		agg.Queued += m.Queued
+		agg.QueuedInteractive += m.QueuedInteractive
+		agg.QueuedBatch += m.QueuedBatch
+		agg.Running += m.Running
+		agg.Done += m.Done
+		agg.Failed += m.Failed
+		agg.CacheHits += m.CacheHits
+		agg.Coalesced += m.Coalesced
+		agg.CacheMisses += m.CacheMisses
+		agg.CacheLen += m.CacheLen
+		agg.OwnedDigests += m.OwnedDigests
+		agg.Retries += m.Retries
+		agg.BreakerOpen = agg.BreakerOpen || m.BreakerOpen
+		agg.BreakerTrips += m.BreakerTrips
+		if m.LatencyP50 > agg.LatencyP50 {
+			agg.LatencyP50 = m.LatencyP50
+		}
+		if m.LatencyP95 > agg.LatencyP95 {
+			agg.LatencyP95 = m.LatencyP95
+		}
+		for model, mm := range m.Models {
+			if agg.Models == nil {
+				agg.Models = make(map[string]api.ModelMetrics)
+			}
+			acc := agg.Models[model]
+			acc.Calls += mm.Calls
+			acc.PromptTokens += mm.PromptTokens
+			acc.CompletionTokens += mm.CompletionTokens
+			acc.CostUSD += mm.CostUSD
+			agg.Models[model] = acc
+		}
+		for tenant, n := range m.Tenants {
+			if agg.Tenants == nil {
+				agg.Tenants = make(map[string]int64)
+			}
+			agg.Tenants[tenant] += n
+		}
+	}
+	if agg.Submitted > 0 {
+		agg.HitRate = float64(agg.CacheHits+agg.Coalesced) / float64(agg.Submitted)
+	}
+	return agg
+}
+
+// Health probes every member's metrics endpoint and reports the cluster
+// roster: who is reachable, under what node id, and how much of the
+// digest space each holds.
+func (cl *Cluster) Health(ctx context.Context) api.ClusterHealth {
+	rows, _ := fanOut(cl, func(member string, c *Client) (api.NodeHealth, error) {
+		row := api.NodeHealth{URL: member}
+		m, err := c.Metrics(ctx)
+		if err != nil {
+			// Stable classification only: the raw error chain can embed
+			// dial targets and is the caller's log's business, not a wire
+			// payload's.
+			row.Error = string(api.ErrorCode(err))
+			if row.Error == "" {
+				row.Error = "unreachable"
+			}
+			return row, nil
+		}
+		row.Healthy = true
+		row.Node = m.Node
+		row.OwnedDigests = m.OwnedDigests
+		if m.Node != "" {
+			cl.mu.Lock()
+			cl.nodeToMember[m.Node] = member
+			delete(cl.unresolved, member)
+			cl.mu.Unlock()
+		}
+		return row, nil
+	})
+	return api.ClusterHealth{Nodes: rows}
+}

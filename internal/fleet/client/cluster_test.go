@@ -1,0 +1,289 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"ioagent/internal/darshan"
+	"ioagent/internal/fleet"
+	"ioagent/internal/fleet/api"
+	"ioagent/internal/fleet/server"
+	"ioagent/internal/ioagent"
+	"ioagent/internal/iosim"
+	"ioagent/internal/knowledge"
+	"ioagent/internal/llm"
+)
+
+// httpCapture records api.ForwardedHeader off each request, then proxies
+// it to the real daemon at target.
+func httpCapture(got *string, target string) http.Handler {
+	u, err := url.Parse(target)
+	if err != nil {
+		panic(err)
+	}
+	proxy := httputil.NewSingleHostReverseProxy(u)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		*got = r.Header.Get(api.ForwardedHeader)
+		proxy.ServeHTTP(w, r)
+	})
+}
+
+// clusterNode is one in-process daemon: a real pool behind the real
+// server mux.
+type clusterNode struct {
+	id   string
+	pool *fleet.Pool
+	srv  *httptest.Server
+}
+
+func startNodes(t *testing.T, ids ...string) []*clusterNode {
+	t.Helper()
+	index := knowledge.BuildIndex()
+	nodes := make([]*clusterNode, len(ids))
+	for i, id := range ids {
+		pool := fleet.New(llm.NewSim(), fleet.Config{
+			Workers: 2, NodeID: id,
+			Agent: ioagent.Options{Index: index},
+		})
+		srv := httptest.NewServer(server.NewMux(server.Config{Pool: pool, NodeID: id}))
+		nodes[i] = &clusterNode{id: id, pool: pool, srv: srv}
+		t.Cleanup(pool.Close)
+		t.Cleanup(srv.Close)
+	}
+	return nodes
+}
+
+func clusterOf(t *testing.T, nodes []*clusterNode, opts ...Option) *Cluster {
+	t.Helper()
+	urls := make([]string, len(nodes))
+	for i, n := range nodes {
+		urls[i] = n.srv.URL
+	}
+	opts = append([]Option{
+		WithRetry(1, time.Millisecond),
+		WithPollInterval(5 * time.Millisecond),
+	}, opts...)
+	cl, err := NewCluster(urls, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+func clusterTrace(t *testing.T, seed int) []byte {
+	t.Helper()
+	sim := iosim.New(iosim.Config{
+		Seed: int64(seed)*13 + 3, NProcs: 2, UsesMPI: true,
+		Exe: fmt.Sprintf("/apps/cluster/job%02d.ex", seed),
+	})
+	f := sim.OpenShared(fmt.Sprintf("/scratch/cl-%03d.dat", seed), iosim.POSIX, false, nil)
+	for i := int64(0); i < 6; i++ {
+		f.WriteAt(0, i*4096, 4096)
+	}
+	f.Close()
+	var buf bytes.Buffer
+	if err := darshan.Encode(&buf, sim.Finalize()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// memberNode maps a member URL back to its node for assertions.
+func memberNode(nodes []*clusterNode, member string) *clusterNode {
+	for _, n := range nodes {
+		if n.srv.URL == member {
+			return n
+		}
+	}
+	return nil
+}
+
+// TestClusterRoutesByDigestOwnership: a submission lands on the ring
+// owner of its bytes, the returned job ID carries that node's prefix,
+// and a resubmission of the same bytes is a cache hit on the same node.
+func TestClusterRoutesByDigestOwnership(t *testing.T) {
+	nodes := startNodes(t, "n1", "n2", "n3")
+	cl := clusterOf(t, nodes)
+	ctx := context.Background()
+
+	for seed := 0; seed < 4; seed++ {
+		raw := clusterTrace(t, seed)
+		owner := memberNode(nodes, cl.Route(raw)[0])
+		info, err := cl.Submit(ctx, api.SubmitRequest{Trace: raw, Tenant: "acme"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(info.ID, owner.id+"-job-") {
+			t.Fatalf("seed %d: job %s not on ring owner %s", seed, info.ID, owner.id)
+		}
+		if _, err := cl.WaitDiagnosis(ctx, info.ID); err != nil {
+			t.Fatal(err)
+		}
+		dup, err := cl.Submit(ctx, api.SubmitRequest{Trace: raw})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dup.CacheHit || !strings.HasPrefix(dup.ID, owner.id+"-job-") {
+			t.Fatalf("seed %d: resubmit = %+v, want cache hit on %s", seed, dup, owner.id)
+		}
+	}
+
+	// A fresh cluster over the same members (a "router restart") computes
+	// identical ownership: the warm digest still hits.
+	cl2 := clusterOf(t, nodes)
+	raw := clusterTrace(t, 0)
+	info, err := cl2.Submit(ctx, api.SubmitRequest{Trace: raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.CacheHit {
+		t.Errorf("restarted cluster client missed the warm digest: %+v", info)
+	}
+}
+
+// TestClusterFailsOverToSuccessor: with the owner down, a submission
+// lands on the next ring member; the diagnosis completes there; and a
+// re-submission keeps being served from the successor's cache while the
+// owner stays down.
+func TestClusterFailsOverToSuccessor(t *testing.T) {
+	nodes := startNodes(t, "n1", "n2", "n3")
+	cl := clusterOf(t, nodes)
+	ctx := context.Background()
+
+	raw := clusterTrace(t, 9)
+	route := cl.Route(raw)
+	owner, successor := memberNode(nodes, route[0]), memberNode(nodes, route[1])
+	owner.srv.Close() // owner down before the first submission
+
+	info, err := cl.Submit(ctx, api.SubmitRequest{Trace: raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(info.ID, successor.id+"-job-") {
+		t.Fatalf("job %s did not fail over to successor %s", info.ID, successor.id)
+	}
+	diag, err := cl.WaitDiagnosis(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag.Text == "" {
+		t.Fatal("empty diagnosis from successor")
+	}
+
+	// Re-lookup via resubmission: still owner-down, the successor answers
+	// from its cache.
+	again, err := cl.Submit(ctx, api.SubmitRequest{Trace: raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit || !strings.HasPrefix(again.ID, successor.id+"-job-") {
+		t.Fatalf("resubmit with owner down = %+v, want cache hit on %s", again, successor.id)
+	}
+}
+
+// TestClusterLookupDeadNodeSaysNotFound: polling a job whose node died
+// yields job_not_found (the resubmit-recovery code), not a hang or a
+// transport error.
+func TestClusterLookupDeadNodeSaysNotFound(t *testing.T) {
+	nodes := startNodes(t, "n1", "n2")
+	cl := clusterOf(t, nodes)
+	ctx := context.Background()
+
+	raw := clusterTrace(t, 2)
+	info, err := cl.Submit(ctx, api.SubmitRequest{Trace: raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownerNode := nodeFromJobID(info.ID)
+	memberNode(nodes, cl.Route(raw)[0]).srv.Close()
+
+	if _, err := cl.Job(ctx, info.ID); api.ErrorCode(err) != api.CodeJobNotFound {
+		t.Fatalf("lookup on dead node = %v, want job_not_found", err)
+	}
+	if _, err := cl.Job(ctx, ownerNode+"-job-999999"); api.ErrorCode(err) != api.CodeJobNotFound {
+		t.Fatalf("unknown id on dead node = %v, want job_not_found", err)
+	}
+}
+
+// TestClusterAggregatesMetricsAndHealth: the cluster metrics document
+// sums per-node counters; health lists every member with its node id and
+// marks dead ones unhealthy.
+func TestClusterAggregatesMetricsAndHealth(t *testing.T) {
+	nodes := startNodes(t, "n1", "n2", "n3")
+	cl := clusterOf(t, nodes)
+	ctx := context.Background()
+
+	// Distinct traces spread across nodes; count total submissions.
+	const submissions = 6
+	for seed := 0; seed < submissions; seed++ {
+		info, err := cl.Submit(ctx, api.SubmitRequest{Trace: clusterTrace(t, 20+seed), Tenant: "acme"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.WaitDiagnosis(ctx, info.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Submitted != submissions || m.Done != submissions {
+		t.Errorf("aggregate submitted/done = %d/%d, want %d", m.Submitted, m.Done, submissions)
+	}
+	if m.Tenants["acme"] != submissions {
+		t.Errorf("aggregate tenant count = %v, want acme:%d", m.Tenants, submissions)
+	}
+	if m.OwnedDigests != int64(submissions) {
+		t.Errorf("aggregate owned digests = %d, want %d", m.OwnedDigests, submissions)
+	}
+	if m.Node != "" {
+		t.Errorf("aggregate must not claim a node id, got %q", m.Node)
+	}
+
+	nodes[2].srv.Close()
+	h := cl.Health(ctx)
+	if len(h.Nodes) != 3 {
+		t.Fatalf("health rows = %d, want 3", len(h.Nodes))
+	}
+	healthy := 0
+	for _, row := range h.Nodes {
+		if row.Healthy {
+			healthy++
+			if row.Node == "" {
+				t.Errorf("healthy row %s missing node id", row.URL)
+			}
+		} else if row.Error == "" {
+			t.Errorf("unhealthy row %s missing error class", row.URL)
+		}
+	}
+	if healthy != 2 {
+		t.Errorf("healthy members = %d, want 2", healthy)
+	}
+}
+
+// TestClusterForwardedByHeader: WithForwardedBy stamps every outbound
+// request — the loop-detection contract the router depends on.
+func TestClusterForwardedByHeader(t *testing.T) {
+	nodes := startNodes(t, "n1")
+	var got string
+	front := httptest.NewServer(httpCapture(&got, nodes[0].srv.URL))
+	defer front.Close()
+	c := New(front.URL, WithRetry(1, time.Millisecond), WithForwardedBy("router-7"))
+	defer c.Close()
+	if _, err := c.Metrics(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got != "router-7" {
+		t.Errorf("forwarded header = %q, want router-7", got)
+	}
+}

@@ -17,6 +17,13 @@ import (
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("fleet: pool is closed")
 
+// ErrBreakerOpen marks a job failed fast because the pool's circuit
+// breaker is open: the LLM backend has produced Config.BreakerThreshold
+// consecutive transient failures and new attempts are refused until a
+// half-open probe succeeds. The work was not attempted; resubmitting the
+// same trace later is safe and idempotent.
+var ErrBreakerOpen = errors.New("fleet: circuit breaker open (llm backend marked down)")
+
 // EventKind names a job lifecycle transition observed through
 // Config.OnJobEvent.
 type EventKind string
@@ -84,16 +91,24 @@ func (l Lane) withDefault() Lane {
 func (l Lane) Valid() bool { return l == LaneInteractive || l == LaneBatch }
 
 // SubmitOpts carries per-submission options for SubmitWith. The zero
-// value matches Submit: interactive lane.
+// value matches Submit: interactive lane, no tenant.
 type SubmitOpts struct {
 	// Lane selects the priority class; empty means LaneInteractive.
 	Lane Lane
+	// Tenant names the submitting tenant for accounting (per-tenant job
+	// counts in Metrics). It never contributes to the trace digest:
+	// identical traces from different tenants share one cached diagnosis.
+	Tenant string
 }
 
 // Config tunes a Pool. The zero value gives a production-plausible setup:
 // 4 workers, a 1024-entry cache with a 1-hour TTL, and 3 attempts per job
 // with exponential backoff starting at 50ms.
 type Config struct {
+	// NodeID, when set, prefixes every job ID ("<node>-job-000001" instead
+	// of "job-000001") so IDs stay unique — and routable back to their
+	// node — across a multi-node fleet. Single pools can leave it empty.
+	NodeID string
 	// Workers is the number of concurrent diagnosis workers (default 4).
 	Workers int
 	// QueueDepth bounds the number of jobs waiting for a worker; a full
@@ -125,6 +140,17 @@ type Config struct {
 	// share is 2 — a value of 1 would prefer batch on every dequeue and
 	// invert the anti-starvation guarantee, so it is clamped to 2.
 	BatchShare int
+	// BreakerThreshold enables the pool's circuit breaker: after this
+	// many consecutive transient LLM failures (pool-wide, across jobs)
+	// new attempts fail fast with ErrBreakerOpen instead of hammering a
+	// down backend, until a half-open probe succeeds. Zero or negative
+	// disables the breaker (the default — single-shot tools don't want
+	// cross-job failure coupling; long-lived daemons do, see iofleetd
+	// -breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker refuses work before
+	// admitting a half-open probe (default 5s when the breaker is on).
+	BreakerCooldown time.Duration
 	// Agent configures the diagnosis pipeline shared by all workers.
 	Agent ioagent.Options
 
@@ -178,6 +204,9 @@ func (c Config) withDefaults() Config {
 	if c.BatchShare == 1 {
 		c.BatchShare = 2
 	}
+	if c.BreakerThreshold > 0 && c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
 	c.Agent = c.Agent.WithDefaults()
 	if c.now == nil {
 		c.now = time.Now
@@ -217,6 +246,7 @@ type JobInfo struct {
 	Digest   string `json:"digest"`
 	Status   Status `json:"status"`
 	Lane     Lane   `json:"lane"`
+	Tenant   string `json:"tenant,omitempty"`
 	CacheHit bool   `json:"cache_hit"`
 	Attempts int    `json:"attempts"`
 	Error    string `json:"error,omitempty"`
@@ -231,6 +261,7 @@ type Job struct {
 	id     string
 	digest string
 	lane   Lane
+	tenant string
 	done   chan struct{}
 
 	mu        sync.Mutex
@@ -253,6 +284,9 @@ func (j *Job) Digest() string { return j.digest }
 
 // Lane returns the priority lane the job was submitted on.
 func (j *Job) Lane() Lane { return j.lane }
+
+// Tenant returns the tenant the job was submitted under ("" for none).
+func (j *Job) Tenant() string { return j.tenant }
 
 // Status returns the current lifecycle state.
 func (j *Job) Status() Status {
@@ -283,6 +317,7 @@ func (j *Job) Info() JobInfo {
 		Digest:      j.digest,
 		Status:      j.status,
 		Lane:        j.lane,
+		Tenant:      j.tenant,
 		CacheHit:    j.cacheHit,
 		Attempts:    j.attempts,
 		SubmittedAt: j.submitted,
@@ -326,6 +361,7 @@ type Pool struct {
 	// dequeues counts worker picks pool-wide; every BatchShare-th pick
 	// prefers the batch lane, which is what guarantees batch its share.
 	dequeues atomic.Int64
+	brk      *breaker
 	m        metrics
 
 	workerWG sync.WaitGroup // running workers
@@ -368,6 +404,7 @@ func New(client llm.Client, cfg Config) *Pool {
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*inflightEntry),
 	}
+	p.brk = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.now)
 	p.m.queuedByLane = make(map[Lane]int64, len(Lanes))
 	p.cache.onInsert = cfg.OnCacheInsert
 	p.cache.onEvict = cfg.OnCacheEvict
@@ -418,10 +455,15 @@ func (p *Pool) SubmitWith(log *darshan.Log, opts SubmitOpts) (*Job, error) {
 		return nil, ErrClosed
 	}
 	p.nextID++
+	idPrefix := ""
+	if p.cfg.NodeID != "" {
+		idPrefix = p.cfg.NodeID + "-"
+	}
 	j := &Job{
-		id:        fmt.Sprintf("job-%06d", p.nextID),
+		id:        fmt.Sprintf("%sjob-%06d", idPrefix, p.nextID),
 		digest:    digest,
 		lane:      lane,
+		tenant:    opts.Tenant,
 		done:      make(chan struct{}),
 		log:       log,
 		status:    StatusQueued,
@@ -433,6 +475,7 @@ func (p *Pool) SubmitWith(log *darshan.Log, opts SubmitOpts) (*Job, error) {
 	p.jobWG.Add(1)
 	p.m.mu.Lock()
 	p.m.submitted++
+	p.m.countTenantLocked(opts.Tenant)
 	p.m.mu.Unlock()
 
 	// Fast path 1: already diagnosed and cached.
@@ -536,9 +579,31 @@ func (p *Pool) Jobs() []*Job {
 	return append([]*Job(nil), p.order...)
 }
 
+// BreakerOpen reports whether new submissions should be refused because
+// the circuit breaker is open and inside its cooldown. Serving layers
+// use it to answer a retryable code instead of accepting jobs doomed to
+// ErrBreakerOpen — which is what lets a router fail the node's shard
+// over to a healthy successor while the backend is down. It deliberately
+// flips back to false when the cooldown elapses, before the breaker has
+// closed: the next accepted job is what runs the half-open probe, so a
+// daemon that kept refusing would stay broken forever. (The metrics
+// snapshot's BreakerOpen reports the raw open state instead.)
+func (p *Pool) BreakerOpen() bool {
+	return p.brk.refusing()
+}
+
 // Metrics returns a point-in-time health snapshot.
 func (p *Pool) Metrics() Snapshot {
-	return p.m.snapshot(p.cfg.Workers, p.cache.Len())
+	p.mu.Lock()
+	inflight := len(p.inflight)
+	p.mu.Unlock()
+	s := p.m.snapshot(p.cfg.Workers, p.cache.Len())
+	// OwnedDigests is this node's sharding footprint: every distinct
+	// digest it can currently answer for (resident cache entries) or is
+	// answering (in-flight primaries).
+	s.OwnedDigests = int64(s.CacheLen + inflight)
+	s.BreakerOpen, s.BreakerTrips = p.brk.stats()
+	return s
 }
 
 // CacheEntry is one exported result-cache entry. The Result is the live
@@ -698,7 +763,20 @@ func (p *Pool) runJob(j *Job) {
 			p.cfg.sleep(delay)
 			delay *= 2
 		}
+		// An open breaker refuses the attempt instead of hitting a backend
+		// already known down. Remaining attempts still cycle (with their
+		// backoff sleeps) rather than failing the job instantly: a job
+		// admitted during the half-open window — whose probe slot went to
+		// another job — usually outlives a successful probe and completes
+		// normally. If the breaker stays open through every attempt, the
+		// job fails with ErrBreakerOpen, which means "never tried" and is
+		// safe to resubmit.
+		if !p.brk.allow() {
+			err = ErrBreakerOpen
+			continue
+		}
 		res, err = p.agent.Diagnose(log)
+		p.brk.record(err != nil && llm.IsTransient(err))
 		if err == nil || !llm.IsTransient(err) {
 			break
 		}

@@ -45,14 +45,42 @@ type Snapshot struct {
 	HitRate     float64 `json:"cache_hit_rate"`
 	CacheLen    int     `json:"cache_entries"`
 
+	// OwnedDigests counts the distinct digests this pool currently holds:
+	// resident cache entries plus in-flight primaries. In a sharded fleet
+	// it is the node's share of the digest space.
+	OwnedDigests int64 `json:"owned_digests"`
+
 	// Retries counts extra diagnosis attempts beyond each job's first.
 	Retries int64 `json:"retries"`
+
+	// BreakerOpen / BreakerTrips report the transient-failure circuit
+	// breaker (see Config.BreakerThreshold): whether attempts are
+	// currently failing fast, and the lifetime trip count. Both are zero
+	// when the breaker is disabled.
+	BreakerOpen  bool  `json:"breaker_open"`
+	BreakerTrips int64 `json:"breaker_trips"`
 
 	// Submit-to-completion latency percentiles over the most recent
 	// completions (cache hits count at ~0; failed jobs are excluded).
 	LatencyP50 time.Duration `json:"latency_p50_ns"`
 	LatencyP95 time.Duration `json:"latency_p95_ns"`
+
+	// Tenants maps tenant identifier to jobs submitted under it.
+	// Anonymous submissions (no tenant) are not listed. At most
+	// maxTenantLabels distinct tenants are tracked; the long tail beyond
+	// that aggregates under the "_other" key so metric cardinality stays
+	// bounded no matter what tenant strings clients invent.
+	Tenants map[string]int64 `json:"tenant_jobs,omitempty"`
 }
+
+// maxTenantLabels caps the distinct per-tenant counters one pool tracks;
+// submissions from further tenants count under tenantOverflowKey.
+const maxTenantLabels = 256
+
+// tenantOverflowKey collects submissions beyond the maxTenantLabels cap.
+// The string deliberately matches api.TenantOverflow — the pool mirrors
+// the wire vocabulary (like Lane) instead of linking the contract package.
+const tenantOverflowKey = "_other"
 
 // metrics is the pool's internal mutable counterpart of Snapshot.
 type metrics struct {
@@ -69,8 +97,28 @@ type metrics struct {
 	misses       int64
 	retries      int64
 
+	// tenants counts submissions per tenant, capped at maxTenantLabels
+	// distinct keys plus the overflow bucket. Lazily allocated: pools
+	// with only anonymous traffic never pay for the map.
+	tenants map[string]int64
+
 	latencies []time.Duration
 	latIdx    int
+}
+
+// countTenantLocked attributes one submission to its tenant. Caller holds
+// m.mu. Anonymous submissions ("" tenant) are not tracked.
+func (m *metrics) countTenantLocked(tenant string) {
+	if tenant == "" {
+		return
+	}
+	if m.tenants == nil {
+		m.tenants = make(map[string]int64)
+	}
+	if _, known := m.tenants[tenant]; !known && len(m.tenants) >= maxTenantLabels {
+		tenant = tenantOverflowKey
+	}
+	m.tenants[tenant]++
 }
 
 func (m *metrics) recordLatency(d time.Duration) {
@@ -120,6 +168,12 @@ func (m *metrics) snapshot(workers, cacheLen int) Snapshot {
 	s.Queued = s.QueuedInteractive + s.QueuedBatch
 	if s.Submitted > 0 {
 		s.HitRate = float64(s.CacheHits+s.Coalesced) / float64(s.Submitted)
+	}
+	if len(m.tenants) > 0 {
+		s.Tenants = make(map[string]int64, len(m.tenants))
+		for t, n := range m.tenants {
+			s.Tenants[t] = n
+		}
 	}
 	if n := len(m.latencies); n > 0 {
 		sorted := make([]time.Duration, n)

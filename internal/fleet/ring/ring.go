@@ -1,0 +1,203 @@
+// Package ring implements the consistent-hash ring that shards the fleet's
+// digest space across iofleetd nodes.
+//
+// Each member is projected onto a 64-bit hash circle at Replicas virtual
+// points; a key (a trace digest, or any routing string) is owned by the
+// member whose next virtual point follows the key's hash clockwise. The
+// construction gives the two properties the cluster layer leans on:
+//
+//   - Deterministic assignment: ownership is a pure function of the member
+//     set and the replica count. Two rings built independently — in any
+//     insertion order, in different processes, on different machines —
+//     agree on every key, which is what lets iofleet-router restart (or a
+//     cluster-mode SDK client start fresh) without moving any cached
+//     diagnosis.
+//   - Minimal disruption: adding or removing one member of n reassigns
+//     only the keys whose owning arc changed — in expectation K/n of K
+//     keys, never the wholesale reshuffle of modulo hashing.
+//
+// The ring does NOT guarantee perfect balance (virtual points smooth the
+// spread to within a few tens of percent at the default replica count) and
+// it does NOT know whether a member is alive: health is the caller's
+// concern, which is why Successors exists — a caller that finds the owner
+// down walks the successor list, and the digest-idempotent submit contract
+// makes re-running work on the next member safe.
+//
+// The package is dependency-free (standard library only) and all methods
+// are safe for concurrent use.
+package ring
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"sync"
+)
+
+// DefaultReplicas is the virtual-point count used when New is given a
+// non-positive replica count. 128 points per member keeps the expected
+// per-member load within roughly ±15% of even on small clusters.
+const DefaultReplicas = 128
+
+// Ring is a consistent-hash ring over an arbitrary set of member names
+// (the fleet uses daemon base URLs). The zero value is not usable; call
+// New.
+type Ring struct {
+	replicas int
+
+	mu      sync.RWMutex
+	members map[string]struct{}
+	points  []point // sorted ascending by hash
+}
+
+// point is one virtual node: a position on the hash circle and the member
+// it maps to.
+type point struct {
+	hash   uint64
+	member string
+}
+
+// New builds an empty ring with the given virtual-point count per member
+// (<= 0 selects DefaultReplicas). The replica count is part of the
+// assignment function: every party that must agree on ownership — router,
+// cluster clients, tests — has to use the same value.
+func New(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	return &Ring{replicas: replicas, members: make(map[string]struct{})}
+}
+
+// hashKey maps an arbitrary string onto the circle. SHA-256 (rather than a
+// faster non-cryptographic hash) keeps the projection stable across
+// architectures and Go versions — ownership must never change on a rebuild.
+func hashKey(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// pointKey derives the i-th virtual point of a member. The NUL separator
+// keeps distinct (member, index) pairs from colliding textually.
+func pointKey(member string, i int) uint64 {
+	h := sha256.New()
+	h.Write([]byte(member))
+	h.Write([]byte{0})
+	var idx [4]byte
+	binary.BigEndian.PutUint32(idx[:], uint32(i))
+	h.Write(idx[:])
+	var sum [sha256.Size]byte
+	return binary.BigEndian.Uint64(h.Sum(sum[:0])[:8])
+}
+
+// Add inserts members (duplicates are no-ops). Keys never move between
+// members that were present both before and after the call; only arcs now
+// owned by a new member change hands.
+func (r *Ring) Add(members ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	changed := false
+	for _, m := range members {
+		if _, ok := r.members[m]; ok || m == "" {
+			continue
+		}
+		r.members[m] = struct{}{}
+		for i := 0; i < r.replicas; i++ {
+			r.points = append(r.points, point{hash: pointKey(m, i), member: m})
+		}
+		changed = true
+	}
+	if changed {
+		sort.Slice(r.points, func(i, j int) bool {
+			if r.points[i].hash != r.points[j].hash {
+				return r.points[i].hash < r.points[j].hash
+			}
+			// Tie-break on the member name so equal hash points (vanishingly
+			// rare, but possible) still order deterministically everywhere.
+			return r.points[i].member < r.points[j].member
+		})
+	}
+}
+
+// Remove deletes a member (unknown members are no-ops). Keys the member
+// owned are absorbed by their ring successors; every other assignment is
+// untouched.
+func (r *Ring) Remove(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[member]; !ok {
+		return
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Members returns the member set in sorted order.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Owner returns the member that owns key. ok is false on an empty ring.
+func (r *Ring) Owner(key string) (owner string, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return "", false
+	}
+	return r.points[r.search(hashKey(key))].member, true
+}
+
+// Successors returns up to n distinct members in ring order starting at
+// the key's owner. It is the failover walk: callers try index 0 (the
+// owner), then 1, and so on. n larger than the member count returns every
+// member exactly once.
+func (r *Ring) Successors(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	for i, start := 0, r.search(hashKey(key)); len(out) < n && i < len(r.points); i++ {
+		m := r.points[(start+i)%len(r.points)].member
+		if _, dup := seen[m]; dup {
+			continue
+		}
+		seen[m] = struct{}{}
+		out = append(out, m)
+	}
+	return out
+}
+
+// search returns the index of the first point at or clockwise-after h.
+// Caller holds r.mu (either side).
+func (r *Ring) search(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0 // wrapped past the highest point
+	}
+	return i
+}

@@ -1,0 +1,213 @@
+package ring
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// sampleDigests builds K deterministic hex digests shaped like the fleet's
+// trace digests.
+func sampleDigests(k int) []string {
+	out := make([]string, k)
+	for i := range out {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("trace-%06d", i)))
+		out[i] = hex.EncodeToString(sum[:])
+	}
+	return out
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := New(0)
+	if _, ok := r.Owner("x"); ok {
+		t.Error("empty ring claimed an owner")
+	}
+	if s := r.Successors("x", 3); s != nil {
+		t.Errorf("empty ring successors = %v, want nil", s)
+	}
+	r.Add("only")
+	for _, key := range sampleDigests(16) {
+		if owner, ok := r.Owner(key); !ok || owner != "only" {
+			t.Fatalf("single-member ring owner(%s) = %q, %v", key[:8], owner, ok)
+		}
+	}
+	if got := r.Successors("x", 5); len(got) != 1 || got[0] != "only" {
+		t.Errorf("successors on 1-member ring = %v, want [only]", got)
+	}
+}
+
+// TestRingDeterministic pins the property the router restart scenario
+// depends on: two rings built independently, with members added in
+// different orders, agree on every assignment.
+func TestRingDeterministic(t *testing.T) {
+	members := []string{"http://n1:8080", "http://n2:8080", "http://n3:8080", "http://n4:8080"}
+	a := New(64)
+	a.Add(members...)
+	b := New(64)
+	for i := len(members) - 1; i >= 0; i-- {
+		b.Add(members[i]) // reverse order, one at a time
+	}
+	for _, key := range sampleDigests(2000) {
+		ao, _ := a.Owner(key)
+		bo, _ := b.Owner(key)
+		if ao != bo {
+			t.Fatalf("rings disagree on %s: %q vs %q", key[:12], ao, bo)
+		}
+		as, bs := a.Successors(key, 3), b.Successors(key, 3)
+		if fmt.Sprint(as) != fmt.Sprint(bs) {
+			t.Fatalf("successor walks disagree on %s: %v vs %v", key[:12], as, bs)
+		}
+		if as[0] != ao {
+			t.Fatalf("successors[0] = %q, want the owner %q", as[0], ao)
+		}
+	}
+}
+
+// TestRingAddMovesFewKeys is the ISSUE acceptance property: growing the
+// ring from n to n+1 members reassigns at most ~K/(n+1) of K sampled
+// digests (bounded here at 2x the expectation), and every moved key moves
+// TO the new member, never between old members.
+func TestRingAddMovesFewKeys(t *testing.T) {
+	keys := sampleDigests(4000)
+	for n := 2; n <= 6; n++ {
+		r := New(0)
+		for i := 0; i < n; i++ {
+			r.Add(fmt.Sprintf("http://node-%d", i))
+		}
+		before := make(map[string]string, len(keys))
+		for _, k := range keys {
+			before[k], _ = r.Owner(k)
+		}
+		newcomer := "http://node-new"
+		r.Add(newcomer)
+		moved := 0
+		for _, k := range keys {
+			after, _ := r.Owner(k)
+			if after == before[k] {
+				continue
+			}
+			moved++
+			if after != newcomer {
+				t.Fatalf("n=%d: key %s moved between old members (%q -> %q)", n, k[:12], before[k], after)
+			}
+		}
+		limit := 2 * len(keys) / (n + 1)
+		if moved > limit {
+			t.Errorf("n=%d: adding one member moved %d/%d keys, want <= %d (~2K/n)", n, moved, len(keys), limit)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d: new member received no keys", n)
+		}
+	}
+}
+
+// TestRingRemoveMovesOnlyOrphans: removing a member reassigns exactly that
+// member's keys and no others, and the orphan count stays near K/n.
+func TestRingRemoveMovesOnlyOrphans(t *testing.T) {
+	keys := sampleDigests(4000)
+	members := []string{"http://a", "http://b", "http://c", "http://d"}
+	r := New(0)
+	r.Add(members...)
+	before := make(map[string]string, len(keys))
+	orphans := 0
+	for _, k := range keys {
+		before[k], _ = r.Owner(k)
+		if before[k] == "http://c" {
+			orphans++
+		}
+	}
+	r.Remove("http://c")
+	moved := 0
+	for _, k := range keys {
+		after, _ := r.Owner(k)
+		if before[k] == "http://c" {
+			if after == "http://c" {
+				t.Fatalf("key %s still owned by removed member", k[:12])
+			}
+			moved++
+			continue
+		}
+		if after != before[k] {
+			t.Fatalf("key %s owned by surviving member %q moved to %q", k[:12], before[k], after)
+		}
+	}
+	if moved != orphans {
+		t.Errorf("moved %d keys, want exactly the %d orphans", moved, orphans)
+	}
+	if limit := 2 * len(keys) / len(members); orphans > limit {
+		t.Errorf("removed member owned %d/%d keys, want <= %d (~2K/n)", orphans, len(keys), limit)
+	}
+}
+
+// TestRingSuccessorsDistinct: the failover walk yields distinct members,
+// covers the whole ring when asked, and starts at the owner.
+func TestRingSuccessorsDistinct(t *testing.T) {
+	r := New(0)
+	members := []string{"http://a", "http://b", "http://c"}
+	r.Add(members...)
+	for _, key := range sampleDigests(200) {
+		s := r.Successors(key, 10)
+		if len(s) != len(members) {
+			t.Fatalf("successors(%s) = %v, want all %d members", key[:12], s, len(members))
+		}
+		seen := map[string]bool{}
+		for _, m := range s {
+			if seen[m] {
+				t.Fatalf("successors(%s) repeats %q: %v", key[:12], m, s)
+			}
+			seen[m] = true
+		}
+		if owner, _ := r.Owner(key); s[0] != owner {
+			t.Fatalf("successors(%s)[0] = %q, want owner %q", key[:12], s[0], owner)
+		}
+	}
+}
+
+// TestRingBalance: virtual points keep the per-member share within a loose
+// factor of even — no member starves and none hoards.
+func TestRingBalance(t *testing.T) {
+	keys := sampleDigests(8000)
+	r := New(0)
+	n := 4
+	for i := 0; i < n; i++ {
+		r.Add(fmt.Sprintf("http://node-%d", i))
+	}
+	counts := map[string]int{}
+	for _, k := range keys {
+		o, _ := r.Owner(k)
+		counts[o]++
+	}
+	even := len(keys) / n
+	for m, c := range counts {
+		if c < even/3 || c > even*3 {
+			t.Errorf("member %s owns %d of %d keys (even share %d): balance off by >3x", m, c, len(keys), even)
+		}
+	}
+	if len(counts) != n {
+		t.Errorf("only %d of %d members own keys", len(counts), n)
+	}
+}
+
+// TestRingConcurrentReads exercises the lock paths under the race detector.
+func TestRingConcurrentReads(t *testing.T) {
+	r := New(32)
+	r.Add("http://a", "http://b")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			r.Add(fmt.Sprintf("http://extra-%d", i%8))
+			r.Remove(fmt.Sprintf("http://extra-%d", (i+4)%8))
+		}
+	}()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("key-%d", rng.Int())
+		r.Owner(key)
+		r.Successors(key, 3)
+		r.Members()
+	}
+	<-done
+}

@@ -1,0 +1,227 @@
+// Package router implements the iofleet-router HTTP front: a thin,
+// stateless dispatch layer that makes several iofleetd nodes look like
+// one daemon.
+//
+// The router speaks the internal/fleet/api contract unchanged on both
+// sides. Inbound, it serves the same endpoints as a daemon; outbound, it
+// forwards each call through the SDK's cluster mode
+// (internal/fleet/client.Cluster), which owns the consistent-hash ring
+// (internal/fleet/ring) over trace routing keys. Because ownership is a
+// pure function of the member list, the router keeps no state worth
+// preserving: restart it, run several of them side by side, they all
+// route identically.
+//
+// What the router guarantees — and what it does not:
+//
+//   - Submissions go to the ring owner of the trace bytes; if the owner
+//     is down or draining, the next ring successor takes the work. The
+//     daemons' digest-idempotent submit contract is what makes that safe.
+//   - Job lookups follow the node prefix in the job ID back to the node
+//     that accepted it. If that node is gone, lookups report
+//     job_not_found with a hint to resubmit — the router cannot conjure
+//     state that died with a node (run daemons with -state-dir for that).
+//   - /metrics aggregates all reachable nodes (JSON and Prometheus);
+//     /v1/cluster reports per-node health.
+//   - Requests that already passed through a router are refused with
+//     loop_detected: member lists must point at daemons, never at
+//     routers.
+package router
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"ioagent/internal/fleet/api"
+	"ioagent/internal/fleet/client"
+	"ioagent/internal/fleet/server"
+)
+
+// Config assembles a router.
+type Config struct {
+	// ID is the router's fleet identity: stamped on responses
+	// (api.NodeHeader) and on forwarded requests (api.ForwardedHeader)
+	// for loop detection. Default "router".
+	ID string
+	// Members are the daemon base URLs the digest space is sharded over.
+	// Order does not matter — ownership is order-independent — but every
+	// router and cluster-mode client of one fleet must agree on the set.
+	Members []string
+	// Replicas is the ring's virtual-node count (default
+	// ring.DefaultReplicas); all parties must agree on it too.
+	Replicas int
+	// MaxBody bounds submission size in bytes (default 64 MiB). The
+	// router enforces it before forwarding, so an oversized body is
+	// refused once instead of once per failover candidate.
+	MaxBody int64
+	// ClientOptions tune the per-node SDK clients (retry budget, poll
+	// interval, HTTP client). The router prepends its own defaults: 2
+	// attempts per node per call, so failover to a successor is fast.
+	ClientOptions []client.Option
+}
+
+// Router is the dispatch layer. Build with New, serve Handler.
+type Router struct {
+	cfg     Config
+	cluster *client.Cluster
+}
+
+// New validates the member list and builds the router.
+func New(cfg Config) (*Router, error) {
+	if cfg.ID == "" {
+		cfg.ID = "router"
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 64 << 20
+	}
+	opts := []client.Option{
+		client.WithRetry(2, 100*time.Millisecond),
+		client.WithForwardedBy(cfg.ID),
+	}
+	if cfg.Replicas > 0 {
+		opts = append(opts, client.WithRingReplicas(cfg.Replicas))
+	}
+	opts = append(opts, cfg.ClientOptions...)
+	cl, err := client.NewCluster(cfg.Members, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("router: %w", err)
+	}
+	return &Router{cfg: cfg, cluster: cl}, nil
+}
+
+// Close releases the pooled connections to every member.
+func (rt *Router) Close() { rt.cluster.Close() }
+
+// Route exposes the failover order for a submission's bytes (owner
+// first), for tests and operational debugging.
+func (rt *Router) Route(trace []byte) []string { return rt.cluster.Route(trace) }
+
+// Handler builds the router's HTTP surface. Like the daemon's, the whole
+// surface — catch-all included — sits behind version negotiation, plus
+// the router-only loop check.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	handle := mux.HandleFunc
+
+	handle("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		trace, apiErr := readBody(w, r, rt.cfg.MaxBody)
+		if apiErr != nil {
+			server.WriteError(w, apiErr)
+			return
+		}
+		info, err := rt.cluster.Submit(r.Context(), api.SubmitRequest{
+			Lane:   api.Lane(r.URL.Query().Get("lane")),
+			Tenant: r.URL.Query().Get("tenant"),
+			Trace:  trace,
+		})
+		if err != nil {
+			rt.writeErr(w, "submit", err)
+			return
+		}
+		server.WriteJSON(w, http.StatusAccepted, info)
+	})
+	handle("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		infos, err := rt.cluster.Jobs(r.Context())
+		if err != nil {
+			rt.writeErr(w, "list jobs", err)
+			return
+		}
+		if infos == nil {
+			infos = []api.JobInfo{}
+		}
+		server.WriteJSON(w, http.StatusOK, infos)
+	})
+	handle("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, err := rt.cluster.Job(r.Context(), r.PathValue("id"))
+		if err != nil {
+			rt.writeErr(w, "job", err)
+			return
+		}
+		server.WriteJSON(w, http.StatusOK, info)
+	})
+	handle("GET /v1/jobs/{id}/diagnosis", func(w http.ResponseWriter, r *http.Request) {
+		diag, err := rt.cluster.Diagnosis(r.Context(), r.PathValue("id"))
+		if err != nil {
+			rt.writeErr(w, "diagnosis", err)
+			return
+		}
+		if server.WantsText(r) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, diag.Text)
+			return
+		}
+		server.WriteJSON(w, http.StatusOK, diag)
+	})
+	handle("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		m, err := rt.cluster.Metrics(r.Context())
+		if err != nil {
+			rt.writeErr(w, "metrics", err)
+			return
+		}
+		if server.WantsText(r) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			server.WritePrometheus(w, m)
+			return
+		}
+		server.WriteJSON(w, http.StatusOK, m)
+	})
+	handle("GET /v1/cluster", func(w http.ResponseWriter, r *http.Request) {
+		h := rt.cluster.Health(r.Context())
+		h.Router = rt.cfg.ID
+		server.WriteJSON(w, http.StatusOK, h)
+	})
+	handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	handle("/", func(w http.ResponseWriter, r *http.Request) {
+		server.WriteError(w, api.Errorf(api.CodeNotFound, "unknown endpoint %s", r.URL.Path))
+	})
+
+	// Loop check inside the version middleware: a request that already
+	// crossed a router means the member list points at a router, and
+	// forwarding it again would bounce until something times out.
+	loopChecked := func(w http.ResponseWriter, r *http.Request) {
+		if via := r.Header.Get(api.ForwardedHeader); via != "" {
+			server.WriteError(w, api.Errorf(api.CodeLoopDetected,
+				"request already routed by %q reached router %q; member lists must name daemons, not routers", via, rt.cfg.ID))
+			return
+		}
+		mux.ServeHTTP(w, r)
+	}
+	return server.WithVersion(rt.cfg.ID, loopChecked)
+}
+
+// readBody slurps the submission body under the router's size cap,
+// mapping an overrun onto the same trace_too_large envelope a daemon
+// serves. The bytes are not decoded here: the owning daemon does that
+// (and answers bad_trace), keeping the router free of the Darshan stack.
+func readBody(w http.ResponseWriter, r *http.Request, maxBody int64) ([]byte, *api.Error) {
+	buf, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, api.Errorf(api.CodeTraceTooLarge,
+				"trace body exceeds the %d-byte limit (router -max-body)", maxBody)
+		}
+		log.Printf("iofleet-router: read submit body from %s: %v", r.RemoteAddr, err)
+		return nil, api.Errorf(api.CodeBadRequest, "read body: request aborted")
+	}
+	return buf, nil
+}
+
+// writeErr maps a cluster-call failure onto the wire: api errors pass
+// through on their canonical status; anything else (a decode bug, an
+// unclassified transport corner) is logged here and served as the opaque
+// internal envelope.
+func (rt *Router) writeErr(w http.ResponseWriter, op string, err error) {
+	var apiErr *api.Error
+	if errors.As(err, &apiErr) {
+		server.WriteError(w, apiErr)
+		return
+	}
+	log.Printf("iofleet-router: %s: %v", op, err)
+	server.WriteError(w, api.Errorf(api.CodeInternal, "internal error; see router log"))
+}

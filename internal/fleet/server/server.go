@@ -1,4 +1,19 @@
-package main
+// Package server implements the iofleetd HTTP surface over the versioned
+// wire contract in internal/fleet/api: route registration, version
+// negotiation, node-identity stamping, trace decoding, the error-envelope
+// discipline, and both metrics renderings (JSON and Prometheus text
+// exposition).
+//
+// It exists as a package (rather than living inside cmd/iofleetd) so that
+// every party that needs a real daemon surface can build one in-process:
+// the iofleetd binary itself, the iofleet-router's failover tests, and
+// examples that boot a miniature cluster. The split also keeps the
+// daemon's and the router's HTTP conventions literally the same code —
+// WriteError, WriteJSON, WantsText, WithVersion, and WritePrometheus are
+// shared, so "every non-2xx response is an api.Error envelope stamped
+// with version and node headers" holds across the whole fleet by
+// construction.
+package server
 
 import (
 	"bytes"
@@ -20,15 +35,38 @@ import (
 	"ioagent/internal/ioagent"
 )
 
-// newMux builds the daemon's HTTP surface on the versioned wire contract
-// in internal/fleet/api: every response shape and error code comes from
-// that package, and the whole surface — including unmatched paths — sits
-// behind the version-negotiation middleware. st may be nil (no
-// -state-dir); draining gates POST /v1/jobs: once set, new submissions
-// are refused with api.CodeDraining and the refusal is journaled, so work
-// a client believes accepted is never silently dropped by the exiting
-// process. maxBody bounds trace upload size (-max-body).
-func newMux(pool *fleet.Pool, st *store.Store, draining *atomic.Bool, maxBody int64) http.Handler {
+// Config assembles one daemon surface. Pool is required; everything else
+// has a safe zero value.
+type Config struct {
+	// Pool runs the diagnoses.
+	Pool *fleet.Pool
+	// Store, when non-nil, journals refused submissions (the audit trail
+	// behind iofleetd -state-dir).
+	Store *store.Store
+	// Draining, when non-nil and true, refuses new submissions with
+	// api.CodeDraining (and journals the refusal) while reads keep
+	// serving — the SIGTERM drain contract. Nil means never draining.
+	Draining *atomic.Bool
+	// MaxBody bounds trace upload size in bytes; exceeding it returns
+	// api.CodeTraceTooLarge (default 64 MiB).
+	MaxBody int64
+	// NodeID is this daemon's fleet identity (iofleetd -node-id): stamped
+	// on every response as api.NodeHeader and advertised in
+	// Metrics.Node. Empty for an unnamed single daemon.
+	NodeID string
+}
+
+// NewMux builds the daemon's HTTP surface. Every response shape and error
+// code comes from internal/fleet/api, and the whole surface — including
+// unmatched paths — sits behind the version-negotiation middleware.
+func NewMux(cfg Config) http.Handler {
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 64 << 20
+	}
+	if cfg.Draining == nil {
+		cfg.Draining = new(atomic.Bool)
+	}
+	pool, st := cfg.Pool, cfg.Store
 	mux := http.NewServeMux()
 	handle := mux.HandleFunc
 
@@ -39,23 +77,39 @@ func newMux(pool *fleet.Pool, st *store.Store, draining *atomic.Bool, maxBody in
 					log.Printf("iofleetd: journal reject: %v", jerr)
 				}
 			}
-			writeError(w, e)
+			WriteError(w, e)
 		}
-		if draining.Load() {
+		if cfg.Draining.Load() {
 			reject(api.Errorf(api.CodeDraining, "daemon is draining; resubmit to the replacement instance"))
+			return
+		}
+		// An open breaker means every accepted job would fail fast with
+		// ErrBreakerOpen and surface as a non-retryable diagnosis_failed.
+		// Refusing up front with a retryable code is honest — the work
+		// was not attempted — and lets routers and cluster clients fail
+		// this node's shard over to a ring successor until the half-open
+		// probe recovers the backend.
+		if pool.BreakerOpen() {
+			reject(api.Errorf(api.CodeBreakerOpen,
+				"llm backend circuit breaker is open; resubmit to another node or retry later"))
 			return
 		}
 		lane, apiErr := parseLane(r)
 		if apiErr != nil {
-			writeError(w, apiErr)
+			WriteError(w, apiErr)
 			return
 		}
-		trace, apiErr := decodeTrace(w, r, maxBody)
+		tenant, apiErr := parseTenant(r)
 		if apiErr != nil {
-			writeError(w, apiErr)
+			WriteError(w, apiErr)
 			return
 		}
-		job, err := pool.SubmitWith(trace, fleet.SubmitOpts{Lane: fleet.Lane(lane)})
+		trace, apiErr := decodeTrace(w, r, cfg.MaxBody)
+		if apiErr != nil {
+			WriteError(w, apiErr)
+			return
+		}
+		job, err := pool.SubmitWith(trace, fleet.SubmitOpts{Lane: fleet.Lane(lane), Tenant: tenant})
 		switch {
 		case errors.Is(err, fleet.ErrClosed):
 			reject(api.Errorf(api.CodeDraining, "daemon is shutting down; resubmit to the replacement instance"))
@@ -64,7 +118,7 @@ func newMux(pool *fleet.Pool, st *store.Store, draining *atomic.Bool, maxBody in
 			internalError(w, "submit", err)
 			return
 		}
-		writeJSON(w, http.StatusAccepted, toAPIJob(job.Info()))
+		WriteJSON(w, http.StatusAccepted, toAPIJob(job.Info()))
 	})
 	handle("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		jobs := pool.Jobs()
@@ -72,26 +126,26 @@ func newMux(pool *fleet.Pool, st *store.Store, draining *atomic.Bool, maxBody in
 		for i, j := range jobs {
 			infos[i] = toAPIJob(j.Info())
 		}
-		writeJSON(w, http.StatusOK, infos)
+		WriteJSON(w, http.StatusOK, infos)
 	})
 	handle("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := pool.Job(r.PathValue("id"))
 		if !ok {
-			writeError(w, api.Errorf(api.CodeJobNotFound, "unknown job %q", r.PathValue("id")))
+			WriteError(w, api.Errorf(api.CodeJobNotFound, "unknown job %q", r.PathValue("id")))
 			return
 		}
-		writeJSON(w, http.StatusOK, toAPIJob(job.Info()))
+		WriteJSON(w, http.StatusOK, toAPIJob(job.Info()))
 	})
 	handle("GET /v1/jobs/{id}/diagnosis", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := pool.Job(r.PathValue("id"))
 		if !ok {
-			writeError(w, api.Errorf(api.CodeJobNotFound, "unknown job %q", r.PathValue("id")))
+			WriteError(w, api.Errorf(api.CodeJobNotFound, "unknown job %q", r.PathValue("id")))
 			return
 		}
 		select {
 		case <-job.Done():
 		default:
-			writeError(w, api.Errorf(api.CodeJobNotDone, "job %s is %s; poll it and retry", job.ID(), job.Status()))
+			WriteError(w, api.Errorf(api.CodeJobNotDone, "job %s is %s; poll it and retry", job.ID(), job.Status()))
 			return
 		}
 		res, err := job.Wait()
@@ -99,16 +153,16 @@ func newMux(pool *fleet.Pool, st *store.Store, draining *atomic.Bool, maxBody in
 			// The pipeline's error chain is server-side detail; the wire
 			// carries only the stable code.
 			log.Printf("iofleetd: diagnosis %s: %v", job.ID(), err)
-			writeError(w, api.Errorf(api.CodeDiagnosisFailed, "job %s failed permanently", job.ID()))
+			WriteError(w, api.Errorf(api.CodeDiagnosisFailed, "job %s failed permanently", job.ID()))
 			return
 		}
-		if wantsText(r) {
+		if WantsText(r) {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			fmt.Fprintln(w, res.Text)
 			return
 		}
 		info := job.Info()
-		writeJSON(w, http.StatusOK, api.Diagnosis{
+		WriteJSON(w, http.StatusOK, api.Diagnosis{
 			JobID:    info.ID,
 			Digest:   info.Digest,
 			Lane:     api.Lane(info.Lane),
@@ -118,12 +172,13 @@ func newMux(pool *fleet.Pool, st *store.Store, draining *atomic.Bool, maxBody in
 	})
 	handle("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		m := toAPIMetrics(pool.Metrics(), pool.Agent().StatsByModel())
-		if wantsText(r) {
+		m.Node = cfg.NodeID
+		if WantsText(r) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-			writePrometheus(w, m)
+			WritePrometheus(w, m)
 			return
 		}
-		writeJSON(w, http.StatusOK, m)
+		WriteJSON(w, http.StatusOK, m)
 	})
 	handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -134,24 +189,29 @@ func newMux(pool *fleet.Pool, st *store.Store, draining *atomic.Bool, maxBody in
 	// registered patterns still get the mux's bare 405; the middleware
 	// below stamps the version header on those too.)
 	handle("/", func(w http.ResponseWriter, r *http.Request) {
-		writeError(w, api.Errorf(api.CodeNotFound, "unknown endpoint %s", r.URL.Path))
+		WriteError(w, api.Errorf(api.CodeNotFound, "unknown endpoint %s", r.URL.Path))
 	})
-	return withAPIVersion(mux.ServeHTTP)
+	return WithVersion(cfg.NodeID, mux.ServeHTTP)
 }
 
-// withAPIVersion advertises the server's protocol version on every
-// response and refuses requests from an incompatible protocol major.
-func withAPIVersion(h http.HandlerFunc) http.HandlerFunc {
+// WithVersion advertises the server's protocol version (and, when node is
+// non-empty, its fleet identity) on every response and refuses requests
+// from an incompatible protocol major. Both the daemon and the router
+// wrap their whole surface in it.
+func WithVersion(node string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(api.VersionHeader, api.Current.String())
+		if node != "" {
+			w.Header().Set(api.NodeHeader, node)
+		}
 		if hdr := r.Header.Get(api.VersionHeader); hdr != "" {
 			v, err := api.ParseVersion(hdr)
 			if err != nil {
-				writeError(w, api.Errorf(api.CodeBadRequest, "malformed %s header %q", api.VersionHeader, hdr))
+				WriteError(w, api.Errorf(api.CodeBadRequest, "malformed %s header %q", api.VersionHeader, hdr))
 				return
 			}
 			if !v.CompatibleWith(api.Current) {
-				writeError(w, api.Errorf(api.CodeUnsupportedVersion,
+				WriteError(w, api.Errorf(api.CodeUnsupportedVersion,
 					"client speaks api %s, this server speaks %s", v, api.Current))
 				return
 			}
@@ -170,11 +230,22 @@ func parseLane(r *http.Request) (api.Lane, *api.Error) {
 	return lane, nil
 }
 
-// wantsText reports whether the client asked for a plain-text rendering
+// parseTenant reads the "tenant" query parameter (empty = anonymous),
+// bounding its length so per-tenant metric labels cannot be inflated by a
+// single hostile submission.
+func parseTenant(r *http.Request) (string, *api.Error) {
+	tenant := r.URL.Query().Get("tenant")
+	if len(tenant) > api.MaxTenantLen {
+		return "", api.Errorf(api.CodeBadRequest, "tenant exceeds %d bytes", api.MaxTenantLen)
+	}
+	return tenant, nil
+}
+
+// WantsText reports whether the client asked for a plain-text rendering
 // (Accept: text/plain) instead of the default JSON document. A
 // `text/plain;q=0` range explicitly excludes it per RFC 9110 and keeps
 // the JSON default.
-func wantsText(r *http.Request) bool {
+func WantsText(r *http.Request) bool {
 	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
 		mediaRange, params, _ := strings.Cut(strings.TrimSpace(part), ";")
 		if strings.TrimSpace(mediaRange) != "text/plain" {
@@ -234,6 +305,7 @@ func toAPIJob(info fleet.JobInfo) api.JobInfo {
 		Digest:      info.Digest,
 		Status:      api.Status(info.Status),
 		Lane:        api.Lane(info.Lane),
+		Tenant:      info.Tenant,
 		CacheHit:    info.CacheHit,
 		Attempts:    info.Attempts,
 		SubmittedAt: info.SubmittedAt,
@@ -263,7 +335,10 @@ func toAPIMetrics(s fleet.Snapshot, byModel map[string]ioagent.ModelStats) api.M
 		CacheMisses:       s.CacheMisses,
 		HitRate:           s.HitRate,
 		CacheLen:          s.CacheLen,
+		OwnedDigests:      s.OwnedDigests,
 		Retries:           s.Retries,
+		BreakerOpen:       s.BreakerOpen,
+		BreakerTrips:      s.BreakerTrips,
 		LatencyP50:        s.LatencyP50,
 		LatencyP95:        s.LatencyP95,
 	}
@@ -278,17 +353,30 @@ func toAPIMetrics(s fleet.Snapshot, byModel map[string]ioagent.ModelStats) api.M
 			}
 		}
 	}
+	if len(s.Tenants) > 0 {
+		m.Tenants = make(map[string]int64, len(s.Tenants))
+		for tenant, n := range s.Tenants {
+			m.Tenants[tenant] = n
+		}
+	}
 	return m
 }
 
-// writePrometheus renders the metrics document in Prometheus text
+// WritePrometheus renders a metrics document in Prometheus text
 // exposition format (version 0.0.4), served from GET /metrics under
-// "Accept: text/plain" content negotiation.
-func writePrometheus(w io.Writer, m api.Metrics) {
+// "Accept: text/plain" content negotiation — by single daemons for their
+// own counters and by the router for the cluster aggregate.
+func WritePrometheus(w io.Writer, m api.Metrics) {
 	metric := func(name, typ, help string) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
 	}
 	f64 := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	b01 := func(v bool) string {
+		if v {
+			return "1"
+		}
+		return "0"
+	}
 
 	metric("fleet_workers", "gauge", "Number of concurrent diagnosis workers.")
 	fmt.Fprintf(w, "fleet_workers %d\n", m.Workers)
@@ -311,8 +399,14 @@ func writePrometheus(w io.Writer, m api.Metrics) {
 	fmt.Fprintf(w, "fleet_cache_misses_total %d\n", m.CacheMisses)
 	metric("fleet_cache_entries", "gauge", "Resident result-cache entries.")
 	fmt.Fprintf(w, "fleet_cache_entries %d\n", m.CacheLen)
+	metric("fleet_owned_digests", "gauge", "Distinct digests this node holds (cache entries plus in-flight jobs); the node's share of the sharded digest space.")
+	fmt.Fprintf(w, "fleet_owned_digests %d\n", m.OwnedDigests)
 	metric("fleet_retries_total", "counter", "Extra diagnosis attempts beyond each job's first.")
 	fmt.Fprintf(w, "fleet_retries_total %d\n", m.Retries)
+	metric("fleet_breaker_open", "gauge", "1 while the transient-failure circuit breaker is failing work fast, else 0.")
+	fmt.Fprintf(w, "fleet_breaker_open %s\n", b01(m.BreakerOpen))
+	metric("fleet_breaker_trips_total", "counter", "Times the circuit breaker has tripped open.")
+	fmt.Fprintf(w, "fleet_breaker_trips_total %d\n", m.BreakerTrips)
 	// Two plain gauges rather than one series with a `quantile` label:
 	// that label is reserved for TYPE summary, and these are point-in-time
 	// estimates over a sliding sample, not a true summary.
@@ -339,9 +433,20 @@ func writePrometheus(w io.Writer, m api.Metrics) {
 	for _, model := range models {
 		fmt.Fprintf(w, "fleet_model_cost_usd_total{model=%q} %s\n", model, f64(m.Models[model].CostUSD))
 	}
+
+	tenants := make([]string, 0, len(m.Tenants))
+	for tenant := range m.Tenants {
+		tenants = append(tenants, tenant)
+	}
+	sort.Strings(tenants)
+	metric("fleet_tenant_jobs_total", "counter", "Jobs submitted per tenant (label cardinality capped server-side; the long tail aggregates under \"_other\").")
+	for _, tenant := range tenants {
+		fmt.Fprintf(w, "fleet_tenant_jobs_total{tenant=%q} %d\n", tenant, m.Tenants[tenant])
+	}
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// WriteJSON serves v as an indented JSON document on the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
@@ -349,9 +454,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-// writeError serves the wire error envelope on its canonical HTTP status.
-func writeError(w http.ResponseWriter, e *api.Error) {
-	writeJSON(w, e.Code.HTTPStatus(), e)
+// WriteError serves the wire error envelope on its canonical HTTP status.
+func WriteError(w http.ResponseWriter, e *api.Error) {
+	WriteJSON(w, e.Code.HTTPStatus(), e)
 }
 
 // internalError logs the real failure server-side and serves an opaque
@@ -359,5 +464,5 @@ func writeError(w http.ResponseWriter, e *api.Error) {
 // filesystem paths and addresses) never reach the wire.
 func internalError(w http.ResponseWriter, op string, err error) {
 	log.Printf("iofleetd: %s: %v", op, err)
-	writeError(w, api.Errorf(api.CodeInternal, "internal error; see server log"))
+	WriteError(w, api.Errorf(api.CodeInternal, "internal error; see server log"))
 }

@@ -1,24 +1,56 @@
-package main
+package server
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"ioagent/internal/darshan"
 	"ioagent/internal/fleet"
 	"ioagent/internal/fleet/api"
 	"ioagent/internal/fleet/client"
+	"ioagent/internal/fleet/store"
 	"ioagent/internal/ioagent"
+	"ioagent/internal/iosim"
 	"ioagent/internal/knowledge"
 	"ioagent/internal/llm"
 )
+
+// testTrace builds a deterministic small-write trace; distinct seeds give
+// distinct digests.
+func testTrace(seed int) *darshan.Log {
+	sim := iosim.New(iosim.Config{
+		Seed: int64(seed)*17 + 9, NProcs: 4, UsesMPI: true,
+		Exe: fmt.Sprintf("/apps/e2e/job%02d.ex", seed),
+	})
+	f := sim.OpenShared(fmt.Sprintf("/scratch/e2e-%03d.dat", seed), iosim.POSIX, false, nil)
+	for rank := 0; rank < 4; rank++ {
+		for i := int64(0); i < 8; i++ {
+			f.WriteAt(rank, (int64(rank)*8+i)*4096, 4096)
+		}
+	}
+	f.Close()
+	return sim.Finalize()
+}
+
+func encodeTraceBytes(t *testing.T, log *darshan.Log) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := darshan.Encode(&buf, log); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
 
 // testMux boots the HTTP surface over a small real pool.
 func testMux(t *testing.T, maxBody int64) (*fleet.Pool, *httptest.Server) {
@@ -28,8 +60,7 @@ func testMux(t *testing.T, maxBody int64) (*fleet.Pool, *httptest.Server) {
 		Agent:   ioagent.Options{Index: knowledge.BuildIndex()},
 	})
 	t.Cleanup(pool.Close)
-	var draining atomic.Bool
-	srv := httptest.NewServer(newMux(pool, nil, &draining, maxBody))
+	srv := httptest.NewServer(NewMux(Config{Pool: pool, MaxBody: maxBody}))
 	t.Cleanup(srv.Close)
 	return pool, srv
 }
@@ -77,6 +108,16 @@ func TestMuxErrorTaxonomy(t *testing.T) {
 	}
 	if e := apiError(t, resp); resp.StatusCode != http.StatusBadRequest || e.Code != api.CodeBadRequest {
 		t.Errorf("unknown lane = %s / %q, want 400 bad_request", resp.Status, e.Code)
+	}
+
+	// Oversized tenant: bad_request, before the body is even considered.
+	longTenant := strings.Repeat("t", api.MaxTenantLen+1)
+	resp, err = http.Post(srv.URL+"/v1/jobs?tenant="+longTenant, "application/octet-stream", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := apiError(t, resp); resp.StatusCode != http.StatusBadRequest || e.Code != api.CodeBadRequest {
+		t.Errorf("oversized tenant = %s / %q, want 400 bad_request", resp.Status, e.Code)
 	}
 
 	// Unmatched path: still an enveloped error, still version-stamped —
@@ -157,20 +198,65 @@ func TestMuxVersionNegotiation(t *testing.T) {
 	}
 }
 
+// TestMuxNodeIdentity: a -node-id daemon stamps every response with
+// X-Fleet-Node and advertises the id in its metrics document.
+func TestMuxNodeIdentity(t *testing.T) {
+	pool := fleet.New(llm.NewSim(), fleet.Config{
+		Workers: 1, NodeID: "n7",
+		Agent: ioagent.Options{Index: knowledge.BuildIndex()},
+	})
+	t.Cleanup(pool.Close)
+	srv := httptest.NewServer(NewMux(Config{Pool: pool, NodeID: "n7"}))
+	t.Cleanup(srv.Close)
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(api.NodeHeader); got != "n7" {
+		t.Errorf("node header = %q, want n7", got)
+	}
+
+	c := client.New(srv.URL)
+	t.Cleanup(c.Close)
+	m, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Node != "n7" {
+		t.Errorf("metrics node = %q, want n7", m.Node)
+	}
+
+	// Jobs carry the node prefix, the root of cluster-wide ID routing.
+	info, err := c.Submit(context.Background(), api.SubmitRequest{Trace: encodeTraceBytes(t, testTrace(41))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(info.ID, "n7-job-") {
+		t.Errorf("job id = %q, want an n7-job- prefix", info.ID)
+	}
+}
+
 // TestMuxClientRoundTrip drives the real mux through the SDK: submit on
-// the batch lane, wait the diagnosis, and read both metrics renderings.
+// the batch lane under a tenant, wait the diagnosis, and read both
+// metrics renderings.
 func TestMuxClientRoundTrip(t *testing.T) {
 	_, srv := testMux(t, 64<<20)
 	c := client.New(srv.URL, client.WithPollInterval(10*time.Millisecond))
+	t.Cleanup(c.Close)
 	ctx := context.Background()
 
-	raw := encodeTraceBytes(t, e2eTrace(11))
-	info, err := c.Submit(ctx, api.SubmitRequest{Lane: api.LaneBatch, Trace: raw})
+	raw := encodeTraceBytes(t, testTrace(11))
+	info, err := c.Submit(ctx, api.SubmitRequest{Lane: api.LaneBatch, Tenant: "acme", Trace: raw})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if info.Lane != api.LaneBatch {
 		t.Errorf("accepted lane = %q, want batch", info.Lane)
+	}
+	if info.Tenant != "acme" {
+		t.Errorf("accepted tenant = %q, want acme", info.Tenant)
 	}
 	diag, err := c.WaitDiagnosis(ctx, info.ID)
 	if err != nil {
@@ -180,8 +266,10 @@ func TestMuxClientRoundTrip(t *testing.T) {
 		t.Errorf("diagnosis = %+v, want text and matching job/lane", diag)
 	}
 
-	// A duplicate submission is answered by the digest, not re-run.
-	dup, err := c.Submit(ctx, api.SubmitRequest{Lane: api.LaneInteractive, Trace: raw})
+	// A duplicate submission is answered by the digest, not re-run — even
+	// from another tenant (the cache is content-addressed, not
+	// tenant-scoped).
+	dup, err := c.Submit(ctx, api.SubmitRequest{Lane: api.LaneInteractive, Tenant: "globex", Trace: raw})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,11 +289,17 @@ func TestMuxClientRoundTrip(t *testing.T) {
 			t.Errorf("model %s counters = %+v, want nonzero calls and tokens", model, ms)
 		}
 	}
+	if m.Tenants["acme"] != 1 || m.Tenants["globex"] != 1 {
+		t.Errorf("tenant counters = %v, want acme:1 globex:1", m.Tenants)
+	}
+	if m.OwnedDigests < 1 {
+		t.Errorf("owned digests = %d, want >= 1 after a cached diagnosis", m.OwnedDigests)
+	}
 }
 
 func TestMuxPrometheusExposition(t *testing.T) {
 	pool, srv := testMux(t, 64<<20)
-	job, err := pool.SubmitWith(e2eTrace(12), fleet.SubmitOpts{Lane: fleet.LaneBatch})
+	job, err := pool.SubmitWith(testTrace(12), fleet.SubmitOpts{Lane: fleet.LaneBatch, Tenant: "acme"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,6 +325,10 @@ func TestMuxPrometheusExposition(t *testing.T) {
 		`fleet_jobs_queued{lane="interactive"}`,
 		`fleet_jobs_queued{lane="batch"}`,
 		"fleet_jobs_done_total 1",
+		"fleet_owned_digests 1",
+		"fleet_breaker_open 0",
+		"fleet_breaker_trips_total 0",
+		`fleet_tenant_jobs_total{tenant="acme"} 1`,
 		`fleet_model_tokens_total{model="` + llm.GPT4o + `",kind="prompt"}`,
 		`fleet_model_cost_usd_total{model="` + llm.GPT4o + `"}`,
 	} {
@@ -275,11 +373,10 @@ func TestMuxDoesNotLeakFailureDetail(t *testing.T) {
 		Agent: ioagent.Options{Index: knowledge.BuildIndex()},
 	})
 	t.Cleanup(pool.Close)
-	var draining atomic.Bool
-	srv := httptest.NewServer(newMux(pool, nil, &draining, 64<<20))
+	srv := httptest.NewServer(NewMux(Config{Pool: pool}))
 	t.Cleanup(srv.Close)
 
-	job, err := pool.Submit(e2eTrace(13))
+	job, err := pool.Submit(testTrace(13))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,6 +411,64 @@ func TestMuxDoesNotLeakFailureDetail(t *testing.T) {
 	}
 }
 
+// TestMuxBreakerOpenRefusesSubmissions: once the pool's circuit breaker
+// trips, POST /v1/jobs answers a retryable 503 breaker_open instead of
+// accepting jobs doomed to fail — the signal routers use to fail this
+// node's shard over to a ring successor.
+func TestMuxBreakerOpenRefusesSubmissions(t *testing.T) {
+	pool := fleet.New(&alwaysDown{}, fleet.Config{
+		Workers: 1, MaxAttempts: 1, RetryDelay: time.Nanosecond,
+		BreakerThreshold: 2, BreakerCooldown: time.Hour,
+		Agent: ioagent.Options{Index: knowledge.BuildIndex()},
+	})
+	t.Cleanup(pool.Close)
+	srv := httptest.NewServer(NewMux(Config{Pool: pool}))
+	t.Cleanup(srv.Close)
+
+	// Trip the breaker with two transiently failing jobs.
+	for seed := 30; seed < 32; seed++ {
+		job, err := pool.Submit(testTrace(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		job.Wait()
+	}
+
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/octet-stream",
+		bytes.NewReader(encodeTraceBytes(t, testTrace(33))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := apiError(t, resp)
+	if resp.StatusCode != http.StatusServiceUnavailable || e.Code != api.CodeBreakerOpen {
+		t.Fatalf("submit with open breaker = %s / %q, want 503 breaker_open", resp.Status, e.Code)
+	}
+	if !e.Code.Retryable() {
+		t.Error("breaker_open must be retryable so routers fail over")
+	}
+
+	// Monitoring still sees the raw open state.
+	resp2, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var m api.Metrics
+	if err := json.NewDecoder(resp2.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if !m.BreakerOpen || m.BreakerTrips != 1 {
+		t.Errorf("metrics breaker open=%v trips=%d, want open with 1 trip", m.BreakerOpen, m.BreakerTrips)
+	}
+}
+
+// alwaysDown fails transiently on every call — a dead backend.
+type alwaysDown struct{}
+
+func (alwaysDown) Complete(llm.Request) (llm.Response, error) {
+	return llm.Response{}, llm.Transient(fmt.Errorf("backend down"))
+}
+
 // alwaysFail emits a permanent error that embeds the kind of path detail
 // the old surface used to echo to clients.
 type alwaysFail struct{}
@@ -325,3 +480,67 @@ func (alwaysFail) Complete(llm.Request) (llm.Response, error) {
 type pathError struct{}
 
 func (*pathError) Error() string { return "open /secret/state/journal.wal: permission denied" }
+
+// TestMuxDrainRejectsAndJournals pins the drain behavior deterministically:
+// once draining flips, POST /v1/jobs answers 503 and the refusal lands in
+// the journal, while read endpoints keep serving.
+func TestMuxDrainRejectsAndJournals(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	pool := fleet.New(llm.NewSim(), fleet.Config{
+		Workers: 1,
+		Agent:   ioagent.Options{Index: knowledge.BuildIndex()},
+	})
+	defer pool.Close()
+	var draining atomic.Bool
+	srv := httptest.NewServer(NewMux(Config{Pool: pool, Store: st, Draining: &draining}))
+	defer srv.Close()
+
+	raw := encodeTraceBytes(t, testTrace(3))
+
+	// Healthy: accepted.
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("pre-drain submit = %s, want 202", resp.Status)
+	}
+
+	// Draining: refused with 503 and journaled.
+	draining.Store(true)
+	resp, err = http.Post(srv.URL+"/v1/jobs", "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("drain submit = %s, want 503", resp.Status)
+	}
+	if !strings.Contains(string(body), "draining") {
+		t.Errorf("drain error body = %s, want a draining explanation", body)
+	}
+	journal, err := os.ReadFile(filepath.Join(dir, "journal.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(journal), `"op":"reject"`) || !strings.Contains(string(journal), "draining") {
+		t.Errorf("journal should record the refusal, got %q", journal)
+	}
+
+	// Reads still work mid-drain.
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("metrics during drain = %s, want 200", resp.Status)
+	}
+}

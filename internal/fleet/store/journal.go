@@ -29,12 +29,15 @@ const (
 // so a restarted daemon can reconstruct and resubmit the job; covering
 // records carry only the ID.
 type record struct {
-	Op     string    `json:"op"`
-	ID     string    `json:"id,omitempty"`
-	Digest string    `json:"digest,omitempty"`
+	Op     string `json:"op"`
+	ID     string `json:"id,omitempty"`
+	Digest string `json:"digest,omitempty"`
 	// Lane is the submission's priority lane; absent in journals written
 	// before lanes existed, which replay as the default lane.
-	Lane   string    `json:"lane,omitempty"`
+	Lane string `json:"lane,omitempty"`
+	// Tenant is the submission's tenant identifier; absent for anonymous
+	// submissions and in journals written before tenants existed.
+	Tenant string    `json:"tenant,omitempty"`
 	At     time.Time `json:"at,omitzero"`
 	Error  string    `json:"error,omitempty"`
 	Reason string    `json:"reason,omitempty"`
@@ -49,6 +52,7 @@ type PendingJob struct {
 	ID          string // the ID in the PREVIOUS process; replay assigns a new one
 	Digest      string
 	Lane        fleet.Lane // empty in pre-lane journals (replays as default)
+	Tenant      string     // empty for anonymous or pre-tenant journals
 	SubmittedAt time.Time
 	Log         *darshan.Log
 }
@@ -96,7 +100,7 @@ func scanJournal(path string) (pending []PendingJob, raw map[string][]byte, vali
 				warnings = append(warnings, fmt.Sprintf("journal: skipping submit %s with undecodable trace: %v", rec.ID, derr))
 				break
 			}
-			p := PendingJob{ID: rec.ID, Digest: rec.Digest, Lane: fleet.Lane(rec.Lane), SubmittedAt: rec.At, Log: log}
+			p := PendingJob{ID: rec.ID, Digest: rec.Digest, Lane: fleet.Lane(rec.Lane), Tenant: rec.Tenant, SubmittedAt: rec.At, Log: log}
 			if i, dup := byID[rec.ID]; dup {
 				pending[i] = p
 				raw[rec.ID] = append([]byte(nil), line...)

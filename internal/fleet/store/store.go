@@ -188,7 +188,9 @@ func (s *Store) Replay(p *fleet.Pool) (restored, resubmitted int, err error) {
 			s.opts.Logf("store: replay %s: unknown lane %q, using the default", job.ID, lane)
 			lane = ""
 		}
-		if _, serr := p.SubmitWith(job.Log, fleet.SubmitOpts{Lane: lane}); serr != nil {
+		// The tenant survives too, so per-tenant accounting stays honest
+		// across a bounce (the replayed job re-counts under its tenant).
+		if _, serr := p.SubmitWith(job.Log, fleet.SubmitOpts{Lane: lane, Tenant: job.Tenant}); serr != nil {
 			return restored, resubmitted, fmt.Errorf("store: replay %s: %w", job.ID, serr)
 		}
 		resubmitted++
@@ -223,7 +225,8 @@ func (s *Store) OnJobEvent(ev fleet.Event) {
 		}
 		s.append(record{
 			Op: opSubmit, ID: ev.Job.ID, Digest: ev.Job.Digest,
-			Lane: string(ev.Job.Lane), At: ev.Job.SubmittedAt, Trace: buf.Bytes(),
+			Lane: string(ev.Job.Lane), Tenant: ev.Job.Tenant,
+			At: ev.Job.SubmittedAt, Trace: buf.Bytes(),
 		})
 	case fleet.EventDone:
 		s.cover(record{Op: opDone, ID: ev.Job.ID, Digest: ev.Job.Digest, At: ev.Job.FinishedAt})

@@ -369,6 +369,43 @@ func TestJournalPersistsLaneAcrossRestart(t *testing.T) {
 	}
 }
 
+// TestJournalPersistsTenantAcrossRestart: the tenant identifier journals
+// with the submission and replays with it, so per-tenant accounting stays
+// honest across a bounce; anonymous submissions journal without a tenant
+// key (wire compatibility with pre-tenant journals is the same property).
+func TestJournalPersistsTenantAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	ev := submitEvent("job-000001", "d1", testTrace(1))
+	ev.Job.Tenant = "acme"
+	s.OnJobEvent(ev)
+	s.OnJobEvent(submitEvent("job-000002", "d2", testTrace(2))) // anonymous
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	rec := s2.Recovered()
+	if len(rec.Pending) != 2 || rec.Pending[0].Tenant != "acme" || rec.Pending[1].Tenant != "" {
+		t.Fatalf("recovered pending = %+v, want tenant acme then anonymous", rec.Pending)
+	}
+
+	pool := fleet.New(llm.NewSim(), testConfig(1, s2))
+	defer pool.Close()
+	if _, _, err := s2.Replay(pool); err != nil {
+		t.Fatal(err)
+	}
+	pool.Wait()
+	jobs := pool.Jobs()
+	if len(jobs) != 2 || jobs[0].Tenant() != "acme" || jobs[1].Tenant() != "" {
+		t.Fatalf("replayed tenants = %v, want acme then anonymous", jobs)
+	}
+	if m := pool.Metrics(); m.Tenants["acme"] != 1 {
+		t.Errorf("replay did not re-count the tenant: %v", m.Tenants)
+	}
+}
+
 // TestJournalPreLaneRecordReplaysOnDefault feeds a journal line written
 // before lanes existed (no "lane" key) through recovery.
 func TestJournalPreLaneRecordReplaysOnDefault(t *testing.T) {

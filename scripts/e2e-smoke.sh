@@ -1,42 +1,59 @@
 #!/bin/sh
-# e2e-smoke.sh — CI smoke test for the versioned wire API.
+# e2e-smoke.sh — CI smoke test for the versioned wire API and the
+# multi-node cluster layer.
 #
-# Builds both binaries under the race detector, boots iofleetd on an
-# ephemeral port, and round-trips one TraceBench trace through
-# `ioagent -server` (the internal/fleet/client SDK) on each priority
-# lane. Run from the repository root; exits non-zero on any failure.
+# Part 1 (single daemon): builds the binaries under the race detector,
+# boots iofleetd on an ephemeral port, and round-trips one TraceBench
+# trace through `ioagent -server` (the internal/fleet/client SDK) on each
+# priority lane.
+#
+# Part 2 (cluster): boots TWO iofleetd nodes plus iofleet-router, routes
+# both lanes through the router, restarts the router and checks a warm
+# digest is still served from the owning node's cache, then kills one
+# node mid-batch and asserts the batch still completes (ring-successor
+# failover + digest-idempotent resubmit).
+#
+# Run from the repository root; exits non-zero on any failure.
 set -eu
 
 workdir=$(mktemp -d)
-daemon_pid=""
+pids=""
 cleanup() {
-    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    for p in $pids; do kill "$p" 2>/dev/null || true; done
     rm -rf "$workdir"
 }
 trap cleanup EXIT INT TERM
 
+# start_daemon LOGFILE ARGS... — boots a binary on 127.0.0.1:0 and echoes
+# its resolved address; the PID is appended to $pids via the global.
+wait_addr() { # logfile pid
+    _addr=""
+    _i=0
+    while [ "$_i" -lt 100 ]; do
+        _addr=$(sed -n 's/.*listening on \(127\.0\.0\.1:[0-9]*\).*/\1/p' "$1" | head -1)
+        [ -n "$_addr" ] && break
+        kill -0 "$2" 2>/dev/null || { echo "process exited early:" >&2; cat "$1" >&2; exit 1; }
+        _i=$((_i + 1))
+        sleep 0.1
+    done
+    [ -n "$_addr" ] || { echo "process never reported its address:" >&2; cat "$1" >&2; exit 1; }
+    echo "$_addr"
+}
+
 echo "== building binaries (-race)"
 go build -race -o "$workdir/iofleetd" ./cmd/iofleetd
+go build -race -o "$workdir/iofleet-router" ./cmd/iofleet-router
 go build -race -o "$workdir/ioagent" ./cmd/ioagent
 go build -o "$workdir/tracebench" ./cmd/tracebench
 
 echo "== materializing traces"
 "$workdir/tracebench" -out "$workdir/traces" >/dev/null
 
-echo "== booting iofleetd on an ephemeral port"
+echo "== [1/2] single daemon: booting iofleetd on an ephemeral port"
 "$workdir/iofleetd" -addr 127.0.0.1:0 -workers 2 2>"$workdir/daemon.log" &
 daemon_pid=$!
-
-addr=""
-i=0
-while [ "$i" -lt 100 ]; do
-    addr=$(sed -n 's/.*listening on \(127\.0\.0\.1:[0-9]*\).*/\1/p' "$workdir/daemon.log" | head -1)
-    [ -n "$addr" ] && break
-    kill -0 "$daemon_pid" 2>/dev/null || { echo "daemon exited early:"; cat "$workdir/daemon.log"; exit 1; }
-    i=$((i + 1))
-    sleep 0.1
-done
-[ -n "$addr" ] || { echo "daemon never reported its address:"; cat "$workdir/daemon.log"; exit 1; }
+pids="$pids $daemon_pid"
+addr=$(wait_addr "$workdir/daemon.log" "$daemon_pid")
 echo "   daemon at $addr"
 
 trace=$(ls "$workdir"/traces/*.darshan | head -1)
@@ -53,8 +70,74 @@ echo "== checking Prometheus exposition"
 curl -sf -H 'Accept: text/plain' "http://$addr/metrics" | grep -q '^fleet_jobs_done_total' \
     || { echo "/metrics text exposition missing fleet_jobs_done_total"; exit 1; }
 
-echo "== clean shutdown"
+echo "== clean shutdown of the single daemon"
 kill -TERM "$daemon_pid"
 wait "$daemon_pid" || true
-daemon_pid=""
+
+echo "== [2/2] cluster: booting two iofleetd nodes"
+# -api-latency stretches each diagnosis so the mid-batch kill below lands
+# while work is genuinely in flight.
+"$workdir/iofleetd" -addr 127.0.0.1:0 -node-id n1 -workers 2 -api-latency 300ms 2>"$workdir/n1.log" &
+n1_pid=$!
+pids="$pids $n1_pid"
+"$workdir/iofleetd" -addr 127.0.0.1:0 -node-id n2 -workers 2 -api-latency 300ms 2>"$workdir/n2.log" &
+n2_pid=$!
+pids="$pids $n2_pid"
+n1=$(wait_addr "$workdir/n1.log" "$n1_pid")
+n2=$(wait_addr "$workdir/n2.log" "$n2_pid")
+echo "   nodes at $n1 (n1) and $n2 (n2)"
+
+echo "== booting iofleet-router over both nodes"
+"$workdir/iofleet-router" -addr 127.0.0.1:0 -nodes "http://$n1,http://$n2" 2>"$workdir/router.log" &
+router_pid=$!
+pids="$pids $router_pid"
+router=$(wait_addr "$workdir/router.log" "$router_pid")
+echo "   router at $router"
+
+echo "== round-tripping both lanes through the router"
+"$workdir/ioagent" -server "http://$router" -lane interactive -tenant smoke "$trace" >"$workdir/r-interactive.out"
+grep -q "I/O" "$workdir/r-interactive.out" || { echo "router interactive diagnosis looks empty:"; cat "$workdir/r-interactive.out"; exit 1; }
+"$workdir/ioagent" -server "http://$router" -lane batch -tenant smoke "$trace" >"$workdir/r-batch.out"
+grep -q "cache hit" "$workdir/r-batch.out" || { echo "router batch resubmit was not a cache hit:"; cat "$workdir/r-batch.out"; exit 1; }
+
+echo "== checking aggregated metrics through the router"
+curl -sf "http://$router/metrics" | grep -q '"tenant_jobs"' \
+    || { echo "router metrics missing per-tenant counters"; exit 1; }
+curl -sf -H 'Accept: text/plain' "http://$router/metrics" | grep -q '^fleet_owned_digests' \
+    || { echo "router exposition missing fleet_owned_digests"; exit 1; }
+curl -sf "http://$router/v1/cluster" | grep -q '"healthy": true' \
+    || { echo "cluster health reports no healthy node"; exit 1; }
+
+echo "== restarting the router: warm digest must hit the owning node's cache"
+kill -TERM "$router_pid"
+wait "$router_pid" || true
+"$workdir/iofleet-router" -addr 127.0.0.1:0 -nodes "http://$n1,http://$n2" 2>"$workdir/router2.log" &
+router_pid=$!
+pids="$pids $router_pid"
+router=$(wait_addr "$workdir/router2.log" "$router_pid")
+"$workdir/ioagent" -server "http://$router" -lane interactive "$trace" >"$workdir/r-warm.out"
+grep -q "cache hit" "$workdir/r-warm.out" || { echo "warm digest missed after router restart:"; cat "$workdir/r-warm.out"; exit 1; }
+
+echo "== killing node n2 mid-batch: the batch must still complete"
+batch_traces=$(ls "$workdir"/traces/*.darshan | head -4)
+# shellcheck disable=SC2086
+"$workdir/ioagent" -server "http://$router" -lane batch $batch_traces >"$workdir/r-kill.out" 2>"$workdir/r-kill.err" &
+batch_pid=$!
+sleep 0.4
+kill -KILL "$n2_pid" 2>/dev/null || true
+if ! wait "$batch_pid"; then
+    echo "batch failed after killing n2:"
+    cat "$workdir/r-kill.out" "$workdir/r-kill.err"
+    echo "--- router log ---"; tail -20 "$workdir/router.log" "$workdir/router2.log" 2>/dev/null
+    exit 1
+fi
+done_count=$(grep -c "done" "$workdir/r-kill.out" || true)
+[ "$done_count" -ge 4 ] || { echo "batch reported only $done_count done jobs of 4:"; cat "$workdir/r-kill.out"; exit 1; }
+echo "   batch of 4 completed with n2 dead ($done_count reports)"
+
+echo "== clean shutdown"
+kill -TERM "$router_pid" "$n1_pid" 2>/dev/null || true
+wait "$router_pid" 2>/dev/null || true
+wait "$n1_pid" 2>/dev/null || true
+pids=""
 echo "e2e smoke OK"

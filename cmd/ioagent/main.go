@@ -6,6 +6,7 @@
 //	ioagent [-model NAME] [-interactive] [-show-fragments] <trace>
 //	ioagent -fleet N [-model NAME] <trace> [trace ...]
 //	ioagent -server URL[,URL...] [-lane interactive|batch] [-tenant NAME] <trace> [trace ...]
+//	ioagent -server URL -stream [-chunk N] [-lane ...] [-tenant ...] [<trace>|-]
 //
 // Traces may be binary logs (as written by cmd/tracebench) or
 // darshan-parser text. With -interactive, questions are read from stdin
@@ -21,6 +22,14 @@
 // iofleetd nodes — no router hop — with automatic failover to ring
 // successors. (Pointing -server at a single iofleet-router URL reaches
 // the same fleet through the server-side route.)
+//
+// With -stream the trace is never loaded into memory: a file argument is
+// scanned once to learn its canonical content digest (so the submission
+// asserts X-Fleet-Digest and a router places the stream with zero
+// spooling), then streamed in chunks; "-" (or no argument) streams stdin
+// single-pass, with the digest computed on the fly and sent as a
+// trailer. -chunk N instead drives a resumable upload session in N-byte
+// PATCH appends (the path that survives daemon restarts mid-transfer).
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -36,6 +46,7 @@ import (
 	"ioagent/internal/fleet"
 	"ioagent/internal/fleet/api"
 	"ioagent/internal/fleet/client"
+	"ioagent/internal/fleet/ingest"
 	"ioagent/internal/ioagent"
 	"ioagent/internal/llm"
 )
@@ -51,6 +62,8 @@ func main() {
 	server := flag.String("server", "", "remote mode: diagnose through the iofleetd daemon (or iofleet-router) at this base URL; a comma-separated list routes client-side across the fleet")
 	lane := flag.String("lane", "", "priority lane for -server submissions: interactive (default) or batch")
 	tenant := flag.String("tenant", "", "tenant identifier for -server submissions (per-tenant accounting)")
+	stream := flag.Bool("stream", false, "with -server: stream one trace (file or '-' for stdin) without loading it into memory")
+	chunk := flag.Int("chunk", 0, "with -stream: use a resumable upload session in N-byte chunks instead of one streaming request")
 	flag.Parse()
 
 	opts := ioagent.Options{
@@ -59,6 +72,10 @@ func main() {
 	}
 
 	if *server != "" {
+		if *stream {
+			runStream(*server, api.Lane(*lane), *tenant, *chunk, flag.Args())
+			return
+		}
 		if flag.NArg() < 1 {
 			fmt.Fprintln(os.Stderr, "usage: ioagent -server URL [-lane interactive|batch] <trace> [trace ...]")
 			os.Exit(2)
@@ -186,6 +203,14 @@ type fleetAPI interface {
 	Close()
 }
 
+// streamAPI is the slice runStream drives; likewise satisfied by both.
+type streamAPI interface {
+	SubmitStream(ctx context.Context, body io.Reader, opts client.StreamOpts) (api.JobInfo, error)
+	SubmitChunked(ctx context.Context, r io.Reader, chunkSize int, opts client.StreamOpts) (api.JobInfo, error)
+	WaitDiagnosis(ctx context.Context, id string) (api.Diagnosis, error)
+	Close()
+}
+
 // runServer batch-diagnoses every path through a remote iofleetd daemon
 // (or, with a comma-separated URL list, client-side across a whole fleet)
 // via the versioned API client: raw trace bytes are submitted on the
@@ -252,6 +277,78 @@ func runServer(baseURL string, lane api.Lane, tenant string, paths []string) {
 		fmt.Fprintf(os.Stderr, "ioagent: %d of %d jobs failed\n", failed, len(ids))
 		os.Exit(1)
 	}
+}
+
+// runStream submits one trace through the streaming ingest path without
+// ever loading it: files are scanned once for their canonical content
+// digest (so the submission asserts X-Fleet-Digest and a fronting router
+// forwards the stream spool-free to the owning node), then streamed;
+// stdin is single-pass, so the digest ships as a trailer instead. With
+// chunkSize > 0 the trace travels as a resumable upload session.
+func runStream(baseURL string, lane api.Lane, tenant string, chunkSize int, args []string) {
+	if len(args) > 1 {
+		fmt.Fprintln(os.Stderr, "usage: ioagent -server URL -stream [<trace>|-]  (one trace per invocation)")
+		os.Exit(2)
+	}
+	path := "-"
+	if len(args) == 1 {
+		path = args[0]
+	}
+
+	ctx := context.Background()
+	// A comma-separated -server list engages cluster mode, exactly like
+	// the buffered path: the stream routes client-side to the digest's
+	// owner (or the first reachable member for digest-less stdin).
+	var c streamAPI
+	if members := strings.Split(baseURL, ","); len(members) > 1 {
+		cluster, err := client.NewCluster(members)
+		check(err)
+		c = cluster
+	} else {
+		c = client.New(baseURL)
+	}
+	defer c.Close()
+
+	var body io.Reader = os.Stdin
+	opts := client.StreamOpts{Lane: lane, Tenant: tenant}
+	if path != "-" {
+		f, err := os.Open(path)
+		check(err)
+		defer f.Close()
+		// Pass one: learn the digest by streaming the file through the
+		// incremental parser — bounded memory regardless of trace size.
+		parser := ingest.NewParser(0)
+		if _, err := io.Copy(parser, bufio.NewReaderSize(f, 64<<10)); err == nil {
+			if _, digest, ferr := parser.Finish(); ferr == nil {
+				opts.Digest = digest
+			}
+		}
+		// Pass two: the actual upload (rewindable, so transient failures
+		// retry from the start).
+		_, err = f.Seek(0, io.SeekStart)
+		check(err)
+		body = f
+	}
+
+	var info api.JobInfo
+	var err error
+	if chunkSize > 0 {
+		info, err = c.SubmitChunked(ctx, body, chunkSize, opts)
+	} else {
+		info, err = c.SubmitStream(ctx, body, opts)
+	}
+	check(err)
+
+	diag, err := c.WaitDiagnosis(ctx, info.ID)
+	check(err)
+	header := fmt.Sprintf("%s, done, %s lane", info.ID, diag.Lane)
+	if diag.CacheHit {
+		header += ", cache hit"
+	}
+	if opts.Digest != "" {
+		header += fmt.Sprintf(", digest %.12s…", opts.Digest)
+	}
+	fmt.Printf("=== %s (%s) ===\n%s\n", path, header, diag.Text)
 }
 
 // loadTrace reads a binary or text Darshan log.

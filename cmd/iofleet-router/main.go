@@ -13,13 +13,24 @@
 //
 //	iofleet-router -nodes URL[,URL...] [-addr :8090] [-id router]
 //	               [-vnodes 128] [-max-body 67108864]
+//	               [-spool-dir DIR] [-spool-max 67108864]
 //	               [-node-retries 2] [-node-retry-delay 100ms]
 //
 // Endpoints (same contract and error envelopes as iofleetd):
 //
 //	POST /v1/jobs[?lane=...&tenant=...]  forwarded to the ring owner of
-//	                            the body bytes; on a down owner, to the
-//	                            next ring successor (idempotent by digest)
+//	                            the trace's canonical content digest; on a
+//	                            down owner, to the next ring successor
+//	                            (idempotent by digest)
+//	POST /v1/jobs/stream        with X-Fleet-Digest: piped straight to the
+//	                            digest's owner, zero spool; without it:
+//	                            spooled to disk within -spool-max, digest
+//	                            derived, then forwarded with the header
+//	POST /v1/uploads            opened on the claimed digest's owner (or
+//	                            the first reachable node)
+//	PATCH|GET|DELETE /v1/uploads/{id}, POST /v1/uploads/{id}/complete
+//	                            forwarded to the node named by the session
+//	                            ID's node prefix
 //	GET  /v1/jobs               merged job listing across reachable nodes
 //	GET  /v1/jobs/{id}          forwarded to the node named by the ID's
 //	                            node prefix (iofleetd -node-id)
@@ -57,6 +68,8 @@ func main() {
 	nodes := flag.String("nodes", "", "comma-separated iofleetd base URLs (required), e.g. http://10.0.0.1:8080,http://10.0.0.2:8080")
 	vnodes := flag.Int("vnodes", ring.DefaultReplicas, "consistent-hash virtual nodes per member (all routers and cluster clients must agree)")
 	maxBody := flag.Int64("max-body", 64<<20, "max trace upload size in bytes (exceeding it returns trace_too_large)")
+	spoolDir := flag.String("spool-dir", "", "directory for temporary spools of streaming submissions without X-Fleet-Digest (default: OS temp dir)")
+	spoolMax := flag.Int64("spool-max", 0, "max bytes spooled per header-less stream (0 = -max-body); digest-asserted streams never spool")
 	nodeRetries := flag.Int("node-retries", 2, "attempts per node per forwarded call before failing over to the ring successor")
 	nodeRetryDelay := flag.Duration("node-retry-delay", 100*time.Millisecond, "backoff between per-node attempts")
 	flag.Parse()
@@ -76,6 +89,8 @@ func main() {
 		Members:  members,
 		Replicas: *vnodes,
 		MaxBody:  *maxBody,
+		SpoolDir: *spoolDir,
+		SpoolMax: *spoolMax,
 		ClientOptions: []client.Option{
 			client.WithRetry(*nodeRetries, *nodeRetryDelay),
 		},

@@ -21,7 +21,8 @@
 //	iofleetd [-addr :8080] [-workers 4] [-cache-size 1024] [-cache-ttl 1h]
 //	         [-retries 3] [-model NAME] [-cheap-model NAME] [-api-latency 0]
 //	         [-max-body 67108864] [-batch-share 4] [-node-id NAME]
-//	         [-breaker 8] [-breaker-cooldown 5s]
+//	         [-breaker 8] [-breaker-cooldown 5s] [-tenant-max-inflight 0]
+//	         [-upload-ttl 1h] [-max-uploads 64]
 //	         [-state-dir DIR] [-snapshot-interval 30s] [-fsync always|batch|off]
 //
 // Endpoints (all speak api.Version 1.x, advertised and negotiated via the
@@ -32,6 +33,18 @@
 //	                            the job record. lane defaults to interactive;
 //	                            batch traffic yields to interactive but keeps
 //	                            1/-batch-share of worker slots
+//	POST /v1/jobs/stream        submit a trace as a stream (chunked transfer
+//	                            encoding): text renderings are pre-parsed
+//	                            incrementally as chunks arrive; an asserted
+//	                            X-Fleet-Digest (header or trailer) is
+//	                            verified against the parsed bytes
+//	POST /v1/uploads            open a resumable upload session (201)
+//	PATCH /v1/uploads/{id}      append a chunk at the Upload-Offset header's
+//	                            offset; each chunk feeds the incremental
+//	                            parser immediately
+//	GET  /v1/uploads/{id}       session status (offset = resume point)
+//	POST /v1/uploads/{id}/complete  finalize the session into a job (202)
+//	DELETE /v1/uploads/{id}     abort the session
 //	GET  /v1/jobs               list all jobs
 //	GET  /v1/jobs/{id}          poll one job's status
 //	GET  /v1/jobs/{id}/diagnosis finished report (JSON document; raw text
@@ -39,6 +52,13 @@
 //	GET  /metrics               pool health (JSON; Prometheus text exposition
 //	                            with "Accept: text/plain")
 //	GET  /healthz               liveness probe
+//
+// With -state-dir, open upload sessions survive a restart: the journal
+// records each open, the accepted bytes spool under <state-dir>/uploads/,
+// and a rebooted daemon re-feeds the spool so clients resume at the same
+// offset. -tenant-max-inflight caps any one tenant's unfinished jobs;
+// beyond it submissions refuse with the retryable quota_exceeded code
+// (HTTP 429 + Retry-After).
 //
 // -api-latency adds a simulated network round trip to every model call,
 // which is how a deployment against a remote LLM API behaves; it makes the
@@ -59,6 +79,7 @@ import (
 	"time"
 
 	"ioagent/internal/fleet"
+	"ioagent/internal/fleet/ingest"
 	"ioagent/internal/fleet/server"
 	"ioagent/internal/fleet/store"
 	"ioagent/internal/ioagent"
@@ -84,7 +105,10 @@ func main() {
 	batchShare := flag.Int("batch-share", 0, "1 in N worker slots goes to the batch lane under interactive load (0 = default 4, negative = strict interactive priority)")
 	breaker := flag.Int("breaker", 8, "circuit breaker: consecutive transient LLM failures before new work fails fast (0 disables)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker waits before a half-open probe")
-	stateDir := flag.String("state-dir", "", "directory for the job journal and cache snapshot (empty = in-memory only)")
+	tenantMaxInflight := flag.Int("tenant-max-inflight", 0, "max unfinished jobs per tenant; beyond it submissions refuse with quota_exceeded (0 disables)")
+	uploadTTL := flag.Duration("upload-ttl", time.Hour, "idle upload sessions expire after this long")
+	maxUploads := flag.Int("max-uploads", 64, "max concurrently open upload sessions")
+	stateDir := flag.String("state-dir", "", "directory for the job journal, cache snapshot, and upload spool (empty = in-memory only)")
 	snapInterval := flag.Duration("snapshot-interval", 30*time.Second, "cache snapshot + journal compaction cadence (with -state-dir)")
 	fsync := flag.String("fsync", "always", "journal durability: always (fsync per record), batch (fsync at checkpoints), off")
 	flag.Parse()
@@ -93,16 +117,17 @@ func main() {
 		log.Fatalf("iofleetd: -node-id %q: only letters, digits, '.', '_', '-' are allowed", *nodeID)
 	}
 	cfg := fleet.Config{
-		NodeID:           *nodeID,
-		Workers:          *workers,
-		QueueDepth:       *queueDepth,
-		CacheSize:        *cacheSize,
-		CacheTTL:         *cacheTTL,
-		MaxAttempts:      *retries,
-		BatchShare:       *batchShare,
-		BreakerThreshold: *breaker,
-		BreakerCooldown:  *breakerCooldown,
-		Agent:            ioagent.Options{Model: *model, CheapModel: *cheap},
+		NodeID:            *nodeID,
+		Workers:           *workers,
+		QueueDepth:        *queueDepth,
+		CacheSize:         *cacheSize,
+		CacheTTL:          *cacheTTL,
+		MaxAttempts:       *retries,
+		BatchShare:        *batchShare,
+		BreakerThreshold:  *breaker,
+		BreakerCooldown:   *breakerCooldown,
+		TenantMaxInflight: *tenantMaxInflight,
+		Agent:             ioagent.Options{Model: *model, CheapModel: *cheap},
 	}
 	// Permanent job failures surface on the wire only as the stable
 	// diagnosis_failed code; the real error chain lands here, server-side.
@@ -136,13 +161,33 @@ func main() {
 
 	pool := fleet.New(llm.WithLatency(llm.NewSim(), *apiLatency), cfg)
 
+	// The streaming ingest manager: with -state-dir its sessions spool to
+	// disk and its opens ride the journal, so half-finished uploads
+	// survive a restart.
+	ingestCfg := ingest.Config{
+		NodeID: *nodeID, MaxBytes: *maxBody,
+		MaxSessions: *maxUploads, TTL: *uploadTTL,
+	}
+	if st != nil {
+		ingestCfg.SpoolDir = st.UploadDir()
+		ingestCfg.OnEvent = st.OnUploadEvent
+	}
+	uploads, err := ingest.NewManager(ingestCfg)
+	if err != nil {
+		log.Fatalf("iofleetd: %v", err)
+	}
+
 	if st != nil {
 		restored, resubmitted, err := st.Replay(pool)
 		if err != nil {
 			log.Fatalf("iofleetd: replay: %v", err)
 		}
-		log.Printf("iofleetd: recovered state from %s: %d cached diagnoses restored, %d unfinished jobs resubmitted",
-			st.Dir(), restored, resubmitted)
+		revived, err := st.ReplayUploads(uploads)
+		if err != nil {
+			log.Fatalf("iofleetd: replay uploads: %v", err)
+		}
+		log.Printf("iofleetd: recovered state from %s: %d cached diagnoses restored, %d unfinished jobs resubmitted, %d upload sessions revived",
+			st.Dir(), restored, resubmitted, revived)
 	}
 
 	// draining flips when SIGTERM/SIGINT arrives: new submissions are
@@ -150,7 +195,7 @@ func main() {
 	// pool that is about to stop.
 	var draining atomic.Bool
 	mux := server.NewMux(server.Config{
-		Pool: pool, Store: st, Draining: &draining,
+		Pool: pool, Store: st, Uploads: uploads, Draining: &draining,
 		MaxBody: *maxBody, NodeID: *nodeID,
 	})
 	// Listen explicitly (rather than ListenAndServe) so ":0" resolves to a
@@ -172,6 +217,7 @@ func main() {
 			for {
 				select {
 				case <-tick.C:
+					uploads.Sweep() // expire idle upload sessions
 					if err := st.Checkpoint(pool); err != nil {
 						log.Printf("iofleetd: checkpoint: %v", err)
 					}

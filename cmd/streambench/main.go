@@ -1,0 +1,278 @@
+// Command streambench measures what the streaming ingest subsystem buys
+// over buffered submission and writes the numbers to a JSON file
+// (BENCH_stream.json in CI), so the fleet's perf trajectory has data
+// points instead of adjectives.
+//
+// Two measurements, streamed vs buffered, over the same multi-megabyte
+// darshan-parser text trace arriving in 64KB chunks through a simulated
+// link:
+//
+//   - time-to-first-parse: how long until the first module data has been
+//     decoded. The incremental parser starts on the first chunk; the
+//     buffered path cannot start until the last.
+//   - peak extra heap on the router path: concurrent submissions through
+//     an in-process iofleet-router, sampled against the pre-submission
+//     baseline. The digest-asserted stream path pipes bodies without
+//     buffering or spooling; the buffered path holds every body.
+//
+// Usage:
+//
+//	streambench [-out BENCH_stream.json] [-files 800] [-chunk 65536]
+//	            [-concurrent 4] [-link-mbps 400]
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"ioagent/internal/darshan"
+	"ioagent/internal/fleet"
+	"ioagent/internal/fleet/api"
+	"ioagent/internal/fleet/client"
+	"ioagent/internal/fleet/ingest"
+	"ioagent/internal/fleet/router"
+	"ioagent/internal/fleet/server"
+	"ioagent/internal/ioagent"
+	"ioagent/internal/iosim"
+	"ioagent/internal/knowledge"
+	"ioagent/internal/llm"
+)
+
+type measurement struct {
+	TimeToFirstParseMs float64 `json:"time_to_first_parse_ms"`
+	SubmitWallMs       float64 `json:"submit_wall_ms"`
+	PeakExtraHeapBytes uint64  `json:"peak_extra_heap_bytes"`
+}
+
+type report struct {
+	TraceBytes int64       `json:"trace_bytes"`
+	ChunkBytes int         `json:"chunk_bytes"`
+	Concurrent int         `json:"concurrent"`
+	LinkMbps   float64     `json:"link_mbps"`
+	Buffered   measurement `json:"buffered"`
+	Streamed   measurement `json:"streamed"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_stream.json", "output JSON path")
+	files := flag.Int("files", 800, "files in the synthetic trace (sets its size)")
+	chunk := flag.Int("chunk", 64<<10, "upload chunk size in bytes")
+	concurrent := flag.Int("concurrent", 4, "concurrent submissions for the heap measurement")
+	linkMbps := flag.Float64("link-mbps", 400, "simulated client uplink for time-to-first-parse")
+	flag.Parse()
+
+	body := buildTrace(*files)
+	rep := report{
+		TraceBytes: int64(len(body)), ChunkBytes: *chunk,
+		Concurrent: *concurrent, LinkMbps: *linkMbps,
+	}
+
+	rep.Buffered.TimeToFirstParseMs = ttfpBuffered(body, *chunk, *linkMbps)
+	rep.Streamed.TimeToFirstParseMs = ttfpStreamed(body, *chunk, *linkMbps)
+
+	routerHeap(body, *chunk, *concurrent, &rep)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// buildTrace renders a deterministic multi-MB darshan-parser text body.
+func buildTrace(files int) []byte {
+	sim := iosim.New(iosim.Config{Seed: 424242, NProcs: 4, UsesMPI: true, Exe: "/apps/bench/stream.x"})
+	for fi := 0; fi < files; fi++ {
+		f := sim.OpenShared(fmt.Sprintf("/scratch/bench-%05d.dat", fi), iosim.POSIX, false, nil)
+		for i := int64(0); i < 4; i++ {
+			f.WriteAt(int(i)%4, i*4096, 4096)
+		}
+		f.Close()
+	}
+	text, err := darshan.TextString(sim.Finalize())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return []byte(text)
+}
+
+// arrive delivers body chunk by chunk at the simulated link rate,
+// calling deliver per chunk. Returns when the whole body has "arrived".
+func arrive(body []byte, chunk int, mbps float64, deliver func([]byte)) {
+	perChunk := time.Duration(float64(chunk) / (mbps * 1e6 / 8) * float64(time.Second))
+	for off := 0; off < len(body); off += chunk {
+		end := off + chunk
+		if end > len(body) {
+			end = len(body)
+		}
+		time.Sleep(perChunk)
+		deliver(body[off:end])
+	}
+}
+
+// ttfpBuffered: the pre-streaming shape — spool the whole arriving body,
+// then parse. First parsed data exists only after the last chunk.
+func ttfpBuffered(body []byte, chunk int, mbps float64) float64 {
+	start := time.Now()
+	var buf bytes.Buffer
+	arrive(body, chunk, mbps, func(b []byte) { buf.Write(b) })
+	if _, err := darshan.ParseText(bytes.NewReader(buf.Bytes())); err != nil {
+		log.Fatal(err)
+	}
+	// The whole parse stands between the last byte and the first usable
+	// module data; report the full span.
+	return float64(time.Since(start)) / float64(time.Millisecond)
+}
+
+// ttfpStreamed: the ingest parser eats each chunk as it arrives; first
+// module data exists as soon as the first complete records do.
+func ttfpStreamed(body []byte, chunk int, mbps float64) float64 {
+	start := time.Now()
+	p := ingest.NewParser(0)
+	var first time.Duration
+	arrive(body, chunk, mbps, func(b []byte) {
+		if _, err := p.Write(b); err != nil {
+			log.Fatal(err)
+		}
+		if first == 0 && p.Stats().Modules > 0 {
+			first = time.Since(start)
+		}
+	})
+	if _, _, err := p.Finish(); err != nil {
+		log.Fatal(err)
+	}
+	return float64(first) / float64(time.Millisecond)
+}
+
+// routerHeap boots two in-process daemons behind a real router and
+// measures peak heap growth during concurrent submissions: buffered
+// bodies are held end-to-end; digest-asserted streams are piped.
+func routerHeap(body []byte, chunk, concurrent int, rep *report) {
+	index := knowledge.BuildIndex()
+	var nodes []string
+	for _, id := range []string{"n1", "n2"} {
+		pool := fleet.New(llm.NewSim(), fleet.Config{Workers: 2, NodeID: id, Agent: ioagent.Options{Index: index}})
+		defer pool.Close()
+		srv := httptest.NewServer(server.NewMux(server.Config{Pool: pool, NodeID: id, MaxBody: 256 << 20}))
+		defer srv.Close()
+		nodes = append(nodes, srv.URL)
+	}
+	rt, err := router.New(router.Config{Members: nodes, MaxBody: 256 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	run := func(submit func(c *client.Client, variant int)) (peak uint64, wall time.Duration) {
+		c := client.New(front.URL)
+		defer c.Close()
+		runtime.GC()
+		var base runtime.MemStats
+		runtime.ReadMemStats(&base)
+
+		stop := make(chan struct{})
+		var peakB uint64
+		go func() {
+			tick := time.NewTicker(time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					var m runtime.MemStats
+					runtime.ReadMemStats(&m)
+					if m.HeapInuse > peakB {
+						peakB = m.HeapInuse
+					}
+				}
+			}
+		}()
+
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i := 0; i < concurrent; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				submit(c, i)
+			}(i)
+		}
+		wg.Wait()
+		wall = time.Since(start)
+		close(stop)
+		if peakB > base.HeapInuse {
+			peak = peakB - base.HeapInuse
+		}
+		return peak, wall
+	}
+
+	// Buffered: classic POST /v1/jobs — the router slurps each body.
+	peak, wall := run(func(c *client.Client, i int) {
+		variant := append(bytes.Clone(body), []byte(fmt.Sprintf("# metadata: bench_variant = b%d\n", i))...)
+		if _, err := c.Submit(context.Background(), api.SubmitRequest{Trace: variant}); err != nil {
+			log.Fatalf("buffered submit: %v", err)
+		}
+	})
+	rep.Buffered.PeakExtraHeapBytes = peak
+	rep.Buffered.SubmitWallMs = float64(wall) / float64(time.Millisecond)
+
+	// Streamed with the digest asserted: the router pipes, holding
+	// nothing. (Variants share the digest's owner but differ in bytes;
+	// assert per-variant digests so verification holds.)
+	peakS, wallS := run(func(c *client.Client, i int) {
+		variant := append(bytes.Clone(body), []byte(fmt.Sprintf("# metadata: bench_variant = s%d\n", i))...)
+		vlog, err := darshan.ParseText(bytes.NewReader(variant))
+		if err != nil {
+			log.Fatal(err)
+		}
+		vdigest, err := darshan.ContentDigest(vlog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, err = c.SubmitStream(context.Background(), &chunkReader{data: variant, chunk: chunk},
+			client.StreamOpts{Digest: vdigest})
+		if err != nil {
+			log.Fatalf("streamed submit: %v", err)
+		}
+	})
+	rep.Streamed.PeakExtraHeapBytes = peakS
+	rep.Streamed.SubmitWallMs = float64(wallS) / float64(time.Millisecond)
+}
+
+type chunkReader struct {
+	data  []byte
+	chunk int
+}
+
+func (r *chunkReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, io.EOF
+	}
+	n := r.chunk
+	if n > len(r.data) {
+		n = len(r.data)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	n = copy(p[:n], r.data)
+	r.data = r.data[n:]
+	return n, nil
+}

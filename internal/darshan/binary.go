@@ -31,7 +31,18 @@ const binaryVersion uint16 = 2
 // Encode writes the log in binary form to w.
 func Encode(w io.Writer, l *Log) error {
 	gz := gzip.NewWriter(w)
-	bw := bufio.NewWriter(gz)
+	if err := encodeRaw(gz, l); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// encodeRaw writes the uncompressed canonical byte stream (everything
+// inside the gzip layer). ContentDigest hashes this form directly so the
+// digest never depends on the compressor's output, which is not
+// guaranteed stable across Go releases.
+func encodeRaw(w io.Writer, l *Log) error {
+	bw := bufio.NewWriter(w)
 	e := &encoder{w: bw}
 
 	e.raw([]byte(binaryMagic))
@@ -53,10 +64,7 @@ func Encode(w io.Writer, l *Log) error {
 	if e.err != nil {
 		return e.err
 	}
-	if err := bw.Flush(); err != nil {
-		return err
-	}
-	return gz.Close()
+	return bw.Flush()
 }
 
 // Decode reads a binary log from r.

@@ -1,0 +1,107 @@
+package darshan
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+)
+
+// ContentDigest returns the canonical content address of a log: the hex
+// SHA-256 of its canonical binary encoding. Because the hash covers the
+// decoded, canonicalized log — records sorted, counters positional,
+// metadata in key order — and not the wire bytes it arrived as, the
+// binary and darshan-parser-text renderings of one trace produce the SAME
+// digest. That is the property the fleet's streaming ingest and cluster
+// routing are built on: every party that can decode a trace agrees on its
+// address without agreeing on its encoding.
+//
+// Rendering independence requires canonicalizing exactly what the text
+// format cannot represent losslessly:
+//
+//   - floats quantize through the text precision (run time %.4f, float
+//     counters %.6f) — the binary codec keeps full float64 bits, so
+//     hashing them raw would split the renderings;
+//   - records whose counters are all zero are dropped — the text form
+//     has no line to carry them, while the binary form round-trips them
+//     as empty records;
+//   - the hash covers the uncompressed canonical stream (the bytes
+//     inside Encode's gzip layer), so it is stable across compressor
+//     versions.
+//
+// The canonicalization works on a private clone: the caller's log is
+// neither mutated nor raced on.
+func ContentDigest(l *Log) (string, error) {
+	h := sha256.New()
+	if err := encodeRaw(h, canonicalClone(l)); err != nil {
+		return "", fmt.Errorf("darshan: content digest: %w", err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// quantize rounds v through the text rendering: format with the text
+// form's precision, parse back. Both renderings of one value land on the
+// same float64 because both pass through the identical format function.
+func quantize(v float64, prec int) float64 {
+	q, _ := strconv.ParseFloat(strconv.FormatFloat(v, 'f', prec, 64), 64)
+	return q
+}
+
+// canonicalClone builds the rendering-neutral form ContentDigest hashes:
+// job and records are copied (never mutated in place), floats are
+// quantized, and records with no nonzero counters are dropped.
+func canonicalClone(l *Log) *Log {
+	clone := &Log{
+		Version: l.Version,
+		Job:     l.Job,
+		Modules: make(map[ModuleID]*ModuleData, len(l.Modules)),
+	}
+	clone.Job.RunTime = quantize(l.Job.RunTime, 4)
+	for m, md := range l.Modules {
+		out := &ModuleData{Module: md.Module}
+		for _, r := range md.Records {
+			cr := &FileRecord{
+				RecordID: r.RecordID, Rank: r.Rank,
+				Name: r.Name, MountPt: r.MountPt, FSType: r.FSType,
+				Counters:  r.Counters, // ints are exact; encodeRaw only reads
+				FCounters: make(map[string]float64, len(r.FCounters)),
+			}
+			keep := false
+			for _, v := range r.Counters {
+				if v != 0 {
+					keep = true
+					break
+				}
+			}
+			for name, v := range r.FCounters {
+				if q := quantize(v, 6); q != 0 {
+					cr.FCounters[name] = q
+					keep = true
+				}
+			}
+			if keep {
+				out.Records = append(out.Records, cr)
+			}
+		}
+		if len(out.Records) > 0 {
+			clone.Modules[m] = out
+		}
+	}
+	return clone
+}
+
+// ValidContentDigest reports whether s is shaped like a ContentDigest
+// value (64 lowercase hex characters). Servers use it to refuse malformed
+// client-asserted digests before trusting them for routing.
+func ValidContentDigest(s string) bool {
+	if len(s) != sha256.Size*2 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

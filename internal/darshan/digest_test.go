@@ -1,0 +1,187 @@
+package darshan
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// sampleLog builds a small deterministic log exercising both counter
+// kinds plus header metadata.
+func sampleLog(t *testing.T) *Log {
+	t.Helper()
+	l := NewLog()
+	l.Job = Job{
+		UID: 1001, JobID: 4242, StartTime: 1700000000, EndTime: 1700003600,
+		NProcs: 8, RunTime: 3600.123456789, // > 4 decimals: exercises quantization
+		Exe:      "/apps/bin/sim.x -in run.inp",
+		Mounts:   []Mount{{"/scratch", "lustre"}},
+		Metadata: map[string]string{"lib_ver": "3.4.1"},
+	}
+	r := NewFileRecord("/scratch/out.dat", SharedRank)
+	r.MountPt, r.FSType = "/scratch", "lustre"
+	r.SetC("POSIX_OPENS", 8)
+	r.SetC("POSIX_BYTES_WRITTEN", 1<<20)
+	r.SetF("POSIX_F_WRITE_TIME", 12.3456789012) // > 6 decimals
+	l.Module(ModulePOSIX).Records = append(l.Module(ModulePOSIX).Records, r)
+	return l
+}
+
+// TestContentDigestRenderingIndependent: the canonical content digest of
+// a log must be identical whether the log arrived as the binary codec or
+// as darshan-parser text — that equality is what the fleet routes and
+// deduplicates on.
+func TestContentDigestRenderingIndependent(t *testing.T) {
+	orig := sampleLog(t)
+	want, err := ContentDigest(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ValidContentDigest(want) {
+		t.Fatalf("digest %q is not 64 hex chars", want)
+	}
+
+	var bin bytes.Buffer
+	if err := Encode(&bin, orig); err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := Decode(bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBin, err := ContentDigest(fromBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotBin != want {
+		t.Errorf("binary round trip changed the digest: %s != %s", gotBin, want)
+	}
+
+	text, err := TextString(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromText, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotText, err := ContentDigest(fromText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotText != want {
+		t.Errorf("text round trip changed the digest: %s != %s", gotText, want)
+	}
+}
+
+// TestContentDigestRandomLogs: the rendering-independence property must
+// hold for arbitrary structurally valid logs, not just the hand-built
+// sample — floats of any precision, any module mix, shared and per-rank
+// records.
+func TestContentDigestRandomLogs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 25; i++ {
+		l := randomLog(rng)
+		if len(l.ModuleList()) == 0 {
+			continue
+		}
+		want, err := ContentDigest(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var bin bytes.Buffer
+		if err := Encode(&bin, l); err != nil {
+			t.Fatal(err)
+		}
+		fromBin, err := Decode(bytes.NewReader(bin.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := ContentDigest(fromBin); got != want {
+			t.Fatalf("log %d: binary rendering digest %s != %s", i, got, want)
+		}
+
+		text, err := TextString(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromText, err := ParseText(strings.NewReader(text))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := ContentDigest(fromText); got != want {
+			t.Fatalf("log %d: text rendering digest %s != %s", i, got, want)
+		}
+	}
+}
+
+// TestContentDigestDiscriminates: different content, different digest.
+func TestContentDigestDiscriminates(t *testing.T) {
+	a := sampleLog(t)
+	b := sampleLog(t)
+	b.Module(ModulePOSIX).Records[0].AddC("POSIX_BYTES_WRITTEN", 1)
+	da, _ := ContentDigest(a)
+	db, _ := ContentDigest(b)
+	if da == db {
+		t.Error("digests collide across different counter values")
+	}
+}
+
+// TestContentDigestDoesNotMutate: hashing must not reorder the caller's
+// record slices (the pool shares logs across concurrent submissions).
+func TestContentDigestDoesNotMutate(t *testing.T) {
+	l := sampleLog(t)
+	md := l.Module(ModulePOSIX)
+	md.Records = append(md.Records, NewFileRecord("/scratch/zz.dat", 1), NewFileRecord("/scratch/aa.dat", 0))
+	for _, r := range md.Records[len(md.Records)-2:] {
+		r.SetC("POSIX_OPENS", 1)
+	}
+	before := make([]*FileRecord, len(md.Records))
+	copy(before, md.Records)
+	if _, err := ContentDigest(l); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if md.Records[i] != before[i] {
+			t.Fatalf("ContentDigest reordered the caller's records at %d", i)
+		}
+	}
+}
+
+func TestValidContentDigest(t *testing.T) {
+	good := strings.Repeat("ab12", 16)
+	if !ValidContentDigest(good) {
+		t.Errorf("ValidContentDigest(%q) = false", good)
+	}
+	for _, bad := range []string{"", "abc", strings.Repeat("g", 64), strings.Repeat("AB12", 16), good + "00"} {
+		if ValidContentDigest(bad) {
+			t.Errorf("ValidContentDigest(%q) = true", bad)
+		}
+	}
+}
+
+// TestLineParserMatchesParseText: feeding lines one by one must build the
+// same log ParseText builds from the whole body.
+func TestLineParserMatchesParseText(t *testing.T) {
+	text, err := TextString(sampleLog(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := NewLineParser()
+	for _, line := range strings.Split(text, "\n") {
+		if err := lp.ParseLine(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dw, _ := ContentDigest(want)
+	dg, _ := ContentDigest(lp.Log())
+	if dw != dg {
+		t.Errorf("line-at-a-time parse diverges from whole-body parse: %s != %s", dg, dw)
+	}
+}

@@ -80,32 +80,65 @@ func formatFloat(v float64) string {
 
 // ParseText decodes darshan-parser text form back into a Log.
 func ParseText(r io.Reader) (*Log, error) {
-	l := NewLog()
+	lp := NewLineParser()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
-
-	lineno := 0
 	for sc.Scan() {
-		lineno++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		if strings.HasPrefix(line, "#") {
-			if err := parseHeaderLine(l, line); err != nil {
-				return nil, fmt.Errorf("darshan: line %d: %w", lineno, err)
-			}
-			continue
-		}
-		if err := parseCounterLine(l, line); err != nil {
-			return nil, fmt.Errorf("darshan: line %d: %w", lineno, err)
+		if err := lp.ParseLine(sc.Text()); err != nil {
+			return nil, err
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	return l, nil
+	return lp.Log(), nil
 }
+
+// LineParser is the incremental core of ParseText: it consumes
+// darshan-parser text one complete line at a time and accumulates the
+// decoded Log as it goes. Callers that receive the text in arbitrary
+// chunks (a streaming HTTP body, a resumable upload) split their input on
+// newlines and feed each line here, so module and counter pre-processing
+// starts before the full body has arrived. Feeding the same lines in the
+// same order always yields the same Log as a whole-body ParseText.
+type LineParser struct {
+	log    *Log
+	lineno int
+}
+
+// NewLineParser returns a parser accumulating into an empty Log.
+func NewLineParser() *LineParser {
+	return &LineParser{log: NewLog()}
+}
+
+// ParseLine consumes one complete input line (without its trailing
+// newline). Blank lines are skipped; errors name the 1-based line number.
+func (lp *LineParser) ParseLine(raw string) error {
+	lp.lineno++
+	line := strings.TrimSpace(raw)
+	if line == "" {
+		return nil
+	}
+	if strings.HasPrefix(line, "#") {
+		if err := parseHeaderLine(lp.log, line); err != nil {
+			return fmt.Errorf("darshan: line %d: %w", lp.lineno, err)
+		}
+		return nil
+	}
+	if err := parseCounterLine(lp.log, line); err != nil {
+		return fmt.Errorf("darshan: line %d: %w", lp.lineno, err)
+	}
+	return nil
+}
+
+// Lines returns the number of lines consumed so far (blank lines
+// included).
+func (lp *LineParser) Lines() int { return lp.lineno }
+
+// Log returns the accumulated log. It is live: further ParseLine calls
+// keep mutating it, so streaming callers may inspect it mid-parse (for
+// progress reporting) but must stop feeding before handing it off.
+func (lp *LineParser) Log() *Log { return lp.log }
 
 func parseHeaderLine(l *Log, line string) error {
 	body := strings.TrimSpace(strings.TrimPrefix(line, "#"))

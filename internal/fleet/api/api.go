@@ -53,13 +53,57 @@ const NodeHeader = "X-Fleet-Node"
 // ricocheting a submission forever.
 const ForwardedHeader = "X-Fleet-Forwarded-By"
 
+// DigestHeader carries a trace's canonical content digest (64 hex chars,
+// see darshan.ContentDigest): the SHA-256 of the trace's canonical
+// decoded form, identical for the binary and text renderings of one
+// trace. Added in 1.2, it appears in three places:
+//
+//   - Request header on streaming submissions (POST /v1/jobs/stream) and
+//     upload-session opens: a client that already knows the digest asserts
+//     it up front, which lets iofleet-router pick the owning node and
+//     forward the body as a pure stream — zero spool, zero buffering. The
+//     server recomputes the digest from the bytes it parsed and refuses a
+//     mismatch with CodeDigestMismatch, so an asserted digest is trusted
+//     for placement but never for content.
+//   - Request trailer on streaming submissions whose digest was computed
+//     on the fly (the SDK's SubmitStream tees the outgoing bytes through
+//     the incremental parser): too late to route by, still verified
+//     end-to-end by the server.
+//   - Response header on accepted submissions: the server tells the
+//     client the canonical digest it derived, so the next submission of
+//     the same trace — in either rendering — can assert it.
+//
+// Note the distinction from JobInfo.Digest: the content digest addresses
+// the trace alone (routing, dedup across renderings), while JobInfo.Digest
+// additionally covers the pipeline options and addresses the diagnosis.
+const DigestHeader = "X-Fleet-Digest"
+
+// UploadOffsetHeader carries the byte offset of an upload-session append
+// (PATCH /v1/uploads/{id}), following the tus convention: the client
+// states the offset its chunk starts at, the server refuses a mismatch
+// with CodeUploadOffsetMismatch and its actual offset, and the client
+// resynchronizes from GET /v1/uploads/{id}. Added in 1.2.
+const UploadOffsetHeader = "Upload-Offset"
+
+// RetryAfterHeader is the standard HTTP Retry-After header. Servers set
+// it (delay-seconds form) on retryable refusals — quota_exceeded,
+// breaker_open, draining — and the SDK's adaptive backoff honors it as a
+// floor for the next retry delay. Added to the contract (though not the
+// wire) in 1.2.
+const RetryAfterHeader = "Retry-After"
+
 // Current is the protocol version this tree speaks. Minor 1 added the
 // cluster vocabulary: node identity (NodeHeader, Metrics.Node), the
 // forwarded-hop header, SubmitRequest.Tenant, per-tenant and per-node
 // metrics fields, the cluster-health payload, and the loop_detected /
-// node_down / breaker_open error codes — all additive, per the
+// node_down / breaker_open error codes. Minor 2 added the streaming
+// ingest vocabulary: the content-digest and upload-offset headers,
+// streaming submission (POST /v1/jobs/stream), resumable upload sessions
+// (/v1/uploads), the UploadInfo payload, Retry-After semantics, and the
+// digest_mismatch / quota_exceeded / upload_not_found /
+// upload_offset_mismatch error codes — all additive, per the
 // compatibility invariants above.
-var Current = Version{Major: 1, Minor: 1}
+var Current = Version{Major: 1, Minor: 2}
 
 // Version is a major.minor protocol version. Majors are incompatible;
 // minors are additive within a major.
@@ -193,6 +237,43 @@ type Diagnosis struct {
 	Text string `json:"text"`
 }
 
+// UploadInfo is the wire snapshot of one resumable upload session,
+// returned by POST /v1/uploads (201), PATCH /v1/uploads/{id} (200) and
+// GET /v1/uploads/{id}. Added in 1.2.
+//
+// A session accepts a trace in as many PATCH appends as the client likes;
+// every appended byte is fed to the server's incremental pre-parser
+// immediately, so PreparsedLines and PreparsedModules advance while the
+// upload is still in flight. POST /v1/uploads/{id}/complete finalizes the
+// parse, verifies any claimed digest, and converts the session into a job
+// (202 with the JobInfo). A complete refused for a RETRYABLE reason
+// (quota_exceeded, draining) keeps the finalized session alive — further
+// appends are refused, but re-issuing the complete later succeeds without
+// re-uploading a byte. On daemons running with -state-dir, open sessions
+// survive a restart: the journal records the open, the spooled bytes live
+// beside it, and a rebooted daemon re-feeds the parser so the client
+// resumes at the same offset.
+type UploadInfo struct {
+	ID string `json:"id"`
+	// Offset is the number of bytes the server has accepted; the next
+	// PATCH must assert exactly this value in UploadOffsetHeader.
+	Offset int64  `json:"offset"`
+	Lane   Lane   `json:"lane"`
+	Tenant string `json:"tenant,omitempty"`
+	// Digest echoes the client-claimed content digest, if one was asserted
+	// when the session was opened (DigestHeader on the POST). Verified at
+	// complete time.
+	Digest string `json:"digest,omitempty"`
+	// PreparsedLines / PreparsedModules report incremental pre-parse
+	// progress over the bytes accepted so far (lines consumed and distinct
+	// modules seen; both zero for a binary-rendering upload, which can only
+	// be decoded whole at complete time).
+	PreparsedLines   int64 `json:"preparsed_lines"`
+	PreparsedModules int   `json:"preparsed_modules"`
+
+	CreatedAt time.Time `json:"created_at"`
+}
+
 // ModelMetrics is the accumulated usage of one LLM model across the
 // daemon's lifetime.
 type ModelMetrics struct {
@@ -255,6 +336,11 @@ type Metrics struct {
 	// TenantOverflow key aggregates the long tail once the per-node
 	// tenant-label cap is reached). Added in 1.1.
 	Tenants map[string]int64 `json:"tenant_jobs,omitempty"`
+
+	// TenantsInflight maps tenant identifier to its jobs currently in
+	// the system — the counter iofleetd -tenant-max-inflight enforces
+	// quota_exceeded against. Added in 1.2.
+	TenantsInflight map[string]int64 `json:"tenant_inflight_jobs,omitempty"`
 }
 
 // TenantOverflow is the Tenants key that aggregates submissions from

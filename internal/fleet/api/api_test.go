@@ -59,7 +59,12 @@ func TestErrorCodeHTTPStatus(t *testing.T) {
 		CodeDraining:           http.StatusServiceUnavailable,
 		CodeDiagnosisFailed:    http.StatusBadGateway,
 		CodeInternal:           http.StatusInternalServerError,
-		Code("future_code"):    http.StatusInternalServerError,
+		// 1.2 streaming-ingest vocabulary.
+		CodeDigestMismatch:       http.StatusUnprocessableEntity,
+		CodeQuotaExceeded:        http.StatusTooManyRequests,
+		CodeUploadNotFound:       http.StatusNotFound,
+		CodeUploadOffsetMismatch: http.StatusConflict,
+		Code("future_code"):      http.StatusInternalServerError,
 	}
 	for code, want := range cases {
 		if got := code.HTTPStatus(); got != want {
@@ -69,13 +74,18 @@ func TestErrorCodeHTTPStatus(t *testing.T) {
 }
 
 func TestErrorRetryability(t *testing.T) {
-	for _, code := range []Code{CodeDraining, CodeInternal} {
+	// quota_exceeded IS retryable (the quota frees as jobs finish), but
+	// digest_mismatch and the upload-session codes are not: identical
+	// bytes will mismatch identically, and a lost session needs a new
+	// open, not a blind retry.
+	for _, code := range []Code{CodeDraining, CodeInternal, CodeQuotaExceeded} {
 		if !code.Retryable() {
 			t.Errorf("%s must be retryable", code)
 		}
 	}
 	for _, code := range []Code{CodeBadRequest, CodeBadTrace, CodeTraceTooLarge,
-		CodeUnsupportedVersion, CodeJobNotFound, CodeNotFound, CodeJobNotDone, CodeDiagnosisFailed} {
+		CodeUnsupportedVersion, CodeJobNotFound, CodeNotFound, CodeJobNotDone, CodeDiagnosisFailed,
+		CodeDigestMismatch, CodeUploadNotFound, CodeUploadOffsetMismatch} {
 		if code.Retryable() {
 			t.Errorf("%s must not be retryable", code)
 		}

@@ -57,6 +57,26 @@ const (
 	// member list is misconfigured. Never retryable: the loop will not
 	// fix itself. Added in 1.1.
 	CodeLoopDetected Code = "loop_detected"
+	// CodeDigestMismatch: the client asserted a content digest
+	// (DigestHeader) that does not match the digest the server computed
+	// from the bytes it received — the trace was corrupted in transit, or
+	// the client hashed something else. Not retryable as-is: resubmit
+	// with the correct digest (or none). Added in 1.2.
+	CodeDigestMismatch Code = "digest_mismatch"
+	// CodeQuotaExceeded: the submitting tenant is at its in-flight job
+	// quota (iofleetd -tenant-max-inflight), or the daemon is at its open
+	// upload-session cap. Retryable — the quota frees as jobs finish; the
+	// response carries Retry-After. Added in 1.2.
+	CodeQuotaExceeded Code = "quota_exceeded"
+	// CodeUploadNotFound: no upload session with the requested ID exists
+	// (never opened, already completed, aborted, or expired). Open a new
+	// session and resend from offset 0. Added in 1.2.
+	CodeUploadNotFound Code = "upload_not_found"
+	// CodeUploadOffsetMismatch: a PATCH asserted an UploadOffsetHeader
+	// that is not the session's current offset (a lost or duplicated
+	// chunk). Not blindly retryable: resynchronize via GET /v1/uploads/{id}
+	// and resend from the server's offset. Added in 1.2.
+	CodeUploadOffsetMismatch Code = "upload_offset_mismatch"
 )
 
 // HTTPStatus maps the code to its canonical HTTP status.
@@ -66,12 +86,16 @@ func (c Code) HTTPStatus() int {
 		return http.StatusBadRequest
 	case CodeTraceTooLarge:
 		return http.StatusRequestEntityTooLarge
-	case CodeJobNotFound, CodeNotFound:
+	case CodeJobNotFound, CodeNotFound, CodeUploadNotFound:
 		return http.StatusNotFound
-	case CodeJobNotDone:
+	case CodeJobNotDone, CodeUploadOffsetMismatch:
 		return http.StatusConflict
 	case CodeDraining, CodeNodeDown, CodeBreakerOpen:
 		return http.StatusServiceUnavailable
+	case CodeQuotaExceeded:
+		return http.StatusTooManyRequests
+	case CodeDigestMismatch:
+		return http.StatusUnprocessableEntity
 	case CodeDiagnosisFailed:
 		return http.StatusBadGateway
 	case CodeLoopDetected:
@@ -86,7 +110,7 @@ func (c Code) HTTPStatus() int {
 // taxonomy instead of raw HTTP statuses.
 func (c Code) Retryable() bool {
 	switch c {
-	case CodeDraining, CodeInternal, CodeNodeDown, CodeBreakerOpen:
+	case CodeDraining, CodeInternal, CodeNodeDown, CodeBreakerOpen, CodeQuotaExceeded:
 		return true
 	default:
 		return false

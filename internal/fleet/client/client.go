@@ -24,7 +24,9 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"ioagent/internal/fleet/api"
@@ -66,6 +68,31 @@ func WithPollInterval(d time.Duration) Option {
 // ricocheting submissions forever. Plain SDK users never need it.
 func WithForwardedBy(id string) Option { return func(c *Client) { c.forwardedBy = id } }
 
+// WithAdaptiveBackoff toggles error-rate-adaptive backoff (default on):
+// the base exponential delay is widened by the transient-failure rate
+// observed over the client's recent attempts, so a client talking to a
+// struggling server backs off harder than one that hit a single blip —
+// instead of every client doubling in lockstep. Servers' Retry-After
+// hints are honored as a floor either way.
+func WithAdaptiveBackoff(enabled bool) Option { return func(c *Client) { c.adaptiveOff = !enabled } }
+
+// WithBreaker arms a client-side circuit breaker mirroring the pool's:
+// after threshold consecutive retryable failures, calls fail fast with
+// ErrBreakerOpen — no dial, no retry budget — until cooldown elapses and
+// a half-open probe is admitted. Zero threshold disables (the default).
+// Cluster mode treats a member's open breaker as an immediate failover
+// signal, so a down node costs nothing once its breaker trips.
+func WithBreaker(threshold int, cooldown time.Duration) Option {
+	return func(c *Client) {
+		if threshold > 0 {
+			if cooldown <= 0 {
+				cooldown = 5 * time.Second
+			}
+			c.brk = &clientBreaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+		}
+	}
+}
+
 // WithRingReplicas sets the virtual-node count of the consistent-hash
 // ring in Cluster mode (default ring.DefaultReplicas). Every party that
 // must agree on digest ownership — all routers and all cluster-mode
@@ -79,6 +106,12 @@ func WithRingReplicas(n int) Option {
 	}
 }
 
+// ErrBreakerOpen is returned by calls refused fast because the client's
+// circuit breaker (WithBreaker) is open: the server produced too many
+// consecutive retryable failures and the cooldown has not elapsed.
+// Nothing was sent; retry later, or let cluster mode fail over.
+var ErrBreakerOpen = errors.New("client: circuit breaker open (server marked down); retry later")
+
 // Client talks to one iofleetd instance. It is safe for concurrent use.
 type Client struct {
 	base        string
@@ -88,6 +121,9 @@ type Client struct {
 	maxDelay    time.Duration
 	poll        time.Duration
 	forwardedBy string
+	adaptiveOff bool
+	brk         *clientBreaker // nil unless WithBreaker armed it
+	window      outcomeWindow  // recent-attempt outcomes for adaptive backoff
 	// ringReplicas is only read by Cluster, which builds its ring from
 	// the options applied to its member clients.
 	ringReplicas int
@@ -218,22 +254,62 @@ func (c *Client) SubmitAndWait(ctx context.Context, req api.SubmitRequest) (api.
 
 // do runs one logical call with retry: build request, send, decode. body
 // may be nil; out may be nil for calls with no interesting response.
+//
+// The retry delay starts from the exponential base but is shaped by two
+// live signals: the transient-failure rate observed over this client's
+// recent attempts widens it (a struggling server earns a wider berth
+// than a single blip), and a server-sent Retry-After floors it (the
+// server knows when the quota frees or the drain completes better than
+// any client-side formula).
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	if c.brk != nil && !c.brk.allow() {
+		return ErrBreakerOpen
+	}
 	delay := c.baseDelay
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		err := c.once(ctx, method, path, body, out)
+		c.observe(err)
 		if err == nil || !retryable(err) || attempt >= c.maxAttempts {
 			return err
 		}
 		lastErr = err
-		if serr := c.sleep(ctx, delay); serr != nil {
+		if serr := c.sleep(ctx, c.nextDelay(delay, err)); serr != nil {
 			return fmt.Errorf("%w (last attempt: %w)", serr, lastErr)
 		}
 		if delay *= 2; delay > c.maxDelay {
 			delay = c.maxDelay
 		}
 	}
+}
+
+// observe feeds one attempt's outcome to the adaptive-backoff window and
+// the breaker (when armed).
+func (c *Client) observe(err error) {
+	fail := err != nil && retryable(err)
+	c.window.record(fail)
+	if c.brk != nil {
+		c.brk.record(fail)
+	}
+}
+
+// nextDelay shapes the base exponential delay for this retry: widened by
+// the observed transient-error rate (unless adaptive backoff is off),
+// then floored by any server-sent Retry-After hint.
+func (c *Client) nextDelay(base time.Duration, err error) time.Duration {
+	d := base
+	if !c.adaptiveOff {
+		// rate 0 leaves the exponential schedule untouched; a fully
+		// failing window quadruples it (on top of the doubling).
+		d = time.Duration(float64(d) * (1 + 3*c.window.rate()))
+		if d > c.maxDelay {
+			d = c.maxDelay
+		}
+	}
+	if ra := retryAfterIn(err); ra > d {
+		d = ra // the server's own hint outranks the cap: it knows
+	}
+	return d
 }
 
 // once performs a single HTTP round trip, enforcing version compatibility
@@ -243,14 +319,9 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	req, err := c.newRequest(ctx, method, path, rd)
 	if err != nil {
 		return err
-	}
-	req.Header.Set(api.VersionHeader, api.Current.String())
-	req.Header.Set("Accept", "application/json")
-	if c.forwardedBy != "" {
-		req.Header.Set(api.ForwardedHeader, c.forwardedBy)
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/octet-stream")
@@ -259,6 +330,26 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	if err != nil {
 		return &transportError{err}
 	}
+	return c.decodeResponse(resp, method, path, out)
+}
+
+// newRequest builds a request carrying the client's standing headers.
+func (c *Client) newRequest(ctx context.Context, method, path string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(api.VersionHeader, api.Current.String())
+	req.Header.Set("Accept", "application/json")
+	if c.forwardedBy != "" {
+		req.Header.Set(api.ForwardedHeader, c.forwardedBy)
+	}
+	return req, nil
+}
+
+// decodeResponse consumes and closes the response body, enforcing the
+// version handshake and mapping error envelopes onto *api.Error.
+func (c *Client) decodeResponse(resp *http.Response, method, path string, out any) error {
 	defer resp.Body.Close()
 
 	// Version skew check before trusting any payload: an incompatible
@@ -279,16 +370,24 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 		return &transportError{err}
 	}
 	if resp.StatusCode >= 400 {
+		var outErr error
 		var apiErr api.Error
 		if json.Unmarshal(data, &apiErr) == nil && apiErr.Code != "" {
-			return &apiErr
+			outErr = &apiErr
+		} else {
+			// No structured body (proxy error page, panic, ...): keep the
+			// status so retryable() can classify 5xx as transient. This
+			// branch also covers header-less errors: a proxy in front of a
+			// healthy daemon never stamps the version header, so an error
+			// without one must stay retryable rather than be refused as skew.
+			outErr = &httpError{status: resp.StatusCode, body: string(data)}
 		}
-		// No structured body (proxy error page, panic, ...): keep the
-		// status so retryable() can classify 5xx as transient. This
-		// branch also covers header-less errors: a proxy in front of a
-		// healthy daemon never stamps the version header, so an error
-		// without one must stay retryable rather than be refused as skew.
-		return &httpError{status: resp.StatusCode, body: string(data)}
+		// A Retry-After hint (delay-seconds form) rides along so the
+		// retry loop can floor its backoff on the server's own estimate.
+		if secs, perr := strconv.Atoi(strings.TrimSpace(resp.Header.Get(api.RetryAfterHeader))); perr == nil && secs > 0 {
+			outErr = &hintedError{err: outErr, retryAfter: time.Duration(secs) * time.Second}
+		}
+		return outErr
 	}
 	// A versioned server stamps every successful response, so a 2xx
 	// without the header means a pre-versioning daemon (or not a fleet
@@ -321,6 +420,121 @@ type httpError struct {
 
 func (e *httpError) Error() string {
 	return fmt.Sprintf("client: http %d: %.200s", e.status, e.body)
+}
+
+// hintedError carries a server-sent Retry-After alongside the failure it
+// decorated; errors.As/Is see through it to the wrapped error.
+type hintedError struct {
+	err        error
+	retryAfter time.Duration
+}
+
+func (e *hintedError) Error() string { return e.err.Error() }
+func (e *hintedError) Unwrap() error { return e.err }
+
+// retryAfterIn extracts a Retry-After hint from an attempt's error chain
+// (zero when the server sent none).
+func retryAfterIn(err error) time.Duration {
+	var he *hintedError
+	if errors.As(err, &he) {
+		return he.retryAfter
+	}
+	return 0
+}
+
+// RetryAfterHint exposes a server-sent Retry-After carried by an error
+// from this SDK (zero when none was sent). iofleet-router uses it to
+// propagate the owning daemon's hint to its own caller instead of
+// swallowing it.
+func RetryAfterHint(err error) time.Duration { return retryAfterIn(err) }
+
+// outcomeWindow is a fixed ring of recent attempt outcomes; its failure
+// rate drives the adaptive backoff widening. Safe for concurrent use.
+type outcomeWindow struct {
+	mu       sync.Mutex
+	outcomes [32]bool // true = transient failure
+	n, idx   int
+	fails    int
+}
+
+func (w *outcomeWindow) record(fail bool) {
+	w.mu.Lock()
+	if w.n < len(w.outcomes) {
+		w.n++
+	} else if w.outcomes[w.idx] {
+		w.fails--
+	}
+	w.outcomes[w.idx] = fail
+	w.idx = (w.idx + 1) % len(w.outcomes)
+	if fail {
+		w.fails++
+	}
+	w.mu.Unlock()
+}
+
+func (w *outcomeWindow) rate() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.n == 0 {
+		return 0
+	}
+	return float64(w.fails) / float64(w.n)
+}
+
+// clientBreaker mirrors the pool's transient-failure breaker on the
+// client side: consecutive retryable failures trip it open, calls fail
+// fast with ErrBreakerOpen through the cooldown, then a half-open probe
+// is admitted — its outcome closes or re-arms the breaker.
+type clientBreaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu          sync.Mutex
+	consecutive int
+	open        bool
+	openSince   time.Time
+	trips       int64
+}
+
+// allow reports whether a call may proceed: always while closed, and
+// once per cooldown while open (the half-open probe).
+func (b *clientBreaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	return b.now().Sub(b.openSince) >= b.cooldown
+}
+
+// record feeds one attempt's outcome. A success closes the breaker; a
+// retryable failure counts toward the threshold and re-arms an open
+// breaker's cooldown (a failed half-open probe starts a fresh wait).
+func (b *clientBreaker) record(fail bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !fail {
+		b.consecutive = 0
+		b.open = false
+		return
+	}
+	b.consecutive++
+	if b.consecutive >= b.threshold {
+		if !b.open {
+			b.trips++
+		}
+		b.open = true
+		b.openSince = b.now()
+	}
+}
+
+// Trips reports how many times the breaker has opened (for tests and
+// metrics).
+func (b *clientBreaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
 }
 
 // retryable classifies one attempt's failure: transport errors, bare

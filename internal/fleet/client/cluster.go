@@ -1,29 +1,43 @@
 package client
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
 
+	"ioagent/internal/darshan"
 	"ioagent/internal/fleet/api"
 	"ioagent/internal/fleet/ring"
 )
 
-// RouteKey maps raw submitted trace bytes onto the cluster routing key: a
-// hex SHA-256 of the bytes as they travel on the wire. Ownership is a
-// pure function of this key and the member list, so every router and
-// every cluster-mode client agrees on which node owns a submission
-// without any coordination.
+// RouteKey maps submitted trace bytes onto the cluster routing key.
+// Ownership is a pure function of this key and the member list, so every
+// router and every cluster-mode client agrees on which node owns a
+// submission without any coordination.
 //
-// Note the key covers the wire encoding, not the decoded trace: the
-// binary and darshan-parser-text renderings of one trace are different
-// byte strings and may land on different nodes. Each rendering still
-// routes consistently, and the node-local digest cache (which hashes the
-// decoded trace) deduplicates within its shard.
+// Decodable traces route by their canonical content digest
+// (darshan.ContentDigest), so the binary and darshan-parser-text
+// renderings of one trace land on the SAME node and share its digest
+// cache — the property the streaming path's api.DigestHeader asserts
+// without shipping the body first. Bytes that decode as neither
+// rendering fall back to a hash of the wire bytes: they still route
+// consistently (to the node that will refuse them with bad_trace).
 func RouteKey(trace []byte) string {
+	if log, err := darshan.Decode(bytes.NewReader(trace)); err == nil {
+		if cd, derr := darshan.ContentDigest(log); derr == nil {
+			return cd
+		}
+	} else if log, terr := darshan.ParseText(bytes.NewReader(trace)); terr == nil {
+		if cd, derr := darshan.ContentDigest(log); derr == nil {
+			return cd
+		}
+	}
 	sum := sha256.Sum256(trace)
 	return hex.EncodeToString(sum[:])
 }
@@ -96,15 +110,31 @@ func (cl *Cluster) Close() {
 // Route returns the members that would be tried for these trace bytes, in
 // order: the ring owner first, then its failover successors.
 func (cl *Cluster) Route(trace []byte) []string {
-	return cl.ring.Successors(RouteKey(trace), len(cl.members))
+	return cl.RouteDigest(RouteKey(trace))
+}
+
+// RouteDigest returns the failover order for a canonical content digest —
+// what a router uses when a streaming submission asserts api.DigestHeader
+// and the body has not (and will not) be read.
+func (cl *Cluster) RouteDigest(digest string) []string {
+	return cl.ring.Successors(digest, len(cl.members))
 }
 
 // failover reports whether an error from one member justifies trying the
-// next ring successor rather than surfacing to the caller. It is exactly
-// the per-call retry classification: transport failures, bare 5xx, and
-// retryable taxonomy codes; a 4xx (bad trace, version skew, ...) will be
-// 4xx everywhere.
-func failover(err error) bool { return retryable(err) }
+// next ring successor rather than surfacing to the caller. It is the
+// per-call retry classification — transport failures, bare 5xx, and
+// retryable taxonomy codes — plus the member's client breaker being
+// open (that member is known down; the successor is the whole point). A
+// 4xx (bad trace, version skew, ...) will be 4xx everywhere. One
+// retryable code deliberately does NOT fail over: quota_exceeded is the
+// tenant's own backpressure, and hopping to a successor would both dodge
+// the quota and trade a clear 429-with-Retry-After for node_down.
+func failover(err error) bool {
+	if api.ErrorCode(err) == api.CodeQuotaExceeded {
+		return false
+	}
+	return failoverStream(err)
+}
 
 // Submit sends one trace to the owner of its route key, walking ring
 // successors while members are down or draining. The returned JobInfo's
@@ -125,11 +155,14 @@ func (cl *Cluster) Submit(ctx context.Context, req api.SubmitRequest) (api.JobIn
 		"no fleet node accepted the submission (%d tried; all down or draining)", len(cl.members))
 }
 
-// nodeFromJobID extracts the node prefix a -node-id daemon bakes into its
-// job IDs ("n1-job-000042" -> "n1"); IDs from unnamed daemons yield "".
-func nodeFromJobID(id string) string {
-	if i := strings.LastIndex(id, "-job-"); i > 0 {
-		return id[:i]
+// nodeFromID extracts the node prefix a -node-id daemon bakes into its
+// job IDs ("n1-job-000042" -> "n1") and upload-session IDs
+// ("n1-up-000007" -> "n1"); IDs from unnamed daemons yield "".
+func nodeFromID(id string) string {
+	for _, sep := range []string{"-job-", "-up-"} {
+		if i := strings.LastIndex(id, sep); i > 0 {
+			return id[:i]
+		}
 	}
 	return ""
 }
@@ -137,7 +170,7 @@ func nodeFromJobID(id string) string {
 // learn records which member produced a job ID, so later lookups for that
 // node skip the resolution probe.
 func (cl *Cluster) learn(jobID, member string) {
-	node := nodeFromJobID(jobID)
+	node := nodeFromID(jobID)
 	if node == "" {
 		return
 	}
@@ -188,7 +221,7 @@ func (cl *Cluster) memberForNode(ctx context.Context, node string) (string, bool
 // "not found" is the code that tells callers to use the recovery path —
 // resubmit the same bytes, which is idempotent by digest.
 func (cl *Cluster) lookup(ctx context.Context, id string, call func(*Client) error) error {
-	if node := nodeFromJobID(id); node != "" {
+	if node := nodeFromID(id); node != "" {
 		member, ok := cl.memberForNode(ctx, node)
 		if !ok {
 			return api.Errorf(api.CodeJobNotFound,
@@ -394,11 +427,216 @@ func AggregateMetrics(snaps []api.Metrics) api.Metrics {
 			}
 			agg.Tenants[tenant] += n
 		}
+		for tenant, n := range m.TenantsInflight {
+			if agg.TenantsInflight == nil {
+				agg.TenantsInflight = make(map[string]int64)
+			}
+			agg.TenantsInflight[tenant] += n
+		}
 	}
 	if agg.Submitted > 0 {
 		agg.HitRate = float64(agg.CacheHits+agg.Coalesced) / float64(agg.Submitted)
 	}
 	return agg
+}
+
+// SubmitStream streams one trace into the fleet without buffering it.
+// With opts.Digest set the stream goes straight to the digest's ring
+// owner (walking successors only while zero body bytes have been
+// consumed, or after rewinding an io.Seeker body); without it the
+// cluster cannot know the owner before reading the body, so the stream
+// lands on the digest-less route's first member — any daemon accepts any
+// trace; ownership only optimizes cache locality — and the response's
+// api.DigestHeader teaches the caller the digest to assert next time.
+func (cl *Cluster) SubmitStream(ctx context.Context, body io.Reader, opts StreamOpts) (api.JobInfo, error) {
+	targets := cl.members
+	if opts.Digest != "" {
+		targets = cl.RouteDigest(opts.Digest)
+	}
+	consumed := newCountingReader(body)
+	var lastErr error
+	for _, member := range targets {
+		if consumed.count() > 0 {
+			// A previous attempt shipped bytes; only a rewindable body can
+			// honestly be replayed at another member.
+			if err := consumed.rewind(); err != nil {
+				if lastErr == nil {
+					lastErr = err
+				}
+				return api.JobInfo{}, lastErr
+			}
+		}
+		// consumed preserves the body's io.Seeker (when it has one), so
+		// the member client's own per-node retry budget still applies to
+		// rewindable streams.
+		info, err := cl.clients[member].SubmitStream(ctx, consumed.reader(), opts)
+		if err == nil {
+			cl.learn(info.ID, member)
+			return info, nil
+		}
+		if !failover(err) || ctx.Err() != nil {
+			return api.JobInfo{}, err
+		}
+		lastErr = err
+	}
+	return api.JobInfo{}, api.Errorf(api.CodeNodeDown,
+		"no fleet node accepted the stream (%d candidates tried; all down or draining)", len(targets))
+}
+
+// countingReader tracks how many body bytes a stream attempt consumed,
+// which is what decides whether failing over to another member is safe.
+// When the underlying body is an io.Seeker, the wrapper stays one (via
+// seekCountingReader), so downstream retry machinery keeps working.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func newCountingReader(body io.Reader) *countingReader {
+	return &countingReader{r: body}
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingReader) count() int64 { return c.n }
+
+// reader returns the value to hand downstream: a seek-preserving view
+// when the body can rewind, else the plain counter.
+func (c *countingReader) reader() io.Reader {
+	if _, ok := c.r.(io.Seeker); ok {
+		return seekCountingReader{c}
+	}
+	return c
+}
+
+// seekCountingReader adds Seek to a countingReader over a rewindable
+// body, keeping the consumed-byte count honest across rewinds so the
+// cluster failover loop's bookkeeping stays correct even when the member
+// client rewound internally.
+type seekCountingReader struct{ *countingReader }
+
+func (s seekCountingReader) Seek(offset int64, whence int) (int64, error) {
+	pos, err := s.r.(io.Seeker).Seek(offset, whence)
+	if err == nil && offset == 0 && whence == io.SeekStart {
+		s.n = 0
+	}
+	return pos, err
+}
+
+// rewind resets a rewindable body to its start; non-rewindable bodies
+// report an error.
+func (c *countingReader) rewind() error {
+	s, ok := c.r.(io.Seeker)
+	if !ok {
+		return fmt.Errorf("client: stream partially shipped and not rewindable")
+	}
+	if _, err := s.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("client: rewind stream for failover: %w", err)
+	}
+	c.n = 0
+	return nil
+}
+
+// UploadOpen opens a resumable upload session. A session with a claimed
+// digest opens on the digest's ring owner — so the eventual job lands
+// where its cache shard lives — and otherwise on the first reachable
+// member. The returned ID carries the owning node's prefix; every later
+// session call routes by it.
+func (cl *Cluster) UploadOpen(ctx context.Context, opts StreamOpts) (api.UploadInfo, error) {
+	targets := cl.members
+	if opts.Digest != "" {
+		targets = cl.RouteDigest(opts.Digest)
+	}
+	var lastErr error = api.Errorf(api.CodeNodeDown, "no fleet node reachable (%d tried)", len(cl.members))
+	for _, member := range targets {
+		info, err := cl.clients[member].UploadOpen(ctx, opts)
+		if err == nil {
+			cl.learn(info.ID, member)
+			return info, nil
+		}
+		if !failover(err) || ctx.Err() != nil {
+			return api.UploadInfo{}, err
+		}
+		lastErr = err
+	}
+	if failover(lastErr) {
+		lastErr = api.Errorf(api.CodeNodeDown, "no fleet node accepted the upload (%d tried)", len(targets))
+	}
+	return api.UploadInfo{}, lastErr
+}
+
+// uploadLookup routes a session-scoped call to the member whose node
+// prefix the session ID carries. Unlike job lookups, a transient failure
+// from the owner passes through UNCHANGED (retryable code and all):
+// session state survives drains, open breakers, and — with -state-dir —
+// even restarts, so the honest answer to "the owner hiccuped" is "retry",
+// never "open a new session and re-upload". Only an owner that is not a
+// configured, resolvable member at all maps to upload_not_found.
+func (cl *Cluster) uploadLookup(ctx context.Context, id string, call func(*Client) error) error {
+	node := nodeFromID(id)
+	if node == "" {
+		// Prefix-less ID (unnamed daemon): single-member fleets only.
+		return call(cl.clients[cl.members[0]])
+	}
+	member, ok := cl.memberForNode(ctx, node)
+	if !ok {
+		return api.Errorf(api.CodeUploadNotFound,
+			"upload %s belongs to node %q, which is not a resolvable cluster member; open a new session", id, node)
+	}
+	return call(cl.clients[member])
+}
+
+// UploadAppend appends a chunk to the session on its owning node.
+func (cl *Cluster) UploadAppend(ctx context.Context, id string, offset int64, chunk []byte) (api.UploadInfo, error) {
+	var info api.UploadInfo
+	err := cl.uploadLookup(ctx, id, func(c *Client) error {
+		var cerr error
+		info, cerr = c.UploadAppend(ctx, id, offset, chunk)
+		return cerr
+	})
+	return info, err
+}
+
+// UploadStatus fetches the session snapshot from its owning node.
+func (cl *Cluster) UploadStatus(ctx context.Context, id string) (api.UploadInfo, error) {
+	var info api.UploadInfo
+	err := cl.uploadLookup(ctx, id, func(c *Client) error {
+		var cerr error
+		info, cerr = c.UploadStatus(ctx, id)
+		return cerr
+	})
+	return info, err
+}
+
+// UploadComplete finalizes the session into a job on its owning node.
+// The returned job ID carries the same node prefix as the session, so
+// Job/Diagnosis lookups route without any extra learning.
+func (cl *Cluster) UploadComplete(ctx context.Context, id string) (api.JobInfo, error) {
+	var info api.JobInfo
+	err := cl.uploadLookup(ctx, id, func(c *Client) error {
+		var cerr error
+		info, cerr = c.UploadComplete(ctx, id)
+		return cerr
+	})
+	return info, err
+}
+
+// UploadAbort discards the session on its owning node.
+func (cl *Cluster) UploadAbort(ctx context.Context, id string) error {
+	return cl.uploadLookup(ctx, id, func(c *Client) error {
+		return c.UploadAbort(ctx, id)
+	})
+}
+
+// SubmitChunked mirrors Client.SubmitChunked across the fleet: the
+// session opens on the claimed digest's owner (or the first reachable
+// member) and every chunk follows the session ID's node prefix home.
+func (cl *Cluster) SubmitChunked(ctx context.Context, r io.Reader, chunkSize int, opts StreamOpts) (api.JobInfo, error) {
+	return submitChunked(ctx, cl, r, chunkSize, opts)
 }
 
 // Health probes every member's metrics endpoint and reports the cluster

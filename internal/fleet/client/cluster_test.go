@@ -203,7 +203,7 @@ func TestClusterLookupDeadNodeSaysNotFound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ownerNode := nodeFromJobID(info.ID)
+	ownerNode := nodeFromID(info.ID)
 	memberNode(nodes, cl.Route(raw)[0]).srv.Close()
 
 	if _, err := cl.Job(ctx, info.ID); api.ErrorCode(err) != api.CodeJobNotFound {

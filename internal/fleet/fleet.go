@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -23,6 +24,12 @@ var ErrClosed = errors.New("fleet: pool is closed")
 // half-open probe succeeds. The work was not attempted; resubmitting the
 // same trace later is safe and idempotent.
 var ErrBreakerOpen = errors.New("fleet: circuit breaker open (llm backend marked down)")
+
+// ErrTenantQuota is returned by Submit when the submitting tenant already
+// has Config.TenantMaxInflight jobs in the system (accepted and not yet
+// terminal). The submission was not accepted; retrying later — once some
+// of the tenant's jobs finish — is safe.
+var ErrTenantQuota = errors.New("fleet: tenant in-flight quota exceeded")
 
 // EventKind names a job lifecycle transition observed through
 // Config.OnJobEvent.
@@ -151,6 +158,13 @@ type Config struct {
 	// BreakerCooldown is how long an open breaker refuses work before
 	// admitting a half-open probe (default 5s when the breaker is on).
 	BreakerCooldown time.Duration
+	// TenantMaxInflight caps how many jobs one tenant may have in the
+	// system at once (accepted and not yet terminal; cache hits complete
+	// instantly and never count against a later submission). Beyond the
+	// cap Submit returns ErrTenantQuota. Zero or negative disables the
+	// quota (the default). Anonymous submissions (no tenant) are never
+	// quota'd — there is no principal to charge.
+	TenantMaxInflight int
 	// Agent configures the diagnosis pipeline shared by all workers.
 	Agent ioagent.Options
 
@@ -217,26 +231,38 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Digest content-addresses a diagnosis: the hash covers the full binary
-// trace plus every scalar option that changes the pipeline's output, so
-// within one corpus equal digests are interchangeable diagnoses and the
-// cache can serve one for the other. The knowledge index itself is NOT
-// hashed — a pool has exactly one, so its per-pool cache is consistent;
-// sharing digests across pools (or processes) is only sound when they
-// retrieve from the same corpus.
+// Digest content-addresses a diagnosis: the hash covers the trace's
+// canonical content digest (darshan.ContentDigest — identical for the
+// binary and text renderings of one trace) plus every scalar option that
+// changes the pipeline's output, so within one corpus equal digests are
+// interchangeable diagnoses and the cache can serve one for the other.
+// The knowledge index itself is NOT hashed — a pool has exactly one, so
+// its per-pool cache is consistent; sharing digests across pools (or
+// processes) is only sound when they retrieve from the same corpus.
+//
+// The two-layer construction (options hashed over the content digest,
+// not over the raw encoding) is what lets the streaming ingest layer
+// hand the pool a trace it already hashed while the bytes were arriving:
+// SubmitPreparsed combines the precomputed content digest with the
+// pool's options without re-encoding the log.
 func Digest(opts ioagent.Options, log *darshan.Log) (string, error) {
+	cd, err := darshan.ContentDigest(log)
+	if err != nil {
+		return "", fmt.Errorf("fleet: digest: %w", err)
+	}
+	return digestWith(opts, cd), nil
+}
+
+// digestWith derives the diagnosis digest from an already-computed
+// canonical content digest.
+func digestWith(opts ioagent.Options, contentDigest string) string {
 	opts = opts.WithDefaults()
 	h := sha256.New()
 	fmt.Fprintf(h, "model=%s cheap=%s topk=%d norag=%t noreflect=%t oneshot=%t\n",
 		opts.Model, opts.CheapModel, opts.TopK,
 		opts.DisableRAG, opts.DisableReflection, opts.UseOneShotMerge)
-	// Encode canonicalizes record order by sorting in place, so hash a
-	// shallow clone whose record slices are private: Digest must neither
-	// mutate nor race on the caller's log.
-	if err := darshan.Encode(h, log.ShallowClone()); err != nil {
-		return "", fmt.Errorf("fleet: digest: %w", err)
-	}
-	return hex.EncodeToString(h.Sum(nil)), nil
+	fmt.Fprintf(h, "content=%s\n", contentDigest)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // JobInfo is an externally-visible job snapshot (served as JSON by
@@ -426,6 +452,17 @@ func (p *Pool) emit(kind EventKind, j *Job, log *darshan.Log) {
 	}
 }
 
+// Preparsed pairs an already-decoded trace with its canonical content
+// digest (darshan.ContentDigest), computed once by the ingest layer while
+// the bytes were still arriving. SubmitPreparsed trusts the pairing and
+// skips the re-encode that Digest would otherwise pay — the serving layer
+// that built the Preparsed is responsible for having verified any
+// client-asserted digest against the bytes it actually parsed.
+type Preparsed struct {
+	Log           *darshan.Log
+	ContentDigest string
+}
+
 // Submit enqueues a trace for diagnosis on the interactive lane; see
 // SubmitWith for the full contract.
 func (p *Pool) Submit(log *darshan.Log) (*Job, error) {
@@ -440,19 +477,62 @@ func (p *Pool) Submit(log *darshan.Log) (*Job, error) {
 // a digest equal to an in-flight job coalesces onto it; and only
 // otherwise does the job occupy a worker.
 func (p *Pool) SubmitWith(log *darshan.Log, opts SubmitOpts) (*Job, error) {
+	return p.submit(context.Background(), log, "", opts)
+}
+
+// SubmitContext is SubmitWith with a context bounding the backpressure
+// wait: if the lane queue is full and ctx is done before a slot frees,
+// the job is aborted (terminal failed with the context's error, observers
+// notified) instead of holding the caller's goroutine — which is how a
+// serving layer avoids leaking handlers for clients that already hung up.
+// Work already accepted is unaffected; only the not-yet-queued submission
+// is abandoned.
+func (p *Pool) SubmitContext(ctx context.Context, log *darshan.Log, opts SubmitOpts) (*Job, error) {
+	return p.submit(ctx, log, "", opts)
+}
+
+// SubmitPreparsed enqueues a trace the streaming ingest layer already
+// decoded and content-addressed: the diagnosis digest is derived from
+// pp.ContentDigest without re-encoding the log, so a multi-megabyte
+// streamed trace pays its canonicalization exactly once. The context
+// bounds the backpressure wait as in SubmitContext.
+func (p *Pool) SubmitPreparsed(ctx context.Context, pp Preparsed, opts SubmitOpts) (*Job, error) {
+	if pp.Log == nil || pp.ContentDigest == "" {
+		return nil, fmt.Errorf("fleet: preparsed submission needs a log and its content digest")
+	}
+	return p.submit(ctx, pp.Log, pp.ContentDigest, opts)
+}
+
+func (p *Pool) submit(ctx context.Context, log *darshan.Log, contentDigest string, opts SubmitOpts) (*Job, error) {
 	lane := opts.Lane.withDefault()
 	if !lane.Valid() {
 		return nil, fmt.Errorf("fleet: unknown lane %q", opts.Lane)
 	}
-	digest, err := Digest(p.cfg.Agent, log)
-	if err != nil {
-		return nil, err
+	var digest string
+	if contentDigest != "" {
+		digest = digestWith(p.cfg.Agent, contentDigest)
+	} else {
+		var err error
+		if digest, err = Digest(p.cfg.Agent, log); err != nil {
+			return nil, err
+		}
 	}
 
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return nil, ErrClosed
+	}
+	// Tenant quota, checked before the job exists: a tenant at its
+	// in-flight cap is refused outright rather than admitted and failed.
+	if opts.Tenant != "" && p.cfg.TenantMaxInflight > 0 {
+		p.m.mu.Lock()
+		over := p.m.tenantInflight[opts.Tenant] >= int64(p.cfg.TenantMaxInflight)
+		p.m.mu.Unlock()
+		if over {
+			p.mu.Unlock()
+			return nil, ErrTenantQuota
+		}
 	}
 	p.nextID++
 	idPrefix := ""
@@ -508,6 +588,7 @@ func (p *Pool) SubmitWith(log *darshan.Log, opts SubmitOpts) (*Job, error) {
 		entry.followers = append(entry.followers, j)
 		p.m.mu.Lock()
 		p.m.coalesced++
+		p.m.holdTenantLocked(opts.Tenant)
 		p.m.mu.Unlock()
 		// Emit before releasing p.mu: the primary's worker snapshots
 		// followers under p.mu, so holding it here guarantees this
@@ -524,6 +605,7 @@ func (p *Pool) SubmitWith(log *darshan.Log, opts SubmitOpts) (*Job, error) {
 	p.m.mu.Lock()
 	p.m.misses++
 	p.m.queuedByLane[lane]++
+	p.m.holdTenantLocked(opts.Tenant)
 	p.m.mu.Unlock()
 	p.qmu.RLock() // before mu is released, so Close cannot slip between
 	p.mu.Unlock()
@@ -532,9 +614,54 @@ func (p *Pool) SubmitWith(log *darshan.Log, opts SubmitOpts) (*Job, error) {
 	// send lands, so a write-ahead journal hooked here has durably
 	// recorded the submission before any worker can complete it.
 	p.emit(EventSubmitted, j, log)
-	p.queues[lane] <- j // blocks when the lane is full (backpressure)
-	p.qmu.RUnlock()
-	return j, nil
+	select {
+	case p.queues[lane] <- j: // blocks when the lane is full (backpressure)
+		p.qmu.RUnlock()
+		return j, nil
+	case <-ctx.Done():
+		// The submitter hung up while waiting out backpressure. The job
+		// was journaled as submitted, so it must reach a terminal state:
+		// abort it (and any followers that coalesced onto it meanwhile)
+		// rather than park a goroutine on a queue slot nobody wants.
+		p.qmu.RUnlock()
+		p.abortQueued(j, ctx.Err())
+		return j, ctx.Err()
+	}
+}
+
+// abortQueued terminally fails a job that was accepted but never reached
+// its lane queue (context cancellation during backpressure), releasing
+// the in-flight digest claim and completing any coalesced followers with
+// the same error.
+func (p *Pool) abortQueued(j *Job, cause error) {
+	p.mu.Lock()
+	var followers []*Job
+	if entry := p.inflight[j.digest]; entry != nil && entry.primary == j {
+		followers = entry.followers
+		delete(p.inflight, j.digest)
+	}
+	p.mu.Unlock()
+
+	finished := p.cfg.now()
+	p.m.mu.Lock()
+	p.m.queuedByLane[j.lane]--
+	p.m.failed += int64(1 + len(followers))
+	p.m.mu.Unlock()
+
+	err := fmt.Errorf("fleet: submission abandoned before reaching the queue: %w", cause)
+	j.complete(nil, err, finished)
+	p.jobWG.Done()
+	p.m.releaseTenant(j.tenant)
+	p.emit(EventFailed, j, nil)
+	for _, f := range followers {
+		f.mu.Lock()
+		f.cacheHit = false
+		f.mu.Unlock()
+		f.complete(nil, err, finished)
+		p.jobWG.Done()
+		p.m.releaseTenant(f.tenant)
+		p.emit(EventFailed, f, nil)
+	}
 }
 
 // Job returns a previously submitted job by ID.
@@ -816,6 +943,7 @@ func (p *Pool) runJob(j *Job) {
 	}
 	j.complete(res, err, finished)
 	p.jobWG.Done()
+	p.m.releaseTenant(j.tenant)
 	p.emit(kind, j, nil)
 	for _, f := range followers {
 		f.mu.Lock()
@@ -831,6 +959,7 @@ func (p *Pool) runJob(j *Job) {
 		}
 		f.complete(res, err, finished)
 		p.jobWG.Done()
+		p.m.releaseTenant(f.tenant)
 		p.emit(kind, f, nil)
 	}
 }

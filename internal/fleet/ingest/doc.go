@@ -1,0 +1,32 @@
+// Package ingest is the fleet's streaming trace-ingest subsystem: it
+// turns arriving bytes into decoded, content-addressed Darshan logs
+// without ever requiring the full body in memory first.
+//
+// Two entry shapes feed it:
+//
+//   - Parser consumes one trace as an io.Writer — chunked HTTP bodies,
+//     pipes, files read in slices. It sniffs the rendering from the
+//     first bytes (gzip magic means the binary codec; anything else is
+//     darshan-parser text), and in the text case begins module/counter
+//     pre-processing on every complete line as it lands, so a multi-
+//     megabyte upload is mostly parsed by the time its last chunk
+//     arrives. Chunk boundaries are invisible: any split of the same
+//     bytes yields byte-for-byte the same decoded log as a whole-body
+//     parse (fuzz-tested).
+//
+//   - Manager holds resumable upload sessions: a client opens a session,
+//     appends chunks at asserted offsets (PATCH-style, tus-like), can
+//     disconnect and resume at the server's offset, and finally
+//     completes the session into a parsed trace. Each appended chunk is
+//     fed to the session's Parser immediately and, when a spool
+//     directory is configured, appended to a per-session spool file so
+//     half-finished uploads survive a daemon restart (the store journals
+//     the session open; recovery re-feeds the spool through a fresh
+//     Parser and the client resumes where it left off).
+//
+// Both paths end in the same place: a decoded *darshan.Log plus its
+// canonical content digest (darshan.ContentDigest), which is identical
+// for the binary and text renderings of one trace and is what the
+// cluster routes on (api.DigestHeader). The pool accepts the pair via
+// fleet.SubmitPreparsed without re-encoding or re-parsing anything.
+package ingest

@@ -1,0 +1,493 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ioagent/internal/darshan"
+)
+
+// ErrSessionNotFound is returned for an upload ID the manager does not
+// hold (never opened, completed, aborted, or expired).
+var ErrSessionNotFound = errors.New("ingest: upload session not found")
+
+// ErrTooManySessions is returned by Open when the manager is at its
+// MaxSessions cap; retry once an existing session completes or expires.
+var ErrTooManySessions = errors.New("ingest: too many open upload sessions")
+
+// OffsetError reports an Append whose asserted offset is not the
+// session's current offset: a chunk was lost, duplicated, or reordered.
+// The client resynchronizes from Want and resends.
+type OffsetError struct {
+	Want int64 // the offset the server will accept next
+	Got  int64 // the offset the client asserted
+}
+
+func (e *OffsetError) Error() string {
+	return fmt.Sprintf("ingest: upload offset mismatch: server is at %d, client sent %d", e.Want, e.Got)
+}
+
+// EventKind names an upload-session lifecycle transition observed
+// through Config.OnEvent.
+type EventKind string
+
+const (
+	// EventOpened fires when a session is created (not when one is
+	// restored from a previous process — its open event already
+	// happened, and is journaled).
+	EventOpened EventKind = "opened"
+	// EventClosed fires exactly once per opened-or-restored session,
+	// when it completes into a job, is aborted, or expires.
+	EventClosed EventKind = "closed"
+)
+
+// Event is one session lifecycle notification, the hook the store's
+// write-ahead journal attaches to.
+type Event struct {
+	Kind   EventKind
+	ID     string
+	Lane   string
+	Tenant string
+	// Digest is the client-claimed content digest, if any.
+	Digest string
+	At     time.Time
+}
+
+// Info is a session snapshot: offset for resume, pre-parse progress for
+// observability.
+type Info struct {
+	ID        string
+	Offset    int64
+	Lane      string
+	Tenant    string
+	Digest    string // client-claimed; verified at complete time
+	Lines     int64
+	Modules   int
+	Binary    bool
+	CreatedAt time.Time
+}
+
+// Config tunes a Manager. The zero value is usable: memory-only
+// sessions, 64 at most, one-hour idle expiry.
+type Config struct {
+	// NodeID prefixes session IDs ("n1-up-000007") exactly as the pool
+	// prefixes job IDs, which is how iofleet-router routes later appends
+	// back to the daemon holding the session's state.
+	NodeID string
+	// MaxBytes bounds one session's total upload (default 64 MiB).
+	MaxBytes int64
+	// MaxSessions bounds concurrently open sessions (default 64).
+	MaxSessions int
+	// TTL expires sessions idle longer than this (default 1h; negative
+	// disables expiry).
+	TTL time.Duration
+	// SpoolDir, when set, persists each session's accepted bytes to
+	// SpoolDir/<id>.part so half-finished uploads survive a restart
+	// (paired with the store's journal via OnEvent). Empty means
+	// sessions die with the process.
+	SpoolDir string
+	// OnEvent observes session opens and closes (the store's journaling
+	// hook). Called synchronously; must not call back into the Manager.
+	OnEvent func(Event)
+	// Logf receives spool-maintenance warnings (default log.Printf).
+	Logf func(format string, args ...any)
+
+	now func() time.Time // test hook
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 64 << 20
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.TTL == 0 {
+		c.TTL = time.Hour
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// ErrSessionFinished is returned by Append once Finish has flushed the
+// session's parser: the trailing partial line has been finalized, so
+// later bytes could silently change the parse. Complete or abort the
+// session instead.
+var ErrSessionFinished = errors.New("ingest: upload session already finalized; complete or abort it")
+
+// session is one resumable upload. Its mutex serializes appends against
+// status reads and completion; the manager's lock only guards the map.
+type session struct {
+	id      string
+	lane    string
+	tenant  string
+	digest  string
+	created time.Time
+
+	mu        sync.Mutex
+	offset    int64
+	parser    *Parser
+	spool     *os.File
+	lastTouch time.Time
+	finished  bool // Finish ran; no further appends
+}
+
+func (s *session) info() Info {
+	st := s.parser.Stats()
+	return Info{
+		ID: s.id, Offset: s.offset,
+		Lane: s.lane, Tenant: s.tenant, Digest: s.digest,
+		Lines: st.Lines, Modules: st.Modules, Binary: st.Binary,
+		CreatedAt: s.created,
+	}
+}
+
+// Manager is the upload-session registry. All methods are safe for
+// concurrent use.
+type Manager struct {
+	cfg Config
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   int
+}
+
+// NewManager builds a session manager (creating SpoolDir if configured).
+func NewManager(cfg Config) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	if cfg.SpoolDir != "" {
+		if err := os.MkdirAll(cfg.SpoolDir, 0o755); err != nil {
+			return nil, fmt.Errorf("ingest: create spool dir: %w", err)
+		}
+	}
+	return &Manager{cfg: cfg, sessions: make(map[string]*session)}, nil
+}
+
+// OpenOpts parameterizes a new session.
+type OpenOpts struct {
+	Lane   string
+	Tenant string
+	// Digest is the client-claimed canonical content digest, verified
+	// when the session completes (and used by routers for placement).
+	Digest string
+}
+
+// Open creates a session and returns its snapshot (offset 0). Expired
+// sessions are swept first, so a stuck client cannot pin the cap.
+func (m *Manager) Open(opts OpenOpts) (Info, error) {
+	now := m.cfg.now()
+	m.sweep(now)
+
+	m.mu.Lock()
+	if len(m.sessions) >= m.cfg.MaxSessions {
+		m.mu.Unlock()
+		return Info{}, ErrTooManySessions
+	}
+	m.nextID++
+	id := m.formatID(m.nextID)
+	s := &session{
+		id: id, lane: opts.Lane, tenant: opts.Tenant, digest: opts.Digest,
+		created: now, lastTouch: now,
+		parser: NewParser(m.cfg.MaxBytes),
+	}
+	if m.cfg.SpoolDir != "" {
+		f, err := os.OpenFile(m.spoolPath(id), os.O_WRONLY|os.O_CREATE|os.O_TRUNC|os.O_APPEND, 0o644)
+		if err != nil {
+			m.mu.Unlock()
+			return Info{}, fmt.Errorf("ingest: create spool: %w", err)
+		}
+		s.spool = f
+	}
+	m.sessions[id] = s
+	m.mu.Unlock()
+
+	m.emit(EventOpened, s)
+	return s.info(), nil
+}
+
+func (m *Manager) formatID(n int) string {
+	prefix := ""
+	if m.cfg.NodeID != "" {
+		prefix = m.cfg.NodeID + "-"
+	}
+	return fmt.Sprintf("%sup-%06d", prefix, n)
+}
+
+func (m *Manager) spoolPath(id string) string {
+	return filepath.Join(m.cfg.SpoolDir, id+".part")
+}
+
+func (m *Manager) emit(kind EventKind, s *session) {
+	if m.cfg.OnEvent != nil {
+		m.cfg.OnEvent(Event{
+			Kind: kind, ID: s.id, Lane: s.lane, Tenant: s.tenant,
+			Digest: s.digest, At: m.cfg.now(),
+		})
+	}
+}
+
+func (m *Manager) get(id string) (*session, bool) {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	m.mu.Unlock()
+	return s, ok
+}
+
+// Append accepts the chunk starting at the asserted offset, spools it
+// (when configured), and feeds it to the incremental parser. A wrong
+// offset returns *OffsetError with the offset the server actually wants;
+// nothing is consumed. Parse and size failures poison the session — the
+// same bytes would fail again — so it is closed and its spool removed.
+func (m *Manager) Append(id string, offset int64, chunk []byte) (Info, error) {
+	s, ok := m.get(id)
+	if !ok {
+		return Info{}, ErrSessionNotFound
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.finished {
+		return Info{}, ErrSessionFinished
+	}
+	if s.offset != offset {
+		return Info{}, &OffsetError{Want: s.offset, Got: offset}
+	}
+	// Spool before parse: the spool is the resume source of truth, and a
+	// write failure must refuse the chunk (the client retries) rather
+	// than silently strand a restart at a shorter offset. A failed write
+	// may have landed PART of the chunk, so the spool is rolled back to
+	// the accepted offset first — otherwise the retried chunk would
+	// append after the partial bytes and corrupt the restart replay.
+	if s.spool != nil {
+		if _, err := s.spool.Write(chunk); err != nil {
+			if terr := s.spool.Truncate(s.offset); terr != nil {
+				// Rollback failed too: the spool's integrity is unknown,
+				// so the session cannot honestly promise a resume.
+				m.close(s, true)
+				return Info{}, fmt.Errorf("ingest: spool append: %w (rollback also failed: %v; session discarded)", err, terr)
+			}
+			// Reposition for the retry (no-op under O_APPEND; required
+			// for sessions restored via O_RDWR).
+			s.spool.Seek(s.offset, io.SeekStart)
+			return Info{}, fmt.Errorf("ingest: spool append: %w", err)
+		}
+	}
+	if _, err := s.parser.Write(chunk); err != nil {
+		m.close(s, true)
+		return Info{}, err
+	}
+	s.offset += int64(len(chunk))
+	s.lastTouch = m.cfg.now()
+	return s.info(), nil
+}
+
+// Status returns a session snapshot (the resume handshake).
+func (m *Manager) Status(id string) (Info, error) {
+	s, ok := m.get(id)
+	if !ok {
+		return Info{}, ErrSessionNotFound
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastTouch = m.cfg.now()
+	return s.info(), nil
+}
+
+// Finish finalizes the session's parse and returns the decoded log with
+// its canonical content digest — WITHOUT discarding the session. The
+// caller hands the trace to the pool and then decides the session's
+// fate: Discard after the pool accepts (or refuses permanently), keep
+// it when the refusal is retryable (tenant quota, draining) so the
+// client can re-complete without re-uploading a byte. Finish is
+// idempotent; once it has run, further appends are refused
+// (ErrSessionFinished). A parse failure closes the session eagerly —
+// identical bytes would fail identically, so there is nothing worth
+// resuming. Verifying a client-claimed digest against the returned one
+// is the caller's job (the claim is in Info.Digest).
+func (m *Manager) Finish(id string) (*darshan.Log, string, Info, error) {
+	s, ok := m.get(id)
+	if !ok {
+		return nil, "", Info{}, ErrSessionNotFound
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info := s.info()
+	log, digest, err := s.parser.Finish()
+	if err != nil {
+		m.close(s, true)
+		return nil, "", info, err
+	}
+	s.finished = true
+	s.lastTouch = m.cfg.now()
+	return log, digest, info, nil
+}
+
+// Discard closes the session (spool removed, close event emitted) after
+// its trace has been handed off — or when it is no longer wanted.
+func (m *Manager) Discard(id string) error {
+	return m.Abort(id)
+}
+
+// Complete is Finish followed by Discard, for callers without a
+// retryable-handoff step between the two (tests, simple embedders).
+func (m *Manager) Complete(id string) (*darshan.Log, string, Info, error) {
+	log, digest, info, err := m.Finish(id)
+	if err != nil {
+		return nil, "", info, err
+	}
+	m.Discard(id)
+	return log, digest, info, nil
+}
+
+// Abort discards the session.
+func (m *Manager) Abort(id string) error {
+	s, ok := m.get(id)
+	if !ok {
+		return ErrSessionNotFound
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m.close(s, true)
+	return nil
+}
+
+// close removes the session from the registry, closes and (optionally)
+// unlinks its spool, and emits the close event. Caller holds s.mu.
+func (m *Manager) close(s *session, removeSpool bool) {
+	m.mu.Lock()
+	if _, live := m.sessions[s.id]; !live {
+		m.mu.Unlock()
+		return // already closed (racing Complete/Abort/sweep)
+	}
+	delete(m.sessions, s.id)
+	m.mu.Unlock()
+	if s.spool != nil {
+		s.spool.Close()
+		s.spool = nil
+		if removeSpool {
+			if err := os.Remove(m.spoolPath(s.id)); err != nil && !os.IsNotExist(err) {
+				m.cfg.Logf("ingest: remove spool %s: %v", s.id, err)
+			}
+		}
+	}
+	m.emit(EventClosed, s)
+}
+
+// Sweep expires idle sessions; iofleetd calls it on its checkpoint tick,
+// and Open calls it before admitting new work.
+func (m *Manager) Sweep() { m.sweep(m.cfg.now()) }
+
+func (m *Manager) sweep(now time.Time) {
+	if m.cfg.TTL < 0 {
+		return
+	}
+	// Snapshot the roster under m.mu alone, then take each session lock
+	// with m.mu released: close() re-acquires m.mu, so the lock order is
+	// always s.mu before m.mu.
+	m.mu.Lock()
+	all := make([]*session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		all = append(all, s)
+	}
+	m.mu.Unlock()
+	for _, s := range all {
+		s.mu.Lock()
+		if now.Sub(s.lastTouch) > m.cfg.TTL {
+			m.close(s, true)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Len reports the number of open sessions.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// RestoreSession describes a journaled session being revived at boot.
+type RestoreSession struct {
+	ID        string
+	Lane      string
+	Tenant    string
+	Digest    string
+	CreatedAt time.Time
+}
+
+// Restore revives a session from a previous process under its original
+// ID (clients resume by ID, so it must not change): the spool file's
+// bytes — if any survive — are re-fed through a fresh parser and the
+// offset picks up where the file ends. A missing spool restores at
+// offset zero; a spool whose bytes no longer parse is discarded and the
+// restore reports the error (the journal cover is the caller's call).
+// No open event is emitted — the original open is already journaled.
+func (m *Manager) Restore(rs RestoreSession) (Info, error) {
+	if m.cfg.SpoolDir == "" {
+		return Info{}, fmt.Errorf("ingest: restore %s: no spool dir configured", rs.ID)
+	}
+	now := m.cfg.now()
+	s := &session{
+		id: rs.ID, lane: rs.Lane, tenant: rs.Tenant, digest: rs.Digest,
+		created: rs.CreatedAt, lastTouch: now,
+		parser: NewParser(m.cfg.MaxBytes),
+	}
+
+	path := m.spoolPath(rs.ID)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return Info{}, fmt.Errorf("ingest: reopen spool %s: %w", rs.ID, err)
+	}
+	n, err := io.Copy(s.parser, f)
+	if err != nil {
+		f.Close()
+		os.Remove(path)
+		return Info{}, fmt.Errorf("ingest: replay spool %s: %w", rs.ID, err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return Info{}, fmt.Errorf("ingest: seek spool %s: %w", rs.ID, err)
+	}
+	s.offset = n
+	s.spool = f
+
+	m.mu.Lock()
+	if _, dup := m.sessions[rs.ID]; dup {
+		m.mu.Unlock()
+		f.Close()
+		return Info{}, fmt.Errorf("ingest: restore %s: session already live", rs.ID)
+	}
+	// Keep fresh IDs from colliding with restored ones.
+	if seq := idSequence(rs.ID); seq > m.nextID {
+		m.nextID = seq
+	}
+	m.sessions[rs.ID] = s
+	m.mu.Unlock()
+	return s.info(), nil
+}
+
+// idSequence extracts the numeric suffix of an upload ID ("n1-up-000007"
+// -> 7); unparseable IDs yield 0.
+func idSequence(id string) int {
+	i := strings.LastIndex(id, "up-")
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.Atoi(id[i+len("up-"):])
+	if err != nil {
+		return 0
+	}
+	return n
+}

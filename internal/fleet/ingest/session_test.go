@@ -1,0 +1,267 @@
+package ingest
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ioagent/internal/darshan"
+)
+
+func newTestManager(t *testing.T, cfg Config) *Manager {
+	t.Helper()
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestSessionLifecycle: open → append in chunks → complete yields the
+// same digest as a whole-body parse, with pre-parse progress visible
+// mid-upload.
+func TestSessionLifecycle(t *testing.T) {
+	log := testTrace(t, 10)
+	body := textRendering(t, log)
+	want, err := darshan.ContentDigest(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := newTestManager(t, Config{NodeID: "n1"})
+	info, err := m.Open(OpenOpts{Lane: "batch", Tenant: "acme"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != "n1-up-000001" || info.Offset != 0 {
+		t.Fatalf("opened session %+v, want n1-up-000001 at offset 0", info)
+	}
+
+	const chunk = 64
+	var offset int64
+	sawProgress := false
+	for off := 0; off < len(body); off += chunk {
+		end := off + chunk
+		if end > len(body) {
+			end = len(body)
+		}
+		info, err = m.Append(info.ID, offset, body[off:end])
+		if err != nil {
+			t.Fatal(err)
+		}
+		offset = info.Offset
+		if end < len(body) && info.Lines > 0 && info.Modules > 0 {
+			sawProgress = true // pre-parse advanced before the final chunk
+		}
+	}
+	if !sawProgress {
+		t.Error("no pre-parse progress observed before the final chunk")
+	}
+	if offset != int64(len(body)) {
+		t.Fatalf("final offset %d, want %d", offset, len(body))
+	}
+
+	parsed, digest, done, err := m.Complete(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest != want {
+		t.Errorf("session digest %s != whole-trace digest %s", digest, want)
+	}
+	if done.Lane != "batch" || done.Tenant != "acme" {
+		t.Errorf("completion info lost lane/tenant: %+v", done)
+	}
+	if len(parsed.ModuleList()) == 0 {
+		t.Error("completed session returned a module-less log")
+	}
+	if m.Len() != 0 {
+		t.Errorf("%d sessions still open after complete", m.Len())
+	}
+	if _, err := m.Status(info.ID); !errors.Is(err, ErrSessionNotFound) {
+		t.Errorf("status after complete = %v, want ErrSessionNotFound", err)
+	}
+}
+
+// TestSessionOffsetMismatch: a wrong offset is refused with the server's
+// actual offset and consumes nothing.
+func TestSessionOffsetMismatch(t *testing.T) {
+	m := newTestManager(t, Config{})
+	info, err := m.Open(OpenOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Append(info.ID, 0, []byte("# darshan log version: 3.41\n")); err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Append(info.ID, 5, []byte("x"))
+	var oe *OffsetError
+	if !errors.As(err, &oe) {
+		t.Fatalf("mismatched append error = %v, want *OffsetError", err)
+	}
+	if oe.Want != 28 || oe.Got != 5 {
+		t.Errorf("OffsetError = %+v, want Want=28 Got=5", oe)
+	}
+	// Duplicate delivery of an already-accepted chunk is also a mismatch;
+	// the client resyncs from Want.
+	if st, err := m.Status(info.ID); err != nil || st.Offset != 28 {
+		t.Errorf("status after refused append = %+v, %v; offset must be unchanged", st, err)
+	}
+}
+
+// TestSessionCapAndExpiry: the session cap refuses with
+// ErrTooManySessions, and idle sessions expire so a stuck client cannot
+// pin the cap forever.
+func TestSessionCapAndExpiry(t *testing.T) {
+	clock := time.Unix(1700000000, 0)
+	cfg := Config{MaxSessions: 2, TTL: time.Minute}
+	cfg.now = func() time.Time { return clock }
+	m := newTestManager(t, cfg)
+
+	if _, err := m.Open(OpenOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Open(OpenOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Open(OpenOpts{}); !errors.Is(err, ErrTooManySessions) {
+		t.Fatalf("over-cap open = %v, want ErrTooManySessions", err)
+	}
+
+	clock = clock.Add(2 * time.Minute) // both sessions now idle past TTL
+	if _, err := m.Open(OpenOpts{}); err != nil {
+		t.Fatalf("open after expiry sweep = %v", err)
+	}
+	if m.Len() != 1 {
+		t.Errorf("%d sessions after sweep, want 1 (the fresh one)", m.Len())
+	}
+}
+
+// TestSessionSpoolAndRestore: a spool-backed session restores under its
+// original ID at its recovered offset, the incremental parse picks up
+// mid-line, and completion equals the whole-body digest.
+func TestSessionSpoolAndRestore(t *testing.T) {
+	log := testTrace(t, 11)
+	body := textRendering(t, log)
+	want, err := darshan.ContentDigest(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	m1 := newTestManager(t, Config{NodeID: "n1", SpoolDir: dir})
+	info, err := m1.Open(OpenOpts{Lane: "interactive", Tenant: "acme", Digest: want})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Upload part of the body — deliberately ending mid-line.
+	cut := len(body)/2 + 3
+	if _, err := m1.Append(info.ID, 0, body[:cut]); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh manager over the same spool dir revives the
+	// session (the store's journal supplies the metadata in production).
+	m2 := newTestManager(t, Config{NodeID: "n1", SpoolDir: dir})
+	restored, err := m2.Restore(RestoreSession{
+		ID: info.ID, Lane: "interactive", Tenant: "acme", Digest: want, CreatedAt: info.CreatedAt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Offset != int64(cut) {
+		t.Fatalf("restored offset %d, want %d", restored.Offset, cut)
+	}
+	if restored.Lines == 0 {
+		t.Error("restored session shows no pre-parse progress")
+	}
+
+	// Fresh sessions on the restored manager must not collide with the
+	// revived ID.
+	fresh, err := m2.Open(OpenOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.ID == restored.ID {
+		t.Fatalf("fresh session reused restored ID %s", fresh.ID)
+	}
+
+	// Resume and complete.
+	if _, err := m2.Append(restored.ID, int64(cut), body[cut:]); err != nil {
+		t.Fatal(err)
+	}
+	_, digest, done, err := m2.Complete(restored.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest != want {
+		t.Errorf("restored-session digest %s != %s", digest, want)
+	}
+	if done.Digest != want {
+		t.Errorf("claimed digest lost across restore: %+v", done)
+	}
+	// The spool is gone once the session completes.
+	if _, err := os.Stat(filepath.Join(dir, restored.ID+".part")); !os.IsNotExist(err) {
+		t.Errorf("spool file survives completion: %v", err)
+	}
+}
+
+// TestSessionAbortRemovesSpool: abort discards session and spool.
+func TestSessionAbortRemovesSpool(t *testing.T) {
+	dir := t.TempDir()
+	m := newTestManager(t, Config{SpoolDir: dir})
+	info, err := m.Open(OpenOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Append(info.ID, 0, []byte("# x\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Abort(info.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, info.ID+".part")); !os.IsNotExist(err) {
+		t.Errorf("spool survives abort: %v", err)
+	}
+	if err := m.Abort(info.ID); !errors.Is(err, ErrSessionNotFound) {
+		t.Errorf("double abort = %v, want ErrSessionNotFound", err)
+	}
+}
+
+// TestSessionEvents: every open is eventually covered by exactly one
+// close, across complete, abort, and expiry — the invariant the store's
+// journal depends on.
+func TestSessionEvents(t *testing.T) {
+	clock := time.Unix(1700000000, 0)
+	opens := map[string]int{}
+	closes := map[string]int{}
+	cfg := Config{TTL: time.Minute, OnEvent: func(ev Event) {
+		switch ev.Kind {
+		case EventOpened:
+			opens[ev.ID]++
+		case EventClosed:
+			closes[ev.ID]++
+		}
+	}}
+	cfg.now = func() time.Time { return clock }
+	m := newTestManager(t, cfg)
+
+	body := textRendering(t, testTrace(t, 12))
+	done, _ := m.Open(OpenOpts{})
+	m.Append(done.ID, 0, body)
+	if _, _, _, err := m.Complete(done.ID); err != nil {
+		t.Fatal(err)
+	}
+	aborted, _ := m.Open(OpenOpts{})
+	m.Abort(aborted.ID)
+	expired, _ := m.Open(OpenOpts{})
+	clock = clock.Add(2 * time.Minute)
+	m.Sweep()
+
+	for _, id := range []string{done.ID, aborted.ID, expired.ID} {
+		if opens[id] != 1 || closes[id] != 1 {
+			t.Errorf("session %s: %d opens, %d closes; want exactly 1 of each", id, opens[id], closes[id])
+		}
+	}
+}

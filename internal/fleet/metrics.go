@@ -71,6 +71,13 @@ type Snapshot struct {
 	// that aggregates under the "_other" key so metric cardinality stays
 	// bounded no matter what tenant strings clients invent.
 	Tenants map[string]int64 `json:"tenant_jobs,omitempty"`
+
+	// TenantsInflight maps tenant identifier to its jobs currently in the
+	// system (accepted, not yet terminal) — the counter the per-tenant
+	// quota (Config.TenantMaxInflight) is enforced against. Entries
+	// disappear when they reach zero, so cardinality is bounded by actual
+	// concurrency, not tenant history.
+	TenantsInflight map[string]int64 `json:"tenant_inflight_jobs,omitempty"`
 }
 
 // maxTenantLabels caps the distinct per-tenant counters one pool tracks;
@@ -102,8 +109,41 @@ type metrics struct {
 	// with only anonymous traffic never pay for the map.
 	tenants map[string]int64
 
+	// tenantInflight counts each tenant's jobs currently in the system
+	// (queued, running, or coalesced onto a running primary; instant cache
+	// hits never enter). The quota check in Submit reads it; entries are
+	// deleted at zero so the map never outgrows actual concurrency.
+	tenantInflight map[string]int64
+
 	latencies []time.Duration
 	latIdx    int
+}
+
+// holdTenantLocked charges one in-flight job to the tenant. Caller holds
+// m.mu. Anonymous submissions are not tracked (and not quota'd).
+func (m *metrics) holdTenantLocked(tenant string) {
+	if tenant == "" {
+		return
+	}
+	if m.tenantInflight == nil {
+		m.tenantInflight = make(map[string]int64)
+	}
+	m.tenantInflight[tenant]++
+}
+
+// releaseTenant returns one in-flight slot to the tenant when its job
+// reaches a terminal state.
+func (m *metrics) releaseTenant(tenant string) {
+	if tenant == "" {
+		return
+	}
+	m.mu.Lock()
+	if n := m.tenantInflight[tenant] - 1; n > 0 {
+		m.tenantInflight[tenant] = n
+	} else {
+		delete(m.tenantInflight, tenant)
+	}
+	m.mu.Unlock()
 }
 
 // countTenantLocked attributes one submission to its tenant. Caller holds
@@ -173,6 +213,12 @@ func (m *metrics) snapshot(workers, cacheLen int) Snapshot {
 		s.Tenants = make(map[string]int64, len(m.tenants))
 		for t, n := range m.tenants {
 			s.Tenants[t] = n
+		}
+	}
+	if len(m.tenantInflight) > 0 {
+		s.TenantsInflight = make(map[string]int64, len(m.tenantInflight))
+		for t, n := range m.tenantInflight {
+			s.TenantsInflight[t] = n
 		}
 	}
 	if n := len(m.latencies); n > 0 {

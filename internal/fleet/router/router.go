@@ -13,9 +13,21 @@
 //
 // What the router guarantees — and what it does not:
 //
-//   - Submissions go to the ring owner of the trace bytes; if the owner
-//     is down or draining, the next ring successor takes the work. The
-//     daemons' digest-idempotent submit contract is what makes that safe.
+//   - Submissions go to the ring owner of the trace's canonical content
+//     digest; if the owner is down or draining, the next ring successor
+//     takes the work. The daemons' digest-idempotent submit contract is
+//     what makes that safe.
+//   - Streaming submissions (POST /v1/jobs/stream) that assert
+//     api.DigestHeader are placed by the header alone: the body flows
+//     through the router as a pure stream — zero buffering, zero spool,
+//     constant router memory no matter the trace size. Without the
+//     header the router cannot know the owner before seeing the bytes,
+//     so it spools the body to disk within a configured bound, derives
+//     the canonical digest itself, and forwards the spooled stream to
+//     the owner with the header set.
+//   - Upload sessions (/v1/uploads) open on the claimed digest's owner
+//     (or the first reachable node) and every later session call follows
+//     the node prefix in the session ID — session state is node-local.
 //   - Job lookups follow the node prefix in the job ID back to the node
 //     that accepted it. If that node is gone, lookups report
 //     job_not_found with a hint to resubmit — the router cannot conjure
@@ -33,8 +45,11 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"os"
+	"strconv"
 	"time"
 
+	"ioagent/internal/darshan"
 	"ioagent/internal/fleet/api"
 	"ioagent/internal/fleet/client"
 	"ioagent/internal/fleet/server"
@@ -57,6 +72,15 @@ type Config struct {
 	// router enforces it before forwarding, so an oversized body is
 	// refused once instead of once per failover candidate.
 	MaxBody int64
+	// SpoolDir receives the temporary spool files for streaming
+	// submissions that arrive without api.DigestHeader (default: the OS
+	// temp dir). Digest-asserted streams never touch it.
+	SpoolDir string
+	// SpoolMax bounds one spooled stream in bytes (default MaxBody);
+	// beyond it the submission is refused with trace_too_large. This is
+	// the router's only per-stream storage cost — its memory stays
+	// constant either way.
+	SpoolMax int64
 	// ClientOptions tune the per-node SDK clients (retry budget, poll
 	// interval, HTTP client). The router prepends its own defaults: 2
 	// attempts per node per call, so failover to a successor is fast.
@@ -76,6 +100,12 @@ func New(cfg Config) (*Router, error) {
 	}
 	if cfg.MaxBody <= 0 {
 		cfg.MaxBody = 64 << 20
+	}
+	if cfg.SpoolDir == "" {
+		cfg.SpoolDir = os.TempDir()
+	}
+	if cfg.SpoolMax <= 0 {
+		cfg.SpoolMax = cfg.MaxBody
 	}
 	opts := []client.Option{
 		client.WithRetry(2, 100*time.Millisecond),
@@ -119,6 +149,101 @@ func (rt *Router) Handler() http.Handler {
 		})
 		if err != nil {
 			rt.writeErr(w, "submit", err)
+			return
+		}
+		server.WriteJSON(w, http.StatusAccepted, info)
+	})
+	// Streaming submission. With api.DigestHeader the router never reads
+	// the body at all: placement comes from the header, and the bytes
+	// pipe straight from the inbound request to the owning daemon.
+	// Without it, spool-then-route: the body lands in a bounded temp
+	// file, the router derives the canonical digest itself (so both
+	// renderings of a trace still reach one owner), and the spool
+	// streams on with the header set.
+	handle("POST /v1/jobs/stream", func(w http.ResponseWriter, r *http.Request) {
+		opts := client.StreamOpts{
+			Lane:   api.Lane(r.URL.Query().Get("lane")),
+			Tenant: r.URL.Query().Get("tenant"),
+			Digest: r.Header.Get(api.DigestHeader),
+		}
+		if opts.Digest != "" {
+			if !darshan.ValidContentDigest(opts.Digest) {
+				server.WriteError(w, api.Errorf(api.CodeBadRequest,
+					"malformed %s header (want 64 hex chars)", api.DigestHeader))
+				return
+			}
+			info, err := rt.cluster.SubmitStream(r.Context(),
+				http.MaxBytesReader(w, r.Body, rt.cfg.MaxBody), opts)
+			if err != nil {
+				rt.writeErr(w, "stream submit", err)
+				return
+			}
+			w.Header().Set(api.DigestHeader, opts.Digest)
+			server.WriteJSON(w, http.StatusAccepted, info)
+			return
+		}
+		rt.spoolAndRoute(w, r, opts)
+	})
+	// Upload sessions: open on the claimed digest's owner (cache
+	// locality for the eventual job), then follow the session ID's node
+	// prefix for every append/status/complete/abort.
+	handle("POST /v1/uploads", func(w http.ResponseWriter, r *http.Request) {
+		opts := client.StreamOpts{
+			Lane:   api.Lane(r.URL.Query().Get("lane")),
+			Tenant: r.URL.Query().Get("tenant"),
+			Digest: r.Header.Get(api.DigestHeader),
+		}
+		if opts.Digest != "" && !darshan.ValidContentDigest(opts.Digest) {
+			server.WriteError(w, api.Errorf(api.CodeBadRequest,
+				"malformed %s header (want 64 hex chars)", api.DigestHeader))
+			return
+		}
+		info, err := rt.cluster.UploadOpen(r.Context(), opts)
+		if err != nil {
+			rt.writeErr(w, "open upload", err)
+			return
+		}
+		server.WriteJSON(w, http.StatusCreated, info)
+	})
+	handle("PATCH /v1/uploads/{id}", func(w http.ResponseWriter, r *http.Request) {
+		offset, perr := strconv.ParseInt(r.Header.Get(api.UploadOffsetHeader), 10, 64)
+		if perr != nil || offset < 0 {
+			server.WriteError(w, api.Errorf(api.CodeBadRequest,
+				"missing or malformed %s header", api.UploadOffsetHeader))
+			return
+		}
+		chunk, apiErr := readBody(w, r, rt.cfg.MaxBody)
+		if apiErr != nil {
+			server.WriteError(w, apiErr)
+			return
+		}
+		info, err := rt.cluster.UploadAppend(r.Context(), r.PathValue("id"), offset, chunk)
+		if err != nil {
+			rt.writeErr(w, "append upload", err)
+			return
+		}
+		server.WriteJSON(w, http.StatusOK, info)
+	})
+	handle("GET /v1/uploads/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, err := rt.cluster.UploadStatus(r.Context(), r.PathValue("id"))
+		if err != nil {
+			rt.writeErr(w, "upload status", err)
+			return
+		}
+		w.Header().Set(api.UploadOffsetHeader, strconv.FormatInt(info.Offset, 10))
+		server.WriteJSON(w, http.StatusOK, info)
+	})
+	handle("DELETE /v1/uploads/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := rt.cluster.UploadAbort(r.Context(), r.PathValue("id")); err != nil {
+			rt.writeErr(w, "abort upload", err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	handle("POST /v1/uploads/{id}/complete", func(w http.ResponseWriter, r *http.Request) {
+		info, err := rt.cluster.UploadComplete(r.Context(), r.PathValue("id"))
+		if err != nil {
+			rt.writeErr(w, "complete upload", err)
 			return
 		}
 		server.WriteJSON(w, http.StatusAccepted, info)
@@ -194,10 +319,82 @@ func (rt *Router) Handler() http.Handler {
 	return server.WithVersion(rt.cfg.ID, loopChecked)
 }
 
-// readBody slurps the submission body under the router's size cap,
-// mapping an overrun onto the same trace_too_large envelope a daemon
-// serves. The bytes are not decoded here: the owning daemon does that
-// (and answers bad_trace), keeping the router free of the Darshan stack.
+// spoolAndRoute handles a header-less streaming submission: the body is
+// copied to a bounded temp file (the router's memory stays flat), the
+// canonical content digest is derived from the spooled bytes — honoring
+// a trailer-asserted digest as an integrity check on the way — and the
+// spool streams to the digest's ring owner with api.DigestHeader set, so
+// the daemon-side path is identical to a well-behaved client's.
+func (rt *Router) spoolAndRoute(w http.ResponseWriter, r *http.Request, opts client.StreamOpts) {
+	f, err := os.CreateTemp(rt.cfg.SpoolDir, "iofleet-spool-*")
+	if err != nil {
+		log.Printf("iofleet-router: create spool: %v", err)
+		server.WriteError(w, api.Errorf(api.CodeInternal, "internal error; see router log"))
+		return
+	}
+	defer func() {
+		f.Close()
+		os.Remove(f.Name())
+	}()
+
+	if _, err := io.Copy(f, http.MaxBytesReader(w, r.Body, rt.cfg.SpoolMax)); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			server.WriteError(w, api.Errorf(api.CodeTraceTooLarge,
+				"stream exceeds the %d-byte spool bound (router -spool-max); assert %s to stream without spooling",
+				rt.cfg.SpoolMax, api.DigestHeader))
+			return
+		}
+		log.Printf("iofleet-router: spool stream from %s: %v", r.RemoteAddr, err)
+		server.WriteError(w, api.Errorf(api.CodeBadRequest, "read body: request aborted"))
+		return
+	}
+
+	// Canonicalize: both renderings of one trace must reach one owner.
+	if _, err := f.Seek(0, io.SeekStart); err == nil {
+		if log1, derr := darshan.Decode(f); derr == nil {
+			if cd, cerr := darshan.ContentDigest(log1); cerr == nil {
+				opts.Digest = cd
+			}
+		} else if _, serr := f.Seek(0, io.SeekStart); serr == nil {
+			if log2, terr := darshan.ParseText(f); terr == nil {
+				if cd, cerr := darshan.ContentDigest(log2); cerr == nil {
+					opts.Digest = cd
+				}
+			}
+		}
+	}
+	// The body has been consumed, so the client's on-the-fly trailer (if
+	// any) is readable now; a mismatch is refused here, one hop early.
+	if claim := r.Trailer.Get(api.DigestHeader); claim != "" && opts.Digest != "" && claim != opts.Digest {
+		server.WriteError(w, api.Errorf(api.CodeDigestMismatch,
+			"trailer %s %.12s… does not match the received trace (%.12s…)", api.DigestHeader, claim, opts.Digest))
+		return
+	}
+	// Undecodable spools keep an empty Digest: the stream still forwards
+	// (to the digest-less route) and the owning daemon answers bad_trace
+	// with its usual server-side detail.
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		log.Printf("iofleet-router: rewind spool: %v", err)
+		server.WriteError(w, api.Errorf(api.CodeInternal, "internal error; see router log"))
+		return
+	}
+	info, err := rt.cluster.SubmitStream(r.Context(), f, opts)
+	if err != nil {
+		rt.writeErr(w, "stream submit (spooled)", err)
+		return
+	}
+	if opts.Digest != "" {
+		w.Header().Set(api.DigestHeader, opts.Digest)
+	}
+	server.WriteJSON(w, http.StatusAccepted, info)
+}
+
+// readBody slurps a bounded request body (buffered submissions, upload
+// chunks), mapping an overrun onto the same trace_too_large envelope a
+// daemon serves. Validation stays with the owning daemon (bad_trace);
+// the router only decodes bytes where placement requires it (RouteKey,
+// spoolAndRoute).
 func readBody(w http.ResponseWriter, r *http.Request, maxBody int64) ([]byte, *api.Error) {
 	buf, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
 	if err != nil {
@@ -213,15 +410,21 @@ func readBody(w http.ResponseWriter, r *http.Request, maxBody int64) ([]byte, *a
 }
 
 // writeErr maps a cluster-call failure onto the wire: api errors pass
-// through on their canonical status; anything else (a decode bug, an
-// unclassified transport corner) is logged here and served as the opaque
-// internal envelope.
+// through on their canonical status — with any Retry-After hint the
+// owning daemon sent (quota, drain) re-stamped, so the SDK's backoff
+// floor works identically behind a router; anything else (a decode bug,
+// an unclassified transport corner) is logged here and served as the
+// opaque internal envelope.
 func (rt *Router) writeErr(w http.ResponseWriter, op string, err error) {
+	hint := client.RetryAfterHint(err)
+	if hint <= 0 {
+		hint = time.Second // the router's own retryable refusals hint too
+	}
 	var apiErr *api.Error
 	if errors.As(err, &apiErr) {
-		server.WriteError(w, apiErr)
+		server.WriteErrorHinted(w, apiErr, hint)
 		return
 	}
 	log.Printf("iofleet-router: %s: %v", op, err)
-	server.WriteError(w, api.Errorf(api.CodeInternal, "internal error; see router log"))
+	server.WriteErrorHinted(w, api.Errorf(api.CodeInternal, "internal error; see router log"), hint)
 }

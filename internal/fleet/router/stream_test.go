@@ -1,0 +1,403 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"ioagent/internal/darshan"
+	"ioagent/internal/fleet/api"
+	"ioagent/internal/fleet/client"
+	"ioagent/internal/iosim"
+)
+
+// bigTrace builds a trace whose TEXT rendering is multi-megabyte, so
+// 64KB chunking produces a long stream.
+func bigTrace(t *testing.T, seed, files int) *darshan.Log {
+	t.Helper()
+	sim := iosim.New(iosim.Config{
+		Seed: int64(seed)*23 + 3, NProcs: 4, UsesMPI: true,
+		Exe: fmt.Sprintf("/apps/router/big%02d.ex", seed),
+	})
+	for fi := 0; fi < files; fi++ {
+		f := sim.OpenShared(fmt.Sprintf("/scratch/big-%02d-%04d.dat", seed, fi), iosim.POSIX, false, nil)
+		for i := int64(0); i < 4; i++ {
+			f.WriteAt(int(i)%4, i*4096, 4096)
+		}
+		f.Close()
+	}
+	return sim.Finalize()
+}
+
+func textBytes(t *testing.T, log *darshan.Log) []byte {
+	t.Helper()
+	s, err := darshan.TextString(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []byte(s)
+}
+
+// chunked64 yields the body in 64KB reads (the acceptance shape).
+type chunked64 struct{ data []byte }
+
+func (r *chunked64) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, io.EOF
+	}
+	n := 64 << 10
+	if n > len(r.data) {
+		n = len(r.data)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	n = copy(p[:n], r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// startRouterCfg is startRouter with an explicit spool configuration.
+func startRouterCfg(t *testing.T, nodes []*node, spoolDir string, spoolMax int64) (*Router, *client.Client, string) {
+	t.Helper()
+	urls := make([]string, len(nodes))
+	for i, n := range nodes {
+		urls[i] = n.srv.URL
+	}
+	rt, err := New(Config{
+		Members:  urls,
+		SpoolDir: spoolDir,
+		SpoolMax: spoolMax,
+		ClientOptions: []client.Option{
+			client.WithRetry(1, time.Millisecond),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	srv := httptest.NewServer(rt.Handler())
+	t.Cleanup(srv.Close)
+	c := client.New(srv.URL, client.WithPollInterval(5*time.Millisecond))
+	t.Cleanup(c.Close)
+	return rt, c, srv.URL
+}
+
+// ownerOf maps a canonical digest to the node id the ring assigns it.
+func ownerOf(t *testing.T, nodes []*node, digest string) string {
+	t.Helper()
+	urls := make([]string, len(nodes))
+	for i, n := range nodes {
+		urls[i] = n.srv.URL
+	}
+	cl, err := client.NewCluster(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	owner := cl.RouteDigest(digest)[0]
+	return nodeByURL(nodes, owner).id
+}
+
+// TestRouterStreamZeroSpoolByDigestHeader is the tentpole's e2e: a
+// multi-MB trace streamed in 64KB chunks through the router, placed on
+// the ring owner of its asserted digest, with the router provably never
+// spooling — the spool dir is unwritable, so any spool attempt would
+// fail the request.
+func TestRouterStreamZeroSpoolByDigestHeader(t *testing.T) {
+	nodes := startNodes(t, "n1", "n2", "n3")
+	noSpool := t.TempDir()
+	if err := os.Chmod(noSpool, 0o500); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chmod(noSpool, 0o700) })
+	_, c, _ := startRouterCfg(t, nodes, noSpool, 0)
+
+	log := bigTrace(t, 1, 800)
+	body := textBytes(t, log)
+	if len(body) < 2<<20 {
+		t.Fatalf("trace text is %d bytes; the scenario needs multi-MB", len(body))
+	}
+	digest, err := darshan.ContentDigest(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNode := ownerOf(t, nodes, digest)
+
+	ctx := context.Background()
+	info, err := c.SubmitStream(ctx, &chunked64{data: body}, client.StreamOpts{Digest: digest})
+	if err != nil {
+		t.Fatalf("stream through router: %v", err)
+	}
+	if !strings.HasPrefix(info.ID, wantNode+"-") {
+		t.Errorf("job %s did not land on digest owner %s", info.ID, wantNode)
+	}
+	if _, err := c.WaitDiagnosis(ctx, info.ID); err != nil {
+		t.Fatalf("diagnosis through router: %v", err)
+	}
+
+	// The binary rendering of the same trace asserts the same digest,
+	// reaches the same node, and is answered from its digest cache.
+	var bin bytes.Buffer
+	if err := darshan.Encode(&bin, log); err != nil {
+		t.Fatal(err)
+	}
+	info2, err := c.SubmitStream(ctx, &chunked64{data: bin.Bytes()}, client.StreamOpts{Digest: digest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(info2.ID, wantNode+"-") {
+		t.Errorf("binary rendering landed on %s, not owner %s", info2.ID, wantNode)
+	}
+	if !info2.CacheHit {
+		t.Error("binary rendering was not a cache hit across renderings")
+	}
+}
+
+// TestRouterStreamSpoolsWithoutHeader: the no-header path spools within
+// its bound, derives the canonical digest itself, still reaches the
+// owner, and cleans its spool up afterwards. Beyond the bound it refuses
+// with trace_too_large.
+func TestRouterStreamSpoolsWithoutHeader(t *testing.T) {
+	nodes := startNodes(t, "n1", "n2")
+	spool := t.TempDir()
+	_, c, base := startRouterCfg(t, nodes, spool, 1<<20)
+
+	log := routerTraceLog(t, 7)
+	body := textBytes(t, log)
+	digest, err := darshan.ContentDigest(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNode := ownerOf(t, nodes, digest)
+
+	resp, err := http.Post(base+"/v1/jobs/stream", "application/octet-stream", &chunked64{data: body})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("header-less stream: %s", resp.Status)
+	}
+	if got := resp.Header.Get(api.DigestHeader); got != digest {
+		t.Errorf("router derived digest %q, want %q", got, digest)
+	}
+	var info api.JobInfo
+	decodeJSON(t, resp, &info)
+	if !strings.HasPrefix(info.ID, wantNode+"-") {
+		t.Errorf("spooled stream landed on %s, not canonical owner %s", info.ID, wantNode)
+	}
+
+	// Spool cleaned up.
+	entries, err := os.ReadDir(spool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("%d spool files left behind", len(entries))
+	}
+
+	// Over the bound: refused with trace_too_large and a hint to assert
+	// the digest.
+	big := textBytes(t, bigTrace(t, 2, 500))
+	resp, err = http.Post(base+"/v1/jobs/stream", "application/octet-stream", &chunked64{data: big})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("over-bound spool = %s, want 413", resp.Status)
+	}
+	if _, err := c.Metrics(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRouterUploadSessionPreparsesBeforeFinalChunk: resumable upload
+// through the router — opened on the digest owner, appended in 64KB
+// chunks, with incremental pre-parse progress visible while chunks are
+// still outstanding, completing into a job on the owning node.
+func TestRouterUploadSessionPreparsesBeforeFinalChunk(t *testing.T) {
+	nodes := startNodes(t, "n1", "n2", "n3")
+	_, c, _ := startRouterCfg(t, nodes, t.TempDir(), 0)
+	ctx := context.Background()
+
+	log := bigTrace(t, 3, 400)
+	body := textBytes(t, log)
+	digest, err := darshan.ContentDigest(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNode := ownerOf(t, nodes, digest)
+
+	up, err := c.UploadOpen(ctx, client.StreamOpts{Lane: api.LaneBatch, Digest: digest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(up.ID, wantNode+"-") {
+		t.Errorf("session %s not on digest owner %s", up.ID, wantNode)
+	}
+
+	const chunk = 64 << 10
+	var offset int64
+	preparsedMidway := false
+	for off := 0; off < len(body); off += chunk {
+		end := off + chunk
+		if end > len(body) {
+			end = len(body)
+		}
+		info, err := c.UploadAppend(ctx, up.ID, offset, body[off:end])
+		if err != nil {
+			t.Fatal(err)
+		}
+		offset = info.Offset
+		if end < len(body) {
+			st, err := c.UploadStatus(ctx, up.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.PreparsedLines > 0 && st.PreparsedModules > 0 {
+				preparsedMidway = true
+			}
+		}
+	}
+	if !preparsedMidway {
+		t.Error("pre-parsing had not started before the final chunk")
+	}
+
+	job, err := c.UploadComplete(ctx, up.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(job.ID, wantNode+"-") {
+		t.Errorf("job %s not on owner %s", job.ID, wantNode)
+	}
+	if job.Lane != api.LaneBatch {
+		t.Errorf("job lane %s, want batch", job.Lane)
+	}
+	if _, err := c.WaitDiagnosis(ctx, job.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRouterPropagatesClientCancelToHungNode is the regression test for
+// the context-cancellation bugfix: when the inbound client hangs up, the
+// router's outbound call to a hung node must be canceled promptly — the
+// goroutine must not stay parked until the transport timeout.
+func TestRouterPropagatesClientCancelToHungNode(t *testing.T) {
+	nodeSawCancel := make(chan struct{})
+	hung := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(api.VersionHeader, api.Current.String())
+		if r.Method == http.MethodPost {
+			// A wedged daemon: accepts the trace, then never answers.
+			// (Reading the body first matters — it is what lets net/http
+			// watch the connection and cancel r.Context() on disconnect,
+			// exactly like a real iofleetd that read the trace and then
+			// hung in the pool.)
+			io.Copy(io.Discard, r.Body)
+			<-r.Context().Done()
+			close(nodeSawCancel)
+			return
+		}
+		w.Write([]byte("{}"))
+	}))
+	t.Cleanup(hung.Close)
+
+	rt, err := New(Config{
+		Members:       []string{hung.URL},
+		ClientOptions: []client.Option{client.WithRetry(1, time.Millisecond)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	srv := httptest.NewServer(rt.Handler())
+	t.Cleanup(srv.Close)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/v1/jobs", strings.NewReader("trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel() // the client hangs up mid-forward
+	}()
+	start := time.Now()
+	if _, err := http.DefaultClient.Do(req); err == nil {
+		t.Fatal("canceled request reported success")
+	}
+	// The hung node's handler must observe the cancellation ~immediately,
+	// proving the router plumbed the inbound context into the forward.
+	select {
+	case <-nodeSawCancel:
+	case <-time.After(3 * time.Second):
+		t.Fatal("hung node never saw the cancellation: router holds its goroutine past client disconnect")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("cancellation took %v to propagate", elapsed)
+	}
+}
+
+// TestRouterPropagatesRetryAfter: a daemon's Retry-After hint on a
+// retryable refusal must survive the router hop — it is what floors the
+// SDK's adaptive backoff.
+func TestRouterPropagatesRetryAfter(t *testing.T) {
+	daemon := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(api.VersionHeader, api.Current.String())
+		w.Header().Set(api.RetryAfterHeader, "7")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(api.Errorf(api.CodeQuotaExceeded, "tenant at quota"))
+	}))
+	t.Cleanup(daemon.Close)
+
+	rt, err := New(Config{
+		Members:       []string{daemon.URL},
+		ClientOptions: []client.Option{client.WithRetry(1, time.Millisecond)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	srv := httptest.NewServer(rt.Handler())
+	t.Cleanup(srv.Close)
+
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/octet-stream", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("router response = %s, want 429", resp.Status)
+	}
+	if got := resp.Header.Get(api.RetryAfterHeader); got != "7" {
+		t.Errorf("router %s = %q, want the daemon's hint %q", api.RetryAfterHeader, got, "7")
+	}
+}
+
+// routerTraceLog is routerTrace's decoded form (the helpers in
+// router_test.go return encoded bytes).
+func routerTraceLog(t *testing.T, seed int) *darshan.Log {
+	t.Helper()
+	log, err := darshan.Decode(bytes.NewReader(routerTrace(t, seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+func decodeJSON(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -17,6 +17,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -27,10 +28,12 @@ import (
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"ioagent/internal/darshan"
 	"ioagent/internal/fleet"
 	"ioagent/internal/fleet/api"
+	"ioagent/internal/fleet/ingest"
 	"ioagent/internal/fleet/store"
 	"ioagent/internal/ioagent"
 )
@@ -43,6 +46,11 @@ type Config struct {
 	// Store, when non-nil, journals refused submissions (the audit trail
 	// behind iofleetd -state-dir).
 	Store *store.Store
+	// Uploads holds the streaming upload sessions behind /v1/uploads.
+	// Nil builds a memory-only manager (sessions then die with the
+	// process; iofleetd passes a spool-backed one when -state-dir is
+	// set).
+	Uploads *ingest.Manager
 	// Draining, when non-nil and true, refuses new submissions with
 	// api.CodeDraining (and journals the refusal) while reads keep
 	// serving — the SIGTERM drain contract. Nil means never draining.
@@ -54,6 +62,10 @@ type Config struct {
 	// on every response as api.NodeHeader and advertised in
 	// Metrics.Node. Empty for an unnamed single daemon.
 	NodeID string
+	// RetryAfter is the delay-seconds hint stamped (api.RetryAfterHeader)
+	// on retryable refusals — quota_exceeded, breaker_open, draining —
+	// which the SDK's adaptive backoff honors as a floor (default 1s).
+	RetryAfter time.Duration
 }
 
 // NewMux builds the daemon's HTTP surface. Every response shape and error
@@ -66,22 +78,33 @@ func NewMux(cfg Config) http.Handler {
 	if cfg.Draining == nil {
 		cfg.Draining = new(atomic.Bool)
 	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.Uploads == nil {
+		cfg.Uploads = mustManager(ingest.Config{NodeID: cfg.NodeID, MaxBytes: cfg.MaxBody})
+	}
 	pool, st := cfg.Pool, cfg.Store
 	mux := http.NewServeMux()
 	handle := mux.HandleFunc
 
-	handle("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		reject := func(e *api.Error) {
-			if st != nil {
-				if jerr := st.Reject(e.Message + " (from " + r.RemoteAddr + ")"); jerr != nil {
-					log.Printf("iofleetd: journal reject: %v", jerr)
-				}
+	// reject refuses a submission, journaling the refusal when a store is
+	// attached. Retryable refusals carry the Retry-After hint.
+	reject := func(w http.ResponseWriter, r *http.Request, e *api.Error) {
+		if st != nil {
+			if jerr := st.Reject(e.Message + " (from " + r.RemoteAddr + ")"); jerr != nil {
+				log.Printf("iofleetd: journal reject: %v", jerr)
 			}
-			WriteError(w, e)
 		}
+		WriteErrorHinted(w, e, cfg.RetryAfter)
+	}
+	// refuseSubmission applies the accept gates shared by every
+	// submission shape (buffered, streamed, upload completion): drain
+	// state and the LLM-backend circuit breaker.
+	refuseSubmission := func(w http.ResponseWriter, r *http.Request) bool {
 		if cfg.Draining.Load() {
-			reject(api.Errorf(api.CodeDraining, "daemon is draining; resubmit to the replacement instance"))
-			return
+			reject(w, r, api.Errorf(api.CodeDraining, "daemon is draining; resubmit to the replacement instance"))
+			return true
 		}
 		// An open breaker means every accepted job would fail fast with
 		// ErrBreakerOpen and surface as a non-retryable diagnosis_failed.
@@ -90,16 +113,50 @@ func NewMux(cfg Config) http.Handler {
 		// this node's shard over to a ring successor until the half-open
 		// probe recovers the backend.
 		if pool.BreakerOpen() {
-			reject(api.Errorf(api.CodeBreakerOpen,
+			reject(w, r, api.Errorf(api.CodeBreakerOpen,
 				"llm backend circuit breaker is open; resubmit to another node or retry later"))
+			return true
+		}
+		return false
+	}
+	// submitPreparsed funnels every submission shape into the pool and
+	// maps the pool's refusals onto the taxonomy. The content digest is
+	// echoed on the response (api.DigestHeader) so clients learn the
+	// canonical address to assert next time. The return reports whether
+	// the pool ACCEPTED the job — upload completion keeps its session
+	// alive when it did not, so a retryable refusal (quota, drain) costs
+	// a re-complete, never a re-upload.
+	submitPreparsed := func(w http.ResponseWriter, r *http.Request, pp fleet.Preparsed, opts fleet.SubmitOpts) (accepted bool) {
+		job, err := pool.SubmitPreparsed(r.Context(), pp, opts)
+		switch {
+		case errors.Is(err, fleet.ErrClosed):
+			reject(w, r, api.Errorf(api.CodeDraining, "daemon is shutting down; resubmit to the replacement instance"))
+			return false
+		case errors.Is(err, fleet.ErrTenantQuota):
+			reject(w, r, api.Errorf(api.CodeQuotaExceeded,
+				"tenant %q is at its in-flight job quota; retry after some jobs finish", opts.Tenant))
+			return false
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			// The client hung up while the submission waited out
+			// backpressure; the pool aborted the job and nobody is
+			// listening for this response anyway.
+			log.Printf("iofleetd: submit abandoned by %s: %v", r.RemoteAddr, err)
+			WriteError(w, api.Errorf(api.CodeInternal, "submission abandoned"))
+			return false
+		case err != nil:
+			internalError(w, "submit", err)
+			return false
+		}
+		w.Header().Set(api.DigestHeader, pp.ContentDigest)
+		WriteJSON(w, http.StatusAccepted, toAPIJob(job.Info()))
+		return true
+	}
+
+	handle("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if refuseSubmission(w, r) {
 			return
 		}
-		lane, apiErr := parseLane(r)
-		if apiErr != nil {
-			WriteError(w, apiErr)
-			return
-		}
-		tenant, apiErr := parseTenant(r)
+		lane, tenant, apiErr := parseSubmitParams(r)
 		if apiErr != nil {
 			WriteError(w, apiErr)
 			return
@@ -109,16 +166,159 @@ func NewMux(cfg Config) http.Handler {
 			WriteError(w, apiErr)
 			return
 		}
-		job, err := pool.SubmitWith(trace, fleet.SubmitOpts{Lane: fleet.Lane(lane), Tenant: tenant})
-		switch {
-		case errors.Is(err, fleet.ErrClosed):
-			reject(api.Errorf(api.CodeDraining, "daemon is shutting down; resubmit to the replacement instance"))
-			return
-		case err != nil:
-			internalError(w, "submit", err)
+		cd, err := darshan.ContentDigest(trace)
+		if err != nil {
+			internalError(w, "content digest", err)
 			return
 		}
-		WriteJSON(w, http.StatusAccepted, toAPIJob(job.Info()))
+		if apiErr := verifyDigestClaim(r.Header.Get(api.DigestHeader), cd); apiErr != nil {
+			WriteError(w, apiErr)
+			return
+		}
+		submitPreparsed(w, r, fleet.Preparsed{Log: trace, ContentDigest: cd},
+			fleet.SubmitOpts{Lane: fleet.Lane(lane), Tenant: tenant})
+	})
+
+	// Streaming submission: the body is fed to the incremental parser as
+	// it arrives — for darshan-parser text, module pre-processing starts
+	// on the first complete line, long before the final chunk lands —
+	// and the raw bytes are never buffered. The digest may be asserted
+	// up front (header — what a router routes by), computed on the fly
+	// by the client (trailer), or left to the server; an asserted digest
+	// that does not match the parsed bytes is refused.
+	handle("POST /v1/jobs/stream", func(w http.ResponseWriter, r *http.Request) {
+		if refuseSubmission(w, r) {
+			return
+		}
+		lane, tenant, apiErr := parseSubmitParams(r)
+		if apiErr != nil {
+			WriteError(w, apiErr)
+			return
+		}
+		claim := r.Header.Get(api.DigestHeader)
+		if claim != "" && !darshan.ValidContentDigest(claim) {
+			WriteError(w, api.Errorf(api.CodeBadRequest,
+				"malformed %s header (want 64 hex chars)", api.DigestHeader))
+			return
+		}
+		parser := ingest.NewParser(cfg.MaxBody)
+		if _, err := io.Copy(parser, r.Body); err != nil {
+			WriteError(w, ingestError(r, "stream", err, cfg.MaxBody))
+			return
+		}
+		trace, cd, err := parser.Finish()
+		if err != nil {
+			WriteError(w, ingestError(r, "stream", err, cfg.MaxBody))
+			return
+		}
+		if claim == "" {
+			claim = r.Trailer.Get(api.DigestHeader) // readable after body EOF
+		}
+		if apiErr := verifyDigestClaim(claim, cd); apiErr != nil {
+			WriteError(w, apiErr)
+			return
+		}
+		submitPreparsed(w, r, fleet.Preparsed{Log: trace, ContentDigest: cd},
+			fleet.SubmitOpts{Lane: fleet.Lane(lane), Tenant: tenant})
+	})
+
+	// Resumable upload sessions: open, append chunks at asserted offsets
+	// (each chunk hits the incremental parser immediately), resume after
+	// a disconnect from GET's offset, and complete into a job.
+	handle("POST /v1/uploads", func(w http.ResponseWriter, r *http.Request) {
+		if refuseSubmission(w, r) {
+			return
+		}
+		lane, tenant, apiErr := parseSubmitParams(r)
+		if apiErr != nil {
+			WriteError(w, apiErr)
+			return
+		}
+		claim := r.Header.Get(api.DigestHeader)
+		if claim != "" && !darshan.ValidContentDigest(claim) {
+			WriteError(w, api.Errorf(api.CodeBadRequest,
+				"malformed %s header (want 64 hex chars)", api.DigestHeader))
+			return
+		}
+		info, err := cfg.Uploads.Open(ingest.OpenOpts{Lane: string(lane), Tenant: tenant, Digest: claim})
+		if err != nil {
+			WriteErrorHinted(w, ingestError(r, "open upload", err, cfg.MaxBody), cfg.RetryAfter)
+			return
+		}
+		WriteJSON(w, http.StatusCreated, toAPIUpload(info))
+	})
+	handle("PATCH /v1/uploads/{id}", func(w http.ResponseWriter, r *http.Request) {
+		offset, err := strconv.ParseInt(r.Header.Get(api.UploadOffsetHeader), 10, 64)
+		if err != nil || offset < 0 {
+			WriteError(w, api.Errorf(api.CodeBadRequest,
+				"missing or malformed %s header", api.UploadOffsetHeader))
+			return
+		}
+		chunk, rerr := io.ReadAll(http.MaxBytesReader(w, r.Body, cfg.MaxBody))
+		if rerr != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(rerr, &mbe) {
+				WriteError(w, api.Errorf(api.CodeTraceTooLarge,
+					"upload chunk exceeds the %d-byte limit (server -max-body)", cfg.MaxBody))
+				return
+			}
+			log.Printf("iofleetd: read upload chunk from %s: %v", r.RemoteAddr, rerr)
+			WriteError(w, api.Errorf(api.CodeBadRequest, "read chunk: request aborted"))
+			return
+		}
+		info, err := cfg.Uploads.Append(r.PathValue("id"), offset, chunk)
+		if err != nil {
+			var oe *ingest.OffsetError
+			if errors.As(err, &oe) {
+				// Tell the client where to resume, both machine-readable
+				// (header) and in the envelope.
+				w.Header().Set(api.UploadOffsetHeader, strconv.FormatInt(oe.Want, 10))
+			}
+			WriteError(w, ingestError(r, "append upload", err, cfg.MaxBody))
+			return
+		}
+		WriteJSON(w, http.StatusOK, toAPIUpload(info))
+	})
+	handle("GET /v1/uploads/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, err := cfg.Uploads.Status(r.PathValue("id"))
+		if err != nil {
+			WriteError(w, ingestError(r, "upload status", err, cfg.MaxBody))
+			return
+		}
+		w.Header().Set(api.UploadOffsetHeader, strconv.FormatInt(info.Offset, 10))
+		WriteJSON(w, http.StatusOK, toAPIUpload(info))
+	})
+	handle("DELETE /v1/uploads/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := cfg.Uploads.Abort(r.PathValue("id")); err != nil {
+			WriteError(w, ingestError(r, "abort upload", err, cfg.MaxBody))
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	handle("POST /v1/uploads/{id}/complete", func(w http.ResponseWriter, r *http.Request) {
+		if refuseSubmission(w, r) {
+			return // session untouched: re-complete once admissible
+		}
+		id := r.PathValue("id")
+		// Finish does NOT discard: the uploaded bytes outlive a refused
+		// handoff, so quota_exceeded / draining cost a re-complete, not a
+		// re-upload. (A parse failure closes the session inside Finish —
+		// identical bytes would fail identically.)
+		trace, cd, info, err := cfg.Uploads.Finish(id)
+		if err != nil {
+			WriteError(w, ingestError(r, "complete upload", err, cfg.MaxBody))
+			return
+		}
+		if apiErr := verifyDigestClaim(info.Digest, cd); apiErr != nil {
+			// Permanent for these bytes: the session is not worth keeping.
+			cfg.Uploads.Discard(id)
+			WriteError(w, apiErr)
+			return
+		}
+		if submitPreparsed(w, r, fleet.Preparsed{Log: trace, ContentDigest: cd},
+			fleet.SubmitOpts{Lane: fleet.Lane(api.Lane(info.Lane).WithDefault()), Tenant: info.Tenant}) {
+			cfg.Uploads.Discard(id)
+		}
 	})
 	handle("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		jobs := pool.Jobs()
@@ -241,6 +441,98 @@ func parseTenant(r *http.Request) (string, *api.Error) {
 	return tenant, nil
 }
 
+// parseSubmitParams reads the lane and tenant query parameters shared by
+// every submission shape.
+func parseSubmitParams(r *http.Request) (api.Lane, string, *api.Error) {
+	lane, apiErr := parseLane(r)
+	if apiErr != nil {
+		return "", "", apiErr
+	}
+	tenant, apiErr := parseTenant(r)
+	if apiErr != nil {
+		return "", "", apiErr
+	}
+	return lane, tenant, nil
+}
+
+// verifyDigestClaim compares a client-asserted content digest against the
+// one the server derived from the bytes it actually parsed. An empty
+// claim verifies trivially (nothing was asserted); a mismatch is refused —
+// the claim may have routed the request, but it never overrides content.
+func verifyDigestClaim(claim, computed string) *api.Error {
+	if claim == "" || claim == computed {
+		return nil
+	}
+	return api.Errorf(api.CodeDigestMismatch,
+		"asserted %s %.12s… does not match the received trace (%.12s…)", api.DigestHeader, claim, computed)
+}
+
+// ingestError maps the ingest layer's failures onto the wire taxonomy.
+// Parse detail stays server-side, like decodeTrace's.
+func ingestError(r *http.Request, op string, err error, maxBody int64) *api.Error {
+	switch {
+	case errors.Is(err, ingest.ErrTooLarge):
+		return api.Errorf(api.CodeTraceTooLarge,
+			"trace exceeds the %d-byte limit (server -max-body)", maxBody)
+	case errors.Is(err, ingest.ErrSessionNotFound):
+		return api.Errorf(api.CodeUploadNotFound,
+			"unknown upload session (completed, aborted, expired, or never opened); open a new one")
+	case errors.Is(err, ingest.ErrTooManySessions):
+		return api.Errorf(api.CodeQuotaExceeded,
+			"too many open upload sessions; retry after one completes or expires")
+	case errors.Is(err, ingest.ErrSessionFinished):
+		return api.Errorf(api.CodeBadRequest,
+			"upload session is finalized; complete it (or abort and reopen) instead of appending")
+	default:
+		var oe *ingest.OffsetError
+		if errors.As(err, &oe) {
+			return api.Errorf(api.CodeUploadOffsetMismatch,
+				"server is at offset %d, chunk asserted %d; resynchronize and resend", oe.Want, oe.Got)
+		}
+		log.Printf("iofleetd: %s from %s: %v", op, r.RemoteAddr, err)
+		return api.Errorf(api.CodeBadTrace, "body is neither a binary Darshan log nor darshan-parser text")
+	}
+}
+
+// toAPIUpload maps a session snapshot onto the wire shape.
+func toAPIUpload(info ingest.Info) api.UploadInfo {
+	return api.UploadInfo{
+		ID:               info.ID,
+		Offset:           info.Offset,
+		Lane:             api.Lane(info.Lane).WithDefault(),
+		Tenant:           info.Tenant,
+		Digest:           info.Digest,
+		PreparsedLines:   info.Lines,
+		PreparsedModules: info.Modules,
+		CreatedAt:        info.CreatedAt,
+	}
+}
+
+// mustManager builds the fallback in-memory upload manager; its config
+// has no failure mode (no spool dir to create), so an error is a bug.
+func mustManager(cfg ingest.Config) *ingest.Manager {
+	m, err := ingest.NewManager(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// WriteErrorHinted is WriteError plus the Retry-After hint on retryable
+// codes, telling well-behaved clients when refused work is worth
+// resubmitting. The daemon stamps its configured hint; the router passes
+// through whichever hint the owning daemon sent.
+func WriteErrorHinted(w http.ResponseWriter, e *api.Error, retryAfter time.Duration) {
+	if e.Code.Retryable() {
+		secs := int(retryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set(api.RetryAfterHeader, strconv.Itoa(secs))
+	}
+	WriteError(w, e)
+}
+
 // WantsText reports whether the client asked for a plain-text rendering
 // (Accept: text/plain) instead of the default JSON document. A
 // `text/plain;q=0` range explicitly excludes it per RFC 9110 and keeps
@@ -359,6 +651,12 @@ func toAPIMetrics(s fleet.Snapshot, byModel map[string]ioagent.ModelStats) api.M
 			m.Tenants[tenant] = n
 		}
 	}
+	if len(s.TenantsInflight) > 0 {
+		m.TenantsInflight = make(map[string]int64, len(s.TenantsInflight))
+		for tenant, n := range s.TenantsInflight {
+			m.TenantsInflight[tenant] = n
+		}
+	}
 	return m
 }
 
@@ -442,6 +740,16 @@ func WritePrometheus(w io.Writer, m api.Metrics) {
 	metric("fleet_tenant_jobs_total", "counter", "Jobs submitted per tenant (label cardinality capped server-side; the long tail aggregates under \"_other\").")
 	for _, tenant := range tenants {
 		fmt.Fprintf(w, "fleet_tenant_jobs_total{tenant=%q} %d\n", tenant, m.Tenants[tenant])
+	}
+
+	inflight := make([]string, 0, len(m.TenantsInflight))
+	for tenant := range m.TenantsInflight {
+		inflight = append(inflight, tenant)
+	}
+	sort.Strings(inflight)
+	metric("fleet_tenant_inflight_jobs", "gauge", "Jobs currently in the system per tenant (the -tenant-max-inflight quota counter).")
+	for _, tenant := range inflight {
+		fmt.Fprintf(w, "fleet_tenant_inflight_jobs{tenant=%q} %d\n", tenant, m.TenantsInflight[tenant])
 	}
 }
 

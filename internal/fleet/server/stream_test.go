@@ -1,0 +1,413 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"ioagent/internal/darshan"
+	"ioagent/internal/fleet"
+	"ioagent/internal/fleet/api"
+	"ioagent/internal/fleet/client"
+	"ioagent/internal/ioagent"
+	"ioagent/internal/knowledge"
+	"ioagent/internal/llm"
+)
+
+func textTraceBytes(t *testing.T, log *darshan.Log) []byte {
+	t.Helper()
+	s, err := darshan.TextString(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []byte(s)
+}
+
+// slowChunkReader yields the body in fixed-size chunks, forcing chunked
+// transfer encoding and many small reads server-side.
+type slowChunkReader struct {
+	data  []byte
+	chunk int
+}
+
+func (r *slowChunkReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, io.EOF
+	}
+	n := r.chunk
+	if n > len(r.data) {
+		n = len(r.data)
+	}
+	n = copy(p[:min(n, len(p))], r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// TestStreamSubmitBothRenderingsOneDigest: streaming the text and binary
+// renderings of one trace yields the same content digest on the
+// response, the same job digest, and a cache hit for the second — the
+// canonicalization contract end to end.
+func TestStreamSubmitBothRenderingsOneDigest(t *testing.T) {
+	pool, srv := testMux(t, 64<<20)
+	_ = pool
+	log := testTrace(41)
+	c := client.New(srv.URL, client.WithPollInterval(2*time.Millisecond))
+	t.Cleanup(c.Close)
+	ctx := context.Background()
+
+	text := textTraceBytes(t, log)
+	infoText, err := c.SubmitStream(ctx, &slowChunkReader{data: text, chunk: 128}, client.StreamOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitDiagnosis(ctx, infoText.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	bin := encodeTraceBytes(t, log)
+	infoBin, err := c.SubmitStream(ctx, &slowChunkReader{data: bin, chunk: 256}, client.StreamOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infoBin.Digest != infoText.Digest {
+		t.Fatalf("binary job digest %s != text job digest %s", infoBin.Digest, infoText.Digest)
+	}
+	if !infoBin.CacheHit {
+		t.Error("binary rendering after text was not a cache hit — renderings do not share a digest")
+	}
+}
+
+// TestStreamSubmitDigestHeaderVerified: a correct asserted digest is
+// accepted and echoed; a wrong one refuses with digest_mismatch; a
+// malformed one with bad_request.
+func TestStreamSubmitDigestHeaderVerified(t *testing.T) {
+	_, srv := testMux(t, 64<<20)
+	log := testTrace(42)
+	body := textTraceBytes(t, log)
+	cd, err := darshan.ContentDigest(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	post := func(digest string) *http.Response {
+		req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/jobs/stream", bytes.NewReader(body))
+		if digest != "" {
+			req.Header.Set(api.DigestHeader, digest)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	resp := post(cd)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("correct digest refused: %s", resp.Status)
+	}
+	if got := resp.Header.Get(api.DigestHeader); got != cd {
+		t.Errorf("response digest %q, want %q", got, cd)
+	}
+	resp.Body.Close()
+
+	resp = post(strings.Repeat("0", 64))
+	if e := apiError(t, resp); resp.StatusCode != http.StatusUnprocessableEntity || e.Code != api.CodeDigestMismatch {
+		t.Errorf("wrong digest = %s / %q, want 422 digest_mismatch", resp.Status, e.Code)
+	}
+
+	resp = post("nothex")
+	if e := apiError(t, resp); e.Code != api.CodeBadRequest {
+		t.Errorf("malformed digest = %q, want bad_request", e.Code)
+	}
+}
+
+// TestStreamSubmitTrailerDigest: the SDK computes the digest on the fly
+// and ships it as a trailer; the server verifies it and the submission
+// lands.
+func TestStreamSubmitTrailerDigest(t *testing.T) {
+	_, srv := testMux(t, 64<<20)
+	log := testTrace(43)
+	want, err := darshan.ContentDigest(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := client.New(srv.URL)
+	t.Cleanup(c.Close)
+
+	// Non-seekable reader: single-pass, so the SDK must use the trailer.
+	body := &slowChunkReader{data: textTraceBytes(t, log), chunk: 96}
+	info, err := c.SubmitStream(context.Background(), body, client.StreamOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID == "" {
+		t.Fatal("no job accepted")
+	}
+	// The job digest is derived from the same content digest the client
+	// computed on the fly — trailer verification passed, or this request
+	// would have been refused with 422.
+	_ = want
+}
+
+// TestUploadSessionRoundTrip: open → PATCH chunks with offsets → status
+// mid-way shows pre-parse progress → complete yields the job; offset
+// mismatches answer 409 with the authoritative offset in the header.
+func TestUploadSessionRoundTrip(t *testing.T) {
+	_, srv := testMux(t, 64<<20)
+	log := testTrace(44)
+	body := textTraceBytes(t, log)
+	cd, _ := darshan.ContentDigest(log)
+	c := client.New(srv.URL, client.WithPollInterval(2*time.Millisecond))
+	t.Cleanup(c.Close)
+	ctx := context.Background()
+
+	up, err := c.UploadOpen(ctx, client.StreamOpts{Lane: api.LaneBatch, Tenant: "acme", Digest: cd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Offset != 0 || up.Lane != api.LaneBatch || up.Tenant != "acme" || up.Digest != cd {
+		t.Fatalf("opened session %+v", up)
+	}
+
+	const chunk = 512
+	var offset int64
+	for off := 0; off < len(body); off += chunk {
+		end := min(off+chunk, len(body))
+		info, err := c.UploadAppend(ctx, up.ID, offset, body[off:end])
+		if err != nil {
+			t.Fatal(err)
+		}
+		offset = info.Offset
+		if end < len(body) && info.PreparsedLines == 0 {
+			t.Error("no pre-parse progress mid-upload")
+		}
+	}
+
+	// A stale offset is refused with the resync info.
+	req, _ := http.NewRequest(http.MethodPatch, srv.URL+"/v1/uploads/"+up.ID, strings.NewReader("x"))
+	req.Header.Set(api.UploadOffsetHeader, "0")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := strconv.FormatInt(offset, 10); resp.Header.Get(api.UploadOffsetHeader) != want {
+		t.Errorf("mismatch response %s header = %q, want %q", api.UploadOffsetHeader, resp.Header.Get(api.UploadOffsetHeader), want)
+	}
+	if e := apiError(t, resp); resp.StatusCode != http.StatusConflict || e.Code != api.CodeUploadOffsetMismatch {
+		t.Errorf("stale offset = %s / %q, want 409 upload_offset_mismatch", resp.Status, e.Code)
+	}
+
+	job, err := c.UploadComplete(ctx, up.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Lane != api.LaneBatch || job.Tenant != "acme" {
+		t.Errorf("job lost the session's lane/tenant: %+v", job)
+	}
+	diag, err := c.WaitDiagnosis(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag.Text == "" {
+		t.Error("empty diagnosis from uploaded trace")
+	}
+	// The session is gone.
+	if _, err := c.UploadStatus(ctx, up.ID); api.ErrorCode(err) != api.CodeUploadNotFound {
+		t.Errorf("status after complete = %v, want upload_not_found", err)
+	}
+}
+
+// TestUploadDigestMismatchAtComplete: a session opened with a wrong
+// digest claim uploads fine but refuses at complete time.
+func TestUploadDigestMismatchAtComplete(t *testing.T) {
+	_, srv := testMux(t, 64<<20)
+	body := textTraceBytes(t, testTrace(45))
+	c := client.New(srv.URL)
+	t.Cleanup(c.Close)
+	ctx := context.Background()
+
+	up, err := c.UploadOpen(ctx, client.StreamOpts{Digest: strings.Repeat("1", 64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.UploadAppend(ctx, up.ID, 0, body); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.UploadComplete(ctx, up.ID)
+	if api.ErrorCode(err) != api.CodeDigestMismatch {
+		t.Fatalf("complete with wrong claim = %v, want digest_mismatch", err)
+	}
+}
+
+// TestSubmitChunkedHelper: the SDK's whole-conversation helper lands a
+// job from a plain reader.
+func TestSubmitChunkedHelper(t *testing.T) {
+	_, srv := testMux(t, 64<<20)
+	log := testTrace(46)
+	c := client.New(srv.URL, client.WithPollInterval(2*time.Millisecond))
+	t.Cleanup(c.Close)
+
+	job, err := c.SubmitChunked(context.Background(), bytes.NewReader(textTraceBytes(t, log)), 700, client.StreamOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitDiagnosis(context.Background(), job.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTenantQuotaOnTheWire: -tenant-max-inflight surfaces as 429
+// quota_exceeded with a Retry-After hint, and only for the over-quota
+// tenant.
+func TestTenantQuotaOnTheWire(t *testing.T) {
+	gate := make(chan struct{})
+	pool := fleet.New(&gatedClient{inner: llm.NewSim(), gate: gate}, fleet.Config{
+		Workers: 1, TenantMaxInflight: 1,
+		Agent: ioagent.Options{Index: knowledge.BuildIndex()},
+	})
+	t.Cleanup(func() { close(gate); pool.Close() })
+	srv := httptest.NewServer(NewMux(Config{Pool: pool}))
+	t.Cleanup(srv.Close)
+
+	submit := func(tenant string, seed int) *http.Response {
+		resp, err := http.Post(srv.URL+"/v1/jobs?tenant="+tenant, "application/octet-stream",
+			bytes.NewReader(encodeTraceBytes(t, testTrace(seed))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	resp := submit("acme", 50)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submission: %s", resp.Status)
+	}
+	resp.Body.Close()
+
+	resp = submit("acme", 51)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submission: %s, want 429", resp.Status)
+	}
+	if ra := resp.Header.Get(api.RetryAfterHeader); ra == "" {
+		t.Error("quota refusal carries no Retry-After")
+	}
+	if e := apiError(t, resp); e.Code != api.CodeQuotaExceeded || !e.Code.Retryable() {
+		t.Errorf("over-quota code = %q (retryable=%v), want retryable quota_exceeded", e.Code, e.Code.Retryable())
+	}
+
+	resp = submit("globex", 52)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("other tenant refused: %s", resp.Status)
+	}
+	resp.Body.Close()
+}
+
+// TestUploadSurvivesRetryableCompleteRefusal: a complete refused for a
+// retryable reason (tenant quota) must NOT destroy the session — the
+// client re-completes later without re-uploading a byte.
+func TestUploadSurvivesRetryableCompleteRefusal(t *testing.T) {
+	gate := make(chan struct{})
+	pool := fleet.New(&gatedClient{inner: llm.NewSim(), gate: gate}, fleet.Config{
+		Workers: 1, TenantMaxInflight: 1,
+		Agent: ioagent.Options{Index: knowledge.BuildIndex()},
+	})
+	t.Cleanup(pool.Close)
+	srv := httptest.NewServer(NewMux(Config{Pool: pool}))
+	t.Cleanup(srv.Close)
+	c := client.New(srv.URL, client.WithRetry(1, time.Millisecond), client.WithPollInterval(2*time.Millisecond))
+	t.Cleanup(c.Close)
+	ctx := context.Background()
+
+	// Occupy acme's whole quota with a parked job.
+	resp, err := http.Post(srv.URL+"/v1/jobs?tenant=acme", "application/octet-stream",
+		bytes.NewReader(encodeTraceBytes(t, testTrace(60))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("quota-filling submission: %s", resp.Status)
+	}
+
+	// Upload a different trace for the same tenant and try to complete.
+	body := textTraceBytes(t, testTrace(61))
+	up, err := c.UploadOpen(ctx, client.StreamOpts{Tenant: "acme"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.UploadAppend(ctx, up.ID, 0, body); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.UploadComplete(ctx, up.ID); api.ErrorCode(err) != api.CodeQuotaExceeded {
+		t.Fatalf("complete at quota = %v, want quota_exceeded", err)
+	}
+
+	// The session survived the refusal; its bytes are intact.
+	st, err := c.UploadStatus(ctx, up.ID)
+	if err != nil {
+		t.Fatalf("session gone after retryable refusal: %v", err)
+	}
+	if st.Offset != int64(len(body)) {
+		t.Fatalf("session offset %d after refusal, want %d", st.Offset, len(body))
+	}
+	// But it is finalized: appending now is refused explicitly.
+	if _, err := c.UploadAppend(ctx, up.ID, st.Offset, []byte("x")); api.ErrorCode(err) != api.CodeBadRequest {
+		t.Errorf("append after finalize = %v, want bad_request", err)
+	}
+
+	// Quota frees; the re-complete succeeds with no re-upload.
+	close(gate)
+	pool.Wait()
+	job, err := c.UploadComplete(ctx, up.ID)
+	if err != nil {
+		t.Fatalf("re-complete after quota freed: %v", err)
+	}
+	if _, err := c.WaitDiagnosis(ctx, job.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Now the session is gone for real.
+	if _, err := c.UploadStatus(ctx, up.ID); api.ErrorCode(err) != api.CodeUploadNotFound {
+		t.Errorf("status after accepted complete = %v, want upload_not_found", err)
+	}
+}
+
+// gatedClient parks model calls until the gate closes (mirrors the fleet
+// package's test helper).
+type gatedClient struct {
+	inner llm.Client
+	gate  chan struct{}
+}
+
+func (g *gatedClient) Complete(req llm.Request) (llm.Response, error) {
+	<-g.gate
+	return g.inner.Complete(req)
+}
+
+// TestStreamJSONShapes: the stream endpoint's 202 payload is a regular
+// JobInfo document (decoder-compatible with the buffered path's).
+func TestStreamJSONShapes(t *testing.T) {
+	_, srv := testMux(t, 64<<20)
+	body := textTraceBytes(t, testTrace(47))
+	resp, err := http.Post(srv.URL+"/v1/jobs/stream", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("stream submit: %s", resp.Status)
+	}
+	var info api.JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.ID == "" || info.Digest == "" {
+		t.Errorf("incomplete job info: %+v", info)
+	}
+}

@@ -17,12 +17,18 @@ const journalName = "journal.wal"
 // Journal record operations. A "submit" opens a job; "done", "fail", and
 // "replayed" cover it (the job no longer needs replay); "reject" records a
 // refused submission for the audit trail and never needs covering.
+// "upload_open" opens a streaming upload session whose bytes spool beside
+// the journal; "upload_close" covers it (completed into a job, aborted,
+// or expired — in every case the spool is gone and there is nothing left
+// to restore).
 const (
-	opSubmit   = "submit"
-	opDone     = "done"
-	opFail     = "fail"
-	opReplayed = "replayed"
-	opReject   = "reject"
+	opSubmit      = "submit"
+	opDone        = "done"
+	opFail        = "fail"
+	opReplayed    = "replayed"
+	opReject      = "reject"
+	opUploadOpen  = "upload_open"
+	opUploadClose = "upload_close"
 )
 
 // record is one journal line. Submit records carry the full encoded trace
@@ -57,6 +63,18 @@ type PendingJob struct {
 	Log         *darshan.Log
 }
 
+// PendingUpload is a journaled upload session with no covering record:
+// the previous process accepted part of a streamed trace, whose bytes
+// (if any) wait in the spool directory. Restore keeps the original ID so
+// the client can resume at the recovered offset.
+type PendingUpload struct {
+	ID        string
+	Lane      string
+	Tenant    string
+	Digest    string // client-claimed content digest, if asserted at open
+	CreatedAt time.Time
+}
+
 // scanJournal reads the journal at path and returns the uncovered submit
 // records in append order, together with their raw lines (kept for
 // compaction). A torn or corrupt tail — the expected state after a crash
@@ -65,17 +83,18 @@ type PendingJob struct {
 // caller can truncate it before appending. A structurally valid submit
 // record whose embedded trace fails to decode is skipped with a warning
 // instead of aborting the scan.
-func scanJournal(path string) (pending []PendingJob, raw map[string][]byte, valid int64, warnings []string, err error) {
+func scanJournal(path string) (pending []PendingJob, uploads []PendingUpload, raw map[string][]byte, valid int64, warnings []string, err error) {
 	raw = make(map[string][]byte)
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return nil, raw, 0, nil, nil
+		return nil, nil, raw, 0, nil, nil
 	}
 	if err != nil {
-		return nil, nil, 0, nil, fmt.Errorf("store: read journal: %w", err)
+		return nil, nil, nil, 0, nil, fmt.Errorf("store: read journal: %w", err)
 	}
 
-	byID := make(map[string]int) // pending index by previous-process ID
+	byID := make(map[string]int)   // pending index by previous-process ID
+	upByID := make(map[string]int) // uploads index by session ID
 	for off := 0; off < len(data); {
 		nl := bytes.IndexByte(data[off:], '\n')
 		if nl < 0 {
@@ -115,6 +134,25 @@ func scanJournal(path string) (pending []PendingJob, raw map[string][]byte, vali
 				delete(byID, rec.ID)
 				delete(raw, rec.ID)
 			}
+		case opUploadOpen:
+			if rec.ID == "" {
+				warnings = append(warnings, fmt.Sprintf("journal: skipping malformed upload_open at offset %d", off))
+				break
+			}
+			u := PendingUpload{ID: rec.ID, Lane: rec.Lane, Tenant: rec.Tenant, Digest: rec.Digest, CreatedAt: rec.At}
+			if i, dup := upByID[rec.ID]; dup {
+				uploads[i] = u
+			} else {
+				upByID[rec.ID] = len(uploads)
+				uploads = append(uploads, u)
+			}
+			raw[rec.ID] = append([]byte(nil), line...)
+		case opUploadClose:
+			if i, ok := upByID[rec.ID]; ok {
+				uploads[i].ID = "" // tombstone; filtered below
+				delete(upByID, rec.ID)
+				delete(raw, rec.ID)
+			}
 		case opReject:
 			// Audit-only; nothing to replay.
 		default:
@@ -124,14 +162,20 @@ func scanJournal(path string) (pending []PendingJob, raw map[string][]byte, vali
 		valid = int64(off)
 	}
 
-	// Compact out the tombstoned (covered) submits.
+	// Compact out the tombstoned (covered) submits and uploads.
 	kept := pending[:0]
 	for _, p := range pending {
 		if p.ID != "" {
 			kept = append(kept, p)
 		}
 	}
-	return kept, raw, valid, warnings, nil
+	upKept := uploads[:0]
+	for _, u := range uploads {
+		if u.ID != "" {
+			upKept = append(upKept, u)
+		}
+	}
+	return kept, upKept, raw, valid, warnings, nil
 }
 
 // appendLocked marshals rec and appends it to the journal, maintaining the
@@ -155,12 +199,12 @@ func (s *Store) appendLocked(rec record) error {
 	}
 	s.appended++
 	switch rec.Op {
-	case opSubmit:
+	case opSubmit, opUploadOpen:
 		if _, dup := s.pendingRaw[rec.ID]; !dup {
 			s.pendingOrder = append(s.pendingOrder, rec.ID)
 		}
 		s.pendingRaw[rec.ID] = line
-	case opDone, opFail, opReplayed:
+	case opDone, opFail, opReplayed, opUploadClose:
 		delete(s.pendingRaw, rec.ID)
 	}
 	return nil

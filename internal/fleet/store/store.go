@@ -12,6 +12,7 @@ import (
 
 	"ioagent/internal/darshan"
 	"ioagent/internal/fleet"
+	"ioagent/internal/fleet/ingest"
 	"ioagent/internal/ioagent"
 	"ioagent/internal/llm"
 )
@@ -62,6 +63,9 @@ type Recovery struct {
 	Cache []SnapshotEntry
 	// Pending holds journaled-but-unfinished submissions in accept order.
 	Pending []PendingJob
+	// Uploads holds upload sessions opened but never closed, in open
+	// order; their partial bytes wait in the spool directory (UploadDir).
+	Uploads []PendingUpload
 	// Warnings records non-fatal recovery repairs (torn journal tail
 	// truncated, corrupt snapshot ignored, ...).
 	Warnings []string
@@ -111,11 +115,12 @@ func Open(dir string, opts Options) (*Store, error) {
 	s.recovered.Warnings = append(s.recovered.Warnings, warns...)
 
 	jpath := s.path(journalName)
-	pending, raw, valid, warns, err := scanJournal(jpath)
+	pending, uploads, raw, valid, warns, err := scanJournal(jpath)
 	if err != nil {
 		return nil, err
 	}
 	s.recovered.Pending = pending
+	s.recovered.Uploads = uploads
 	s.recovered.Warnings = append(s.recovered.Warnings, warns...)
 	if info, err := os.Stat(jpath); err == nil && info.Size() > valid {
 		if err := os.Truncate(jpath, valid); err != nil {
@@ -124,6 +129,9 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	for _, p := range pending {
 		s.pendingOrder = append(s.pendingOrder, p.ID)
+	}
+	for _, u := range uploads {
+		s.pendingOrder = append(s.pendingOrder, u.ID)
 	}
 	s.pendingRaw = raw
 
@@ -233,6 +241,57 @@ func (s *Store) OnJobEvent(ev fleet.Event) {
 	case fleet.EventFailed:
 		s.cover(record{Op: opFail, ID: ev.Job.ID, Digest: ev.Job.Digest, At: ev.Job.FinishedAt, Error: ev.Job.Error})
 	}
+}
+
+// UploadDir returns the spool directory for streaming upload sessions,
+// beside the journal: internal/fleet/ingest appends accepted bytes there
+// while this store journals the session opens, and the two recover
+// together.
+func (s *Store) UploadDir() string { return s.path("uploads") }
+
+// OnUploadEvent is the ingest.Config.OnEvent hook: it write-ahead-journals
+// every opened upload session and covers it when the session closes
+// (completed into a job — which journals itself as a submit — aborted, or
+// expired). An uncovered open at boot means a half-finished upload whose
+// spooled bytes should be revived; see ReplayUploads.
+func (s *Store) OnUploadEvent(ev ingest.Event) {
+	switch ev.Kind {
+	case ingest.EventOpened:
+		s.append(record{
+			Op: opUploadOpen, ID: ev.ID,
+			Lane: ev.Lane, Tenant: ev.Tenant, Digest: ev.Digest, At: ev.At,
+		})
+	case ingest.EventClosed:
+		s.cover(record{Op: opUploadClose, ID: ev.ID, At: ev.At})
+	}
+}
+
+// ReplayUploads revives every journaled-but-unclosed upload session into
+// the manager, re-feeding each session's spooled bytes so the client can
+// resume at the recovered offset under the original session ID. A session
+// whose spool no longer parses (torn mid-byte binary, disk trouble) is
+// dropped and covered in the journal — the client will see
+// upload_not_found and restart from offset zero, which is the honest
+// outcome. The manager must already be wired to this store's
+// OnUploadEvent hook so the eventual close covers the journaled open.
+func (s *Store) ReplayUploads(m *ingest.Manager) (restored int, err error) {
+	rec := s.Recovered()
+	for _, u := range rec.Uploads {
+		if _, rerr := m.Restore(ingest.RestoreSession{
+			ID: u.ID, Lane: u.Lane, Tenant: u.Tenant, Digest: u.Digest, CreatedAt: u.CreatedAt,
+		}); rerr != nil {
+			s.opts.Logf("store: replay upload %s: %v (dropping the session)", u.ID, rerr)
+			s.mu.Lock()
+			aerr := s.appendLocked(record{Op: opUploadClose, ID: u.ID, At: time.Now()})
+			s.mu.Unlock()
+			if aerr != nil {
+				return restored, aerr
+			}
+			continue
+		}
+		restored++
+	}
+	return restored, nil
 }
 
 // CacheChanged is both the fleet.Config.OnCacheInsert and OnCacheEvict

@@ -234,7 +234,7 @@ func TestJournalCompactionEquivalence(t *testing.T) {
 	s.OnJobEvent(doneEvent("job-000004", "d4"))
 
 	// What replay would see before compaction.
-	before, _, _, _, err := scanJournal(filepath.Join(dir, journalName))
+	before, _, _, _, _, err := scanJournal(filepath.Join(dir, journalName))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +246,7 @@ func TestJournalCompactionEquivalence(t *testing.T) {
 	if err := s.Checkpoint(pool); err != nil {
 		t.Fatal(err)
 	}
-	after, _, _, warns, err := scanJournal(filepath.Join(dir, journalName))
+	after, _, _, _, warns, err := scanJournal(filepath.Join(dir, journalName))
 	if err != nil {
 		t.Fatal(err)
 	}

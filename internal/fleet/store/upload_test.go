@@ -1,0 +1,175 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ioagent/internal/darshan"
+	"ioagent/internal/fleet/ingest"
+)
+
+// TestUploadSessionSurvivesRestart is the journal-replay contract for
+// half-finished uploads: a session opened and partially fed before a
+// crash is revived by the next process under its original ID at its
+// spooled offset, resumes, completes — and the journal ends fully
+// covered.
+func TestUploadSessionSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	trace := testTrace(31)
+	text, err := darshan.TextString(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := []byte(text)
+	want, err := darshan.ContentDigest(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Process 1: open a session, feed part of the body, "crash" (no
+	// close event ever fires).
+	st1, err := Open(dir, Options{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := ingest.NewManager(ingest.Config{
+		NodeID: "n1", SpoolDir: st1.UploadDir(), OnEvent: st1.OnUploadEvent,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := m1.Open(ingest.OpenOpts{Lane: "batch", Tenant: "acme", Digest: want})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(body) / 3
+	if _, err := m1.Append(info.ID, 0, body[:cut]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.Close(); err != nil { // simulate crash: journal closed uncovered
+		t.Fatal(err)
+	}
+
+	// Process 2: recovery finds the pending session; replay revives it.
+	st2, err := Open(dir, Options{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := st2.Recovered()
+	if len(rec.Uploads) != 1 {
+		t.Fatalf("recovered %d pending uploads, want 1", len(rec.Uploads))
+	}
+	u := rec.Uploads[0]
+	if u.ID != info.ID || u.Lane != "batch" || u.Tenant != "acme" || u.Digest != want {
+		t.Fatalf("recovered upload %+v lost metadata", u)
+	}
+	m2, err := ingest.NewManager(ingest.Config{
+		NodeID: "n1", SpoolDir: st2.UploadDir(), OnEvent: st2.OnUploadEvent,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	revived, err := st2.ReplayUploads(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if revived != 1 {
+		t.Fatalf("revived %d sessions, want 1", revived)
+	}
+	status, err := m2.Status(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Offset != int64(cut) {
+		t.Fatalf("revived offset %d, want %d (the spooled bytes)", status.Offset, cut)
+	}
+	if status.Lines == 0 {
+		t.Error("revived session shows no pre-parse progress")
+	}
+
+	// The client resumes where the server says and completes.
+	if _, err := m2.Append(info.ID, int64(cut), body[cut:]); err != nil {
+		t.Fatal(err)
+	}
+	_, digest, _, err := m2.Complete(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest != want {
+		t.Errorf("digest after crash-resume %s != %s", digest, want)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Process 3: the close event covered the journaled open — nothing
+	// pends anymore.
+	st3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if n := len(st3.Recovered().Uploads); n != 0 {
+		t.Errorf("%d uploads still pending after completion, want 0", n)
+	}
+}
+
+// TestReplayUploadsDropsUnrestorableSession: a pending session whose
+// spool was corrupted between processes is dropped AND covered in the
+// journal — one bad session must not re-pend forever or brick boot.
+func TestReplayUploadsDropsUnrestorableSession(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := ingest.NewManager(ingest.Config{SpoolDir: st1.UploadDir(), OnEvent: st1.OnUploadEvent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := m1.Open(ingest.OpenOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.Append(info.ID, 0, []byte("# darshan log version: 3.41\n")); err != nil {
+		t.Fatal(err)
+	}
+	st1.Close() // crash: open never covered
+
+	// Disk trouble while we were down: the spool is now garbage the
+	// incremental parser refuses.
+	if err := os.WriteFile(filepath.Join(dir, "uploads", info.ID+".part"), []byte("POSIX bogus\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st2.Recovered().Uploads) != 1 {
+		t.Fatalf("recovered %d uploads, want 1", len(st2.Recovered().Uploads))
+	}
+	m2, err := ingest.NewManager(ingest.Config{SpoolDir: st2.UploadDir(), OnEvent: st2.OnUploadEvent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	revived, err := st2.ReplayUploads(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if revived != 0 {
+		t.Errorf("revived %d sessions from a corrupt spool, want 0", revived)
+	}
+	st2.Close()
+
+	// The drop was covered: the next boot has nothing pending.
+	st3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if n := len(st3.Recovered().Uploads); n != 0 {
+		t.Errorf("%d uploads still pending after drop, want 0", n)
+	}
+}

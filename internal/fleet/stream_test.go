@@ -1,0 +1,155 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ioagent/internal/darshan"
+	"ioagent/internal/llm"
+)
+
+// TestSubmitPreparsedSharesCacheWithSubmit: a preparsed submission (the
+// streaming ingest path) and a classic submission of the same trace must
+// land on one digest — second submission is a cache hit, whichever path
+// came first.
+func TestSubmitPreparsedSharesCacheWithSubmit(t *testing.T) {
+	p := New(llm.NewSim(), testConfig(2))
+	defer p.Close()
+	log := testTrace(1)
+	cd, err := darshan.ContentDigest(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	j1, err := p.SubmitPreparsed(context.Background(), Preparsed{Log: log, ContentDigest: cd}, SubmitOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := p.Submit(testTrace(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1.Digest() != j2.Digest() {
+		t.Fatalf("preparsed digest %s != classic digest %s for the same trace", j1.Digest(), j2.Digest())
+	}
+	if !j2.Info().CacheHit {
+		t.Error("classic submission after preparsed was not a cache hit")
+	}
+}
+
+func TestSubmitPreparsedValidates(t *testing.T) {
+	p := New(llm.NewSim(), testConfig(1))
+	defer p.Close()
+	if _, err := p.SubmitPreparsed(context.Background(), Preparsed{Log: testTrace(1)}, SubmitOpts{}); err == nil {
+		t.Error("preparsed submission without a content digest was accepted")
+	}
+	if _, err := p.SubmitPreparsed(context.Background(), Preparsed{ContentDigest: "abc"}, SubmitOpts{}); err == nil {
+		t.Error("preparsed submission without a log was accepted")
+	}
+}
+
+// TestTenantQuota: a tenant at its in-flight cap is refused with
+// ErrTenantQuota; other tenants and anonymous submissions are not; the
+// quota frees as jobs finish.
+func TestTenantQuota(t *testing.T) {
+	release := make(chan struct{})
+	cfg := testConfig(1)
+	cfg.TenantMaxInflight = 2
+	cfg.QueueDepth = 16
+	// Park the single worker so submissions stay in flight determinately.
+	p := New(&gatedClient{inner: llm.NewSim(), gate: release, started: make(chan struct{})}, cfg)
+	defer p.Close()
+	defer close(release)
+
+	for i := 0; i < 2; i++ {
+		if _, err := p.SubmitWith(testTrace(10+i), SubmitOpts{Tenant: "acme"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.SubmitWith(testTrace(12), SubmitOpts{Tenant: "acme"}); !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("over-quota submission = %v, want ErrTenantQuota", err)
+	}
+	// Another tenant and anonymous traffic are unaffected.
+	if _, err := p.SubmitWith(testTrace(13), SubmitOpts{Tenant: "globex"}); err != nil {
+		t.Fatalf("other tenant refused: %v", err)
+	}
+	if _, err := p.SubmitWith(testTrace(14), SubmitOpts{}); err != nil {
+		t.Fatalf("anonymous submission refused: %v", err)
+	}
+	if got := p.Metrics().TenantsInflight["acme"]; got != 2 {
+		t.Errorf("acme inflight = %d, want 2", got)
+	}
+}
+
+// TestTenantQuotaFreesOnCompletion: finished jobs return their slots.
+func TestTenantQuotaFreesOnCompletion(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.TenantMaxInflight = 1
+	p := New(llm.NewSim(), cfg)
+	defer p.Close()
+
+	j, err := p.SubmitWith(testTrace(20), SubmitOpts{Tenant: "acme"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Slot freed: next submission admitted.
+	if _, err := p.SubmitWith(testTrace(21), SubmitOpts{Tenant: "acme"}); err != nil {
+		t.Fatalf("post-completion submission refused: %v", err)
+	}
+	p.Wait()
+	if got := p.Metrics().TenantsInflight["acme"]; got != 0 {
+		t.Errorf("acme inflight after drain = %d, want 0 (and the entry gone)", got)
+	}
+}
+
+// TestSubmitContextAbortsBackpressureWait: a canceled context frees a
+// submitter stuck on a full lane queue — the job goes terminal failed
+// (with its journal-covering event) instead of holding a goroutine for a
+// client that hung up.
+func TestSubmitContextAbortsBackpressureWait(t *testing.T) {
+	release := make(chan struct{})
+	cfg := testConfig(1)
+	cfg.QueueDepth = 1
+	p := New(&gatedClient{inner: llm.NewSim(), gate: release, started: make(chan struct{})}, cfg)
+	defer p.Close()
+	defer close(release)
+
+	// Fill the worker (1) and the queue (1).
+	if _, err := p.Submit(testTrace(30)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Submit(testTrace(31)); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	var aborted *Job
+	go func() {
+		j, err := p.SubmitContext(ctx, testTrace(32), SubmitOpts{})
+		aborted = j
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the submit reach the queue send
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled submit returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("SubmitContext still blocked after cancel — backpressure wait ignores the context")
+	}
+	if aborted == nil || aborted.Status() != StatusFailed {
+		t.Fatalf("aborted job status = %v, want failed", aborted.Status())
+	}
+}

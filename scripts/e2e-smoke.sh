@@ -13,6 +13,12 @@
 # node mid-batch and asserts the batch still completes (ring-successor
 # failover + digest-idempotent resubmit).
 #
+# Part 3 (streaming): streams a trace file through the router with
+# `ioagent -stream` (digest asserted up front — zero router spool),
+# streams the same trace from stdin (digest via trailer), checks the
+# rendering-canonical cache hit, and drives a 64KB-chunk resumable
+# upload session end to end.
+#
 # Run from the repository root; exits non-zero on any failure.
 set -eu
 
@@ -134,6 +140,22 @@ fi
 done_count=$(grep -c "done" "$workdir/r-kill.out" || true)
 [ "$done_count" -ge 4 ] || { echo "batch reported only $done_count done jobs of 4:"; cat "$workdir/r-kill.out"; exit 1; }
 echo "   batch of 4 completed with n2 dead ($done_count reports)"
+
+echo "== [3/3] streaming ingest through the router"
+stream_trace=$(ls "$workdir"/traces/*.darshan | sed -n 5p)
+echo "== streaming $(basename "$stream_trace") as a file (digest header, zero spool)"
+"$workdir/ioagent" -server "http://$router" -stream "$stream_trace" >"$workdir/s-file.out"
+grep -q "digest " "$workdir/s-file.out" || { echo "file stream did not assert a digest:"; cat "$workdir/s-file.out"; exit 1; }
+grep -q "done" "$workdir/s-file.out" || { echo "file stream diagnosis missing:"; cat "$workdir/s-file.out"; exit 1; }
+
+echo "== streaming the same trace from stdin (trailer digest): must cache-hit"
+"$workdir/ioagent" -server "http://$router" -stream - <"$stream_trace" >"$workdir/s-stdin.out"
+grep -q "cache hit" "$workdir/s-stdin.out" || { echo "stdin re-stream was not a cache hit:"; cat "$workdir/s-stdin.out"; exit 1; }
+
+echo "== resumable upload session in 64KB chunks"
+stream_trace2=$(ls "$workdir"/traces/*.darshan | sed -n 6p)
+"$workdir/ioagent" -server "http://$router" -stream -chunk 65536 "$stream_trace2" >"$workdir/s-chunked.out"
+grep -q "done" "$workdir/s-chunked.out" || { echo "chunked upload diagnosis missing:"; cat "$workdir/s-chunked.out"; exit 1; }
 
 echo "== clean shutdown"
 kill -TERM "$router_pid" "$n1_pid" 2>/dev/null || true

@@ -172,6 +172,9 @@ func runFleet(workers int, opts ioagent.Options, paths []string) {
 		if info.CacheHit {
 			fmt.Print(", cache hit")
 		}
+		if info.SimilarityHit {
+			fmt.Printf(", similarity hit (source %.12s, confidence %.2f)", info.SourceDigest, info.Confidence)
+		}
 		fmt.Println(") ===")
 		res, err := j.Wait()
 		if err != nil {
@@ -265,6 +268,9 @@ func runServer(baseURL string, lane api.Lane, tenant string, paths []string) {
 		if diag.CacheHit {
 			header += ", cache hit"
 		}
+		if diag.SimilarityHit {
+			header += fmt.Sprintf(", similarity hit (source %.12s, confidence %.2f)", diag.SourceDigest, diag.Confidence)
+		}
 		fmt.Printf("=== %s (%s) ===\n%s\n", paths[i], header, diag.Text)
 	}
 
@@ -344,6 +350,9 @@ func runStream(baseURL string, lane api.Lane, tenant string, chunkSize int, args
 	header := fmt.Sprintf("%s, done, %s lane", info.ID, diag.Lane)
 	if diag.CacheHit {
 		header += ", cache hit"
+	}
+	if diag.SimilarityHit {
+		header += fmt.Sprintf(", similarity hit (source %.12s, confidence %.2f)", diag.SourceDigest, diag.Confidence)
 	}
 	if opts.Digest != "" {
 		header += fmt.Sprintf(", digest %.12s…", opts.Digest)

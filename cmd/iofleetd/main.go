@@ -23,7 +23,23 @@
 //	         [-max-body 67108864] [-batch-share 4] [-node-id NAME]
 //	         [-breaker 8] [-breaker-cooldown 5s] [-tenant-max-inflight 0]
 //	         [-upload-ttl 1h] [-max-uploads 64]
+//	         [-semcache] [-sim-threshold 0.85] [-gate-model NAME]
+//	         [-tier-models M1,M2,...] [-tier-threshold 0.6] [-tier-budget 0]
 //	         [-state-dir DIR] [-snapshot-interval 30s] [-fsync always|batch|off]
+//
+// -semcache turns on semantic result reuse: each diagnosed trace is
+// indexed by a feature vector of its I/O profile, and a later submission
+// whose nearest neighbor scores at least -sim-threshold may be served the
+// neighbor's cached diagnosis — if a confidence gate (label agreement plus
+// an LLM judge on -gate-model) approves. Reused responses carry
+// similarity_hit, source_digest, and the gate confidence. With -state-dir
+// the similarity index persists beside the cache snapshot.
+//
+// -tier-models enables cost-aware scheduling for fresh diagnoses: rungs
+// are tried cheapest-first and a result only escalates to the next model
+// when its self-check score falls below -tier-threshold. A non-zero
+// -tier-budget (US dollars of simulated spend) pins work to the cheapest
+// rung once total LLM spend crosses it.
 //
 // Endpoints (all speak api.Version 1.x, advertised and negotiated via the
 // X-Fleet-Api-Version header; errors are api.Error JSON envelopes):
@@ -74,6 +90,7 @@ import (
 	"os"
 	"os/signal"
 	"regexp"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -108,6 +125,12 @@ func main() {
 	tenantMaxInflight := flag.Int("tenant-max-inflight", 0, "max unfinished jobs per tenant; beyond it submissions refuse with quota_exceeded (0 disables)")
 	uploadTTL := flag.Duration("upload-ttl", time.Hour, "idle upload sessions expire after this long")
 	maxUploads := flag.Int("max-uploads", 64, "max concurrently open upload sessions")
+	semCache := flag.Bool("semcache", false, "serve near-duplicate traces from a similarity-matched cached diagnosis (gated by confidence)")
+	simThreshold := flag.Float64("sim-threshold", 0.85, "minimum feature-vector cosine similarity for a reuse candidate (with -semcache)")
+	gateModel := flag.String("gate-model", llm.GPT4oMini, "judge model for the reuse confidence gate and tier self-checks")
+	tierModels := flag.String("tier-models", "", "comma-separated model ladder, cheapest first; fresh diagnoses escalate on low self-check confidence (empty disables)")
+	tierThreshold := flag.Float64("tier-threshold", 0, "self-check score below which a diagnosis escalates to the next rung (0 = default 0.6)")
+	tierBudget := flag.Float64("tier-budget", 0, "total simulated LLM spend in USD after which escalation stops (0 = unlimited)")
 	stateDir := flag.String("state-dir", "", "directory for the job journal, cache snapshot, and upload spool (empty = in-memory only)")
 	snapInterval := flag.Duration("snapshot-interval", 30*time.Second, "cache snapshot + journal compaction cadence (with -state-dir)")
 	fsync := flag.String("fsync", "always", "journal durability: always (fsync per record), batch (fsync at checkpoints), off")
@@ -128,6 +151,18 @@ func main() {
 		BreakerCooldown:   *breakerCooldown,
 		TenantMaxInflight: *tenantMaxInflight,
 		Agent:             ioagent.Options{Model: *model, CheapModel: *cheap},
+		SemCache:          *semCache,
+		SimThreshold:      *simThreshold,
+		GateModel:         *gateModel,
+		TierThreshold:     *tierThreshold,
+		TierBudgetUSD:     *tierBudget,
+	}
+	if *tierModels != "" {
+		for _, m := range strings.Split(*tierModels, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				cfg.TierModels = append(cfg.TierModels, m)
+			}
+		}
 	}
 	// Permanent job failures surface on the wire only as the stable
 	// diagnosis_failed code; the real error chain lands here, server-side.

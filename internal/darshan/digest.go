@@ -90,6 +90,17 @@ func canonicalClone(l *Log) *Log {
 	return clone
 }
 
+// Canonical returns the rendering-neutral form of a log: the same private
+// clone ContentDigest hashes (floats quantized through the text precision,
+// all-zero records dropped). Two renderings of one trace — binary and
+// darshan-parser text — canonicalize to logs with identical contents, so
+// any deterministic function of a Canonical log (feature extraction,
+// heuristic analysis) is rendering-independent by construction. The
+// caller's log is never mutated; the returned clone is the caller's own.
+func Canonical(l *Log) *Log {
+	return canonicalClone(l)
+}
+
 // ValidContentDigest reports whether s is shaped like a ContentDigest
 // value (64 lowercase hex characters). Servers use it to refuse malformed
 // client-asserted digests before trusting them for routing.

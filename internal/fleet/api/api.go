@@ -102,8 +102,13 @@ const RetryAfterHeader = "Retry-After"
 // (/v1/uploads), the UploadInfo payload, Retry-After semantics, and the
 // digest_mismatch / quota_exceeded / upload_not_found /
 // upload_offset_mismatch error codes — all additive, per the
-// compatibility invariants above.
-var Current = Version{Major: 1, Minor: 2}
+// compatibility invariants above. Minor 3 added the semantic-reuse
+// vocabulary: similarity-hit provenance on JobInfo and Diagnosis
+// (SimilarityHit, SourceDigest, Confidence), the semcache effectiveness
+// counters and per-tier model metrics on Metrics (SemCacheHits,
+// SemCacheMisses, SemCacheGateRejects, SemCacheEntries, Tiers,
+// TierEscalations) — again purely additive.
+var Current = Version{Major: 1, Minor: 3}
 
 // Version is a major.minor protocol version. Majors are incompatible;
 // minors are additive within a major.
@@ -215,7 +220,15 @@ type JobInfo struct {
 	// was given). Added in 1.1.
 	Tenant   string `json:"tenant,omitempty"`
 	CacheHit bool   `json:"cache_hit"`
-	Attempts int    `json:"attempts"`
+	// SimilarityHit marks a diagnosis served by semantic reuse: the text
+	// is SourceDigest's cached diagnosis, approved for this trace by the
+	// confidence gate at the stamped Confidence (in [0,1]). Mutually
+	// exclusive with CacheHit, which stays exact-digest reuse. All three
+	// added in 1.3; servers without semantic reuse simply omit them.
+	SimilarityHit bool    `json:"similarity_hit,omitempty"`
+	SourceDigest  string  `json:"source_digest,omitempty"`
+	Confidence    float64 `json:"confidence,omitempty"`
+	Attempts      int     `json:"attempts"`
 	// Error carries the failure's stable code for terminal failed jobs
 	// (empty otherwise). Free-text failure detail stays in server logs.
 	Error string `json:"error,omitempty"`
@@ -233,6 +246,13 @@ type Diagnosis struct {
 	Digest   string `json:"digest"`
 	Lane     Lane   `json:"lane"`
 	CacheHit bool   `json:"cache_hit"`
+	// SimilarityHit / SourceDigest / Confidence carry semantic-reuse
+	// provenance, mirroring JobInfo: when set, Text is the diagnosis
+	// originally produced for SourceDigest and reused for this trace.
+	// Added in 1.3.
+	SimilarityHit bool    `json:"similarity_hit,omitempty"`
+	SourceDigest  string  `json:"source_digest,omitempty"`
+	Confidence    float64 `json:"confidence,omitempty"`
 	// Text is the canonical merged diagnosis report.
 	Text string `json:"text"`
 }
@@ -341,6 +361,30 @@ type Metrics struct {
 	// the system — the counter iofleetd -tenant-max-inflight enforces
 	// quota_exceeded against. Added in 1.2.
 	TenantsInflight map[string]int64 `json:"tenant_inflight_jobs,omitempty"`
+
+	// Semantic-reuse effectiveness (iofleetd -semcache; all zero when
+	// disabled): exact-cache misses served from a near-duplicate's
+	// diagnosis, misses with no usable candidate, and candidates the
+	// confidence gate refused. SemCacheEntries is the similarity index's
+	// resident size. Added in 1.3.
+	SemCacheHits        int64 `json:"semcache_hits"`
+	SemCacheMisses      int64 `json:"semcache_misses"`
+	SemCacheGateRejects int64 `json:"semcache_gate_rejects"`
+	SemCacheEntries     int   `json:"semcache_entries"`
+
+	// Tiers breaks fresh diagnoses down per model of the cost-aware
+	// ladder (iofleetd -tier-models; empty when disabled), and
+	// TierEscalations counts low-confidence results that escalated to a
+	// stronger model. Added in 1.3.
+	Tiers           map[string]TierMetrics `json:"tier_models,omitempty"`
+	TierEscalations int64                  `json:"tier_escalations"`
+}
+
+// TierMetrics is one ladder model's share of fresh diagnoses and its
+// lifetime spend. Added in 1.3.
+type TierMetrics struct {
+	Jobs    int64   `json:"jobs"`
+	CostUSD float64 `json:"cost_usd"`
 }
 
 // TenantOverflow is the Tenants key that aggregates submissions from

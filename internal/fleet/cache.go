@@ -144,6 +144,15 @@ func (c *cache) export() []CacheEntry {
 	return out
 }
 
+// contains reports digest residency without refreshing recency or sweeping
+// TTL — a pure membership probe for restore-time validation.
+func (c *cache) contains(digest string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[digest]
+	return ok
+}
+
 // Len returns the number of resident entries (expired-but-unswept entries
 // included; they are swept lazily on Get).
 func (c *cache) Len() int {

@@ -404,6 +404,11 @@ func AggregateMetrics(snaps []api.Metrics) api.Metrics {
 		agg.Retries += m.Retries
 		agg.BreakerOpen = agg.BreakerOpen || m.BreakerOpen
 		agg.BreakerTrips += m.BreakerTrips
+		agg.SemCacheHits += m.SemCacheHits
+		agg.SemCacheMisses += m.SemCacheMisses
+		agg.SemCacheGateRejects += m.SemCacheGateRejects
+		agg.SemCacheEntries += m.SemCacheEntries
+		agg.TierEscalations += m.TierEscalations
 		if m.LatencyP50 > agg.LatencyP50 {
 			agg.LatencyP50 = m.LatencyP50
 		}
@@ -420,6 +425,15 @@ func AggregateMetrics(snaps []api.Metrics) api.Metrics {
 			acc.CompletionTokens += mm.CompletionTokens
 			acc.CostUSD += mm.CostUSD
 			agg.Models[model] = acc
+		}
+		for model, tm := range m.Tiers {
+			if agg.Tiers == nil {
+				agg.Tiers = make(map[string]api.TierMetrics)
+			}
+			acc := agg.Tiers[model]
+			acc.Jobs += tm.Jobs
+			acc.CostUSD += tm.CostUSD
+			agg.Tiers[model] = acc
 		}
 		for tenant, n := range m.Tenants {
 			if agg.Tenants == nil {

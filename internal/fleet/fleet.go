@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ioagent/internal/darshan"
+	"ioagent/internal/fleet/semcache"
 	"ioagent/internal/ioagent"
 	"ioagent/internal/llm"
 )
@@ -168,6 +169,45 @@ type Config struct {
 	// Agent configures the diagnosis pipeline shared by all workers.
 	Agent ioagent.Options
 
+	// SemCache enables semantic result reuse: cache misses consult a
+	// similarity index of already-diagnosed traces, and a near-duplicate
+	// whose cached diagnosis passes the confidence gate is served without
+	// a fresh LLM diagnosis (the job is stamped similarity_hit with the
+	// source digest and blended confidence). See internal/fleet/semcache.
+	SemCache bool
+	// SimThreshold is the minimum feature-vector cosine similarity for a
+	// candidate to even reach the gate (default 0.85). The prefilter runs
+	// before any LLM call, so raising it only makes reuse rarer, never
+	// more expensive.
+	SimThreshold float64
+	// GateModel is the LLM judge model for the reuse gate (default
+	// gpt-4o-mini-sim — the gate also leans on label agreement and vector
+	// similarity, so a cheap judge suffices).
+	GateModel string
+	// GateThreshold is the minimum blended confidence to allow reuse
+	// (default semcache.DefaultGateThreshold).
+	GateThreshold float64
+	// SemCacheSize bounds the similarity index in entries (default:
+	// CacheSize, so the index never outgrows the result cache it mirrors;
+	// negative disables bounding).
+	SemCacheSize int
+
+	// TierModels, when non-empty, replaces the single-model diagnosis
+	// with a cost-aware ladder: models are tried cheapest-first and a low
+	// self-scored confidence escalates to the next tier, so easy traces
+	// never pay frontier-model prices. The ladder is a serving strategy,
+	// not a different pipeline: result digests stay keyed by Agent's
+	// configured options, so tiered and untiered pools address the same
+	// cache entries.
+	TierModels []string
+	// TierThreshold is the minimum confidence at which a cheaper tier's
+	// diagnosis is accepted without escalating (default 0.60).
+	TierThreshold float64
+	// TierBudgetUSD, when positive, caps lifetime LLM spend attributable
+	// to this pool (agents + gate); once reached, escalation stops and
+	// every miss runs only the cheapest tier.
+	TierBudgetUSD float64
+
 	// OnJobEvent, if set, observes job lifecycle transitions (see
 	// EventKind for the exact contract). It is called synchronously from
 	// Submit and from worker goroutines — for any one job, EventSubmitted
@@ -222,6 +262,23 @@ func (c Config) withDefaults() Config {
 		c.BreakerCooldown = 5 * time.Second
 	}
 	c.Agent = c.Agent.WithDefaults()
+	if c.SemCache {
+		if c.SimThreshold <= 0 {
+			c.SimThreshold = 0.85
+		}
+		if c.GateModel == "" {
+			c.GateModel = llm.GPT4oMini
+		}
+		if c.GateThreshold <= 0 {
+			c.GateThreshold = semcache.DefaultGateThreshold
+		}
+		if c.SemCacheSize == 0 {
+			c.SemCacheSize = c.CacheSize
+		}
+	}
+	if len(c.TierModels) > 0 && c.TierThreshold <= 0 {
+		c.TierThreshold = 0.60
+	}
 	if c.now == nil {
 		c.now = time.Now
 	}
@@ -274,8 +331,15 @@ type JobInfo struct {
 	Lane     Lane   `json:"lane"`
 	Tenant   string `json:"tenant,omitempty"`
 	CacheHit bool   `json:"cache_hit"`
-	Attempts int    `json:"attempts"`
-	Error    string `json:"error,omitempty"`
+	// SimilarityHit marks a diagnosis served by semantic reuse: the text
+	// is another trace's cached diagnosis (SourceDigest) that passed the
+	// confidence gate at the stamped Confidence. Mutually exclusive with
+	// CacheHit, which remains exact-digest reuse.
+	SimilarityHit bool    `json:"similarity_hit,omitempty"`
+	SourceDigest  string  `json:"source_digest,omitempty"`
+	Confidence    float64 `json:"confidence,omitempty"`
+	Attempts      int     `json:"attempts"`
+	Error         string  `json:"error,omitempty"`
 
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at,omitzero"`
@@ -294,6 +358,9 @@ type Job struct {
 	log       *darshan.Log // released once the job completes
 	status    Status
 	cacheHit  bool
+	simHit    bool
+	srcDigest string
+	conf      float64
 	attempts  int
 	submitted time.Time
 	started   time.Time
@@ -339,16 +406,19 @@ func (j *Job) Info() JobInfo {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	info := JobInfo{
-		ID:          j.id,
-		Digest:      j.digest,
-		Status:      j.status,
-		Lane:        j.lane,
-		Tenant:      j.tenant,
-		CacheHit:    j.cacheHit,
-		Attempts:    j.attempts,
-		SubmittedAt: j.submitted,
-		StartedAt:   j.started,
-		FinishedAt:  j.finished,
+		ID:            j.id,
+		Digest:        j.digest,
+		Status:        j.status,
+		Lane:          j.lane,
+		Tenant:        j.tenant,
+		CacheHit:      j.cacheHit,
+		SimilarityHit: j.simHit,
+		SourceDigest:  j.srcDigest,
+		Confidence:    j.conf,
+		Attempts:      j.attempts,
+		SubmittedAt:   j.submitted,
+		StartedAt:     j.started,
+		FinishedAt:    j.finished,
 	}
 	if j.err != nil {
 		info.Error = j.err.Error()
@@ -389,6 +459,19 @@ type Pool struct {
 	dequeues atomic.Int64
 	brk      *breaker
 	m        metrics
+
+	// Semantic reuse (nil unless Config.SemCache): the similarity index
+	// over diagnosed traces and the confidence gate that decides reuse.
+	sem  *semcache.Index
+	gate *semcache.Gate
+	// tiers is the cheapest-first agent ladder (empty unless
+	// Config.TierModels); tiers[i] runs Config.TierModels[i].
+	tiers []*ioagent.Agent
+
+	// gateMu guards gateStats, the per-model usage of gate/tier judge
+	// calls (they go through recordingClient, not an agent).
+	gateMu    sync.Mutex
+	gateStats map[string]ioagent.ModelStats
 
 	workerWG sync.WaitGroup // running workers
 	jobWG    sync.WaitGroup // outstanding jobs
@@ -434,6 +517,40 @@ func New(client llm.Client, cfg Config) *Pool {
 	p.m.queuedByLane = make(map[Lane]int64, len(Lanes))
 	p.cache.onInsert = cfg.OnCacheInsert
 	p.cache.onEvict = cfg.OnCacheEvict
+	if cfg.SemCache || len(cfg.TierModels) > 0 {
+		gateClient := &recordingClient{inner: client, record: p.recordGateUsage}
+		p.gate = &semcache.Gate{
+			Client:    gateClient,
+			Model:     cfg.GateModel,
+			Threshold: cfg.GateThreshold,
+		}
+	}
+	if cfg.SemCache {
+		p.sem = semcache.NewIndex(cfg.SemCacheSize)
+		// A result-cache eviction must drop the digest's similarity vector
+		// too: reuse may never cite a source diagnosis that no longer
+		// exists. The index has its own lock and never calls back into the
+		// Pool, so chaining it here respects the hook contract.
+		userEvict := cfg.OnCacheEvict
+		p.cache.onEvict = func(digest string) {
+			p.sem.Remove(digest)
+			if userEvict != nil {
+				userEvict(digest)
+			}
+		}
+	}
+	for _, model := range cfg.TierModels {
+		if model == cfg.Agent.Model {
+			// The configured primary doubles as its own rung: reuse the
+			// shared agent so its stats aren't split across two instances.
+			p.tiers = append(p.tiers, p.agent)
+			continue
+		}
+		tierOpts := cfg.Agent
+		tierOpts.Model = model
+		tierOpts.Index = p.agent.Index()
+		p.tiers = append(p.tiers, ioagent.New(client, tierOpts))
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		p.workerWG.Add(1)
 		go p.worker()
@@ -730,6 +847,16 @@ func (p *Pool) Metrics() Snapshot {
 	// answering (in-flight primaries).
 	s.OwnedDigests = int64(s.CacheLen + inflight)
 	s.BreakerOpen, s.BreakerTrips = p.brk.stats()
+	s.SemEntries = p.SemLen()
+	if len(s.Tiers) > 0 {
+		// Per-rung job counts come from the metrics struct; per-rung spend
+		// comes from the model-level usage accounting.
+		byModel := p.StatsByModel()
+		for model, ts := range s.Tiers {
+			ts.CostUSD = byModel[model].CostUSD
+			s.Tiers[model] = ts
+		}
+	}
 	return s
 }
 
@@ -878,34 +1005,51 @@ func (p *Pool) runJob(j *Job) {
 
 	var res *ioagent.Result
 	var err error
-	delay := p.cfg.RetryDelay
-	for attempt := 1; attempt <= p.cfg.MaxAttempts; attempt++ {
-		j.mu.Lock()
-		j.attempts = attempt
-		j.mu.Unlock()
-		if attempt > 1 {
-			p.m.mu.Lock()
-			p.m.retries++
-			p.m.mu.Unlock()
-			p.cfg.sleep(delay)
-			delay *= 2
+	var features, src string
+	var conf float64
+	reused := false
+	// Semantic reuse first: an exact-digest miss may still be a near
+	// duplicate of an already-diagnosed trace. This runs on the worker —
+	// never under p.mu — because the gate makes LLM judge calls.
+	if p.sem != nil {
+		features = semcache.FeatureText(log)
+		if r, s, c, ok := p.semanticReuse(log, features); ok {
+			res, src, conf, reused = r, s, c, true
+			j.mu.Lock()
+			j.simHit, j.srcDigest, j.conf = true, src, conf
+			j.mu.Unlock()
 		}
-		// An open breaker refuses the attempt instead of hitting a backend
-		// already known down. Remaining attempts still cycle (with their
-		// backoff sleeps) rather than failing the job instantly: a job
-		// admitted during the half-open window — whose probe slot went to
-		// another job — usually outlives a successful probe and completes
-		// normally. If the breaker stays open through every attempt, the
-		// job fails with ErrBreakerOpen, which means "never tried" and is
-		// safe to resubmit.
-		if !p.brk.allow() {
-			err = ErrBreakerOpen
-			continue
-		}
-		res, err = p.agent.Diagnose(log)
-		p.brk.record(err != nil && llm.IsTransient(err))
-		if err == nil || !llm.IsTransient(err) {
-			break
+	}
+	if !reused {
+		delay := p.cfg.RetryDelay
+		for attempt := 1; attempt <= p.cfg.MaxAttempts; attempt++ {
+			j.mu.Lock()
+			j.attempts = attempt
+			j.mu.Unlock()
+			if attempt > 1 {
+				p.m.mu.Lock()
+				p.m.retries++
+				p.m.mu.Unlock()
+				p.cfg.sleep(delay)
+				delay *= 2
+			}
+			// An open breaker refuses the attempt instead of hitting a backend
+			// already known down. Remaining attempts still cycle (with their
+			// backoff sleeps) rather than failing the job instantly: a job
+			// admitted during the half-open window — whose probe slot went to
+			// another job — usually outlives a successful probe and completes
+			// normally. If the breaker stays open through every attempt, the
+			// job fails with ErrBreakerOpen, which means "never tried" and is
+			// safe to resubmit.
+			if !p.brk.allow() {
+				err = ErrBreakerOpen
+				continue
+			}
+			res, err = p.diagnose(log)
+			p.brk.record(err != nil && llm.IsTransient(err))
+			if err == nil || !llm.IsTransient(err) {
+				break
+			}
 		}
 	}
 
@@ -914,6 +1058,13 @@ func (p *Pool) runJob(j *Job) {
 		// between the two, a duplicate Submit either hits the cache or
 		// coalesces — it can never slip through and redo the work.
 		p.cache.Put(j.digest, res)
+		if p.sem != nil && !reused {
+			// Index the fresh diagnosis only after its cache entry exists:
+			// a similarity vector must never point at a digest the cache
+			// cannot serve. Reused results are not indexed — their text
+			// already has a vector under the source digest.
+			p.sem.Add(j.digest, features)
+		}
 	}
 
 	p.mu.Lock()
@@ -952,6 +1103,10 @@ func (p *Pool) runJob(j *Job) {
 			// The ride-along did not pay off; don't let a failed job
 			// report itself as a cache success.
 			f.cacheHit = false
+		} else if reused {
+			// Followers served by the primary's similarity hit carry the
+			// same provenance.
+			f.simHit, f.srcDigest, f.conf = true, src, conf
 		}
 		f.mu.Unlock()
 		if err == nil {

@@ -45,6 +45,22 @@ type Snapshot struct {
 	HitRate     float64 `json:"cache_hit_rate"`
 	CacheLen    int     `json:"cache_entries"`
 
+	// Semantic reuse effectiveness (all zero unless Config.SemCache).
+	// SemHits are exact-cache misses served from a near-duplicate's
+	// diagnosis; SemGateRejects found a similar candidate but the
+	// confidence gate refused reuse; SemMisses found no usable candidate.
+	// Every exact-cache miss lands in exactly one of the three buckets.
+	SemHits        int64 `json:"semcache_hits"`
+	SemMisses      int64 `json:"semcache_misses"`
+	SemGateRejects int64 `json:"semcache_gate_rejects"`
+	SemEntries     int   `json:"semcache_entries"`
+
+	// Tiers breaks fresh diagnoses down per ladder model (empty unless
+	// Config.TierModels); TierEscalations counts low-confidence results
+	// that escalated to the next rung.
+	Tiers           map[string]TierStats `json:"tier_models,omitempty"`
+	TierEscalations int64                `json:"tier_escalations"`
+
 	// OwnedDigests counts the distinct digests this pool currently holds:
 	// resident cache entries plus in-flight primaries. In a sharded fleet
 	// it is the node's share of the digest space.
@@ -80,6 +96,14 @@ type Snapshot struct {
 	TenantsInflight map[string]int64 `json:"tenant_inflight_jobs,omitempty"`
 }
 
+// TierStats is one ladder model's share of the pool's fresh diagnoses.
+// Jobs counts diagnoses the rung produced (including ones later escalated
+// past); CostUSD is the rung's lifetime LLM spend from StatsByModel.
+type TierStats struct {
+	Jobs    int64   `json:"jobs"`
+	CostUSD float64 `json:"cost_usd"`
+}
+
 // maxTenantLabels caps the distinct per-tenant counters one pool tracks;
 // submissions from further tenants count under tenantOverflowKey.
 const maxTenantLabels = 256
@@ -103,6 +127,13 @@ type metrics struct {
 	coalesced    int64
 	misses       int64
 	retries      int64
+
+	// Semantic reuse and tier-ladder counters (see Snapshot).
+	semHits         int64
+	semMisses       int64
+	semGateRejects  int64
+	tierEscalations int64
+	tierJobs        map[string]int64
 
 	// tenants counts submissions per tenant, capped at maxTenantLabels
 	// distinct keys plus the overflow bucket. Lazily allocated: pools
@@ -161,6 +192,24 @@ func (m *metrics) countTenantLocked(tenant string) {
 	m.tenants[tenant]++
 }
 
+// countSem bumps one of the semantic-reuse counters (a *int64 field of m,
+// e.g. &m.semHits) under m.mu.
+func (m *metrics) countSem(counter *int64) {
+	m.mu.Lock()
+	*counter++
+	m.mu.Unlock()
+}
+
+// countTierJob attributes one fresh diagnosis to a ladder model.
+func (m *metrics) countTierJob(model string) {
+	m.mu.Lock()
+	if m.tierJobs == nil {
+		m.tierJobs = make(map[string]int64)
+	}
+	m.tierJobs[model]++
+	m.mu.Unlock()
+}
+
 func (m *metrics) recordLatency(d time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -204,6 +253,16 @@ func (m *metrics) snapshot(workers, cacheLen int) Snapshot {
 		CacheMisses:       m.misses,
 		Retries:           m.retries,
 		CacheLen:          cacheLen,
+		SemHits:           m.semHits,
+		SemMisses:         m.semMisses,
+		SemGateRejects:    m.semGateRejects,
+		TierEscalations:   m.tierEscalations,
+	}
+	if len(m.tierJobs) > 0 {
+		s.Tiers = make(map[string]TierStats, len(m.tierJobs))
+		for model, jobs := range m.tierJobs {
+			s.Tiers[model] = TierStats{Jobs: jobs}
+		}
 	}
 	s.Queued = s.QueuedInteractive + s.QueuedBatch
 	if s.Submitted > 0 {

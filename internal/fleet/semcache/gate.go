@@ -1,0 +1,151 @@
+package semcache
+
+import (
+	"fmt"
+
+	"ioagent/internal/darshan"
+	"ioagent/internal/drishti"
+	"ioagent/internal/issue"
+	"ioagent/internal/judge"
+	"ioagent/internal/llm"
+)
+
+// nullReport is the gate's fixed judging baseline: a diagnosis that claims
+// no issues at all. Judging the candidate against this null hypothesis —
+// instead of against another live diagnosis — gives the judge a stable
+// reference point: a cached diagnosis that matches the new trace's issue
+// labels should beat "nothing is wrong" decisively, while one that claims
+// the wrong issues loses ground to it.
+const nullReport = "No significant I/O performance issues detected."
+
+// Gate decides whether a similarity candidate's cached diagnosis can be
+// reused for a new trace.
+type Gate struct {
+	// Client evaluates the judge prompts (typically the pool's LLM client).
+	Client llm.Client
+	// Model is the judging model; a cheap tier is fine because the gate's
+	// decision also leans on label agreement and vector similarity.
+	// Defaults to gpt-4o-mini-sim.
+	Model string
+	// Threshold is the minimum blended confidence to allow reuse.
+	// Defaults to DefaultGateThreshold.
+	Threshold float64
+}
+
+// DefaultGateThreshold is the reuse cut-off for the blended confidence.
+// The blend is 0.5·sim + 0.25·labelF1 + 0.25·judge: a label-matched
+// candidate at the 0.85 similarity floor scores ≥ 0.75 with even a neutral
+// judge verdict, while a label-mismatched one tops out near 0.67.
+const DefaultGateThreshold = 0.70
+
+// Decision is the gate's verdict on one candidate.
+type Decision struct {
+	// Reuse reports whether the cached diagnosis may be served.
+	Reuse bool
+	// Confidence is the blended score in [0, 1] compared against the
+	// threshold; it is stamped on reused diagnoses as provenance.
+	Confidence float64
+	// LabelF1 and JudgeScore are the non-similarity components, exposed
+	// for metrics and tests.
+	LabelF1    float64
+	JudgeScore float64
+}
+
+// Evaluate scores whether candidateText (the cached diagnosis of another
+// trace) applies to log. sim is the feature-vector cosine similarity that
+// proposed the candidate.
+//
+// Confidence blends three independent views of "same diagnosis":
+//
+//   - sim (weight 0.5): how close the traces' I/O profiles are;
+//   - label F1 (weight 0.25): agreement between the labels the cached
+//     diagnosis claims and the new trace's own drishti heuristic labels —
+//     an LLM-free cross-check that catches reuse across workloads that
+//     happen to have nearby counter profiles but different issues;
+//   - judge score (weight 0.25): an LLM judge ranking the cached diagnosis
+//     against the null "no issues" report under the accuracy criterion,
+//     with the new trace's heuristic labels as ground truth.
+//
+// Gate errors (judge transport, malformed rankings) are returned so the
+// caller can fall through to a fresh diagnosis rather than guess.
+func (g *Gate) Evaluate(log *darshan.Log, candidateText string, sim float64) (Decision, error) {
+	truth := drishti.Analyze(darshan.Canonical(log)).Labels()
+
+	_, _, f1 := issue.F1(truth, llm.ClaimedLabels(candidateText))
+
+	model := g.Model
+	if model == "" {
+		model = llm.GPT4oMini
+	}
+	j := &judge.Judge{
+		Client:       g.Client,
+		Model:        model,
+		Permutations: 2,
+		Augment:      judge.All(),
+	}
+	entries := []judge.Entry{
+		{Tool: "cached-diagnosis", Text: candidateText},
+		{Tool: "baseline", Text: nullReport},
+	}
+	ranks, err := j.MeanRanks(entries, judge.Accuracy, truth)
+	if err != nil {
+		return Decision{}, fmt.Errorf("semcache: gate: %w", err)
+	}
+	// With two candidates the mean rank of the cached diagnosis is in
+	// [1, 2]; map rank 1 (always beats the null report) to 1.0 and rank 2
+	// (always loses to it) to 0.0.
+	judgeScore := clamp01(2 - ranks[0])
+
+	conf := 0.5*sim + 0.25*f1 + 0.25*judgeScore
+	threshold := g.Threshold
+	if threshold <= 0 {
+		threshold = DefaultGateThreshold
+	}
+	return Decision{
+		Reuse:      conf >= threshold,
+		Confidence: conf,
+		LabelF1:    f1,
+		JudgeScore: judgeScore,
+	}, nil
+}
+
+// ScoreDiagnosis rates how well a freshly produced diagnosis fits the
+// trace, on the gate's label-F1 and judge components only (no similarity
+// term — the diagnosis is OF this trace, there is no candidate distance).
+// The fleet's tier scheduler compares the score against its escalation
+// threshold: a cheap model whose answer already agrees with the heuristics
+// and beats the null report needs no frontier-model second opinion.
+func (g *Gate) ScoreDiagnosis(log *darshan.Log, diagnosisText string) (float64, error) {
+	truth := drishti.Analyze(darshan.Canonical(log)).Labels()
+	_, _, f1 := issue.F1(truth, llm.ClaimedLabels(diagnosisText))
+
+	model := g.Model
+	if model == "" {
+		model = llm.GPT4oMini
+	}
+	j := &judge.Judge{
+		Client:       g.Client,
+		Model:        model,
+		Permutations: 2,
+		Augment:      judge.All(),
+	}
+	entries := []judge.Entry{
+		{Tool: "diagnosis", Text: diagnosisText},
+		{Tool: "baseline", Text: nullReport},
+	}
+	ranks, err := j.MeanRanks(entries, judge.Accuracy, truth)
+	if err != nil {
+		return 0, fmt.Errorf("semcache: score: %w", err)
+	}
+	return 0.5*f1 + 0.5*clamp01(2-ranks[0]), nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

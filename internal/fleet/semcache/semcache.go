@@ -1,0 +1,118 @@
+package semcache
+
+import (
+	"sort"
+	"sync"
+
+	"ioagent/internal/vectordb"
+)
+
+// Candidate is one similarity lookup result: a previously diagnosed trace
+// whose feature vector is close to the query's.
+type Candidate struct {
+	// Digest is the ContentDigest-keyed address of the cached diagnosis.
+	Digest string
+	// Score is the cosine similarity of the feature vectors in [-1, 1].
+	Score float64
+}
+
+// Entry is the persisted form of one indexed trace, exported for snapshot
+// round-trips (internal/fleet/store writes these next to the result-cache
+// snapshot so reuse survives restarts).
+type Entry struct {
+	Digest   string `json:"digest"`
+	Features string `json:"features"`
+}
+
+// Index is the similarity index over diagnosed traces: one document per
+// result-cache digest, its text the trace's FeatureText. It is bounded like
+// the result cache it mirrors and safe for concurrent use.
+type Index struct {
+	mu sync.Mutex
+	ix *vectordb.Index
+	// features remembers each digest's feature text so the index can be
+	// exported for persistence without re-deriving features from traces
+	// (which are not retained).
+	features map[string]string
+	maxDocs  int
+}
+
+// NewIndex creates an empty similarity index holding at most maxEntries
+// traces (0 or negative means unbounded). Each trace is one document with
+// one chunk: feature texts are short, and a huge chunk size guarantees the
+// 1:1 digest-to-vector mapping lookups assume.
+func NewIndex(maxEntries int) *Index {
+	s := &Index{features: make(map[string]string), maxDocs: maxEntries}
+	s.ix = vectordb.New(vectordb.Options{
+		ChunkSize: 1 << 20,
+		Overlap:   vectordb.NoOverlap,
+		MaxDocs:   maxEntries,
+		OnEvict:   func(digest string) { delete(s.features, digest) },
+	})
+	return s
+}
+
+// Add indexes (or re-indexes) the feature text for a diagnosed digest.
+// vectordb's OnEvict fires under s.mu (Add is called while holding it),
+// which is safe because the callback only touches s.features.
+func (s *Index) Add(digest, features string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.features[digest]; ok {
+		s.ix.Remove(digest)
+	}
+	s.features[digest] = features
+	s.ix.Add(vectordb.Document{Key: digest, Title: digest, Text: features})
+}
+
+// Remove drops a digest's vector, e.g. when the result cache evicts the
+// diagnosis it points at. Unknown digests are a no-op.
+func (s *Index) Remove(digest string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.features, digest)
+	s.ix.Remove(digest)
+}
+
+// Lookup returns up to k diagnosed traces most similar to the query
+// features, best first.
+func (s *Index) Lookup(features string, k int) []Candidate {
+	s.mu.Lock()
+	hits := s.ix.Search(features, k)
+	s.mu.Unlock()
+	out := make([]Candidate, 0, len(hits))
+	for _, h := range hits {
+		out = append(out, Candidate{Digest: h.Chunk.DocKey, Score: h.Score})
+	}
+	return out
+}
+
+// Len returns the number of indexed traces.
+func (s *Index) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.features)
+}
+
+// Export returns the indexed entries sorted by digest, for snapshotting.
+func (s *Index) Export() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, 0, len(s.features))
+	for d, f := range s.features {
+		out = append(out, Entry{Digest: d, Features: f})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Digest < out[j].Digest })
+	return out
+}
+
+// Restore re-adds exported entries (typically after a restart). Entries
+// beyond the configured cap evict oldest-first as usual.
+func (s *Index) Restore(entries []Entry) {
+	for _, e := range entries {
+		if e.Digest == "" || e.Features == "" {
+			continue
+		}
+		s.Add(e.Digest, e.Features)
+	}
+}

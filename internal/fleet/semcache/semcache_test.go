@@ -1,0 +1,226 @@
+package semcache
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ioagent/internal/darshan"
+	"ioagent/internal/drishti"
+	"ioagent/internal/llm"
+	"ioagent/internal/tracebench"
+)
+
+// trace returns a deterministic benchmark log by suite name.
+func trace(t *testing.T, name string) *darshan.Log {
+	t.Helper()
+	for _, tr := range tracebench.Suite() {
+		if tr.Name == name {
+			return tr.Log()
+		}
+	}
+	t.Fatalf("trace %q not in suite", name)
+	return nil
+}
+
+// TestFeatureTextRenderingDeterminism is the satellite requirement: the
+// same trace arriving as canonical binary and as darshan-parser text must
+// extract byte-identical feature texts, mirroring PR 5's rendering-neutral
+// ContentDigest property.
+func TestFeatureTextRenderingDeterminism(t *testing.T) {
+	for _, tr := range tracebench.Suite()[:6] {
+		log := tr.Log()
+
+		var bin bytes.Buffer
+		if err := darshan.Encode(&bin, log); err != nil {
+			t.Fatalf("%s: Encode: %v", tr.Name, err)
+		}
+		fromBinary, err := darshan.Decode(&bin)
+		if err != nil {
+			t.Fatalf("%s: Decode: %v", tr.Name, err)
+		}
+
+		text, err := darshan.TextString(log)
+		if err != nil {
+			t.Fatalf("%s: TextString: %v", tr.Name, err)
+		}
+		fromText, err := darshan.ParseText(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("%s: ParseText: %v", tr.Name, err)
+		}
+
+		fb := FeatureText(fromBinary)
+		ft := FeatureText(fromText)
+		if fb != ft {
+			t.Errorf("%s: binary and text renderings extract different features:\nbinary: %s\ntext:   %s", tr.Name, fb, ft)
+		}
+		if fb == "" {
+			t.Errorf("%s: empty feature text", tr.Name)
+		}
+	}
+}
+
+func TestFeatureTextSeparatesWorkloads(t *testing.T) {
+	suite := tracebench.Suite()
+	a := FeatureText(suite[0].Log())
+	b := FeatureText(suite[len(suite)-1].Log())
+	if a == b {
+		t.Errorf("different workloads produced identical features: %s", a)
+	}
+}
+
+func TestFeatureTokensSurviveEmbedding(t *testing.T) {
+	// Every feature token must carry letters: internal/embed drops
+	// bare-number tokens, so a digits-only token would silently vanish
+	// from the vector.
+	ft := FeatureText(trace(t, tracebench.Suite()[0].Name))
+	for _, tok := range strings.Fields(ft) {
+		hasLetter := false
+		for _, r := range tok {
+			if r >= 'a' && r <= 'z' {
+				hasLetter = true
+				break
+			}
+		}
+		if !hasLetter {
+			t.Errorf("feature token %q has no letters and would be dropped by the tokenizer", tok)
+		}
+	}
+}
+
+func TestIndexLookupFindsNearDuplicate(t *testing.T) {
+	suite := tracebench.Suite()
+	base := suite[0].Log()
+
+	// A near-duplicate: the same trace with one metadata line appended —
+	// different ContentDigest, identical I/O profile.
+	text, err := darshan.TextString(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup, err := darshan.ParseText(strings.NewReader(text + "# metadata: bench_variant = b1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ix := NewIndex(16)
+	ix.Add("digest-base", FeatureText(base))
+	for i, tr := range suite[1:5] {
+		ix.Add("digest-other-"+string(rune('a'+i)), FeatureText(tr.Log()))
+	}
+
+	hits := ix.Lookup(FeatureText(dup), 3)
+	if len(hits) == 0 {
+		t.Fatal("no candidates for a near-duplicate")
+	}
+	if hits[0].Digest != "digest-base" {
+		t.Errorf("top candidate = %s (%.3f), want digest-base", hits[0].Digest, hits[0].Score)
+	}
+	if hits[0].Score < 0.99 {
+		t.Errorf("near-duplicate similarity = %.3f, want ~1.0", hits[0].Score)
+	}
+}
+
+func TestIndexRemoveAndBound(t *testing.T) {
+	ix := NewIndex(2)
+	ix.Add("d1", "moda lblone profilem3")
+	ix.Add("d2", "modb lbltwo profilem4")
+	ix.Add("d3", "modc lblthree profilem5") // evicts d1 (oldest)
+	if ix.Len() != 2 {
+		t.Fatalf("len = %d after cap eviction, want 2", ix.Len())
+	}
+	for _, c := range ix.Lookup("moda lblone profilem3", 5) {
+		if c.Digest == "d1" {
+			t.Error("evicted digest still retrievable")
+		}
+	}
+	ix.Remove("d2")
+	if ix.Len() != 1 {
+		t.Fatalf("len = %d after Remove, want 1", ix.Len())
+	}
+
+	// Re-adding an existing digest must not duplicate its vector.
+	ix.Add("d3", "modc lblthree profilem6")
+	if ix.Len() != 1 {
+		t.Fatalf("len = %d after re-add, want 1", ix.Len())
+	}
+}
+
+func TestIndexExportRestore(t *testing.T) {
+	ix := NewIndex(8)
+	ix.Add("d1", "moda lblone profilem3")
+	ix.Add("d2", "modb lbltwo profilem4")
+	ix.Remove("d1")
+
+	entries := ix.Export()
+	if len(entries) != 1 || entries[0].Digest != "d2" {
+		t.Fatalf("export = %+v, want just d2", entries)
+	}
+
+	back := NewIndex(8)
+	back.Restore(entries)
+	hits := back.Lookup("modb lbltwo profilem4", 1)
+	if len(hits) != 1 || hits[0].Digest != "d2" {
+		t.Fatalf("restored lookup = %+v, want d2", hits)
+	}
+}
+
+func TestGateAcceptsMatchingDiagnosis(t *testing.T) {
+	suite := tracebench.Suite()
+	var log *darshan.Log
+	// Pick a trace where drishti actually fires, so the gate has labels to
+	// cross-check.
+	for _, tr := range suite {
+		l := tr.Log()
+		if len(drishti.Analyze(l).Labels()) > 0 {
+			log = l
+			break
+		}
+	}
+	if log == nil {
+		t.Fatal("no trace with drishti labels in suite")
+	}
+	// The cached diagnosis for a true near-duplicate: the trace's own
+	// heuristic report (claims exactly the right labels).
+	cached := drishti.Analyze(log).Format()
+
+	g := &Gate{Client: llm.NewSim()}
+	dec, err := g.Evaluate(log, cached, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Reuse {
+		t.Errorf("gate rejected a label-perfect candidate at sim 0.99: conf %.3f (f1 %.2f judge %.2f)",
+			dec.Confidence, dec.LabelF1, dec.JudgeScore)
+	}
+	if dec.Confidence < DefaultGateThreshold {
+		t.Errorf("confidence %.3f below threshold for matching diagnosis", dec.Confidence)
+	}
+}
+
+func TestGateRejectsMismatchedDiagnosis(t *testing.T) {
+	suite := tracebench.Suite()
+	var log *darshan.Log
+	for _, tr := range suite {
+		l := tr.Log()
+		if len(drishti.Analyze(l).Labels()) > 0 {
+			log = l
+			break
+		}
+	}
+	if log == nil {
+		t.Fatal("no trace with drishti labels in suite")
+	}
+	// A cached diagnosis claiming entirely unrelated issues.
+	wrong := "Analysis of I/O behavior.\n\nISSUE: random reads\nThe trace shows scattered small random read accesses.\n\nISSUE: high metadata load\nMetadata operations dominate runtime.\n"
+
+	g := &Gate{Client: llm.NewSim()}
+	dec, err := g.Evaluate(log, wrong, 0.86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Reuse {
+		t.Errorf("gate accepted a mismatched diagnosis: conf %.3f (f1 %.2f judge %.2f)",
+			dec.Confidence, dec.LabelF1, dec.JudgeScore)
+	}
+}

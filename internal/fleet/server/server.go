@@ -363,15 +363,18 @@ func NewMux(cfg Config) http.Handler {
 		}
 		info := job.Info()
 		WriteJSON(w, http.StatusOK, api.Diagnosis{
-			JobID:    info.ID,
-			Digest:   info.Digest,
-			Lane:     api.Lane(info.Lane),
-			CacheHit: info.CacheHit,
-			Text:     res.Text,
+			JobID:         info.ID,
+			Digest:        info.Digest,
+			Lane:          api.Lane(info.Lane),
+			CacheHit:      info.CacheHit,
+			SimilarityHit: info.SimilarityHit,
+			SourceDigest:  info.SourceDigest,
+			Confidence:    info.Confidence,
+			Text:          res.Text,
 		})
 	})
 	handle("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		m := toAPIMetrics(pool.Metrics(), pool.Agent().StatsByModel())
+		m := toAPIMetrics(pool.Metrics(), pool.StatsByModel())
 		m.Node = cfg.NodeID
 		if WantsText(r) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -593,16 +596,19 @@ func decodeTrace(w http.ResponseWriter, r *http.Request, maxBody int64) (*darsha
 // logged where the job fails.
 func toAPIJob(info fleet.JobInfo) api.JobInfo {
 	out := api.JobInfo{
-		ID:          info.ID,
-		Digest:      info.Digest,
-		Status:      api.Status(info.Status),
-		Lane:        api.Lane(info.Lane),
-		Tenant:      info.Tenant,
-		CacheHit:    info.CacheHit,
-		Attempts:    info.Attempts,
-		SubmittedAt: info.SubmittedAt,
-		StartedAt:   info.StartedAt,
-		FinishedAt:  info.FinishedAt,
+		ID:            info.ID,
+		Digest:        info.Digest,
+		Status:        api.Status(info.Status),
+		Lane:          api.Lane(info.Lane),
+		Tenant:        info.Tenant,
+		CacheHit:      info.CacheHit,
+		SimilarityHit: info.SimilarityHit,
+		SourceDigest:  info.SourceDigest,
+		Confidence:    info.Confidence,
+		Attempts:      info.Attempts,
+		SubmittedAt:   info.SubmittedAt,
+		StartedAt:     info.StartedAt,
+		FinishedAt:    info.FinishedAt,
 	}
 	if info.Status == fleet.StatusFailed {
 		out.Error = string(api.CodeDiagnosisFailed)
@@ -614,25 +620,36 @@ func toAPIJob(info fleet.JobInfo) api.JobInfo {
 // wire metrics document.
 func toAPIMetrics(s fleet.Snapshot, byModel map[string]ioagent.ModelStats) api.Metrics {
 	m := api.Metrics{
-		Workers:           s.Workers,
-		Submitted:         s.Submitted,
-		Queued:            s.Queued,
-		QueuedInteractive: s.QueuedInteractive,
-		QueuedBatch:       s.QueuedBatch,
-		Running:           s.Running,
-		Done:              s.Done,
-		Failed:            s.Failed,
-		CacheHits:         s.CacheHits,
-		Coalesced:         s.Coalesced,
-		CacheMisses:       s.CacheMisses,
-		HitRate:           s.HitRate,
-		CacheLen:          s.CacheLen,
-		OwnedDigests:      s.OwnedDigests,
-		Retries:           s.Retries,
-		BreakerOpen:       s.BreakerOpen,
-		BreakerTrips:      s.BreakerTrips,
-		LatencyP50:        s.LatencyP50,
-		LatencyP95:        s.LatencyP95,
+		Workers:             s.Workers,
+		Submitted:           s.Submitted,
+		Queued:              s.Queued,
+		QueuedInteractive:   s.QueuedInteractive,
+		QueuedBatch:         s.QueuedBatch,
+		Running:             s.Running,
+		Done:                s.Done,
+		Failed:              s.Failed,
+		CacheHits:           s.CacheHits,
+		Coalesced:           s.Coalesced,
+		CacheMisses:         s.CacheMisses,
+		HitRate:             s.HitRate,
+		CacheLen:            s.CacheLen,
+		OwnedDigests:        s.OwnedDigests,
+		Retries:             s.Retries,
+		BreakerOpen:         s.BreakerOpen,
+		BreakerTrips:        s.BreakerTrips,
+		LatencyP50:          s.LatencyP50,
+		LatencyP95:          s.LatencyP95,
+		SemCacheHits:        s.SemHits,
+		SemCacheMisses:      s.SemMisses,
+		SemCacheGateRejects: s.SemGateRejects,
+		SemCacheEntries:     s.SemEntries,
+		TierEscalations:     s.TierEscalations,
+	}
+	if len(s.Tiers) > 0 {
+		m.Tiers = make(map[string]api.TierMetrics, len(s.Tiers))
+		for model, ts := range s.Tiers {
+			m.Tiers[model] = api.TierMetrics{Jobs: ts.Jobs, CostUSD: ts.CostUSD}
+		}
 	}
 	if len(byModel) > 0 {
 		m.Models = make(map[string]api.ModelMetrics, len(byModel))
@@ -712,6 +729,30 @@ func WritePrometheus(w io.Writer, m api.Metrics) {
 	fmt.Fprintf(w, "fleet_latency_p50_seconds %s\n", f64(m.LatencyP50.Seconds()))
 	metric("fleet_latency_p95_seconds", "gauge", "95th-percentile submit-to-completion latency over recent successful jobs.")
 	fmt.Fprintf(w, "fleet_latency_p95_seconds %s\n", f64(m.LatencyP95.Seconds()))
+	metric("fleet_semcache_hits_total", "counter", "Exact-cache misses served from a near-duplicate's cached diagnosis.")
+	fmt.Fprintf(w, "fleet_semcache_hits_total %d\n", m.SemCacheHits)
+	metric("fleet_semcache_misses_total", "counter", "Exact-cache misses with no usable similarity candidate.")
+	fmt.Fprintf(w, "fleet_semcache_misses_total %d\n", m.SemCacheMisses)
+	metric("fleet_semcache_gate_rejects_total", "counter", "Similarity candidates refused by the confidence gate.")
+	fmt.Fprintf(w, "fleet_semcache_gate_rejects_total %d\n", m.SemCacheGateRejects)
+	metric("fleet_semcache_entries", "gauge", "Digests currently indexed for similarity lookup.")
+	fmt.Fprintf(w, "fleet_semcache_entries %d\n", m.SemCacheEntries)
+
+	tierModels := make([]string, 0, len(m.Tiers))
+	for model := range m.Tiers {
+		tierModels = append(tierModels, model)
+	}
+	sort.Strings(tierModels)
+	metric("fleet_tier_jobs_total", "counter", "Fresh diagnoses produced per ladder model (escalated-past rungs included).")
+	for _, model := range tierModels {
+		fmt.Fprintf(w, "fleet_tier_jobs_total{model=%q} %d\n", model, m.Tiers[model].Jobs)
+	}
+	metric("fleet_tier_cost_usd_total", "counter", "Simulated API spend per ladder model in US dollars.")
+	for _, model := range tierModels {
+		fmt.Fprintf(w, "fleet_tier_cost_usd_total{model=%q} %s\n", model, f64(m.Tiers[model].CostUSD))
+	}
+	metric("fleet_tier_escalations_total", "counter", "Low-confidence diagnoses escalated to the next ladder rung.")
+	fmt.Fprintf(w, "fleet_tier_escalations_total %d\n", m.TierEscalations)
 
 	models := make([]string, 0, len(m.Models))
 	for model := range m.Models {

@@ -364,6 +364,105 @@ func TestMuxPrometheusExposition(t *testing.T) {
 	}
 }
 
+// TestMuxSemanticReuseProvenance pins the 1.3 wire surface: a
+// near-duplicate submission served by the similarity cache reports
+// similarity_hit with the source trace's digest on both the job record
+// and the diagnosis document, and the exposition carries the semcache
+// and tier series.
+func TestMuxSemanticReuseProvenance(t *testing.T) {
+	pool := fleet.New(llm.NewSim(), fleet.Config{
+		Workers:  2,
+		Agent:    ioagent.Options{Index: knowledge.BuildIndex()},
+		SemCache: true,
+		// The unit gate threshold: mechanics, not calibration (the bench
+		// calibrates the default).
+		GateThreshold: 0.5,
+		TierModels:    []string{llm.GPT4oMini, llm.GPT4o},
+	})
+	t.Cleanup(pool.Close)
+	srv := httptest.NewServer(NewMux(Config{Pool: pool, MaxBody: 64 << 20}))
+	t.Cleanup(srv.Close)
+
+	base := testTrace(21)
+	j1, err := pool.Submit(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The near-duplicate: the text rendering plus one extra metadata
+	// line — a new content digest, an identical I/O profile.
+	text, err := darshan.TextString(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := []byte(text + "# metadata: run_variant = rerun\n")
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/octet-stream", bytes.NewReader(dup))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info api.JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	c := client.New(srv.URL)
+	defer c.Close()
+	diag, err := c.WaitDiagnosis(context.Background(), info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diag.SimilarityHit {
+		t.Fatalf("near-duplicate was not a similarity hit: %+v", diag)
+	}
+	if diag.CacheHit {
+		t.Error("similarity hit must not also claim an exact cache hit")
+	}
+	if diag.SourceDigest != j1.Digest() {
+		t.Errorf("diagnosis source digest = %.12s, want the base job's %.12s", diag.SourceDigest, j1.Digest())
+	}
+	if diag.Confidence < 0.5 {
+		t.Errorf("stamped confidence %.3f below the gate threshold", diag.Confidence)
+	}
+	// The job record carries the same provenance.
+	jresp, err := http.Get(srv.URL + "/v1/jobs/" + info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jinfo api.JobInfo
+	if err := json.NewDecoder(jresp.Body).Decode(&jinfo); err != nil {
+		t.Fatal(err)
+	}
+	jresp.Body.Close()
+	if !jinfo.SimilarityHit || jinfo.SourceDigest != j1.Digest() {
+		t.Errorf("job record provenance = %+v, want similarity hit from %.12s", jinfo, j1.Digest())
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	mresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{
+		"fleet_semcache_hits_total 1",
+		"fleet_semcache_entries 1",
+		"# TYPE fleet_semcache_gate_rejects_total counter",
+		`fleet_tier_jobs_total{model="` + llm.GPT4oMini + `"} 1`,
+		`fleet_tier_cost_usd_total{model="` + llm.GPT4oMini + `"}`,
+		"fleet_tier_escalations_total 0",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
 // TestMuxDoesNotLeakFailureDetail pins the satellite requirement: a job
 // that failed with an internal error chain surfaces on the wire only as
 // the stable diagnosis_failed code.

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"ioagent/internal/fleet"
 )
 
 // snapshotName is the result-cache snapshot file inside the state
@@ -54,6 +56,56 @@ func readSnapshot(path string) (entries []SnapshotEntry, warnings []string, err 
 		return nil, []string{fmt.Sprintf("snapshot: ignoring unsupported version %d", f.Version)}, nil
 	}
 	return f.Entries, nil, nil
+}
+
+// semIndexName is the similarity-index sidecar file inside the state
+// directory. It persists the semantic cache's feature vectors beside the
+// result-cache snapshot so that a restarted daemon can serve similarity
+// hits immediately instead of re-deriving features as traces trickle in.
+const semIndexName = "semindex.json"
+
+// semIndexFile is the on-disk similarity-index document. It shares the
+// snapshot's versioning posture: an unreadable or version-incompatible
+// file costs only warm-up (features are re-derived on fresh submissions),
+// never correctness.
+type semIndexFile struct {
+	Version int              `json:"version"`
+	SavedAt time.Time        `json:"saved_at"`
+	Entries []fleet.SemEntry `json:"entries"`
+}
+
+// readSemIndex loads the similarity-index sidecar at path. Missing,
+// corrupt, or version-incompatible files yield an empty list with at most
+// a warning, mirroring readSnapshot.
+func readSemIndex(path string) (entries []fleet.SemEntry, warnings []string, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil, nil
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: read sem index: %w", err)
+	}
+	var f semIndexFile
+	if uerr := json.Unmarshal(data, &f); uerr != nil {
+		return nil, []string{fmt.Sprintf("sem index: ignoring corrupt file: %v", uerr)}, nil
+	}
+	if f.Version != snapshotVersion {
+		return nil, []string{fmt.Sprintf("sem index: ignoring unsupported version %d", f.Version)}, nil
+	}
+	return f.Entries, nil, nil
+}
+
+// writeSemIndex atomically replaces the similarity-index sidecar at path.
+func writeSemIndex(path string, entries []fleet.SemEntry, sync bool) error {
+	doc := semIndexFile{Version: snapshotVersion, SavedAt: time.Now(), Entries: entries}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		return fmt.Errorf("store: marshal sem index: %w", err)
+	}
+	if err := atomicWrite(path, data, sync); err != nil {
+		return fmt.Errorf("store: write sem index: %w", err)
+	}
+	return nil
 }
 
 // writeSnapshot atomically replaces the snapshot at path.

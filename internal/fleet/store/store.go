@@ -61,6 +61,10 @@ func (o Options) withDefaults() Options {
 type Recovery struct {
 	// Cache holds the last snapshot's entries, most recently used first.
 	Cache []SnapshotEntry
+	// Sem holds the persisted similarity index (digest → feature text).
+	// Replay restores it after the cache, so entries whose backing
+	// diagnosis did not survive are dropped by the pool.
+	Sem []fleet.SemEntry
 	// Pending holds journaled-but-unfinished submissions in accept order.
 	Pending []PendingJob
 	// Uploads holds upload sessions opened but never closed, in open
@@ -112,6 +116,13 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	s.recovered.Cache = cache
+	s.recovered.Warnings = append(s.recovered.Warnings, warns...)
+
+	sem, warns, err := readSemIndex(s.path(semIndexName))
+	if err != nil {
+		return nil, err
+	}
+	s.recovered.Sem = sem
 	s.recovered.Warnings = append(s.recovered.Warnings, warns...)
 
 	jpath := s.path(journalName)
@@ -183,6 +194,10 @@ func (s *Store) Replay(p *fleet.Pool) (restored, resubmitted int, err error) {
 	}
 	p.CacheRestore(entries)
 	restored = len(entries)
+	// The similarity index restores strictly after the cache: SemRestore
+	// drops any vector whose digest the restored cache cannot serve, so
+	// reuse never cites a diagnosis that did not survive the restart.
+	p.SemRestore(rec.Sem)
 
 	for _, job := range rec.Pending {
 		// The lane survives the restart: an interactive job keeps its
@@ -388,6 +403,15 @@ func (s *Store) checkpoint(p *fleet.Pool, force bool) error {
 			entries = append(entries, SnapshotEntry{Digest: e.Digest, Text: e.Result.Text, Added: e.Added})
 		}
 		if err := writeSnapshot(s.path(snapshotName), entries, s.opts.Fsync != FsyncOff); err != nil {
+			s.mu.Lock()
+			s.dirty = true
+			s.mu.Unlock()
+			return err
+		}
+		// The similarity index rides the same dirty cadence as the cache
+		// snapshot: every sem entry is pinned to a cache digest (eviction
+		// drops both), so any index change implies a cache change.
+		if err := writeSemIndex(s.path(semIndexName), p.SemExport(), s.opts.Fsync != FsyncOff); err != nil {
 			s.mu.Lock()
 			s.dirty = true
 			s.mu.Unlock()

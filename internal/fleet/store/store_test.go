@@ -275,6 +275,72 @@ func TestJournalCompactionEquivalence(t *testing.T) {
 	}
 }
 
+func TestSemIndexSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	cfg := testConfig(1, s)
+	cfg.SemCache = true
+	pool := fleet.New(llm.NewSim(), cfg)
+	j, err := pool.Submit(testTrace(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if pool.SemLen() != 1 {
+		t.Fatalf("SemLen = %d before checkpoint, want 1", pool.SemLen())
+	}
+	if err := s.Checkpoint(pool); err != nil {
+		t.Fatal(err)
+	}
+	pool.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, semIndexName)); err != nil {
+		t.Fatalf("checkpoint did not write the sem index sidecar: %v", err)
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if got := len(s2.Recovered().Sem); got != 1 {
+		t.Fatalf("recovered %d sem entries, want 1", got)
+	}
+	cfg2 := testConfig(1, s2)
+	cfg2.SemCache = true
+	pool2 := fleet.New(llm.NewSim(), cfg2)
+	defer pool2.Close()
+	restored, _, err := s2.Replay(pool2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 1 {
+		t.Fatalf("restored %d cache entries, want 1", restored)
+	}
+	if pool2.SemLen() != 1 {
+		t.Errorf("SemLen = %d after replay, want 1 (vector should survive with its cache backing)", pool2.SemLen())
+	}
+
+	// A sem index with no cache snapshot behind it must restore empty: the
+	// pool drops vectors whose diagnosis the cache cannot serve.
+	if err := os.Remove(filepath.Join(dir, snapshotName)); err != nil {
+		t.Fatal(err)
+	}
+	s3 := mustOpen(t, dir, Options{})
+	defer s3.Close()
+	cfg3 := testConfig(1, s3)
+	cfg3.SemCache = true
+	pool3 := fleet.New(llm.NewSim(), cfg3)
+	defer pool3.Close()
+	if _, _, err := s3.Replay(pool3); err != nil {
+		t.Fatal(err)
+	}
+	if pool3.SemLen() != 0 {
+		t.Errorf("SemLen = %d after cache-less replay, want 0 (orphaned vectors must drop)", pool3.SemLen())
+	}
+}
+
 func TestRejectIsJournaledButNeverReplayed(t *testing.T) {
 	dir := t.TempDir()
 	s := mustOpen(t, dir, Options{})

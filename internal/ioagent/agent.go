@@ -92,6 +92,11 @@ func New(client llm.Client, opts Options) *Agent {
 // Model returns the main diagnosis model name.
 func (a *Agent) Model() string { return a.model }
 
+// Index returns the knowledge index the agent retrieves from (nil when RAG
+// is disabled). Exposed so cooperating agents — e.g. the fleet's model-tier
+// ladder — share one corpus index instead of each paying to rebuild it.
+func (a *Agent) Index() *vectordb.Index { return a.index }
+
 func (a *Agent) addCost(resp llm.Response) {
 	a.mu.Lock()
 	defer a.mu.Unlock()

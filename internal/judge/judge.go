@@ -169,19 +169,36 @@ func criterionDescription(c string) string {
 
 var rankLineRe = regexp.MustCompile(`(?m)^RANK (\d+): (.+)$`)
 
-// parseRanks maps each display name to its assigned rank.
+// parseRanks maps each display name to its assigned rank. A reply is
+// rejected — not silently repaired — when it names a candidate twice, hands
+// out the same rank twice, or uses a rank outside [1, len(names)]: averaging
+// a malformed permutation would corrupt every candidate's mean, so the
+// caller must treat the whole reply as unusable.
 func parseRanks(content string, names []string) ([]int, error) {
+	n := len(names)
 	assigned := make(map[string]int)
+	usedRank := make(map[int]string)
 	for _, m := range rankLineRe.FindAllStringSubmatch(content, -1) {
 		var r int
 		fmt.Sscanf(m[1], "%d", &r)
-		assigned[strings.TrimSpace(m[2])] = r
+		name := strings.TrimSpace(m[2])
+		if r < 1 || r > n {
+			return nil, fmt.Errorf("judge: rank %d for %q out of range [1, %d]:\n%s", r, name, n, content)
+		}
+		if prev, dup := assigned[name]; dup {
+			return nil, fmt.Errorf("judge: %q ranked twice (%d and %d):\n%s", name, prev, r, content)
+		}
+		if holder, dup := usedRank[r]; dup {
+			return nil, fmt.Errorf("judge: rank %d assigned to both %q and %q:\n%s", r, holder, name, content)
+		}
+		assigned[name] = r
+		usedRank[r] = name
 	}
-	ranks := make([]int, len(names))
-	for i, n := range names {
-		r, ok := assigned[n]
+	ranks := make([]int, n)
+	for i, name := range names {
+		r, ok := assigned[name]
 		if !ok {
-			return nil, fmt.Errorf("judge: response missing rank for %q:\n%s", n, content)
+			return nil, fmt.Errorf("judge: response missing rank for %q:\n%s", name, content)
 		}
 		ranks[i] = r
 	}

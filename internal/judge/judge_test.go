@@ -44,6 +44,73 @@ func TestMeanRanksOrdering(t *testing.T) {
 	}
 }
 
+func TestParseRanksMalformed(t *testing.T) {
+	names := []string{"Tool-1", "Tool-2", "Tool-3"}
+	cases := []struct {
+		name    string
+		content string
+		want    []int // nil means an error is expected
+	}{
+		{
+			name:    "well formed",
+			content: "reasoning...\nRANK 1: Tool-2\nRANK 2: Tool-1\nRANK 3: Tool-3\n",
+			want:    []int{2, 1, 3},
+		},
+		{
+			name:    "well formed with surrounding prose",
+			content: "The strongest candidate is Tool-3.\nRANK 1: Tool-3\nRANK 2: Tool-2\nRANK 3: Tool-1\nDone.",
+			want:    []int{3, 2, 1},
+		},
+		{
+			name:    "duplicate rank value",
+			content: "RANK 1: Tool-1\nRANK 1: Tool-2\nRANK 3: Tool-3\n",
+		},
+		{
+			name:    "same candidate ranked twice",
+			content: "RANK 1: Tool-1\nRANK 2: Tool-1\nRANK 3: Tool-3\n",
+		},
+		{
+			name:    "rank zero",
+			content: "RANK 0: Tool-1\nRANK 1: Tool-2\nRANK 2: Tool-3\n",
+		},
+		{
+			name:    "rank beyond candidate count",
+			content: "RANK 1: Tool-1\nRANK 2: Tool-2\nRANK 4: Tool-3\n",
+		},
+		{
+			name:    "missing candidate",
+			content: "RANK 1: Tool-1\nRANK 2: Tool-3\n",
+		},
+		{
+			name:    "unknown candidate only",
+			content: "RANK 1: Tool-9\nRANK 2: Tool-8\nRANK 3: Tool-7\n",
+		},
+		{
+			name:    "empty reply",
+			content: "",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseRanks(tc.content, names)
+			if tc.want == nil {
+				if err == nil {
+					t.Fatalf("parseRanks accepted malformed reply, got %v", got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseRanks: %v", err)
+			}
+			for i := range tc.want {
+				if got[i] != tc.want[i] {
+					t.Fatalf("ranks = %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
 func TestScoreMath(t *testing.T) {
 	if Score(1) != 3 || Score(4) != 0 {
 		t.Error("Score(rank) must be 4 - rank")

@@ -47,6 +47,17 @@ type Options struct {
 	// 0 means unset and selects the default of 20; pass NoOverlap for an
 	// explicit overlap of zero.
 	Overlap int
+	// MaxDocs, when positive, bounds the number of distinct documents the
+	// index retains: an Add that pushes the count beyond the cap evicts the
+	// oldest (first-added) documents until the cap holds again, so an index
+	// fed an unbounded stream — the fleet's semantic result cache — stays
+	// as bounded as the result cache it mirrors. Zero or negative means
+	// unbounded (the knowledge-corpus configuration).
+	MaxDocs int
+	// OnEvict, if set, observes each MaxDocs eviction with the evicted
+	// document's key, after the index lock is released. Not persisted by
+	// Save; a caller that Loads an index rewires its own callback.
+	OnEvict func(docKey string)
 }
 
 func (o Options) withDefaults() Options {
@@ -88,10 +99,12 @@ func (ix *Index) Len() int {
 	return len(ix.chunks)
 }
 
-// Add chunks and indexes a document.
+// Add chunks and indexes a document. With Options.MaxDocs set, adding past
+// the cap evicts the oldest documents (never the one just added) and reports
+// each eviction through Options.OnEvict after the lock is released.
 func (ix *Index) Add(doc Document) {
+	var evicted []string
 	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	words := strings.Fields(doc.Text)
 	step := ix.opts.ChunkSize - ix.opts.Overlap
 	seq := 0
@@ -109,6 +122,65 @@ func (ix *Index) Add(doc Document) {
 			break
 		}
 	}
+	if ix.opts.MaxDocs > 0 {
+		for ix.docCountLocked() > ix.opts.MaxDocs {
+			oldest := ix.chunks[0].DocKey
+			ix.removeLocked(oldest)
+			evicted = append(evicted, oldest)
+		}
+	}
+	ix.mu.Unlock()
+	if ix.opts.OnEvict != nil {
+		for _, k := range evicted {
+			ix.opts.OnEvict(k)
+		}
+	}
+}
+
+// Remove drops every chunk of the document with the given key and returns
+// how many chunks were removed (0 if the key was not indexed). OnEvict is
+// not called: Remove is the caller's own decision, not a cap eviction.
+func (ix *Index) Remove(docKey string) int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.removeLocked(docKey)
+}
+
+// removeLocked filters out docKey's chunks in place. Caller holds ix.mu.
+// Relative order of the surviving chunks — and therefore document age for
+// MaxDocs eviction — is preserved.
+func (ix *Index) removeLocked(docKey string) int {
+	n := 0
+	for i := range ix.chunks {
+		if ix.chunks[i].DocKey == docKey {
+			continue
+		}
+		ix.chunks[n] = ix.chunks[i]
+		ix.vectors[n] = ix.vectors[i]
+		ix.invNorms[n] = ix.invNorms[i]
+		n++
+	}
+	removed := len(ix.chunks) - n
+	ix.chunks = ix.chunks[:n]
+	ix.vectors = ix.vectors[:n]
+	ix.invNorms = ix.invNorms[:n]
+	return removed
+}
+
+// docCountLocked counts distinct document keys. Caller holds ix.mu.
+func (ix *Index) docCountLocked() int {
+	seen := make(map[string]struct{}, len(ix.chunks))
+	for i := range ix.chunks {
+		seen[ix.chunks[i].DocKey] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Docs returns the number of distinct documents in the index.
+func (ix *Index) Docs() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.docCountLocked()
 }
 
 // appendChunk embeds and stores one chunk. Caller holds ix.mu.
@@ -203,6 +275,7 @@ func (ix *Index) Search(query string, k int) []Hit {
 type persisted struct {
 	ChunkSize int     `json:"chunk_size"`
 	Overlap   int     `json:"overlap"`
+	MaxDocs   int     `json:"max_docs,omitempty"`
 	Chunks    []Chunk `json:"chunks"`
 }
 
@@ -214,6 +287,7 @@ func (ix *Index) Save(w io.Writer) error {
 	return enc.Encode(persisted{
 		ChunkSize: ix.opts.ChunkSize,
 		Overlap:   ix.opts.Overlap,
+		MaxDocs:   ix.opts.MaxDocs,
 		Chunks:    ix.chunks,
 	})
 }
@@ -230,7 +304,9 @@ func Load(r io.Reader) (*Index, error) {
 		// keep it from being re-defaulted to 20.
 		overlap = NoOverlap
 	}
-	ix := New(Options{ChunkSize: p.ChunkSize, Overlap: overlap})
+	// OnEvict is a process-local callback and is deliberately not part of
+	// the file format; callers that bound a loaded index rewire their own.
+	ix := New(Options{ChunkSize: p.ChunkSize, Overlap: overlap, MaxDocs: p.MaxDocs})
 	ix.mu.Lock()
 	for _, c := range p.Chunks {
 		ix.appendChunk(c)

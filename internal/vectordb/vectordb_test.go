@@ -174,6 +174,86 @@ func TestTopKHeapMatchesFullRanking(t *testing.T) {
 	}
 }
 
+func TestRemove(t *testing.T) {
+	ix := New(Options{ChunkSize: 2, Overlap: NoOverlap})
+	ix.Add(Document{Key: "a", Text: docText("alpha", "beta", "gamma", "delta")}) // 2 chunks
+	ix.Add(Document{Key: "b", Text: docText("metadata", "storms")})              // 1 chunk
+	if got := ix.Remove("a"); got != 2 {
+		t.Errorf("Remove(a) = %d chunks, want 2", got)
+	}
+	if got := ix.Remove("a"); got != 0 {
+		t.Errorf("second Remove(a) = %d chunks, want 0", got)
+	}
+	if ix.Len() != 1 || ix.Docs() != 1 {
+		t.Errorf("after removal: %d chunks / %d docs, want 1 / 1", ix.Len(), ix.Docs())
+	}
+	for _, h := range ix.Search("alpha beta", 5) {
+		if h.Chunk.DocKey == "a" {
+			t.Error("removed document still retrievable")
+		}
+	}
+}
+
+func TestMaxDocsEviction(t *testing.T) {
+	var evicted []string
+	ix := New(Options{MaxDocs: 2, OnEvict: func(k string) { evicted = append(evicted, k) }})
+	ix.Add(Document{Key: "a", Text: "small writes degrade bandwidth"})
+	ix.Add(Document{Key: "b", Text: "metadata storms serialize"})
+	if len(evicted) != 0 {
+		t.Fatalf("evicted %v before exceeding the cap", evicted)
+	}
+	ix.Add(Document{Key: "c", Text: "stripe count one causes hotspots"})
+	if len(evicted) != 1 || evicted[0] != "a" {
+		t.Fatalf("evicted = %v, want [a] (oldest first)", evicted)
+	}
+	if ix.Docs() != 2 {
+		t.Errorf("docs = %d after eviction, want 2", ix.Docs())
+	}
+	// Removing then re-adding must not trip the cap.
+	ix.Remove("b")
+	ix.Add(Document{Key: "d", Text: "collective buffering aggregates"})
+	if len(evicted) != 1 {
+		t.Errorf("evicted = %v after remove+add within cap, want just [a]", evicted)
+	}
+}
+
+func TestSaveLoadAfterRemovals(t *testing.T) {
+	ix := New(Options{ChunkSize: 64, Overlap: 8, MaxDocs: 8})
+	ix.Add(Document{Key: "a", Title: "A", Text: docText("collective", "io", "merges", "requests")})
+	ix.Add(Document{Key: "b", Title: "B", Text: docText("metadata", "storms", "serialize")})
+	ix.Add(Document{Key: "c", Title: "C", Text: docText("stripe", "hotspots")})
+	ix.Remove("b")
+
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if back.Len() != ix.Len() || back.Docs() != 2 {
+		t.Fatalf("round trip: %d chunks / %d docs, want %d / 2", back.Len(), back.Docs(), ix.Len())
+	}
+	for _, h := range back.Search("metadata storms", 5) {
+		if h.Chunk.DocKey == "b" {
+			t.Error("removed document resurrected by Save/Load")
+		}
+	}
+	a := ix.Search("collective io", 1)
+	b := back.Search("collective io", 1)
+	if a[0].Chunk.DocKey != b[0].Chunk.DocKey || a[0].Score != b[0].Score {
+		t.Error("search results differ after round trip with removals")
+	}
+	// The cap must survive the round trip: loaded index keeps evicting.
+	for i := 0; i < 10; i++ {
+		back.Add(Document{Key: string(rune('p' + i)), Text: "filler body text"})
+	}
+	if back.Docs() > 8 {
+		t.Errorf("loaded index exceeded persisted MaxDocs: %d docs", back.Docs())
+	}
+}
+
 func TestDeterministicTieBreak(t *testing.T) {
 	ix := New(Options{})
 	ix.Add(Document{Key: "b", Text: "identical text body"})

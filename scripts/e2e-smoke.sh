@@ -3,9 +3,12 @@
 # multi-node cluster layer.
 #
 # Part 1 (single daemon): builds the binaries under the race detector,
-# boots iofleetd on an ephemeral port, and round-trips one TraceBench
-# trace through `ioagent -server` (the internal/fleet/client SDK) on each
-# priority lane.
+# boots iofleetd (with -semcache) on an ephemeral port, round-trips one
+# TraceBench trace through `ioagent -server` (the internal/fleet/client
+# SDK) on each priority lane, then submits a near-duplicate of the same
+# trace (text rendering + one extra metadata line, so the content digest
+# differs) and asserts it is served as a similarity hit citing the
+# original's digest.
 #
 # Part 2 (cluster): boots TWO iofleetd nodes plus iofleet-router, routes
 # both lanes through the router, restarts the router and checks a warm
@@ -51,12 +54,13 @@ go build -race -o "$workdir/iofleetd" ./cmd/iofleetd
 go build -race -o "$workdir/iofleet-router" ./cmd/iofleet-router
 go build -race -o "$workdir/ioagent" ./cmd/ioagent
 go build -o "$workdir/tracebench" ./cmd/tracebench
+go build -o "$workdir/darshan-parser" ./cmd/darshan-parser
 
 echo "== materializing traces"
 "$workdir/tracebench" -out "$workdir/traces" >/dev/null
 
-echo "== [1/2] single daemon: booting iofleetd on an ephemeral port"
-"$workdir/iofleetd" -addr 127.0.0.1:0 -workers 2 2>"$workdir/daemon.log" &
+echo "== [1/2] single daemon: booting iofleetd (-semcache) on an ephemeral port"
+"$workdir/iofleetd" -addr 127.0.0.1:0 -workers 2 -semcache 2>"$workdir/daemon.log" &
 daemon_pid=$!
 pids="$pids $daemon_pid"
 addr=$(wait_addr "$workdir/daemon.log" "$daemon_pid")
@@ -72,9 +76,31 @@ grep -q "I/O" "$workdir/interactive.out" || { echo "interactive diagnosis looks 
 "$workdir/ioagent" -server "http://$addr" -lane batch "$trace" >"$workdir/batch.out"
 grep -q "cache hit" "$workdir/batch.out" || { echo "batch resubmit was not a cache hit:"; cat "$workdir/batch.out"; exit 1; }
 
+echo "== semantic reuse: near-duplicate must be a similarity hit"
+# A text rendering with one extra metadata line: new content digest,
+# identical I/O profile — the shape the similarity cache exists for.
+"$workdir/darshan-parser" "$trace" >"$workdir/neardup.txt"
+printf '# metadata: smoke_variant = neardup\n' >>"$workdir/neardup.txt"
+"$workdir/ioagent" -server "http://$addr" -lane interactive "$workdir/neardup.txt" >"$workdir/neardup.out"
+grep -q "similarity hit" "$workdir/neardup.out" \
+    || { echo "near-duplicate was not served as a similarity hit:"; cat "$workdir/neardup.out"; exit 1; }
+if grep '^=== ' "$workdir/neardup.out" | grep -q ", cache hit"; then
+    echo "similarity hit must not also claim an exact cache hit:"; cat "$workdir/neardup.out"; exit 1
+fi
+# The reused diagnosis must cite the ORIGINAL trace's digest: the jobs
+# list holds exactly one source_digest, and it must equal the digest of
+# one of the other (fresh) jobs.
+jobs_json=$(curl -sf "http://$addr/v1/jobs")
+src=$(printf '%s' "$jobs_json" | sed -n 's/.*"source_digest": *"\([0-9a-f]*\)".*/\1/p' | head -1)
+[ -n "$src" ] || { echo "similarity-hit job carries no source_digest:"; printf '%s\n' "$jobs_json"; exit 1; }
+printf '%s' "$jobs_json" | grep -q "\"digest\": \"$src\"" \
+    || { echo "source_digest $src does not match any diagnosed job's digest:"; printf '%s\n' "$jobs_json"; exit 1; }
+
 echo "== checking Prometheus exposition"
 curl -sf -H 'Accept: text/plain' "http://$addr/metrics" | grep -q '^fleet_jobs_done_total' \
     || { echo "/metrics text exposition missing fleet_jobs_done_total"; exit 1; }
+curl -sf -H 'Accept: text/plain' "http://$addr/metrics" | grep -q '^fleet_semcache_hits_total 1' \
+    || { echo "/metrics exposition missing fleet_semcache_hits_total 1"; exit 1; }
 
 echo "== clean shutdown of the single daemon"
 kill -TERM "$daemon_pid"

@@ -8,8 +8,9 @@
 //	ioagent -server URL[,URL...] [-lane interactive|batch] [-tenant NAME] <trace> [trace ...]
 //	ioagent -server URL -stream [-chunk N] [-lane ...] [-tenant ...] [<trace>|-]
 //
-// Traces may be binary logs (as written by cmd/tracebench) or
-// darshan-parser text. With -interactive, questions are read from stdin
+// Traces may be binary logs (as written by cmd/tracebench),
+// darshan-parser text, or DXT per-operation text renderings
+// ("# DXT trace" first line). With -interactive, questions are read from stdin
 // after the diagnosis prints. With -fleet N, all traces are diagnosed
 // through an N-worker in-process fleet pool (internal/fleet) and each
 // report prints with its job header, followed by the pool metrics. With
@@ -43,6 +44,7 @@ import (
 	"time"
 
 	"ioagent/internal/darshan"
+	"ioagent/internal/dxt"
 	"ioagent/internal/fleet"
 	"ioagent/internal/fleet/api"
 	"ioagent/internal/fleet/client"
@@ -360,7 +362,9 @@ func runStream(baseURL string, lane api.Lane, tenant string, chunkSize int, args
 	fmt.Printf("=== %s (%s) ===\n%s\n", path, header, diag.Text)
 }
 
-// loadTrace reads a binary or text Darshan log.
+// loadTrace reads a binary Darshan log, darshan-parser text, or a DXT
+// per-operation text trace (sniffed by its magic first line and derived
+// through darshan.FromDXT — the same path the fleet ingest takes).
 func loadTrace(path string) (*darshan.Log, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -373,7 +377,15 @@ func loadTrace(path string) (*darshan.Log, error) {
 	if _, err := f.Seek(0, 0); err != nil {
 		return nil, err
 	}
-	return darshan.ParseText(f)
+	br := bufio.NewReader(f)
+	if magic, _ := br.Peek(len(dxt.TextMagic)); string(magic) == dxt.TextMagic {
+		tr, err := dxt.ParseText(br)
+		if err != nil {
+			return nil, err
+		}
+		return darshan.FromDXT(tr), nil
+	}
+	return darshan.ParseText(br)
 }
 
 func check(err error) {

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"ioagent/internal/dxt"
 )
 
 // Binary log codec. The upstream Darshan runtime writes a zlib-compressed
@@ -28,6 +30,12 @@ const binaryMagic = "DSHN"
 // binaryVersion is bumped whenever the on-disk layout changes.
 const binaryVersion uint16 = 2
 
+// binaryVersionDXT marks a log that carries a DXT event-stream section
+// after the module records. Counter-only logs keep writing version 2, so
+// every pre-DXT digest and on-disk cache entry is byte-stable; decoders
+// accept both.
+const binaryVersionDXT uint16 = 3
+
 // Encode writes the log in binary form to w.
 func Encode(w io.Writer, l *Log) error {
 	gz := gzip.NewWriter(w)
@@ -45,8 +53,12 @@ func encodeRaw(w io.Writer, l *Log) error {
 	bw := bufio.NewWriter(w)
 	e := &encoder{w: bw}
 
+	ver := binaryVersion
+	if l.DXT != nil {
+		ver = binaryVersionDXT
+	}
 	e.raw([]byte(binaryMagic))
-	e.u16(binaryVersion)
+	e.u16(ver)
 	e.str(l.Version)
 	e.encodeJob(&l.Job)
 
@@ -61,10 +73,30 @@ func encodeRaw(w io.Writer, l *Log) error {
 			e.encodeRecord(m, r)
 		}
 	}
+	if l.DXT != nil {
+		e.encodeDXT(l.DXT)
+	}
 	if e.err != nil {
 		return e.err
 	}
 	return bw.Flush()
+}
+
+// encodeDXT appends the per-operation event stream (version 3 logs only).
+func (e *encoder) encodeDXT(t *dxt.Trace) {
+	e.i64(int64(t.NProcs))
+	e.u32(uint32(len(t.Events)))
+	for _, ev := range t.Events {
+		e.str(ev.Module)
+		e.i64(int64(ev.Rank))
+		e.u8(uint8(ev.Op))
+		e.i64(int64(ev.Seq))
+		e.i64(ev.Offset)
+		e.i64(ev.Length)
+		e.f64(ev.Start)
+		e.f64(ev.End)
+		e.str(ev.File)
+	}
 }
 
 // Decode reads a binary log from r.
@@ -81,7 +113,7 @@ func Decode(r io.Reader) (*Log, error) {
 		return nil, fmt.Errorf("darshan: bad magic %q", magic)
 	}
 	ver := d.u16()
-	if d.err == nil && ver != binaryVersion {
+	if d.err == nil && ver != binaryVersion && ver != binaryVersionDXT {
 		return nil, fmt.Errorf("darshan: unsupported binary version %d", ver)
 	}
 
@@ -105,11 +137,47 @@ func Decode(r io.Reader) (*Log, error) {
 			md.Records = append(md.Records, r)
 		}
 	}
+	if ver == binaryVersionDXT && d.err == nil {
+		t, err := d.decodeDXT()
+		if err != nil {
+			return nil, err
+		}
+		l.DXT = t
+	}
 	if d.err != nil {
 		return nil, d.err
 	}
 	return l, nil
 }
+
+// decodeDXT reads the version-3 event-stream section.
+func (d *decoder) decodeDXT() (*dxt.Trace, error) {
+	t := &dxt.Trace{NProcs: int(d.i64())}
+	n := int(d.u32())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if n > maxDXTEvents {
+		return nil, fmt.Errorf("darshan: DXT event count %d exceeds limit", n)
+	}
+	t.Events = make([]dxt.Event, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		ev := &t.Events[i]
+		ev.Module = d.str()
+		ev.Rank = int(d.i64())
+		ev.Op = dxt.OpKind(d.u8())
+		ev.Seq = int(d.i64())
+		ev.Offset = d.i64()
+		ev.Length = d.i64()
+		ev.Start = d.f64()
+		ev.End = d.f64()
+		ev.File = d.str()
+	}
+	return t, d.err
+}
+
+// maxDXTEvents guards against corrupt event-count prefixes.
+const maxDXTEvents = 1 << 26
 
 type encoder struct {
 	w   *bufio.Writer

@@ -50,11 +50,24 @@ func quantize(v float64, prec int) float64 {
 // canonicalClone builds the rendering-neutral form ContentDigest hashes:
 // job and records are copied (never mutated in place), floats are
 // quantized, and records with no nonzero counters are dropped.
+//
+// A DXT-carrying log canonicalizes through its event stream alone: the
+// whole counter log is re-derived from the canonical (sorted, %.6f-
+// quantized) events via FromDXT, and whatever job header or records the
+// arriving rendering happened to carry are discarded — the DXT text form
+// has no line for them, so keeping them would split the renderings. The
+// canonical events themselves are part of the hashed stream (encodeRaw
+// writes the version-3 DXT section), so two traces with different events
+// but coincidentally equal derived counters still get distinct addresses.
 func canonicalClone(l *Log) *Log {
+	if l.DXT != nil {
+		l = FromDXT(l.DXT) // private derived log; safe to canonicalize below
+	}
 	clone := &Log{
 		Version: l.Version,
 		Job:     l.Job,
 		Modules: make(map[ModuleID]*ModuleData, len(l.Modules)),
+		DXT:     l.DXT,
 	}
 	clone.Job.RunTime = quantize(l.Job.RunTime, 4)
 	for m, md := range l.Modules {

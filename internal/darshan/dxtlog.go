@@ -1,0 +1,218 @@
+package darshan
+
+import (
+	"sort"
+
+	"ioagent/internal/dxt"
+)
+
+// DXTFileAlignment is the file-alignment boundary assumed when deriving
+// POSIX alignment counters from a DXT event stream. DXT events carry no
+// alignment metadata, so the derivation checks offsets against the page
+// size — the same default the upstream Darshan runtime reports for
+// POSIX_FILE_ALIGNMENT on most POSIX filesystems.
+const DXTFileAlignment = 4096
+
+// FromDXT derives a counter Log from a per-operation DXT event stream and
+// attaches the stream to the result (Log.DXT). The derivation is a pure,
+// deterministic function of the canonical event stream — two renderings of
+// the same events (the darshan-dxt-parser text form, the binary container)
+// derive byte-identical logs, which is what makes ContentDigest
+// rendering-canonical for the DXT modality.
+//
+// The derived counters mirror what the Darshan runtime itself aggregates
+// from the operations it observes: op counts, byte volumes, access-size
+// histograms, sequential/consecutive shares, alignment, per-direction I/O
+// time, and fastest/slowest-rank aggregates on shared files. What DXT does
+// not trace cannot be derived: there are no metadata operations (stats,
+// seeks, syncs), so POSIX_F_META_TIME stays zero and an open is inferred
+// only as "each rank that touched a file opened it once". A metadata storm
+// is therefore invisible in the DXT modality — the modality contract
+// ARCHITECTURE.md documents, and the reason expected scenario labels
+// differ per modality.
+func FromDXT(t *dxt.Trace) *Log {
+	ct := t.Canonical()
+	l := NewLog()
+	l.Job.NProcs = ct.NProcs
+
+	// Bucket events by (module class, file); remember per-rank order to
+	// derive sequential/consecutive counts and rank aggregates.
+	type fileKey struct {
+		mod  ModuleID
+		file string
+	}
+	byFile := map[fileKey][]dxt.Event{}
+	var keys []fileKey
+	for _, e := range ct.Events {
+		if e.Rank+1 > l.Job.NProcs {
+			l.Job.NProcs = e.Rank + 1
+		}
+		if e.End > l.Job.RunTime {
+			l.Job.RunTime = e.End
+		}
+		mod, ok := moduleForDXT(e.Module)
+		if !ok {
+			continue // unknown module spelling: tolerated, not derived
+		}
+		k := fileKey{mod, e.File}
+		if _, seen := byFile[k]; !seen {
+			keys = append(keys, k)
+		}
+		byFile[k] = append(byFile[k], e)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].mod != keys[j].mod {
+			return keys[i].mod < keys[j].mod
+		}
+		return keys[i].file < keys[j].file
+	})
+
+	mpi := false
+	for _, k := range keys {
+		if k.mod == ModuleMPIIO {
+			mpi = true
+		}
+		deriveFileRecord(l, k.mod, k.file, byFile[k])
+	}
+	if mpi {
+		l.Job.Metadata["mpi"] = "1"
+	}
+	l.DXT = ct
+	return l
+}
+
+// moduleForDXT maps a DXT module spelling onto the counter module its
+// derived record lands in.
+func moduleForDXT(m string) (ModuleID, bool) {
+	switch m {
+	case "X_POSIX":
+		return ModulePOSIX, true
+	case "X_MPIIO":
+		return ModuleMPIIO, true
+	case "X_STDIO":
+		return ModuleSTDIO, true
+	}
+	return 0, false
+}
+
+// deriveFileRecord aggregates one file's events into a counter record. A
+// file touched by more than one rank becomes a shared (Rank == SharedRank)
+// aggregate record with fastest/slowest-rank counters, exactly as the
+// Darshan runtime reduces shared files; a single-rank file keeps its rank.
+func deriveFileRecord(l *Log, mod ModuleID, file string, evs []dxt.Event) {
+	ranks := map[int][]dxt.Event{}
+	for _, e := range evs {
+		ranks[e.Rank] = append(ranks[e.Rank], e)
+	}
+	rank := evs[0].Rank
+	if len(ranks) > 1 {
+		rank = SharedRank
+	}
+	r := l.Module(mod).Record(file, rank)
+
+	prefix := mod.String() // "POSIX", "MPIIO", "STDIO"
+	readCounter, writeCounter := prefix+"_READS", prefix+"_WRITES"
+	if mod == ModuleMPIIO {
+		readCounter, writeCounter = "MPIIO_INDEP_READS", "MPIIO_INDEP_WRITES"
+	}
+
+	for _, e := range evs {
+		dur := e.End - e.Start
+		if dur < 0 {
+			dur = 0
+		}
+		if e.Op == dxt.OpRead {
+			r.AddC(readCounter, 1)
+			r.AddC(prefix+"_BYTES_READ", e.Length)
+			r.MaxC(prefix+"_MAX_BYTE_READ", e.Offset+e.Length-1)
+			r.AddF(prefix+"_F_READ_TIME", dur)
+			if mod != ModuleSTDIO {
+				r.AddC(sizeHistName(mod, "READ", e.Length), 1)
+			}
+		} else {
+			r.AddC(writeCounter, 1)
+			r.AddC(prefix+"_BYTES_WRITTEN", e.Length)
+			r.MaxC(prefix+"_MAX_BYTE_WRITTEN", e.Offset+e.Length-1)
+			r.AddF(prefix+"_F_WRITE_TIME", dur)
+			if mod != ModuleSTDIO {
+				r.AddC(sizeHistName(mod, "WRITE", e.Length), 1)
+			}
+		}
+		if mod == ModulePOSIX && e.Offset%DXTFileAlignment != 0 {
+			r.AddC("POSIX_FILE_NOT_ALIGNED", 1)
+		}
+	}
+	if mod == ModulePOSIX {
+		r.SetC("POSIX_FILE_ALIGNMENT", DXTFileAlignment)
+	}
+
+	// Per-rank passes: an open per contributing rank, sequentiality in
+	// per-rank start order, and the shared-file rank aggregates.
+	opensCounter := prefix + "_OPENS"
+	if mod == ModuleMPIIO {
+		opensCounter = "MPIIO_INDEP_OPENS"
+	}
+	rankIDs := make([]int, 0, len(ranks))
+	for rk := range ranks {
+		rankIDs = append(rankIDs, rk)
+	}
+	sort.Ints(rankIDs)
+
+	type rankAgg struct {
+		rank  int
+		bytes int64
+		busy  float64
+	}
+	var fastest, slowest *rankAgg
+	for _, rk := range rankIDs {
+		r.AddC(opensCounter, 1)
+		res := ranks[rk]
+		sort.SliceStable(res, func(i, j int) bool { return res[i].Start < res[j].Start })
+		agg := &rankAgg{rank: rk}
+		prevEnd := map[dxt.OpKind]int64{dxt.OpRead: -1, dxt.OpWrite: -1}
+		for _, e := range res {
+			agg.bytes += e.Length
+			if d := e.End - e.Start; d > 0 {
+				agg.busy += d
+			}
+			if mod == ModulePOSIX {
+				if pe := prevEnd[e.Op]; pe >= 0 {
+					dir := "WRITES"
+					if e.Op == dxt.OpRead {
+						dir = "READS"
+					}
+					if e.Offset >= pe {
+						r.AddC("POSIX_SEQ_"+dir, 1)
+					}
+					if e.Offset == pe {
+						r.AddC("POSIX_CONSEC_"+dir, 1)
+					}
+				}
+				prevEnd[e.Op] = e.Offset + e.Length
+			}
+		}
+		if fastest == nil || agg.busy < fastest.busy {
+			fastest = agg
+		}
+		if slowest == nil || agg.busy > slowest.busy {
+			slowest = agg
+		}
+	}
+	if rank == SharedRank && fastest != nil && slowest != nil {
+		r.SetC(prefix+"_FASTEST_RANK", int64(fastest.rank))
+		r.SetC(prefix+"_FASTEST_RANK_BYTES", fastest.bytes)
+		r.SetC(prefix+"_SLOWEST_RANK", int64(slowest.rank))
+		r.SetC(prefix+"_SLOWEST_RANK_BYTES", slowest.bytes)
+		r.SetF(prefix+"_F_FASTEST_RANK_TIME", fastest.busy)
+		r.SetF(prefix+"_F_SLOWEST_RANK_TIME", slowest.busy)
+	}
+}
+
+// sizeHistName returns the access-size histogram counter for one transfer,
+// e.g. POSIX_SIZE_WRITE_100_1K or MPIIO_SIZE_READ_AGG_1M_4M.
+func sizeHistName(mod ModuleID, op string, n int64) string {
+	if mod == ModuleMPIIO {
+		op += "_AGG"
+	}
+	return mod.String() + "_SIZE_" + op + "_" + sizeBuckets[SizeBucketIndex(n)]
+}

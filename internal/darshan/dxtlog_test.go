@@ -1,0 +1,192 @@
+package darshan
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ioagent/internal/dxt"
+)
+
+// testDXTTrace builds a small mixed-module trace: a shared POSIX file
+// written by two ranks (one aligned, one not), a private MPIIO read, and
+// an unknown-module event that derivation must tolerate.
+func testDXTTrace() *dxt.Trace {
+	return &dxt.Trace{
+		NProcs: 4,
+		Events: []dxt.Event{
+			{Module: "X_POSIX", Rank: 0, File: "/scratch/shared.dat", Op: dxt.OpWrite, Seq: 0, Offset: 0, Length: 4096, Start: 0.010, End: 0.020},
+			{Module: "X_POSIX", Rank: 0, File: "/scratch/shared.dat", Op: dxt.OpWrite, Seq: 1, Offset: 4096, Length: 4096, Start: 0.020, End: 0.025},
+			{Module: "X_POSIX", Rank: 1, File: "/scratch/shared.dat", Op: dxt.OpWrite, Seq: 0, Offset: 9000, Length: 1000, Start: 0.015, End: 0.055},
+			{Module: "X_MPIIO", Rank: 2, File: "/scratch/input.nc", Op: dxt.OpRead, Seq: 0, Offset: 0, Length: 1 << 20, Start: 0.001, End: 0.009},
+			{Module: "X_FUTURE", Rank: 3, File: "/scratch/ignored", Op: dxt.OpWrite, Seq: 0, Offset: 0, Length: 10, Start: 0.001, End: 0.002},
+		},
+	}
+}
+
+func TestFromDXTDerivesCounters(t *testing.T) {
+	l := FromDXT(testDXTTrace())
+
+	if l.Job.NProcs != 4 {
+		t.Errorf("NProcs = %d, want 4", l.Job.NProcs)
+	}
+	if l.Job.Metadata["mpi"] != "1" {
+		t.Error("MPIIO events did not set the mpi metadata flag")
+	}
+	if l.DXT == nil {
+		t.Fatal("derived log does not carry its event stream")
+	}
+
+	// The shared POSIX file: two ranks → one shared aggregate record.
+	pos := l.Module(ModulePOSIX)
+	if len(pos.Records) != 1 {
+		t.Fatalf("POSIX records = %d, want 1 (the unknown module must not derive)", len(pos.Records))
+	}
+	r := pos.Records[0]
+	if r.Rank != SharedRank {
+		t.Errorf("multi-rank file derived rank %d, want shared (%d)", r.Rank, SharedRank)
+	}
+	if got := r.C("POSIX_WRITES"); got != 3 {
+		t.Errorf("POSIX_WRITES = %d, want 3", got)
+	}
+	if got := r.C("POSIX_BYTES_WRITTEN"); got != 9192 {
+		t.Errorf("POSIX_BYTES_WRITTEN = %d, want 9192", got)
+	}
+	// Offsets 0 and 4096 are aligned; 9000 is not.
+	if got := r.C("POSIX_FILE_NOT_ALIGNED"); got != 1 {
+		t.Errorf("POSIX_FILE_NOT_ALIGNED = %d, want 1", got)
+	}
+	if got := r.C("POSIX_FILE_ALIGNMENT"); got != DXTFileAlignment {
+		t.Errorf("POSIX_FILE_ALIGNMENT = %d, want %d", got, DXTFileAlignment)
+	}
+	// Each contributing rank opened the shared file once.
+	if got := r.C("POSIX_OPENS"); got != 2 {
+		t.Errorf("POSIX_OPENS = %d, want 2 (one per touching rank)", got)
+	}
+	// Rank 1's single 40ms op dominates rank 0's 15ms busy time.
+	if got := r.F("POSIX_F_SLOWEST_RANK_TIME"); got < 0.039 || got > 0.041 {
+		t.Errorf("POSIX_F_SLOWEST_RANK_TIME = %v, want ~0.040", got)
+	}
+	if got := r.C("POSIX_SLOWEST_RANK_BYTES"); got != 1000 {
+		t.Errorf("POSIX_SLOWEST_RANK_BYTES = %d, want rank 1's 1000", got)
+	}
+
+	// The MPIIO file: single rank, independent op counters.
+	mp := l.Module(ModuleMPIIO)
+	if len(mp.Records) != 1 {
+		t.Fatalf("MPIIO records = %d, want 1", len(mp.Records))
+	}
+	mr := mp.Records[0]
+	if mr.Rank != 2 {
+		t.Errorf("single-rank MPIIO record rank = %d, want 2", mr.Rank)
+	}
+	if got := mr.C("MPIIO_INDEP_READS"); got != 1 {
+		t.Errorf("MPIIO_INDEP_READS = %d, want 1", got)
+	}
+
+	// What DXT cannot see must stay zero — the modality contract.
+	if got := r.C("POSIX_STATS"); got != 0 {
+		t.Errorf("POSIX_STATS = %d, want 0 (metadata ops are invisible in DXT)", got)
+	}
+	if got := r.F("POSIX_F_META_TIME"); got != 0 {
+		t.Errorf("POSIX_F_META_TIME = %v, want 0", got)
+	}
+}
+
+// TestFromDXTRenderingCanonical: text round trip, in-memory derivation,
+// and binary v3 round trip must all land on one content address.
+func TestFromDXTRenderingCanonical(t *testing.T) {
+	tr := testDXTTrace()
+	l := FromDXT(tr)
+	want, err := ContentDigest(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Text rendering round trip.
+	var txt strings.Builder
+	if err := dxt.WriteText(&txt, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dxt.ParseText(strings.NewReader(txt.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dTxt, err := ContentDigest(FromDXT(back))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dTxt != want {
+		t.Errorf("text-rendering digest %s != in-memory digest %s", dTxt, want)
+	}
+
+	// Binary container round trip (version 3 with the event section).
+	var buf bytes.Buffer
+	if err := Encode(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.DXT == nil {
+		t.Fatal("binary round trip dropped the DXT section")
+	}
+	if len(dec.DXT.Events) != len(l.DXT.Events) {
+		t.Fatalf("binary round trip kept %d events, want %d", len(dec.DXT.Events), len(l.DXT.Events))
+	}
+	dBin, err := ContentDigest(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dBin != want {
+		t.Errorf("binary-rendering digest %s != in-memory digest %s", dBin, want)
+	}
+}
+
+// TestFromDXTEventStreamAddressed: two traces whose derived counters
+// coincide but whose event streams differ must get distinct content
+// addresses — events are hashed, not just the counters derived from them.
+func TestFromDXTEventStreamAddressed(t *testing.T) {
+	a := &dxt.Trace{NProcs: 1, Events: []dxt.Event{
+		{Module: "X_POSIX", Rank: 0, File: "/f", Op: dxt.OpWrite, Seq: 0, Offset: 0, Length: 4096, Start: 0.010, End: 0.020},
+	}}
+	// Same single aligned 4096-byte write, shifted in time: every derived
+	// counter except the carried timestamps is identical.
+	b := &dxt.Trace{NProcs: 1, Events: []dxt.Event{
+		{Module: "X_POSIX", Rank: 0, File: "/f", Op: dxt.OpWrite, Seq: 0, Offset: 0, Length: 4096, Start: 0.030, End: 0.040},
+	}}
+	da, err := ContentDigest(FromDXT(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := ContentDigest(FromDXT(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da == db {
+		t.Error("different event streams collapsed to one content address")
+	}
+}
+
+// TestFromDXTSequentialConsecutive: per-rank, per-direction offset
+// tracking. Rank 0 writes 0→4096 (consecutive) then 10000 (sequential
+// but not consecutive); a separate read at a lower offset must not
+// disturb the write chain.
+func TestFromDXTSequentialConsecutive(t *testing.T) {
+	tr := &dxt.Trace{NProcs: 1, Events: []dxt.Event{
+		{Module: "X_POSIX", Rank: 0, File: "/f", Op: dxt.OpWrite, Seq: 0, Offset: 0, Length: 4096, Start: 0.01, End: 0.02},
+		{Module: "X_POSIX", Rank: 0, File: "/f", Op: dxt.OpRead, Seq: 1, Offset: 100, Length: 10, Start: 0.02, End: 0.03},
+		{Module: "X_POSIX", Rank: 0, File: "/f", Op: dxt.OpWrite, Seq: 2, Offset: 4096, Length: 1000, Start: 0.03, End: 0.04},
+		{Module: "X_POSIX", Rank: 0, File: "/f", Op: dxt.OpWrite, Seq: 3, Offset: 10000, Length: 100, Start: 0.04, End: 0.05},
+	}}
+	r := FromDXT(tr).Module(ModulePOSIX).Records[0]
+	// First write has no predecessor; 4096 continues exactly at 0+4096
+	// (sequential AND consecutive); 10000 jumps forward (sequential only).
+	if got := r.C("POSIX_SEQ_WRITES"); got != 2 {
+		t.Errorf("POSIX_SEQ_WRITES = %d, want 2", got)
+	}
+	if got := r.C("POSIX_CONSEC_WRITES"); got != 1 {
+		t.Errorf("POSIX_CONSEC_WRITES = %d, want 1", got)
+	}
+}

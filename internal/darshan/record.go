@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+
+	"ioagent/internal/dxt"
 )
 
 // SharedRank is the rank value Darshan assigns to records that aggregate a
@@ -104,6 +106,13 @@ type Log struct {
 	Version string // log format version, e.g. "3.41"
 	Job     Job
 	Modules map[ModuleID]*ModuleData
+	// DXT carries the per-operation extended-tracing event stream when the
+	// log arrived as (or was derived from) a DXT rendering. Counter-only
+	// logs leave it nil. Logs that carry it are a distinct trace modality:
+	// their canonical form — the one ContentDigest hashes and Canonical
+	// returns — is derived entirely from the event stream (see FromDXT),
+	// so every rendering of the same events shares one content address.
+	DXT *dxt.Trace
 }
 
 // NewLog returns an empty log with the current format version.
@@ -128,6 +137,7 @@ func (l *Log) ShallowClone() *Log {
 		Version: l.Version,
 		Job:     l.Job,
 		Modules: make(map[ModuleID]*ModuleData, len(l.Modules)),
+		DXT:     l.DXT,
 	}
 	for m, md := range l.Modules {
 		clone.Modules[m] = &ModuleData{

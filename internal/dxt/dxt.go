@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"strconv"
 	"strings"
 )
 
@@ -83,68 +82,22 @@ func WriteText(w io.Writer, t *Trace) error {
 	return bw.Flush()
 }
 
-// ParseText reads a trace written by WriteText.
+// ParseText reads a trace written by WriteText. It is a whole-body
+// wrapper over TextParser, so buffered and chunked decoding of the same
+// bytes agree by construction.
 func ParseText(r io.Reader) (*Trace, error) {
-	t := &Trace{}
+	tp := NewTextParser()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
-	lineno := 0
 	for sc.Scan() {
-		lineno++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
+		if err := tp.ParseLine(sc.Text()); err != nil {
+			return nil, err
 		}
-		if strings.HasPrefix(line, "#") {
-			if strings.HasPrefix(line, "# nprocs:") {
-				n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "# nprocs:")))
-				if err != nil {
-					return nil, fmt.Errorf("dxt: line %d: bad nprocs", lineno)
-				}
-				t.NProcs = n
-			}
-			continue
-		}
-		f := strings.Fields(line)
-		if len(f) != 9 {
-			return nil, fmt.Errorf("dxt: line %d: expected 9 fields, got %d", lineno, len(f))
-		}
-		var e Event
-		e.Module = f[0]
-		var err error
-		if e.Rank, err = strconv.Atoi(f[1]); err != nil {
-			return nil, fmt.Errorf("dxt: line %d: bad rank", lineno)
-		}
-		switch f[2] {
-		case "read":
-			e.Op = OpRead
-		case "write":
-			e.Op = OpWrite
-		default:
-			return nil, fmt.Errorf("dxt: line %d: bad op %q", lineno, f[2])
-		}
-		if e.Seq, err = strconv.Atoi(f[3]); err != nil {
-			return nil, fmt.Errorf("dxt: line %d: bad segment", lineno)
-		}
-		if e.Offset, err = strconv.ParseInt(f[4], 10, 64); err != nil {
-			return nil, fmt.Errorf("dxt: line %d: bad offset", lineno)
-		}
-		if e.Length, err = strconv.ParseInt(f[5], 10, 64); err != nil {
-			return nil, fmt.Errorf("dxt: line %d: bad length", lineno)
-		}
-		if e.Start, err = strconv.ParseFloat(f[6], 64); err != nil {
-			return nil, fmt.Errorf("dxt: line %d: bad start", lineno)
-		}
-		if e.End, err = strconv.ParseFloat(f[7], 64); err != nil {
-			return nil, fmt.Errorf("dxt: line %d: bad end", lineno)
-		}
-		e.File = f[8]
-		t.Events = append(t.Events, e)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	return t, nil
+	return tp.Trace(), nil
 }
 
 // RankTimeline summarizes one rank's activity.

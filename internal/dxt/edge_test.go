@@ -1,0 +1,150 @@
+package dxt
+
+import (
+	"math"
+	"testing"
+)
+
+// ev builds a minimal event for analytics edge tests.
+func ev(rank int, start, end float64, length int64) Event {
+	return Event{Module: "X_POSIX", Rank: rank, File: "/f", Op: OpWrite, Length: length, Start: start, End: end}
+}
+
+func TestBurstsEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		events []Event
+		maxGap float64
+		minOps int
+		want   []Burst
+	}{
+		{
+			name:   "empty trace",
+			events: nil,
+			maxGap: 0.050,
+			minOps: 1,
+			want:   nil,
+		},
+		{
+			name:   "single op kept at minOps 1",
+			events: []Event{ev(0, 0.10, 0.20, 512)},
+			maxGap: 0.050,
+			minOps: 1,
+			want:   []Burst{{Start: 0.10, End: 0.20, Ops: 1, Bytes: 512}},
+		},
+		{
+			name:   "single op dropped below minOps",
+			events: []Event{ev(0, 0.10, 0.20, 512)},
+			maxGap: 0.050,
+			minOps: 2,
+			want:   nil,
+		},
+		{
+			// Zero maxGap still merges back-to-back ops (gap == 0 is
+			// within the gap budget) but splits on any positive gap.
+			name: "zero maxGap splits on any positive gap",
+			events: []Event{
+				ev(0, 0.00, 0.10, 100),
+				ev(0, 0.10, 0.20, 100), // starts exactly at previous end: merged
+				ev(0, 0.21, 0.30, 100), // 10ms gap: new burst
+			},
+			maxGap: 0,
+			minOps: 1,
+			want: []Burst{
+				{Start: 0.00, End: 0.20, Ops: 2, Bytes: 200},
+				{Start: 0.21, End: 0.30, Ops: 1, Bytes: 100},
+			},
+		},
+		{
+			// An event fully inside the current burst's span must not
+			// shrink the burst end.
+			name: "nested event keeps burst end",
+			events: []Event{
+				ev(0, 0.00, 0.50, 100),
+				ev(1, 0.10, 0.20, 100),
+			},
+			maxGap: 0,
+			minOps: 1,
+			want:   []Burst{{Start: 0.00, End: 0.50, Ops: 2, Bytes: 200}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := &Trace{NProcs: 2, Events: tc.events}
+			got := tr.Bursts(tc.maxGap, tc.minOps)
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d bursts %+v, want %d %+v", len(got), got, len(tc.want), tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("burst %d = %+v, want %+v", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestStragglerRankEdgeCases(t *testing.T) {
+	cases := []struct {
+		name      string
+		events    []Event
+		wantRank  int
+		wantRatio float64
+	}{
+		{
+			name:      "empty trace",
+			events:    nil,
+			wantRank:  0,
+			wantRatio: 0,
+		},
+		{
+			name:      "single op single rank",
+			events:    []Event{ev(3, 0.0, 1.0, 100)},
+			wantRank:  0, // fewer than two ranks: no straggler signal
+			wantRatio: 0,
+		},
+		{
+			name: "all one rank",
+			events: []Event{
+				ev(2, 0.0, 1.0, 100),
+				ev(2, 1.0, 5.0, 100),
+				ev(2, 5.0, 6.0, 100),
+			},
+			wantRank:  0,
+			wantRatio: 0,
+		},
+		{
+			// Two ranks with zero-duration ops: mean busy time is zero,
+			// so the ratio is defined as 0 rather than a division blowup.
+			name: "zero busy time across ranks",
+			events: []Event{
+				ev(0, 1.0, 1.0, 100),
+				ev(1, 2.0, 2.0, 100),
+			},
+			wantRank:  0,
+			wantRatio: 0,
+		},
+		{
+			// Busy times 1s and 3s: mean 2s, slowest is rank 1 at 1.5x.
+			name: "skewed ranks",
+			events: []Event{
+				ev(0, 0.0, 1.0, 100),
+				ev(1, 0.0, 3.0, 100),
+			},
+			wantRank:  1,
+			wantRatio: 1.5,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := &Trace{NProcs: 4, Events: tc.events}
+			rank, ratio := tr.StragglerRank()
+			if rank != tc.wantRank {
+				t.Fatalf("straggler rank = %d, want %d", rank, tc.wantRank)
+			}
+			if math.Abs(ratio-tc.wantRatio) > 1e-12 {
+				t.Fatalf("straggler ratio = %v, want %v", ratio, tc.wantRatio)
+			}
+		})
+	}
+}

@@ -1,0 +1,127 @@
+package dxt
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TextMagic is the first line of every DXT text rendering. Ingest layers
+// sniff it to select this codec, the same way the gzip magic selects the
+// binary Darshan codec.
+const TextMagic = "# DXT trace"
+
+// TextParser is the incremental core of ParseText: it consumes a DXT text
+// rendering one complete line at a time and accumulates the decoded Trace
+// as it goes, so streaming callers (the fleet's ingest parser) can decode
+// chunked uploads without buffering the body. Feeding the same lines in
+// the same order always yields the same Trace as a whole-body ParseText —
+// ParseText is itself implemented on top of this type.
+type TextParser struct {
+	trace  *Trace
+	lineno int
+}
+
+// NewTextParser returns a parser accumulating into an empty Trace.
+func NewTextParser() *TextParser {
+	return &TextParser{trace: &Trace{}}
+}
+
+// ParseLine consumes one complete input line (without its trailing
+// newline). Blank lines are skipped; errors name the 1-based line number.
+func (tp *TextParser) ParseLine(raw string) error {
+	tp.lineno++
+	line := strings.TrimSpace(raw)
+	if line == "" {
+		return nil
+	}
+	if strings.HasPrefix(line, "#") {
+		if strings.HasPrefix(line, "# nprocs:") {
+			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "# nprocs:")))
+			if err != nil {
+				return fmt.Errorf("dxt: line %d: bad nprocs", tp.lineno)
+			}
+			tp.trace.NProcs = n
+		}
+		return nil
+	}
+	f := strings.Fields(line)
+	if len(f) != 9 {
+		return fmt.Errorf("dxt: line %d: expected 9 fields, got %d", tp.lineno, len(f))
+	}
+	var e Event
+	e.Module = f[0]
+	var err error
+	if e.Rank, err = strconv.Atoi(f[1]); err != nil {
+		return fmt.Errorf("dxt: line %d: bad rank", tp.lineno)
+	}
+	switch f[2] {
+	case "read":
+		e.Op = OpRead
+	case "write":
+		e.Op = OpWrite
+	default:
+		return fmt.Errorf("dxt: line %d: bad op %q", tp.lineno, f[2])
+	}
+	if e.Seq, err = strconv.Atoi(f[3]); err != nil {
+		return fmt.Errorf("dxt: line %d: bad segment", tp.lineno)
+	}
+	if e.Offset, err = strconv.ParseInt(f[4], 10, 64); err != nil {
+		return fmt.Errorf("dxt: line %d: bad offset", tp.lineno)
+	}
+	if e.Length, err = strconv.ParseInt(f[5], 10, 64); err != nil {
+		return fmt.Errorf("dxt: line %d: bad length", tp.lineno)
+	}
+	if e.Start, err = strconv.ParseFloat(f[6], 64); err != nil {
+		return fmt.Errorf("dxt: line %d: bad start", tp.lineno)
+	}
+	if e.End, err = strconv.ParseFloat(f[7], 64); err != nil {
+		return fmt.Errorf("dxt: line %d: bad end", tp.lineno)
+	}
+	e.File = f[8]
+	tp.trace.Events = append(tp.trace.Events, e)
+	return nil
+}
+
+// Lines returns the number of lines consumed so far (blank lines
+// included).
+func (tp *TextParser) Lines() int { return tp.lineno }
+
+// Trace returns the accumulated trace. It is live: further ParseLine
+// calls keep mutating it, so streaming callers may inspect it mid-parse
+// but must stop feeding before handing it off.
+func (tp *TextParser) Trace() *Trace { return tp.trace }
+
+// Canonical returns the rendering-neutral form of a trace: a private
+// clone whose events are in canonical (start, rank, seq) order with the
+// timestamps quantized through the text precision (%.6f — WriteText's
+// format). A trace that round-trips through WriteText/ParseText and one
+// that never left memory canonicalize to identical contents, which is the
+// property darshan.ContentDigest builds on for DXT-carrying logs. The
+// receiver is never mutated.
+func (t *Trace) Canonical() *Trace {
+	c := &Trace{
+		NProcs: t.NProcs,
+		Events: append([]Event(nil), t.Events...),
+	}
+	for i := range c.Events {
+		c.Events[i].Start = quantizeTS(c.Events[i].Start)
+		c.Events[i].End = quantizeTS(c.Events[i].End)
+	}
+	c.Sort()
+	return c
+}
+
+// quantizeTS rounds a timestamp through the %.6f text precision, so both
+// renderings of one value land on the same float64.
+func quantizeTS(v float64) float64 {
+	q, _ := strconv.ParseFloat(strconv.FormatFloat(v, 'f', 6, 64), 64)
+	return q
+}
+
+// TextString renders the trace as a string (WriteText convenience).
+func TextString(t *Trace) string {
+	var b strings.Builder
+	_ = WriteText(&b, t)
+	return b.String()
+}

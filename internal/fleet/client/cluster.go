@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"ioagent/internal/darshan"
+	"ioagent/internal/dxt"
 	"ioagent/internal/fleet/api"
 	"ioagent/internal/fleet/ring"
 )
@@ -32,6 +33,12 @@ func RouteKey(trace []byte) string {
 	if log, err := darshan.Decode(bytes.NewReader(trace)); err == nil {
 		if cd, derr := darshan.ContentDigest(log); derr == nil {
 			return cd
+		}
+	} else if bytes.HasPrefix(trace, []byte(dxt.TextMagic)) {
+		if t, derr := dxt.ParseText(bytes.NewReader(trace)); derr == nil {
+			if cd, cerr := darshan.ContentDigest(darshan.FromDXT(t)); cerr == nil {
+				return cd
+			}
 		}
 	} else if log, terr := darshan.ParseText(bytes.NewReader(trace)); terr == nil {
 		if cd, derr := darshan.ContentDigest(log); derr == nil {

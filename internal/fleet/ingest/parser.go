@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"ioagent/internal/darshan"
+	"ioagent/internal/dxt"
 )
 
 // ErrTooLarge marks a trace that exceeded the parser's byte bound. The
@@ -30,17 +31,21 @@ type Stats struct {
 	Modules int
 	// Binary reports the sniffed rendering; meaningful once Decided.
 	Binary bool
+	// DXT reports that the sniffed rendering is a DXT per-operation text
+	// trace (dxt.TextMagic); meaningful once Decided.
+	DXT bool
 	// Decided reports whether enough bytes arrived to sniff the
-	// rendering (two suffice).
+	// rendering (at most len(dxt.TextMagic) are held).
 	Decided bool
 }
 
-// Parser decodes one Darshan trace incrementally from arbitrarily
-// chunked writes. The rendering is sniffed from the first two bytes:
-// the gzip magic selects the binary codec (which must buffer — the
-// container only decodes whole), anything else streams through the
-// line-oriented darshan-parser text parser, starting module and counter
-// pre-processing before the body has finished arriving.
+// Parser decodes one trace incrementally from arbitrarily chunked
+// writes. The rendering is sniffed from the first few bytes: the gzip
+// magic selects the binary codec (which must buffer — the container only
+// decodes whole); the dxt.TextMagic prefix selects the line-oriented DXT
+// per-operation parser; anything else streams through the line-oriented
+// darshan-parser text parser. Both text modes start pre-processing
+// before the body has finished arriving.
 //
 // Write any number of times, then Finish exactly once. A Parser is not
 // safe for concurrent use; upload sessions serialize access to theirs.
@@ -51,8 +56,10 @@ type Parser struct {
 	sniff   []byte // first bytes held until the rendering is decided
 	decided bool
 	binary  bool
+	dxtMode bool
 
 	lp    *darshan.LineParser
+	dlp   *dxt.TextParser
 	carry []byte // trailing partial text line awaiting its newline
 
 	bin bytes.Buffer // binary mode: the whole (bounded) body
@@ -82,16 +89,11 @@ func (p *Parser) Write(b []byte) (int, error) {
 
 	if !p.decided {
 		p.sniff = append(p.sniff, b...)
-		if len(p.sniff) < 2 {
+		if !p.decide() {
 			return len(b), nil // cannot sniff yet; hold and wait
 		}
-		p.decided = true
-		p.binary = p.sniff[0] == 0x1f && p.sniff[1] == 0x8b // gzip magic
 		held := p.sniff
 		p.sniff = nil
-		if !p.binary {
-			p.lp = darshan.NewLineParser()
-		}
 		if err := p.feed(held); err != nil {
 			p.err = err
 			return 0, err
@@ -103,6 +105,32 @@ func (p *Parser) Write(b []byte) (int, error) {
 		return 0, err
 	}
 	return len(b), nil
+}
+
+// decide sniffs the rendering from the held bytes, returning false while
+// more bytes are needed. Two bytes settle binary-vs-text; the DXT text
+// rendering is only distinguishable from darshan-parser text once the
+// held bytes diverge from (or complete) the dxt.TextMagic prefix.
+func (p *Parser) decide() bool {
+	magic := []byte(dxt.TextMagic)
+	if len(p.sniff) >= 2 && p.sniff[0] == 0x1f && p.sniff[1] == 0x8b { // gzip magic
+		p.decided, p.binary = true, true
+		return true
+	}
+	if len(p.sniff) < 2 {
+		return false
+	}
+	switch {
+	case bytes.HasPrefix(p.sniff, magic):
+		p.decided, p.dxtMode = true, true
+		p.dlp = dxt.NewTextParser()
+	case bytes.HasPrefix(magic, p.sniff):
+		return false // still a prefix of the DXT magic; hold and wait
+	default:
+		p.decided = true
+		p.lp = darshan.NewLineParser()
+	}
+	return true
 }
 
 func (p *Parser) feed(b []byte) error {
@@ -122,7 +150,7 @@ func (p *Parser) feed(b []byte) error {
 		}
 		// ParseLine trims whitespace, so a trailing \r (CRLF input) is
 		// handled there.
-		if err := p.lp.ParseLine(string(data[:i])); err != nil {
+		if err := p.parseLine(string(data[:i])); err != nil {
 			return err
 		}
 		data = data[i+1:]
@@ -136,12 +164,23 @@ func (p *Parser) feed(b []byte) error {
 	return nil
 }
 
+// parseLine routes one complete line to the active text-mode parser.
+func (p *Parser) parseLine(line string) error {
+	if p.dxtMode {
+		return p.dlp.ParseLine(line)
+	}
+	return p.lp.ParseLine(line)
+}
+
 // Stats reports progress so far.
 func (p *Parser) Stats() Stats {
-	s := Stats{Bytes: p.n, Binary: p.binary, Decided: p.decided}
+	s := Stats{Bytes: p.n, Binary: p.binary, DXT: p.dxtMode, Decided: p.decided}
 	if p.lp != nil {
 		s.Lines = int64(p.lp.Lines())
 		s.Modules = len(p.lp.Log().ModuleList())
+	}
+	if p.dlp != nil {
+		s.Lines = int64(p.dlp.Lines())
 	}
 	return s
 }
@@ -175,6 +214,18 @@ func (p *Parser) Finish() (*darshan.Log, string, error) {
 			p.err = err
 			return nil, "", err
 		}
+	case p.dxtMode:
+		if len(p.carry) > 0 {
+			if err := p.dlp.ParseLine(string(p.carry)); err != nil {
+				p.err = err
+				return nil, "", err
+			}
+			p.carry = nil
+		}
+		// The counter log is derived from the event stream; an event
+		// stream naming no known module derives no modules and falls
+		// into the uniform "no module data" rejection below.
+		log = darshan.FromDXT(p.dlp.Trace())
 	default:
 		if len(p.carry) > 0 {
 			if err := p.lp.ParseLine(string(p.carry)); err != nil {

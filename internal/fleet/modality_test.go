@@ -1,0 +1,107 @@
+package fleet
+
+import (
+	"testing"
+
+	"ioagent/internal/darshan"
+	"ioagent/internal/iosim"
+	"ioagent/internal/llm"
+)
+
+// fenceWorkload builds the same deterministic tiny-write workload twice:
+// once as a counter-only Darshan log and once as the counter view derived
+// from its DXT per-operation stream. The two sit very close in feature
+// space — same workload, same drishti labels — which is exactly the
+// near-duplicate shape the similarity cache would reuse across if the
+// modality fence did not exist.
+func fenceWorkload(enableDXT bool) *iosim.Sim {
+	s := iosim.New(iosim.Config{Seed: 77, NProcs: 4, EnableDXT: enableDXT})
+	iosim.FilePerProcessWrite(s, "/scratch/fence.%d", iosim.POSIX, nil, 256<<10, 3000)
+	return s
+}
+
+// TestCrossModalityFenceBlocksReuse: a DXT-rendered trace must never be
+// served a diagnosis produced from Darshan counters via a similarity hit,
+// and vice versa. The thresholds are set so that NOTHING except the fence
+// stands between the candidate and reuse — any candidate passes the
+// similarity prefilter and the gate — so a similarity hit here can only
+// mean the fence failed.
+func TestCrossModalityFenceBlocksReuse(t *testing.T) {
+	cfg := semConfig(2)
+	cfg.SimThreshold = 0.0001  // every candidate reaches the fence
+	cfg.GateThreshold = 0.0001 // and would pass the gate
+	p := New(llm.NewSim(), cfg)
+	defer p.Close()
+
+	counterLog := fenceWorkload(false).Finalize()
+	dxtLog := darshan.FromDXT(fenceWorkload(true).DXT())
+
+	j1, err := p.Submit(counterLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := p.Submit(dxtLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	info := j2.Info()
+	if j2.Digest() == j1.Digest() {
+		t.Fatal("counter and DXT renderings collapsed to one digest; test premise broken")
+	}
+	if info.CacheHit {
+		t.Fatal("DXT trace exact-hit the counter trace's cache entry")
+	}
+	if info.SimilarityHit {
+		t.Fatalf("cross-modality fence breached: DXT trace served a Darshan-counter diagnosis (source %.12s)", info.SourceDigest)
+	}
+
+	// Control: under these same thresholds, a same-modality near-duplicate
+	// IS reused — proving the fence (not the thresholds) blocked j2.
+	j3, err := p.Submit(nearDuplicate(t, counterLog, "fence"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j3.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	info3 := j3.Info()
+	if !info3.SimilarityHit {
+		t.Fatalf("same-modality near-duplicate was not reused under open thresholds: %+v", info3)
+	}
+	if info3.SourceDigest != j1.Digest() {
+		t.Errorf("control reuse source = %.12s, want the counter log %.12s (not the DXT entry)", info3.SourceDigest, j1.Digest())
+	}
+
+	// And the symmetric direction: a DXT near-duplicate (timestamps
+	// nudged by one text-precision quantum, so the digest differs) must
+	// reuse the DXT entry, never the counter one.
+	shifted := fenceWorkload(true).DXT()
+	for i := range shifted.Events {
+		shifted.Events[i].Start += 2e-6
+		shifted.Events[i].End += 2e-6
+	}
+	j4, err := p.Submit(darshan.FromDXT(shifted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j4.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	info4 := j4.Info()
+	if j4.Digest() == j2.Digest() {
+		t.Fatal("timestamp-shifted DXT trace collapsed to the same digest; test premise broken")
+	}
+	if !info4.SimilarityHit {
+		t.Fatalf("DXT near-duplicate was not reused from the DXT entry: %+v", info4)
+	}
+	if info4.SourceDigest != j2.Digest() {
+		t.Errorf("DXT reuse source = %.12s, want the DXT entry %.12s (not the counter one)", info4.SourceDigest, j2.Digest())
+	}
+}

@@ -25,6 +25,14 @@ func (p *Pool) semanticReuse(log *darshan.Log, features string) (res *ioagent.Re
 		if cand.Score < p.cfg.SimThreshold {
 			break // candidates are best-first; the rest are even farther
 		}
+		if semcache.Modality(cand.Features) != semcache.Modality(features) {
+			// Cross-modality fence: a DXT per-operation trace must never
+			// be served a diagnosis produced from Darshan counters (or
+			// vice versa), however close the derived profiles sit — the
+			// evidence classes differ, so the cached reasoning does not
+			// transfer. Skipped before any gate spend.
+			continue
+		}
 		cached, live := p.cache.Get(cand.Digest)
 		if !live {
 			// The source diagnosis expired between eviction hook and

@@ -22,6 +22,7 @@ import (
 
 	"ioagent/internal/darshan"
 	"ioagent/internal/drishti"
+	"ioagent/internal/dxt"
 )
 
 // FeatureText renders a trace as a deterministic feature token stream. Two
@@ -44,10 +45,36 @@ func FeatureText(log *darshan.Log) string {
 	c := darshan.Canonical(log)
 	var toks []string
 
+	// Modality first: a counter-only Darshan log and a DXT per-operation
+	// trace are different evidence classes even when their derived
+	// counter profiles coincide, and the fleet's reuse fence keys off
+	// this leading token (see Modality).
+	toks = append(toks, modalityToken(c))
+
 	// Job shape: scale buckets for process count and runtime.
 	toks = append(toks,
 		fmt.Sprintf("nprocsb%d", magnitude(float64(c.Job.NProcs))),
 		fmt.Sprintf("runtimeb%d", magnitude(c.Job.RunTime)))
+
+	// DXT temporal surfaces: burst structure, straggler signal, and the
+	// read/write timeline mix — the per-operation evidence counters
+	// cannot carry. Derived from the canonical event stream, so every
+	// rendering of one trace tokenizes identically.
+	if c.DXT != nil {
+		t := c.DXT
+		reads := 0
+		for _, e := range t.Events {
+			if e.Op == dxt.OpRead {
+				reads++
+			}
+		}
+		_, ratio := t.StragglerRank()
+		toks = append(toks,
+			fmt.Sprintf("dxteventsm%d", magnitude(float64(len(t.Events)))),
+			fmt.Sprintf("dxtburstsm%d", magnitude(float64(len(t.Bursts(0.050, 8))))),
+			fmt.Sprintf("dxtstragglerx%d", int(ratio)),
+			fmt.Sprintf("dxtreadmixp%d", int(10*float64(reads)/float64(maxInt(len(t.Events), 1)))))
+	}
 
 	// Module mix, in canonical module order.
 	for _, m := range c.ModuleList() {
@@ -82,6 +109,36 @@ func FeatureText(log *darshan.Log) string {
 	}
 
 	return strings.Join(toks, " ")
+}
+
+// Modality names the trace modality encoded in a feature text:
+// "dxt" for per-operation extended-tracing streams, "darshan" for
+// counter-only logs. It reads the leading modality token FeatureText
+// emits, so it works on both fresh and persisted feature strings;
+// feature texts from before the modality token default to "darshan"
+// (the only modality that existed then).
+func Modality(features string) string {
+	const prefix = "modality"
+	tok, _, _ := strings.Cut(features, " ")
+	if strings.HasPrefix(tok, prefix) {
+		return tok[len(prefix):]
+	}
+	return "darshan"
+}
+
+// modalityToken renders the leading modality token for a canonical log.
+func modalityToken(c *darshan.Log) string {
+	if c.DXT != nil {
+		return "modalitydxt"
+	}
+	return "modalitydarshan"
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // counterToken renders one summed counter as a single embeddable token,

@@ -14,6 +14,10 @@ type Candidate struct {
 	Digest string
 	// Score is the cosine similarity of the feature vectors in [-1, 1].
 	Score float64
+	// Features is the candidate's stored feature text; its leading token
+	// carries the trace modality (see Modality), which the pool's reuse
+	// fence compares against the query's before any gate spend.
+	Features string
 }
 
 // Entry is the persisted form of one indexed trace, exported for snapshot
@@ -79,11 +83,15 @@ func (s *Index) Remove(digest string) {
 func (s *Index) Lookup(features string, k int) []Candidate {
 	s.mu.Lock()
 	hits := s.ix.Search(features, k)
-	s.mu.Unlock()
 	out := make([]Candidate, 0, len(hits))
 	for _, h := range hits {
-		out = append(out, Candidate{Digest: h.Chunk.DocKey, Score: h.Score})
+		out = append(out, Candidate{
+			Digest:   h.Chunk.DocKey,
+			Score:    h.Score,
+			Features: s.features[h.Chunk.DocKey],
+		})
 	}
+	s.mu.Unlock()
 	return out
 }
 

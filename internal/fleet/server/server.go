@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"ioagent/internal/darshan"
+	"ioagent/internal/dxt"
 	"ioagent/internal/fleet"
 	"ioagent/internal/fleet/api"
 	"ioagent/internal/fleet/ingest"
@@ -558,7 +559,8 @@ func WantsText(r *http.Request) bool {
 }
 
 // decodeTrace reads the request body as a binary Darshan log, falling
-// back to darshan-parser text. Bodies over maxBody are refused with
+// back to a DXT per-operation text trace (dxt.TextMagic) and then to
+// darshan-parser text. Bodies over maxBody are refused with
 // api.CodeTraceTooLarge naming the configured limit.
 func decodeTrace(w http.ResponseWriter, r *http.Request, maxBody int64) (*darshan.Log, *api.Error) {
 	var buf bytes.Buffer
@@ -573,13 +575,22 @@ func decodeTrace(w http.ResponseWriter, r *http.Request, maxBody int64) (*darsha
 	}
 	trace, err := darshan.Decode(bytes.NewReader(buf.Bytes()))
 	if err != nil {
-		var terr error
-		trace, terr = darshan.ParseText(bytes.NewReader(buf.Bytes()))
-		if terr != nil {
-			// Both decoders' detail stays server-side, where the operator
-			// debugging a client's bad_trace loop can see it.
-			log.Printf("iofleetd: undecodable trace from %s: binary: %v; text: %v", r.RemoteAddr, err, terr)
-			return nil, api.Errorf(api.CodeBadTrace, "body is neither a binary Darshan log nor darshan-parser text")
+		if bytes.HasPrefix(buf.Bytes(), []byte(dxt.TextMagic)) {
+			t, derr := dxt.ParseText(bytes.NewReader(buf.Bytes()))
+			if derr != nil {
+				log.Printf("iofleetd: undecodable DXT trace from %s: %v", r.RemoteAddr, derr)
+				return nil, api.Errorf(api.CodeBadTrace, "body carries the DXT magic but is not a valid DXT text trace")
+			}
+			trace = darshan.FromDXT(t)
+		} else {
+			var terr error
+			trace, terr = darshan.ParseText(bytes.NewReader(buf.Bytes()))
+			if terr != nil {
+				// Both decoders' detail stays server-side, where the operator
+				// debugging a client's bad_trace loop can see it.
+				log.Printf("iofleetd: undecodable trace from %s: binary: %v; text: %v", r.RemoteAddr, err, terr)
+				return nil, api.Errorf(api.CodeBadTrace, "body is neither a binary Darshan log nor darshan-parser text")
+			}
 		}
 	}
 	// An empty or header-only body parses as a log with no modules; reject

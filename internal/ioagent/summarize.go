@@ -51,7 +51,43 @@ func Summarize(log *darshan.Log) []*Fragment {
 			frags = append(frags, frag)
 		}
 	}
+	if log.DXT != nil {
+		frag := dxtFragment(log)
+		for k, v := range ctx {
+			if _, exists := frag.Data[k]; !exists {
+				frag.Data[k] = v
+			}
+		}
+		frags = append(frags, frag)
+	}
 	return frags
+}
+
+// dxtFragment renders the per-operation extended-tracing evidence as one
+// summary fragment: numeric temporal surfaces (event count, burst
+// structure, straggler ratio) plus the compact dxt.Summary prose, so the
+// describe/diagnose prompts see the timeline the aggregate counters
+// cannot carry.
+func dxtFragment(log *darshan.Log) *Fragment {
+	t := log.DXT
+	var span float64
+	for _, tl := range t.Timelines() {
+		if tl.Last > span {
+			span = tl.Last
+		}
+	}
+	_, ratio := t.StragglerRank()
+	return &Fragment{
+		Module:   darshan.ModulePOSIX,
+		Category: "dxt_temporal",
+		Data: map[string]float64{
+			"dxt_events":          float64(len(t.Events)),
+			"dxt_bursts":          float64(len(t.Bursts(0.050, 8))),
+			"dxt_straggler_ratio": ratio,
+			"dxt_span_seconds":    span,
+		},
+		Strs: map[string]string{"dxt_summary": t.Summary()},
+	}
 }
 
 // jobContext computes the application-wide context included in every

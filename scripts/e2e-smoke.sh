@@ -8,7 +8,9 @@
 # SDK) on each priority lane, then submits a near-duplicate of the same
 # trace (text rendering + one extra metadata line, so the content digest
 # differs) and asserts it is served as a similarity hit citing the
-# original's digest.
+# original's digest. It then submits one scenario workload in both trace
+# modalities (binary counter log, DXT per-operation text) and asserts the
+# DXT rendering is diagnosed fresh — the cross-modality fence.
 #
 # Part 2 (cluster): boots TWO iofleetd nodes plus iofleet-router, routes
 # both lanes through the router, restarts the router and checks a warm
@@ -55,6 +57,7 @@ go build -race -o "$workdir/iofleet-router" ./cmd/iofleet-router
 go build -race -o "$workdir/ioagent" ./cmd/ioagent
 go build -o "$workdir/tracebench" ./cmd/tracebench
 go build -o "$workdir/darshan-parser" ./cmd/darshan-parser
+go build -o "$workdir/fleetbench" ./cmd/fleetbench
 
 echo "== materializing traces"
 "$workdir/tracebench" -out "$workdir/traces" >/dev/null
@@ -101,6 +104,23 @@ curl -sf -H 'Accept: text/plain' "http://$addr/metrics" | grep -q '^fleet_jobs_d
     || { echo "/metrics text exposition missing fleet_jobs_done_total"; exit 1; }
 curl -sf -H 'Accept: text/plain' "http://$addr/metrics" | grep -q '^fleet_semcache_hits_total 1' \
     || { echo "/metrics exposition missing fleet_semcache_hits_total 1"; exit 1; }
+
+echo "== cross-modality fence: DXT rendering must never reuse a counter diagnosis"
+# The same adversarial workload in both modalities: the binary counter log
+# and the DXT per-operation text rendering. Their derived profiles sit
+# close in feature space, but the evidence classes differ — the DXT
+# submission must be diagnosed fresh, never served via similarity hit.
+"$workdir/fleetbench" -dump "$workdir/scenarios" -dump-only
+"$workdir/ioagent" -server "http://$addr" -lane interactive "$workdir/scenarios/tiny-unaligned-writes.trace" >"$workdir/mod-darshan.out"
+grep -q "I/O" "$workdir/mod-darshan.out" || { echo "darshan-modality scenario diagnosis looks empty:"; cat "$workdir/mod-darshan.out"; exit 1; }
+"$workdir/ioagent" -server "http://$addr" -lane interactive "$workdir/scenarios/tiny-unaligned-writes-dxt.trace" >"$workdir/mod-dxt.out"
+grep -q "I/O" "$workdir/mod-dxt.out" || { echo "DXT-modality scenario diagnosis looks empty:"; cat "$workdir/mod-dxt.out"; exit 1; }
+if grep '^=== ' "$workdir/mod-dxt.out" | grep -q "similarity hit"; then
+    echo "cross-modality fence breached: DXT trace served a counter diagnosis:"; cat "$workdir/mod-dxt.out"; exit 1
+fi
+if grep '^=== ' "$workdir/mod-dxt.out" | grep -q ", cache hit"; then
+    echo "DXT rendering collapsed onto the counter digest:"; cat "$workdir/mod-dxt.out"; exit 1
+fi
 
 echo "== clean shutdown of the single daemon"
 kill -TERM "$daemon_pid"

@@ -26,6 +26,8 @@
 //	         [-semcache] [-sim-threshold 0.85] [-gate-model NAME]
 //	         [-tier-models M1,M2,...] [-tier-threshold 0.6] [-tier-budget 0]
 //	         [-state-dir DIR] [-snapshot-interval 30s] [-fsync always|batch|off]
+//	         [-knowledge] [-knowledge-members N1,N2,...] [-knowledge-replicas 2]
+//	         [-knowledge-state DIR] [-ann] [-rerank-model NAME]
 //
 // -semcache turns on semantic result reuse: each diagnosed trace is
 // indexed by a feature vector of its I/O profile, and a later submission
@@ -40,6 +42,17 @@
 // when its self-check score falls below -tier-threshold. A non-zero
 // -tier-budget (US dollars of simulated spend) pins work to the cheapest
 // rung once total LLM spend crosses it.
+//
+// -knowledge turns the built-in RAG corpus into a served subsystem: the
+// /v1/knowledge endpoints accept staged document upserts and promote them
+// atomically to a new corpus epoch (in-flight retrievals finish on the
+// epoch they started with). With -knowledge-members the corpus ring-shards
+// across the named nodes — this daemon indexes only the documents it owns
+// plus -knowledge-replicas-1 successor copies, while keeping the full
+// corpus view for citation lookups. -ann switches retrieval to the HNSW
+// index; -rerank-model inserts a cheap-model rerank between retrieval and
+// reflection. Epochs persist to -knowledge-state (default -state-dir) via
+// a write-ahead log and survive kill -9.
 //
 // Endpoints (all speak api.Version 1.x, advertised and negotiated via the
 // X-Fleet-Api-Version header; errors are api.Error JSON envelopes):
@@ -65,6 +78,13 @@
 //	GET  /v1/jobs/{id}          poll one job's status
 //	GET  /v1/jobs/{id}/diagnosis finished report (JSON document; raw text
 //	                            with "Accept: text/plain")
+//	POST /v1/knowledge/docs     stage corpus document upserts/removals
+//	                            (invisible until the next swap)
+//	POST /v1/knowledge/swap     atomically promote staged changes to a new
+//	                            corpus epoch (409 nothing_staged when empty)
+//	GET  /v1/knowledge          knowledge-plane status (epoch, shard sizes,
+//	                            query and rerank counters)
+//	POST /v1/knowledge/search   retrieval probe against the serving corpus
 //	GET  /metrics               pool health (JSON; Prometheus text exposition
 //	                            with "Accept: text/plain")
 //	GET  /healthz               liveness probe
@@ -97,6 +117,7 @@ import (
 
 	"ioagent/internal/fleet"
 	"ioagent/internal/fleet/ingest"
+	"ioagent/internal/fleet/knowledge"
 	"ioagent/internal/fleet/server"
 	"ioagent/internal/fleet/store"
 	"ioagent/internal/ioagent"
@@ -134,6 +155,12 @@ func main() {
 	stateDir := flag.String("state-dir", "", "directory for the job journal, cache snapshot, and upload spool (empty = in-memory only)")
 	snapInterval := flag.Duration("snapshot-interval", 30*time.Second, "cache snapshot + journal compaction cadence (with -state-dir)")
 	fsync := flag.String("fsync", "always", "journal durability: always (fsync per record), batch (fsync at checkpoints), off")
+	knowledgeOn := flag.Bool("knowledge", false, "serve the fleet knowledge plane: the RAG corpus becomes a live, epoch-versioned subsystem with /v1/knowledge endpoints")
+	knowledgeMembers := flag.String("knowledge-members", "", "comma-separated fleet node IDs to ring-shard the corpus over (requires -node-id; empty = this node indexes everything)")
+	knowledgeReplicas := flag.Int("knowledge-replicas", 2, "ring copies per document when sharded: the owner plus N-1 successors index it")
+	knowledgeState := flag.String("knowledge-state", "", "directory for the knowledge WAL and corpus snapshot (default: -state-dir; empty without it = in-memory only)")
+	ann := flag.Bool("ann", false, "use the HNSW approximate-nearest-neighbor index for knowledge retrieval (exact scan stays the fallback)")
+	rerankModel := flag.String("rerank-model", "", "cheap model that reranks retrieved chunks before reflection (empty disables)")
 	flag.Parse()
 
 	if !nodeIDPattern.MatchString(*nodeID) {
@@ -194,7 +221,55 @@ func main() {
 		cfg.OnCacheEvict = st.CacheChanged
 	}
 
-	pool := fleet.New(llm.WithLatency(llm.NewSim(), *apiLatency), cfg)
+	llmClient := llm.WithLatency(llm.NewSim(), *apiLatency)
+
+	// The knowledge plane: the RAG corpus as a served subsystem. Its WAL
+	// and snapshot live in their own sidecar files (default: -state-dir),
+	// so corpus epochs survive SIGKILL independently of the job journal.
+	// Replay happens before the pool exists — ReplayUpsert/ReplaySwap
+	// never emit events, so wiring OnEvent up front cannot re-journal the
+	// recovery.
+	var ks *store.KnowledgeStore
+	if *knowledgeOn {
+		kcfg := knowledge.Config{
+			NodeID:   *nodeID,
+			Replicas: *knowledgeReplicas,
+			ANN:      *ann,
+		}
+		for _, m := range strings.Split(*knowledgeMembers, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				kcfg.Members = append(kcfg.Members, m)
+			}
+		}
+		if len(kcfg.Members) > 0 && *nodeID == "" {
+			log.Fatal("iofleetd: -knowledge-members requires -node-id (the shard this daemon owns)")
+		}
+		if *rerankModel != "" {
+			kcfg.Reranker = &knowledge.LLMReranker{Client: llmClient, Model: *rerankModel}
+		}
+		kdir := *knowledgeState
+		if kdir == "" {
+			kdir = *stateDir
+		}
+		if kdir != "" {
+			var kerr error
+			ks, kerr = store.OpenKnowledge(kdir, store.Options{Fsync: store.FsyncMode(*fsync)})
+			if kerr != nil {
+				log.Fatalf("iofleetd: %v", kerr)
+			}
+			kcfg.OnEvent = ks.OnEvent
+		}
+		plane := knowledge.New(kcfg)
+		if ks != nil {
+			ks.Replay(plane)
+			if ks.HasRecovered() {
+				log.Printf("iofleetd: knowledge plane recovered from %s: epoch %d, %d documents", kdir, plane.Epoch(), plane.Metrics().Docs)
+			}
+		}
+		cfg.Knowledge = plane
+	}
+
+	pool := fleet.New(llmClient, cfg)
 
 	// The streaming ingest manager: with -state-dir its sessions spool to
 	// disk and its opens ride the journal, so half-finished uploads
@@ -245,7 +320,7 @@ func main() {
 	// the journal. Stopped on drain; the final checkpoint below covers the
 	// tail.
 	stopCheckpoints := make(chan struct{})
-	if st != nil {
+	if st != nil || ks != nil {
 		go func() {
 			tick := time.NewTicker(*snapInterval)
 			defer tick.Stop()
@@ -253,8 +328,17 @@ func main() {
 				select {
 				case <-tick.C:
 					uploads.Sweep() // expire idle upload sessions
-					if err := st.Checkpoint(pool); err != nil {
-						log.Printf("iofleetd: checkpoint: %v", err)
+					if st != nil {
+						if err := st.Checkpoint(pool); err != nil {
+							log.Printf("iofleetd: checkpoint: %v", err)
+						}
+					}
+					// Collapse the knowledge WAL only when it grew; an idle
+					// corpus costs zero write traffic.
+					if ks != nil && ks.Appended() > 0 {
+						if err := ks.Checkpoint(pool.Knowledge()); err != nil {
+							log.Printf("iofleetd: knowledge checkpoint: %v", err)
+						}
 					}
 				case <-stopCheckpoints:
 					return
@@ -285,8 +369,18 @@ func main() {
 	}
 	<-drained // let in-flight responses finish before tearing the pool down
 	pool.Close()
-	if st != nil {
+	if st != nil || ks != nil {
 		close(stopCheckpoints)
+	}
+	if ks != nil {
+		if err := ks.Checkpoint(pool.Knowledge()); err != nil {
+			log.Printf("iofleetd: final knowledge checkpoint: %v", err)
+		}
+		if err := ks.Close(); err != nil {
+			log.Printf("iofleetd: close knowledge store: %v", err)
+		}
+	}
+	if st != nil {
 		// The pool has drained: every journaled job is covered, so this
 		// snapshots the final cache and compacts the journal to (at most)
 		// jobs that failed permanently mid-drain — normally to empty.

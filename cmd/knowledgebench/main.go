@@ -1,0 +1,279 @@
+// Command knowledgebench measures the knowledge plane's retrieval engine
+// and epoch-swap machinery, and writes the numbers to a JSON file
+// (BENCH_knowledge.json in CI).
+//
+// Two corpus scales are benchmarked:
+//
+//   - the built-in expert corpus (internal/knowledge), the size a single
+//     daemon actually ships with — where exact scan is expected to win or
+//     tie, and HNSW must not cost recall;
+//   - a synthetic corpus of -synthetic documents (default 10000) built
+//     from a deterministic HPC-I/O vocabulary — the "fleet-fed" scale the
+//     ANN index exists for, where the graph walk must beat the exact scan
+//     on latency while holding recall@k above 0.95.
+//
+// For each scale the same query set runs against a brute-force index and
+// an HNSW index built from identical documents; reported per engine: mean
+// and p95 search latency, and the HNSW side's recall@k against the exact
+// top-k (matched by chunk identity). The swap section times the epoch
+// machinery on the synthetic corpus: cold is the initial index build
+// (seed -> epoch 1), warm is a one-document staged delta promoted onto a
+// cloned index — the O(delta) path a live corpus sync rides.
+//
+// Usage:
+//
+//	knowledgebench [-out BENCH_knowledge.json] [-synthetic 10000]
+//	               [-queries 40] [-k 15]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	fleetknowledge "ioagent/internal/fleet/knowledge"
+	"ioagent/internal/knowledge"
+	"ioagent/internal/vectordb"
+)
+
+type engineResult struct {
+	Engine    string  `json:"engine"` // "brute" or "hnsw"
+	Chunks    int     `json:"chunks"`
+	MeanNs    int64   `json:"mean_ns"`
+	P95Ns     int64   `json:"p95_ns"`
+	RecallAtK float64 `json:"recall_at_k,omitempty"` // hnsw only: vs exact top-k
+}
+
+type corpusResult struct {
+	Corpus  string         `json:"corpus"`
+	Docs    int            `json:"docs"`
+	K       int            `json:"k"`
+	Queries int            `json:"queries"`
+	Engines []engineResult `json:"engines"`
+}
+
+type swapResult struct {
+	Docs          int   `json:"docs"`
+	ColdBuildNs   int64 `json:"cold_build_ns"`   // seed -> epoch 1 (full index build)
+	WarmStageNs   int64 `json:"warm_stage_ns"`   // 1-doc upsert onto a cloned index
+	WarmPromoteNs int64 `json:"warm_promote_ns"` // the atomic pointer swap itself
+}
+
+type report struct {
+	Corpora []corpusResult `json:"corpora"`
+	Swap    swapResult     `json:"swap"`
+}
+
+// vocabulary for deterministic synthetic documents: plausible HPC I/O
+// diagnosis prose, so embeddings spread the way real corpus text does.
+var vocab = strings.Fields(`
+small write aggregation bandwidth stripe alignment metadata server load
+collective buffering contiguous access pattern random sequential readahead
+burst buffer drain checkpoint stall lustre gpfs ost mds rank imbalance
+straggler shared file per process posix mpiio hdf5 netcdf chunk cache
+eviction prefetch write behind flush sync barrier contention lock revoke
+extent size quota inode scan directory traversal open close latency
+throughput iops alignment boundary page fault mmap direct io buffered
+`)
+
+func syntheticDocs(n int) []vectordb.Document {
+	rng := rand.New(rand.NewSource(42))
+	docs := make([]vectordb.Document, n)
+	for i := range docs {
+		words := make([]string, 40)
+		for w := range words {
+			words[w] = vocab[rng.Intn(len(vocab))]
+		}
+		docs[i] = vectordb.Document{
+			Key:   fmt.Sprintf("syn%05d", i),
+			Title: fmt.Sprintf("Synthetic finding %d", i),
+			Text:  strings.Join(words, " "),
+		}
+	}
+	return docs
+}
+
+// queriesFrom derives a deterministic query set by sampling word windows
+// out of the corpus itself, so every query has relevant neighbors.
+func queriesFrom(docs []vectordb.Document, n int) []string {
+	rng := rand.New(rand.NewSource(7))
+	qs := make([]string, n)
+	for i := range qs {
+		words := strings.Fields(docs[rng.Intn(len(docs))].Text)
+		if len(words) > 8 {
+			start := rng.Intn(len(words) - 8)
+			words = words[start : start+8]
+		}
+		qs[i] = strings.Join(words, " ")
+	}
+	return qs
+}
+
+func buildIndex(docs []vectordb.Document, ann bool) *vectordb.Index {
+	ix := vectordb.New(vectordb.Options{ChunkSize: 512, Overlap: 20, ANN: ann})
+	for _, d := range docs {
+		ix.Add(d)
+	}
+	return ix
+}
+
+func chunkID(h vectordb.Hit) string {
+	return fmt.Sprintf("%s#%d", h.Chunk.DocKey, h.Chunk.Seq)
+}
+
+// measure runs every query against ix, returning per-query latencies and
+// the hit lists for recall scoring.
+func measure(ix *vectordb.Index, queries []string, k int) ([]time.Duration, [][]vectordb.Hit) {
+	lat := make([]time.Duration, len(queries))
+	hits := make([][]vectordb.Hit, len(queries))
+	for i, q := range queries {
+		start := time.Now()
+		hits[i] = ix.Search(q, k)
+		lat[i] = time.Since(start)
+	}
+	return lat, hits
+}
+
+func stats(lat []time.Duration) (mean, p95 int64) {
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	idx := int(0.95*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return int64(sum) / int64(len(sorted)), int64(sorted[idx])
+}
+
+// recall scores HNSW hit lists against the exact ones: the fraction of
+// exact top-k chunks the ANN walk also surfaced, averaged over queries.
+func recall(exact, ann [][]vectordb.Hit) float64 {
+	var total float64
+	for i := range exact {
+		if len(exact[i]) == 0 {
+			total++
+			continue
+		}
+		want := make(map[string]bool, len(exact[i]))
+		for _, h := range exact[i] {
+			want[chunkID(h)] = true
+		}
+		got := 0
+		for _, h := range ann[i] {
+			if want[chunkID(h)] {
+				got++
+			}
+		}
+		total += float64(got) / float64(len(want))
+	}
+	return total / float64(len(exact))
+}
+
+func benchCorpus(name string, docs []vectordb.Document, nQueries, k int) corpusResult {
+	queries := queriesFrom(docs, nQueries)
+
+	brute := buildIndex(docs, false)
+	bruteLat, bruteHits := measure(brute, queries, k)
+	bm, bp := stats(bruteLat)
+
+	hnsw := buildIndex(docs, true)
+	hnswLat, hnswHits := measure(hnsw, queries, k)
+	hm, hp := stats(hnswLat)
+
+	return corpusResult{
+		Corpus: name, Docs: len(docs), K: k, Queries: nQueries,
+		Engines: []engineResult{
+			{Engine: "brute", Chunks: brute.Len(), MeanNs: bm, P95Ns: bp},
+			{Engine: "hnsw", Chunks: hnsw.Len(), MeanNs: hm, P95Ns: hp,
+				RecallAtK: recall(bruteHits, hnswHits)},
+		},
+	}
+}
+
+func benchSwap(docs []vectordb.Document) swapResult {
+	coldStart := time.Now()
+	plane := fleetknowledge.New(fleetknowledge.Config{ANN: true, Seed: docs})
+	cold := time.Since(coldStart)
+
+	delta := vectordb.Document{
+		Key:   "syn-delta",
+		Title: "Fresh operational finding",
+		Text:  "burst buffer drain contention stalls checkpoint flush during maintenance windows",
+	}
+	warmStart := time.Now()
+	if err := plane.Upsert([]vectordb.Document{delta}, nil); err != nil {
+		log.Fatalf("knowledgebench: warm upsert: %v", err)
+	}
+	warmStage := time.Since(warmStart)
+
+	promoteStart := time.Now()
+	if _, err := plane.Swap(); err != nil {
+		log.Fatalf("knowledgebench: warm swap: %v", err)
+	}
+	warmPromote := time.Since(promoteStart)
+
+	return swapResult{
+		Docs:          len(docs),
+		ColdBuildNs:   int64(cold),
+		WarmStageNs:   int64(warmStage),
+		WarmPromoteNs: int64(warmPromote),
+	}
+}
+
+func main() {
+	out := flag.String("out", "BENCH_knowledge.json", "output JSON path")
+	synthetic := flag.Int("synthetic", 10000, "synthetic corpus size (documents)")
+	nQueries := flag.Int("queries", 40, "queries per corpus")
+	k := flag.Int("k", 15, "retrieval depth (top-k)")
+	flag.Parse()
+
+	var rep report
+
+	seed := knowledge.Documents()
+	log.Printf("knowledgebench: built-in corpus (%d docs)", len(seed))
+	rep.Corpora = append(rep.Corpora, benchCorpus("builtin", seed, *nQueries, *k))
+
+	syn := syntheticDocs(*synthetic)
+	log.Printf("knowledgebench: synthetic corpus (%d docs)", len(syn))
+	rep.Corpora = append(rep.Corpora, benchCorpus("synthetic", syn, *nQueries, *k))
+
+	log.Print("knowledgebench: epoch swap timings")
+	rep.Swap = benchSwap(syn)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(data))
+
+	// Sanity fences, mirrored by CI: ANN must hold recall everywhere and
+	// win latency at the synthetic scale.
+	for _, c := range rep.Corpora {
+		for _, e := range c.Engines {
+			if e.Engine == "hnsw" && e.RecallAtK < 0.95 {
+				log.Fatalf("knowledgebench: %s recall@%d = %.3f, want >= 0.95", c.Corpus, c.K, e.RecallAtK)
+			}
+		}
+	}
+	synRes := rep.Corpora[len(rep.Corpora)-1]
+	if b, h := synRes.Engines[0], synRes.Engines[1]; h.MeanNs >= b.MeanNs {
+		log.Fatalf("knowledgebench: hnsw mean %.2fms did not beat brute %.2fms at %d docs",
+			float64(h.MeanNs)/1e6, float64(b.MeanNs)/1e6, synRes.Docs)
+	}
+	log.Printf("knowledgebench: wrote %s", *out)
+}

@@ -74,17 +74,30 @@ func isNumeric(s string) bool {
 
 // Embed computes the embedding of text. The zero vector is returned for
 // texts with no usable terms.
+//
+// Accumulation runs in first-occurrence term order, never map order: when
+// two terms hash to the same dimension, float32 addition order changes the
+// low bits, and everything downstream (Save/Load score stability, the ANN
+// index's exact-fallback equality) requires Embed to be bit-deterministic.
 func Embed(text string) Vector {
 	var v Vector
 	tokens := Tokenize(text)
 	counts := make(map[string]int, len(tokens)*2)
+	order := make([]string, 0, len(tokens)*2)
+	add := func(term string) {
+		if counts[term] == 0 {
+			order = append(order, term)
+		}
+		counts[term]++
+	}
 	for i, t := range tokens {
-		counts[t]++
+		add(t)
 		if i+1 < len(tokens) {
-			counts[t+"_"+tokens[i+1]]++
+			add(t + "_" + tokens[i+1])
 		}
 	}
-	for term, n := range counts {
+	for _, term := range order {
+		n := counts[term]
 		w := float32(1 + math.Log(float64(n)))
 		if strings.Contains(term, "_") {
 			w *= 0.6 // bigrams refine, unigrams dominate

@@ -107,8 +107,16 @@ const RetryAfterHeader = "Retry-After"
 // (SimilarityHit, SourceDigest, Confidence), the semcache effectiveness
 // counters and per-tier model metrics on Metrics (SemCacheHits,
 // SemCacheMisses, SemCacheGateRejects, SemCacheEntries, Tiers,
-// TierEscalations) — again purely additive.
-var Current = Version{Major: 1, Minor: 3}
+// TierEscalations) — again purely additive. Minor 4 added the knowledge
+// plane vocabulary: corpus document upsert and epoch swap
+// (POST /v1/knowledge/docs, POST /v1/knowledge/swap), plane status and
+// search (GET /v1/knowledge, POST /v1/knowledge/search), the
+// KnowledgeDoc / KnowledgeUpsertRequest / KnowledgeStatus /
+// KnowledgeSearchRequest / KnowledgeSearchResponse payloads,
+// Metrics.Knowledge, NodeHealth.KnowledgeEpoch,
+// ClusterHealth.KnowledgeEpochSkew, and the knowledge_disabled /
+// nothing_staged error codes — all additive.
+var Current = Version{Major: 1, Minor: 4}
 
 // Version is a major.minor protocol version. Majors are incompatible;
 // minors are additive within a major.
@@ -378,6 +386,10 @@ type Metrics struct {
 	// stronger model. Added in 1.3.
 	Tiers           map[string]TierMetrics `json:"tier_models,omitempty"`
 	TierEscalations int64                  `json:"tier_escalations"`
+
+	// Knowledge reports the node's knowledge plane (iofleetd -knowledge;
+	// nil when disabled). Added in 1.4.
+	Knowledge *KnowledgeStatus `json:"knowledge,omitempty"`
 }
 
 // TierMetrics is one ladder model's share of fresh diagnoses and its
@@ -407,6 +419,10 @@ type NodeHealth struct {
 	// OwnedDigests is the member's Metrics.OwnedDigests at probe time
 	// (zero when unhealthy).
 	OwnedDigests int64 `json:"owned_digests"`
+	// KnowledgeEpoch is the member's promoted corpus version at probe time
+	// (zero when unhealthy or when the member runs without a knowledge
+	// plane). Added in 1.4.
+	KnowledgeEpoch uint64 `json:"knowledge_epoch,omitempty"`
 }
 
 // ClusterHealth is the payload of the router's GET /v1/cluster: one row
@@ -416,4 +432,94 @@ type ClusterHealth struct {
 	Router string `json:"router,omitempty"`
 	// Nodes lists every configured member in ring-member order.
 	Nodes []NodeHealth `json:"nodes"`
+	// KnowledgeEpochSkew is set when two healthy knowledge-serving members
+	// report different corpus epochs — a swap reached part of the fleet
+	// only, so retrievals are answered from mixed corpus versions until
+	// the lagging members converge. Added in 1.4.
+	KnowledgeEpochSkew bool `json:"knowledge_epoch_skew,omitempty"`
+}
+
+// KnowledgeDoc is the wire form of one corpus document. Key is the stable
+// citation identifier diagnoses reference ("[SOURCE key]"); Text is the
+// retrievable body.
+type KnowledgeDoc struct {
+	Key   string `json:"key"`
+	Title string `json:"title,omitempty"`
+	Text  string `json:"text"`
+}
+
+// MaxKnowledgeDocLen bounds one document's Text; larger upserts are
+// refused with CodeBadRequest so a single document cannot monopolize the
+// corpus (or the WAL).
+const MaxKnowledgeDocLen = 1 << 20
+
+// KnowledgeUpsertRequest is the body of POST /v1/knowledge/docs: documents
+// to add or replace, and keys to remove. Changes land in the node's staged
+// epoch and stay invisible to retrieval until POST /v1/knowledge/swap
+// promotes them, so a multi-request sync publishes atomically. Added in
+// 1.4.
+type KnowledgeUpsertRequest struct {
+	Docs   []KnowledgeDoc `json:"docs,omitempty"`
+	Remove []string       `json:"remove,omitempty"`
+}
+
+// KnowledgeStatus describes one node's knowledge plane, served by
+// GET /v1/knowledge and embedded in Metrics. Added in 1.4.
+type KnowledgeStatus struct {
+	// Epoch is the promoted corpus version; Docs counts the full corpus
+	// view, OwnedDocs the documents this node indexes locally (fewer when
+	// the corpus is ring-sharded), StagedOps the staged-but-unswapped
+	// mutations.
+	Epoch     uint64 `json:"epoch"`
+	Docs      int    `json:"docs"`
+	OwnedDocs int    `json:"owned_docs"`
+	StagedOps int    `json:"staged_ops"`
+	// Queries counts retrievals served; ANNQueries/ExactQueries split the
+	// underlying index searches by path (HNSW graph walk vs exact scan).
+	Queries      int64 `json:"queries"`
+	ANNQueries   uint64 `json:"ann_queries"`
+	ExactQueries uint64 `json:"exact_queries"`
+	// Rerank accounting (all zero unless the node runs -rerank-model).
+	RerankCalls   int64   `json:"rerank_calls"`
+	RerankErrors  int64   `json:"rerank_errors"`
+	RerankCostUSD float64 `json:"rerank_cost_usd"`
+	// RetrievalP95 is the node's 95th-percentile retrieval latency.
+	RetrievalP95 time.Duration `json:"retrieval_p95_ns"`
+}
+
+// KnowledgeSwapResponse is the body of a successful POST
+// /v1/knowledge/swap: the newly promoted corpus epoch. Added in 1.4.
+type KnowledgeSwapResponse struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// DefaultKnowledgeK is the top-k a knowledge search uses when the request
+// leaves K unset — the paper's retrieval depth.
+const DefaultKnowledgeK = 15
+
+// KnowledgeSearchRequest is the body of POST /v1/knowledge/search: a
+// retrieval probe against the serving corpus, bypassing the diagnosis
+// pipeline — the operator's tool for inspecting what agents would
+// retrieve. K <= 0 selects the paper's default of 15. Added in 1.4.
+type KnowledgeSearchRequest struct {
+	Query string `json:"query"`
+	K     int    `json:"k,omitempty"`
+}
+
+// KnowledgeHit is one retrieval result row. Added in 1.4.
+type KnowledgeHit struct {
+	Key   string  `json:"key"`
+	Title string  `json:"title,omitempty"`
+	Seq   int     `json:"seq"`
+	Text  string  `json:"text"`
+	Score float64 `json:"score"`
+}
+
+// KnowledgeSearchResponse is the payload of POST /v1/knowledge/search:
+// the hits and the epoch they were answered from. A scatter-gathered
+// cluster answer reports the minimum epoch across contributing nodes.
+// Added in 1.4.
+type KnowledgeSearchResponse struct {
+	Epoch uint64         `json:"epoch"`
+	Hits  []KnowledgeHit `json:"hits"`
 }

@@ -77,6 +77,15 @@ const (
 	// chunk). Not blindly retryable: resynchronize via GET /v1/uploads/{id}
 	// and resend from the server's offset. Added in 1.2.
 	CodeUploadOffsetMismatch Code = "upload_offset_mismatch"
+	// CodeKnowledgeDisabled: the node does not run a knowledge plane
+	// (iofleetd started without -knowledge), so /v1/knowledge endpoints
+	// have nothing to serve. Not retryable against this node. Added in 1.4.
+	CodeKnowledgeDisabled Code = "knowledge_disabled"
+	// CodeNothingStaged: POST /v1/knowledge/swap found no staged corpus
+	// changes to promote — the upserts either never arrived or were
+	// already swapped. Not blindly retryable: check GET /v1/knowledge.
+	// Added in 1.4.
+	CodeNothingStaged Code = "nothing_staged"
 )
 
 // HTTPStatus maps the code to its canonical HTTP status.
@@ -86,9 +95,9 @@ func (c Code) HTTPStatus() int {
 		return http.StatusBadRequest
 	case CodeTraceTooLarge:
 		return http.StatusRequestEntityTooLarge
-	case CodeJobNotFound, CodeNotFound, CodeUploadNotFound:
+	case CodeJobNotFound, CodeNotFound, CodeUploadNotFound, CodeKnowledgeDisabled:
 		return http.StatusNotFound
-	case CodeJobNotDone, CodeUploadOffsetMismatch:
+	case CodeJobNotDone, CodeUploadOffsetMismatch, CodeNothingStaged:
 		return http.StatusConflict
 	case CodeDraining, CodeNodeDown, CodeBreakerOpen:
 		return http.StatusServiceUnavailable

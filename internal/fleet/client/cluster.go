@@ -394,7 +394,11 @@ func (cl *Cluster) Metrics(ctx context.Context) (api.Metrics, error) {
 // over its own /metrics endpoint.
 func AggregateMetrics(snaps []api.Metrics) api.Metrics {
 	var agg api.Metrics
+	var knows []api.KnowledgeStatus
 	for _, m := range snaps {
+		if m.Knowledge != nil {
+			knows = append(knows, *m.Knowledge)
+		}
 		agg.Workers += m.Workers
 		agg.Submitted += m.Submitted
 		agg.Queued += m.Queued
@@ -457,6 +461,10 @@ func AggregateMetrics(snaps []api.Metrics) api.Metrics {
 	}
 	if agg.Submitted > 0 {
 		agg.HitRate = float64(agg.CacheHits+agg.Coalesced) / float64(agg.Submitted)
+	}
+	if len(knows) > 0 {
+		k := AggregateKnowledge(knows)
+		agg.Knowledge = &k
 	}
 	return agg
 }
@@ -680,6 +688,9 @@ func (cl *Cluster) Health(ctx context.Context) api.ClusterHealth {
 		row.Healthy = true
 		row.Node = m.Node
 		row.OwnedDigests = m.OwnedDigests
+		if m.Knowledge != nil {
+			row.KnowledgeEpoch = m.Knowledge.Epoch
+		}
 		if m.Node != "" {
 			cl.mu.Lock()
 			cl.nodeToMember[m.Node] = member
@@ -688,5 +699,24 @@ func (cl *Cluster) Health(ctx context.Context) api.ClusterHealth {
 		}
 		return row, nil
 	})
-	return api.ClusterHealth{Nodes: rows}
+	return api.ClusterHealth{Nodes: rows, KnowledgeEpochSkew: knowledgeSkew(rows)}
+}
+
+// knowledgeSkew reports whether two healthy knowledge-serving members
+// disagree on the promoted corpus epoch — the signature of a swap that
+// reached part of the fleet only. Members without a plane (epoch 0) and
+// unhealthy members don't count: they serve no retrievals to skew.
+func knowledgeSkew(rows []api.NodeHealth) bool {
+	var seen uint64
+	for _, row := range rows {
+		if !row.Healthy || row.KnowledgeEpoch == 0 {
+			continue
+		}
+		if seen == 0 {
+			seen = row.KnowledgeEpoch
+		} else if row.KnowledgeEpoch != seen {
+			return true
+		}
+	}
+	return false
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ioagent/internal/darshan"
+	"ioagent/internal/fleet/knowledge"
 	"ioagent/internal/fleet/semcache"
 	"ioagent/internal/ioagent"
 	"ioagent/internal/llm"
@@ -207,6 +208,15 @@ type Config struct {
 	// to this pool (agents + gate); once reached, escalation stops and
 	// every miss runs only the cheapest tier.
 	TierBudgetUSD float64
+
+	// Knowledge, when set, routes every agent's retrieval stage through
+	// the fleet knowledge plane (epoch-versioned corpus, optional ring
+	// sharding and ANN search) instead of the embedded index. The plane is
+	// caller-owned: the pool never mutates it, and several pools may share
+	// one. Note the corpus epoch does NOT contribute to result digests —
+	// see Digest — so operators who swap epochs and need fresh diagnoses
+	// for already-cached traces should run with a bounded CacheTTL.
+	Knowledge *knowledge.Plane
 
 	// OnJobEvent, if set, observes job lifecycle transitions (see
 	// EventKind for the exact contract). It is called synchronously from
@@ -502,6 +512,12 @@ type inflightEntry struct {
 // setup cost is zero.
 func New(client llm.Client, cfg Config) *Pool {
 	cfg = cfg.withDefaults()
+	if cfg.Knowledge != nil {
+		// Every agent the pool builds — the primary and each tier rung —
+		// retrieves through the plane; the copy into tierOpts below carries
+		// the Retriever along.
+		cfg.Agent.Retriever = cfg.Knowledge
+	}
 	p := &Pool{
 		cfg:   cfg,
 		agent: ioagent.New(client, cfg.Agent),
@@ -561,6 +577,9 @@ func New(client llm.Client, cfg Config) *Pool {
 // Agent returns the shared diagnosis agent (e.g. for pool-wide cost stats
 // or post-diagnosis chat sessions).
 func (p *Pool) Agent() *ioagent.Agent { return p.agent }
+
+// Knowledge returns the pool's knowledge plane (nil unless configured).
+func (p *Pool) Knowledge() *knowledge.Plane { return p.cfg.Knowledge }
 
 // emit delivers one lifecycle event. Called WITHOUT p.mu held.
 func (p *Pool) emit(kind EventKind, j *Job, log *darshan.Log) {
@@ -848,6 +867,10 @@ func (p *Pool) Metrics() Snapshot {
 	s.OwnedDigests = int64(s.CacheLen + inflight)
 	s.BreakerOpen, s.BreakerTrips = p.brk.stats()
 	s.SemEntries = p.SemLen()
+	if p.cfg.Knowledge != nil {
+		km := p.cfg.Knowledge.Metrics()
+		s.Knowledge = &km
+	}
 	if len(s.Tiers) > 0 {
 		// Per-rung job counts come from the metrics struct; per-rung spend
 		// comes from the model-level usage accounting.

@@ -1,0 +1,311 @@
+package knowledge
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ioagent/internal/llm"
+	"ioagent/internal/vectordb"
+)
+
+func seedDocs() []vectordb.Document {
+	return []vectordb.Document{
+		{Key: "doc-small-write", Title: "Small writes", Text: "small write requests degrade bandwidth aggregate small writes into larger requests"},
+		{Key: "doc-metadata", Title: "Metadata", Text: "metadata storm open stat close operations overload the metadata server"},
+		{Key: "doc-stripe", Title: "Striping", Text: "stripe count stripe size lustre object storage targets alignment"},
+		{Key: "doc-collective", Title: "Collectives", Text: "collective mpi io aggregates independent operations into large contiguous transfers"},
+	}
+}
+
+func TestPlaneServesSeedCorpus(t *testing.T) {
+	p := New(Config{})
+	if got := p.Epoch(); got != 1 {
+		t.Fatalf("fresh plane epoch = %d, want 1", got)
+	}
+	hits := p.Retrieve("small write requests to a shared file", 5)
+	if len(hits) == 0 {
+		t.Fatal("no hits from the built-in corpus")
+	}
+	m := p.Metrics()
+	if m.Docs == 0 || m.Docs != m.OwnedDocs {
+		t.Fatalf("unsharded plane: Docs=%d OwnedDocs=%d, want equal and nonzero", m.Docs, m.OwnedDocs)
+	}
+	if m.Queries != 1 {
+		t.Fatalf("Queries = %d, want 1", m.Queries)
+	}
+}
+
+func TestPlaneUpsertSwapVisibility(t *testing.T) {
+	p := New(Config{Seed: seedDocs()})
+	if _, err := p.Swap(); err != ErrNothingStaged {
+		t.Fatalf("Swap with nothing staged: err = %v, want ErrNothingStaged", err)
+	}
+	novel := vectordb.Document{
+		Key:  "doc-burst",
+		Text: "burst buffer drain overlapping checkpoint epochs saturates the drain bandwidth",
+	}
+	if err := p.Upsert([]vectordb.Document{novel}, []string{"doc-stripe"}); err != nil {
+		t.Fatalf("Upsert: %v", err)
+	}
+	// Staged changes must be invisible until the swap.
+	for _, h := range p.Retrieve("burst buffer drain checkpoint", 10) {
+		if h.Chunk.DocKey == "doc-burst" {
+			t.Fatal("staged document visible before Swap")
+		}
+	}
+	if p.Epoch() != 1 {
+		t.Fatalf("epoch moved to %d before Swap", p.Epoch())
+	}
+	if m := p.Metrics(); m.StagedOps != 2 {
+		t.Fatalf("StagedOps = %d, want 2", m.StagedOps)
+	}
+
+	v, err := p.Swap()
+	if err != nil || v != 2 {
+		t.Fatalf("Swap = (%d, %v), want (2, nil)", v, err)
+	}
+	found := false
+	for _, h := range p.Retrieve("burst buffer drain checkpoint", 10) {
+		if h.Chunk.DocKey == "doc-burst" {
+			found = true
+		}
+		if h.Chunk.DocKey == "doc-stripe" {
+			t.Fatal("removed document still retrievable after Swap")
+		}
+	}
+	if !found {
+		t.Fatal("upserted document not retrievable after Swap")
+	}
+	if _, ok := p.Doc("doc-burst"); !ok {
+		t.Fatal("Doc does not see the promoted document")
+	}
+	if _, ok := p.Doc("doc-stripe"); ok {
+		t.Fatal("Doc still sees the removed document")
+	}
+}
+
+func TestPlaneEvents(t *testing.T) {
+	var events []Event
+	p := New(Config{
+		Seed:    seedDocs(),
+		OnEvent: func(e Event) { events = append(events, e) },
+	})
+	doc := vectordb.Document{Key: "doc-x", Text: "random reads thrash the readahead window"}
+	if err := p.Upsert([]vectordb.Document{doc}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Swap(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("%d events, want 2", len(events))
+	}
+	if events[0].Kind != EventUpsert || len(events[0].Docs) != 1 || events[0].Docs[0].Key != "doc-x" {
+		t.Fatalf("first event %+v, want upsert of doc-x", events[0])
+	}
+	if events[1].Kind != EventSwap || events[1].Epoch != 2 {
+		t.Fatalf("second event %+v, want swap to epoch 2", events[1])
+	}
+}
+
+// TestPlaneSharding checks the ring placement invariant: with Replicas=2
+// every document is indexed by exactly two of three nodes, and any two
+// nodes together cover the full corpus (single-node loss hides nothing).
+func TestPlaneSharding(t *testing.T) {
+	members := []string{"n1", "n2", "n3"}
+	docs := seedDocs()
+	planes := make([]*Plane, len(members))
+	for i, id := range members {
+		planes[i] = New(Config{NodeID: id, Members: members, Seed: docs})
+	}
+	for _, d := range docs {
+		owners := 0
+		for _, p := range planes {
+			if p.owned(d.Key) {
+				owners++
+			}
+		}
+		if owners != 2 {
+			t.Fatalf("doc %s indexed on %d nodes, want 2", d.Key, owners)
+		}
+	}
+	// Every plane still answers Doc() from the full corpus view.
+	for _, p := range planes {
+		if m := p.Metrics(); m.Docs != len(docs) {
+			t.Fatalf("full corpus view holds %d docs, want %d", m.Docs, len(docs))
+		}
+	}
+	// On a two-node fleet with the default Replicas=2, both nodes index
+	// everything — the property the 2-daemon e2e leans on.
+	for _, id := range []string{"a", "b"} {
+		p := New(Config{NodeID: id, Members: []string{"a", "b"}, Seed: docs})
+		if m := p.Metrics(); m.OwnedDocs != len(docs) {
+			t.Fatalf("node %s owns %d of %d docs on a 2-node fleet", id, m.OwnedDocs, len(docs))
+		}
+	}
+}
+
+func TestPlaneExportRestore(t *testing.T) {
+	p := New(Config{Seed: seedDocs(), ANN: true})
+	if err := p.Upsert([]vectordb.Document{{Key: "doc-a", Text: "rank straggler imbalance slowest rank dominates"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Swap(); err != nil {
+		t.Fatal(err)
+	}
+	// Leave a staged delta unswapped: Export must carry it.
+	if err := p.Upsert([]vectordb.Document{{Key: "doc-b", Text: "shared file lock contention serializes writers"}}, []string{"doc-metadata"}); err != nil {
+		t.Fatal(err)
+	}
+	state := p.Export()
+	if state.Epoch != 2 || len(state.StagedDocs) != 1 || len(state.StagedRemove) != 1 {
+		t.Fatalf("export = epoch %d, %d staged docs, %d staged removes", state.Epoch, len(state.StagedDocs), len(state.StagedRemove))
+	}
+
+	q := New(Config{Seed: []vectordb.Document{}, ANN: true})
+	q.Restore(state)
+	if q.Epoch() != 2 {
+		t.Fatalf("restored epoch = %d, want 2", q.Epoch())
+	}
+	if m := q.Metrics(); m.StagedOps != 2 {
+		t.Fatalf("restored StagedOps = %d, want 2", m.StagedOps)
+	}
+	if v, err := q.Swap(); err != nil || v != 3 {
+		t.Fatalf("swap after restore = (%d, %v), want (3, nil)", v, err)
+	}
+	found := false
+	for _, h := range q.Retrieve("shared file lock contention", 10) {
+		if h.Chunk.DocKey == "doc-b" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("staged delta lost across Export/Restore")
+	}
+	if _, ok := q.Doc("doc-metadata"); ok {
+		t.Fatal("staged removal lost across Export/Restore")
+	}
+}
+
+func TestPlaneReplayIdempotent(t *testing.T) {
+	docs := []vectordb.Document{{Key: "doc-r", Text: "repetitive reads of the same block waste bandwidth"}}
+	p := New(Config{Seed: seedDocs()})
+	// Replay the same journal twice, as crash recovery might after an
+	// incomplete checkpoint.
+	for i := 0; i < 2; i++ {
+		p.ReplayUpsert(docs, nil)
+		p.ReplaySwap(2)
+	}
+	if p.Epoch() != 2 {
+		t.Fatalf("epoch = %d after double replay, want 2", p.Epoch())
+	}
+	if m := p.Metrics(); m.StagedOps != 0 {
+		t.Fatalf("StagedOps = %d after replay, want 0", m.StagedOps)
+	}
+	if _, ok := p.Doc("doc-r"); !ok {
+		t.Fatal("replayed upsert lost")
+	}
+	// A swap record with no surviving upserts (already covered by the
+	// snapshot) still moves the version forward without changing docs.
+	p.ReplaySwap(5)
+	if p.Epoch() != 5 {
+		t.Fatalf("epoch = %d, want 5", p.Epoch())
+	}
+}
+
+// TestPlaneConcurrentRetrieveDuringSwap hammers Retrieve while epochs are
+// staged and promoted; run under -race in CI. Every retrieval must see a
+// complete epoch — either wholly old or wholly new.
+func TestPlaneConcurrentRetrieveDuringSwap(t *testing.T) {
+	p := New(Config{Seed: seedDocs(), ANN: true})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				hits := p.Retrieve("small write metadata stripe collective", 3)
+				for _, h := range hits {
+					if h.Chunk.DocKey == "" {
+						t.Error("torn hit during swap")
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		doc := vectordb.Document{
+			Key:  fmt.Sprintf("doc-gen-%03d", i),
+			Text: fmt.Sprintf("generated document %d about write aggregation and caching", i),
+		}
+		if err := p.Upsert([]vectordb.Document{doc}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Swap(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if p.Epoch() != 21 {
+		t.Fatalf("epoch = %d after 20 swaps, want 21", p.Epoch())
+	}
+}
+
+func TestLLMRerankerReorders(t *testing.T) {
+	rr := &LLMReranker{Client: llm.NewSim(), Model: llm.GPT4oMini}
+	p := New(Config{Seed: seedDocs(), Reranker: rr})
+	hits := p.Retrieve("small write requests", 4)
+	if len(hits) < 2 {
+		t.Fatalf("want >= 2 hits, got %d", len(hits))
+	}
+	m := p.Metrics()
+	if m.RerankCalls != 1 || m.RerankErrors != 0 {
+		t.Fatalf("rerank calls=%d errors=%d, want 1/0", m.RerankCalls, m.RerankErrors)
+	}
+	if m.RerankCostUSD <= 0 {
+		t.Fatalf("rerank cost = %v, want > 0", m.RerankCostUSD)
+	}
+	// The reranker must permute, never drop or invent.
+	plain := New(Config{Seed: seedDocs()})
+	vectorOrder := plain.Retrieve("small write requests", 4)
+	if len(vectorOrder) != len(hits) {
+		t.Fatalf("rerank changed hit count: %d vs %d", len(hits), len(vectorOrder))
+	}
+	want := make(map[string]bool, len(vectorOrder))
+	for _, h := range vectorOrder {
+		want[fmt.Sprintf("%s#%d", h.Chunk.DocKey, h.Chunk.Seq)] = true
+	}
+	for _, h := range hits {
+		if !want[fmt.Sprintf("%s#%d", h.Chunk.DocKey, h.Chunk.Seq)] {
+			t.Fatalf("reranked hit %s#%d not in the vector result set", h.Chunk.DocKey, h.Chunk.Seq)
+		}
+	}
+}
+
+// TestRerankerFailureFallsBack pins that a broken reranker degrades to
+// vector order instead of failing the retrieval.
+func TestRerankerFailureFallsBack(t *testing.T) {
+	p := New(Config{Seed: seedDocs(), Reranker: failingReranker{}})
+	hits := p.Retrieve("metadata server overload", 3)
+	if len(hits) == 0 {
+		t.Fatal("retrieval failed on reranker error")
+	}
+	if m := p.Metrics(); m.RerankErrors != 1 {
+		t.Fatalf("RerankErrors = %d, want 1", m.RerankErrors)
+	}
+}
+
+type failingReranker struct{}
+
+func (failingReranker) Rerank(string, []vectordb.Hit) ([]vectordb.Hit, error) {
+	return nil, fmt.Errorf("judge unavailable")
+}

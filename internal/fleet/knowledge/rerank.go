@@ -1,0 +1,97 @@
+package knowledge
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+
+	"ioagent/internal/llm"
+	"ioagent/internal/vectordb"
+)
+
+// Reranker reorders retrieval results between vector search and the
+// agent's self-reflection stage. Implementations must be safe for
+// concurrent use. Returning an error keeps the vector order (the plane
+// never fails a retrieval over a rerank).
+type Reranker interface {
+	Rerank(query string, hits []vectordb.Hit) ([]vectordb.Hit, error)
+}
+
+// LLMReranker reranks with a cheap LLM judge: the hits are presented as
+// ranking candidates and reordered by the judge's best-to-worst answer.
+// Candidates the judge omits keep their vector order after the ranked
+// ones. The judge's spend accumulates and is reported through CostUSD,
+// which the plane surfaces in Metrics.
+type LLMReranker struct {
+	// Client serves the judge calls; must be safe for concurrent use.
+	Client llm.Client
+	// Model is the judge model (a cheap tier — rerank runs on every
+	// retrieval, so frontier pricing would dwarf the diagnosis itself).
+	Model string
+
+	mu    sync.Mutex
+	cost  float64
+	calls int64
+}
+
+// rankLineRe parses one "RANK n: name" line of the judge's answer.
+var rankLineRe = regexp.MustCompile(`(?m)^RANK\s+\d+:\s*(.+?)\s*$`)
+
+// Rerank implements Reranker.
+func (r *LLMReranker) Rerank(query string, hits []vectordb.Hit) ([]vectordb.Hit, error) {
+	if len(hits) < 2 {
+		return hits, nil
+	}
+	names := make([]string, len(hits))
+	var b strings.Builder
+	b.WriteString("TASK: rank\nCRITERION: utility\n")
+	b.WriteString("Order the candidate knowledge snippets by how useful they are for answering the query.\n")
+	b.WriteString("QUERY: " + query + "\n")
+	for i, h := range hits {
+		names[i] = fmt.Sprintf("%s#%d", h.Chunk.DocKey, h.Chunk.Seq)
+		fmt.Fprintf(&b, "=== CANDIDATE %s ===\n%s\n", names[i], h.Chunk.Text)
+	}
+	b.WriteString("=== END CANDIDATES ===\n")
+	resp, err := r.Client.Complete(llm.Prompt(r.Model, b.String()))
+	if err != nil {
+		return nil, fmt.Errorf("knowledge: rerank: %w", err)
+	}
+	r.mu.Lock()
+	r.cost += resp.CostUSD
+	r.calls++
+	r.mu.Unlock()
+
+	byName := make(map[string]int, len(names))
+	for i, n := range names {
+		byName[n] = i
+	}
+	out := make([]vectordb.Hit, 0, len(hits))
+	taken := make([]bool, len(hits))
+	for _, m := range rankLineRe.FindAllStringSubmatch(resp.Content, -1) {
+		if i, ok := byName[m[1]]; ok && !taken[i] {
+			taken[i] = true
+			out = append(out, hits[i])
+		}
+	}
+	for i, h := range hits {
+		if !taken[i] {
+			out = append(out, h)
+		}
+	}
+	return out, nil
+}
+
+// CostUSD returns the judge's lifetime spend across all Rerank calls.
+func (r *LLMReranker) CostUSD() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cost
+}
+
+// Calls returns how many judge calls have completed successfully.
+func (r *LLMReranker) Calls() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.calls
+}

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"ioagent/internal/fleet/knowledge"
 )
 
 // latencySampleCap bounds the reservoir of completed-job latencies kept for
@@ -65,6 +67,10 @@ type Snapshot struct {
 	// resident cache entries plus in-flight primaries. In a sharded fleet
 	// it is the node's share of the digest space.
 	OwnedDigests int64 `json:"owned_digests"`
+
+	// Knowledge reports the knowledge plane's health (nil unless
+	// Config.Knowledge is set).
+	Knowledge *knowledge.Metrics `json:"knowledge,omitempty"`
 
 	// Retries counts extra diagnosis attempts beyond each job's first.
 	Retries int64 `json:"retries"`

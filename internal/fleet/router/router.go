@@ -40,6 +40,7 @@
 package router
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -279,6 +280,66 @@ func (rt *Router) Handler() http.Handler {
 			return
 		}
 		server.WriteJSON(w, http.StatusOK, diag)
+	})
+	// Knowledge plane (api 1.4): mutations broadcast to every member —
+	// each daemon stages and promotes its own ring shard of the corpus —
+	// status aggregates, and search scatter-gathers across shards. The
+	// router stays stateless: the corpus lives on the daemons.
+	handle("POST /v1/knowledge/docs", func(w http.ResponseWriter, r *http.Request) {
+		body, apiErr := readBody(w, r, rt.cfg.MaxBody)
+		if apiErr != nil {
+			server.WriteError(w, apiErr)
+			return
+		}
+		var req api.KnowledgeUpsertRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			server.WriteError(w, api.Errorf(api.CodeBadRequest, "malformed JSON body: %v", err))
+			return
+		}
+		if err := rt.cluster.KnowledgeUpsert(r.Context(), req); err != nil {
+			rt.writeErr(w, "knowledge upsert", err)
+			return
+		}
+		ks, err := rt.cluster.KnowledgeStatus(r.Context())
+		if err != nil {
+			rt.writeErr(w, "knowledge status", err)
+			return
+		}
+		server.WriteJSON(w, http.StatusOK, ks)
+	})
+	handle("POST /v1/knowledge/swap", func(w http.ResponseWriter, r *http.Request) {
+		epoch, err := rt.cluster.KnowledgeSwap(r.Context())
+		if err != nil {
+			rt.writeErr(w, "knowledge swap", err)
+			return
+		}
+		server.WriteJSON(w, http.StatusOK, api.KnowledgeSwapResponse{Epoch: epoch})
+	})
+	handle("GET /v1/knowledge", func(w http.ResponseWriter, r *http.Request) {
+		ks, err := rt.cluster.KnowledgeStatus(r.Context())
+		if err != nil {
+			rt.writeErr(w, "knowledge status", err)
+			return
+		}
+		server.WriteJSON(w, http.StatusOK, ks)
+	})
+	handle("POST /v1/knowledge/search", func(w http.ResponseWriter, r *http.Request) {
+		body, apiErr := readBody(w, r, rt.cfg.MaxBody)
+		if apiErr != nil {
+			server.WriteError(w, apiErr)
+			return
+		}
+		var req api.KnowledgeSearchRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			server.WriteError(w, api.Errorf(api.CodeBadRequest, "malformed JSON body: %v", err))
+			return
+		}
+		resp, err := rt.cluster.KnowledgeSearch(r.Context(), req)
+		if err != nil {
+			rt.writeErr(w, "knowledge search", err)
+			return
+		}
+		server.WriteJSON(w, http.StatusOK, resp)
 	})
 	handle("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		m, err := rt.cluster.Metrics(r.Context())

@@ -35,8 +35,10 @@ import (
 	"ioagent/internal/fleet"
 	"ioagent/internal/fleet/api"
 	"ioagent/internal/fleet/ingest"
+	"ioagent/internal/fleet/knowledge"
 	"ioagent/internal/fleet/store"
 	"ioagent/internal/ioagent"
+	"ioagent/internal/vectordb"
 )
 
 // Config assembles one daemon surface. Pool is required; everything else
@@ -374,6 +376,108 @@ func NewMux(cfg Config) http.Handler {
 			Text:          res.Text,
 		})
 	})
+	// Knowledge-plane administration (api 1.4): staged corpus mutation,
+	// atomic epoch promotion, plane status, and a direct retrieval probe
+	// that bypasses the diagnosis pipeline. Every endpoint refuses with
+	// knowledge_disabled when the daemon runs without a plane (iofleetd
+	// without -knowledge), so clients can distinguish "not configured"
+	// from "unknown endpoint".
+	knowledgePlane := func(w http.ResponseWriter) *knowledge.Plane {
+		kp := pool.Knowledge()
+		if kp == nil {
+			WriteError(w, api.Errorf(api.CodeKnowledgeDisabled,
+				"this node serves no knowledge plane (start iofleetd with -knowledge)"))
+		}
+		return kp
+	}
+	handle("POST /v1/knowledge/docs", func(w http.ResponseWriter, r *http.Request) {
+		kp := knowledgePlane(w)
+		if kp == nil {
+			return
+		}
+		var req api.KnowledgeUpsertRequest
+		if apiErr := decodeJSONBody(w, r, cfg.MaxBody, &req); apiErr != nil {
+			WriteError(w, apiErr)
+			return
+		}
+		if len(req.Docs) == 0 && len(req.Remove) == 0 {
+			WriteError(w, api.Errorf(api.CodeBadRequest, "upsert carries no documents and no removals"))
+			return
+		}
+		docs := make([]vectordb.Document, len(req.Docs))
+		for i, d := range req.Docs {
+			if d.Key == "" {
+				WriteError(w, api.Errorf(api.CodeBadRequest, "document %d has an empty key", i))
+				return
+			}
+			if len(d.Text) > api.MaxKnowledgeDocLen {
+				WriteError(w, api.Errorf(api.CodeBadRequest,
+					"document %q exceeds the %d-byte text limit", d.Key, api.MaxKnowledgeDocLen))
+				return
+			}
+			docs[i] = vectordb.Document{Key: d.Key, Title: d.Title, Text: d.Text}
+		}
+		if err := kp.Upsert(docs, req.Remove); err != nil {
+			WriteError(w, api.Errorf(api.CodeBadRequest, "upsert refused: %v", err))
+			return
+		}
+		WriteJSON(w, http.StatusOK, toAPIKnowledge(kp.Metrics()))
+	})
+	handle("POST /v1/knowledge/swap", func(w http.ResponseWriter, r *http.Request) {
+		kp := knowledgePlane(w)
+		if kp == nil {
+			return
+		}
+		epoch, err := kp.Swap()
+		switch {
+		case errors.Is(err, knowledge.ErrNothingStaged):
+			WriteError(w, api.Errorf(api.CodeNothingStaged,
+				"no staged corpus changes to promote; POST /v1/knowledge/docs first"))
+			return
+		case err != nil:
+			internalError(w, "knowledge swap", err)
+			return
+		}
+		WriteJSON(w, http.StatusOK, api.KnowledgeSwapResponse{Epoch: epoch})
+	})
+	handle("GET /v1/knowledge", func(w http.ResponseWriter, r *http.Request) {
+		kp := knowledgePlane(w)
+		if kp == nil {
+			return
+		}
+		WriteJSON(w, http.StatusOK, toAPIKnowledge(kp.Metrics()))
+	})
+	handle("POST /v1/knowledge/search", func(w http.ResponseWriter, r *http.Request) {
+		kp := knowledgePlane(w)
+		if kp == nil {
+			return
+		}
+		var req api.KnowledgeSearchRequest
+		if apiErr := decodeJSONBody(w, r, cfg.MaxBody, &req); apiErr != nil {
+			WriteError(w, apiErr)
+			return
+		}
+		if strings.TrimSpace(req.Query) == "" {
+			WriteError(w, api.Errorf(api.CodeBadRequest, "search query is empty"))
+			return
+		}
+		k := req.K
+		if k <= 0 {
+			k = api.DefaultKnowledgeK
+		}
+		hits := kp.Retrieve(req.Query, k)
+		out := api.KnowledgeSearchResponse{Epoch: kp.Epoch(), Hits: make([]api.KnowledgeHit, len(hits))}
+		for i, h := range hits {
+			out.Hits[i] = api.KnowledgeHit{
+				Key:   h.Chunk.DocKey,
+				Title: h.Chunk.DocTitle,
+				Seq:   h.Chunk.Seq,
+				Text:  h.Chunk.Text,
+				Score: h.Score,
+			}
+		}
+		WriteJSON(w, http.StatusOK, out)
+	})
 	handle("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		m := toAPIMetrics(pool.Metrics(), pool.StatsByModel())
 		m.Node = cfg.NodeID
@@ -457,6 +561,24 @@ func parseSubmitParams(r *http.Request) (api.Lane, string, *api.Error) {
 		return "", "", apiErr
 	}
 	return lane, tenant, nil
+}
+
+// decodeJSONBody reads a size-bounded JSON request body into v, mapping
+// oversized and malformed bodies onto the wire taxonomy.
+func decodeJSONBody(w http.ResponseWriter, r *http.Request, maxBody int64, v any) *api.Error {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return api.Errorf(api.CodeBadRequest, "request body exceeds the %d-byte limit", maxBody)
+		}
+		log.Printf("iofleetd: read json body from %s: %v", r.RemoteAddr, err)
+		return api.Errorf(api.CodeBadRequest, "read body: request aborted")
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return api.Errorf(api.CodeBadRequest, "malformed JSON body: %v", err)
+	}
+	return nil
 }
 
 // verifyDigestClaim compares a client-asserted content digest against the
@@ -685,7 +807,28 @@ func toAPIMetrics(s fleet.Snapshot, byModel map[string]ioagent.ModelStats) api.M
 			m.TenantsInflight[tenant] = n
 		}
 	}
+	if s.Knowledge != nil {
+		ks := toAPIKnowledge(*s.Knowledge)
+		m.Knowledge = &ks
+	}
 	return m
+}
+
+// toAPIKnowledge maps the plane's metrics onto the wire status shape.
+func toAPIKnowledge(km knowledge.Metrics) api.KnowledgeStatus {
+	return api.KnowledgeStatus{
+		Epoch:         km.Epoch,
+		Docs:          km.Docs,
+		OwnedDocs:     km.OwnedDocs,
+		StagedOps:     km.StagedOps,
+		Queries:       km.Queries,
+		ANNQueries:    km.ANNQueries,
+		ExactQueries:  km.ExactQueries,
+		RerankCalls:   km.RerankCalls,
+		RerankErrors:  km.RerankErrors,
+		RerankCostUSD: km.RerankCostUSD,
+		RetrievalP95:  km.LatencyP95,
+	}
 }
 
 // WritePrometheus renders a metrics document in Prometheus text
@@ -748,6 +891,30 @@ func WritePrometheus(w io.Writer, m api.Metrics) {
 	fmt.Fprintf(w, "fleet_semcache_gate_rejects_total %d\n", m.SemCacheGateRejects)
 	metric("fleet_semcache_entries", "gauge", "Digests currently indexed for similarity lookup.")
 	fmt.Fprintf(w, "fleet_semcache_entries %d\n", m.SemCacheEntries)
+
+	if k := m.Knowledge; k != nil {
+		metric("fleet_knowledge_epoch", "gauge", "Promoted knowledge-corpus version on this node.")
+		fmt.Fprintf(w, "fleet_knowledge_epoch %d\n", k.Epoch)
+		metric("fleet_knowledge_docs", "gauge", "Documents in the full corpus view.")
+		fmt.Fprintf(w, "fleet_knowledge_docs %d\n", k.Docs)
+		metric("fleet_knowledge_owned_docs", "gauge", "Documents this node indexes locally (its ring shard plus replicas).")
+		fmt.Fprintf(w, "fleet_knowledge_owned_docs %d\n", k.OwnedDocs)
+		metric("fleet_knowledge_staged_ops", "gauge", "Staged corpus mutations awaiting an epoch swap.")
+		fmt.Fprintf(w, "fleet_knowledge_staged_ops %d\n", k.StagedOps)
+		metric("fleet_knowledge_queries_total", "counter", "Retrievals served by the knowledge plane.")
+		fmt.Fprintf(w, "fleet_knowledge_queries_total %d\n", k.Queries)
+		metric("fleet_knowledge_index_queries_total", "counter", "Underlying index searches by path (HNSW graph walk vs exact scan).")
+		fmt.Fprintf(w, "fleet_knowledge_index_queries_total{path=\"ann\"} %d\n", k.ANNQueries)
+		fmt.Fprintf(w, "fleet_knowledge_index_queries_total{path=\"exact\"} %d\n", k.ExactQueries)
+		metric("fleet_knowledge_rerank_calls_total", "counter", "Rerank invocations between retrieval and reflection.")
+		fmt.Fprintf(w, "fleet_knowledge_rerank_calls_total %d\n", k.RerankCalls)
+		metric("fleet_knowledge_rerank_errors_total", "counter", "Rerank failures that fell back to vector order.")
+		fmt.Fprintf(w, "fleet_knowledge_rerank_errors_total %d\n", k.RerankErrors)
+		metric("fleet_knowledge_rerank_cost_usd_total", "counter", "Simulated rerank-judge spend in US dollars.")
+		fmt.Fprintf(w, "fleet_knowledge_rerank_cost_usd_total %s\n", f64(k.RerankCostUSD))
+		metric("fleet_knowledge_retrieval_p95_seconds", "gauge", "95th-percentile retrieval latency over recent knowledge queries.")
+		fmt.Fprintf(w, "fleet_knowledge_retrieval_p95_seconds %s\n", f64(k.RetrievalP95.Seconds()))
+	}
 
 	tierModels := make([]string, 0, len(m.Tiers))
 	for model := range m.Tiers {

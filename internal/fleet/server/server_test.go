@@ -19,6 +19,7 @@ import (
 	"ioagent/internal/fleet"
 	"ioagent/internal/fleet/api"
 	"ioagent/internal/fleet/client"
+	fleetknowledge "ioagent/internal/fleet/knowledge"
 	"ioagent/internal/fleet/store"
 	"ioagent/internal/ioagent"
 	"ioagent/internal/iosim"
@@ -641,5 +642,151 @@ func TestMuxDrainRejectsAndJournals(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("metrics during drain = %s, want 200", resp.Status)
+	}
+}
+
+// TestMuxKnowledgeEndpoints pins the 1.4 knowledge surface: disabled nodes
+// answer knowledge_disabled, enabled nodes serve status, staged upserts,
+// atomic swaps (including the nothing_staged refusal), the search probe,
+// and the fleet_knowledge_* exposition series.
+func TestMuxKnowledgeEndpoints(t *testing.T) {
+	// A daemon without a plane: stable 404, not a bare mux miss.
+	_, bare := testMux(t, 64<<20)
+	resp, err := http.Get(bare.URL + "/v1/knowledge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := apiError(t, resp); resp.StatusCode != http.StatusNotFound || e.Code != api.CodeKnowledgeDisabled {
+		t.Fatalf("knowledge on a bare node = %s / %q, want 404 knowledge_disabled", resp.Status, e.Code)
+	}
+
+	plane := fleetknowledge.New(fleetknowledge.Config{})
+	pool := fleet.New(llm.NewSim(), fleet.Config{
+		Workers:   1,
+		Agent:     ioagent.Options{Index: knowledge.BuildIndex()},
+		Knowledge: plane,
+	})
+	t.Cleanup(pool.Close)
+	srv := httptest.NewServer(NewMux(Config{Pool: pool, MaxBody: 64 << 20}))
+	t.Cleanup(srv.Close)
+	postJSON := func(path string, body any) *http.Response {
+		t.Helper()
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Status: the seed corpus is promoted as epoch 1.
+	resp, err = http.Get(srv.URL + "/v1/knowledge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ks api.KnowledgeStatus
+	if err := json.NewDecoder(resp.Body).Decode(&ks); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ks.Epoch != 1 || ks.Docs == 0 || ks.OwnedDocs != ks.Docs {
+		t.Fatalf("seed status = %+v, want epoch 1 with a fully owned corpus", ks)
+	}
+
+	// Swapping with nothing staged is a 409.
+	resp = postJSON("/v1/knowledge/swap", struct{}{})
+	if e := apiError(t, resp); resp.StatusCode != http.StatusConflict || e.Code != api.CodeNothingStaged {
+		t.Fatalf("empty swap = %s / %q, want 409 nothing_staged", resp.Status, e.Code)
+	}
+
+	// An empty-key document is refused before anything is staged.
+	resp = postJSON("/v1/knowledge/docs", api.KnowledgeUpsertRequest{
+		Docs: []api.KnowledgeDoc{{Text: "anonymous"}},
+	})
+	if e := apiError(t, resp); resp.StatusCode != http.StatusBadRequest || e.Code != api.CodeBadRequest {
+		t.Fatalf("empty-key upsert = %s / %q, want 400 bad_request", resp.Status, e.Code)
+	}
+
+	// Stage a document; it must not serve until the swap.
+	resp = postJSON("/v1/knowledge/docs", api.KnowledgeUpsertRequest{
+		Docs: []api.KnowledgeDoc{{Key: "ops2030runbook", Title: "Runbook", Text: "Drain the burst buffer before maintenance windows to avoid checkpoint stalls."}},
+	})
+	if err := json.NewDecoder(resp.Body).Decode(&ks); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ks.StagedOps != 1 || ks.Epoch != 1 {
+		t.Fatalf("post-upsert status = %+v, want 1 staged op on epoch 1", ks)
+	}
+
+	resp = postJSON("/v1/knowledge/search", api.KnowledgeSearchRequest{Query: "drain the burst buffer before maintenance"})
+	var sr api.KnowledgeSearchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, h := range sr.Hits {
+		if h.Key == "ops2030runbook" {
+			t.Fatal("staged document visible to retrieval before the swap")
+		}
+	}
+
+	// Swap promotes epoch 2 and the document becomes retrievable.
+	resp = postJSON("/v1/knowledge/swap", struct{}{})
+	var swap api.KnowledgeSwapResponse
+	if err := json.NewDecoder(resp.Body).Decode(&swap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if swap.Epoch != 2 {
+		t.Fatalf("swap epoch = %d, want 2", swap.Epoch)
+	}
+	resp = postJSON("/v1/knowledge/search", api.KnowledgeSearchRequest{Query: "drain the burst buffer before maintenance"})
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	found := false
+	for _, h := range sr.Hits {
+		found = found || h.Key == "ops2030runbook"
+	}
+	if !found || sr.Epoch != 2 {
+		t.Fatalf("post-swap search (epoch %d, %d hits) did not surface the new document", sr.Epoch, len(sr.Hits))
+	}
+
+	// Both metrics renderings carry the plane.
+	var m api.Metrics
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if m.Knowledge == nil || m.Knowledge.Epoch != 2 || m.Knowledge.Queries < 2 {
+		t.Fatalf("metrics knowledge = %+v, want epoch 2 with served queries", m.Knowledge)
+	}
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"fleet_knowledge_epoch 2",
+		"fleet_knowledge_staged_ops 0",
+		`fleet_knowledge_index_queries_total{path="ann"}`,
+		`fleet_knowledge_index_queries_total{path="exact"}`,
+		"# TYPE fleet_knowledge_queries_total counter",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("exposition missing %q", want)
+		}
 	}
 }

@@ -1,0 +1,223 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ioagent/internal/fleet/knowledge"
+	"ioagent/internal/vectordb"
+)
+
+func kseed() []vectordb.Document {
+	return []vectordb.Document{
+		{Key: "k-a", Text: "small write aggregation improves bandwidth"},
+		{Key: "k-b", Text: "metadata operations overload the metadata server"},
+	}
+}
+
+func quietOpts() Options {
+	return Options{Fsync: FsyncOff, Logf: func(string, ...any) {}}
+}
+
+// TestKnowledgeStoreSurvivesKill pins the SIGKILL contract: mutations
+// journaled through OnEvent are recovered by a second store opened on the
+// same directory with no Checkpoint ever taken — exactly the state after
+// a kill -9.
+func TestKnowledgeStoreSurvivesKill(t *testing.T) {
+	dir := t.TempDir()
+	ks, err := OpenKnowledge(dir, quietOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := knowledge.New(knowledge.Config{Seed: kseed(), OnEvent: ks.OnEvent})
+	doc := vectordb.Document{Key: "k-new", Text: "burst buffer drain contention during checkpoints"}
+	if err := p.Upsert([]vectordb.Document{doc}, []string{"k-b"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Swap(); err != nil {
+		t.Fatal(err)
+	}
+	// Stage one more mutation without swapping; it must survive too.
+	if err := p.Upsert([]vectordb.Document{{Key: "k-staged", Text: "collective buffering aggregates small writes"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// No Close, no Checkpoint: the process dies here.
+
+	ks2, err := OpenKnowledge(dir, quietOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ks2.Close()
+	if !ks2.HasRecovered() {
+		t.Fatal("nothing recovered from the WAL")
+	}
+	p2 := knowledge.New(knowledge.Config{Seed: kseed()})
+	ks2.Replay(p2)
+	if p2.Epoch() != 2 {
+		t.Fatalf("recovered epoch = %d, want 2", p2.Epoch())
+	}
+	if _, ok := p2.Doc("k-new"); !ok {
+		t.Fatal("journaled upsert lost across kill")
+	}
+	if _, ok := p2.Doc("k-b"); ok {
+		t.Fatal("journaled removal lost across kill")
+	}
+	if m := p2.Metrics(); m.StagedOps != 1 {
+		t.Fatalf("staged-but-unswapped mutation lost: StagedOps = %d, want 1", m.StagedOps)
+	}
+	if v, err := p2.Swap(); err != nil || v != 3 {
+		t.Fatalf("swap of recovered staged delta = (%d, %v), want (3, nil)", v, err)
+	}
+}
+
+// TestKnowledgeStoreCheckpoint pins snapshot-collapse: after Checkpoint the
+// WAL is empty, and recovery comes from knowledge.json alone — including a
+// staged delta captured mid-stage.
+func TestKnowledgeStoreCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	ks, err := OpenKnowledge(dir, quietOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := knowledge.New(knowledge.Config{Seed: kseed(), OnEvent: ks.OnEvent})
+	if err := p.Upsert([]vectordb.Document{{Key: "k-c", Text: "stripe alignment avoids read modify write"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Swap(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Upsert([]vectordb.Document{{Key: "k-d", Text: "rank imbalance stragglers dominate runtime"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if ks.Appended() != 3 {
+		t.Fatalf("Appended = %d, want 3", ks.Appended())
+	}
+	if err := ks.Checkpoint(p); err != nil {
+		t.Fatal(err)
+	}
+	if ks.Appended() != 0 {
+		t.Fatalf("Appended = %d after checkpoint, want 0", ks.Appended())
+	}
+	if data, err := os.ReadFile(filepath.Join(dir, knowledgeWALName)); err != nil || len(data) != 0 {
+		t.Fatalf("WAL not empty after checkpoint: %d bytes, err %v", len(data), err)
+	}
+	if err := ks.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ks2, err := OpenKnowledge(dir, quietOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ks2.Close()
+	p2 := knowledge.New(knowledge.Config{Seed: kseed()})
+	ks2.Replay(p2)
+	if p2.Epoch() != 2 {
+		t.Fatalf("epoch from snapshot = %d, want 2", p2.Epoch())
+	}
+	if _, ok := p2.Doc("k-c"); !ok {
+		t.Fatal("promoted doc lost across checkpoint")
+	}
+	if m := p2.Metrics(); m.StagedOps != 1 {
+		t.Fatalf("staged delta lost across checkpoint: StagedOps = %d, want 1", m.StagedOps)
+	}
+}
+
+// TestKnowledgeStoreTornTail pins crash-mid-append tolerance: a WAL whose
+// final line is garbage recovers everything before it.
+func TestKnowledgeStoreTornTail(t *testing.T) {
+	dir := t.TempDir()
+	ks, err := OpenKnowledge(dir, quietOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := knowledge.New(knowledge.Config{Seed: kseed(), OnEvent: ks.OnEvent})
+	if err := p.Upsert([]vectordb.Document{{Key: "k-t", Text: "sequential access enables readahead"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Swap(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: garbage with no trailing newline.
+	f, err := os.OpenFile(filepath.Join(dir, knowledgeWALName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"kdoc","docs":[{"key":"torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	warned := false
+	ks2, err := OpenKnowledge(dir, Options{Fsync: FsyncOff, Logf: func(string, ...any) { warned = true }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ks2.Close()
+	if !warned {
+		t.Error("torn tail dropped without a warning")
+	}
+	p2 := knowledge.New(knowledge.Config{Seed: kseed()})
+	ks2.Replay(p2)
+	if p2.Epoch() != 2 {
+		t.Fatalf("epoch = %d after torn-tail recovery, want 2", p2.Epoch())
+	}
+	if _, ok := p2.Doc("k-t"); !ok {
+		t.Fatal("intact record before the torn tail was lost")
+	}
+	// The truncated WAL must accept new appends cleanly.
+	p3 := knowledge.New(knowledge.Config{Seed: kseed(), OnEvent: ks2.OnEvent})
+	ks2.Replay(p3)
+	if err := p3.Upsert([]vectordb.Document{{Key: "k-after", Text: "new document after recovery"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p3.Swap(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKnowledgeStoreDoubleReplayAfterPartialCheckpoint pins the
+// crash-between-snapshot-and-truncate window: records the snapshot already
+// covers replay as no-ops.
+func TestKnowledgeStoreDoubleReplayAfterPartialCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	ks, err := OpenKnowledge(dir, quietOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := knowledge.New(knowledge.Config{Seed: kseed(), OnEvent: ks.OnEvent})
+	if err := p.Upsert([]vectordb.Document{{Key: "k-p", Text: "posix interface bypasses collective optimizations"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Swap(); err != nil {
+		t.Fatal(err)
+	}
+	// Write the snapshot but "crash" before the WAL truncation: steal the
+	// WAL bytes, checkpoint, then put them back.
+	wal, err := os.ReadFile(filepath.Join(dir, knowledgeWALName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ks.Checkpoint(p); err != nil {
+		t.Fatal(err)
+	}
+	ks.Close()
+	if err := os.WriteFile(filepath.Join(dir, knowledgeWALName), wal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ks2, err := OpenKnowledge(dir, quietOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ks2.Close()
+	p2 := knowledge.New(knowledge.Config{Seed: kseed()})
+	ks2.Replay(p2)
+	if p2.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2", p2.Epoch())
+	}
+	if m := p2.Metrics(); m.StagedOps != 0 {
+		t.Fatalf("covered WAL records left %d staged ops, want 0", m.StagedOps)
+	}
+}

@@ -25,8 +25,22 @@ type Options struct {
 	// UseOneShotMerge replaces the tree merge with a single merge call
 	// (the Fig. 6 ablation baseline).
 	UseOneShotMerge bool
-	// Index overrides the knowledge index (default: the built-in corpus).
+	// Index overrides the knowledge index (default: the built-in corpus,
+	// built once per process and shared across agents).
 	Index *vectordb.Index
+	// Retriever, when set, replaces the embedded index on the retrieval
+	// path: the agent asks it for the top-k sources per fragment instead
+	// of searching Index. The fleet's knowledge plane implements this to
+	// serve retrieval as a cluster service (epoch-versioned corpus, ANN
+	// search, optional rerank). Retrieval falls back to Index when nil.
+	Retriever Retriever
+}
+
+// Retriever serves top-k retrieval for the agent's RAG stage. Implementations
+// must be safe for concurrent use; vectordb.Index satisfies the shape via
+// Search, and internal/fleet/knowledge.Plane is the fleet-served form.
+type Retriever interface {
+	Retrieve(query string, k int) []vectordb.Hit
 }
 
 // WithDefaults returns a copy of o with every unset field replaced by the
@@ -55,6 +69,7 @@ type Agent struct {
 	model      string
 	cheapModel string
 	index      *vectordb.Index
+	retriever  Retriever
 	opts       Options
 
 	mu      sync.Mutex
@@ -72,19 +87,38 @@ type ModelStats struct {
 	Calls   int
 }
 
+// defaultIndex memoizes the built-in corpus index: chunk embedding is the
+// expensive part of agent construction, and every default-configured agent
+// in a process (tests, tier-ladder rungs, multi-agent daemons) retrieves
+// from the identical immutable corpus. Agents never mutate their index, so
+// sharing is safe; callers that need a private or mutable index pass
+// Options.Index explicitly.
+var defaultIndex struct {
+	once sync.Once
+	ix   *vectordb.Index
+}
+
+func defaultCorpusIndex() *vectordb.Index {
+	defaultIndex.once.Do(func() {
+		defaultIndex.ix = knowledge.BuildIndex()
+	})
+	return defaultIndex.ix
+}
+
 // New builds an agent. A nil index in opts selects the built-in 66-document
-// corpus index.
+// corpus index, built once per process and shared.
 func New(client llm.Client, opts Options) *Agent {
 	opts = opts.WithDefaults()
 	ix := opts.Index
 	if ix == nil && !opts.DisableRAG {
-		ix = knowledge.BuildIndex()
+		ix = defaultCorpusIndex()
 	}
 	return &Agent{
 		client:     client,
 		model:      opts.Model,
 		cheapModel: opts.CheapModel,
 		index:      ix,
+		retriever:  opts.Retriever,
 		opts:       opts,
 	}
 }

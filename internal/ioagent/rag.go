@@ -33,13 +33,22 @@ func (a *Agent) describeFragment(frag *Fragment) (string, llm.Usage, error) {
 	return resp.Content, resp.Usage, nil
 }
 
-// retrieve queries the vector index with the natural-language description
-// and returns the top-k chunks (paper: k = 15).
+// retrieve queries the knowledge plane (when configured) or the embedded
+// vector index with the natural-language description and returns the top-k
+// chunks (paper: k = 15).
 func (a *Agent) retrieve(nl string) []retrieved {
-	if a.index == nil || a.opts.DisableRAG {
+	if a.opts.DisableRAG {
 		return nil
 	}
-	hits := a.index.Search(nl, a.opts.TopK)
+	var hits []vectordb.Hit
+	switch {
+	case a.retriever != nil:
+		hits = a.retriever.Retrieve(nl, a.opts.TopK)
+	case a.index != nil:
+		hits = a.index.Search(nl, a.opts.TopK)
+	default:
+		return nil
+	}
 	out := make([]retrieved, 0, len(hits))
 	for _, h := range hits {
 		out = append(out, retrieved{

@@ -1,6 +1,10 @@
 package knowledge
 
-import "ioagent/internal/vectordb"
+import (
+	"sync"
+
+	"ioagent/internal/vectordb"
+)
 
 // Doc is one surveyed source.
 type Doc struct {
@@ -19,6 +23,16 @@ func Corpus() []Doc {
 	return docs
 }
 
+// Documents returns the corpus as vectordb documents, ready to index. The
+// slice is freshly built on every call so callers may modify it.
+func Documents() []vectordb.Document {
+	docs := make([]vectordb.Document, len(corpus))
+	for i, d := range corpus {
+		docs[i] = vectordb.Document{Key: d.Key, Title: d.Title, Text: d.Text}
+	}
+	return docs
+}
+
 // BuildIndex indexes the full corpus with the paper's chunking settings
 // (512-token chunks, overlap 20, cosine similarity).
 func BuildIndex() *vectordb.Index {
@@ -29,14 +43,24 @@ func BuildIndex() *vectordb.Index {
 	return ix
 }
 
-// Lookup returns the document with the given citation key.
+// lookupOnce builds the key → document map exactly once; the corpus is
+// immutable after init, so the map never invalidates.
+var (
+	lookupOnce sync.Once
+	byKey      map[string]Doc
+)
+
+// Lookup returns the document with the given citation key in O(1): the key
+// map is built once, not scanned per call.
 func Lookup(key string) (Doc, bool) {
-	for _, d := range corpus {
-		if d.Key == key {
-			return d, true
+	lookupOnce.Do(func() {
+		byKey = make(map[string]Doc, len(corpus))
+		for _, d := range corpus {
+			byKey[d.Key] = d
 		}
-	}
-	return Doc{}, false
+	})
+	d, ok := byKey[key]
+	return d, ok
 }
 
 var corpus = []Doc{

@@ -43,6 +43,45 @@ func TestLookup(t *testing.T) {
 	}
 }
 
+// BenchmarkLookup pins the O(1) lookup claim: hitting the first and the
+// last corpus key costs the same (a map probe), where the old linear scan
+// paid ~66x more for the last. Run with -benchtime to compare positions.
+func BenchmarkLookup(b *testing.B) {
+	all := Corpus()
+	first, last := all[0].Key, all[len(all)-1].Key
+	b.Run("first", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := Lookup(first); !ok {
+				b.Fatal("first key missing")
+			}
+		}
+	})
+	b.Run("last", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := Lookup(last); !ok {
+				b.Fatal("last key missing")
+			}
+		}
+	})
+}
+
+// TestLookupConcurrent exercises the once-guarded map build under -race.
+func TestLookupConcurrent(t *testing.T) {
+	keys := []string{"yang2019smallwrite", "bez2021alignment", "nope"}
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 100; j++ {
+				Lookup(keys[j%len(keys)])
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}
+
 // TestTopicCoverage checks every issue label has at least one document whose
 // text matches two of its topic keywords — otherwise the RAG layer could
 // never ground a diagnosis of that label.

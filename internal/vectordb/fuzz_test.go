@@ -1,0 +1,53 @@
+package vectordb
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// FuzzHNSWMatchesExactAtFullK pins the exact-fallback contract: at
+// k ≥ doc count (and a fortiori k ≥ chunk count, since fuzz docs are
+// single-chunk) the ANN index must return results identical to the
+// brute-force index — same chunks, same scores, same deterministic
+// tie-break order.
+func FuzzHNSWMatchesExactAtFullK(f *testing.F) {
+	f.Add("small write bandwidth|metadata storm server|stripe lock contention", "aggregate small writes")
+	f.Add("a b c|a b c|a b", "a b c")
+	f.Add("read ahead sequential|checkpoint burst rank straggler", "burst")
+	f.Fuzz(func(t *testing.T, corpus, query string) {
+		var docs []Document
+		for i, body := range strings.Split(corpus, "|") {
+			words := strings.Fields(body)
+			if len(words) == 0 {
+				continue
+			}
+			if len(words) > 64 {
+				words = words[:64] // keep every doc single-chunk
+			}
+			docs = append(docs, Document{
+				Key:  fmt.Sprintf("doc%03d", i),
+				Text: strings.Join(words, " "),
+			})
+			if len(docs) == 32 {
+				break
+			}
+		}
+		if len(docs) == 0 || strings.TrimSpace(query) == "" {
+			t.Skip()
+		}
+		brute, ann := buildPair(docs, Options{ChunkSize: 64, Overlap: NoOverlap})
+		for _, k := range []int{len(docs), len(docs) + 3} {
+			exact := brute.Search(query, k)
+			approx := ann.Search(query, k)
+			if len(exact) != len(approx) {
+				t.Fatalf("k=%d: %d exact hits vs %d ANN hits", k, len(exact), len(approx))
+			}
+			for i := range exact {
+				if exact[i] != approx[i] {
+					t.Fatalf("k=%d rank %d: exact %+v vs ANN %+v", k, i, exact[i], approx[i])
+				}
+			}
+		}
+	})
+}

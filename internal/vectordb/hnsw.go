@@ -1,0 +1,359 @@
+package vectordb
+
+// Hierarchical Navigable Small World (HNSW) graph: the approximate index
+// behind Search when Options.ANN is set. The graph lives beside the
+// Index's parallel chunk slices and addresses chunks by slice position, so
+// it stores adjacency only — vectors and norms stay where the exact scan
+// already keeps them.
+//
+// Two departures from the textbook algorithm keep the index deterministic,
+// which the rest of the system (result caching, replayed diagnoses,
+// concurrent-search tests) requires:
+//
+//   - Level assignment hashes the chunk identity (doc key, seq) through
+//     FNV-1a into the usual geometric distribution instead of drawing from
+//     a PRNG, so the same documents always build the same graph.
+//   - Every candidate ordering breaks similarity ties by ascending chunk
+//     id, so walks never depend on map iteration or insertion races.
+//
+// Search quality is tuned for the repo's workloads (the 66-doc corpus and
+// 10k-doc synthetic epochs): M=16 neighbors, efConstruction=80,
+// efSearch=max(256, 4k). Recall@15 against the exact scan is property-
+// tested at ≥ 0.95 in hnsw_test.go.
+
+import (
+	"hash/fnv"
+	"math"
+	"strconv"
+
+	"ioagent/internal/embed"
+)
+
+const (
+	// hnswM bounds neighbors per node per layer (layer 0 gets 2M).
+	hnswM = 16
+	// hnswEfBuild is the candidate-list width during insertion.
+	hnswEfBuild = 80
+	// hnswEfSearch is the minimum candidate-list width during search; the
+	// effective width is max(hnswEfSearch, 4k).
+	hnswEfSearch = 256
+)
+
+// hnswNode is one graph node; its id is its position in Index.chunks.
+type hnswNode struct {
+	Level     int       `json:"level"`
+	Neighbors [][]int32 `json:"neighbors"` // Neighbors[l] = adjacent ids at layer l
+}
+
+// hnswGraph is the adjacency structure, JSON-persisted by Index.Save.
+type hnswGraph struct {
+	Entry    int32      `json:"entry"` // entry point id; -1 when empty
+	MaxLevel int        `json:"max_level"`
+	Nodes    []hnswNode `json:"nodes"`
+}
+
+func newHNSW() *hnswGraph {
+	return &hnswGraph{Entry: -1}
+}
+
+// valid reports whether a deserialized graph is structurally consistent
+// with an index of n chunks; an inconsistent graph is rebuilt, not trusted.
+func (g *hnswGraph) valid(n int) bool {
+	if len(g.Nodes) != n || n == 0 {
+		return len(g.Nodes) == n && g.Entry == -1
+	}
+	if g.Entry < 0 || int(g.Entry) >= n {
+		return false
+	}
+	for i := range g.Nodes {
+		node := &g.Nodes[i]
+		if node.Level < 0 || len(node.Neighbors) != node.Level+1 {
+			return false
+		}
+		for _, layer := range node.Neighbors {
+			for _, id := range layer {
+				if id < 0 || int(id) >= n {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// clone deep-copies the graph.
+func (g *hnswGraph) clone() *hnswGraph {
+	c := &hnswGraph{Entry: g.Entry, MaxLevel: g.MaxLevel, Nodes: make([]hnswNode, len(g.Nodes))}
+	for i, n := range g.Nodes {
+		nn := hnswNode{Level: n.Level, Neighbors: make([][]int32, len(n.Neighbors))}
+		for l, layer := range n.Neighbors {
+			nn.Neighbors[l] = append([]int32(nil), layer...)
+		}
+		c.Nodes[i] = nn
+	}
+	return c
+}
+
+// chunkLevel derives the node's top layer from the chunk identity: a
+// deterministic stand-in for the paper's geometric draw with
+// mL = 1/ln(M).
+func chunkLevel(key string, seq int) int {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write([]byte(strconv.Itoa(seq)))
+	// Map the top 53 bits to u in (0, 1], then invert the geometric CDF.
+	u := (float64(h.Sum64()>>11) + 1) / float64(uint64(1)<<53)
+	return int(-math.Log(u) / math.Log(hnswM))
+}
+
+// scored pairs a node id with its similarity to the probe; ordering is
+// similarity-descending with ascending-id tie-break, everywhere.
+type scored struct {
+	id  int32
+	sim float64
+}
+
+func scoredBetter(a, b scored) bool {
+	if a.sim != b.sim {
+		return a.sim > b.sim
+	}
+	return a.id < b.id
+}
+
+// scoredHeap is a binary heap over scored entries. With max=true the best
+// entry is at the root (candidate frontier); with max=false the worst is
+// (bounded result set, so the weakest is evicted in O(log n)).
+type scoredHeap struct {
+	s   []scored
+	max bool
+}
+
+func (h *scoredHeap) less(i, j int) bool {
+	if h.max {
+		return scoredBetter(h.s[i], h.s[j])
+	}
+	return scoredBetter(h.s[j], h.s[i])
+}
+
+func (h *scoredHeap) push(e scored) {
+	h.s = append(h.s, e)
+	i := len(h.s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.s[i], h.s[parent] = h.s[parent], h.s[i]
+		i = parent
+	}
+}
+
+func (h *scoredHeap) pop() scored {
+	top := h.s[0]
+	last := len(h.s) - 1
+	h.s[0] = h.s[last]
+	h.s = h.s[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(h.s) && h.less(l, best) {
+			best = l
+		}
+		if r < len(h.s) && h.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return top
+		}
+		h.s[i], h.s[best] = h.s[best], h.s[i]
+		i = best
+	}
+}
+
+// insert adds chunk id (already present in ix.chunks/vectors/invNorms) to
+// the graph. Caller holds ix.mu.
+func (g *hnswGraph) insert(ix *Index, id int) {
+	level := chunkLevel(ix.chunks[id].DocKey, ix.chunks[id].Seq)
+	node := hnswNode{Level: level, Neighbors: make([][]int32, level+1)}
+	g.Nodes = append(g.Nodes, node)
+	if g.Entry < 0 {
+		g.Entry = int32(id)
+		g.MaxLevel = level
+		return
+	}
+
+	sim := func(j int32) float64 {
+		return embed.Dot(ix.vectors[id], ix.vectors[j]) * ix.invNorms[id] * ix.invNorms[j]
+	}
+
+	cur := g.Entry
+	for l := g.MaxLevel; l > level; l-- {
+		cur = g.greedy(sim, cur, l)
+	}
+	top := level
+	if g.MaxLevel < top {
+		top = g.MaxLevel
+	}
+	eps := []int32{cur}
+	for l := top; l >= 0; l-- {
+		cands := g.searchLayer(ix, sim, eps, hnswEfBuild, l, int32(id))
+		maxN := hnswM
+		if l == 0 {
+			maxN = 2 * hnswM
+		}
+		nbrs := make([]int32, 0, hnswM)
+		for _, c := range cands {
+			if len(nbrs) == hnswM {
+				break
+			}
+			nbrs = append(nbrs, c.id)
+		}
+		g.Nodes[id].Neighbors[l] = nbrs
+		for _, nb := range nbrs {
+			g.link(ix, nb, int32(id), l, maxN)
+		}
+		eps = eps[:0]
+		for _, c := range cands {
+			eps = append(eps, c.id)
+		}
+	}
+	if level > g.MaxLevel {
+		g.MaxLevel = level
+		g.Entry = int32(id)
+	}
+}
+
+// link makes nb a neighbor of at on layer l, pruning at's list back to
+// maxN by similarity to at when it overflows.
+func (g *hnswGraph) link(ix *Index, at, nb int32, l, maxN int) {
+	lst := append(g.Nodes[at].Neighbors[l], nb)
+	if len(lst) > maxN {
+		simAt := func(j int32) float64 {
+			return embed.Dot(ix.vectors[at], ix.vectors[j]) * ix.invNorms[at] * ix.invNorms[j]
+		}
+		entries := make([]scored, len(lst))
+		for i, id := range lst {
+			entries[i] = scored{id: id, sim: simAt(id)}
+		}
+		// Selection sort down to maxN: lists are tiny (≤ 2M+1).
+		for i := 0; i < maxN; i++ {
+			best := i
+			for j := i + 1; j < len(entries); j++ {
+				if scoredBetter(entries[j], entries[best]) {
+					best = j
+				}
+			}
+			entries[i], entries[best] = entries[best], entries[i]
+		}
+		lst = lst[:0]
+		for i := 0; i < maxN; i++ {
+			lst = append(lst, entries[i].id)
+		}
+	}
+	g.Nodes[at].Neighbors[l] = lst
+}
+
+// greedy walks layer l from start to the local similarity maximum.
+func (g *hnswGraph) greedy(sim func(int32) float64, start int32, l int) int32 {
+	cur, best := start, sim(start)
+	for {
+		improved := false
+		for _, nb := range g.Nodes[cur].Neighbors[l] {
+			if s := sim(nb); s > best || (s == best && nb < cur) {
+				best, cur, improved = s, nb, true
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// searchLayer runs the bounded best-first walk on layer l from the entry
+// points, returning up to ef candidates best-first. skip (or -1) excludes
+// the node being inserted from its own candidate set.
+func (g *hnswGraph) searchLayer(ix *Index, sim func(int32) float64, eps []int32, ef, l int, skip int32) []scored {
+	visited := make([]bool, len(g.Nodes))
+	frontier := scoredHeap{max: true}
+	results := scoredHeap{max: false}
+	for _, ep := range eps {
+		if visited[ep] || ep == skip {
+			continue
+		}
+		visited[ep] = true
+		e := scored{id: ep, sim: sim(ep)}
+		frontier.push(e)
+		results.push(e)
+	}
+	for len(frontier.s) > 0 {
+		c := frontier.pop()
+		if len(results.s) >= ef && scoredBetter(results.s[0], c) {
+			break // the frontier's best cannot improve the result set
+		}
+		for _, nb := range g.Nodes[c.id].Neighbors[l] {
+			if visited[nb] || nb == skip {
+				continue
+			}
+			visited[nb] = true
+			e := scored{id: nb, sim: sim(nb)}
+			if len(results.s) < ef {
+				frontier.push(e)
+				results.push(e)
+			} else if scoredBetter(e, results.s[0]) {
+				frontier.push(e)
+				results.pop()
+				results.push(e)
+			}
+		}
+	}
+	out := make([]scored, len(results.s))
+	for i := len(results.s) - 1; i >= 0; i-- {
+		out[i] = results.pop()
+	}
+	return out
+}
+
+// searchANNLocked answers one query from the graph walk: greedy descent
+// through the upper layers, a bounded best-first walk on layer 0, exact
+// rescoring of the surviving candidates. It returns nil when the walk
+// yields fewer than k candidates (a pruning-starved or degenerate graph),
+// signaling Search to fall back to the exact scan. Caller holds ix.mu
+// (read); the graph is never mutated here.
+func (ix *Index) searchANNLocked(qv embed.Vector, qinv float64, k int) []Hit {
+	g := ix.graph
+	if g.Entry < 0 {
+		return nil
+	}
+	sim := func(j int32) float64 {
+		return embed.Dot(qv, ix.vectors[j]) * qinv * ix.invNorms[j]
+	}
+	ef := hnswEfSearch
+	if 4*k > ef {
+		ef = 4 * k
+	}
+	cur := g.Entry
+	for l := g.MaxLevel; l > 0; l-- {
+		cur = g.greedy(sim, cur, l)
+	}
+	cands := g.searchLayer(ix, sim, []int32{cur}, ef, 0, -1)
+	if len(cands) < k {
+		return nil
+	}
+	// Exact rescoring: candidate sims were already computed against the
+	// true vectors, so this is just materialization in hitLess order.
+	hits := make([]Hit, len(cands))
+	for i, c := range cands {
+		hits[i] = Hit{Chunk: ix.chunks[c.id], Score: c.sim}
+	}
+	// cands are similarity-ordered with id tie-breaks; hitLess orders by
+	// (score, doc key, seq). Re-sort the short candidate list to match the
+	// exact scan's contract bit-for-bit.
+	for i := 1; i < len(hits); i++ {
+		for j := i; j > 0 && hitLess(hits[j], hits[j-1]); j-- {
+			hits[j], hits[j-1] = hits[j-1], hits[j]
+		}
+	}
+	return hits[:k]
+}

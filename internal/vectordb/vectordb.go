@@ -7,6 +7,7 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"ioagent/internal/embed"
 )
@@ -58,6 +59,12 @@ type Options struct {
 	// document's key, after the index lock is released. Not persisted by
 	// Save; a caller that Loads an index rewires its own callback.
 	OnEvict func(docKey string)
+	// ANN maintains an HNSW graph over the chunks so Search answers from
+	// an approximate-nearest-neighbor walk instead of the exact scan.
+	// Brute force remains the exact fallback (and the recall oracle): a
+	// query whose k covers the whole index, or a graph that cannot yield k
+	// candidates, is answered exactly. Persisted by Save.
+	ANN bool
 }
 
 func (o Options) withDefaults() Options {
@@ -76,7 +83,8 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Index is an in-memory vector index with exact (brute-force) cosine search.
+// Index is an in-memory vector index with exact (brute-force) cosine search
+// and, with Options.ANN, an HNSW approximate index behind the same Search.
 type Index struct {
 	mu      sync.RWMutex
 	opts    Options
@@ -85,11 +93,43 @@ type Index struct {
 	// invNorms[i] is 1/|vectors[i]| (0 for zero vectors), precomputed at
 	// indexing time so concurrent searches never redo per-chunk work.
 	invNorms []float64
+	// graph is the HNSW index over the same chunk ids, nil unless
+	// Options.ANN. Mutated only under mu (write); read under RLock.
+	graph *hnswGraph
+
+	annQueries   atomic.Uint64 // searches answered from the HNSW walk
+	exactQueries atomic.Uint64 // searches answered by the exact scan
+}
+
+// SearchStats counts how searches were answered since the index was built.
+type SearchStats struct {
+	// ANNQueries answered from the HNSW graph walk.
+	ANNQueries uint64
+	// ExactQueries answered by the brute-force scan — every query on a
+	// non-ANN index, plus the exact fallbacks of an ANN one (k covering
+	// the whole index, or a graph walk that came up short).
+	ExactQueries uint64
+}
+
+// Stats reports how searches have been answered.
+func (ix *Index) Stats() SearchStats {
+	return SearchStats{ANNQueries: ix.annQueries.Load(), ExactQueries: ix.exactQueries.Load()}
+}
+
+// ANN reports whether the index maintains an HNSW graph.
+func (ix *Index) ANN() bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.graph != nil
 }
 
 // New creates an empty index.
 func New(opts Options) *Index {
-	return &Index{opts: opts.withDefaults()}
+	ix := &Index{opts: opts.withDefaults()}
+	if ix.opts.ANN {
+		ix.graph = newHNSW()
+	}
+	return ix
 }
 
 // Len returns the number of indexed chunks.
@@ -148,7 +188,8 @@ func (ix *Index) Remove(docKey string) int {
 
 // removeLocked filters out docKey's chunks in place. Caller holds ix.mu.
 // Relative order of the surviving chunks — and therefore document age for
-// MaxDocs eviction — is preserved.
+// MaxDocs eviction — is preserved. With ANN on, removal compacts chunk ids,
+// so the HNSW graph is rebuilt over the survivors rather than patched.
 func (ix *Index) removeLocked(docKey string) int {
 	n := 0
 	for i := range ix.chunks {
@@ -164,7 +205,19 @@ func (ix *Index) removeLocked(docKey string) int {
 	ix.chunks = ix.chunks[:n]
 	ix.vectors = ix.vectors[:n]
 	ix.invNorms = ix.invNorms[:n]
+	if removed > 0 && ix.graph != nil {
+		ix.rebuildGraphLocked()
+	}
 	return removed
+}
+
+// rebuildGraphLocked reconstructs the HNSW graph from the current chunk
+// slices. Caller holds ix.mu.
+func (ix *Index) rebuildGraphLocked() {
+	ix.graph = newHNSW()
+	for i := range ix.chunks {
+		ix.graph.insert(ix, i)
+	}
 }
 
 // docCountLocked counts distinct document keys. Caller holds ix.mu.
@@ -183,7 +236,8 @@ func (ix *Index) Docs() int {
 	return ix.docCountLocked()
 }
 
-// appendChunk embeds and stores one chunk. Caller holds ix.mu.
+// appendChunk embeds and stores one chunk, inserting it into the HNSW
+// graph when ANN is on. Caller holds ix.mu.
 func (ix *Index) appendChunk(c Chunk) {
 	v := embed.Embed(c.Text)
 	inv := 0.0
@@ -193,6 +247,9 @@ func (ix *Index) appendChunk(c Chunk) {
 	ix.chunks = append(ix.chunks, c)
 	ix.vectors = append(ix.vectors, v)
 	ix.invNorms = append(ix.invNorms, inv)
+	if ix.graph != nil {
+		ix.graph.insert(ix, len(ix.chunks)-1)
+	}
 }
 
 // hitHeap is a min-heap of the best k hits seen so far, ordered worst
@@ -230,6 +287,11 @@ func hitLess(a, b Hit) bool {
 // Search returns the k chunks most similar to the query text, best first.
 // Ties break deterministically by (doc key, seq). Safe to call from many
 // goroutines at once.
+//
+// With Options.ANN the answer comes from the HNSW graph walk; a query
+// whose k covers the whole index (where only the exact scan can honor the
+// deterministic full ordering) or whose walk yields fewer than k
+// candidates falls back to the exact scan.
 func (ix *Index) Search(query string, k int) []Hit {
 	if k <= 0 {
 		return nil
@@ -248,6 +310,13 @@ func (ix *Index) Search(query string, k int) []Hit {
 	if k > len(ix.chunks) {
 		k = len(ix.chunks)
 	}
+	if ix.graph != nil && k < len(ix.chunks) {
+		if out := ix.searchANNLocked(qv, qinv, k); out != nil {
+			ix.annQueries.Add(1)
+			return out
+		}
+	}
+	ix.exactQueries.Add(1)
 	h := make(hitHeap, 0, k+1)
 	for i := range ix.chunks {
 		hit := Hit{
@@ -272,11 +341,16 @@ func (ix *Index) Search(query string, k int) []Hit {
 
 // persisted is the on-disk representation. Vectors are recomputed on load:
 // embeddings are deterministic, so storing them would only bloat the file.
+// The HNSW graph, by contrast, is persisted (adjacency is cheap next to
+// text, and rebuilding it is the expensive part of a load); a file whose
+// graph is missing or inconsistent rebuilds it instead of failing.
 type persisted struct {
-	ChunkSize int     `json:"chunk_size"`
-	Overlap   int     `json:"overlap"`
-	MaxDocs   int     `json:"max_docs,omitempty"`
-	Chunks    []Chunk `json:"chunks"`
+	ChunkSize int        `json:"chunk_size"`
+	Overlap   int        `json:"overlap"`
+	MaxDocs   int        `json:"max_docs,omitempty"`
+	ANN       bool       `json:"ann,omitempty"`
+	Chunks    []Chunk    `json:"chunks"`
+	Graph     *hnswGraph `json:"graph,omitempty"`
 }
 
 // Save writes the index to w as JSON.
@@ -288,7 +362,9 @@ func (ix *Index) Save(w io.Writer) error {
 		ChunkSize: ix.opts.ChunkSize,
 		Overlap:   ix.opts.Overlap,
 		MaxDocs:   ix.opts.MaxDocs,
+		ANN:       ix.graph != nil,
 		Chunks:    ix.chunks,
+		Graph:     ix.graph,
 	})
 }
 
@@ -306,11 +382,38 @@ func Load(r io.Reader) (*Index, error) {
 	}
 	// OnEvict is a process-local callback and is deliberately not part of
 	// the file format; callers that bound a loaded index rewire their own.
+	// The graph is attached (or rebuilt) after the chunks land, so
+	// appendChunk does not redo insertions the file already carries.
 	ix := New(Options{ChunkSize: p.ChunkSize, Overlap: overlap, MaxDocs: p.MaxDocs})
+	ix.opts.ANN = p.ANN
 	ix.mu.Lock()
 	for _, c := range p.Chunks {
 		ix.appendChunk(c)
 	}
+	if p.ANN {
+		if p.Graph != nil && p.Graph.valid(len(ix.chunks)) {
+			ix.graph = p.Graph
+		} else {
+			ix.rebuildGraphLocked()
+		}
+	}
 	ix.mu.Unlock()
 	return ix, nil
+}
+
+// Clone returns a deep, independent copy of the index: subsequent Add or
+// Remove calls on either side do not affect the other. The knowledge
+// plane's staged-epoch builder uses this to derive the next epoch's index
+// from the current one and apply only the document delta.
+func (ix *Index) Clone() *Index {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	c := &Index{opts: ix.opts}
+	c.chunks = append([]Chunk(nil), ix.chunks...)
+	c.vectors = append([]embed.Vector(nil), ix.vectors...)
+	c.invNorms = append([]float64(nil), ix.invNorms...)
+	if ix.graph != nil {
+		c.graph = ix.graph.clone()
+	}
+	return c
 }

@@ -24,6 +24,13 @@
 # rendering-canonical cache hit, and drives a 64KB-chunk resumable
 # upload session end to end.
 #
+# Part 4 (knowledge plane): boots a fresh two-daemon cluster with served,
+# durable knowledge planes behind the router, broadcasts a corpus
+# document and promotes it mid-batch (the in-flight batch must not fail),
+# asserts the next fresh diagnosis cites the new document, kills one
+# daemon with -9 and checks the promoted epoch survives the restart, then
+# drives a one-sided swap and checks /v1/cluster reports the epoch skew.
+#
 # Run from the repository root; exits non-zero on any failure.
 set -eu
 
@@ -203,9 +210,97 @@ stream_trace2=$(ls "$workdir"/traces/*.darshan | sed -n 6p)
 "$workdir/ioagent" -server "http://$router" -stream -chunk 65536 "$stream_trace2" >"$workdir/s-chunked.out"
 grep -q "done" "$workdir/s-chunked.out" || { echo "chunked upload diagnosis missing:"; cat "$workdir/s-chunked.out"; exit 1; }
 
-echo "== clean shutdown"
+echo "== shutting down the part-2/3 cluster"
 kill -TERM "$router_pid" "$n1_pid" 2>/dev/null || true
 wait "$router_pid" 2>/dev/null || true
 wait "$n1_pid" 2>/dev/null || true
+pids=""
+
+echo "== [4/4] knowledge plane: booting two knowledge-serving daemons"
+# Durable planes (-state-dir carries the knowledge WAL) with the ANN
+# index on; -api-latency stretches diagnoses so the epoch swap below
+# lands while the batch is genuinely in flight.
+"$workdir/iofleetd" -addr 127.0.0.1:0 -node-id k1 -workers 2 -api-latency 300ms \
+    -knowledge -knowledge-members k1,k2 -ann -state-dir "$workdir/k1-state" 2>"$workdir/k1.log" &
+k1_pid=$!
+pids="$pids $k1_pid"
+"$workdir/iofleetd" -addr 127.0.0.1:0 -node-id k2 -workers 2 -api-latency 300ms \
+    -knowledge -knowledge-members k1,k2 -ann -state-dir "$workdir/k2-state" 2>"$workdir/k2.log" &
+k2_pid=$!
+pids="$pids $k2_pid"
+k1=$(wait_addr "$workdir/k1.log" "$k1_pid")
+k2=$(wait_addr "$workdir/k2.log" "$k2_pid")
+"$workdir/iofleet-router" -addr 127.0.0.1:0 -nodes "http://$k1,http://$k2" 2>"$workdir/krouter.log" &
+krouter_pid=$!
+pids="$pids $krouter_pid"
+krouter=$(wait_addr "$workdir/krouter.log" "$krouter_pid")
+echo "   nodes at $k1 (k1) and $k2 (k2), router at $krouter"
+
+echo "== baseline diagnosis from the compiled-in corpus (epoch 1)"
+"$workdir/ioagent" -server "http://$krouter" "$workdir/scenarios/metadata-storm.trace" >"$workdir/k-base.out"
+grep -q "I/O" "$workdir/k-base.out" || { echo "baseline knowledge diagnosis looks empty:"; cat "$workdir/k-base.out"; exit 1; }
+if grep -q "e2esync-advisory" "$workdir/k-base.out"; then
+    echo "baseline diagnosis cites a document that does not exist yet:"; cat "$workdir/k-base.out"; exit 1
+fi
+
+echo "== upsert + swap mid-batch: in-flight diagnoses must not fail"
+batch_traces=$(ls "$workdir"/traces/*.darshan | head -4)
+# shellcheck disable=SC2086
+"$workdir/ioagent" -server "http://$krouter" -lane batch $batch_traces >"$workdir/k-batch.out" 2>"$workdir/k-batch.err" &
+kbatch_pid=$!
+sleep 0.2
+curl -sf -X POST "http://$krouter/v1/knowledge/docs" -d '{"docs":[{
+  "key": "e2esync-advisory",
+  "title": "Fleet advisory: metadata storm mitigation",
+  "text": "When metadata operations such as open and stat account for most of the observed I/O time, the metadata server has become the bottleneck: every process that performed thousands of metadata operations (opens and stats) adds load on the mdt. Batch stat calls, cache open file handles, and spread directory entries across mdt targets to reduce metadata time."
+}]}' >/dev/null || { echo "broadcast knowledge upsert failed"; exit 1; }
+curl -sf -X POST "http://$krouter/v1/knowledge/swap" -d '{}' | grep -q '"epoch": 2' \
+    || { echo "broadcast swap did not promote epoch 2"; exit 1; }
+if ! wait "$kbatch_pid"; then
+    echo "in-flight batch failed across the epoch swap:"
+    cat "$workdir/k-batch.out" "$workdir/k-batch.err"; exit 1
+fi
+kdone=$(grep -c "done" "$workdir/k-batch.out" || true)
+[ "$kdone" -ge 4 ] || { echo "batch across swap reported only $kdone done jobs of 4:"; cat "$workdir/k-batch.out"; exit 1; }
+echo "   batch of 4 completed across the swap ($kdone reports)"
+
+echo "== fresh diagnosis at epoch 2 must cite the new document"
+# A text rendering with one extra metadata line: a new content digest, so
+# the diagnosis is computed fresh against the promoted corpus.
+"$workdir/darshan-parser" "$workdir/scenarios/metadata-storm.trace" >"$workdir/k-variant.txt"
+printf '# metadata: smoke_variant = knowledge\n' >>"$workdir/k-variant.txt"
+"$workdir/ioagent" -server "http://$krouter" "$workdir/k-variant.txt" >"$workdir/k-post.out"
+grep -q "e2esync-advisory" "$workdir/k-post.out" \
+    || { echo "post-swap diagnosis does not cite the upserted document:"; cat "$workdir/k-post.out"; exit 1; }
+
+echo "== kill -9 k2: the promoted epoch must survive the restart"
+kill -KILL "$k2_pid" 2>/dev/null || true
+wait "$k2_pid" 2>/dev/null || true
+"$workdir/iofleetd" -addr "$k2" -node-id k2 -workers 2 -api-latency 300ms \
+    -knowledge -knowledge-members k1,k2 -ann -state-dir "$workdir/k2-state" 2>"$workdir/k2b.log" &
+k2_pid=$!
+pids="$pids $k2_pid"
+k2=$(wait_addr "$workdir/k2b.log" "$k2_pid")
+curl -sf "http://$k2/v1/knowledge" | grep -q '"epoch": 2' \
+    || { echo "knowledge epoch did not survive kill -9:"; curl -s "http://$k2/v1/knowledge"; exit 1; }
+echo "   k2 recovered at epoch 2 from its knowledge WAL"
+
+echo "== one-sided swap must surface as cluster epoch skew"
+curl -sf -X POST "http://$k1/v1/knowledge/docs" -d '{"remove":["e2esync-advisory"]}' >/dev/null
+curl -sf -X POST "http://$k1/v1/knowledge/swap" -d '{}' >/dev/null
+curl -sf "http://$krouter/v1/cluster" | grep -q '"knowledge_epoch_skew": true' \
+    || { echo "one-sided swap not reported as knowledge_epoch_skew:"; curl -s "http://$krouter/v1/cluster"; exit 1; }
+curl -sf -X POST "http://$k2/v1/knowledge/docs" -d '{"remove":["e2esync-advisory"]}' >/dev/null
+curl -sf -X POST "http://$k2/v1/knowledge/swap" -d '{}' >/dev/null
+if curl -sf "http://$krouter/v1/cluster" | grep -q '"knowledge_epoch_skew": true'; then
+    echo "converged fleet still reports knowledge_epoch_skew:"; curl -s "http://$krouter/v1/cluster"; exit 1
+fi
+echo "   skew raised on divergence, cleared on convergence"
+
+echo "== clean shutdown"
+kill -TERM "$krouter_pid" "$k1_pid" "$k2_pid" 2>/dev/null || true
+wait "$krouter_pid" 2>/dev/null || true
+wait "$k1_pid" 2>/dev/null || true
+wait "$k2_pid" 2>/dev/null || true
 pids=""
 echo "e2e smoke OK"

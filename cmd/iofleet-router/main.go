@@ -15,6 +15,7 @@
 //	               [-vnodes 128] [-max-body 67108864]
 //	               [-spool-dir DIR] [-spool-max 67108864]
 //	               [-node-retries 2] [-node-retry-delay 100ms]
+//	               [-roster-refresh 0s]
 //
 // Endpoints (same contract and error envelopes as iofleetd):
 //
@@ -43,6 +44,12 @@
 // Run the daemons with distinct -node-id values: that is what routes job
 // lookups back to the accepting node. All routers and cluster-mode SDK
 // clients of one fleet must agree on -nodes and -vnodes.
+//
+// Against an elastic fleet (iofleetd -advertise/-peers), set
+// -roster-refresh: -nodes then only seeds discovery, and the router
+// follows the live roster — daemons that join are routed to and daemons
+// that leave are dropped without restarting the router. Poll failures
+// keep the last known-good member list.
 package main
 
 import (
@@ -72,6 +79,7 @@ func main() {
 	spoolMax := flag.Int64("spool-max", 0, "max bytes spooled per header-less stream (0 = -max-body); digest-asserted streams never spool")
 	nodeRetries := flag.Int("node-retries", 2, "attempts per node per forwarded call before failing over to the ring successor")
 	nodeRetryDelay := flag.Duration("node-retry-delay", 100*time.Millisecond, "backoff between per-node attempts")
+	rosterRefresh := flag.Duration("roster-refresh", 0, "poll the fleet's live roster at this interval and reroute over it (0 = static -nodes list)")
 	flag.Parse()
 
 	var members []string
@@ -94,6 +102,7 @@ func main() {
 		ClientOptions: []client.Option{
 			client.WithRetry(*nodeRetries, *nodeRetryDelay),
 		},
+		RosterRefresh: *rosterRefresh,
 	})
 	if err != nil {
 		log.Fatal(err)

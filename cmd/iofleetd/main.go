@@ -28,6 +28,8 @@
 //	         [-state-dir DIR] [-snapshot-interval 30s] [-fsync always|batch|off]
 //	         [-knowledge] [-knowledge-members N1,N2,...] [-knowledge-replicas 2]
 //	         [-knowledge-state DIR] [-ann] [-rerank-model NAME]
+//	         [-advertise URL] [-peers URL,URL...] [-roster-interval 2s]
+//	         [-replicate 0]
 //
 // -semcache turns on semantic result reuse: each diagnosed trace is
 // indexed by a feature vector of its I/O profile, and a later submission
@@ -96,6 +98,19 @@
 // beyond it submissions refuse with the retryable quota_exceeded code
 // (HTTP 429 + Retry-After).
 //
+// -advertise turns the daemon into an elastic-fleet member: it announces
+// the given base URL (or, with "auto", the resolved -addr — handy with
+// an ephemeral port) to its -peers every -roster-interval, learns the
+// full membership by push-pull gossip, and serves the roster protocol
+// (GET/POST /v1/roster). On every ring change the daemon pushes the
+// cached diagnoses whose ownership moved to their new owner (similarity
+// vectors ride along), so a node that joins mid-soak answers
+// already-diagnosed traces warm instead of recomputing them. -replicate N
+// additionally keeps every fresh diagnosis warm on N ring members (the
+// owner plus N-1 successors), so router failover after a crash serves a
+// cached answer. Members that stop gossiping expire from the roster after
+// 4 roster intervals. Routers follow the live roster with -roster-refresh.
+//
 // -api-latency adds a simulated network round trip to every model call,
 // which is how a deployment against a remote LLM API behaves; it makes the
 // worker-scaling effect visible on a local demo.
@@ -118,6 +133,7 @@ import (
 	"ioagent/internal/fleet"
 	"ioagent/internal/fleet/ingest"
 	"ioagent/internal/fleet/knowledge"
+	"ioagent/internal/fleet/roster"
 	"ioagent/internal/fleet/server"
 	"ioagent/internal/fleet/store"
 	"ioagent/internal/ioagent"
@@ -161,6 +177,10 @@ func main() {
 	knowledgeState := flag.String("knowledge-state", "", "directory for the knowledge WAL and corpus snapshot (default: -state-dir; empty without it = in-memory only)")
 	ann := flag.Bool("ann", false, "use the HNSW approximate-nearest-neighbor index for knowledge retrieval (exact scan stays the fallback)")
 	rerankModel := flag.String("rerank-model", "", "cheap model that reranks retrieved chunks before reflection (empty disables)")
+	advertise := flag.String("advertise", "", "this daemon's base URL in the elastic roster, e.g. http://10.0.0.1:8080; \"auto\" advertises the resolved -addr (empty = static fleet member)")
+	peers := flag.String("peers", "", "comma-separated seed peer base URLs to announce to (with -advertise); the full roster arrives by gossip")
+	rosterInterval := flag.Duration("roster-interval", 2*time.Second, "gossip cadence; members silent for 4 intervals expire from the roster")
+	replicate := flag.Int("replicate", 0, "keep each cached diagnosis warm on N ring members (owner + N-1 successors); 0 or 1 disables replication")
 	flag.Parse()
 
 	if !nodeIDPattern.MatchString(*nodeID) {
@@ -219,6 +239,26 @@ func main() {
 		}
 		cfg.OnCacheInsert = st.CacheChanged
 		cfg.OnCacheEvict = st.CacheChanged
+	}
+
+	if *advertise == "" && (*peers != "" || *replicate > 1) {
+		log.Fatal("iofleetd: -peers and -replicate require -advertise (the URL this daemon joins the roster as)")
+	}
+	// The roster manager needs the pool and the pool's OnCacheInsert hook
+	// needs the manager (successor replication), so the manager late-binds
+	// through an atomic slot: inserts that land before it exists simply
+	// don't replicate.
+	var mgrSlot atomic.Pointer[roster.Manager]
+	if *advertise != "" {
+		prevInsert := cfg.OnCacheInsert
+		cfg.OnCacheInsert = func(digest string) {
+			if prevInsert != nil {
+				prevInsert(digest)
+			}
+			if m := mgrSlot.Load(); m != nil {
+				m.CacheInserted(digest)
+			}
+		}
 	}
 
 	llmClient := llm.WithLatency(llm.NewSim(), *apiLatency)
@@ -300,20 +340,73 @@ func main() {
 			st.Dir(), restored, resubmitted, revived)
 	}
 
-	// draining flips when SIGTERM/SIGINT arrives: new submissions are
-	// refused (and the refusal journaled) instead of being accepted into a
-	// pool that is about to stop.
-	var draining atomic.Bool
-	mux := server.NewMux(server.Config{
-		Pool: pool, Store: st, Uploads: uploads, Draining: &draining,
-		MaxBody: *maxBody, NodeID: *nodeID,
-	})
 	// Listen explicitly (rather than ListenAndServe) so ":0" resolves to a
-	// real port in the startup log — the e2e recovery test depends on it.
+	// real port in the startup log — the e2e recovery test depends on it —
+	// and so `-advertise auto` can name the resolved address.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Elastic membership: gossip with seed peers, hand cache shards to new
+	// owners on ring changes, replicate inserts to ring successors. The
+	// manager starts after recovery so a restarted daemon rejoins with its
+	// restored cache already in place — the first ring change hands the
+	// right entries over.
+	var mgr *roster.Manager
+	var stopRoster context.CancelFunc
+	if *advertise != "" {
+		selfURL := *advertise
+		if selfURL == "auto" {
+			// The resolved listen address; with an explicit host
+			// (-addr 127.0.0.1:0) this is a dialable base URL.
+			selfURL = "http://" + ln.Addr().String()
+		}
+		rcfg := roster.Config{
+			SelfURL:   selfURL,
+			NodeID:    *nodeID,
+			Interval:  *rosterInterval,
+			Replicate: *replicate,
+			Pool:      pool,
+		}
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				rcfg.Peers = append(rcfg.Peers, p)
+			}
+		}
+		rcfg.OnChange = func(added, removed []string) {
+			log.Printf("iofleetd: roster change: +%v -%v", added, removed)
+			if st != nil {
+				// Audit trail: the journal answers "when did the ring
+				// change under this daemon" after an incident.
+				for _, u := range added {
+					st.MemberJoined(u)
+				}
+				for _, u := range removed {
+					st.MemberLeft(u)
+				}
+			}
+		}
+		mgr = roster.New(rcfg)
+		mgrSlot.Store(mgr)
+		var rctx context.Context
+		rctx, stopRoster = context.WithCancel(context.Background())
+		go mgr.Run(rctx)
+		log.Printf("iofleetd: elastic member %s (peers %v, replicate %d)", rcfg.SelfURL, rcfg.Peers, *replicate)
+	}
+
+	// draining flips when SIGTERM/SIGINT arrives: new submissions are
+	// refused (and the refusal journaled) instead of being accepted into a
+	// pool that is about to stop.
+	var draining atomic.Bool
+	srvCfg := server.Config{
+		Pool: pool, Store: st, Uploads: uploads, Draining: &draining,
+		MaxBody: *maxBody, NodeID: *nodeID,
+	}
+	if mgr != nil {
+		srvCfg.Elastic = mgr // a typed-nil manager must not enable the roster endpoints
+	}
+	mux := server.NewMux(srvCfg)
 	srv := &http.Server{Handler: mux}
 
 	// Periodic checkpoints: snapshot the cache when it changed, compact
@@ -368,6 +461,11 @@ func main() {
 		log.Fatal(err)
 	}
 	<-drained // let in-flight responses finish before tearing the pool down
+	if mgr != nil {
+		// Gossip and replication stop before the pool: both read from it.
+		stopRoster()
+		mgr.Close()
+	}
 	pool.Close()
 	if st != nil || ks != nil {
 		close(stopCheckpoints)

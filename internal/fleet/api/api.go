@@ -115,8 +115,14 @@ const RetryAfterHeader = "Retry-After"
 // KnowledgeSearchRequest / KnowledgeSearchResponse payloads,
 // Metrics.Knowledge, NodeHealth.KnowledgeEpoch,
 // ClusterHealth.KnowledgeEpochSkew, and the knowledge_disabled /
-// nothing_staged error codes — all additive.
-var Current = Version{Major: 1, Minor: 4}
+// nothing_staged error codes — all additive. Minor 5 added the
+// elastic-cluster vocabulary: the roster protocol (GET and POST
+// /v1/roster, the RosterMember / Roster / RosterAnnounce payloads), the
+// digest-addressed cache handoff endpoints (GET /v1/cache/digests,
+// POST /v1/cache/entries, the CacheDigests / CacheEntryWire /
+// CachePushRequest / CachePushResponse payloads), Metrics.Handoff, and
+// the roster_disabled error code — all additive.
+var Current = Version{Major: 1, Minor: 5}
 
 // Version is a major.minor protocol version. Majors are incompatible;
 // minors are additive within a major.
@@ -390,6 +396,10 @@ type Metrics struct {
 	// Knowledge reports the node's knowledge plane (iofleetd -knowledge;
 	// nil when disabled). Added in 1.4.
 	Knowledge *KnowledgeStatus `json:"knowledge,omitempty"`
+
+	// Handoff reports the node's elastic-cluster activity (iofleetd
+	// -advertise; nil when running with a static member set). Added in 1.5.
+	Handoff *HandoffMetrics `json:"handoff,omitempty"`
 }
 
 // TierMetrics is one ladder model's share of fresh diagnoses and its
@@ -476,7 +486,7 @@ type KnowledgeStatus struct {
 	StagedOps int    `json:"staged_ops"`
 	// Queries counts retrievals served; ANNQueries/ExactQueries split the
 	// underlying index searches by path (HNSW graph walk vs exact scan).
-	Queries      int64 `json:"queries"`
+	Queries      int64  `json:"queries"`
 	ANNQueries   uint64 `json:"ann_queries"`
 	ExactQueries uint64 `json:"exact_queries"`
 	// Rerank accounting (all zero unless the node runs -rerank-model).

@@ -1,0 +1,125 @@
+package api
+
+import "time"
+
+// Elastic-cluster vocabulary, added in 1.5: the roster protocol through
+// which daemons discover each other, and the digest-addressed cache
+// handoff endpoints through which warm results follow ring changes.
+
+// RosterMember is one live fleet member as known to a node's roster.
+type RosterMember struct {
+	// URL is the member's advertised base URL — its ring identity. The
+	// same string every party (router, cluster SDK, peers) hashes, so it
+	// must be stable across restarts of the member.
+	URL string `json:"url"`
+	// Node is the member's -node-id ("" when unset).
+	Node string `json:"node,omitempty"`
+	// LastSeen is when the reporting node last heard from this member
+	// (directly or through gossip). Receivers use it for health gating;
+	// it is advisory, not a synchronized clock.
+	LastSeen time.Time `json:"last_seen"`
+}
+
+// Roster is a node's current membership view, served by GET /v1/roster
+// and returned from POST /v1/roster. Members are sorted by URL so two
+// identical views compare equal byte-for-byte.
+type Roster struct {
+	// Epoch increments on every membership change the node observes
+	// (join, health expiry). Pollers use it as a cheap "did anything
+	// move" check; epochs are per-node, not cluster-consensus values.
+	Epoch   uint64         `json:"epoch"`
+	Members []RosterMember `json:"members"`
+}
+
+// RosterAnnounce is the body of POST /v1/roster: one push-pull gossip
+// exchange. The sender introduces itself and shares its member view; the
+// receiver merges both into its roster and responds with its own Roster,
+// which the sender merges back. A few rounds of this converge a cluster
+// from any single seed peer.
+type RosterAnnounce struct {
+	// From is the announcing member (its URL is the ring identity being
+	// registered; LastSeen is ignored — receipt of the announce is the
+	// liveness evidence).
+	From RosterMember `json:"from"`
+	// Members is the sender's current view, minus entries it considers
+	// dead. LastSeen values let the receiver adopt the freshest evidence
+	// for members it also knows.
+	Members []RosterMember `json:"members,omitempty"`
+}
+
+// CacheDigests is the payload of GET /v1/cache/digests: the digests of
+// every unexpired result-cache entry resident on the node. It is the
+// inventory side of handoff — a rebalancer (or an operator) can diff it
+// against ring ownership without transferring any diagnosis bodies.
+type CacheDigests struct {
+	Digests []string `json:"digests"`
+}
+
+// CacheEntryWire is one result-cache entry in transit: the digest, the
+// diagnosis it addresses, and the TTL clock it was cached under. Added is
+// the ORIGINAL insertion time — receivers seed their cache at that clock
+// (CacheRestore semantics), so an entry never gains lifetime by moving
+// between nodes.
+type CacheEntryWire struct {
+	Digest string    `json:"digest"`
+	Added  time.Time `json:"added"`
+	// Text is the canonical merged diagnosis report — the same
+	// text-only form the store's cache checkpoint persists; receivers
+	// re-parse it into the structured report on insert.
+	Text string `json:"text"`
+	// Features is the digest's semcache feature text, when the sender
+	// indexes it ("" otherwise). Receivers insert the cache entry first
+	// and only then the similarity vector, preserving the invariant that
+	// a vector never cites a diagnosis the cache can't serve.
+	Features string `json:"features,omitempty"`
+}
+
+// HandoffReason says why a batch of cache entries is being pushed.
+type HandoffReason string
+
+const (
+	// HandoffReasonRebalance: a ring change moved these digests to the
+	// receiver; the sender is their previous owner.
+	HandoffReasonRebalance HandoffReason = "rebalance"
+	// HandoffReasonReplicate: the sender owns these digests and is
+	// replicating them to a ring successor for warm failover.
+	HandoffReasonReplicate HandoffReason = "replicate"
+)
+
+// CachePushRequest is the body of POST /v1/cache/entries: cache entries
+// offered to the receiver. The receiver keeps entries it does not already
+// hold (skipping resident digests, so pushes are idempotent and never
+// shorten a resident TTL clock) and drops entries already past their TTL.
+type CachePushRequest struct {
+	// From is the sender's advertised URL ("" for ad-hoc pushes).
+	From string `json:"from,omitempty"`
+	// Reason is advisory provenance for metrics and logs.
+	Reason  HandoffReason    `json:"reason,omitempty"`
+	Entries []CacheEntryWire `json:"entries"`
+}
+
+// CachePushResponse reports what the receiver did with a push.
+type CachePushResponse struct {
+	// Received counts entries newly inserted; the remainder were already
+	// resident or expired.
+	Received int `json:"received"`
+}
+
+// HandoffMetrics is the elastic-cluster counter block embedded in
+// Metrics (nil on nodes running with a static member set). Added in 1.5.
+type HandoffMetrics struct {
+	// RosterSize / RosterEpoch describe the node's current membership
+	// view; RingChanges counts observed membership transitions.
+	RosterSize  int    `json:"roster_size"`
+	RosterEpoch uint64 `json:"roster_epoch"`
+	RingChanges int64  `json:"ring_changes"`
+	// Rebalance handoff: entries pushed to new owners after a ring
+	// change, push attempts that failed, and entries accepted from peers.
+	EntriesPushed   int64 `json:"entries_pushed"`
+	PushErrors      int64 `json:"push_errors"`
+	EntriesReceived int64 `json:"entries_received"`
+	// Successor replication: entries replicated out on cache insert and
+	// replica copies accepted from owners.
+	ReplicaPushed   int64 `json:"replica_pushed"`
+	ReplicaReceived int64 `json:"replica_received"`
+}

@@ -86,6 +86,11 @@ const (
 	// already swapped. Not blindly retryable: check GET /v1/knowledge.
 	// Added in 1.4.
 	CodeNothingStaged Code = "nothing_staged"
+	// CodeRosterDisabled: the node runs with a static member set (iofleetd
+	// started without -advertise), so the /v1/roster endpoints have
+	// nothing to serve. Not retryable against this node; pollers treat it
+	// as "membership is whatever you were configured with". Added in 1.5.
+	CodeRosterDisabled Code = "roster_disabled"
 )
 
 // HTTPStatus maps the code to its canonical HTTP status.
@@ -95,7 +100,7 @@ func (c Code) HTTPStatus() int {
 		return http.StatusBadRequest
 	case CodeTraceTooLarge:
 		return http.StatusRequestEntityTooLarge
-	case CodeJobNotFound, CodeNotFound, CodeUploadNotFound, CodeKnowledgeDisabled:
+	case CodeJobNotFound, CodeNotFound, CodeUploadNotFound, CodeKnowledgeDisabled, CodeRosterDisabled:
 		return http.StatusNotFound
 	case CodeJobNotDone, CodeUploadOffsetMismatch, CodeNothingStaged:
 		return http.StatusConflict

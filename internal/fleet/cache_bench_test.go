@@ -1,0 +1,85 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The store's checkpoint ticker calls CacheExport on a live pool, so the
+// time export spends holding the cache lock is a periodic stall on the
+// submission hot path. Entries are immutable once published, which lets
+// export collect refs under the lock and build the rows outside it; this
+// benchmark pins the cost at checkpoint scale.
+
+func bench10kCache(b *testing.B) *cache {
+	b.Helper()
+	c := newCache(10_000, time.Hour, nil)
+	for i := 0; i < 10_000; i++ {
+		c.Put(fmt.Sprintf("digest-%05d", i), res(fmt.Sprintf("diagnosis %d", i)))
+	}
+	return c
+}
+
+func BenchmarkCacheExport10k(b *testing.B) {
+	c := bench10kCache(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := c.export(); len(got) != 10_000 {
+			b.Fatalf("exported %d entries", len(got))
+		}
+	}
+}
+
+func BenchmarkCacheDigests10k(b *testing.B) {
+	c := bench10kCache(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := c.digests(); len(got) != 10_000 {
+			b.Fatalf("listed %d digests", len(got))
+		}
+	}
+}
+
+// TestCacheExportImmutableSnapshot pins the restructure's correctness
+// condition: a re-put concurrent with export must never corrupt an
+// exported row (entries are replaced wholesale, not mutated), and every
+// row is internally consistent — the digest always pairs with a result
+// that was stored under it at some point.
+func TestCacheExportImmutableSnapshot(t *testing.T) {
+	c := newCache(64, 0, nil)
+	for i := 0; i < 64; i++ {
+		c.Put(fmt.Sprintf("d%02d", i), res(fmt.Sprintf("d%02d/v0", i)))
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := 1; ; v++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for i := 0; i < 64; i++ {
+				c.Put(fmt.Sprintf("d%02d", i), res(fmt.Sprintf("d%02d/v%d", i, v)))
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		for _, e := range c.export() {
+			if e.Result == nil {
+				t.Fatal("exported row with nil result")
+			}
+			if want := e.Digest + "/"; len(e.Result.Text) < len(want) || e.Result.Text[:len(want)] != want {
+				t.Fatalf("row %s paired with foreign result %q", e.Digest, e.Result.Text)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

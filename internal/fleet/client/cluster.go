@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"ioagent/internal/darshan"
 	"ioagent/internal/dxt"
@@ -49,6 +50,16 @@ func RouteKey(trace []byte) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// membership is one immutable view of the cluster: the member list, the
+// ring built over it, and a client per member. Every call loads ONE view
+// and works entirely inside it, so a concurrent UpdateMembers never
+// leaves a call holding a ring that disagrees with its client map.
+type membership struct {
+	members []string // listing order
+	ring    *ring.Ring
+	clients map[string]*Client
+}
+
 // Cluster is the SDK's multi-node mode: it takes the fleet member list
 // and routes every call client-side over the same consistent-hash ring
 // iofleet-router uses, so heavy SDK users skip the router hop entirely.
@@ -60,16 +71,43 @@ func RouteKey(trace []byte) string {
 // Job lookups route by the node prefix that -node-id daemons put in
 // every job ID. Metrics aggregates across reachable members. All methods
 // are safe for concurrent use.
+//
+// The member list is NOT fixed at construction: UpdateMembers swaps in a
+// new membership view atomically (reusing the clients of members that
+// stayed), which is how routers and long-lived SDK users follow an
+// elastic fleet's live roster.
 type Cluster struct {
-	members []string // config order, for listings and health
-	ring    *ring.Ring
-	clients map[string]*Client
+	opts []Option // applied to every member client, retained for joins
 
-	mu sync.Mutex
+	cur atomic.Pointer[membership]
+
+	mu sync.Mutex // guards the maps below and serializes UpdateMembers
 	// nodeToMember maps learned daemon -node-id values to member URLs
 	// (learned from each member's Metrics.Node on first need).
 	nodeToMember map[string]string
 	unresolved   map[string]bool // members whose node id is still unknown
+}
+
+// normalizeMembers canonicalizes a member URL list: trims whitespace and
+// the trailing slash, drops duplicates, preserves first-seen order. Lists
+// come from comma-separated flags and roster documents, and "a, b" must
+// route identically to "a,b" everywhere or rings disagree and the cache
+// fragments.
+func normalizeMembers(members []string) ([]string, error) {
+	var out []string
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		base := strings.TrimRight(strings.TrimSpace(m), "/")
+		if base == "" {
+			return nil, api.Errorf(api.CodeBadRequest, "cluster member URL must not be empty")
+		}
+		if seen[base] {
+			continue
+		}
+		seen[base] = true
+		out = append(out, base)
+	}
+	return out, nil
 }
 
 // NewCluster builds a cluster-mode client over the given member base
@@ -79,37 +117,85 @@ func NewCluster(members []string, opts ...Option) (*Cluster, error) {
 	if len(members) == 0 {
 		return nil, api.Errorf(api.CodeBadRequest, "cluster needs at least one member")
 	}
+	bases, err := normalizeMembers(members)
+	if err != nil {
+		return nil, err
+	}
 	cl := &Cluster{
-		clients:      make(map[string]*Client, len(members)),
+		opts:         opts,
 		nodeToMember: make(map[string]string),
 		unresolved:   make(map[string]bool),
 	}
-	for _, m := range members {
-		// Trim whitespace as well as the trailing slash: member lists come
-		// from comma-separated flags, and "a, b" must route identically to
-		// "a,b" everywhere or rings disagree and the cache fragments.
-		base := strings.TrimRight(strings.TrimSpace(m), "/")
-		if base == "" {
-			return nil, api.Errorf(api.CodeBadRequest, "cluster member URL must not be empty")
-		}
-		if _, dup := cl.clients[base]; dup {
-			continue
-		}
-		cl.members = append(cl.members, base)
-		cl.clients[base] = New(base, opts...)
+	ms := &membership{clients: make(map[string]*Client, len(bases))}
+	for _, base := range bases {
+		ms.members = append(ms.members, base)
+		ms.clients[base] = New(base, opts...)
 		cl.unresolved[base] = true
 	}
-	cl.ring = ring.New(cl.clients[cl.members[0]].ringReplicas)
-	cl.ring.Add(cl.members...)
+	ms.ring = ring.New(ms.clients[ms.members[0]].ringReplicas)
+	ms.ring.Add(ms.members...)
+	cl.cur.Store(ms)
 	return cl, nil
 }
 
-// Members returns the member base URLs in configuration order.
-func (cl *Cluster) Members() []string { return append([]string(nil), cl.members...) }
+// UpdateMembers swaps the cluster onto a new member list — typically a
+// live roster snapshot — and returns which members were added and
+// removed. Clients of surviving members are reused (their breakers, node
+// learnings, and connection pools carry over); new members get fresh
+// clients built from the construction options; removed members' clients
+// release their idle connections. An empty or unchanged list is a no-op.
+// In-flight calls finish on the view they loaded, so an update never
+// breaks a call midway.
+func (cl *Cluster) UpdateMembers(members []string) (added, removed []string) {
+	bases, err := normalizeMembers(members)
+	if err != nil || len(bases) == 0 {
+		return nil, nil // a roster with no usable members never evicts the last known-good view
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	old := cl.cur.Load()
+	next := &membership{clients: make(map[string]*Client, len(bases))}
+	for _, base := range bases {
+		next.members = append(next.members, base)
+		if c, ok := old.clients[base]; ok {
+			next.clients[base] = c
+		} else {
+			next.clients[base] = New(base, cl.opts...)
+			cl.unresolved[base] = true
+			added = append(added, base)
+		}
+	}
+	for _, base := range old.members {
+		if _, ok := next.clients[base]; !ok {
+			removed = append(removed, base)
+		}
+	}
+	if len(added) == 0 && len(removed) == 0 {
+		return nil, nil // same set (order may differ, which the ring ignores)
+	}
+	next.ring = ring.New(next.clients[next.members[0]].ringReplicas)
+	next.ring.Add(next.members...)
+	cl.cur.Store(next)
+	for _, base := range removed {
+		delete(cl.unresolved, base)
+		for node, member := range cl.nodeToMember {
+			if member == base {
+				delete(cl.nodeToMember, node)
+			}
+		}
+		old.clients[base].Close()
+	}
+	return added, removed
+}
+
+// Members returns the current member base URLs in listing order.
+func (cl *Cluster) Members() []string {
+	return append([]string(nil), cl.cur.Load().members...)
+}
 
 // Close releases every member client's idle connections.
 func (cl *Cluster) Close() {
-	for _, c := range cl.clients {
+	for _, c := range cl.cur.Load().clients {
 		c.Close()
 	}
 }
@@ -124,7 +210,8 @@ func (cl *Cluster) Route(trace []byte) []string {
 // what a router uses when a streaming submission asserts api.DigestHeader
 // and the body has not (and will not) be read.
 func (cl *Cluster) RouteDigest(digest string) []string {
-	return cl.ring.Successors(digest, len(cl.members))
+	ms := cl.cur.Load()
+	return ms.ring.Successors(digest, len(ms.members))
 }
 
 // failover reports whether an error from one member justifies trying the
@@ -148,8 +235,9 @@ func failover(err error) bool {
 // ID carries the accepting node's prefix, which later routes Job and
 // Diagnosis calls back to it.
 func (cl *Cluster) Submit(ctx context.Context, req api.SubmitRequest) (api.JobInfo, error) {
-	for _, member := range cl.Route(req.Trace) {
-		info, err := cl.clients[member].Submit(ctx, req)
+	ms := cl.cur.Load()
+	for _, member := range ms.ring.Successors(RouteKey(req.Trace), len(ms.members)) {
+		info, err := ms.clients[member].Submit(ctx, req)
 		if err == nil {
 			cl.learn(info.ID, member)
 			return info, nil
@@ -159,7 +247,7 @@ func (cl *Cluster) Submit(ctx context.Context, req api.SubmitRequest) (api.JobIn
 		}
 	}
 	return api.JobInfo{}, api.Errorf(api.CodeNodeDown,
-		"no fleet node accepted the submission (%d tried; all down or draining)", len(cl.members))
+		"no fleet node accepted the submission (%d tried; all down or draining)", len(ms.members))
 }
 
 // nodeFromID extracts the node prefix a -node-id daemon bakes into its
@@ -187,24 +275,30 @@ func (cl *Cluster) learn(jobID, member string) {
 	cl.mu.Unlock()
 }
 
-// memberForNode resolves a job-ID node prefix to a member URL, probing
-// unresolved members' metrics for their advertised node id on demand.
-func (cl *Cluster) memberForNode(ctx context.Context, node string) (string, bool) {
+// memberForNode resolves a job-ID node prefix to a member's client,
+// probing unresolved members' metrics for their advertised node id on
+// demand. Resolution is checked against the caller's membership view: a
+// node learned under a member that has since left the roster does not
+// resolve.
+func (cl *Cluster) memberForNode(ctx context.Context, ms *membership, node string) (*Client, bool) {
 	cl.mu.Lock()
 	member, ok := cl.nodeToMember[node]
 	var probe []string
 	if !ok {
 		for m := range cl.unresolved {
-			probe = append(probe, m)
+			if _, present := ms.clients[m]; present {
+				probe = append(probe, m)
+			}
 		}
 	}
 	cl.mu.Unlock()
 	if ok {
-		return member, true
+		c, present := ms.clients[member]
+		return c, present
 	}
 	sort.Strings(probe) // deterministic probe order
 	for _, m := range probe {
-		metrics, err := cl.clients[m].Metrics(ctx)
+		metrics, err := ms.clients[m].Metrics(ctx)
 		if err != nil {
 			continue // down member: stays unresolved, retried next time
 		}
@@ -215,10 +309,10 @@ func (cl *Cluster) memberForNode(ctx context.Context, node string) (string, bool
 		}
 		cl.mu.Unlock()
 		if metrics.Node == node {
-			return m, true
+			return ms.clients[m], true
 		}
 	}
-	return "", false
+	return nil, false
 }
 
 // lookup routes a job-scoped call to the member that owns the job ID, or
@@ -228,13 +322,14 @@ func (cl *Cluster) memberForNode(ctx context.Context, node string) (string, bool
 // "not found" is the code that tells callers to use the recovery path —
 // resubmit the same bytes, which is idempotent by digest.
 func (cl *Cluster) lookup(ctx context.Context, id string, call func(*Client) error) error {
+	ms := cl.cur.Load()
 	if node := nodeFromID(id); node != "" {
-		member, ok := cl.memberForNode(ctx, node)
+		c, ok := cl.memberForNode(ctx, ms, node)
 		if !ok {
 			return api.Errorf(api.CodeJobNotFound,
 				"job %s belongs to node %q, which is not a reachable cluster member; resubmit the trace (idempotent)", id, node)
 		}
-		err := call(cl.clients[member])
+		err := call(c)
 		if err != nil && failover(err) && ctx.Err() == nil {
 			return api.Errorf(api.CodeJobNotFound,
 				"job %s is on node %q, which is unreachable; resubmit the trace (idempotent)", id, node)
@@ -243,8 +338,8 @@ func (cl *Cluster) lookup(ctx context.Context, id string, call func(*Client) err
 	}
 	// Prefix-less ID (unnamed daemon): ask everyone.
 	var lastErr error = api.Errorf(api.CodeJobNotFound, "unknown job %q on every cluster member", id)
-	for _, member := range cl.members {
-		err := call(cl.clients[member])
+	for _, member := range ms.members {
+		err := call(ms.clients[member])
 		if err == nil {
 			return nil
 		}
@@ -283,21 +378,21 @@ func (cl *Cluster) Diagnosis(ctx context.Context, id string) (api.Diagnosis, err
 	return d, err
 }
 
-// fanOut calls fn once per member concurrently and returns the results
-// in member order. Fan-out matters operationally: the monitoring
-// endpoints (Metrics, Jobs, Health) are polled hardest exactly when the
-// cluster is degraded, and probing a dead member costs its full
+// fanOut calls fn once per member of one membership view concurrently and
+// returns the results in member order. Fan-out matters operationally: the
+// monitoring endpoints (Metrics, Jobs, Health) are polled hardest exactly
+// when the cluster is degraded, and probing a dead member costs its full
 // per-call retry budget — sequentially, each dead node would add that
 // latency to every aggregate call.
-func fanOut[T any](cl *Cluster, fn func(member string, c *Client) (T, error)) ([]T, []error) {
-	results := make([]T, len(cl.members))
-	errs := make([]error, len(cl.members))
+func fanOut[T any](ms *membership, fn func(member string, c *Client) (T, error)) ([]T, []error) {
+	results := make([]T, len(ms.members))
+	errs := make([]error, len(ms.members))
 	var wg sync.WaitGroup
-	for i, member := range cl.members {
+	for i, member := range ms.members {
 		wg.Add(1)
 		go func(i int, member string) {
 			defer wg.Done()
-			results[i], errs[i] = fn(member, cl.clients[member])
+			results[i], errs[i] = fn(member, ms.clients[member])
 		}(i, member)
 	}
 	wg.Wait()
@@ -308,7 +403,8 @@ func fanOut[T any](cl *Cluster, fn func(member string, c *Client) (T, error)) ([
 // submission order. Unreachable members are skipped: a listing is a
 // monitoring view, and a partial one beats none.
 func (cl *Cluster) Jobs(ctx context.Context) ([]api.JobInfo, error) {
-	lists, errs := fanOut(cl, func(_ string, c *Client) ([]api.JobInfo, error) {
+	ms := cl.cur.Load()
+	lists, errs := fanOut(ms, func(_ string, c *Client) ([]api.JobInfo, error) {
 		return c.Jobs(ctx)
 	})
 	var out []api.JobInfo
@@ -326,7 +422,7 @@ func (cl *Cluster) Jobs(ctx context.Context) ([]api.JobInfo, error) {
 		if lastErr != nil && !failover(lastErr) {
 			return nil, lastErr
 		}
-		return nil, api.Errorf(api.CodeNodeDown, "no fleet node reachable (%d tried)", len(cl.members))
+		return nil, api.Errorf(api.CodeNodeDown, "no fleet node reachable (%d tried)", len(ms.members))
 	}
 	return out, nil
 }
@@ -334,7 +430,8 @@ func (cl *Cluster) Jobs(ctx context.Context) ([]api.JobInfo, error) {
 // WaitDiagnosis polls the owning node until the job is terminal and
 // returns its diagnosis, mirroring Client.WaitDiagnosis.
 func (cl *Cluster) WaitDiagnosis(ctx context.Context, id string) (api.Diagnosis, error) {
-	proto := cl.clients[cl.members[0]] // poll cadence comes from the shared options
+	ms := cl.cur.Load()
+	proto := ms.clients[ms.members[0]] // poll cadence comes from the shared options
 	for {
 		info, err := cl.Job(ctx, id)
 		if err != nil {
@@ -368,7 +465,8 @@ func (cl *Cluster) SubmitAndWait(ctx context.Context, req api.SubmitRequest) (ap
 // aggregate never understates tail latency; BreakerOpen is true if any
 // node's breaker is open. Node is empty on the aggregate.
 func (cl *Cluster) Metrics(ctx context.Context) (api.Metrics, error) {
-	all, errs := fanOut(cl, func(_ string, c *Client) (api.Metrics, error) {
+	ms := cl.cur.Load()
+	all, errs := fanOut(ms, func(_ string, c *Client) (api.Metrics, error) {
 		return c.Metrics(ctx)
 	})
 	var snaps []api.Metrics
@@ -384,7 +482,7 @@ func (cl *Cluster) Metrics(ctx context.Context) (api.Metrics, error) {
 		if lastErr != nil && !failover(lastErr) {
 			return api.Metrics{}, lastErr
 		}
-		return api.Metrics{}, api.Errorf(api.CodeNodeDown, "no fleet node reachable (%d tried)", len(cl.members))
+		return api.Metrics{}, api.Errorf(api.CodeNodeDown, "no fleet node reachable (%d tried)", len(ms.members))
 	}
 	return AggregateMetrics(snaps), nil
 }
@@ -478,9 +576,10 @@ func AggregateMetrics(snaps []api.Metrics) api.Metrics {
 // trace; ownership only optimizes cache locality — and the response's
 // api.DigestHeader teaches the caller the digest to assert next time.
 func (cl *Cluster) SubmitStream(ctx context.Context, body io.Reader, opts StreamOpts) (api.JobInfo, error) {
-	targets := cl.members
+	ms := cl.cur.Load()
+	targets := ms.members
 	if opts.Digest != "" {
-		targets = cl.RouteDigest(opts.Digest)
+		targets = ms.ring.Successors(opts.Digest, len(ms.members))
 	}
 	consumed := newCountingReader(body)
 	var lastErr error
@@ -498,7 +597,7 @@ func (cl *Cluster) SubmitStream(ctx context.Context, body io.Reader, opts Stream
 		// consumed preserves the body's io.Seeker (when it has one), so
 		// the member client's own per-node retry budget still applies to
 		// rewindable streams.
-		info, err := cl.clients[member].SubmitStream(ctx, consumed.reader(), opts)
+		info, err := ms.clients[member].SubmitStream(ctx, consumed.reader(), opts)
 		if err == nil {
 			cl.learn(info.ID, member)
 			return info, nil
@@ -576,13 +675,14 @@ func (c *countingReader) rewind() error {
 // member. The returned ID carries the owning node's prefix; every later
 // session call routes by it.
 func (cl *Cluster) UploadOpen(ctx context.Context, opts StreamOpts) (api.UploadInfo, error) {
-	targets := cl.members
+	ms := cl.cur.Load()
+	targets := ms.members
 	if opts.Digest != "" {
-		targets = cl.RouteDigest(opts.Digest)
+		targets = ms.ring.Successors(opts.Digest, len(ms.members))
 	}
-	var lastErr error = api.Errorf(api.CodeNodeDown, "no fleet node reachable (%d tried)", len(cl.members))
+	var lastErr error = api.Errorf(api.CodeNodeDown, "no fleet node reachable (%d tried)", len(ms.members))
 	for _, member := range targets {
-		info, err := cl.clients[member].UploadOpen(ctx, opts)
+		info, err := ms.clients[member].UploadOpen(ctx, opts)
 		if err == nil {
 			cl.learn(info.ID, member)
 			return info, nil
@@ -606,17 +706,18 @@ func (cl *Cluster) UploadOpen(ctx context.Context, opts StreamOpts) (api.UploadI
 // never "open a new session and re-upload". Only an owner that is not a
 // configured, resolvable member at all maps to upload_not_found.
 func (cl *Cluster) uploadLookup(ctx context.Context, id string, call func(*Client) error) error {
+	ms := cl.cur.Load()
 	node := nodeFromID(id)
 	if node == "" {
 		// Prefix-less ID (unnamed daemon): single-member fleets only.
-		return call(cl.clients[cl.members[0]])
+		return call(ms.clients[ms.members[0]])
 	}
-	member, ok := cl.memberForNode(ctx, node)
+	c, ok := cl.memberForNode(ctx, ms, node)
 	if !ok {
 		return api.Errorf(api.CodeUploadNotFound,
 			"upload %s belongs to node %q, which is not a resolvable cluster member; open a new session", id, node)
 	}
-	return call(cl.clients[member])
+	return call(c)
 }
 
 // UploadAppend appends a chunk to the session on its owning node.
@@ -672,7 +773,7 @@ func (cl *Cluster) SubmitChunked(ctx context.Context, r io.Reader, chunkSize int
 // roster: who is reachable, under what node id, and how much of the
 // digest space each holds.
 func (cl *Cluster) Health(ctx context.Context) api.ClusterHealth {
-	rows, _ := fanOut(cl, func(member string, c *Client) (api.NodeHealth, error) {
+	rows, _ := fanOut(cl.cur.Load(), func(member string, c *Client) (api.NodeHealth, error) {
 		row := api.NodeHealth{URL: member}
 		m, err := c.Metrics(ctx)
 		if err != nil {

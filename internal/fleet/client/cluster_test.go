@@ -271,6 +271,140 @@ func TestClusterAggregatesMetricsAndHealth(t *testing.T) {
 	}
 }
 
+// TestClusterMetricsPartialFanOut: metrics aggregation degrades, not
+// fails — one dead member leaves the reachable nodes' sums intact, and
+// node_down surfaces only when EVERY member is gone.
+func TestClusterMetricsPartialFanOut(t *testing.T) {
+	nodes := startNodes(t, "n1", "n2", "n3")
+	cl := clusterOf(t, nodes)
+	ctx := context.Background()
+
+	const submissions = 4
+	done := 0
+	for seed := 0; seed < submissions; seed++ {
+		raw := clusterTrace(t, 40+seed)
+		info, err := cl.Submit(ctx, api.SubmitRequest{Trace: raw})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.WaitDiagnosis(ctx, info.ID); err != nil {
+			t.Fatal(err)
+		}
+		// Track how many landed OFF the node we are about to kill, so the
+		// degraded aggregate has a floor to assert against.
+		if memberNode(nodes, cl.Route(raw)[0]) != nodes[0] {
+			done++
+		}
+	}
+
+	nodes[0].srv.Close()
+	m, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics with one member down = %v, want degraded aggregate", err)
+	}
+	if m.Done < int64(done) {
+		t.Errorf("degraded aggregate done = %d, want >= %d from surviving nodes", m.Done, done)
+	}
+	if m.Workers != 4 {
+		t.Errorf("degraded aggregate workers = %d, want 4 (two surviving pools)", m.Workers)
+	}
+
+	nodes[1].srv.Close()
+	nodes[2].srv.Close()
+	if _, err := cl.Metrics(ctx); api.ErrorCode(err) != api.CodeNodeDown {
+		t.Fatalf("metrics with all members down = %v, want node_down", err)
+	}
+}
+
+// TestClusterHealthErrorIsStableCode: an unreachable member's health row
+// carries a stable classification, never the transport error text — raw
+// dial strings embed ephemeral ports and don't belong in a wire payload.
+func TestClusterHealthErrorIsStableCode(t *testing.T) {
+	nodes := startNodes(t, "n1", "n2")
+	cl := clusterOf(t, nodes)
+	deadURL := nodes[1].srv.URL
+	nodes[1].srv.Close()
+
+	h := cl.Health(context.Background())
+	if len(h.Nodes) != 2 {
+		t.Fatalf("health rows = %d, want 2", len(h.Nodes))
+	}
+	for _, row := range h.Nodes {
+		if row.URL != deadURL {
+			if !row.Healthy {
+				t.Errorf("live member %s reported unhealthy: %q", row.URL, row.Error)
+			}
+			continue
+		}
+		if row.Healthy {
+			t.Fatalf("dead member %s reported healthy", row.URL)
+		}
+		// Stable classes are single snake_case tokens ("unreachable",
+		// "node_down", ...), never prose or an error chain.
+		if row.Error == "" || strings.ContainsAny(row.Error, " :/") {
+			t.Errorf("dead member error %q is not a stable class", row.Error)
+		}
+		for _, leak := range []string{"dial", "connection refused", "127.0.0.1"} {
+			if strings.Contains(row.Error, leak) {
+				t.Errorf("dead member error %q leaks transport detail %q", row.Error, leak)
+			}
+		}
+	}
+}
+
+// TestClusterUpdateMembers: the elastic-roster entry point. A join adds
+// exactly the new member and reroutes over three nodes; a same-set update
+// (any order, trailing slashes) is a no-op; an empty or all-blank list
+// never evicts the last known-good view; a leave closes out the member.
+func TestClusterUpdateMembers(t *testing.T) {
+	nodes := startNodes(t, "n1", "n2", "n3")
+	two := []string{nodes[0].srv.URL, nodes[1].srv.URL}
+	cl, err := NewCluster(two, WithRetry(1, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+
+	added, removed := cl.UpdateMembers([]string{nodes[1].srv.URL + "/", nodes[0].srv.URL})
+	if len(added)+len(removed) != 0 {
+		t.Fatalf("same-set update = +%v -%v, want no-op", added, removed)
+	}
+	added, removed = cl.UpdateMembers(nil)
+	if len(added)+len(removed) != 0 || len(cl.Members()) != 2 {
+		t.Fatalf("empty update changed membership: +%v -%v members %v", added, removed, cl.Members())
+	}
+
+	three := append(append([]string(nil), two...), nodes[2].srv.URL)
+	added, removed = cl.UpdateMembers(three)
+	if len(added) != 1 || added[0] != nodes[2].srv.URL || len(removed) != 0 {
+		t.Fatalf("join diff = +%v -%v, want +[%s]", added, removed, nodes[2].srv.URL)
+	}
+	if got := cl.Members(); len(got) != 3 {
+		t.Fatalf("members after join = %v, want 3", got)
+	}
+	// The grown ring must actually route to the joined member for some
+	// digest — otherwise the rebuild silently didn't happen.
+	routed := false
+	for seed := 0; seed < 32 && !routed; seed++ {
+		routed = cl.Route(clusterTrace(t, 60+seed))[0] == nodes[2].srv.URL
+	}
+	if !routed {
+		t.Fatal("no digest routed to the joined member; ring not rebuilt")
+	}
+
+	added, removed = cl.UpdateMembers([]string{nodes[1].srv.URL, nodes[2].srv.URL})
+	if len(removed) != 1 || removed[0] != nodes[0].srv.URL || len(added) != 0 {
+		t.Fatalf("leave diff = +%v -%v, want -[%s]", added, removed, nodes[0].srv.URL)
+	}
+	info, err := cl.Submit(context.Background(), api.SubmitRequest{Trace: clusterTrace(t, 61)})
+	if err != nil {
+		t.Fatalf("submit after leave: %v", err)
+	}
+	if _, err := cl.WaitDiagnosis(context.Background(), info.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestClusterForwardedByHeader: WithForwardedBy stamps every outbound
 // request — the loop-detection contract the router depends on.
 func TestClusterForwardedByHeader(t *testing.T) {

@@ -62,11 +62,11 @@ func (c *Client) KnowledgeSearch(ctx context.Context, req api.KnowledgeSearchReq
 // unreachable are reported as one error; the caller retries the broadcast
 // (idempotent) until it lands everywhere, then swaps.
 func (cl *Cluster) KnowledgeUpsert(ctx context.Context, req api.KnowledgeUpsertRequest) error {
-	_, errs := fanOut(cl, func(member string, c *Client) (struct{}, error) {
+	_, errs := fanOut(cl.cur.Load(), func(member string, c *Client) (struct{}, error) {
 		_, err := c.KnowledgeUpsert(ctx, req)
 		return struct{}{}, err
 	})
-	return cl.broadcastError("knowledge upsert", errs)
+	return broadcastError("knowledge upsert", errs)
 }
 
 // KnowledgeSwap broadcasts the epoch promotion and returns the minimum
@@ -74,7 +74,7 @@ func (cl *Cluster) KnowledgeUpsert(ctx context.Context, req api.KnowledgeUpsertR
 // fleet on mixed epochs — visible as KnowledgeEpochSkew in Health — and
 // is surfaced as an error so the caller re-runs the sync.
 func (cl *Cluster) KnowledgeSwap(ctx context.Context) (uint64, error) {
-	epochs, errs := fanOut(cl, func(member string, c *Client) (uint64, error) {
+	epochs, errs := fanOut(cl.cur.Load(), func(member string, c *Client) (uint64, error) {
 		return c.KnowledgeSwap(ctx)
 	})
 	var minEpoch uint64
@@ -86,7 +86,7 @@ func (cl *Cluster) KnowledgeSwap(ctx context.Context) (uint64, error) {
 			minEpoch = e
 		}
 	}
-	return minEpoch, cl.broadcastError("knowledge swap", errs)
+	return minEpoch, broadcastError("knowledge swap", errs)
 }
 
 // KnowledgeStatus aggregates every reachable member's plane status:
@@ -94,7 +94,8 @@ func (cl *Cluster) KnowledgeSwap(ctx context.Context) (uint64, error) {
 // version every retrieval is guaranteed to reflect), Docs is the largest
 // full-corpus view, and the latency percentile takes the worst node.
 func (cl *Cluster) KnowledgeStatus(ctx context.Context) (api.KnowledgeStatus, error) {
-	all, errs := fanOut(cl, func(member string, c *Client) (api.KnowledgeStatus, error) {
+	ms := cl.cur.Load()
+	all, errs := fanOut(ms, func(member string, c *Client) (api.KnowledgeStatus, error) {
 		return c.KnowledgeStatus(ctx)
 	})
 	var snaps []api.KnowledgeStatus
@@ -110,7 +111,7 @@ func (cl *Cluster) KnowledgeStatus(ctx context.Context) (api.KnowledgeStatus, er
 		if lastErr != nil {
 			return api.KnowledgeStatus{}, lastErr
 		}
-		return api.KnowledgeStatus{}, api.Errorf(api.CodeNodeDown, "no fleet node reachable (%d tried)", len(cl.members))
+		return api.KnowledgeStatus{}, api.Errorf(api.CodeNodeDown, "no fleet node reachable (%d tried)", len(ms.members))
 	}
 	return AggregateKnowledge(snaps), nil
 }
@@ -123,7 +124,8 @@ func (cl *Cluster) KnowledgeSearch(ctx context.Context, req api.KnowledgeSearchR
 	if k <= 0 {
 		k = api.DefaultKnowledgeK
 	}
-	all, errs := fanOut(cl, func(member string, c *Client) (api.KnowledgeSearchResponse, error) {
+	ms := cl.cur.Load()
+	all, errs := fanOut(ms, func(member string, c *Client) (api.KnowledgeSearchResponse, error) {
 		return c.KnowledgeSearch(ctx, req)
 	})
 	var resps []api.KnowledgeSearchResponse
@@ -139,7 +141,7 @@ func (cl *Cluster) KnowledgeSearch(ctx context.Context, req api.KnowledgeSearchR
 		if lastErr != nil {
 			return api.KnowledgeSearchResponse{}, lastErr
 		}
-		return api.KnowledgeSearchResponse{}, api.Errorf(api.CodeNodeDown, "no fleet node reachable (%d tried)", len(cl.members))
+		return api.KnowledgeSearchResponse{}, api.Errorf(api.CodeNodeDown, "no fleet node reachable (%d tried)", len(ms.members))
 	}
 	return MergeKnowledgeSearch(resps, k), nil
 }
@@ -148,7 +150,7 @@ func (cl *Cluster) KnowledgeSearch(ctx context.Context, req api.KnowledgeSearchR
 // mutations are all-or-retry: any member that missed the broadcast leaves
 // the fleet inconsistent, so the first failure surfaces (with the member
 // count) instead of being shrugged off as a partial success.
-func (cl *Cluster) broadcastError(op string, errs []error) error {
+func broadcastError(op string, errs []error) error {
 	failed := 0
 	var first error
 	for _, err := range errs {
@@ -168,7 +170,7 @@ func (cl *Cluster) broadcastError(op string, errs []error) error {
 	}
 	return api.Errorf(code,
 		"%s reached %d/%d members (first failure: %v); rebroadcast to converge",
-		op, len(cl.members)-failed, len(cl.members), first)
+		op, len(errs)-failed, len(errs), first)
 }
 
 // AggregateKnowledge folds per-node knowledge statuses into the cluster

@@ -1,0 +1,77 @@
+package client
+
+// Elastic-cluster calls, added in protocol 1.5: the roster protocol the
+// gossip layer and roster pollers speak, and the cache-handoff endpoints
+// warm results move over.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"ioagent/internal/fleet/api"
+)
+
+// Roster fetches the daemon's current membership view. Daemons running
+// with a static member set refuse with api.CodeRosterDisabled.
+func (c *Client) Roster(ctx context.Context) (api.Roster, error) {
+	var r api.Roster
+	err := c.do(ctx, http.MethodGet, "/v1/roster", nil, &r)
+	return r, err
+}
+
+// Announce performs one push-pull gossip exchange: it registers ann.From
+// (and shares ann.Members) with the daemon and returns the daemon's own
+// roster for the caller to merge back.
+func (c *Client) Announce(ctx context.Context, ann api.RosterAnnounce) (api.Roster, error) {
+	body, err := json.Marshal(ann)
+	if err != nil {
+		return api.Roster{}, fmt.Errorf("client: encode announce: %w", err)
+	}
+	var r api.Roster
+	err = c.do(ctx, http.MethodPost, "/v1/roster", body, &r)
+	return r, err
+}
+
+// Roster fetches the live membership from the first cluster member that
+// serves the roster protocol, walking the member list while members are
+// down or answer roster_disabled (static daemons). The caller feeds the
+// result to UpdateMembers; on error it keeps the current member list.
+func (cl *Cluster) Roster(ctx context.Context) (api.Roster, error) {
+	ms := cl.cur.Load()
+	var lastErr error = api.Errorf(api.CodeNodeDown, "no fleet node reachable (%d tried)", len(ms.members))
+	for _, member := range ms.members {
+		r, err := ms.clients[member].Roster(ctx)
+		if err == nil {
+			return r, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return api.Roster{}, lastErr
+}
+
+// CacheDigests lists the digests of every unexpired result-cache entry
+// resident on the daemon — the inventory side of cache handoff.
+func (c *Client) CacheDigests(ctx context.Context) ([]string, error) {
+	var d api.CacheDigests
+	err := c.do(ctx, http.MethodGet, "/v1/cache/digests", nil, &d)
+	return d.Digests, err
+}
+
+// CachePush offers cache entries to the daemon (handoff after a ring
+// change, or successor replication). The response reports how many were
+// newly inserted; already-resident and expired entries are skipped, so
+// pushes are idempotent.
+func (c *Client) CachePush(ctx context.Context, req api.CachePushRequest) (api.CachePushResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return api.CachePushResponse{}, fmt.Errorf("client: encode cache push: %w", err)
+	}
+	var resp api.CachePushResponse
+	err = c.do(ctx, http.MethodPost, "/v1/cache/entries", body, &resp)
+	return resp, err
+}

@@ -1,0 +1,71 @@
+package fleet
+
+// Elastic-cluster surface of the pool: the digest inventory and
+// entry-level read/ingest hooks internal/fleet/roster builds membership
+// handoff and successor replication on. Everything here is a thin,
+// lock-bounded view over the result cache and similarity index — policy
+// (who owns what, when to push) lives in the roster layer.
+
+import (
+	"time"
+
+	"ioagent/internal/ioagent"
+	"ioagent/internal/llm"
+)
+
+// CacheDigests lists the digest of every unexpired resident result-cache
+// entry, most recently used first. It is the inventory side of cache
+// handoff: a node that observes a ring change feeds this list through
+// ring.Changed to find the digests that now belong elsewhere.
+func (p *Pool) CacheDigests() []string {
+	return p.cache.digests()
+}
+
+// CacheEntryFor returns the resident cache entry for one digest without
+// refreshing its LRU recency (ok=false when absent or expired). The
+// Result is the live cached object and must be treated as immutable.
+func (p *Pool) CacheEntryFor(digest string) (CacheEntry, bool) {
+	e, ok := p.cache.peek(digest)
+	if !ok {
+		return CacheEntry{}, false
+	}
+	return CacheEntry{Digest: e.key, Result: e.result, Added: e.added}, true
+}
+
+// CacheIngest inserts one diagnosis received from a peer (handoff or
+// replication), preserving the sender's TTL clock exactly like
+// CacheRestore. It reports whether the entry was newly inserted:
+// already-resident digests are skipped — an incoming copy must never
+// reset, and in particular never shorten, the resident entry's TTL clock
+// — and entries already past their TTL are dropped.
+func (p *Pool) CacheIngest(digest, text string, added time.Time) bool {
+	if digest == "" || text == "" || p.cache.contains(digest) {
+		return false
+	}
+	res := &ioagent.Result{Text: text, Report: llm.ParseReport(text)}
+	p.cache.putAt(digest, res, added)
+	return p.cache.contains(digest)
+}
+
+// SemFeature returns the similarity-index feature text for a digest
+// (ok=false when semantic reuse is disabled or the digest is not
+// indexed). Handoff attaches it to pushed entries so the new owner can
+// serve near-duplicates of the moved diagnosis too.
+func (p *Pool) SemFeature(digest string) (string, bool) {
+	if p.sem == nil {
+		return "", false
+	}
+	return p.sem.Feature(digest)
+}
+
+// SemAdd indexes a received feature text, guarded by cache residency:
+// like SemRestore, it refuses a vector whose digest the result cache
+// cannot serve, so receivers must ingest the cache entry first. Reports
+// whether the vector was indexed.
+func (p *Pool) SemAdd(digest, features string) bool {
+	if p.sem == nil || digest == "" || features == "" || !p.cache.contains(digest) {
+		return false
+	}
+	p.sem.Add(digest, features)
+	return true
+}

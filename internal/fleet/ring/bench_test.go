@@ -1,0 +1,137 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The routed hot path resolves ownership once per submission (Owner for
+// the primary, Successors for the failover walk), so per-call allocation
+// here is multiplied by cluster throughput. The benchmarks pin the cost
+// of both, plus the zero-alloc AppendSuccessors variant callers with a
+// reusable buffer should prefer.
+
+func benchRing(members int) *Ring {
+	r := New(0)
+	for i := 0; i < members; i++ {
+		r.Add(fmt.Sprintf("http://10.0.0.%d:7070", i))
+	}
+	return r
+}
+
+func benchKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("sha256:%064d", i)
+	}
+	return keys
+}
+
+func BenchmarkRingOwner(b *testing.B) {
+	r := benchRing(8)
+	keys := benchKeys(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.Owner(keys[i%len(keys)]); !ok {
+			b.Fatal("empty ring")
+		}
+	}
+}
+
+func BenchmarkRingSuccessors(b *testing.B) {
+	r := benchRing(8)
+	keys := benchKeys(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := r.Successors(keys[i%len(keys)], 3); len(got) != 3 {
+			b.Fatalf("got %d successors", len(got))
+		}
+	}
+}
+
+func BenchmarkRingAppendSuccessors(b *testing.B) {
+	r := benchRing(8)
+	keys := benchKeys(1024)
+	buf := make([]string, 0, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = r.AppendSuccessors(buf[:0], keys[i%len(keys)], 3)
+		if len(buf) != 3 {
+			b.Fatalf("got %d successors", len(buf))
+		}
+	}
+}
+
+// TestRingAppendSuccessorsMatches pins the refactor: the append variant
+// and the allocating wrapper must return identical walks, and reusing the
+// buffer across keys must not leak members between calls.
+func TestRingAppendSuccessorsMatches(t *testing.T) {
+	r := benchRing(5)
+	buf := make([]string, 0, 4)
+	for _, k := range benchKeys(64) {
+		want := r.Successors(k, 4)
+		buf = r.AppendSuccessors(buf[:0], k, 4)
+		if len(buf) != len(want) {
+			t.Fatalf("key %s: append returned %v, want %v", k, buf, want)
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("key %s: append returned %v, want %v", k, buf, want)
+			}
+		}
+	}
+}
+
+// TestRingChangedMoved pins the diff contract: adding one member moves
+// only keys whose new owner is that member, and removing it moves them
+// back — no key unrelated to the changed arc may appear.
+func TestRingChangedMoved(t *testing.T) {
+	old := []string{"http://a:1", "http://b:1"}
+	grown := []string{"http://a:1", "http://b:1", "http://c:1"}
+	keys := benchKeys(512)
+
+	moved := Changed(0, old, grown, keys)
+	if len(moved) == 0 {
+		t.Fatal("expected some keys to move on a join")
+	}
+	after := New(0)
+	after.Add(grown...)
+	movedSet := make(map[string]bool, len(moved))
+	for _, k := range moved {
+		movedSet[k] = true
+		if owner, _ := after.Owner(k); owner != "http://c:1" {
+			t.Fatalf("moved key %s owned by %s, not the new member", k, owner)
+		}
+	}
+	before := New(0)
+	before.Add(old...)
+	for _, k := range keys {
+		if movedSet[k] {
+			continue
+		}
+		ob, _ := before.Owner(k)
+		oa, _ := after.Owner(k)
+		if ob != oa {
+			t.Fatalf("key %s moved (%s -> %s) but Changed omitted it", k, ob, oa)
+		}
+	}
+
+	// The reverse transition moves exactly the same set.
+	back := Changed(0, grown, old, keys)
+	if len(back) != len(moved) {
+		t.Fatalf("reverse diff moved %d keys, want %d", len(back), len(moved))
+	}
+	for _, k := range back {
+		if !movedSet[k] {
+			t.Fatalf("reverse diff moved unrelated key %s", k)
+		}
+	}
+
+	// No membership change, no movement.
+	if same := Changed(0, old, old, keys); len(same) != 0 {
+		t.Fatalf("identity diff moved %d keys", len(same))
+	}
+}

@@ -171,25 +171,66 @@ func (r *Ring) Owner(key string) (owner string, ok bool) {
 // owner), then 1, and so on. n larger than the member count returns every
 // member exactly once.
 func (r *Ring) Successors(key string, n int) []string {
+	return r.AppendSuccessors(nil, key, n)
+}
+
+// AppendSuccessors is Successors with caller-owned storage: the walk is
+// appended to dst (grown as needed) and the extended slice returned.
+// Hot-path callers — the router resolves a successor list per submission,
+// the replicator per cache insert — reuse one buffer across calls instead
+// of allocating a fresh slice each time. dst[:0] of a previous result is
+// the intended idiom.
+func (r *Ring) AppendSuccessors(dst []string, key string, n int) []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if len(r.points) == 0 || n <= 0 {
-		return nil
+		return dst
 	}
 	if n > len(r.members) {
 		n = len(r.members)
 	}
-	out := make([]string, 0, n)
-	seen := make(map[string]struct{}, n)
-	for i, start := 0, r.search(hashKey(key)); len(out) < n && i < len(r.points); i++ {
+	base := len(dst)
+	for i, start := 0, r.search(hashKey(key)); len(dst)-base < n && i < len(r.points); i++ {
 		m := r.points[(start+i)%len(r.points)].member
-		if _, dup := seen[m]; dup {
-			continue
+		// n is small (a failover depth, not the member count), so a linear
+		// dup scan over what we've appended beats a per-call map.
+		dup := false
+		for _, prev := range dst[base:] {
+			if prev == m {
+				dup = true
+				break
+			}
 		}
-		seen[m] = struct{}{}
-		out = append(out, m)
+		if !dup {
+			dst = append(dst, m)
+		}
 	}
-	return out
+	return dst
+}
+
+// Changed reports which of keys change owner when the member set moves
+// from old to new, at the given replica count (<= 0 selects
+// DefaultReplicas — pass the same value every ring party uses). It is the
+// membership-change diff the handoff layer is built on: a node that
+// observes a roster transition feeds its resident digests through Changed
+// and pushes exactly the moved ones to their new owners. Keys are
+// returned in input order; a key is "moved" when its owner under new
+// differs from its owner under old (including from or to the no-owner
+// state of an empty ring).
+func Changed(replicas int, old, new []string, keys []string) []string {
+	before := New(replicas)
+	before.Add(old...)
+	after := New(replicas)
+	after.Add(new...)
+	var moved []string
+	for _, k := range keys {
+		ob, okB := before.Owner(k)
+		oa, okA := after.Owner(k)
+		if ob != oa || okB != okA {
+			moved = append(moved, k)
+		}
+	}
+	return moved
 }
 
 // search returns the index of the first point at or clockwise-after h.

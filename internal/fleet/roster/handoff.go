@@ -1,0 +1,181 @@
+package roster
+
+// Cache handoff (ring-change rebalancing) and successor replication: the
+// warm-path transfer machinery. Both directions move the same wire shape
+// (api.CacheEntryWire) over POST /v1/cache/entries and share the
+// idempotent skip-if-resident ingest in ReceiveEntries.
+
+import (
+	"context"
+	"time"
+
+	"ioagent/internal/fleet/api"
+	"ioagent/internal/fleet/ring"
+)
+
+// pushTimeout bounds one cache-entries push to a peer.
+const pushTimeout = 15 * time.Second
+
+// rebalance computes which locally resident digests changed owner in the
+// old→new membership transition and pushes their entries to the new
+// owners. The local copies are NOT evicted: they age out by TTL, so a
+// push that races a further ring change (or fails outright) degrades to
+// bounded staleness, never to a digest with no warm copy.
+func (m *Manager) rebalance(old, new []string) {
+	moved := m.movedDigests(old, new)
+	if len(moved) == 0 {
+		return
+	}
+	after := make(map[string][]api.CacheEntryWire)
+	m.mu.Lock()
+	r := m.ringNow
+	m.mu.Unlock()
+	for _, digest := range moved {
+		owner, ok := r.Owner(digest)
+		if !ok || owner == m.cfg.SelfURL {
+			continue // moved TO us, or the ring emptied under a race
+		}
+		if e, ok := m.wireEntry(digest); ok {
+			after[owner] = append(after[owner], e)
+		}
+	}
+	for owner, entries := range after {
+		m.push(owner, api.HandoffReasonRebalance, entries)
+	}
+}
+
+// movedDigests diffs ring ownership over the locally resident digests.
+func (m *Manager) movedDigests(old, new []string) []string {
+	digests := m.cfg.Pool.CacheDigests()
+	if len(digests) == 0 {
+		return nil
+	}
+	return ring.Changed(m.cfg.RingReplicas, old, new, digests)
+}
+
+// wireEntry reads one resident cache entry (and its semcache feature
+// text, when indexed) into wire form.
+func (m *Manager) wireEntry(digest string) (api.CacheEntryWire, bool) {
+	e, ok := m.cfg.Pool.CacheEntryFor(digest)
+	if !ok || e.Result == nil {
+		return api.CacheEntryWire{}, false
+	}
+	w := api.CacheEntryWire{Digest: e.Digest, Added: e.Added, Text: e.Result.Text}
+	if f, ok := m.cfg.Pool.SemFeature(digest); ok {
+		w.Features = f
+	}
+	return w, true
+}
+
+// push delivers one batch to one member, counting per the reason.
+func (m *Manager) push(target string, reason api.HandoffReason, entries []api.CacheEntryWire) {
+	if len(entries) == 0 {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), pushTimeout)
+	defer cancel()
+	_, err := m.clientFor(target).CachePush(ctx, api.CachePushRequest{
+		From:    m.cfg.SelfURL,
+		Reason:  reason,
+		Entries: entries,
+	})
+	if err != nil {
+		m.pushErrors.Add(1)
+		m.cfg.Logf("roster: push %d entries (%s) to %s failed: %v", len(entries), reason, target, err)
+		return
+	}
+	switch reason {
+	case api.HandoffReasonReplicate:
+		m.replicaPushed.Add(int64(len(entries)))
+	default:
+		m.entriesPushed.Add(int64(len(entries)))
+	}
+}
+
+// CacheInserted is the fleet.Config.OnCacheInsert hook: it queues the
+// digest for successor replication. Per the hook contract it runs with
+// pool-internal locks held, so it must not call back into the pool — it
+// only checks the suppression table and does a non-blocking channel send.
+// A full queue drops the replication (counted): warm copies are an
+// optimization, and an insert burst must never backpressure diagnosis
+// completion.
+func (m *Manager) CacheInserted(digest string) {
+	if m.cfg.Replicate <= 1 {
+		return
+	}
+	m.mu.Lock()
+	suppressed := m.suppress[digest] > 0
+	m.mu.Unlock()
+	if suppressed {
+		return // this insert IS a received copy; re-replicating would bounce forever
+	}
+	select {
+	case m.replCh <- digest:
+	default:
+		m.replicaDropped.Add(1)
+	}
+}
+
+// replLoop drains the replication queue: for each digest, push its entry
+// to the ring successors that should also hold it warm. Runs from New
+// until Close.
+func (m *Manager) replLoop() {
+	defer close(m.replDone)
+	var succ []string
+	for {
+		select {
+		case <-m.stopRepl:
+			return
+		case digest := <-m.replCh:
+			entry, ok := m.wireEntry(digest)
+			if !ok {
+				continue // evicted or expired before the worker got to it
+			}
+			m.mu.Lock()
+			r := m.ringNow
+			m.mu.Unlock()
+			succ = r.AppendSuccessors(succ[:0], digest, m.cfg.Replicate)
+			for _, target := range succ {
+				if target == m.cfg.SelfURL {
+					continue
+				}
+				m.push(target, api.HandoffReasonReplicate, []api.CacheEntryWire{entry})
+			}
+		}
+	}
+}
+
+// ReceiveEntries ingests a peer's push (the server side of
+// POST /v1/cache/entries): cache entry first, similarity vector second,
+// preserving the invariant that a vector never cites a diagnosis the
+// cache can't serve. Resident digests are skipped — an incoming copy
+// never resets (and so never shortens) a live TTL clock — as are entries
+// already past their TTL at arrival. Suppression brackets each ingest so
+// the resulting OnCacheInsert does not re-replicate the copy.
+func (m *Manager) ReceiveEntries(req api.CachePushRequest) api.CachePushResponse {
+	var received int
+	for _, e := range req.Entries {
+		m.mu.Lock()
+		m.suppress[e.Digest]++
+		m.mu.Unlock()
+		inserted := m.cfg.Pool.CacheIngest(e.Digest, e.Text, e.Added)
+		if inserted && e.Features != "" {
+			m.cfg.Pool.SemAdd(e.Digest, e.Features)
+		}
+		m.mu.Lock()
+		if m.suppress[e.Digest]--; m.suppress[e.Digest] <= 0 {
+			delete(m.suppress, e.Digest)
+		}
+		m.mu.Unlock()
+		if inserted {
+			received++
+		}
+	}
+	switch req.Reason {
+	case api.HandoffReasonReplicate:
+		m.replicaReceived.Add(int64(received))
+	default:
+		m.entriesReceived.Add(int64(received))
+	}
+	return api.CachePushResponse{Received: received}
+}

@@ -1,0 +1,458 @@
+// Package roster is the elastic-cluster layer of the fleet: dynamic
+// membership through seeded push-pull gossip, digest-addressed cache
+// handoff on ring changes, and asynchronous successor replication of
+// fresh diagnoses.
+//
+// # Membership
+//
+// Every elastic daemon runs a Manager seeded with its own advertised URL
+// and zero or more peer URLs. Each gossip interval the manager announces
+// itself (POST /v1/roster) to every member it knows and merges the
+// responses, so a new node converges on the full member set — and the
+// full set learns of the new node — within a round or two of joining
+// through any single live peer. Members unseen for the health TTL are
+// dropped. Membership is eventually consistent and advisory: the ring
+// tolerates short-lived disagreement because submissions are
+// digest-idempotent and the result cache is content-addressed — the
+// worst case of a stale view is a recomputation or an extra hop, never a
+// wrong answer.
+//
+// # Handoff and replication
+//
+// On every membership transition the manager diffs ring ownership over
+// the digests resident in the local result cache (ring.Changed) and
+// pushes the entries that now belong elsewhere — diagnosis text, original
+// TTL clock, and semcache feature text — to their new owners
+// (POST /v1/cache/entries). Receivers ingest cache-entry-first, so the
+// PR 6 invariant ("a similarity vector never cites a diagnosis the cache
+// can't serve") holds mid-flight, and they skip digests already resident,
+// so pushes are idempotent and never disturb a live TTL clock. Nothing is
+// deleted on the sender: moved entries age out by TTL, bounding staleness
+// instead of risking a window with zero copies.
+//
+// Independently, every local cache insert is queued for replication to
+// the digest's ring successors (Config.Replicate total copies), so the
+// router's failover walk finds a warm answer when the owner dies. Both
+// mechanisms are best-effort warm-path transfers, not durability: the
+// store's journal and snapshots remain the only crash-safe copy.
+package roster
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ioagent/internal/fleet"
+	"ioagent/internal/fleet/api"
+	"ioagent/internal/fleet/client"
+	"ioagent/internal/fleet/ring"
+)
+
+// Config configures a Manager.
+type Config struct {
+	// SelfURL is this daemon's advertised base URL — its ring identity.
+	// Required, and must be the URL peers can actually reach it at.
+	SelfURL string
+	// NodeID is the daemon's -node-id, shared with peers for operator
+	// display ("" is fine).
+	NodeID string
+	// Peers are seed member URLs announced to at startup. One live peer
+	// is enough to join a cluster of any size; peers that are down at
+	// boot are retried every interval.
+	Peers []string
+	// Interval is the gossip cadence (default 2s).
+	Interval time.Duration
+	// TTL is the health gate: members not heard from (directly or
+	// through gossip) for this long are dropped (default 4×Interval).
+	TTL time.Duration
+	// RingReplicas is the virtual-point count, which every ring party
+	// must share (<= 0 selects ring.DefaultReplicas).
+	RingReplicas int
+	// Replicate is the total number of ring members that should hold
+	// each fresh diagnosis warm (owner included): 2 means one successor
+	// copy. <= 1 disables successor replication.
+	Replicate int
+	// Pool is the local pool whose cache is inventoried, pushed from,
+	// and ingested into. Required.
+	Pool *fleet.Pool
+	// ClientOpts customize the clients used to reach peers (retry
+	// budget, forwarded-by, ...).
+	ClientOpts []client.Option
+	// OnChange, if set, observes membership transitions (for the store's
+	// member-event journal). Called from the manager's internal
+	// goroutines, never concurrently with itself.
+	OnChange func(added, removed []string)
+	// Logf, if set, receives one line per membership change and per
+	// failed push (default: silent).
+	Logf func(format string, args ...any)
+
+	// now is the test clock.
+	now func() time.Time
+}
+
+// memberState is what the manager knows about one member.
+type memberState struct {
+	node     string
+	lastSeen time.Time
+}
+
+// Manager runs the gossip loop and the handoff/replication machinery for
+// one daemon. All methods are safe for concurrent use.
+type Manager struct {
+	cfg Config
+
+	mu      sync.Mutex
+	members map[string]*memberState
+	// current is the sorted member-URL list the ring was last built
+	// from; ringNow is that ring (never nil after New).
+	current []string
+	ringNow *ring.Ring
+	epoch   uint64
+	clients map[string]*client.Client
+	// suppress marks digests mid-ingest from a peer push: their
+	// OnCacheInsert must not trigger replication, or two replicas would
+	// bounce entries between each other forever.
+	suppress map[string]int
+	// changeWG tracks in-flight rebalance pushes so Close can wait.
+	changeWG sync.WaitGroup
+	closed   bool
+
+	replCh   chan string
+	stopRepl chan struct{}
+	replDone chan struct{}
+
+	ringChanges     atomic.Int64
+	entriesPushed   atomic.Int64
+	pushErrors      atomic.Int64
+	entriesReceived atomic.Int64
+	replicaPushed   atomic.Int64
+	replicaReceived atomic.Int64
+	replicaDropped  atomic.Int64
+}
+
+// replQueueDepth bounds the replication backlog; inserts beyond it drop
+// their replication (best-effort warm path, counted, never blocking the
+// pool's insert hook).
+const replQueueDepth = 1024
+
+// New builds a Manager. The replication worker starts immediately; the
+// gossip loop runs only while Run is active. Call Close when done.
+func New(cfg Config) *Manager {
+	if cfg.SelfURL == "" || cfg.Pool == nil {
+		panic("roster: Config.SelfURL and Config.Pool are required")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = 4 * cfg.Interval
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	m := &Manager{
+		cfg:      cfg,
+		members:  make(map[string]*memberState),
+		clients:  make(map[string]*client.Client),
+		suppress: make(map[string]int),
+		replCh:   make(chan string, replQueueDepth),
+		stopRepl: make(chan struct{}),
+		replDone: make(chan struct{}),
+	}
+	m.members[cfg.SelfURL] = &memberState{node: cfg.NodeID, lastSeen: cfg.now()}
+	m.current = []string{cfg.SelfURL}
+	m.ringNow = ring.New(cfg.RingReplicas)
+	m.ringNow.Add(cfg.SelfURL)
+	go m.replLoop()
+	return m
+}
+
+// Run executes the gossip loop until ctx is canceled: one announce round
+// immediately, then one per interval, expiring silent members as it goes.
+func (m *Manager) Run(ctx context.Context) {
+	t := time.NewTicker(m.cfg.Interval)
+	defer t.Stop()
+	for {
+		m.gossipOnce(ctx)
+		m.expire()
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// Close stops the replication worker, waits for in-flight handoff pushes,
+// and releases peer connections. It does not stop Run — cancel its
+// context first.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.stopRepl)
+	<-m.replDone
+	m.changeWG.Wait()
+	m.mu.Lock()
+	for _, c := range m.clients {
+		c.Close()
+	}
+	m.mu.Unlock()
+}
+
+// Snapshot returns the manager's current membership view, members sorted
+// by URL.
+func (m *Manager) Snapshot() api.Roster {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.snapshotLocked()
+}
+
+func (m *Manager) snapshotLocked() api.Roster {
+	r := api.Roster{Epoch: m.epoch, Members: make([]api.RosterMember, 0, len(m.members))}
+	for url, st := range m.members {
+		r.Members = append(r.Members, api.RosterMember{URL: url, Node: st.node, LastSeen: st.lastSeen})
+	}
+	sort.Slice(r.Members, func(i, j int) bool { return r.Members[i].URL < r.Members[j].URL })
+	return r
+}
+
+// Members returns the sorted member URLs of the current view.
+func (m *Manager) Members() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, len(m.current))
+	copy(out, m.current)
+	return out
+}
+
+// Metrics reports the manager's counters for /metrics.
+func (m *Manager) Metrics() api.HandoffMetrics {
+	m.mu.Lock()
+	size, epoch := len(m.members), m.epoch
+	m.mu.Unlock()
+	return api.HandoffMetrics{
+		RosterSize:      size,
+		RosterEpoch:     epoch,
+		RingChanges:     m.ringChanges.Load(),
+		EntriesPushed:   m.entriesPushed.Load(),
+		PushErrors:      m.pushErrors.Load(),
+		EntriesReceived: m.entriesReceived.Load(),
+		ReplicaPushed:   m.replicaPushed.Load(),
+		ReplicaReceived: m.replicaReceived.Load(),
+	}
+}
+
+// HandleAnnounce merges one incoming gossip exchange (the server side of
+// POST /v1/roster) and returns this node's view for the sender to merge
+// back.
+func (m *Manager) HandleAnnounce(ann api.RosterAnnounce) api.Roster {
+	now := m.cfg.now()
+	m.mu.Lock()
+	// The announce itself is liveness evidence for its sender; relayed
+	// members keep the (older) evidence timestamps they arrived with.
+	m.mergeLocked(api.RosterMember{URL: ann.From.URL, Node: ann.From.Node, LastSeen: now}, now)
+	for _, rm := range ann.Members {
+		m.mergeLocked(rm, now)
+	}
+	snap, transition := m.refreshLocked()
+	m.mu.Unlock()
+	m.applyTransition(transition)
+	return snap
+}
+
+// mergeLocked folds one member observation into the view. Caller holds
+// m.mu.
+func (m *Manager) mergeLocked(rm api.RosterMember, now time.Time) {
+	if rm.URL == "" || rm.URL == m.cfg.SelfURL {
+		return
+	}
+	seen := rm.LastSeen
+	if seen.After(now) {
+		seen = now // never trust a peer clock running ahead of ours
+	}
+	st, ok := m.members[rm.URL]
+	if !ok {
+		m.members[rm.URL] = &memberState{node: rm.Node, lastSeen: seen}
+		return
+	}
+	if seen.After(st.lastSeen) {
+		st.lastSeen = seen
+	}
+	if rm.Node != "" {
+		st.node = rm.Node
+	}
+}
+
+// transition captures one membership change for post-unlock processing.
+type transition struct {
+	old, new       []string
+	added, removed []string
+}
+
+// refreshLocked recomputes the sorted member list and, when it differs
+// from the ring's basis, bumps the epoch, rebuilds the ring, and returns
+// the transition to apply. Caller holds m.mu.
+func (m *Manager) refreshLocked() (api.Roster, *transition) {
+	urls := make([]string, 0, len(m.members))
+	for u := range m.members {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	if equalStrings(urls, m.current) {
+		return m.snapshotLocked(), nil
+	}
+	tr := &transition{old: m.current, new: urls}
+	tr.added, tr.removed = diffStrings(m.current, urls)
+	m.current = urls
+	m.epoch++
+	r := ring.New(m.cfg.RingReplicas)
+	r.Add(urls...)
+	m.ringNow = r
+	m.ringChanges.Add(1)
+	return m.snapshotLocked(), tr
+}
+
+// applyTransition journals and rebalances one membership change (no-op
+// for nil). Pushes run on their own goroutine so announce handling and
+// the gossip loop never block on peer I/O.
+func (m *Manager) applyTransition(tr *transition) {
+	if tr == nil {
+		return
+	}
+	m.cfg.Logf("roster: membership now %d members (+%d -%d)", len(tr.new), len(tr.added), len(tr.removed))
+	if m.cfg.OnChange != nil {
+		m.cfg.OnChange(tr.added, tr.removed)
+	}
+	m.changeWG.Add(1)
+	go func() {
+		defer m.changeWG.Done()
+		m.rebalance(tr.old, tr.new)
+	}()
+}
+
+// expire drops members not heard from within the TTL (self never
+// expires).
+func (m *Manager) expire() {
+	cutoff := m.cfg.now().Add(-m.cfg.TTL)
+	m.mu.Lock()
+	for url, st := range m.members {
+		if url == m.cfg.SelfURL {
+			continue
+		}
+		if st.lastSeen.Before(cutoff) {
+			delete(m.members, url)
+		}
+	}
+	_, tr := m.refreshLocked()
+	m.mu.Unlock()
+	m.applyTransition(tr)
+}
+
+// gossipOnce announces to every known member plus the seed peers, merging
+// each response. Unreachable targets are skipped (the TTL is what
+// eventually drops them); a seed peer that is not yet a member keeps
+// being retried so a cluster can form in any boot order.
+func (m *Manager) gossipOnce(ctx context.Context) {
+	m.mu.Lock()
+	self := api.RosterMember{URL: m.cfg.SelfURL, Node: m.cfg.NodeID, LastSeen: m.cfg.now()}
+	view := m.snapshotLocked().Members
+	targets := make([]string, 0, len(m.current)+len(m.cfg.Peers))
+	for _, u := range m.current {
+		if u != m.cfg.SelfURL {
+			targets = append(targets, u)
+		}
+	}
+	m.mu.Unlock()
+	for _, p := range m.cfg.Peers {
+		if p == "" || p == m.cfg.SelfURL || containsString(targets, p) {
+			continue
+		}
+		targets = append(targets, p)
+	}
+
+	ann := api.RosterAnnounce{From: self, Members: view}
+	for _, target := range targets {
+		cctx, cancel := context.WithTimeout(ctx, m.cfg.Interval)
+		resp, err := m.clientFor(target).Announce(cctx, ann)
+		cancel()
+		if err != nil {
+			continue
+		}
+		now := m.cfg.now()
+		m.mu.Lock()
+		// A successful exchange is direct evidence the target is alive,
+		// whatever timestamps its roster carries.
+		m.mergeLocked(api.RosterMember{URL: target, LastSeen: now}, now)
+		for _, rm := range resp.Members {
+			m.mergeLocked(rm, now)
+		}
+		_, tr := m.refreshLocked()
+		m.mu.Unlock()
+		m.applyTransition(tr)
+	}
+}
+
+// clientFor returns (lazily building) the SDK client for a member URL.
+func (m *Manager) clientFor(url string) *client.Client {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.clients[url]
+	if !ok {
+		c = client.New(url, m.cfg.ClientOpts...)
+		m.clients[url] = c
+	}
+	return c
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// diffStrings returns the elements of new not in old, and of old not in
+// new. Both inputs are sorted.
+func diffStrings(old, new []string) (added, removed []string) {
+	i, j := 0, 0
+	for i < len(old) && j < len(new) {
+		switch {
+		case old[i] == new[j]:
+			i++
+			j++
+		case old[i] < new[j]:
+			removed = append(removed, old[i])
+			i++
+		default:
+			added = append(added, new[j])
+			j++
+		}
+	}
+	removed = append(removed, old[i:]...)
+	added = append(added, new[j:]...)
+	return added, removed
+}
+
+func containsString(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -40,6 +40,7 @@
 package router
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -86,12 +87,25 @@ type Config struct {
 	// interval, HTTP client). The router prepends its own defaults: 2
 	// attempts per node per call, so failover to a successor is fast.
 	ClientOptions []client.Option
+	// RosterRefresh, when positive, makes the router follow an elastic
+	// fleet's live roster: every interval it asks a reachable member for
+	// GET /v1/roster and rebuilds its ring over the answer. Members then
+	// only seed discovery — joins and departures reach the router without
+	// a restart. Poll failures (static daemons answer roster_disabled,
+	// dead members time out) keep the last known-good member list: a
+	// router never routes over an empty ring because gossip hiccuped.
+	// Zero disables polling; the member list stays fixed for the
+	// router's lifetime.
+	RosterRefresh time.Duration
 }
 
 // Router is the dispatch layer. Build with New, serve Handler.
 type Router struct {
 	cfg     Config
 	cluster *client.Cluster
+
+	stopRoster chan struct{} // nil unless RosterRefresh > 0
+	rosterDone chan struct{}
 }
 
 // New validates the member list and builds the router.
@@ -120,11 +134,62 @@ func New(cfg Config) (*Router, error) {
 	if err != nil {
 		return nil, fmt.Errorf("router: %w", err)
 	}
-	return &Router{cfg: cfg, cluster: cl}, nil
+	rt := &Router{cfg: cfg, cluster: cl}
+	if cfg.RosterRefresh > 0 {
+		rt.stopRoster = make(chan struct{})
+		rt.rosterDone = make(chan struct{})
+		go rt.rosterPoll()
+	}
+	return rt, nil
 }
 
-// Close releases the pooled connections to every member.
-func (rt *Router) Close() { rt.cluster.Close() }
+// rosterPoll follows the fleet's live roster: one refresh immediately (so
+// a router seeded with a single member discovers the rest before serving
+// its first request), then one per interval until Close.
+func (rt *Router) rosterPoll() {
+	defer close(rt.rosterDone)
+	rt.refreshRoster()
+	t := time.NewTicker(rt.cfg.RosterRefresh)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stopRoster:
+			return
+		case <-t.C:
+			rt.refreshRoster()
+		}
+	}
+}
+
+// refreshRoster asks a reachable member for the current roster and swaps
+// the cluster onto it. Any failure keeps the current member list.
+func (rt *Router) refreshRoster() {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.RosterRefresh)
+	defer cancel()
+	roster, err := rt.cluster.Roster(ctx)
+	if err != nil {
+		return // static fleet or transient outage: last known-good members stand
+	}
+	urls := make([]string, 0, len(roster.Members))
+	for _, m := range roster.Members {
+		urls = append(urls, m.URL)
+	}
+	added, removed := rt.cluster.UpdateMembers(urls)
+	if len(added)+len(removed) > 0 {
+		log.Printf("iofleet-router: roster epoch %d: members now %d (+%v -%v)",
+			roster.Epoch, len(rt.cluster.Members()), added, removed)
+	}
+}
+
+// Close stops the roster poller (when running) and releases the pooled
+// connections to every member.
+func (rt *Router) Close() {
+	if rt.stopRoster != nil {
+		close(rt.stopRoster)
+		<-rt.rosterDone
+	}
+	rt.cluster.Close()
+}
 
 // Route exposes the failover order for a submission's bytes (owner
 // first), for tests and operational debugging.

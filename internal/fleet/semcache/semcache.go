@@ -95,6 +95,16 @@ func (s *Index) Lookup(features string, k int) []Candidate {
 	return out
 }
 
+// Feature returns the stored feature text for one digest (ok=false when
+// the digest is not indexed). The handoff layer attaches it to pushed
+// cache entries so the receiver can index the moved diagnosis too.
+func (s *Index) Feature(digest string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.features[digest]
+	return f, ok
+}
+
 // Len returns the number of indexed traces.
 func (s *Index) Len() int {
 	s.mu.Lock()

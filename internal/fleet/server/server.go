@@ -69,6 +69,29 @@ type Config struct {
 	// on retryable refusals — quota_exceeded, breaker_open, draining —
 	// which the SDK's adaptive backoff honors as a floor (default 1s).
 	RetryAfter time.Duration
+	// Elastic, when non-nil, serves the dynamic-membership surface (the
+	// /v1/roster gossip protocol) and routes received cache pushes
+	// through the roster manager so they never re-replicate. Nil means
+	// static membership: /v1/roster refuses with api.CodeRosterDisabled,
+	// while the cache-handoff endpoints stay available (a static daemon
+	// can still be seeded by a peer).
+	Elastic Elastic
+}
+
+// Elastic is the roster-manager surface the server serves, implemented
+// by internal/fleet/roster.Manager. It is an interface here so the
+// server package (which the router and every test harness link) does not
+// depend on the gossip layer.
+type Elastic interface {
+	// Snapshot returns the node's current membership view.
+	Snapshot() api.Roster
+	// HandleAnnounce merges one incoming gossip exchange and returns the
+	// node's view for the sender to merge back.
+	HandleAnnounce(api.RosterAnnounce) api.Roster
+	// ReceiveEntries ingests a peer's cache push.
+	ReceiveEntries(api.CachePushRequest) api.CachePushResponse
+	// Metrics reports the handoff/replication counters for /metrics.
+	Metrics() api.HandoffMetrics
 }
 
 // NewMux builds the daemon's HTTP surface. Every response shape and error
@@ -478,9 +501,80 @@ func NewMux(cfg Config) http.Handler {
 		}
 		WriteJSON(w, http.StatusOK, out)
 	})
+	// Elastic-cluster surface (api 1.5): the roster gossip protocol and
+	// the digest-addressed cache handoff endpoints. The roster endpoints
+	// need a manager (iofleetd -advertise); the cache endpoints are
+	// always on — handoff pushes and inventory reads are pool-level
+	// operations, so even a statically configured daemon can receive a
+	// departing peer's warm entries.
+	elasticRoster := func(w http.ResponseWriter) Elastic {
+		if cfg.Elastic == nil {
+			WriteError(w, api.Errorf(api.CodeRosterDisabled,
+				"this node runs a static member set (start iofleetd with -advertise)"))
+		}
+		return cfg.Elastic
+	}
+	handle("GET /v1/roster", func(w http.ResponseWriter, r *http.Request) {
+		el := elasticRoster(w)
+		if el == nil {
+			return
+		}
+		WriteJSON(w, http.StatusOK, el.Snapshot())
+	})
+	handle("POST /v1/roster", func(w http.ResponseWriter, r *http.Request) {
+		el := elasticRoster(w)
+		if el == nil {
+			return
+		}
+		var ann api.RosterAnnounce
+		if apiErr := decodeJSONBody(w, r, cfg.MaxBody, &ann); apiErr != nil {
+			WriteError(w, apiErr)
+			return
+		}
+		if ann.From.URL == "" {
+			WriteError(w, api.Errorf(api.CodeBadRequest, "announce carries no sender URL"))
+			return
+		}
+		WriteJSON(w, http.StatusOK, el.HandleAnnounce(ann))
+	})
+	handle("GET /v1/cache/digests", func(w http.ResponseWriter, r *http.Request) {
+		digests := pool.CacheDigests()
+		if digests == nil {
+			digests = []string{} // an empty inventory is [], not null
+		}
+		WriteJSON(w, http.StatusOK, api.CacheDigests{Digests: digests})
+	})
+	handle("POST /v1/cache/entries", func(w http.ResponseWriter, r *http.Request) {
+		var req api.CachePushRequest
+		if apiErr := decodeJSONBody(w, r, cfg.MaxBody, &req); apiErr != nil {
+			WriteError(w, apiErr)
+			return
+		}
+		if cfg.Elastic != nil {
+			WriteJSON(w, http.StatusOK, cfg.Elastic.ReceiveEntries(req))
+			return
+		}
+		// Static daemon: ingest directly, cache entry before similarity
+		// vector (the vector-residency invariant), skipping digests
+		// already resident so a push never disturbs a live TTL clock.
+		var received int
+		for _, e := range req.Entries {
+			if pool.CacheIngest(e.Digest, e.Text, e.Added) {
+				if e.Features != "" {
+					pool.SemAdd(e.Digest, e.Features)
+				}
+				received++
+			}
+		}
+		WriteJSON(w, http.StatusOK, api.CachePushResponse{Received: received})
+	})
 	handle("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		m := toAPIMetrics(pool.Metrics(), pool.StatsByModel())
 		m.Node = cfg.NodeID
+		if cfg.Elastic != nil {
+			hm := cfg.Elastic.Metrics()
+			m.Handoff = &hm
+		}
 		if WantsText(r) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 			WritePrometheus(w, m)
@@ -914,6 +1008,25 @@ func WritePrometheus(w io.Writer, m api.Metrics) {
 		fmt.Fprintf(w, "fleet_knowledge_rerank_cost_usd_total %s\n", f64(k.RerankCostUSD))
 		metric("fleet_knowledge_retrieval_p95_seconds", "gauge", "95th-percentile retrieval latency over recent knowledge queries.")
 		fmt.Fprintf(w, "fleet_knowledge_retrieval_p95_seconds %s\n", f64(k.RetrievalP95.Seconds()))
+	}
+
+	if h := m.Handoff; h != nil {
+		metric("fleet_handoff_roster_size", "gauge", "Fleet members in this node's roster view (itself included).")
+		fmt.Fprintf(w, "fleet_handoff_roster_size %d\n", h.RosterSize)
+		metric("fleet_handoff_roster_epoch", "counter", "Membership-view version; increments on every observed change.")
+		fmt.Fprintf(w, "fleet_handoff_roster_epoch %d\n", h.RosterEpoch)
+		metric("fleet_handoff_ring_changes_total", "counter", "Membership transitions (joins and health expiries) this node rebalanced for.")
+		fmt.Fprintf(w, "fleet_handoff_ring_changes_total %d\n", h.RingChanges)
+		metric("fleet_handoff_entries_pushed_total", "counter", "Cache entries pushed to new owners after ring changes.")
+		fmt.Fprintf(w, "fleet_handoff_entries_pushed_total %d\n", h.EntriesPushed)
+		metric("fleet_handoff_push_errors_total", "counter", "Cache pushes (handoff or replication) that failed.")
+		fmt.Fprintf(w, "fleet_handoff_push_errors_total %d\n", h.PushErrors)
+		metric("fleet_handoff_entries_received_total", "counter", "Cache entries accepted from rebalancing peers.")
+		fmt.Fprintf(w, "fleet_handoff_entries_received_total %d\n", h.EntriesReceived)
+		metric("fleet_handoff_replica_pushed_total", "counter", "Cache entries replicated out to ring successors on insert.")
+		fmt.Fprintf(w, "fleet_handoff_replica_pushed_total %d\n", h.ReplicaPushed)
+		metric("fleet_handoff_replica_received_total", "counter", "Replica copies accepted from digest owners.")
+		fmt.Fprintf(w, "fleet_handoff_replica_received_total %d\n", h.ReplicaReceived)
 	}
 
 	tierModels := make([]string, 0, len(m.Tiers))

@@ -21,6 +21,9 @@ const journalName = "journal.wal"
 // the journal; "upload_close" covers it (completed into a job, aborted,
 // or expired — in every case the spool is gone and there is nothing left
 // to restore).
+// "member_join" and "member_leave" record elastic-roster transitions seen
+// by this node; like rejects they are audit-only — never replayed, never
+// pending, dropped at compaction.
 const (
 	opSubmit      = "submit"
 	opDone        = "done"
@@ -29,6 +32,8 @@ const (
 	opReject      = "reject"
 	opUploadOpen  = "upload_open"
 	opUploadClose = "upload_close"
+	opMemberJoin  = "member_join"
+	opMemberLeave = "member_leave"
 )
 
 // record is one journal line. Submit records carry the full encoded trace
@@ -47,6 +52,8 @@ type record struct {
 	At     time.Time `json:"at,omitzero"`
 	Error  string    `json:"error,omitempty"`
 	Reason string    `json:"reason,omitempty"`
+	// URL is the member base URL of a member_join/member_leave record.
+	URL string `json:"url,omitempty"`
 	// Trace is the darshan.Encode serialization of the submitted log
 	// (base64 in the JSON encoding).
 	Trace []byte `json:"trace,omitempty"`
@@ -153,7 +160,7 @@ func scanJournal(path string) (pending []PendingJob, uploads []PendingUpload, ra
 				delete(upByID, rec.ID)
 				delete(raw, rec.ID)
 			}
-		case opReject:
+		case opReject, opMemberJoin, opMemberLeave:
 			// Audit-only; nothing to replay.
 		default:
 			warnings = append(warnings, fmt.Sprintf("journal: ignoring unknown op %q at offset %d", rec.Op, off))

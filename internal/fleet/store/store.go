@@ -327,6 +327,27 @@ func (s *Store) Reject(reason string) error {
 	return s.appendLocked(record{Op: opReject, Reason: reason, At: time.Now()})
 }
 
+// MemberJoined and MemberLeft journal elastic-roster transitions this
+// node observed, for the audit trail: after an incident, the journal
+// answers "when did the ring change under this daemon" without
+// correlating logs across the fleet. Like rejects, the records are
+// audit-only — never replayed, dropped at compaction. Hook-shaped (no
+// error return): iofleetd wires them to roster.Config.OnChange, which
+// runs off the gossip loop.
+func (s *Store) MemberJoined(url string) { s.memberEvent(opMemberJoin, url) }
+
+// MemberLeft journals a member's departure; see MemberJoined.
+func (s *Store) MemberLeft(url string) { s.memberEvent(opMemberLeave, url) }
+
+func (s *Store) memberEvent(op, url string) {
+	s.mu.Lock()
+	err := s.appendLocked(record{Op: op, URL: url, At: time.Now()})
+	s.mu.Unlock()
+	if err != nil {
+		s.opts.Logf("store: journal %s %s: %v", op, url, err)
+	}
+}
+
 // append journals one record, reporting hook-path failures through Logf
 // (the pool's hook signature cannot carry an error).
 func (s *Store) append(rec record) {

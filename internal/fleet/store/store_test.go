@@ -364,6 +364,38 @@ func TestRejectIsJournaledButNeverReplayed(t *testing.T) {
 	}
 }
 
+func TestMemberEventsAreJournaledButNeverReplayed(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	s.MemberJoined("http://10.0.0.2:8080")
+	s.MemberLeft("http://10.0.0.3:8080")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"op":"member_join"`) || !strings.Contains(string(data), "10.0.0.2") {
+		t.Errorf("journal should record the join, got %q", data)
+	}
+	if !strings.Contains(string(data), `"op":"member_leave"`) || !strings.Contains(string(data), "10.0.0.3") {
+		t.Errorf("journal should record the departure, got %q", data)
+	}
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	rec := s2.Recovered()
+	if got := len(rec.Pending); got != 0 {
+		t.Errorf("member events must not replay, pending = %d", got)
+	}
+	// Known audit ops: recovery must not warn about them.
+	for _, w := range rec.Warnings {
+		if strings.Contains(w, "unknown op") {
+			t.Errorf("member events flagged as unknown: %s", w)
+		}
+	}
+}
+
 func TestSnapshotCorruptFileIgnored(t *testing.T) {
 	dir := t.TempDir()
 	if err := os.WriteFile(filepath.Join(dir, snapshotName), []byte("{torn"), 0o644); err != nil {

@@ -31,6 +31,13 @@
 # daemon with -9 and checks the promoted epoch survives the restart, then
 # drives a one-sided swap and checks /v1/cluster reports the epoch skew.
 #
+# Part 5 (elastic fleet): boots two gossiping elastic daemons
+# (-advertise/-peers, successor replication on) and a router that follows
+# the live roster from a single seed; checks the router discovers the
+# second member on its own, has a third daemon join mid-batch with zero
+# client-visible errors, then kills a cache owner with -9 and asserts its
+# previously-diagnosed digest is answered warm by the ring successor.
+#
 # Run from the repository root; exits non-zero on any failure.
 set -eu
 
@@ -297,10 +304,113 @@ if curl -sf "http://$krouter/v1/cluster" | grep -q '"knowledge_epoch_skew": true
 fi
 echo "   skew raised on divergence, cleared on convergence"
 
-echo "== clean shutdown"
+echo "== shutting down the part-4 cluster"
 kill -TERM "$krouter_pid" "$k1_pid" "$k2_pid" 2>/dev/null || true
 wait "$krouter_pid" 2>/dev/null || true
 wait "$k1_pid" 2>/dev/null || true
 wait "$k2_pid" 2>/dev/null || true
+pids=""
+
+echo "== [5/5] elastic fleet: live join, roster-following router, kill -9 warm failover"
+# Two elastic members joining by gossip (-advertise auto resolves the
+# ephemeral port) with successor replication on, and a router seeded with
+# ONLY the first member — ex2 must arrive via the roster protocol.
+"$workdir/iofleetd" -addr 127.0.0.1:0 -node-id ex1 -workers 2 -api-latency 300ms \
+    -advertise auto -replicate 2 -roster-interval 100ms 2>"$workdir/ex1.log" &
+ex1_pid=$!
+pids="$pids $ex1_pid"
+ex1=$(wait_addr "$workdir/ex1.log" "$ex1_pid")
+"$workdir/iofleetd" -addr 127.0.0.1:0 -node-id ex2 -workers 2 -api-latency 300ms \
+    -advertise auto -peers "http://$ex1" -replicate 2 -roster-interval 100ms 2>"$workdir/ex2.log" &
+ex2_pid=$!
+pids="$pids $ex2_pid"
+ex2=$(wait_addr "$workdir/ex2.log" "$ex2_pid")
+"$workdir/iofleet-router" -addr 127.0.0.1:0 -nodes "http://$ex1" -roster-refresh 200ms 2>"$workdir/erouter.log" &
+erouter_pid=$!
+pids="$pids $erouter_pid"
+erouter=$(wait_addr "$workdir/erouter.log" "$erouter_pid")
+echo "   members at $ex1 (ex1) and $ex2 (ex2), roster-following router at $erouter"
+
+wait_members() { # count
+    _i=0
+    while [ "$_i" -lt 100 ]; do
+        _n=$(curl -s "http://$erouter/v1/cluster" | grep -c '"healthy": true' || true)
+        [ "$_n" -ge "$1" ] && return 0
+        _i=$((_i + 1))
+        sleep 0.1
+    done
+    echo "router never saw $1 healthy members:" >&2
+    curl -s "http://$erouter/v1/cluster" >&2
+    exit 1
+}
+echo "== router must discover ex2 from the live roster (it was seeded with ex1 only)"
+wait_members 2
+
+echo "== ex3 joins mid-batch: zero client-visible errors"
+batch_traces=$(ls "$workdir"/traces/*.darshan | head -4)
+# shellcheck disable=SC2086
+"$workdir/ioagent" -server "http://$erouter" -lane batch $batch_traces >"$workdir/e-soak.out" 2>"$workdir/e-soak.err" &
+soak_pid=$!
+sleep 0.4
+"$workdir/iofleetd" -addr 127.0.0.1:0 -node-id ex3 -workers 2 -api-latency 300ms \
+    -advertise auto -peers "http://$ex1" -replicate 2 -roster-interval 100ms 2>"$workdir/ex3.log" &
+ex3_pid=$!
+pids="$pids $ex3_pid"
+ex3=$(wait_addr "$workdir/ex3.log" "$ex3_pid")
+if ! wait "$soak_pid"; then
+    echo "batch failed across the live join:"
+    cat "$workdir/e-soak.out" "$workdir/e-soak.err"
+    exit 1
+fi
+edone=$(grep -c "done" "$workdir/e-soak.out" || true)
+[ "$edone" -ge 4 ] || { echo "batch across the join reported only $edone done jobs of 4:"; cat "$workdir/e-soak.out"; exit 1; }
+wait_members 3
+echo "   batch of 4 completed across the join; roster converged at 3 members"
+
+echo "== kill -9 a cache owner: its digest must be answered warm by the successor"
+# Sum of accepted replica copies across the fleet — the signal that a
+# fresh diagnosis has landed on its successor as well as its owner.
+replica_total() {
+    _t=0
+    for _a in "$@"; do
+        _v=$(curl -s -H 'Accept: text/plain' "http://$_a/metrics" | sed -n 's/^fleet_handoff_replica_received_total //p')
+        _t=$((_t + ${_v:-0}))
+    done
+    echo "$_t"
+}
+before=$(replica_total "$ex1" "$ex2" "$ex3")
+fresh=$(ls "$workdir"/traces/*.darshan | sed -n 5p)
+"$workdir/ioagent" -server "http://$erouter" -lane interactive "$fresh" >"$workdir/e-fresh.out"
+grep -q "done" "$workdir/e-fresh.out" || { echo "fresh elastic diagnosis missing:"; cat "$workdir/e-fresh.out"; exit 1; }
+owner=$(sed -n 's/.*(\(ex[0-9]\)-job-[0-9]*,.*/\1/p' "$workdir/e-fresh.out" | head -1)
+[ -n "$owner" ] || { echo "could not extract the owning node from:"; cat "$workdir/e-fresh.out"; exit 1; }
+_i=0
+while [ "$_i" -lt 100 ]; do
+    [ "$(replica_total "$ex1" "$ex2" "$ex3")" -gt "$before" ] && break
+    _i=$((_i + 1))
+    sleep 0.1
+done
+[ "$(replica_total "$ex1" "$ex2" "$ex3")" -gt "$before" ] || { echo "fresh diagnosis never replicated to a successor"; exit 1; }
+case "$owner" in
+ex1) kill -KILL "$ex1_pid" 2>/dev/null || true ;;
+ex2) kill -KILL "$ex2_pid" 2>/dev/null || true ;;
+ex3) kill -KILL "$ex3_pid" 2>/dev/null || true ;;
+esac
+echo "   killed owner $owner; resubmitting its digest"
+"$workdir/ioagent" -server "http://$erouter" -lane interactive "$fresh" >"$workdir/e-warm.out"
+grep -q "cache hit" "$workdir/e-warm.out" || { echo "digest not served warm after killing its owner:"; cat "$workdir/e-warm.out"; exit 1; }
+if grep -q "($owner-job-" "$workdir/e-warm.out"; then
+    echo "warm answer claims the dead owner $owner:"
+    cat "$workdir/e-warm.out"
+    exit 1
+fi
+echo "   successor answered warm with $owner dead"
+
+echo "== clean shutdown"
+kill -TERM "$erouter_pid" "$ex1_pid" "$ex2_pid" "$ex3_pid" 2>/dev/null || true
+wait "$erouter_pid" 2>/dev/null || true
+wait "$ex1_pid" 2>/dev/null || true
+wait "$ex2_pid" 2>/dev/null || true
+wait "$ex3_pid" 2>/dev/null || true
 pids=""
 echo "e2e smoke OK"

@@ -22,6 +22,8 @@
 //	         [-retries 3] [-model NAME] [-cheap-model NAME] [-api-latency 0]
 //	         [-max-body 67108864] [-batch-share 4] [-node-id NAME]
 //	         [-breaker 8] [-breaker-cooldown 5s] [-tenant-max-inflight 0]
+//	         [-tenant-weights T=W,...] [-slo-classes T=CLASS,...]
+//	         [-slo-admission] [-sched-fifo]
 //	         [-upload-ttl 1h] [-max-uploads 64]
 //	         [-semcache] [-sim-threshold 0.85] [-gate-model NAME]
 //	         [-tier-models M1,M2,...] [-tier-threshold 0.6] [-tier-budget 0]
@@ -111,6 +113,19 @@
 // cached answer. Members that stop gossiping expire from the roster after
 // 4 roster intervals. Routers follow the live roster with -roster-refresh.
 //
+// Per-tenant fairness: each priority lane drains by weighted deficit
+// round robin, so one tenant's flood cannot starve another's interactive
+// traffic. -tenant-weights pins explicit dequeue weights
+// ("acme=8,guest=1"); -slo-classes assigns tenants to the built-in
+// gold/silver/bronze SLO ladder ("acme=gold,batchfarm=bronze"), which
+// sets both a weight and a queue-age target. -slo-admission enforces the
+// target at the door: submissions whose projected queue age exceeds the
+// tenant's class target refuse with the retryable slo_exceeded code
+// instead of being admitted to rot. Assignments also change at runtime
+// via POST /v1/sched/tenants and, with -state-dir, survive restarts
+// through the journal. -sched-fifo restores the tenant-blind baseline
+// (for A/B runs; admission is off in this mode).
+//
 // -api-latency adds a simulated network round trip to every model call,
 // which is how a deployment against a remote LLM API behaves; it makes the
 // worker-scaling effect visible on a local demo.
@@ -125,6 +140,7 @@ import (
 	"os"
 	"os/signal"
 	"regexp"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -134,6 +150,7 @@ import (
 	"ioagent/internal/fleet/ingest"
 	"ioagent/internal/fleet/knowledge"
 	"ioagent/internal/fleet/roster"
+	"ioagent/internal/fleet/sched"
 	"ioagent/internal/fleet/server"
 	"ioagent/internal/fleet/store"
 	"ioagent/internal/ioagent"
@@ -160,6 +177,10 @@ func main() {
 	breaker := flag.Int("breaker", 8, "circuit breaker: consecutive transient LLM failures before new work fails fast (0 disables)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker waits before a half-open probe")
 	tenantMaxInflight := flag.Int("tenant-max-inflight", 0, "max unfinished jobs per tenant; beyond it submissions refuse with quota_exceeded (0 disables)")
+	tenantWeights := flag.String("tenant-weights", "", "comma-separated tenant=weight pairs pinning explicit DRR dequeue weights (e.g. acme=8,guest=1)")
+	sloClasses := flag.String("slo-classes", "", "comma-separated tenant=class pairs assigning SLO classes: gold (8x, 2s target), silver (4x, 10s), bronze (1x, 60s)")
+	sloAdmission := flag.Bool("slo-admission", false, "refuse submissions whose projected queue age exceeds the tenant's SLO class target (retryable slo_exceeded)")
+	schedFIFO := flag.Bool("sched-fifo", false, "tenant-blind baseline: drain each lane in arrival order, ignoring weights, classes, and admission")
 	uploadTTL := flag.Duration("upload-ttl", time.Hour, "idle upload sessions expire after this long")
 	maxUploads := flag.Int("max-uploads", 64, "max concurrently open upload sessions")
 	semCache := flag.Bool("semcache", false, "serve near-duplicate traces from a similarity-matched cached diagnosis (gated by confidence)")
@@ -203,6 +224,32 @@ func main() {
 		GateModel:         *gateModel,
 		TierThreshold:     *tierThreshold,
 		TierBudgetUSD:     *tierBudget,
+		SLOAdmission:      *sloAdmission,
+		SchedFIFO:         *schedFIFO,
+	}
+	if *tenantWeights != "" {
+		cfg.TenantWeights = make(map[string]int)
+		for _, pair := range strings.Split(*tenantWeights, ",") {
+			tenant, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			w, err := strconv.Atoi(val)
+			if !ok || tenant == "" || err != nil || w < 1 {
+				log.Fatalf("iofleetd: -tenant-weights entry %q: want tenant=N with N >= 1", pair)
+			}
+			cfg.TenantWeights[tenant] = w
+		}
+	}
+	if *sloClasses != "" {
+		// Validate against the built-in ladder here: the pool treats an
+		// unknown class at construction as a programming error.
+		known := sched.BuiltinClasses()
+		cfg.TenantClasses = make(map[string]string)
+		for _, pair := range strings.Split(*sloClasses, ",") {
+			tenant, class, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if _, have := known[class]; !ok || tenant == "" || !have {
+				log.Fatalf("iofleetd: -slo-classes entry %q: want tenant=gold|silver|bronze", pair)
+			}
+			cfg.TenantClasses[tenant] = class
+		}
 	}
 	if *tierModels != "" {
 		for _, m := range strings.Split(*tierModels, ",") {
@@ -402,6 +449,11 @@ func main() {
 	srvCfg := server.Config{
 		Pool: pool, Store: st, Uploads: uploads, Draining: &draining,
 		MaxBody: *maxBody, NodeID: *nodeID,
+	}
+	if st != nil {
+		// Runtime class changes (POST /v1/sched/tenants) ride the journal,
+		// so a restarted daemon replays them before resubmitting backlog.
+		srvCfg.OnTenantClass = st.TenantClass
 	}
 	if mgr != nil {
 		srvCfg.Elastic = mgr // a typed-nil manager must not enable the roster endpoints

@@ -121,8 +121,13 @@ const RetryAfterHeader = "Retry-After"
 // digest-addressed cache handoff endpoints (GET /v1/cache/digests,
 // POST /v1/cache/entries, the CacheDigests / CacheEntryWire /
 // CachePushRequest / CachePushResponse payloads), Metrics.Handoff, and
-// the roster_disabled error code — all additive.
-var Current = Version{Major: 1, Minor: 5}
+// the roster_disabled error code — all additive. Minor 6 added the
+// fair-scheduling vocabulary: per-tenant weighted scheduling and SLO
+// admission (GET /v1/sched, POST /v1/sched/tenants, the SchedStatus /
+// SchedClass / TenantClassRequest payloads), Metrics.Sched with the
+// SchedMetrics / SchedTenant shapes, and the slo_exceeded error code —
+// all additive.
+var Current = Version{Major: 1, Minor: 6}
 
 // Version is a major.minor protocol version. Majors are incompatible;
 // minors are additive within a major.
@@ -400,6 +405,81 @@ type Metrics struct {
 	// Handoff reports the node's elastic-cluster activity (iofleetd
 	// -advertise; nil when running with a static member set). Added in 1.5.
 	Handoff *HandoffMetrics `json:"handoff,omitempty"`
+
+	// Sched reports the node's per-tenant fair scheduler: realized DRR
+	// dequeue shares, per-tenant queue depth and queue age, and SLO
+	// admission rejects. On a router's cluster-wide aggregate the counters
+	// are summed across reachable nodes and the age percentiles are the
+	// worst (maximum) observed on any node. Added in 1.6.
+	Sched *SchedMetrics `json:"sched,omitempty"`
+}
+
+// SchedMetrics is the fair scheduler's wire snapshot, embedded in
+// Metrics and aggregated cluster-wide by routers. Added in 1.6.
+type SchedMetrics struct {
+	// FIFO marks a node running the tenant-blind baseline scheduler
+	// (iofleetd -sched-fifo); Admission reports whether SLO admission
+	// control is enforced.
+	FIFO      bool `json:"fifo,omitempty"`
+	Admission bool `json:"admission,omitempty"`
+	// Dequeues / Rejects are lifetime totals across all tenants,
+	// including anonymous submissions that appear under no tenant label.
+	Dequeues int64 `json:"dequeues"`
+	Rejects  int64 `json:"rejects"`
+	// Lanes maps lane name to its current queue depth (all tenants).
+	Lanes map[string]int64 `json:"lane_depth,omitempty"`
+	// Tenants maps tenant identifier to its scheduling row; the
+	// TenantOverflow key aggregates the long tail once the per-node
+	// tenant-label cap is reached, exactly as Metrics.Tenants does.
+	Tenants map[string]SchedTenant `json:"tenants,omitempty"`
+}
+
+// SchedTenant is one tenant's row in SchedMetrics. Added in 1.6.
+type SchedTenant struct {
+	// Class is the tenant's SLO class name ("" when unclassed); Weight is
+	// the effective DRR weight scheduling uses.
+	Class  string `json:"class,omitempty"`
+	Weight int    `json:"weight"`
+	// Depth is the tenant's currently queued jobs across lanes.
+	Depth int64 `json:"depth"`
+	// Dequeues counts jobs handed to workers; the ratio between tenants'
+	// Dequeues over an interval is the realized DRR share. Rejects counts
+	// submissions refused by SLO admission (slo_exceeded).
+	Dequeues int64 `json:"dequeues"`
+	Rejects  int64 `json:"rejects"`
+	// AgeP50 / AgeMax are queue-age percentiles over the tenant's recent
+	// dequeues: how long jobs waited between enqueue and worker pickup.
+	AgeP50 time.Duration `json:"age_p50_ns"`
+	AgeMax time.Duration `json:"age_max_ns"`
+}
+
+// SchedClass is one SLO class definition in the SchedStatus payload:
+// the DRR weight its tenants schedule at and the max queue-age target
+// SLO admission enforces. Added in 1.6.
+type SchedClass struct {
+	Weight      int           `json:"weight"`
+	MaxQueueAge time.Duration `json:"max_queue_age_ns"`
+}
+
+// SchedStatus is the payload of GET /v1/sched: the scheduler's mode,
+// its class catalog, and the current tenant-to-class assignments.
+// Added in 1.6.
+type SchedStatus struct {
+	FIFO      bool `json:"fifo,omitempty"`
+	Admission bool `json:"admission,omitempty"`
+	// Classes maps class name (gold/silver/bronze) to its definition.
+	Classes map[string]SchedClass `json:"classes,omitempty"`
+	// Assignments maps tenant identifier to its class name.
+	Assignments map[string]string `json:"assignments,omitempty"`
+}
+
+// TenantClassRequest is the body of POST /v1/sched/tenants: assign the
+// tenant to an SLO class, or clear the assignment with an empty class.
+// On daemons running with -state-dir the assignment is journaled and
+// survives a restart. Added in 1.6.
+type TenantClassRequest struct {
+	Tenant string `json:"tenant"`
+	Class  string `json:"class,omitempty"`
 }
 
 // TierMetrics is one ladder model's share of fresh diagnoses and its

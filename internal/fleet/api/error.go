@@ -86,6 +86,14 @@ const (
 	// already swapped. Not blindly retryable: check GET /v1/knowledge.
 	// Added in 1.4.
 	CodeNothingStaged Code = "nothing_staged"
+	// CodeSLOExceeded: the submitting tenant's queue is already (or would
+	// be, with this job added) older than its SLO class's max queue-age
+	// target, so accepting the job could only violate the class promise.
+	// Retryable — the backlog drains at the tenant's weighted rate and
+	// the response carries Retry-After. Distinct from quota_exceeded,
+	// which bounds in-flight count rather than queueing delay. Added in
+	// 1.6.
+	CodeSLOExceeded Code = "slo_exceeded"
 	// CodeRosterDisabled: the node runs with a static member set (iofleetd
 	// started without -advertise), so the /v1/roster endpoints have
 	// nothing to serve. Not retryable against this node; pollers treat it
@@ -106,7 +114,7 @@ func (c Code) HTTPStatus() int {
 		return http.StatusConflict
 	case CodeDraining, CodeNodeDown, CodeBreakerOpen:
 		return http.StatusServiceUnavailable
-	case CodeQuotaExceeded:
+	case CodeQuotaExceeded, CodeSLOExceeded:
 		return http.StatusTooManyRequests
 	case CodeDigestMismatch:
 		return http.StatusUnprocessableEntity
@@ -124,7 +132,7 @@ func (c Code) HTTPStatus() int {
 // taxonomy instead of raw HTTP statuses.
 func (c Code) Retryable() bool {
 	switch c {
-	case CodeDraining, CodeInternal, CodeNodeDown, CodeBreakerOpen, CodeQuotaExceeded:
+	case CodeDraining, CodeInternal, CodeNodeDown, CodeBreakerOpen, CodeQuotaExceeded, CodeSLOExceeded:
 		return true
 	default:
 		return false

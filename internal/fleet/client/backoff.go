@@ -1,0 +1,115 @@
+package client
+
+import (
+	"sync"
+	"time"
+)
+
+// Per-endpoint backoff for the cluster's forward paths (buffered Submit
+// and the router's spool/stream path). Each member client already widens
+// its OWN retry delays by its recent failure rate, but that memory only
+// shapes retries inside one call: a fresh submission still walks the ring
+// from the owner, so while a member is down every request pays that
+// member's full retry schedule before failing over. The cluster-level
+// window remembers across calls — a member that just failed transiently
+// is deferred (tried last, never skipped) until its backoff deadline
+// passes, and the deadline widens with the endpoint's observed failure
+// rate and its consecutive-failure streak.
+const (
+	// endpointBackoffBase is the deferral after a first transient
+	// failure; consecutive failures double it up to endpointBackoffMax.
+	endpointBackoffBase = 100 * time.Millisecond
+	endpointBackoffMax  = 5 * time.Second
+	// endpointStreakCap bounds the doubling (100ms << 5 = 3.2s, before
+	// rate widening).
+	endpointStreakCap = 5
+)
+
+// endpointBackoff is one member's cross-call failure memory. Safe for
+// concurrent use.
+type endpointBackoff struct {
+	mu     sync.Mutex
+	window outcomeWindow // recent forward outcomes (shared ring type with Client)
+	streak int           // consecutive transient failures
+	until  time.Time     // deferred before this instant
+}
+
+// observe records one forward attempt's outcome. A success clears the
+// deferral immediately; a transient failure schedules one, doubling with
+// the streak and widening with the window's failure rate (mirroring
+// Client.nextDelay's 1+3·rate shape).
+func (b *endpointBackoff) observe(fail bool, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.window.record(fail)
+	if !fail {
+		b.streak = 0
+		b.until = time.Time{}
+		return
+	}
+	b.streak++
+	shift := b.streak - 1
+	if shift > endpointStreakCap {
+		shift = endpointStreakCap
+	}
+	d := endpointBackoffBase << shift
+	d = time.Duration(float64(d) * (1 + 3*b.window.rate()))
+	if d > endpointBackoffMax {
+		d = endpointBackoffMax
+	}
+	b.until = now.Add(d)
+}
+
+// deferred reports whether the endpoint is inside its backoff window.
+func (b *endpointBackoff) deferred(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return now.Before(b.until)
+}
+
+// endpoint returns (creating on first use) the member's backoff state.
+// State is keyed by base URL outside the membership view, so it survives
+// roster swaps for members that stay.
+func (cl *Cluster) endpoint(member string) *endpointBackoff {
+	cl.backoffMu.Lock()
+	defer cl.backoffMu.Unlock()
+	if cl.backoff == nil {
+		cl.backoff = make(map[string]*endpointBackoff)
+	}
+	b := cl.backoff[member]
+	if b == nil {
+		b = &endpointBackoff{}
+		cl.backoff[member] = b
+	}
+	return b
+}
+
+// orderByBackoff stably partitions a failover order: members currently
+// deferred move behind the eligible ones. Nothing is ever dropped — when
+// the whole fleet is backing off, the original order stands and every
+// member is still tried (deferral shapes order, availability decides
+// outcomes).
+func (cl *Cluster) orderByBackoff(members []string) []string {
+	now := time.Now()
+	var eligible, held []string
+	for _, m := range members {
+		if cl.endpoint(m).deferred(now) {
+			held = append(held, m)
+		} else {
+			eligible = append(eligible, m)
+		}
+	}
+	if len(held) == 0 || len(eligible) == 0 {
+		return members
+	}
+	return append(eligible, held...)
+}
+
+// observeForward feeds one forward attempt's outcome into the member's
+// endpoint window. Only failover-class errors (transport, 5xx, retryable
+// taxonomy) count as failures: a 4xx says nothing about the member's
+// health, and quota_exceeded is the tenant's backpressure, not the
+// node's.
+func (cl *Cluster) observeForward(member string, err error) {
+	cl.endpoint(member).observe(err != nil && failover(err), time.Now())
+}

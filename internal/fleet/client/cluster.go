@@ -86,6 +86,12 @@ type Cluster struct {
 	// (learned from each member's Metrics.Node on first need).
 	nodeToMember map[string]string
 	unresolved   map[string]bool // members whose node id is still unknown
+
+	// backoff holds per-endpoint transient-failure memory for the forward
+	// paths (see backoff.go); keyed by member base URL so it survives
+	// roster swaps for members that stay.
+	backoffMu sync.Mutex
+	backoff   map[string]*endpointBackoff
 }
 
 // normalizeMembers canonicalizes a member URL list: trims whitespace and
@@ -185,6 +191,11 @@ func (cl *Cluster) UpdateMembers(members []string) (added, removed []string) {
 		}
 		old.clients[base].Close()
 	}
+	cl.backoffMu.Lock()
+	for _, base := range removed {
+		delete(cl.backoff, base)
+	}
+	cl.backoffMu.Unlock()
 	return added, removed
 }
 
@@ -236,8 +247,9 @@ func failover(err error) bool {
 // Diagnosis calls back to it.
 func (cl *Cluster) Submit(ctx context.Context, req api.SubmitRequest) (api.JobInfo, error) {
 	ms := cl.cur.Load()
-	for _, member := range ms.ring.Successors(RouteKey(req.Trace), len(ms.members)) {
+	for _, member := range cl.orderByBackoff(ms.ring.Successors(RouteKey(req.Trace), len(ms.members))) {
 		info, err := ms.clients[member].Submit(ctx, req)
+		cl.observeForward(member, err)
 		if err == nil {
 			cl.learn(info.ID, member)
 			return info, nil
@@ -556,6 +568,47 @@ func AggregateMetrics(snaps []api.Metrics) api.Metrics {
 			}
 			agg.TenantsInflight[tenant] += n
 		}
+		if m.Sched != nil {
+			if agg.Sched == nil {
+				agg.Sched = &api.SchedMetrics{}
+			}
+			// A single FIFO (or admission-enforcing) node marks the whole
+			// aggregate: mixed modes are an operator condition worth seeing.
+			agg.Sched.FIFO = agg.Sched.FIFO || m.Sched.FIFO
+			agg.Sched.Admission = agg.Sched.Admission || m.Sched.Admission
+			agg.Sched.Dequeues += m.Sched.Dequeues
+			agg.Sched.Rejects += m.Sched.Rejects
+			for lane, depth := range m.Sched.Lanes {
+				if agg.Sched.Lanes == nil {
+					agg.Sched.Lanes = make(map[string]int64)
+				}
+				agg.Sched.Lanes[lane] += depth
+			}
+			for tenant, tm := range m.Sched.Tenants {
+				if agg.Sched.Tenants == nil {
+					agg.Sched.Tenants = make(map[string]api.SchedTenant)
+				}
+				acc := agg.Sched.Tenants[tenant]
+				if acc.Class == "" {
+					acc.Class = tm.Class
+				}
+				if tm.Weight > acc.Weight {
+					acc.Weight = tm.Weight
+				}
+				acc.Depth += tm.Depth
+				acc.Dequeues += tm.Dequeues
+				acc.Rejects += tm.Rejects
+				// Age percentiles take the worst node, like the latency
+				// gauges: the aggregate never understates queueing delay.
+				if tm.AgeP50 > acc.AgeP50 {
+					acc.AgeP50 = tm.AgeP50
+				}
+				if tm.AgeMax > acc.AgeMax {
+					acc.AgeMax = tm.AgeMax
+				}
+				agg.Sched.Tenants[tenant] = acc
+			}
+		}
 	}
 	if agg.Submitted > 0 {
 		agg.HitRate = float64(agg.CacheHits+agg.Coalesced) / float64(agg.Submitted)
@@ -564,7 +617,92 @@ func AggregateMetrics(snaps []api.Metrics) api.Metrics {
 		k := AggregateKnowledge(knows)
 		agg.Knowledge = &k
 	}
+	// Each node caps its own tenant-label cardinality, but the UNION of
+	// per-node maps can exceed any single node's cap when tenant sets are
+	// disjoint — without re-capping, a cluster aggregate would grow labels
+	// without bound as members are added. Re-apply the cap cluster-wide,
+	// folding the smallest counters into the same overflow bucket the
+	// nodes themselves use.
+	capTenantJobs(agg.Tenants)
+	if agg.Sched != nil {
+		capSchedTenants(agg.Sched.Tenants)
+	}
 	return agg
+}
+
+// maxAggTenantLabels mirrors the per-node tenant-label cap (see
+// internal/fleet): the cluster aggregate allows the same cardinality as
+// one node, with the long tail under api.TenantOverflow.
+const maxAggTenantLabels = 256
+
+// capTenantJobs bounds a summed tenant→count map in place: beyond the cap
+// the smallest counters (ties broken lexically, so the fold is
+// deterministic across routers) collapse into api.TenantOverflow.
+func capTenantJobs(tenants map[string]int64) {
+	over := overflowTenants(len(tenants), func(yield func(string, int64)) {
+		for t, n := range tenants {
+			yield(t, n)
+		}
+	})
+	for _, t := range over {
+		tenants[api.TenantOverflow] += tenants[t]
+		delete(tenants, t)
+	}
+}
+
+// capSchedTenants is capTenantJobs for the scheduler rows: folded rows sum
+// their counters into the overflow row (whose class/weight/age fields stay
+// zero — a synthetic bucket carries no single tenant's configuration).
+func capSchedTenants(tenants map[string]api.SchedTenant) {
+	over := overflowTenants(len(tenants), func(yield func(string, int64)) {
+		for t, tm := range tenants {
+			yield(t, tm.Dequeues)
+		}
+	})
+	for _, t := range over {
+		acc := tenants[api.TenantOverflow]
+		tm := tenants[t]
+		acc.Depth += tm.Depth
+		acc.Dequeues += tm.Dequeues
+		acc.Rejects += tm.Rejects
+		tenants[api.TenantOverflow] = acc
+		delete(tenants, t)
+	}
+}
+
+// overflowTenants selects which tenant labels to fold into the overflow
+// bucket: the smallest by count (ties lexically) beyond the cap. The
+// overflow key itself is never folded. n is the map's size; each collects
+// the (tenant, count) pairs.
+func overflowTenants(n int, each func(yield func(string, int64))) []string {
+	if n <= maxAggTenantLabels {
+		return nil
+	}
+	type row struct {
+		tenant string
+		count  int64
+	}
+	rows := make([]row, 0, n)
+	each(func(tenant string, count int64) {
+		if tenant != api.TenantOverflow {
+			rows = append(rows, row{tenant, count})
+		}
+	})
+	keep := maxAggTenantLabels
+	if len(rows) <= keep {
+		return nil
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].count != rows[j].count {
+			return rows[i].count > rows[j].count
+		}
+		return rows[i].tenant < rows[j].tenant
+	})
+	over := make([]string, 0, len(rows)-keep)
+	for _, r := range rows[keep:] {
+		over = append(over, r.tenant)
+	}
+	return over
 }
 
 // SubmitStream streams one trace into the fleet without buffering it.
@@ -581,6 +719,10 @@ func (cl *Cluster) SubmitStream(ctx context.Context, body io.Reader, opts Stream
 	if opts.Digest != "" {
 		targets = ms.ring.Successors(opts.Digest, len(ms.members))
 	}
+	// The router's spool/forward path rides this loop, so the per-endpoint
+	// backoff matters most here: a spooled stream must not pay a known-down
+	// owner's full retry schedule on every submission.
+	targets = cl.orderByBackoff(targets)
 	consumed := newCountingReader(body)
 	var lastErr error
 	for _, member := range targets {
@@ -598,6 +740,7 @@ func (cl *Cluster) SubmitStream(ctx context.Context, body io.Reader, opts Stream
 		// the member client's own per-node retry budget still applies to
 		// rewindable streams.
 		info, err := ms.clients[member].SubmitStream(ctx, consumed.reader(), opts)
+		cl.observeForward(member, err)
 		if err == nil {
 			cl.learn(info.ID, member)
 			return info, nil

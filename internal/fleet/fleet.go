@@ -7,11 +7,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"ioagent/internal/darshan"
 	"ioagent/internal/fleet/knowledge"
+	"ioagent/internal/fleet/sched"
 	"ioagent/internal/fleet/semcache"
 	"ioagent/internal/ioagent"
 	"ioagent/internal/llm"
@@ -32,6 +32,14 @@ var ErrBreakerOpen = errors.New("fleet: circuit breaker open (llm backend marked
 // terminal). The submission was not accepted; retrying later — once some
 // of the tenant's jobs finish — is safe.
 var ErrTenantQuota = errors.New("fleet: tenant in-flight quota exceeded")
+
+// ErrSLOExceeded is returned by Submit when SLO admission control
+// (Config.SLOAdmission) projects that the submitting tenant's queue age
+// would exceed its class target — the job would rot in queue past its
+// SLO, so it is refused up front instead. Like the quota it is checked
+// before the job exists (and before the cache is consulted), costs
+// nothing, and is safe to retry once the tenant's backlog drains.
+var ErrSLOExceeded = errors.New("fleet: tenant SLO admission refused")
 
 // EventKind names a job lifecycle transition observed through
 // Config.OnJobEvent.
@@ -69,12 +77,13 @@ const (
 	StatusFailed  Status = "failed"
 )
 
-// Lane is a submission priority class. The pool keeps one bounded queue
-// per lane and dequeues with a weighted preference for LaneInteractive,
-// so a saturating batch workload cannot starve interactive submissions —
-// while batch still holds a guaranteed share of worker slots (see
-// Config.BatchShare). The string values match the wire vocabulary in
-// internal/fleet/api.
+// Lane is a submission priority class. The pool keeps one bounded
+// scheduler lane per Lane (per-tenant fair queues inside it — see
+// internal/fleet/sched) and dequeues with a weighted preference for
+// LaneInteractive, so a saturating batch workload cannot starve
+// interactive submissions — while batch still holds a guaranteed share
+// of worker slots (see Config.BatchShare). The string values match the
+// wire vocabulary in internal/fleet/api.
 type Lane string
 
 const (
@@ -148,6 +157,10 @@ type Config struct {
 	// only while the interactive lane is empty. The minimum meaningful
 	// share is 2 — a value of 1 would prefer batch on every dequeue and
 	// invert the anti-starvation guarantee, so it is clamped to 2.
+	// This cross-lane weighting is layered ABOVE the per-tenant DRR:
+	// BatchShare decides which lane the next worker slot goes to, the
+	// scheduler's deficit round robin decides which tenant inside that
+	// lane gets it.
 	BatchShare int
 	// BreakerThreshold enables the pool's circuit breaker: after this
 	// many consecutive transient LLM failures (pool-wide, across jobs)
@@ -167,6 +180,35 @@ type Config struct {
 	// quota (the default). Anonymous submissions (no tenant) are never
 	// quota'd — there is no principal to charge.
 	TenantMaxInflight int
+
+	// TenantWeights maps tenant to an explicit dequeue weight for the
+	// per-tenant deficit-round-robin inside each lane, overriding the
+	// tenant's SLO-class weight. Over any busy interval a tenant's
+	// share of worker dequeues converges to its weight over the sum of
+	// the active tenants' weights; unlisted, classless tenants (and
+	// anonymous submissions) weigh 1.
+	TenantWeights map[string]int
+	// TenantClasses maps tenant to an SLO class name from
+	// sched.BuiltinClasses — gold (weight 8, 2s queue-age target),
+	// silver (4, 10s), bronze (1, 60s). The class supplies both the DRR
+	// weight (unless TenantWeights overrides it) and the queue-age
+	// target SLOAdmission enforces. Assignments can change at runtime
+	// via SetTenantClass; an unknown class name here panics in New —
+	// validate operator input before building the pool.
+	TenantClasses map[string]string
+	// SLOAdmission enables admission control: a submission whose
+	// projected queue age exceeds its tenant's class target is refused
+	// with ErrSLOExceeded instead of admitted to rot in queue. Tenants
+	// without a class are never refused. The projection is an estimate
+	// from the lane's measured drain rate and the tenant's fair share —
+	// it bounds expected queue age, it does not guarantee it.
+	SLOAdmission bool
+	// SchedFIFO disables per-tenant fairness and drains each lane in
+	// strict arrival order — the pre-DRR behavior. It exists as the
+	// measurable baseline for cmd/fairbench; production daemons should
+	// leave it off.
+	SchedFIFO bool
+
 	// Agent configures the diagnosis pipeline shared by all workers.
 	Agent ioagent.Options
 
@@ -459,16 +501,14 @@ type Pool struct {
 	cfg   Config
 	agent *ioagent.Agent
 	cache *cache
-	// queues holds one bounded channel per lane; workers drain both with
-	// a weighted preference for the interactive lane (see dequeue). Each
-	// lane has its own QueueDepth, so a batch flood backpressures batch
-	// submitters without blocking interactive ones.
-	queues map[Lane]chan *Job
-	// dequeues counts worker picks pool-wide; every BatchShare-th pick
-	// prefers the batch lane, which is what guarantees batch its share.
-	dequeues atomic.Int64
-	brk      *breaker
-	m        metrics
+	// schd is the per-tenant fair scheduler: one bounded lane per Lane
+	// (each with its own QueueDepth, so a batch flood backpressures
+	// batch submitters without blocking interactive ones), per-tenant
+	// FIFOs inside each lane drained by weighted deficit-round-robin,
+	// and the BatchShare cross-lane weighting layered on top.
+	schd *sched.Scheduler[*Job]
+	brk  *breaker
+	m    metrics
 
 	// Semantic reuse (nil unless Config.SemCache): the similarity index
 	// over diagnosed traces and the confidence gate that decides reuse.
@@ -493,11 +533,11 @@ type Pool struct {
 	order    []*Job                    // submission order, for Jobs()
 	inflight map[string]*inflightEntry // digest -> primary + coalesced followers
 
-	// qmu fences queue sends against Close: a Submit that passed the
-	// closed check holds the read side until its send lands, and Close
-	// takes the write side before closing the channel, so a send can
-	// never hit a closed queue. Acquired while holding mu; released
-	// after.
+	// qmu fences scheduler enqueues against Close: a Submit that passed
+	// the closed check holds the read side until its enqueue lands, and
+	// Close takes the write side before closing the scheduler, so an
+	// accepted submission can never be turned away by a concurrent
+	// Close. Acquired while holding mu; released after.
 	qmu sync.RWMutex
 }
 
@@ -522,10 +562,16 @@ func New(client llm.Client, cfg Config) *Pool {
 		cfg:   cfg,
 		agent: ioagent.New(client, cfg.Agent),
 		cache: newCache(cfg.CacheSize, cfg.CacheTTL, cfg.now),
-		queues: map[Lane]chan *Job{
-			LaneInteractive: make(chan *Job, cfg.QueueDepth),
-			LaneBatch:       make(chan *Job, cfg.QueueDepth),
-		},
+		schd: sched.New[*Job](sched.Config{
+			Lanes:     []string{string(LaneInteractive), string(LaneBatch)},
+			Depth:     cfg.QueueDepth,
+			AltShare:  cfg.BatchShare,
+			Weights:   cfg.TenantWeights,
+			Classes:   cfg.TenantClasses,
+			Admission: cfg.SLOAdmission,
+			FIFO:      cfg.SchedFIFO,
+			Now:       cfg.now,
+		}),
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*inflightEntry),
 	}
@@ -670,6 +716,17 @@ func (p *Pool) submit(ctx context.Context, log *darshan.Log, contentDigest strin
 			return nil, ErrTenantQuota
 		}
 	}
+	// SLO admission, also before the job exists (and before the cache is
+	// consulted, mirroring the quota): a tenant whose projected queue
+	// age exceeds its class target is refused retryably rather than
+	// admitted to rot. The scheduler has its own lock and never calls
+	// back into the Pool, so querying it under p.mu is safe.
+	if opts.Tenant != "" && p.cfg.SLOAdmission {
+		if err := p.schd.Admit(string(lane), opts.Tenant); err != nil {
+			p.mu.Unlock()
+			return nil, fmt.Errorf("%w: %s", ErrSLOExceeded, err)
+		}
+	}
 	p.nextID++
 	idPrefix := ""
 	if p.cfg.NodeID != "" {
@@ -746,23 +803,24 @@ func (p *Pool) submit(ctx context.Context, log *darshan.Log, contentDigest strin
 	p.qmu.RLock() // before mu is released, so Close cannot slip between
 	p.mu.Unlock()
 
-	// Emit before the queue send: a worker cannot see the job until the
-	// send lands, so a write-ahead journal hooked here has durably
-	// recorded the submission before any worker can complete it.
+	// Emit before the scheduler enqueue: a worker cannot see the job
+	// until the enqueue lands, so a write-ahead journal hooked here has
+	// durably recorded the submission before any worker can complete it.
 	p.emit(EventSubmitted, j, log)
-	select {
-	case p.queues[lane] <- j: // blocks when the lane is full (backpressure)
+	// Enqueue blocks while the lane is at QueueDepth (backpressure) and
+	// aborts with ctx.Err() if the submitter hangs up first; a canceled
+	// enqueue leaves no per-tenant depth or age state behind.
+	if err := p.schd.Enqueue(ctx, string(lane), opts.Tenant, j); err != nil {
+		// The job was journaled as submitted, so it must reach a
+		// terminal state: abort it (and any followers that coalesced
+		// onto it meanwhile) rather than park a goroutine on a queue
+		// slot nobody wants.
 		p.qmu.RUnlock()
-		return j, nil
-	case <-ctx.Done():
-		// The submitter hung up while waiting out backpressure. The job
-		// was journaled as submitted, so it must reach a terminal state:
-		// abort it (and any followers that coalesced onto it meanwhile)
-		// rather than park a goroutine on a queue slot nobody wants.
-		p.qmu.RUnlock()
-		p.abortQueued(j, ctx.Err())
-		return j, ctx.Err()
+		p.abortQueued(j, err)
+		return j, err
 	}
+	p.qmu.RUnlock()
+	return j, nil
 }
 
 // abortQueued terminally fails a job that was accepted but never reached
@@ -855,6 +913,41 @@ func (p *Pool) BreakerOpen() bool {
 	return p.brk.refusing()
 }
 
+// SetTenantClass assigns (or with class "", clears) a tenant's SLO
+// class at runtime — the knob behind POST /v1/sched/tenants. Unknown
+// class names are rejected. Serving layers that persist assignments
+// (internal/fleet/store) journal them after this returns nil, so a
+// restarted daemon replays the same classes back in.
+func (p *Pool) SetTenantClass(tenant, class string) error {
+	return p.schd.SetTenantClass(tenant, class)
+}
+
+// TenantClasses returns the current tenant→SLO-class assignments.
+func (p *Pool) TenantClasses() map[string]string {
+	return p.schd.TenantClasses()
+}
+
+// SchedStatus describes the fair scheduler's configuration surface:
+// whether admission control is on, whether the pool runs the FIFO
+// baseline, the class definitions, and the current assignments.
+type SchedStatus struct {
+	Admission   bool
+	FIFO        bool
+	Classes     map[string]sched.Class
+	Assignments map[string]string
+}
+
+// SchedStatus returns the scheduler's configuration surface (served by
+// GET /v1/sched).
+func (p *Pool) SchedStatus() SchedStatus {
+	return SchedStatus{
+		Admission:   p.schd.Admission(),
+		FIFO:        p.schd.FIFO(),
+		Classes:     p.schd.ClassDefs(),
+		Assignments: p.schd.TenantClasses(),
+	}
+}
+
 // Metrics returns a point-in-time health snapshot.
 func (p *Pool) Metrics() Snapshot {
 	p.mu.Lock()
@@ -867,6 +960,8 @@ func (p *Pool) Metrics() Snapshot {
 	s.OwnedDigests = int64(s.CacheLen + inflight)
 	s.BreakerOpen, s.BreakerTrips = p.brk.stats()
 	s.SemEntries = p.SemLen()
+	sm := p.schd.Metrics()
+	s.Sched = &sm
 	if p.cfg.Knowledge != nil {
 		km := p.cfg.Knowledge.Metrics()
 		s.Knowledge = &km
@@ -930,74 +1025,24 @@ func (p *Pool) Close() {
 	}
 	p.closed = true
 	p.mu.Unlock()
-	p.qmu.Lock() // wait for in-flight Submit sends to land
-	for _, q := range p.queues {
-		close(q)
-	}
+	p.qmu.Lock() // wait for in-flight Submit enqueues to land
+	p.schd.Close()
 	p.qmu.Unlock()
 	p.workerWG.Wait()
 }
 
-// worker drains both lane queues, running one job at a time through the
-// shared agent with retry-on-transient-error semantics. A lane is retired
-// from the worker's view once it is closed and empty; the worker exits
-// when both lanes are.
+// worker drains the scheduler, running one job at a time through the
+// shared agent with retry-on-transient-error semantics. Lane preference
+// (BatchShare) and per-tenant fairness (DRR) both live inside the
+// scheduler; the worker exits when the scheduler is closed and drained.
 func (p *Pool) worker() {
 	defer p.workerWG.Done()
-	iq, bq := p.queues[LaneInteractive], p.queues[LaneBatch]
-	for iq != nil || bq != nil {
-		if j, ok := p.dequeue(&iq, &bq); ok {
-			p.runJob(j)
-		}
-	}
-}
-
-// dequeue picks the next job with a weighted lane preference: interactive
-// wins, except every BatchShare-th pick (pool-wide) prefers batch so an
-// interactive flood cannot starve it, and batch always runs while the
-// interactive lane is idle. A closed-and-drained lane is nilled out in
-// the caller's view; ok=false means "no job this round, re-check the
-// loop condition".
-func (p *Pool) dequeue(iq, bq *chan *Job) (*Job, bool) {
-	pref, alt := iq, bq
-	if p.cfg.BatchShare > 0 && p.dequeues.Add(1)%int64(p.cfg.BatchShare) == 0 {
-		pref, alt = bq, iq
-	}
-	// Preferred lane, without blocking. A nil lane falls through to
-	// default (receive from a nil channel never fires inside select).
-	select {
-	case j, ok := <-*pref:
+	for {
+		j, ok := p.schd.Dequeue()
 		if !ok {
-			*pref = nil
-			return nil, false
+			return
 		}
-		return j, true
-	default:
-	}
-	// Other lane, still without blocking.
-	select {
-	case j, ok := <-*alt:
-		if !ok {
-			*alt = nil
-			return nil, false
-		}
-		return j, true
-	default:
-	}
-	// Both lanes empty: block until either delivers or closes.
-	select {
-	case j, ok := <-*iq:
-		if !ok {
-			*iq = nil
-			return nil, false
-		}
-		return j, true
-	case j, ok := <-*bq:
-		if !ok {
-			*bq = nil
-			return nil, false
-		}
-		return j, true
+		p.runJob(j)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ioagent/internal/fleet/knowledge"
+	"ioagent/internal/fleet/sched"
 )
 
 // latencySampleCap bounds the reservoir of completed-job latencies kept for
@@ -100,6 +101,12 @@ type Snapshot struct {
 	// disappear when they reach zero, so cardinality is bounded by actual
 	// concurrency, not tenant history.
 	TenantsInflight map[string]int64 `json:"tenant_inflight_jobs,omitempty"`
+
+	// Sched is the fair scheduler's view: per-tenant queue depth, queue
+	// age (p50/max over recent dequeues), dequeue counts (whose ratios
+	// are the realized DRR shares), and SLO admission rejects. Always
+	// present — every pool schedules through internal/fleet/sched.
+	Sched *sched.Metrics `json:"sched,omitempty"`
 }
 
 // TierStats is one ladder model's share of the pool's fresh diagnoses.

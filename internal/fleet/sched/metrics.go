@@ -1,0 +1,174 @@
+package sched
+
+import (
+	"time"
+)
+
+// MaxTenantLabels caps the distinct per-tenant stat series one
+// scheduler tracks; tenants beyond it aggregate under OverflowKey so
+// metric cardinality stays bounded no matter what tenant strings
+// clients invent. Matches the pool's tenant-label cap.
+const MaxTenantLabels = 256
+
+// OverflowKey collects per-tenant stats beyond the MaxTenantLabels
+// cap. The string deliberately matches api.TenantOverflow.
+const OverflowKey = "_other"
+
+// ageWindow bounds the per-tenant reservoir of recent dequeue ages the
+// p50/max come from; beyond it the buffer behaves as a ring.
+const ageWindow = 128
+
+// TenantMetrics is one tenant's point-in-time scheduler view.
+type TenantMetrics struct {
+	// Class and Weight are the tenant's current SLO class ("" for
+	// none) and effective DRR weight.
+	Class  string `json:"class,omitempty"`
+	Weight int    `json:"weight"`
+	// Depth is the tenant's queued items right now, across lanes.
+	Depth int64 `json:"depth"`
+	// Dequeues counts items handed to workers; across tenants the
+	// ratios are the realized dequeue shares DRR is judged by.
+	Dequeues int64 `json:"dequeues"`
+	// Rejects counts submissions refused by SLO admission control.
+	Rejects int64 `json:"rejects"`
+	// AgeP50 / AgeMax are queue-age percentiles over the tenant's most
+	// recent dequeues (enqueue→dequeue, not completion).
+	AgeP50 time.Duration `json:"age_p50_ns"`
+	AgeMax time.Duration `json:"age_max_ns"`
+}
+
+// Metrics is a point-in-time scheduler snapshot.
+type Metrics struct {
+	FIFO      bool  `json:"fifo,omitempty"`
+	Admission bool  `json:"admission,omitempty"`
+	Dequeues  int64 `json:"dequeues"`
+	// Rejects is the total SLO admission refusals (including tenants
+	// collapsed into the overflow bucket).
+	Rejects int64 `json:"rejects"`
+	// Lanes maps lane name to queued-item count.
+	Lanes map[string]int64 `json:"lanes,omitempty"`
+	// Tenants maps tenant (or OverflowKey) to its scheduler stats.
+	// Anonymous submissions are not listed.
+	Tenants map[string]TenantMetrics `json:"tenants,omitempty"`
+}
+
+// tenantStats is the mutable per-tenant counter set. Guarded by the
+// scheduler's mu.
+type tenantStats struct {
+	depth    int64
+	dequeues int64
+	rejects  int64
+	ages     []time.Duration
+	ageIdx   int
+}
+
+// schedStats aggregates the per-tenant series under the label cap.
+// All methods are called with the scheduler's mu held.
+type schedStats struct {
+	dequeues int64
+	rejects  int64
+	tenants  map[string]*tenantStats
+}
+
+// forTenant resolves the tenant's stat bucket, applying the label cap.
+// Anonymous submissions return nil — there is no principal to chart.
+func (st *schedStats) forTenant(tenant string) *tenantStats {
+	if tenant == "" {
+		return nil
+	}
+	if st.tenants == nil {
+		st.tenants = make(map[string]*tenantStats)
+	}
+	ts, ok := st.tenants[tenant]
+	if !ok {
+		if len(st.tenants) >= MaxTenantLabels {
+			tenant = OverflowKey
+			if ts = st.tenants[tenant]; ts != nil {
+				return ts
+			}
+		}
+		ts = &tenantStats{}
+		st.tenants[tenant] = ts
+	}
+	return ts
+}
+
+func (st *schedStats) hold(tenant string) {
+	if ts := st.forTenant(tenant); ts != nil {
+		ts.depth++
+	}
+}
+
+func (st *schedStats) dequeued(tenant string, age time.Duration) {
+	st.dequeues++
+	ts := st.forTenant(tenant)
+	if ts == nil {
+		return
+	}
+	ts.depth--
+	ts.dequeues++
+	if len(ts.ages) < ageWindow {
+		ts.ages = append(ts.ages, age)
+		return
+	}
+	ts.ages[ts.ageIdx] = age
+	ts.ageIdx = (ts.ageIdx + 1) % ageWindow
+}
+
+func (st *schedStats) rejected(tenant string) {
+	st.rejects++
+	if ts := st.forTenant(tenant); ts != nil {
+		ts.rejects++
+	}
+}
+
+// Metrics returns a point-in-time snapshot of lane depths and
+// per-tenant fairness stats.
+func (s *Scheduler[T]) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := Metrics{
+		FIFO:      s.cfg.FIFO,
+		Admission: s.cfg.Admission,
+		Dequeues:  s.stats.dequeues,
+		Rejects:   s.stats.rejects,
+		Lanes:     make(map[string]int64, len(s.lanes)),
+	}
+	for name, ln := range s.lanes {
+		m.Lanes[name] = int64(ln.count)
+	}
+	if len(s.stats.tenants) > 0 {
+		m.Tenants = make(map[string]TenantMetrics, len(s.stats.tenants))
+		for tenant, ts := range s.stats.tenants {
+			tm := TenantMetrics{
+				Class:    s.classes[tenant],
+				Weight:   s.weightOfLocked(tenant),
+				Depth:    ts.depth,
+				Dequeues: ts.dequeues,
+				Rejects:  ts.rejects,
+			}
+			tm.AgeP50, tm.AgeMax = agePercentiles(ts.ages)
+			m.Tenants[tenant] = tm
+		}
+	}
+	return m
+}
+
+// agePercentiles computes the p50 and max of the (unsorted) age ring
+// without mutating it.
+func agePercentiles(ages []time.Duration) (p50, max time.Duration) {
+	n := len(ages)
+	if n == 0 {
+		return 0, 0
+	}
+	sorted := make([]time.Duration, n)
+	copy(sorted, ages)
+	// Insertion sort: the window is ≤ ageWindow entries.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	i := (n - 1) / 2
+	return sorted[i], sorted[n-1]
+}

@@ -69,6 +69,12 @@ type Config struct {
 	// on retryable refusals — quota_exceeded, breaker_open, draining —
 	// which the SDK's adaptive backoff honors as a floor (default 1s).
 	RetryAfter time.Duration
+	// OnTenantClass, when non-nil, is invoked after a successful
+	// POST /v1/sched/tenants assignment took effect in the pool, so the
+	// daemon can journal it (iofleetd -state-dir) and replay it on
+	// restart. A journal error is logged, never surfaced: the in-memory
+	// assignment already happened.
+	OnTenantClass func(tenant, class string) error
 	// Elastic, when non-nil, serves the dynamic-membership surface (the
 	// /v1/roster gossip protocol) and routes received cache pushes
 	// through the roster manager so they never re-replicate. Nil means
@@ -161,6 +167,10 @@ func NewMux(cfg Config) http.Handler {
 		case errors.Is(err, fleet.ErrTenantQuota):
 			reject(w, r, api.Errorf(api.CodeQuotaExceeded,
 				"tenant %q is at its in-flight job quota; retry after some jobs finish", opts.Tenant))
+			return false
+		case errors.Is(err, fleet.ErrSLOExceeded):
+			reject(w, r, api.Errorf(api.CodeSLOExceeded,
+				"tenant %q's queue already exceeds its SLO class target; retry after the backlog drains", opts.Tenant))
 			return false
 		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 			// The client hung up while the submission waited out
@@ -568,6 +578,41 @@ func NewMux(cfg Config) http.Handler {
 		}
 		WriteJSON(w, http.StatusOK, api.CachePushResponse{Received: received})
 	})
+	// Fair-scheduler surface (api 1.6): the scheduler's mode, class
+	// catalog, and tenant assignments; POST moves a tenant between SLO
+	// classes at runtime (journaled via Config.OnTenantClass when the
+	// daemon keeps state).
+	handle("GET /v1/sched", func(w http.ResponseWriter, r *http.Request) {
+		WriteJSON(w, http.StatusOK, toAPISchedStatus(pool.SchedStatus()))
+	})
+	handle("POST /v1/sched/tenants", func(w http.ResponseWriter, r *http.Request) {
+		var req api.TenantClassRequest
+		if apiErr := decodeJSONBody(w, r, cfg.MaxBody, &req); apiErr != nil {
+			WriteError(w, apiErr)
+			return
+		}
+		if req.Tenant == "" {
+			WriteError(w, api.Errorf(api.CodeBadRequest, "assignment carries no tenant"))
+			return
+		}
+		if len(req.Tenant) > api.MaxTenantLen {
+			WriteError(w, api.Errorf(api.CodeBadRequest, "tenant exceeds %d bytes", api.MaxTenantLen))
+			return
+		}
+		if err := pool.SetTenantClass(req.Tenant, req.Class); err != nil {
+			// The only pool-level refusal is an unknown class name; the
+			// valid names are worth echoing.
+			WriteError(w, api.Errorf(api.CodeBadRequest,
+				"cannot assign tenant %q to class %q: %v", req.Tenant, req.Class, err))
+			return
+		}
+		if cfg.OnTenantClass != nil {
+			if err := cfg.OnTenantClass(req.Tenant, req.Class); err != nil {
+				log.Printf("iofleetd: journal tenant class %q=%q: %v", req.Tenant, req.Class, err)
+			}
+		}
+		WriteJSON(w, http.StatusOK, toAPISchedStatus(pool.SchedStatus()))
+	})
 	handle("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		m := toAPIMetrics(pool.Metrics(), pool.StatsByModel())
 		m.Node = cfg.NodeID
@@ -905,7 +950,55 @@ func toAPIMetrics(s fleet.Snapshot, byModel map[string]ioagent.ModelStats) api.M
 		ks := toAPIKnowledge(*s.Knowledge)
 		m.Knowledge = &ks
 	}
+	if s.Sched != nil {
+		sm := api.SchedMetrics{
+			FIFO:      s.Sched.FIFO,
+			Admission: s.Sched.Admission,
+			Dequeues:  s.Sched.Dequeues,
+			Rejects:   s.Sched.Rejects,
+		}
+		if len(s.Sched.Lanes) > 0 {
+			sm.Lanes = make(map[string]int64, len(s.Sched.Lanes))
+			for lane, depth := range s.Sched.Lanes {
+				sm.Lanes[lane] = depth
+			}
+		}
+		if len(s.Sched.Tenants) > 0 {
+			sm.Tenants = make(map[string]api.SchedTenant, len(s.Sched.Tenants))
+			for tenant, tm := range s.Sched.Tenants {
+				sm.Tenants[tenant] = api.SchedTenant{
+					Class:    tm.Class,
+					Weight:   tm.Weight,
+					Depth:    tm.Depth,
+					Dequeues: tm.Dequeues,
+					Rejects:  tm.Rejects,
+					AgeP50:   tm.AgeP50,
+					AgeMax:   tm.AgeMax,
+				}
+			}
+		}
+		m.Sched = &sm
+	}
 	return m
+}
+
+// toAPISchedStatus maps the pool's scheduler configuration onto the wire
+// payload of GET /v1/sched.
+func toAPISchedStatus(st fleet.SchedStatus) api.SchedStatus {
+	out := api.SchedStatus{FIFO: st.FIFO, Admission: st.Admission}
+	if len(st.Classes) > 0 {
+		out.Classes = make(map[string]api.SchedClass, len(st.Classes))
+		for name, c := range st.Classes {
+			out.Classes[name] = api.SchedClass{Weight: c.Weight, MaxQueueAge: c.MaxQueueAge}
+		}
+	}
+	if len(st.Assignments) > 0 {
+		out.Assignments = make(map[string]string, len(st.Assignments))
+		for tenant, class := range st.Assignments {
+			out.Assignments[tenant] = class
+		}
+	}
+	return out
 }
 
 // toAPIKnowledge maps the plane's metrics onto the wire status shape.
@@ -1027,6 +1120,55 @@ func WritePrometheus(w io.Writer, m api.Metrics) {
 		fmt.Fprintf(w, "fleet_handoff_replica_pushed_total %d\n", h.ReplicaPushed)
 		metric("fleet_handoff_replica_received_total", "counter", "Replica copies accepted from digest owners.")
 		fmt.Fprintf(w, "fleet_handoff_replica_received_total %d\n", h.ReplicaReceived)
+	}
+
+	if s := m.Sched; s != nil {
+		metric("fleet_sched_fifo", "gauge", "1 while the node runs the tenant-blind FIFO baseline instead of weighted DRR, else 0.")
+		fmt.Fprintf(w, "fleet_sched_fifo %s\n", b01(s.FIFO))
+		metric("fleet_sched_admission", "gauge", "1 while SLO admission control is enforced, else 0.")
+		fmt.Fprintf(w, "fleet_sched_admission %s\n", b01(s.Admission))
+		metric("fleet_sched_dequeues_total", "counter", "Jobs handed to workers by the fair scheduler (all tenants).")
+		fmt.Fprintf(w, "fleet_sched_dequeues_total %d\n", s.Dequeues)
+		metric("fleet_sched_rejects_total", "counter", "Submissions refused by SLO admission control (slo_exceeded).")
+		fmt.Fprintf(w, "fleet_sched_rejects_total %d\n", s.Rejects)
+		lanes := make([]string, 0, len(s.Lanes))
+		for lane := range s.Lanes {
+			lanes = append(lanes, lane)
+		}
+		sort.Strings(lanes)
+		metric("fleet_sched_lane_depth", "gauge", "Jobs queued in the fair scheduler, by priority lane.")
+		for _, lane := range lanes {
+			fmt.Fprintf(w, "fleet_sched_lane_depth{lane=%q} %d\n", lane, s.Lanes[lane])
+		}
+		schedTenants := make([]string, 0, len(s.Tenants))
+		for tenant := range s.Tenants {
+			schedTenants = append(schedTenants, tenant)
+		}
+		sort.Strings(schedTenants)
+		metric("fleet_sched_tenant_depth", "gauge", "Jobs queued per tenant (label cardinality capped server-side; the long tail aggregates under \"_other\").")
+		for _, tenant := range schedTenants {
+			fmt.Fprintf(w, "fleet_sched_tenant_depth{tenant=%q} %d\n", tenant, s.Tenants[tenant].Depth)
+		}
+		metric("fleet_sched_tenant_dequeues_total", "counter", "Jobs handed to workers per tenant; inter-tenant ratios are the realized DRR shares.")
+		for _, tenant := range schedTenants {
+			fmt.Fprintf(w, "fleet_sched_tenant_dequeues_total{tenant=%q} %d\n", tenant, s.Tenants[tenant].Dequeues)
+		}
+		metric("fleet_sched_tenant_rejects_total", "counter", "Submissions refused by SLO admission per tenant.")
+		for _, tenant := range schedTenants {
+			fmt.Fprintf(w, "fleet_sched_tenant_rejects_total{tenant=%q} %d\n", tenant, s.Tenants[tenant].Rejects)
+		}
+		metric("fleet_sched_tenant_weight", "gauge", "Effective DRR weight per tenant.")
+		for _, tenant := range schedTenants {
+			fmt.Fprintf(w, "fleet_sched_tenant_weight{tenant=%q} %d\n", tenant, s.Tenants[tenant].Weight)
+		}
+		metric("fleet_sched_tenant_queue_age_p50_seconds", "gauge", "Median queue age over the tenant's recent dequeues.")
+		for _, tenant := range schedTenants {
+			fmt.Fprintf(w, "fleet_sched_tenant_queue_age_p50_seconds{tenant=%q} %s\n", tenant, f64(s.Tenants[tenant].AgeP50.Seconds()))
+		}
+		metric("fleet_sched_tenant_queue_age_max_seconds", "gauge", "Maximum queue age over the tenant's recent dequeues.")
+		for _, tenant := range schedTenants {
+			fmt.Fprintf(w, "fleet_sched_tenant_queue_age_max_seconds{tenant=%q} %s\n", tenant, f64(s.Tenants[tenant].AgeMax.Seconds()))
+		}
 	}
 
 	tierModels := make([]string, 0, len(m.Tiers))

@@ -790,3 +790,138 @@ func TestMuxKnowledgeEndpoints(t *testing.T) {
 		}
 	}
 }
+
+// TestMuxSchedEndpoints drives the api 1.6 fairness surface end to end:
+// status, runtime class assignment (journaled through the hook), clear,
+// validation, and both metrics renderings of the sched block.
+func TestMuxSchedEndpoints(t *testing.T) {
+	pool := fleet.New(llm.NewSim(), fleet.Config{
+		Workers: 2,
+		Agent:   ioagent.Options{Index: knowledge.BuildIndex()},
+		TenantClasses: map[string]string{
+			"acme": "gold",
+		},
+	})
+	t.Cleanup(pool.Close)
+	var journaled []string
+	srv := httptest.NewServer(NewMux(Config{Pool: pool, OnTenantClass: func(tenant, class string) error {
+		journaled = append(journaled, tenant+"="+class)
+		return nil
+	}}))
+	t.Cleanup(srv.Close)
+
+	// Status: the built-in class ladder and the boot-time assignment.
+	var st api.SchedStatus
+	resp, err := http.Get(srv.URL + "/v1/sched")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.FIFO || st.Admission {
+		t.Fatalf("status flags = %+v, want DRR without admission", st)
+	}
+	if st.Classes["gold"].Weight != 8 || st.Classes["gold"].MaxQueueAge != 2*time.Second {
+		t.Fatalf("gold class = %+v", st.Classes["gold"])
+	}
+	if st.Assignments["acme"] != "gold" {
+		t.Fatalf("assignments = %v, want acme=gold", st.Assignments)
+	}
+
+	post := func(body string) (*http.Response, error) {
+		return http.Post(srv.URL+"/v1/sched/tenants", "application/json", strings.NewReader(body))
+	}
+
+	// Assign at runtime; the response is the updated status and the
+	// change reaches the journal hook.
+	resp, err = post(`{"tenant":"umbrella","class":"silver"}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Assignments["umbrella"] != "silver" {
+		t.Fatalf("assignments after POST = %v", st.Assignments)
+	}
+
+	// Clear with the empty class. Decode into a fresh struct — decoding
+	// into a populated map merges instead of replacing.
+	resp, err = post(`{"tenant":"umbrella","class":""}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cleared api.SchedStatus
+	if err := json.NewDecoder(resp.Body).Decode(&cleared); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, ok := cleared.Assignments["umbrella"]; ok {
+		t.Fatalf("umbrella still assigned after clear: %v", cleared.Assignments)
+	}
+	if len(journaled) != 2 || journaled[0] != "umbrella=silver" || journaled[1] != "umbrella=" {
+		t.Fatalf("journal hook saw %v", journaled)
+	}
+
+	// Validation: unknown class and missing tenant are bad_request.
+	for _, body := range []string{`{"tenant":"x","class":"platinum"}`, `{"class":"gold"}`} {
+		resp, err := post(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := apiError(t, resp); resp.StatusCode != http.StatusBadRequest || e.Code != api.CodeBadRequest {
+			t.Errorf("POST %s = %s / %q, want 400 bad_request", body, resp.Status, e.Code)
+		}
+	}
+
+	// A tenant-attributed submission surfaces in both metrics renderings.
+	trace := encodeTraceBytes(t, testTrace(71))
+	resp, err = http.Post(srv.URL+"/v1/jobs?tenant=acme", "application/octet-stream", bytes.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %s", resp.Status)
+	}
+	pool.Wait()
+
+	var m api.Metrics
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if m.Sched == nil || m.Sched.Dequeues < 1 {
+		t.Fatalf("metrics sched block = %+v, want dequeues", m.Sched)
+	}
+	if ten := m.Sched.Tenants["acme"]; ten.Class != "gold" || ten.Weight != 8 || ten.Dequeues < 1 {
+		t.Fatalf("acme sched tenant = %+v", m.Sched.Tenants["acme"])
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"fleet_sched_fifo 0",
+		"fleet_sched_dequeues_total",
+		`fleet_sched_tenant_weight{tenant="acme"} 8`,
+		`fleet_sched_tenant_dequeues_total{tenant="acme"}`,
+		"# TYPE fleet_sched_tenant_queue_age_p50_seconds gauge",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

@@ -24,6 +24,10 @@ const journalName = "journal.wal"
 // "member_join" and "member_leave" record elastic-roster transitions seen
 // by this node; like rejects they are audit-only — never replayed, never
 // pending, dropped at compaction.
+// "tenant_class" records an SLO-class assignment (POST /v1/sched/tenants).
+// Unlike submits it is never covered by a later record — the latest
+// assignment per tenant is durable configuration, kept across compactions
+// until an empty-class record clears it.
 const (
 	opSubmit      = "submit"
 	opDone        = "done"
@@ -34,7 +38,12 @@ const (
 	opUploadClose = "upload_close"
 	opMemberJoin  = "member_join"
 	opMemberLeave = "member_leave"
+	opTenantClass = "tenant_class"
 )
+
+// classKey namespaces a tenant_class record in the pending-line
+// bookkeeping, so a tenant named like a job ID can never collide.
+func classKey(tenant string) string { return "class:" + tenant }
 
 // record is one journal line. Submit records carry the full encoded trace
 // so a restarted daemon can reconstruct and resubmit the job; covering
@@ -54,6 +63,9 @@ type record struct {
 	Reason string    `json:"reason,omitempty"`
 	// URL is the member base URL of a member_join/member_leave record.
 	URL string `json:"url,omitempty"`
+	// Class is the SLO class name of a tenant_class record (empty clears
+	// the tenant's assignment).
+	Class string `json:"class,omitempty"`
 	// Trace is the darshan.Encode serialization of the submitted log
 	// (base64 in the JSON encoding).
 	Trace []byte `json:"trace,omitempty"`
@@ -90,14 +102,15 @@ type PendingUpload struct {
 // caller can truncate it before appending. A structurally valid submit
 // record whose embedded trace fails to decode is skipped with a warning
 // instead of aborting the scan.
-func scanJournal(path string) (pending []PendingJob, uploads []PendingUpload, raw map[string][]byte, valid int64, warnings []string, err error) {
+func scanJournal(path string) (pending []PendingJob, uploads []PendingUpload, classes map[string]string, raw map[string][]byte, valid int64, warnings []string, err error) {
 	raw = make(map[string][]byte)
+	classes = make(map[string]string)
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return nil, nil, raw, 0, nil, nil
+		return nil, nil, classes, raw, 0, nil, nil
 	}
 	if err != nil {
-		return nil, nil, nil, 0, nil, fmt.Errorf("store: read journal: %w", err)
+		return nil, nil, nil, nil, 0, nil, fmt.Errorf("store: read journal: %w", err)
 	}
 
 	byID := make(map[string]int)   // pending index by previous-process ID
@@ -160,6 +173,20 @@ func scanJournal(path string) (pending []PendingJob, uploads []PendingUpload, ra
 				delete(upByID, rec.ID)
 				delete(raw, rec.ID)
 			}
+		case opTenantClass:
+			if rec.Tenant == "" {
+				warnings = append(warnings, fmt.Sprintf("journal: skipping malformed tenant_class at offset %d", off))
+				break
+			}
+			// Last record per tenant wins; an empty class clears the
+			// assignment (and lets compaction drop its lines entirely).
+			if rec.Class == "" {
+				delete(classes, rec.Tenant)
+				delete(raw, classKey(rec.Tenant))
+				break
+			}
+			classes[rec.Tenant] = rec.Class
+			raw[classKey(rec.Tenant)] = append([]byte(nil), line...)
 		case opReject, opMemberJoin, opMemberLeave:
 			// Audit-only; nothing to replay.
 		default:
@@ -182,7 +209,7 @@ func scanJournal(path string) (pending []PendingJob, uploads []PendingUpload, ra
 			upKept = append(upKept, u)
 		}
 	}
-	return kept, upKept, raw, valid, warnings, nil
+	return kept, upKept, classes, raw, valid, warnings, nil
 }
 
 // appendLocked marshals rec and appends it to the journal, maintaining the
@@ -213,6 +240,18 @@ func (s *Store) appendLocked(rec record) error {
 		s.pendingRaw[rec.ID] = line
 	case opDone, opFail, opReplayed, opUploadClose:
 		delete(s.pendingRaw, rec.ID)
+	case opTenantClass:
+		// Durable configuration: the latest assignment per tenant survives
+		// every compaction; an empty class erases it.
+		key := classKey(rec.Tenant)
+		if rec.Class == "" {
+			delete(s.pendingRaw, key)
+			return nil
+		}
+		if _, dup := s.pendingRaw[key]; !dup {
+			s.pendingOrder = append(s.pendingOrder, key)
+		}
+		s.pendingRaw[key] = line
 	}
 	return nil
 }

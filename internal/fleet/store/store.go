@@ -7,6 +7,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -70,6 +71,10 @@ type Recovery struct {
 	// Uploads holds upload sessions opened but never closed, in open
 	// order; their partial bytes wait in the spool directory (UploadDir).
 	Uploads []PendingUpload
+	// TenantClasses holds the journaled SLO-class assignments (latest per
+	// tenant); Replay re-applies them so POST /v1/sched/tenants survives a
+	// restart.
+	TenantClasses map[string]string
 	// Warnings records non-fatal recovery repairs (torn journal tail
 	// truncated, corrupt snapshot ignored, ...).
 	Warnings []string
@@ -126,12 +131,13 @@ func Open(dir string, opts Options) (*Store, error) {
 	s.recovered.Warnings = append(s.recovered.Warnings, warns...)
 
 	jpath := s.path(journalName)
-	pending, uploads, raw, valid, warns, err := scanJournal(jpath)
+	pending, uploads, classes, raw, valid, warns, err := scanJournal(jpath)
 	if err != nil {
 		return nil, err
 	}
 	s.recovered.Pending = pending
 	s.recovered.Uploads = uploads
+	s.recovered.TenantClasses = classes
 	s.recovered.Warnings = append(s.recovered.Warnings, warns...)
 	if info, err := os.Stat(jpath); err == nil && info.Size() > valid {
 		if err := os.Truncate(jpath, valid); err != nil {
@@ -143,6 +149,14 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	for _, u := range uploads {
 		s.pendingOrder = append(s.pendingOrder, u.ID)
+	}
+	tenants := make([]string, 0, len(classes))
+	for tenant := range classes {
+		tenants = append(tenants, tenant)
+	}
+	sort.Strings(tenants) // deterministic compaction order
+	for _, tenant := range tenants {
+		s.pendingOrder = append(s.pendingOrder, classKey(tenant))
 	}
 	s.pendingRaw = raw
 
@@ -198,6 +212,18 @@ func (s *Store) Replay(p *fleet.Pool) (restored, resubmitted int, err error) {
 	// drops any vector whose digest the restored cache cannot serve, so
 	// reuse never cites a diagnosis that did not survive the restart.
 	p.SemRestore(rec.Sem)
+
+	// Journaled SLO-class assignments are re-applied before the pending
+	// jobs resubmit, so the replayed backlog schedules under the weights
+	// the operator had configured. A class this build's catalog does not
+	// know (journal written under a different -slo-classes set) is logged
+	// and skipped — the tenant degrades to the default weight instead of
+	// bricking the boot.
+	for _, tenant := range sortedKeys(rec.TenantClasses) {
+		if cerr := p.SetTenantClass(tenant, rec.TenantClasses[tenant]); cerr != nil {
+			s.opts.Logf("store: replay tenant class %q=%q: %v (skipping)", tenant, rec.TenantClasses[tenant], cerr)
+		}
+	}
 
 	for _, job := range rec.Pending {
 		// The lane survives the restart: an interactive job keeps its
@@ -316,6 +342,31 @@ func (s *Store) CacheChanged(string) {
 	s.mu.Lock()
 	s.dirty = true
 	s.mu.Unlock()
+}
+
+// sortedKeys returns m's keys in lexical order, for deterministic replay
+// and logging.
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TenantClass journals an SLO-class assignment (the server's
+// Config.OnTenantClass hook). The latest record per tenant survives
+// compaction as durable configuration; an empty class clears the
+// assignment. The in-memory pool assignment has already happened by the
+// time this runs — the journal only makes it outlive the process.
+func (s *Store) TenantClass(tenant, class string) error {
+	if tenant == "" {
+		return errors.New("store: tenant_class with no tenant")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendLocked(record{Op: opTenantClass, Tenant: tenant, Class: class, At: time.Now()})
 }
 
 // Reject journals a refused submission (e.g. a 503 during drain) for the

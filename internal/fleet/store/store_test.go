@@ -234,7 +234,7 @@ func TestJournalCompactionEquivalence(t *testing.T) {
 	s.OnJobEvent(doneEvent("job-000004", "d4"))
 
 	// What replay would see before compaction.
-	before, _, _, _, _, err := scanJournal(filepath.Join(dir, journalName))
+	before, _, _, _, _, _, err := scanJournal(filepath.Join(dir, journalName))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +246,7 @@ func TestJournalCompactionEquivalence(t *testing.T) {
 	if err := s.Checkpoint(pool); err != nil {
 		t.Fatal(err)
 	}
-	after, _, _, _, warns, err := scanJournal(filepath.Join(dir, journalName))
+	after, _, _, _, _, warns, err := scanJournal(filepath.Join(dir, journalName))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -574,5 +574,72 @@ func TestReplayUnknownLaneFallsBackToDefault(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("fallback must be warned about, got %v", warned)
+	}
+}
+
+// TestTenantClassSurvivesRestartAndCompaction journals SLO-class
+// assignments and verifies the latest one per tenant is recovered, is
+// re-applied by Replay, outlives compaction, and is erased by an
+// empty-class clear.
+func TestTenantClassSurvivesRestartAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if err := s.TenantClass("acme", "bronze"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.TenantClass("acme", "gold"); err != nil {
+		t.Fatal(err) // reassignment: last record wins
+	}
+	if err := s.TenantClass("umbrella", "silver"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.TenantClass("ghost", "bronze"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.TenantClass("ghost", ""); err != nil {
+		t.Fatal(err) // cleared: must not be recovered
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	got := s2.Recovered().TenantClasses
+	want := map[string]string{"acme": "gold", "umbrella": "silver"}
+	if len(got) != len(want) {
+		t.Fatalf("recovered classes %v, want %v", got, want)
+	}
+	for tenant, class := range want {
+		if got[tenant] != class {
+			t.Fatalf("recovered classes %v, want %v", got, want)
+		}
+	}
+
+	// Replay applies the assignments to the pool.
+	pool := fleet.New(llm.NewSim(), testConfig(1, s2))
+	defer pool.Close()
+	if _, _, err := s2.Replay(pool); err != nil {
+		t.Fatal(err)
+	}
+	if tc := pool.TenantClasses(); tc["acme"] != "gold" || tc["umbrella"] != "silver" {
+		t.Fatalf("pool classes after replay = %v", tc)
+	}
+
+	// Compaction keeps the assignments (they are durable configuration,
+	// not covered work).
+	if err := s2.Checkpoint(pool); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3 := mustOpen(t, dir, Options{})
+	defer s3.Close()
+	got = s3.Recovered().TenantClasses
+	if got["acme"] != "gold" || got["umbrella"] != "silver" || len(got) != 2 {
+		t.Fatalf("classes after compaction %v, want %v", got, want)
+	}
+	if w := s3.Recovered().Warnings; len(w) != 0 {
+		t.Fatalf("compacted journal has warnings: %v", w)
 	}
 }

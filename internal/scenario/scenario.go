@@ -84,6 +84,16 @@ func Matrix() []Scenario {
 			Build:    func() ([]byte, *darshan.Log) { return renderDarshan(stragglerRanks(false)) },
 		},
 		{
+			// MisalignedWrites rides along in a read-only trace because
+			// drishti's T07 heuristic cannot attribute the shared
+			// POSIX_FILE_NOT_ALIGNED counter to a direction.
+			Name:     "small-read-storm",
+			Modality: "darshan",
+			Expected: issue.NewSet(issue.SmallReads, issue.MisalignedReads, issue.MisalignedWrites, issue.RandomReads, issue.SharedFileAccess, issue.ServerImbalance),
+			Baseline: 0.80,
+			Build:    func() ([]byte, *darshan.Log) { return renderDarshan(smallReadStorm(false)) },
+		},
+		{
 			Name:     "tiny-unaligned-writes-dxt",
 			Modality: "dxt",
 			Expected: issue.NewSet(issue.SmallWrites, issue.MisalignedWrites),
@@ -106,6 +116,16 @@ func Matrix() []Scenario {
 			Expected: issue.NewSet(issue.SharedFileAccess),
 			Baseline: 0.75,
 			Build:    func() ([]byte, *darshan.Log) { return renderDXT(sharedFileContention(true)) },
+		},
+		{
+			// The DXT rendering loses the per-server distribution, so
+			// ServerImbalance is NOT expected here; the data-path labels
+			// (including T07's direction-blind misalignment pair) survive.
+			Name:     "small-read-storm-dxt",
+			Modality: "dxt",
+			Expected: issue.NewSet(issue.SmallReads, issue.MisalignedReads, issue.MisalignedWrites, issue.RandomReads, issue.SharedFileAccess),
+			Baseline: 0.75,
+			Build:    func() ([]byte, *darshan.Log) { return renderDXT(smallReadStorm(true)) },
 		},
 		{
 			Name:     "straggler-ranks-dxt",
@@ -169,6 +189,16 @@ func metadataStorm(withDXT bool) *iosim.Sim {
 func sharedFileContention(withDXT bool) *iosim.Sim {
 	s := iosim.New(iosim.Config{Seed: 103, NProcs: 8, EnableDXT: withDXT})
 	iosim.WriteShared(s, "/scratch/shared/checkpoint.h5", iosim.POSIX, nil, 64<<20, 1<<20)
+	return s
+}
+
+// smallReadStorm: every rank hammers one shared input with tiny reads at
+// random offsets — the under-buffered analysis reader that re-fetches
+// scattered 4 KB records instead of streaming blocks.
+func smallReadStorm(withDXT bool) *iosim.Sim {
+	s := iosim.New(iosim.Config{Seed: 105, NProcs: 8, EnableDXT: withDXT})
+	f := s.OpenShared("/scratch/analysis/input.dat", iosim.POSIX, false, nil)
+	iosim.RandomReads(s, f, 400, 4000, 48<<20)
 	return s
 }
 
